@@ -1,0 +1,31 @@
+//! End-to-end KNN ablation (DESIGN.md): exact full-scan CSF vs the indexed
+//! CSF-SAR-H path of Fig. 6, on a small community.
+use criterion::{criterion_group, criterion_main, Criterion};
+use viderec_core::{QueryVideo, Recommender, RecommenderConfig, Strategy};
+use viderec_eval::community::{Community, CommunityConfig};
+
+fn bench_knn(c: &mut Criterion) {
+    let community = Community::generate(CommunityConfig {
+        hours: 10.0,
+        ..Default::default()
+    });
+    let recommender =
+        Recommender::build(RecommenderConfig::default(), community.source_corpus()).unwrap();
+    let clicked = community.query_videos()[0];
+    let query = QueryVideo {
+        series: recommender.series_of(clicked).unwrap().clone(),
+        users: recommender.users_of(clicked).unwrap().to_vec(),
+    };
+
+    let mut group = c.benchmark_group("recommend_10h");
+    group.sample_size(10);
+    for strategy in [Strategy::Csf, Strategy::CsfSar, Strategy::CsfSarH, Strategy::Cr] {
+        group.bench_function(strategy.label(), |bench| {
+            bench.iter(|| recommender.recommend_excluding(strategy, &query, 20, &[clicked]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Social substrate benchmarks: exact sJ vs SAR, extraction (literal vs
+//! fast) vs spectral, and the maintenance batch path.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use viderec_social::{
+    extract_subcommunities, extract_subcommunities_literal, sar_similarity, social_jaccard,
+    spectral_clustering, SocialDescriptor, SocialUpdatesMaintenance, UserId, UserInterestGraph,
+};
+
+fn random_graph(users: usize, edges: usize, seed: u64) -> UserInterestGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UserInterestGraph::new(users);
+    for _ in 0..edges {
+        let a = rng.gen_range(0..users as u32);
+        let b = rng.gen_range(0..users as u32);
+        if a != b {
+            g.add_edge_weight(UserId(a), UserId(b), rng.gen_range(1..6));
+        }
+    }
+    g
+}
+
+fn bench_relevance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("social_relevance");
+    let mut rng = StdRng::seed_from_u64(4);
+    for &n in &[50usize, 200, 800] {
+        let a: SocialDescriptor =
+            (0..n).map(|_| UserId(rng.gen_range(0..5000))).collect();
+        let b: SocialDescriptor =
+            (0..n).map(|_| UserId(rng.gen_range(0..5000))).collect();
+        let va: Vec<u32> = (0..60).map(|_| rng.gen_range(0..10)).collect();
+        let vb: Vec<u32> = (0..60).map(|_| rng.gen_range(0..10)).collect();
+        group.bench_with_input(BenchmarkId::new("exact_sj", n), &n, |bench, _| {
+            bench.iter(|| social_jaccard(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("sar_k60", n), &n, |bench, _| {
+            bench.iter(|| sar_similarity(&va, &vb))
+        });
+    }
+    group.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subcommunity_extraction");
+    group.sample_size(10);
+    let g = random_graph(400, 3000, 5);
+    group.bench_function("fast_msf", |bench| {
+        bench.iter(|| extract_subcommunities(&g, 40))
+    });
+    group.bench_function("literal_fig3", |bench| {
+        bench.iter(|| extract_subcommunities_literal(&g, 40))
+    });
+    group.bench_function("spectral_baseline", |bench| {
+        bench.iter(|| spectral_clustering(&g, 40, 1))
+    });
+    group.finish();
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let g = random_graph(400, 3000, 6);
+    let mut rng = StdRng::seed_from_u64(7);
+    let batch: Vec<(UserId, UserId, u32)> = (0..200)
+        .map(|_| {
+            let a = rng.gen_range(0..400u32);
+            let b = (a + 1 + rng.gen_range(0..398u32)) % 400;
+            (UserId(a), UserId(b), rng.gen_range(1..4))
+        })
+        .collect();
+    c.bench_function("maintenance_batch_200", |bench| {
+        bench.iter_batched(
+            || SocialUpdatesMaintenance::new(g.clone(), 40),
+            |mut m| m.apply_connections(&batch),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_relevance, bench_extraction, bench_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Fig. 7: effect of the content relevance measure (ERP vs DTW vs κJ) on
+//! AR / AC / MAP at top 5/10/20, content-only ranking.
+use viderec_bench::scale;
+use viderec_eval::community::Community;
+use viderec_eval::experiment::content_measures;
+use viderec_eval::report::effectiveness_table;
+
+fn main() {
+    let community = Community::generate(scale::effectiveness_config());
+    let rows: Vec<(String, _)> = content_measures(&community, scale::SEED)
+        .into_iter()
+        .map(|(l, m)| (l.to_string(), m))
+        .collect();
+    print!("{}", effectiveness_table("Fig. 7: content relevance measures", &rows));
+}

@@ -1,0 +1,16 @@
+//! Fig. 8: effect of the fusion weight ω on AR / AC / MAP (paper optimum:
+//! ω = 0.7).
+use viderec_bench::scale;
+use viderec_eval::community::Community;
+use viderec_eval::experiment::omega_sweep;
+use viderec_eval::report::effectiveness_table;
+
+fn main() {
+    let community = Community::generate(scale::effectiveness_config());
+    let omegas: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let rows: Vec<(String, _)> = omega_sweep(&community, &omegas, scale::SEED)
+        .into_iter()
+        .map(|(omega, m)| (format!("w={omega:.1}"), m))
+        .collect();
+    print!("{}", effectiveness_table("Fig. 8: effect of omega", &rows));
+}

@@ -1,0 +1,16 @@
+//! Fig. 9: effect of the sub-community count k on AR / AC / MAP (paper:
+//! rises to k = 60, steady to 80).
+use viderec_bench::scale;
+use viderec_eval::community::Community;
+use viderec_eval::experiment::k_sweep;
+use viderec_eval::report::effectiveness_table;
+
+fn main() {
+    let community = Community::generate(scale::effectiveness_config());
+    let ks = [20, 30, 40, 50, 60, 70, 80];
+    let rows: Vec<(String, _)> = k_sweep(&community, &ks, scale::SEED)
+        .into_iter()
+        .map(|(k, m)| (format!("k={k}"), m))
+        .collect();
+    print!("{}", effectiveness_table("Fig. 9: effect of k (SAR)", &rows));
+}

@@ -1,0 +1,15 @@
+//! Fig. 10: AFFRF vs CR vs SR vs CSF at the optimal parameters (ω = 0.7,
+//! k = 60).
+use viderec_bench::scale;
+use viderec_eval::community::Community;
+use viderec_eval::experiment::compare_approaches;
+use viderec_eval::report::effectiveness_table;
+
+fn main() {
+    let community = Community::generate(scale::effectiveness_config());
+    let rows: Vec<(String, _)> = compare_approaches(&community, scale::SEED)
+        .into_iter()
+        .map(|(l, m)| (l.to_string(), m))
+        .collect();
+    print!("{}", effectiveness_table("Fig. 10: recommendation approaches", &rows));
+}

@@ -1,0 +1,19 @@
+//! Fig. 11: effectiveness while 1–4 months of social updates are applied
+//! with Fig. 5 maintenance (paper: remains steady).
+use viderec_bench::scale;
+use viderec_eval::community::Community;
+use viderec_eval::experiment::update_effect;
+use viderec_eval::report::effectiveness_table;
+
+fn main() {
+    let community = Community::generate(scale::effectiveness_config());
+    let rows: Vec<(String, _)> = update_effect(&community, scale::SEED)
+        .into_iter()
+        .map(|(months, m)| {
+            let label =
+                if months == 0 { "baseline".to_string() } else { format!("+{months} mo") };
+            (label, m)
+        })
+        .collect();
+    print!("{}", effectiveness_table("Fig. 11: effect of social updates", &rows));
+}

@@ -1,0 +1,18 @@
+//! Fig. 12a: recommendation time of CSF vs CSF-SAR vs CSF-SAR-H over 50–200
+//! paper-hours (paper: CSF slowest, SAR-H fastest).
+use viderec_bench::scale;
+use viderec_eval::community::Community;
+use viderec_eval::experiment::{efficiency, EfficiencyRow};
+use viderec_eval::report::efficiency_table;
+
+fn main() {
+    let rows: Vec<EfficiencyRow> = scale::EFFICIENCY_HOURS
+        .iter()
+        .map(|&hours| {
+            eprintln!("generating {hours}h community…");
+            let community = Community::generate(scale::config_at(hours));
+            efficiency(&community)
+        })
+        .collect();
+    print!("{}", efficiency_table("Fig. 12a/b: recommendation time by strategy", &rows));
+}

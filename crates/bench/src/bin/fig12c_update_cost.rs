@@ -1,0 +1,13 @@
+//! Fig. 12c: cost of maintaining 1–4 months of social updates over the fixed
+//! source set (paper: hundreds of seconds up to ~1500 s at its scale; the
+//! shape — roughly linear growth — is the reproduced claim).
+use viderec_bench::scale;
+use viderec_eval::community::Community;
+use viderec_eval::experiment::update_cost;
+use viderec_eval::report::update_cost_table;
+
+fn main() {
+    let community = Community::generate(scale::config_at(200.0));
+    let rows = update_cost(&community);
+    print!("{}", update_cost_table("Fig. 12c: social update maintenance cost (200h)", &rows));
+}

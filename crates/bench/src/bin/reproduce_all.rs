@@ -1,0 +1,72 @@
+//! Runs every table/figure reproduction in sequence (Figs. 7–12, Table 2,
+//! the silhouette comparison) and prints them as one report. Expect this to
+//! run for a while — the Fig. 12 sweep regenerates communities at four
+//! scales.
+use viderec_bench::scale;
+use viderec_eval::community::{Community, TABLE2_TOPICS};
+use viderec_eval::experiment::{
+    compare_approaches, content_measures, efficiency, k_sweep, omega_sweep,
+    silhouette_comparison, update_cost, update_effect,
+};
+use viderec_eval::report::{effectiveness_table, efficiency_table, update_cost_table};
+
+fn main() {
+    let community = Community::generate(scale::effectiveness_config());
+
+    println!("== Table 2 ==");
+    let queries = community.query_videos();
+    for (t, label) in TABLE2_TOPICS.iter().enumerate() {
+        let sources: Vec<String> =
+            queries[2 * t..2 * t + 2].iter().map(|v| v.to_string()).collect();
+        println!("q{} {:<16} {}", t + 1, label, sources.join(", "));
+    }
+    println!();
+
+    let k = community.config().true_groups;
+    let (ours, spectral) = silhouette_comparison(&community, k, scale::SEED);
+    println!("== Silhouette (§4.2.2) ==");
+    println!("SubgraphExtraction {ours:.3} vs spectral {spectral:.3}\n");
+
+    let rows: Vec<(String, _)> = content_measures(&community, scale::SEED)
+        .into_iter()
+        .map(|(l, m)| (l.to_string(), m))
+        .collect();
+    println!("{}", effectiveness_table("Fig. 7: content measures", &rows));
+
+    let omegas: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let rows: Vec<(String, _)> = omega_sweep(&community, &omegas, scale::SEED)
+        .into_iter()
+        .map(|(omega, m)| (format!("w={omega:.1}"), m))
+        .collect();
+    println!("{}", effectiveness_table("Fig. 8: omega sweep", &rows));
+
+    let rows: Vec<(String, _)> = k_sweep(&community, &[20, 40, 60, 80], scale::SEED)
+        .into_iter()
+        .map(|(k, m)| (format!("k={k}"), m))
+        .collect();
+    println!("{}", effectiveness_table("Fig. 9: k sweep", &rows));
+
+    let rows: Vec<(String, _)> = compare_approaches(&community, scale::SEED)
+        .into_iter()
+        .map(|(l, m)| (l.to_string(), m))
+        .collect();
+    println!("{}", effectiveness_table("Fig. 10: approaches", &rows));
+
+    let rows: Vec<(String, _)> = update_effect(&community, scale::SEED)
+        .into_iter()
+        .map(|(months, m)| (format!("+{months} mo"), m))
+        .collect();
+    println!("{}", effectiveness_table("Fig. 11: updates effect", &rows));
+
+    let eff: Vec<_> = scale::EFFICIENCY_HOURS
+        .iter()
+        .map(|&hours| {
+            eprintln!("generating {hours}h community for Fig. 12…");
+            efficiency(&Community::generate(scale::config_at(hours)))
+        })
+        .collect();
+    println!("{}", efficiency_table("Fig. 12a/b: efficiency", &eff));
+
+    let cost = update_cost(&Community::generate(scale::config_at(200.0)));
+    print!("{}", update_cost_table("Fig. 12c: update cost (200h)", &cost));
+}

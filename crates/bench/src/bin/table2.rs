@@ -1,0 +1,16 @@
+//! Table 2: the five query topics and the derived source-video workload
+//! (two most-commented videos per topic, §5.1).
+use viderec_bench::scale;
+use viderec_eval::community::{Community, TABLE2_TOPICS};
+
+fn main() {
+    let community = Community::generate(scale::effectiveness_config());
+    println!("== Table 2: queries collected from the (synthetic) community ==");
+    println!("{:<10} {:<16} source videos", "query id", "description");
+    let queries = community.query_videos();
+    for (t, label) in TABLE2_TOPICS.iter().enumerate() {
+        let sources: Vec<String> =
+            queries[2 * t..2 * t + 2].iter().map(|v| v.to_string()).collect();
+        println!("q{:<9} {:<16} {}", t + 1, label, sources.join(", "));
+    }
+}

@@ -1,0 +1,258 @@
+//! AFFRF — the multimodal relevance-feedback baseline of Yang et al.
+//! (CIVR'07 [33]), one of the two competitors in Fig. 10.
+//!
+//! AFFRF scores videos by an *attention-fused* combination of textual, visual
+//! and aural relevance and refines the result with a round of (pseudo)
+//! relevance feedback. The paper's implementation works on real low-level
+//! features; ours runs on the synthetic global features the community
+//! simulator attaches to every video (see DESIGN.md substitutions) — global
+//! descriptors that degrade under editing, which is exactly the weakness
+//! §5.3.4 attributes to AFFRF.
+//!
+//! * modality similarity — cosine;
+//! * attention fusion — modality weights proportional to how sharply that
+//!   modality separates its best match from the field (a max-minus-mean
+//!   attention signal), re-normalised per query;
+//! * relevance feedback — the top-`R` of the fused round form an expanded
+//!   query (feature centroid); final score averages both rounds.
+
+use crate::recommender::Scored;
+use viderec_video::VideoId;
+
+/// Synthetic global multimodal features of one video.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultimodalFeatures {
+    /// Bag-of-terms style textual embedding.
+    pub text: Vec<f64>,
+    /// Global visual descriptor (e.g. colour-histogram-like).
+    pub visual: Vec<f64>,
+    /// Global aural descriptor.
+    pub aural: Vec<f64>,
+}
+
+impl MultimodalFeatures {
+    fn modality(&self, m: usize) -> &[f64] {
+        match m {
+            0 => &self.text,
+            1 => &self.visual,
+            _ => &self.aural,
+        }
+    }
+}
+
+/// The AFFRF recommender.
+#[derive(Debug, Clone)]
+pub struct AffrfRecommender {
+    entries: Vec<(VideoId, MultimodalFeatures)>,
+    /// Size of the pseudo-feedback set `R`.
+    feedback_top: usize,
+}
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "feature dimensionality mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(-1.0, 1.0)
+    }
+}
+
+impl AffrfRecommender {
+    /// Builds the baseline over per-video features.
+    ///
+    /// # Panics
+    /// Panics if `entries` is empty or feature shapes are inconsistent.
+    pub fn new(entries: Vec<(VideoId, MultimodalFeatures)>) -> Self {
+        assert!(!entries.is_empty(), "AFFRF needs at least one video");
+        let shape = |f: &MultimodalFeatures| (f.text.len(), f.visual.len(), f.aural.len());
+        let first = shape(&entries[0].1);
+        assert!(
+            entries.iter().all(|(_, f)| shape(f) == first),
+            "inconsistent feature shapes"
+        );
+        Self { entries, feedback_top: 5 }
+    }
+
+    /// Sets the pseudo-feedback set size.
+    pub fn with_feedback_top(mut self, r: usize) -> Self {
+        self.feedback_top = r.max(1);
+        self
+    }
+
+    /// Number of indexed videos.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Attention-fused scores of every video against `query`.
+    fn fused_scores(&self, query: &MultimodalFeatures) -> Vec<f64> {
+        // Per-modality similarity table.
+        let sims: Vec<Vec<f64>> = (0..3)
+            .map(|m| {
+                self.entries
+                    .iter()
+                    .map(|(_, f)| cosine(query.modality(m), f.modality(m)))
+                    .collect()
+            })
+            .collect();
+        // Attention: a modality whose best match stands out from its mean
+        // carries more information for this query.
+        let mut attention: Vec<f64> = sims
+            .iter()
+            .map(|s| {
+                let best = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mean = s.iter().sum::<f64>() / s.len() as f64;
+                (best - mean).max(1e-6)
+            })
+            .collect();
+        let total: f64 = attention.iter().sum();
+        attention.iter_mut().for_each(|a| *a /= total);
+
+        (0..self.entries.len())
+            .map(|i| (0..3).map(|m| attention[m] * sims[m][i]).sum())
+            .collect()
+    }
+
+    /// Top-`top_k` videos for `query`, excluding `exclude`, with one round of
+    /// pseudo relevance feedback.
+    pub fn recommend(
+        &self,
+        query: &MultimodalFeatures,
+        top_k: usize,
+        exclude: &[VideoId],
+    ) -> Vec<Scored> {
+        if top_k == 0 {
+            return Vec::new();
+        }
+        let initial = self.fused_scores(query);
+
+        // Pseudo feedback: centroid of the initial top-R features.
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by(|&a, &b| initial[b].total_cmp(&initial[a]));
+        let top_r = &order[..self.feedback_top.min(order.len())];
+        let centroid = MultimodalFeatures {
+            text: mean_of(top_r.iter().map(|&i| self.entries[i].1.text.as_slice())),
+            visual: mean_of(top_r.iter().map(|&i| self.entries[i].1.visual.as_slice())),
+            aural: mean_of(top_r.iter().map(|&i| self.entries[i].1.aural.as_slice())),
+        };
+        let refined = self.fused_scores(&centroid);
+
+        let mut scored: Vec<Scored> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (id, _))| !exclude.contains(id))
+            .map(|(i, (id, _))| Scored { video: *id, score: 0.5 * initial[i] + 0.5 * refined[i] })
+            .collect();
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.video.cmp(&b.video)));
+        scored.truncate(top_k);
+        scored
+    }
+}
+
+fn mean_of<'a>(rows: impl Iterator<Item = &'a [f64]>) -> Vec<f64> {
+    let mut acc: Vec<f64> = Vec::new();
+    let mut n = 0usize;
+    for row in rows {
+        if acc.is_empty() {
+            acc = vec![0.0; row.len()];
+        }
+        for (a, &x) in acc.iter_mut().zip(row) {
+            *a += x;
+        }
+        n += 1;
+    }
+    if n > 0 {
+        acc.iter_mut().for_each(|a| *a /= n as f64);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(base: f64, noise: f64) -> MultimodalFeatures {
+        MultimodalFeatures {
+            text: vec![base, 1.0 - base, noise],
+            visual: vec![base * 2.0, 0.5, noise],
+            aural: vec![0.1, base, noise],
+        }
+    }
+
+    fn index() -> AffrfRecommender {
+        AffrfRecommender::new(vec![
+            (VideoId(0), feat(0.9, 0.0)),
+            (VideoId(1), feat(0.85, 0.1)),
+            (VideoId(2), feat(0.1, 0.9)),
+            (VideoId(3), feat(0.15, 0.8)),
+        ])
+        .with_feedback_top(2)
+    }
+
+    #[test]
+    fn similar_features_rank_first() {
+        let r = index();
+        let recs = r.recommend(&feat(0.88, 0.05), 4, &[]);
+        let top2: Vec<VideoId> = recs[..2].iter().map(|s| s.video).collect();
+        assert!(top2.contains(&VideoId(0)) && top2.contains(&VideoId(1)), "{top2:?}");
+    }
+
+    #[test]
+    fn exclusion_respected() {
+        let r = index();
+        let recs = r.recommend(&feat(0.9, 0.0), 4, &[VideoId(0)]);
+        assert!(recs.iter().all(|s| s.video != VideoId(0)));
+        assert_eq!(recs.len(), 3);
+    }
+
+    #[test]
+    fn feedback_pulls_in_cluster_members() {
+        // Query closest to video 0; feedback centroid of {0, 1} should keep
+        // the cluster on top.
+        let r = index();
+        let recs = r.recommend(&feat(0.9, 0.0), 2, &[]);
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].score >= recs[1].score);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_zero() {
+        assert!(index().recommend(&feat(0.5, 0.5), 0, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature shapes")]
+    fn ragged_features_rejected() {
+        AffrfRecommender::new(vec![
+            (VideoId(0), feat(0.5, 0.5)),
+            (
+                VideoId(1),
+                MultimodalFeatures { text: vec![0.0], visual: vec![], aural: vec![] },
+            ),
+        ]);
+    }
+
+    #[test]
+    fn len_accessors() {
+        let r = index();
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Recommender configuration: the paper's tunables with their §5 optima as
+//! defaults.
+
+use viderec_emd::MatchingConfig;
+use viderec_index::LsbConfig;
+use viderec_signature::SignatureConfig;
+
+/// All knobs of the recommendation system.
+#[derive(Debug, Clone)]
+pub struct RecommenderConfig {
+    /// Fusion weight `ω` of Eq. 9 — the social share of the final relevance.
+    /// §5.3.2 finds the optimum at 0.7.
+    pub omega: f64,
+    /// Number of sub-communities `k` for SAR. §5.3.3 finds effectiveness
+    /// saturating at 60.
+    pub k_subcommunities: usize,
+    /// Signature extraction pipeline settings.
+    pub signature: SignatureConfig,
+    /// `κJ` matching threshold.
+    pub matching: MatchingConfig,
+    /// LSB forest parameters for the content index.
+    pub lsb: LsbConfig,
+    /// CDF-embedding dimensionality for signature points.
+    pub embed_dims: usize,
+    /// Candidates pulled per query signature from the LSB forest, and cap on
+    /// social candidates, before FJ refinement.
+    pub candidate_limit: usize,
+    /// Buckets of the chained user-name hash table.
+    pub hash_buckets: usize,
+}
+
+impl Default for RecommenderConfig {
+    fn default() -> Self {
+        Self {
+            omega: 0.7,
+            k_subcommunities: 60,
+            signature: SignatureConfig::default(),
+            matching: MatchingConfig::default(),
+            lsb: LsbConfig::default(),
+            embed_dims: 32,
+            candidate_limit: 64,
+            hash_buckets: 1 << 12,
+        }
+    }
+}
+
+impl RecommenderConfig {
+    /// Validates ranges; called by the recommender constructor.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.omega) {
+            return Err(format!("omega {} outside [0, 1]", self.omega));
+        }
+        if self.k_subcommunities == 0 {
+            return Err("k_subcommunities must be positive".into());
+        }
+        if self.embed_dims < 2 {
+            return Err("embed_dims must be at least 2".into());
+        }
+        if self.candidate_limit == 0 {
+            return Err("candidate_limit must be positive".into());
+        }
+        if self.hash_buckets == 0 {
+            return Err("hash_buckets must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// A copy with a different fusion weight (the Fig. 8 sweep).
+    pub fn with_omega(mut self, omega: f64) -> Self {
+        self.omega = omega;
+        self
+    }
+
+    /// A copy with a different sub-community count (the Fig. 9 sweep).
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k_subcommunities = k;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_optima() {
+        let c = RecommenderConfig::default();
+        assert_eq!(c.omega, 0.7);
+        assert_eq!(c.k_subcommunities, 60);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = RecommenderConfig::default().with_omega(0.3).with_k(20);
+        assert_eq!(c.omega, 0.3);
+        assert_eq!(c.k_subcommunities, 20);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(RecommenderConfig::default().with_omega(1.5).validate().is_err());
+        assert!(RecommenderConfig::default().with_k(0).validate().is_err());
+        let mut c = RecommenderConfig::default();
+        c.embed_dims = 1;
+        assert!(c.validate().is_err());
+        let mut c = RecommenderConfig::default();
+        c.candidate_limit = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Corpus and query document types.
+
+use viderec_signature::SignatureSeries;
+use viderec_video::VideoId;
+
+/// One video as ingested into the recommender: its identity, its extracted
+/// cuboid signature series, and the names of its engaged users (owner +
+/// commenters — the raw material of the social descriptor).
+#[derive(Debug, Clone)]
+pub struct CorpusVideo {
+    /// The video's identity in the sharing community.
+    pub id: VideoId,
+    /// Content representation (built with
+    /// [`viderec_signature::SignatureBuilder`]).
+    pub series: SignatureSeries,
+    /// Registered names of the owner and every commenter.
+    pub users: Vec<String>,
+}
+
+/// A user-clicked query video `Q = (q_f, q_s)` (§3): its visual feature
+/// (signature series) and its social connection (user names). The clicking
+/// *viewer* stays anonymous — only the video's own social context is used.
+#[derive(Debug, Clone)]
+pub struct QueryVideo {
+    /// `q_f` — the signature series of the clicked video.
+    pub series: SignatureSeries,
+    /// `q_s` — the engaged users of the clicked video.
+    pub users: Vec<String>,
+}
+
+impl QueryVideo {
+    /// Builds a query from a corpus video (the common case: the user clicked
+    /// something already in the community).
+    pub fn from_corpus(video: &CorpusVideo) -> Self {
+        Self { series: video.series.clone(), users: video.users.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_from_corpus_copies_both_modalities() {
+        let cv = CorpusVideo {
+            id: VideoId(3),
+            series: SignatureSeries::default(),
+            users: vec!["a".into(), "b".into()],
+        };
+        let q = QueryVideo::from_corpus(&cv);
+        assert_eq!(q.users, cv.users);
+        assert_eq!(q.series.len(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Error types of the recommender.
+
+/// Errors surfaced by recommender construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecError {
+    /// The corpus has no videos.
+    EmptyCorpus,
+    /// A configuration field is out of range.
+    BadConfig(String),
+    /// Two corpus videos share one id.
+    DuplicateVideo(u64),
+    /// The requested strategy needs data the corpus lacks (e.g. AFFRF
+    /// features).
+    MissingData(&'static str),
+}
+
+impl std::fmt::Display for RecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecError::EmptyCorpus => write!(f, "corpus contains no videos"),
+            RecError::BadConfig(why) => write!(f, "bad configuration: {why}"),
+            RecError::DuplicateVideo(id) => write!(f, "duplicate video id v{id}"),
+            RecError::MissingData(what) => write!(f, "missing data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(RecError::EmptyCorpus.to_string().contains("no videos"));
+        assert!(RecError::BadConfig("omega".into()).to_string().contains("omega"));
+        assert!(RecError::DuplicateVideo(7).to_string().contains("v7"));
+        assert!(RecError::MissingData("features").to_string().contains("features"));
+    }
+}

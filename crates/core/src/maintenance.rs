@@ -1,0 +1,339 @@
+//! Social-updates wiring: Fig. 5 applied to the recommender's live indexes.
+//!
+//! A [`SocialUpdate`] is one new comment `(video, user)`. Applying a batch:
+//!
+//! 1. new users are interned; a comment by user `u` on video `v` adds a `+1`
+//!    UIG connection between `u` and every user already on `v` (the edge
+//!    weight *is* the common-video count);
+//! 2. [`viderec_social::SocialUpdatesMaintenance`] merges/splits
+//!    sub-communities per Fig. 5;
+//! 3. only the *affected* structures are rewritten: descriptor vectors of
+//!    videos that got comments or contain reassigned users, their inverted
+//!    postings, and the chained-hash entries of reassigned users — the
+//!    incremental strategy §4.2.5 credits for the controlled update cost;
+//! 4. the Eq. 8 cost model prices the run from the measured counters.
+
+use crate::recommender::{vectorize, Recommender};
+use viderec_social::cost::CostModel;
+use viderec_social::update::MaintenanceReport;
+use viderec_social::UserId;
+use viderec_video::VideoId;
+
+/// One new comment event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocialUpdate {
+    /// The commented video.
+    pub video: VideoId,
+    /// The commenting user's registered name.
+    pub user: String,
+}
+
+/// Outcome of one maintenance batch.
+#[derive(Debug, Clone)]
+pub struct UpdateSummary {
+    /// What the Fig. 5 algorithm did.
+    pub report: MaintenanceReport,
+    /// Videos whose descriptor vectors were rewritten.
+    pub videos_rewritten: usize,
+    /// New comment events actually applied (unknown videos are skipped).
+    pub comments_applied: usize,
+    /// Eq. 8 estimate of the run, in model seconds.
+    pub estimated_seconds: f64,
+    /// Live sub-communities after the run.
+    pub communities: usize,
+}
+
+impl Recommender {
+    /// Applies one period of social updates (Fig. 5) incrementally.
+    pub fn apply_social_updates(&mut self, updates: &[SocialUpdate]) -> UpdateSummary {
+        // --- 1. ingest comments: descriptors + UIG connections ---
+        let mut connections: Vec<(UserId, UserId, u32)> = Vec::new();
+        let mut commented_videos: Vec<u32> = Vec::new();
+        let mut comments_applied = 0usize;
+        for update in updates {
+            let Some(&vidx) = self.by_id.get(&update.video) else {
+                continue; // comment on a video outside the corpus
+            };
+            let user = self.registry.intern(&update.user);
+            let video = &mut self.videos[vidx];
+            if !video.descriptor.insert(user) {
+                continue; // repeat comment: no new interest connection
+            }
+            comments_applied += 1;
+            video.user_names.push(update.user.clone());
+            for other in video.descriptor.iter() {
+                if other != user {
+                    connections.push((user, other, 1));
+                }
+            }
+            self.videos_of_user.entry(user).or_default().push(vidx as u32);
+            commented_videos.push(vidx as u32);
+        }
+
+        // --- 2. Fig. 5 merge/split maintenance ---
+        let report = self.maintenance.apply_connections(&connections);
+
+        // --- 3. incremental index sync ---
+        // Splits may have appended community slots: grow vectors + inverted.
+        let slots = self.maintenance.num_slots();
+        while self.inverted.k() < slots {
+            self.inverted.push_community();
+        }
+        for video in &mut self.videos {
+            // Zero-extend to the new dimensionality; fresh slots hold no
+            // postings yet so no index change is implied.
+            video.vector.resize(slots, 0);
+        }
+
+        // Affected videos: commented ones plus every video containing a
+        // reassigned user.
+        let mut affected: Vec<u32> = commented_videos;
+        for user in &report.reassigned_users {
+            if let Some(list) = self.videos_of_user.get(user) {
+                affected.extend_from_slice(list);
+            }
+            // Chained hash follows the reassignment.
+            if user.index() < self.registry.len() {
+                let slot = self.maintenance.assignment_raw()[user.index()];
+                let name = self.registry.name(*user).to_owned();
+                self.chained.insert(&name, slot);
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+
+        let mut descriptor_dim_updates = 0usize;
+        for &vidx in &affected {
+            let video = &mut self.videos[vidx as usize];
+            let fresh = vectorize(self.maintenance.assignment_raw(), slots, &video.descriptor);
+            // Rewrite only changed dimensions and their postings.
+            for (c, &new) in fresh.iter().enumerate() {
+                let old = video.vector.get(c).copied().unwrap_or(0);
+                if old == new {
+                    continue;
+                }
+                descriptor_dim_updates += 1;
+                if old == 0 && new > 0 {
+                    self.inverted.add_posting(c, video.id);
+                } else if old > 0 && new == 0 {
+                    self.inverted.remove_posting(c, video.id);
+                }
+            }
+            video.vector = fresh;
+        }
+
+        // --- 4. price the run (Eq. 8) ---
+        let estimated_seconds =
+            CostModel::default().estimate(&report.counters, descriptor_dim_updates);
+
+        UpdateSummary {
+            report,
+            videos_rewritten: affected.len(),
+            comments_applied,
+            estimated_seconds,
+            communities: self.maintenance.live_communities(),
+        }
+    }
+
+    /// Ages every social connection by `amount` (§4.2.4's "connections may
+    /// become invalid"): UIG weights decay, communities that fall apart
+    /// split, and — like [`Self::apply_social_updates`] — only the affected
+    /// index structures are rewritten.
+    pub fn age_social_connections(&mut self, amount: u32) -> UpdateSummary {
+        let report = self.maintenance.age_connections(amount);
+        let slots = self.maintenance.num_slots();
+        while self.inverted.k() < slots {
+            self.inverted.push_community();
+        }
+        for video in &mut self.videos {
+            video.vector.resize(slots, 0);
+        }
+        let mut affected: Vec<u32> = report
+            .reassigned_users
+            .iter()
+            .flat_map(|u| self.videos_of_user.get(u).cloned().unwrap_or_default())
+            .collect();
+        for user in &report.reassigned_users {
+            if user.index() < self.registry.len() {
+                let slot = self.maintenance.assignment_raw()[user.index()];
+                let name = self.registry.name(*user).to_owned();
+                self.chained.insert(&name, slot);
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let mut descriptor_dim_updates = 0usize;
+        for &vidx in &affected {
+            let video = &mut self.videos[vidx as usize];
+            let fresh = vectorize(self.maintenance.assignment_raw(), slots, &video.descriptor);
+            for (c, &new) in fresh.iter().enumerate() {
+                let old = video.vector.get(c).copied().unwrap_or(0);
+                if old == new {
+                    continue;
+                }
+                descriptor_dim_updates += 1;
+                if old == 0 && new > 0 {
+                    self.inverted.add_posting(c, video.id);
+                } else if old > 0 && new == 0 {
+                    self.inverted.remove_posting(c, video.id);
+                }
+            }
+            video.vector = fresh;
+        }
+        let estimated_seconds =
+            CostModel::default().estimate(&report.counters, descriptor_dim_updates);
+        UpdateSummary {
+            report,
+            videos_rewritten: affected.len(),
+            comments_applied: 0,
+            estimated_seconds,
+            communities: self.maintenance.live_communities(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RecommenderConfig;
+    use crate::corpus::{CorpusVideo, QueryVideo};
+    use crate::relevance::Strategy;
+    use viderec_signature::SignatureBuilder;
+    use viderec_video::{SynthConfig, VideoSynthesizer};
+
+    fn corpus() -> Vec<CorpusVideo> {
+        let mut synth = VideoSynthesizer::new(SynthConfig::default(), 2, 600);
+        let builder = SignatureBuilder::default();
+        let users: Vec<Vec<&str>> = vec![
+            vec!["ann", "bob", "cal"],
+            vec!["ann", "bob", "dee"],
+            vec!["eve", "fay", "gus"],
+            vec!["eve", "fay", "hal"],
+        ];
+        (0..4)
+            .map(|i| {
+                let v = synth.generate(VideoId(i as u64), i / 2, 12.0);
+                CorpusVideo {
+                    id: v.id(),
+                    series: builder.build(&v),
+                    users: users[i].iter().map(|s| s.to_string()).collect(),
+                }
+            })
+            .collect()
+    }
+
+    fn cfg() -> RecommenderConfig {
+        RecommenderConfig { k_subcommunities: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn comment_updates_descriptor_vector_and_inverted_index() {
+        let mut r = Recommender::build(cfg(), corpus()).unwrap();
+        let before: Vec<u32> = r.vector_of(VideoId(0)).unwrap().to_vec();
+        let summary = r.apply_social_updates(&[SocialUpdate {
+            video: VideoId(0),
+            user: "eve".into(),
+        }]);
+        assert_eq!(summary.comments_applied, 1);
+        assert!(summary.videos_rewritten >= 1);
+        let after = r.vector_of(VideoId(0)).unwrap();
+        assert_eq!(
+            after.iter().sum::<u32>(),
+            before.iter().sum::<u32>() + 1,
+            "one more counted user"
+        );
+    }
+
+    #[test]
+    fn repeat_comments_are_idempotent() {
+        let mut r = Recommender::build(cfg(), corpus()).unwrap();
+        let u = SocialUpdate { video: VideoId(0), user: "ann".into() };
+        let summary = r.apply_social_updates(&[u.clone(), u]);
+        assert_eq!(summary.comments_applied, 0, "ann already engaged video 0");
+    }
+
+    #[test]
+    fn unknown_video_is_skipped() {
+        let mut r = Recommender::build(cfg(), corpus()).unwrap();
+        let summary = r.apply_social_updates(&[SocialUpdate {
+            video: VideoId(999),
+            user: "ann".into(),
+        }]);
+        assert_eq!(summary.comments_applied, 0);
+        assert_eq!(summary.videos_rewritten, 0);
+    }
+
+    #[test]
+    fn new_user_is_admitted_and_hashable() {
+        let mut r = Recommender::build(cfg(), corpus()).unwrap();
+        let users_before = r.num_users();
+        r.apply_social_updates(&[SocialUpdate { video: VideoId(2), user: "newbie".into() }]);
+        assert_eq!(r.num_users(), users_before + 1);
+        // The new user must be mapped by the SAR-H path.
+        let v = r.vectorize_by_hash(&["newbie".into()]);
+        assert_eq!(v.iter().sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn heavy_cross_comments_merge_then_split_restores_k() {
+        let mut r = Recommender::build(cfg(), corpus()).unwrap();
+        // Cross-community engagement heavy enough to beat the intra weight.
+        let mut batch = Vec::new();
+        for user in ["ann", "bob", "cal", "dee"] {
+            batch.push(SocialUpdate { video: VideoId(2), user: user.into() });
+            batch.push(SocialUpdate { video: VideoId(3), user: user.into() });
+        }
+        let summary = r.apply_social_updates(&batch);
+        assert!(summary.communities >= 2, "k must be restored");
+        assert!(summary.estimated_seconds >= 0.0);
+        // Vectors stay consistent with descriptors after the churn.
+        for id in 0..4u64 {
+            let vec_sum: u32 = r.vector_of(VideoId(id)).unwrap().iter().sum();
+            let desc_len = r.users_of(VideoId(id)).unwrap().len();
+            assert_eq!(vec_sum as usize, desc_len, "video {id}");
+        }
+    }
+
+    #[test]
+    fn aging_connections_keeps_indexes_consistent() {
+        let mut r = Recommender::build(cfg(), corpus()).unwrap();
+        let summary = r.age_social_connections(1);
+        assert_eq!(summary.comments_applied, 0);
+        // Vectors must always sum to descriptor sizes, aged or not.
+        for id in 0..4u64 {
+            let vec_sum: u32 = r.vector_of(VideoId(id)).unwrap().iter().sum();
+            let users = r.users_of(VideoId(id)).unwrap().len();
+            assert_eq!(vec_sum as usize, users);
+        }
+        // Aging hard enough isolates everyone; structures must survive.
+        let summary = r.age_social_connections(1000);
+        assert!(summary.communities >= 2);
+        let q = QueryVideo {
+            series: r.series_of(VideoId(0)).unwrap().clone(),
+            users: r.users_of(VideoId(0)).unwrap().to_vec(),
+        };
+        let recs = r.recommend(Strategy::CsfSarH, &q, 3);
+        assert!(!recs.is_empty());
+    }
+
+    #[test]
+    fn recommendations_stay_sane_after_updates() {
+        let mut r = Recommender::build(cfg(), corpus()).unwrap();
+        let q_users: Vec<String> = r.users_of(VideoId(1)).unwrap().to_vec();
+        let q = QueryVideo { series: r.series_of(VideoId(1)).unwrap().clone(), users: q_users };
+        for round in 0..5 {
+            let user = format!("late_user_{round}");
+            r.apply_social_updates(&[
+                SocialUpdate { video: VideoId(0), user: user.clone() },
+                SocialUpdate { video: VideoId(1), user },
+            ]);
+            let recs = r.recommend_excluding(Strategy::CsfSarH, &q, 2, &[VideoId(1)]);
+            assert!(!recs.is_empty());
+            assert_eq!(
+                recs[0].video,
+                VideoId(0),
+                "round {round}: social twin must stay on top"
+            );
+        }
+    }
+}

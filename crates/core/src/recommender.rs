@@ -1,0 +1,620 @@
+//! The recommender: corpus ingestion, the five strategies, and the Fig. 6
+//! index-backed KNN search.
+//!
+//! Cost-model fidelity matters here because Fig. 12 measures wall time:
+//!
+//! * **CSF** computes exact `sJ` the way the paper's unoptimised baseline
+//!   does — nested string comparisons over the raw user-name sets (§4.2.1
+//!   calls this "prohibitively expensive"), plus a full `κJ` scan;
+//! * **CSF-SAR** replaces `sJ` with the linear `s̃J` over vectors, but maps
+//!   each query user to its sub-community by scanning the user dictionary;
+//! * **CSF-SAR-H** maps user names through the chained hash table and pulls
+//!   candidates from the inverted files and the LSB forest instead of
+//!   scanning, exactly as in Fig. 6;
+//! * **CR** is content-only with the same LSB candidate retrieval (the
+//!   optimisation of [35]), which is why Fig. 12b finds CSF-SAR-H ≈ CR.
+//!
+//! Descriptor vectors are dimensioned by the maintenance state's *community
+//! slots* (stable indices; merges empty a slot, splits append one), so the
+//! Fig. 5 update wiring in [`crate::maintenance`] can rewrite only affected
+//! dimensions.
+
+use crate::config::RecommenderConfig;
+use crate::corpus::{CorpusVideo, QueryVideo};
+use crate::errors::RecError;
+use crate::relevance::{strategy_score, Strategy};
+use std::collections::{HashMap, HashSet};
+use viderec_emd::CdfEmbedder;
+use viderec_index::{ChainedHashTable, InvertedIndex, LsbForest};
+use viderec_signature::{kappa_j_series_pruned as kappa_j_series, SignatureSeries};
+use viderec_social::{
+    SocialDescriptor, SocialUpdatesMaintenance, UserId, UserInterestGraph, UserRegistry,
+};
+use viderec_video::VideoId;
+
+/// A recommendation: a video and its relevance score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scored {
+    /// The recommended video.
+    pub video: VideoId,
+    /// Its strategy-specific relevance to the query.
+    pub score: f64,
+}
+
+pub(crate) struct StoredVideo {
+    pub(crate) id: VideoId,
+    pub(crate) series: SignatureSeries,
+    pub(crate) descriptor: SocialDescriptor,
+    /// Raw user names, kept for the unoptimised exact-`sJ` path.
+    pub(crate) user_names: Vec<String>,
+    /// SAR histogram over the community slots.
+    pub(crate) vector: Vec<u32>,
+}
+
+/// The content-social video recommender.
+pub struct Recommender {
+    cfg: RecommenderConfig,
+    pub(crate) registry: UserRegistry,
+    pub(crate) videos: Vec<StoredVideo>,
+    pub(crate) by_id: HashMap<VideoId, usize>,
+    /// Inverse engagement index: user → indices of videos they engaged with.
+    pub(crate) videos_of_user: HashMap<UserId, Vec<u32>>,
+    pub(crate) maintenance: SocialUpdatesMaintenance,
+    pub(crate) chained: ChainedHashTable<usize>,
+    pub(crate) inverted: InvertedIndex,
+    lsb: LsbForest<u32>,
+    embedder: CdfEmbedder,
+}
+
+impl Recommender {
+    /// Builds the recommender over a corpus: interns users, builds the UIG,
+    /// extracts `k` sub-communities, vectorises every descriptor, and
+    /// populates the chained hash table, inverted files and LSB forest.
+    pub fn build(
+        cfg: RecommenderConfig,
+        corpus: Vec<CorpusVideo>,
+    ) -> Result<Self, RecError> {
+        cfg.validate().map_err(RecError::BadConfig)?;
+        if corpus.is_empty() {
+            return Err(RecError::EmptyCorpus);
+        }
+
+        // --- social side: registry, descriptors, UIG ---
+        let mut registry = UserRegistry::new();
+        let mut descriptors = Vec::with_capacity(corpus.len());
+        for video in &corpus {
+            let desc: SocialDescriptor =
+                video.users.iter().map(|name| registry.intern(name)).collect();
+            descriptors.push(desc);
+        }
+        let mut graph = UserInterestGraph::new(registry.len().max(1));
+        for desc in &descriptors {
+            let ids: Vec<_> = desc.iter().collect();
+            graph.add_video(&ids);
+        }
+        let maintenance = SocialUpdatesMaintenance::new(graph, cfg.k_subcommunities);
+        let slots = maintenance.num_slots();
+
+        // Chained hash table: user name → community slot (Fig. 4).
+        let mut chained = ChainedHashTable::new(cfg.hash_buckets);
+        for (id, name) in registry.iter() {
+            if let Some(&c) = maintenance.assignment_raw().get(id.index()) {
+                chained.insert(name, c);
+            }
+        }
+
+        // --- per-video records + inverted files + LSB forest ---
+        let mut inverted = InvertedIndex::new(slots);
+        let mut by_id = HashMap::with_capacity(corpus.len());
+        let mut videos_of_user: HashMap<UserId, Vec<u32>> = HashMap::new();
+        let mut videos = Vec::with_capacity(corpus.len());
+        let embedder = CdfEmbedder::for_intensity_deltas(cfg.embed_dims);
+        let mut lsb = LsbForest::new(cfg.lsb, cfg.embed_dims);
+
+        for (idx, (video, descriptor)) in corpus.into_iter().zip(descriptors).enumerate() {
+            if by_id.insert(video.id, idx).is_some() {
+                return Err(RecError::DuplicateVideo(video.id.0));
+            }
+            let vector = vectorize(maintenance.assignment_raw(), slots, &descriptor);
+            inverted.add_video(video.id, &vector);
+            for user in descriptor.iter() {
+                videos_of_user.entry(user).or_default().push(idx as u32);
+            }
+            for sig in video.series.signatures() {
+                lsb.insert(&embedder.embed(&sig.as_pairs()), idx as u32);
+            }
+            videos.push(StoredVideo {
+                id: video.id,
+                series: video.series,
+                descriptor,
+                user_names: video.users,
+                vector,
+            });
+        }
+
+        Ok(Self {
+            cfg,
+            registry,
+            videos,
+            by_id,
+            videos_of_user,
+            maintenance,
+            chained,
+            inverted,
+            lsb,
+            embedder,
+        })
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &RecommenderConfig {
+        &self.cfg
+    }
+
+    /// Number of indexed videos.
+    pub fn num_videos(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// Number of live sub-communities (may differ from the configured `k`
+    /// when the UIG cannot support it).
+    pub fn live_communities(&self) -> usize {
+        self.maintenance.live_communities()
+    }
+
+    /// Number of community slots = descriptor vector dimensionality.
+    pub fn community_slots(&self) -> usize {
+        self.maintenance.num_slots()
+    }
+
+    /// Number of registered users.
+    pub fn num_users(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// The signature series of an indexed video (test/eval support).
+    pub fn series_of(&self, id: VideoId) -> Option<&SignatureSeries> {
+        self.by_id.get(&id).map(|&i| &self.videos[i].series)
+    }
+
+    /// The SAR vector of an indexed video (test/eval support).
+    pub fn vector_of(&self, id: VideoId) -> Option<&[u32]> {
+        self.by_id.get(&id).map(|&i| self.videos[i].vector.as_slice())
+    }
+
+    /// The engaged user names of an indexed video (test/eval support).
+    pub fn users_of(&self, id: VideoId) -> Option<&[String]> {
+        self.by_id.get(&id).map(|&i| self.videos[i].user_names.as_slice())
+    }
+
+    /// Top-`top_k` recommendations for a clicked video under `strategy`.
+    pub fn recommend(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        top_k: usize,
+    ) -> Vec<Scored> {
+        self.recommend_excluding(strategy, query, top_k, &[])
+    }
+
+    /// Like [`Self::recommend`] but never returns the listed videos
+    /// (typically the clicked video itself).
+    pub fn recommend_excluding(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        top_k: usize,
+        exclude: &[VideoId],
+    ) -> Vec<Scored> {
+        if top_k == 0 {
+            return Vec::new();
+        }
+        let excluded: HashSet<VideoId> = exclude.iter().copied().collect();
+        let mut scored = match strategy {
+            Strategy::Cr => self.score_indexed(query, strategy),
+            Strategy::Sr | Strategy::Csf => self.score_full_exact(query, strategy),
+            Strategy::CsfSar => self.score_full_sar(query, strategy),
+            Strategy::CsfSarH => self.score_indexed(query, strategy),
+        };
+        scored.retain(|s| !excluded.contains(&s.video));
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.video.cmp(&b.video)));
+        scored.truncate(top_k);
+        scored
+    }
+
+    /// Full-scan `(video, κJ, exact sJ)` components for every corpus video —
+    /// evaluation support for the ω sweep (Fig. 8) and the strategy
+    /// comparison (Fig. 10), which refuse all strategies from one component
+    /// table.
+    pub fn score_components(&self, query: &QueryVideo) -> Vec<(VideoId, f64, f64)> {
+        self.videos
+            .iter()
+            .map(|v| {
+                (
+                    v.id,
+                    kappa_j_series(&query.series, &v.series, self.cfg.matching),
+                    exact_sj_strings(&query.users, &v.user_names),
+                )
+            })
+            .collect()
+    }
+
+    /// Like [`Self::score_components`] but with the SAR social similarity —
+    /// evaluation support for the k sweep (Fig. 9).
+    pub fn score_components_sar(&self, query: &QueryVideo) -> Vec<(VideoId, f64, f64)> {
+        let qvec = self.vectorize_by_hash(&query.users);
+        self.videos
+            .iter()
+            .map(|v| {
+                (
+                    v.id,
+                    kappa_j_series(&query.series, &v.series, self.cfg.matching),
+                    viderec_social::sar_similarity(&qvec, &v.vector),
+                )
+            })
+            .collect()
+    }
+
+    // ---------- exact paths ----------
+
+    /// Full scan with exact string-set `sJ` (the unoptimised CSF / SR of
+    /// Fig. 12a).
+    fn score_full_exact(&self, query: &QueryVideo, strategy: Strategy) -> Vec<Scored> {
+        self.videos
+            .iter()
+            .map(|v| {
+                let kappa = if strategy.uses_content() {
+                    kappa_j_series(&query.series, &v.series, self.cfg.matching)
+                } else {
+                    0.0
+                };
+                let sj = exact_sj_strings(&query.users, &v.user_names);
+                Scored {
+                    video: v.id,
+                    score: strategy_score(strategy, self.cfg.omega, kappa, sj),
+                }
+            })
+            .collect()
+    }
+
+    /// Full scan with SAR social similarity; user → sub-community mapping via
+    /// a registry *scan* (no hash), pricing the CSF-SAR point of Fig. 12a.
+    fn score_full_sar(&self, query: &QueryVideo, strategy: Strategy) -> Vec<Scored> {
+        let qvec = self.vectorize_by_scan(&query.users);
+        self.videos
+            .iter()
+            .map(|v| {
+                let kappa = kappa_j_series(&query.series, &v.series, self.cfg.matching);
+                let sj = viderec_social::sar_similarity(&qvec, &v.vector);
+                Scored {
+                    video: v.id,
+                    score: strategy_score(strategy, self.cfg.omega, kappa, sj),
+                }
+            })
+            .collect()
+    }
+
+    // ---------- indexed path (Fig. 6) ----------
+
+    /// Candidate-based scoring: social candidates from the inverted files,
+    /// content candidates from the LSB forest, FJ refinement on the union.
+    /// Used by CSF-SAR-H and (content side only) CR.
+    fn score_indexed(&self, query: &QueryVideo, strategy: Strategy) -> Vec<Scored> {
+        let mut candidates: HashSet<u32> = HashSet::new();
+
+        // Lines 1–3 of Fig. 6: vectorise the query socially via the chained
+        // hash table and pull ranked social candidates.
+        let qvec = if strategy.uses_social() {
+            let qvec = self.vectorize_by_hash(&query.users);
+            for video in self
+                .inverted
+                .candidates(&qvec)
+                .into_iter()
+                .take(self.cfg.candidate_limit)
+            {
+                if let Some(&idx) = self.by_id.get(&video) {
+                    candidates.insert(idx as u32);
+                }
+            }
+            qvec
+        } else {
+            vec![0; self.community_slots()]
+        };
+
+        // Lines 5–6: per query signature, pull the entries with the next
+        // longest common prefix from the LSB forest.
+        if strategy.uses_content() {
+            for sig in query.series.signatures() {
+                let point = self.embedder.embed(&sig.as_pairs());
+                for cand in self.lsb.query(&point, self.cfg.candidate_limit) {
+                    candidates.insert(cand.payload);
+                }
+            }
+        }
+
+        // Lines 7–10: FJ refinement of the candidate set.
+        candidates
+            .into_iter()
+            .map(|idx| {
+                let v = &self.videos[idx as usize];
+                let kappa = if strategy.uses_content() {
+                    kappa_j_series(&query.series, &v.series, self.cfg.matching)
+                } else {
+                    0.0
+                };
+                let sj = if strategy.uses_social() {
+                    viderec_social::sar_similarity(&qvec, &v.vector)
+                } else {
+                    0.0
+                };
+                Scored {
+                    video: v.id,
+                    score: strategy_score(strategy, self.cfg.omega, kappa, sj),
+                }
+            })
+            .collect()
+    }
+
+    // ---------- query vectorisation paths ----------
+
+    /// SAR without hashing: find each user by scanning the registry, then
+    /// look up its community slot. Deliberately linear in the user count —
+    /// this is the cost the chained hash removes.
+    fn vectorize_by_scan(&self, users: &[String]) -> Vec<u32> {
+        let mut v = vec![0u32; self.community_slots()];
+        for name in users {
+            let found = self
+                .registry
+                .iter()
+                .find(|(_, n)| *n == name.as_str())
+                .map(|(id, _)| id);
+            if let Some(id) = found {
+                if let Some(&c) = self.maintenance.assignment_raw().get(id.index()) {
+                    v[c] += 1;
+                }
+            }
+        }
+        v
+    }
+
+    /// SAR-H: O(1 + η) chained-hash mapping per user name (§4.2.3).
+    pub(crate) fn vectorize_by_hash(&self, users: &[String]) -> Vec<u32> {
+        let mut v = vec![0u32; self.community_slots()];
+        for name in users {
+            if let Some(&c) = self.chained.get(name) {
+                if c < v.len() {
+                    v[c] += 1;
+                }
+            }
+        }
+        v
+    }
+}
+
+/// Vectorises a descriptor against a raw slot assignment.
+pub(crate) fn vectorize(
+    assignment: &[usize],
+    slots: usize,
+    descriptor: &SocialDescriptor,
+) -> Vec<u32> {
+    let mut v = vec![0u32; slots];
+    for user in descriptor.iter() {
+        if let Some(&c) = assignment.get(user.index()) {
+            v[c] += 1;
+        }
+    }
+    v
+}
+
+/// Exact `sJ` over raw user-name sets with nested string comparison — the
+/// quadratic cost §4.2.1 attributes to the unoptimised measure. Duplicate
+/// names in either list are counted once (set semantics).
+pub(crate) fn exact_sj_strings(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    // Set-ify by skipping earlier duplicates (still via string comparison to
+    // keep the cost model honest).
+    let is_first = |list: &[String], i: usize| !list[..i].contains(&list[i]);
+    let mut size_a = 0usize;
+    let mut inter = 0usize;
+    for i in 0..a.len() {
+        if !is_first(a, i) {
+            continue;
+        }
+        size_a += 1;
+        if b.contains(&a[i]) {
+            inter += 1;
+        }
+    }
+    let size_b = (0..b.len()).filter(|&j| is_first(b, j)).count();
+    let union = size_a + size_b - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viderec_signature::SignatureBuilder;
+    use viderec_video::{SynthConfig, Transform, Video, VideoSynthesizer};
+
+    fn small_corpus() -> (Vec<CorpusVideo>, Vec<Video>) {
+        // Topic 0: videos 0,1; topic 1: videos 2,3. User groups mirror the
+        // topics.
+        let mut synth = VideoSynthesizer::new(SynthConfig::default(), 5, 500);
+        let builder = SignatureBuilder::default();
+        // Topics 0 and 3 sit in clearly separated motion bands.
+        let raw: Vec<Video> = vec![
+            synth.generate(VideoId(0), 0, 15.0),
+            synth.generate(VideoId(1), 0, 15.0),
+            synth.generate(VideoId(2), 3, 15.0),
+            synth.generate(VideoId(3), 3, 15.0),
+        ];
+        let users: Vec<Vec<String>> = vec![
+            vec!["ann".into(), "bob".into(), "cal".into()],
+            vec!["ann".into(), "bob".into(), "dee".into()],
+            vec!["eve".into(), "fay".into(), "gus".into()],
+            vec!["eve".into(), "fay".into(), "hal".into()],
+        ];
+        let corpus = raw
+            .iter()
+            .zip(users)
+            .map(|(v, u)| CorpusVideo { id: v.id(), series: builder.build(v), users: u })
+            .collect();
+        (corpus, raw)
+    }
+
+    fn test_cfg() -> RecommenderConfig {
+        RecommenderConfig { k_subcommunities: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn build_validates() {
+        assert_eq!(
+            Recommender::build(test_cfg(), vec![]).err(),
+            Some(RecError::EmptyCorpus)
+        );
+        let (corpus, _) = small_corpus();
+        let mut dup = corpus.clone();
+        dup[1].id = VideoId(0);
+        assert_eq!(
+            Recommender::build(test_cfg(), dup).err(),
+            Some(RecError::DuplicateVideo(0))
+        );
+        let bad = test_cfg().with_omega(2.0);
+        assert!(matches!(
+            Recommender::build(bad, corpus).err(),
+            Some(RecError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn build_populates_structures() {
+        let (corpus, _) = small_corpus();
+        let r = Recommender::build(test_cfg(), corpus).unwrap();
+        assert_eq!(r.num_videos(), 4);
+        assert_eq!(r.num_users(), 8);
+        assert_eq!(r.live_communities(), 2);
+        assert!(r.series_of(VideoId(0)).is_some());
+        let v0 = r.vector_of(VideoId(0)).unwrap();
+        assert_eq!(v0.iter().sum::<u32>(), 3);
+        assert_eq!(r.users_of(VideoId(0)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn sr_recommends_social_neighbours() {
+        let (corpus, _) = small_corpus();
+        let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
+        let q = QueryVideo::from_corpus(&corpus[0]);
+        let recs = r.recommend_excluding(Strategy::Sr, &q, 2, &[VideoId(0)]);
+        assert_eq!(recs[0].video, VideoId(1), "shared commenters should win");
+        assert!(recs[0].score > recs[1].score);
+    }
+
+    #[test]
+    fn cr_recommends_content_neighbours() {
+        let (corpus, raw) = small_corpus();
+        // Edited copy of video 2 as the query — content matches topic 1.
+        let edited = Transform::BrightnessShift(8).apply(&raw[2]);
+        let series = SignatureBuilder::default().build(&edited);
+        let q = QueryVideo { series, users: vec![] };
+        let r = Recommender::build(test_cfg(), corpus).unwrap();
+        let recs = r.recommend(Strategy::Cr, &q, 4);
+        // Both topic-1 videos share the query's motion band; they must beat
+        // the topic-0 pair, with the edited source among them.
+        let top2: Vec<VideoId> = recs[..2].iter().map(|s| s.video).collect();
+        assert!(
+            top2.contains(&VideoId(2)) && top2.contains(&VideoId(3)),
+            "topic-1 videos not on top: {top2:?}"
+        );
+    }
+
+    #[test]
+    fn all_strategies_agree_query_is_its_own_best_match() {
+        let (corpus, _) = small_corpus();
+        let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
+        let q = QueryVideo::from_corpus(&corpus[3]);
+        for strategy in [
+            Strategy::Cr,
+            Strategy::Sr,
+            Strategy::Csf,
+            Strategy::CsfSar,
+            Strategy::CsfSarH,
+        ] {
+            let recs = r.recommend(strategy, &q, 4);
+            assert_eq!(
+                recs[0].video,
+                VideoId(3),
+                "{} should rank the clicked video first",
+                strategy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn excluding_removes_videos() {
+        let (corpus, _) = small_corpus();
+        let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
+        let q = QueryVideo::from_corpus(&corpus[0]);
+        let recs = r.recommend_excluding(Strategy::Csf, &q, 10, &[VideoId(0)]);
+        assert!(recs.iter().all(|s| s.video != VideoId(0)));
+        assert_eq!(recs.len(), 3);
+    }
+
+    #[test]
+    fn sar_vectorisation_paths_agree() {
+        let (corpus, _) = small_corpus();
+        let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
+        let users = corpus[1].users.clone();
+        assert_eq!(r.vectorize_by_scan(&users), r.vectorize_by_hash(&users));
+    }
+
+    #[test]
+    fn csf_sar_tracks_csf_ranking() {
+        let (corpus, _) = small_corpus();
+        let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
+        let q = QueryVideo::from_corpus(&corpus[2]);
+        let exact: Vec<VideoId> =
+            r.recommend(Strategy::Csf, &q, 4).into_iter().map(|s| s.video).collect();
+        let sar: Vec<VideoId> =
+            r.recommend(Strategy::CsfSar, &q, 4).into_iter().map(|s| s.video).collect();
+        assert_eq!(exact[0], sar[0], "top choice must survive the approximation");
+    }
+
+    #[test]
+    fn top_k_zero_and_oversized() {
+        let (corpus, _) = small_corpus();
+        let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
+        let q = QueryVideo::from_corpus(&corpus[0]);
+        assert!(r.recommend(Strategy::Csf, &q, 0).is_empty());
+        assert_eq!(r.recommend(Strategy::Csf, &q, 100).len(), 4);
+    }
+
+    #[test]
+    fn exact_sj_strings_behaviour() {
+        let a = vec!["x".to_string(), "y".into(), "x".into()];
+        let b = vec!["y".to_string(), "z".into()];
+        // sets {x, y} and {y, z}: 1 / 3.
+        assert!((exact_sj_strings(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(exact_sj_strings(&[], &[]), 0.0);
+        assert_eq!(exact_sj_strings(&a, &[]), 0.0);
+        assert_eq!(exact_sj_strings(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn unknown_query_users_do_not_crash_any_path() {
+        let (corpus, _) = small_corpus();
+        let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
+        let q = QueryVideo {
+            series: corpus[0].series.clone(),
+            users: vec!["stranger1".into(), "stranger2".into()],
+        };
+        for strategy in [Strategy::Sr, Strategy::Csf, Strategy::CsfSar, Strategy::CsfSarH] {
+            let _ = r.recommend(strategy, &q, 3);
+        }
+    }
+}

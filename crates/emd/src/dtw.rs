@@ -1,0 +1,109 @@
+//! Dynamic Time Warping over signature series — baseline measure (2) of
+//! Fig. 7 (Chiu et al., "A time warping based approach for video copy
+//! detection").
+//!
+//! DTW aligns two sequences monotonically, tolerating local speed changes but
+//! — unlike `κJ` — enforcing the *global temporal order*, which is exactly
+//! why it loses to `κJ` under temporal sequence editing (§5.3.1).
+
+/// DTW distance between two sequences of lengths `n` and `m`, generic over
+/// the local element distance `d(i, j) ≥ 0`. Full `O(n·m)` dynamic program;
+/// signature series are short (tens of entries), so no band constraint is
+/// needed.
+///
+/// Returns `f64::INFINITY` if either sequence is empty (nothing aligns).
+pub fn dtw_distance(n: usize, m: usize, mut d: impl FnMut(usize, usize) -> f64) -> f64 {
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    // One-row DP: dp[j] = cost of aligning a[..=i] with b[..=j].
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 0..n {
+        cur[0] = f64::INFINITY;
+        for j in 0..m {
+            let cost = d(i, j);
+            debug_assert!(cost >= 0.0, "negative local distance");
+            let best = prev[j].min(prev[j + 1]).min(cur[j]);
+            cur[j + 1] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Converts a DTW distance into a similarity in `(0, 1]`, normalised by the
+/// alignment length so longer series are not penalised: `1 / (1 + d/(n+m))`.
+pub fn dtw_similarity(n: usize, m: usize, d: impl FnMut(usize, usize) -> f64) -> f64 {
+    let dist = dtw_distance(n, m, d);
+    if !dist.is_finite() {
+        return 0.0;
+    }
+    1.0 / (1.0 + dist / (n + m) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_dtw(a: &[f64], b: &[f64]) -> f64 {
+        dtw_distance(a.len(), b.len(), |i, j| (a[i] - b[j]).abs())
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(scalar_dtw(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn time_stretch_is_free() {
+        // DTW's defining property: repeating elements costs nothing.
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 2.0, 2.0, 3.0];
+        assert_eq!(scalar_dtw(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn reordering_is_punished() {
+        // Unlike κJ, DTW cannot undo a temporal swap.
+        let a = [0.0, 0.0, 9.0, 9.0];
+        let b = [9.0, 9.0, 0.0, 0.0];
+        assert!(scalar_dtw(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn single_elements() {
+        assert_eq!(scalar_dtw(&[3.0], &[5.0]), 2.0);
+    }
+
+    #[test]
+    fn empty_sequence_is_infinitely_far() {
+        assert_eq!(scalar_dtw(&[], &[1.0]), f64::INFINITY);
+        assert_eq!(dtw_similarity(0, 1, |_, _| 0.0), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [1.0, 5.0, 2.0];
+        let b = [2.0, 4.0];
+        assert_eq!(scalar_dtw(&a, &b), scalar_dtw(&b, &a));
+    }
+
+    #[test]
+    fn known_small_instance() {
+        // a = [0, 3], b = [1]: both of a's elements align to 1 → 1 + 2 = 3.
+        assert_eq!(scalar_dtw(&[0.0, 3.0], &[1.0]), 3.0);
+    }
+
+    #[test]
+    fn similarity_in_unit_interval() {
+        let a: [f64; 2] = [1.0, 2.0];
+        let b: [f64; 2] = [8.0, 9.0];
+        let s = dtw_similarity(2, 2, |i, j| (a[i] - b[j]).abs());
+        assert!(s > 0.0 && s < 1.0);
+        let s_same = dtw_similarity(2, 2, |i, j| (a[i] - a[j]).abs().min(0.0));
+        assert_eq!(s_same, 1.0);
+    }
+}

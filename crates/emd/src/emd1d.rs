@@ -1,0 +1,154 @@
+//! Closed-form EMD for scalar ground distance.
+//!
+//! The paper simplifies cuboid signatures so that "each `v` is a single
+//! value" (§4.1), making the ground distance `c_ij = |v_1i − v_2j|`. For that
+//! case EMD has the classic closed form
+//!
+//! ```text
+//! EMD(C₁, C₂) = ∫ |F₁(t) − F₂(t)| dt
+//! ```
+//!
+//! where `F₁`, `F₂` are the cumulative mass functions — computable with one
+//! merge sweep over the sorted cuboids in `O((m+n) log(m+n))`, against the
+//! simplex's polynomial pivoting. The agreement of the two is property-tested
+//! in `tests/emd_agreement.rs`.
+
+use crate::transport::EPS;
+
+/// Exact EMD between two normalised 1-D weighted point sets under ground
+/// distance `|x − y|`.
+///
+/// Each input is a slice of `(value, weight)` pairs; weights must be positive
+/// and each side must sum to 1 (within tolerance), matching Definition 1's
+/// "normalized total mass".
+///
+/// # Panics
+/// Panics if either side is empty, has non-positive weights, or is not
+/// normalised.
+pub fn emd_1d(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    validate(a, "first");
+    validate(b, "second");
+
+    // Sort indices by value.
+    let mut sa: Vec<usize> = (0..a.len()).collect();
+    let mut sb: Vec<usize> = (0..b.len()).collect();
+    sa.sort_by(|&x, &y| a[x].0.total_cmp(&a[y].0));
+    sb.sort_by(|&x, &y| b[x].0.total_cmp(&b[y].0));
+
+    // Merge sweep integrating |F_a(t) − F_b(t)| dt between consecutive
+    // breakpoints of the union of supports.
+    let mut ia = 0;
+    let mut ib = 0;
+    let mut cdf_a = 0.0f64;
+    let mut cdf_b = 0.0f64;
+    let mut prev_t = f64::NEG_INFINITY;
+    let mut total = 0.0;
+    while ia < sa.len() || ib < sb.len() {
+        let ta = if ia < sa.len() { a[sa[ia]].0 } else { f64::INFINITY };
+        let tb = if ib < sb.len() { b[sb[ib]].0 } else { f64::INFINITY };
+        let t = ta.min(tb);
+        if prev_t.is_finite() && t > prev_t {
+            total += (cdf_a - cdf_b).abs() * (t - prev_t);
+        }
+        // Absorb all points at exactly t from both sides.
+        while ia < sa.len() && a[sa[ia]].0 == t {
+            cdf_a += a[sa[ia]].1;
+            ia += 1;
+        }
+        while ib < sb.len() && b[sb[ib]].0 == t {
+            cdf_b += b[sb[ib]].1;
+            ib += 1;
+        }
+        prev_t = t;
+    }
+    total
+}
+
+fn validate(side: &[(f64, f64)], which: &str) {
+    assert!(!side.is_empty(), "{which} signature is empty");
+    assert!(
+        side.iter().all(|&(v, w)| v.is_finite() && w.is_finite() && w > 0.0),
+        "{which} signature has non-positive or non-finite entries"
+    );
+    let mass: f64 = side.iter().map(|&(_, w)| w).sum();
+    assert!(
+        (mass - 1.0).abs() <= 1e-6_f64.max(EPS),
+        "{which} signature mass {mass} is not normalised"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_emd() {
+        let a = vec![(1.0, 0.5), (3.0, 0.5)];
+        assert!(emd_1d(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_masses_distance_is_value_gap() {
+        let a = vec![(0.0, 1.0)];
+        let b = vec![(7.5, 1.0)];
+        assert!((emd_1d(&a, &b) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_mass_example() {
+        // Move 0.5 mass from 0 to 1 → EMD = 0.5.
+        let a = vec![(0.0, 1.0)];
+        let b = vec![(0.0, 0.5), (1.0, 0.5)];
+        assert!((emd_1d(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = vec![(0.0, 0.25), (2.0, 0.75)];
+        let b = vec![(1.0, 0.6), (5.0, 0.4)];
+        assert!((emd_1d(&a, &b) - emd_1d(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_shifts_emd_by_offset_for_point_masses() {
+        let a = vec![(2.0, 1.0)];
+        let b = vec![(2.0, 0.3), (4.0, 0.7)];
+        // EMD = 0.7 × 2.
+        assert!((emd_1d(&a, &b) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_on_samples() {
+        let a = vec![(0.0, 0.5), (1.0, 0.5)];
+        let b = vec![(2.0, 1.0)];
+        let c = vec![(0.5, 0.2), (3.0, 0.8)];
+        let (ab, bc, ac) = (emd_1d(&a, &b), emd_1d(&b, &c), emd_1d(&a, &c));
+        assert!(ac <= ab + bc + 1e-12);
+    }
+
+    #[test]
+    fn duplicate_values_merge_correctly() {
+        let a = vec![(1.0, 0.5), (1.0, 0.5)];
+        let b = vec![(1.0, 1.0)];
+        assert!(emd_1d(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let a = vec![(5.0, 0.5), (0.0, 0.5)];
+        let b = vec![(0.0, 0.5), (5.0, 0.5)];
+        assert!(emd_1d(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalised")]
+    fn unnormalised_rejected() {
+        emd_1d(&[(0.0, 0.7)], &[(0.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        emd_1d(&[], &[(0.0, 1.0)]);
+    }
+}

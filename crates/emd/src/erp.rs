@@ -1,0 +1,147 @@
+//! Edit distance with Real Penalty (ERP) — baseline measure (1) of Fig. 7
+//! (Chen & Ng, "On the marriage of Lp-norms and edit distance").
+//!
+//! ERP is an edit distance where a gap aligns against a fixed reference
+//! element `g`, which (unlike DTW) makes it a metric. Like DTW it enforces
+//! global temporal order, so it also degrades under the paper's temporal
+//! sequence editing.
+
+/// ERP distance between sequences of lengths `n` and `m`, generic over:
+///
+/// * `d(i, j)` — distance between `a[i]` and `b[j]`;
+/// * `ga(i)` — distance between `a[i]` and the gap element;
+/// * `gb(j)` — distance between `b[j]` and the gap element.
+///
+/// All must be non-negative. The distance of an empty sequence against a
+/// non-empty one is the total gap cost of the latter.
+pub fn erp_distance(
+    n: usize,
+    m: usize,
+    mut d: impl FnMut(usize, usize) -> f64,
+    mut ga: impl FnMut(usize) -> f64,
+    mut gb: impl FnMut(usize) -> f64,
+) -> f64 {
+    // dp[i][j] = ERP(a[..i], b[..j]), rolled into two rows.
+    let mut prev = vec![0.0f64; m + 1];
+    for j in 0..m {
+        prev[j + 1] = prev[j] + gb(j);
+    }
+    let mut cur = vec![0.0f64; m + 1];
+    for i in 0..n {
+        let gap_a = ga(i);
+        cur[0] = prev[0] + gap_a;
+        for j in 0..m {
+            let sub = prev[j] + d(i, j);
+            let del_a = prev[j + 1] + gap_a;
+            let del_b = cur[j] + gb(j);
+            cur[j + 1] = sub.min(del_a).min(del_b);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// ERP over scalar sequences with gap element `g` and distance `|x − y|`.
+pub fn erp_scalar(a: &[f64], b: &[f64], g: f64) -> f64 {
+    erp_distance(
+        a.len(),
+        b.len(),
+        |i, j| (a[i] - b[j]).abs(),
+        |i| (a[i] - g).abs(),
+        |j| (b[j] - g).abs(),
+    )
+}
+
+/// Converts an ERP distance into a similarity in `(0, 1]`, normalised by the
+/// combined length: `1 / (1 + d/(n+m))`.
+pub fn erp_similarity(
+    n: usize,
+    m: usize,
+    d: impl FnMut(usize, usize) -> f64,
+    ga: impl FnMut(usize) -> f64,
+    gb: impl FnMut(usize) -> f64,
+) -> f64 {
+    if n == 0 && m == 0 {
+        return 0.0;
+    }
+    let dist = erp_distance(n, m, d, ga, gb);
+    1.0 / (1.0 + dist / (n + m) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_zero() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(erp_scalar(&a, &a, 0.0), 0.0);
+    }
+
+    #[test]
+    fn against_empty_is_total_gap_cost() {
+        let a = [1.0, -2.0, 3.0];
+        assert_eq!(erp_scalar(&a, &[], 0.0), 6.0);
+        assert_eq!(erp_scalar(&[], &a, 0.0), 6.0);
+    }
+
+    #[test]
+    fn insertion_costs_gap_distance() {
+        // b has one extra element 5.0; with g = 0 the cheapest edit is a gap
+        // of cost 5.
+        let a = [1.0, 2.0];
+        let b = [1.0, 5.0, 2.0];
+        assert_eq!(erp_scalar(&a, &b, 0.0), 5.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [1.0, 4.0, 2.0];
+        let b = [2.0, 2.0];
+        assert_eq!(erp_scalar(&a, &b, 0.0), erp_scalar(&b, &a, 0.0));
+    }
+
+    #[test]
+    fn triangle_inequality_samples() {
+        // ERP is a metric; spot-check the triangle inequality.
+        let xs = [
+            vec![0.0, 1.0],
+            vec![2.0, 2.0, 2.0],
+            vec![5.0],
+            vec![1.0, 1.0, 0.0, 3.0],
+        ];
+        for a in &xs {
+            for b in &xs {
+                for c in &xs {
+                    let ab = erp_scalar(a, b, 0.0);
+                    let bc = erp_scalar(b, c, 0.0);
+                    let ac = erp_scalar(a, c, 0.0);
+                    assert!(ac <= ab + bc + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reordering_is_punished() {
+        // Values distinct from the gap element: a temporal swap forces real
+        // edit cost (deleting the out-of-order block and reinserting it).
+        let a = [1.0, 1.0, 9.0, 9.0];
+        let b = [9.0, 9.0, 1.0, 1.0];
+        assert!((erp_scalar(&a, &b, 0.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(erp_similarity(0, 0, |_, _| 0.0, |_| 0.0, |_| 0.0), 0.0);
+        let a: [f64; 2] = [1.0, 2.0];
+        let s = erp_similarity(
+            2,
+            2,
+            |i, j| (a[i] - a[j]).abs(),
+            |i| a[i],
+            |j| a[j],
+        );
+        assert!(s > 0.0 && s <= 1.0);
+    }
+}

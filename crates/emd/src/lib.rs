@@ -1,0 +1,45 @@
+//! # viderec-emd
+//!
+//! Earth Mover's Distance and the content-similarity measures of the paper,
+//! implemented from scratch (`repro_why`: EMD crates immature).
+//!
+//! * [`matrix::DenseMatrix`] — minimal dense matrix used for cost tables.
+//! * [`transport`] — the balanced transportation problem: north-west-corner
+//!   and Vogel initial solutions, plus an exact successive-shortest-paths
+//!   solver (the correctness reference).
+//! * [`simplex`] — the transportation simplex (MODI / u-v method), the
+//!   classic EMD solver of Rubner et al.; cross-validated against
+//!   [`transport::solve_ssp`] by property tests.
+//! * [`emd1d`] — the closed-form exact EMD for scalar ground distance
+//!   `|x − y|` (the paper simplifies cuboids to single values, so this is the
+//!   hot path).
+//! * [`emd`] — the user-facing [`emd::Emd`] entry points, Definition 1's
+//!   constraint checking, and `SimC = 1/(1+EMD)` (Eq. 3).
+//! * [`lower_bounds`] — cheap lower bounds used for filtering before exact
+//!   evaluation.
+//! * [`embed`] — the CDF embedding of 1-D EMD into L1, the vectorisation the
+//!   LSB-tree indexes (§4.4 embeds "EMD-metric into L1-norm space like
+//!   [35]").
+//! * [`measures`] — the extended Jaccard `κJ` over signature series (Eq. 4).
+//! * [`dtw`] / [`erp`] — the two baseline sequence measures of Fig. 7.
+
+#![warn(missing_docs)]
+
+pub mod dtw;
+pub mod embed;
+pub mod emd;
+pub mod emd1d;
+pub mod erp;
+pub mod lower_bounds;
+pub mod matrix;
+pub mod measures;
+pub mod simplex;
+pub mod transport;
+
+pub use crate::emd::{emd_scalar, sim_c, Emd, EmdError};
+pub use dtw::dtw_distance;
+pub use embed::CdfEmbedder;
+pub use emd1d::emd_1d;
+pub use erp::erp_distance;
+pub use matrix::DenseMatrix;
+pub use measures::{extended_jaccard, extended_jaccard_all_pairs, MatchingConfig};

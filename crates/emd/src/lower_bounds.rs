@@ -1,0 +1,137 @@
+//! Cheap lower bounds on EMD for candidate filtering.
+//!
+//! The LSH pipeline of §4.4 prunes most signature pairs, but the refinement
+//! step still evaluates EMD on the survivors; these O(m + n) lower bounds let
+//! the refinement skip pairs whose bound already exceeds the current pruning
+//! radius. Both are classic:
+//!
+//! * [`centroid_lower_bound`] — Rubner's LB: for ground distance `|x − y|`
+//!   and equal total mass, `|mean(C₁) − mean(C₂)| ≤ EMD(C₁, C₂)` (Jensen).
+//! * [`cdf_sample_lower_bound`] — a Riemann lower sum of `∫|F₁ − F₂|`: the
+//!   minimum of `|F₁ − F₂|` on each sampled interval times its width never
+//!   exceeds the integral.
+
+/// Weighted mean of a normalised `(value, weight)` set.
+fn mean(sig: &[(f64, f64)]) -> f64 {
+    sig.iter().map(|&(v, w)| v * w).sum()
+}
+
+/// Rubner's centroid lower bound: `|E[C₁] − E[C₂]| ≤ EMD(C₁, C₂)`.
+///
+/// Valid for scalar values with ground distance `|x − y|` and normalised
+/// masses (Definition 1's setting).
+pub fn centroid_lower_bound(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    (mean(a) - mean(b)).abs()
+}
+
+/// CDF-sample lower bound: samples both CDFs at `samples` uniform points over
+/// `[lo, hi]` and lower-sums `∫|F₁ − F₂|` by taking the interval minimum of
+/// the two endpoint gaps.
+///
+/// Tighter than the centroid bound when distributions cross; exact in the
+/// limit of dense sampling *only if* all mass lies within `[lo, hi]` — mass
+/// outside still yields a valid (looser) lower bound because the integrand is
+/// non-negative.
+pub fn cdf_sample_lower_bound(
+    a: &[(f64, f64)],
+    b: &[(f64, f64)],
+    lo: f64,
+    hi: f64,
+    samples: usize,
+) -> f64 {
+    assert!(samples >= 2, "need at least two samples");
+    assert!(hi > lo, "empty sampling domain");
+    let cdf = |sig: &[(f64, f64)], t: f64| -> f64 {
+        sig.iter().filter(|&&(v, _)| v <= t).map(|&(_, w)| w).sum()
+    };
+    let step = (hi - lo) / (samples - 1) as f64;
+    let mut prev_gap = (cdf(a, lo) - cdf(b, lo)).abs();
+    let mut total = 0.0;
+    for s in 1..samples {
+        let t = lo + step * s as f64;
+        let gap = (cdf(a, t) - cdf(b, t)).abs();
+        total += prev_gap.min(gap) * step;
+        prev_gap = gap;
+    }
+    total
+}
+
+/// The best (largest) of the available lower bounds.
+pub fn best_lower_bound(a: &[(f64, f64)], b: &[(f64, f64)], lo: f64, hi: f64) -> f64 {
+    centroid_lower_bound(a, b).max(cdf_sample_lower_bound(a, b, lo, hi, 32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emd1d::emd_1d;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sig(rng: &mut StdRng, n: usize) -> Vec<(f64, f64)> {
+        let mut ws: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let t: f64 = ws.iter().sum();
+        ws.iter_mut().for_each(|w| *w /= t);
+        ws.into_iter().map(|w| (rng.gen_range(-20.0..20.0), w)).collect()
+    }
+
+    #[test]
+    fn centroid_bound_never_exceeds_emd() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let na = rng.gen_range(1..8);
+            let a = random_sig(&mut rng, na);
+            let nb = rng.gen_range(1..8);
+            let b = random_sig(&mut rng, nb);
+            let lb = centroid_lower_bound(&a, &b);
+            let d = emd_1d(&a, &b);
+            assert!(lb <= d + 1e-9, "lb {lb} > emd {d}");
+        }
+    }
+
+    #[test]
+    fn cdf_bound_never_exceeds_emd() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let na = rng.gen_range(1..8);
+            let a = random_sig(&mut rng, na);
+            let nb = rng.gen_range(1..8);
+            let b = random_sig(&mut rng, nb);
+            let lb = cdf_sample_lower_bound(&a, &b, -25.0, 25.0, 64);
+            let d = emd_1d(&a, &b);
+            assert!(lb <= d + 1e-9, "lb {lb} > emd {d}");
+        }
+    }
+
+    #[test]
+    fn centroid_bound_tight_for_point_masses() {
+        let a = vec![(0.0, 1.0)];
+        let b = vec![(4.0, 1.0)];
+        assert!((centroid_lower_bound(&a, &b) - 4.0).abs() < 1e-12);
+        assert!((emd_1d(&a, &b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_bound_beats_centroid_when_means_coincide() {
+        // Symmetric distributions with equal means but different spread:
+        // centroid bound is 0, the CDF bound is strictly positive.
+        let a = vec![(-1.0, 0.5), (1.0, 0.5)];
+        let b = vec![(-5.0, 0.5), (5.0, 0.5)];
+        assert_eq!(centroid_lower_bound(&a, &b), 0.0);
+        let lb = cdf_sample_lower_bound(&a, &b, -6.0, 6.0, 128);
+        assert!(lb > 1.0, "got {lb}");
+        assert!(lb <= emd_1d(&a, &b) + 1e-9);
+    }
+
+    #[test]
+    fn best_bound_dominates_both() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let a = random_sig(&mut rng, 4);
+            let b = random_sig(&mut rng, 4);
+            let best = best_lower_bound(&a, &b, -25.0, 25.0);
+            assert!(best >= centroid_lower_bound(&a, &b) - 1e-12);
+            assert!(best <= emd_1d(&a, &b) + 1e-9);
+        }
+    }
+}

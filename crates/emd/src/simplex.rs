@@ -1,0 +1,236 @@
+//! The transportation simplex (MODI / u-v method).
+//!
+//! This is the classic exact EMD solver of Rubner et al.: start from a basic
+//! feasible solution (Vogel), compute node potentials from the basis tree,
+//! bring in the cell with the most negative reduced cost, pivot around the
+//! unique stepping-stone cycle, repeat until no reduced cost is negative.
+//!
+//! Degeneracy is handled by keeping zero-flow basic cells so the basis is
+//! always a spanning tree with `m + n − 1` cells; the leaving-cell tie-break
+//! picks the lowest-index candidate, which together with the iteration cap
+//! keeps the solver robust. Optimality is cross-validated against
+//! [`crate::transport::solve_ssp`] in this module's tests and by property
+//! tests in `tests/`.
+
+use crate::matrix::DenseMatrix;
+use crate::transport::{vogel, BasicSolution, TransportProblem, EPS};
+
+/// Outcome of [`solve_simplex`].
+#[derive(Debug, Clone)]
+pub struct SimplexSolution {
+    /// Optimal flow matrix.
+    pub flow: DenseMatrix,
+    /// Objective value `Σ c_ij f_ij`.
+    pub objective: f64,
+    /// Number of pivot iterations performed.
+    pub pivots: usize,
+}
+
+/// Solves the transportation problem to optimality starting from a Vogel
+/// basis. Returns the optimal flow, its objective, and the pivot count.
+pub fn solve_simplex(p: &TransportProblem) -> SimplexSolution {
+    let init = vogel(p);
+    solve_from(p, init)
+}
+
+/// Runs the MODI iterations from a given basic feasible solution.
+pub fn solve_from(p: &TransportProblem, mut bs: BasicSolution) -> SimplexSolution {
+    let (m, n) = (p.m(), p.n());
+    let nodes = m + n;
+    // Generous cap: the simplex converges in a handful of pivots on
+    // signature-sized instances; the cap only guards pathological cycling.
+    let max_pivots = 50 * nodes * nodes + 1000;
+    let mut pivots = 0;
+
+    loop {
+        // --- potentials from the basis tree (u_i + v_j = c_ij) ---
+        let mut pot = vec![f64::NAN; nodes];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+        for (e, &(i, j)) in bs.basis.iter().enumerate() {
+            adj[i].push(e);
+            adj[m + j].push(e);
+        }
+        // The basis is a spanning tree, so one DFS from node 0 labels all.
+        pot[0] = 0.0;
+        let mut stack = vec![0usize];
+        while let Some(u) = stack.pop() {
+            for &e in &adj[u] {
+                let (i, j) = bs.basis[e];
+                let (a, b) = (i, m + j);
+                let other = if u == a { b } else { a };
+                if pot[other].is_nan() {
+                    // u_i + v_j = c_ij ⇒ unknown = c − known.
+                    pot[other] = p.cost().get(i, j) - pot[u];
+                    stack.push(other);
+                }
+            }
+        }
+        debug_assert!(pot.iter().all(|v| !v.is_nan()), "basis not spanning");
+
+        // --- entering cell: most negative reduced cost ---
+        let mut best = -EPS;
+        let mut entering: Option<(usize, usize)> = None;
+        for i in 0..m {
+            for j in 0..n {
+                let rc = p.cost().get(i, j) - pot[i] - pot[m + j];
+                if rc < best {
+                    best = rc;
+                    entering = Some((i, j));
+                }
+            }
+        }
+        let Some((ei, ej)) = entering else {
+            break; // optimal
+        };
+        pivots += 1;
+        assert!(
+            pivots <= max_pivots,
+            "transportation simplex failed to converge in {max_pivots} pivots"
+        );
+
+        // --- stepping-stone cycle: tree path from sink ej back to source ei ---
+        let mut parent_edge = vec![usize::MAX; nodes];
+        let mut parent_node = vec![usize::MAX; nodes];
+        let mut visited = vec![false; nodes];
+        visited[ei] = true;
+        let mut queue = std::collections::VecDeque::from([ei]);
+        while let Some(u) = queue.pop_front() {
+            if u == m + ej {
+                break;
+            }
+            for &e in &adj[u] {
+                let (i, j) = bs.basis[e];
+                let (a, b) = (i, m + j);
+                let other = if u == a { b } else { a };
+                if !visited[other] {
+                    visited[other] = true;
+                    parent_edge[other] = e;
+                    parent_node[other] = u;
+                    queue.push_back(other);
+                }
+            }
+        }
+        debug_assert!(visited[m + ej], "basis tree must connect entering endpoints");
+
+        // Cells on the cycle, ordered from the entering cell: the entering
+        // cell takes +θ; walking the tree path from sink ej to source ei the
+        // cells alternate −, +, −, …
+        let mut path_cells = Vec::new();
+        let mut v = m + ej;
+        while v != ei {
+            path_cells.push(bs.basis[parent_edge[v]]);
+            v = parent_node[v];
+        }
+        // θ = min flow over the minus cells (path positions 0, 2, 4, …).
+        let mut theta = f64::INFINITY;
+        let mut leave_pos = usize::MAX;
+        for (idx, &(i, j)) in path_cells.iter().enumerate().step_by(2) {
+            let f = bs.flow.get(i, j);
+            if f < theta {
+                theta = f;
+                leave_pos = idx;
+            }
+        }
+        debug_assert!(leave_pos != usize::MAX);
+
+        // Pivot: apply ±θ around the cycle, swap the leaving cell for the
+        // entering one in the basis.
+        bs.flow.add(ei, ej, theta);
+        for (idx, &(i, j)) in path_cells.iter().enumerate() {
+            if idx % 2 == 0 {
+                bs.flow.add(i, j, -theta);
+            } else {
+                bs.flow.add(i, j, theta);
+            }
+        }
+        let leaving = path_cells[leave_pos];
+        bs.flow.set(leaving.0, leaving.1, 0.0); // kill rounding residue
+        let slot = bs
+            .basis
+            .iter()
+            .position(|&c| c == leaving)
+            .expect("leaving cell is basic");
+        bs.basis[slot] = (ei, ej);
+    }
+
+    let objective = p.objective(&bs.flow);
+    SimplexSolution { flow: bs.flow, objective, pivots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::solve_ssp;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn classic() -> TransportProblem {
+        let cost = DenseMatrix::from_fn(3, 4, |i, j| {
+            [[3.0, 1.0, 7.0, 4.0], [2.0, 6.0, 5.0, 9.0], [8.0, 3.0, 3.0, 2.0]][i][j]
+        });
+        TransportProblem::new(
+            vec![300.0, 400.0, 500.0],
+            vec![250.0, 350.0, 400.0, 200.0],
+            cost,
+        )
+    }
+
+    #[test]
+    fn simplex_matches_known_optimum() {
+        let p = classic();
+        let sol = solve_simplex(&p);
+        assert!(p.is_feasible(&sol.flow, 1e-6));
+        assert!((sol.objective - 2850.0).abs() < 1e-6, "got {}", sol.objective);
+    }
+
+    #[test]
+    fn simplex_matches_ssp_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..60 {
+            let m = rng.gen_range(1..8);
+            let n = rng.gen_range(1..8);
+            let mut supply: Vec<f64> = (0..m).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let demand: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
+            // Balance.
+            let (s, d): (f64, f64) = (supply.iter().sum(), demand.iter().sum());
+            supply.iter_mut().for_each(|x| *x *= d / s);
+            let cost = DenseMatrix::from_fn(m, n, |_, _| rng.gen_range(0.0..10.0));
+            let p = TransportProblem::new(supply, demand, cost);
+            let (_, ssp_obj) = solve_ssp(&p);
+            let sol = solve_simplex(&p);
+            assert!(p.is_feasible(&sol.flow, 1e-6), "round {round}: infeasible");
+            assert!(
+                (sol.objective - ssp_obj).abs() < 1e-6 * (1.0 + ssp_obj.abs()),
+                "round {round}: simplex {} vs ssp {}",
+                sol.objective,
+                ssp_obj
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_identity_instance() {
+        // Supplies equal demands with zero-cost diagonal; heavily degenerate.
+        let k = 5;
+        let cost = DenseMatrix::from_fn(k, k, |i, j| if i == j { 0.0 } else { 1.0 });
+        let p = TransportProblem::new(vec![0.2; k], vec![0.2; k], cost);
+        let sol = solve_simplex(&p);
+        assert!(sol.objective.abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_cell_instance() {
+        let p = TransportProblem::new(vec![1.0], vec![1.0], DenseMatrix::filled(1, 1, 3.0));
+        let sol = solve_simplex(&p);
+        assert_eq!(sol.pivots, 0);
+        assert!((sol.objective - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vogel_start_needs_few_pivots() {
+        // Vogel is near-optimal on the classic instance; MODI should finish
+        // in a handful of pivots.
+        let sol = solve_simplex(&classic());
+        assert!(sol.pivots <= 6, "took {} pivots", sol.pivots);
+    }
+}

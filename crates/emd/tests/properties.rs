@@ -1,0 +1,121 @@
+//! Property tests for the EMD solvers and sequence measures.
+
+use proptest::prelude::*;
+use viderec_emd::dtw::dtw_distance;
+use viderec_emd::erp::erp_scalar;
+use viderec_emd::lower_bounds::{best_lower_bound, centroid_lower_bound};
+use viderec_emd::{emd_1d, extended_jaccard, sim_c, CdfEmbedder, Emd, MatchingConfig};
+
+/// A normalised scalar signature: 1..8 cuboids, values in ±60.
+fn signature() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-60.0..60.0f64, 0.05..1.0f64), 1..8).prop_map(|mut sig| {
+        let total: f64 = sig.iter().map(|&(_, w)| w).sum();
+        for (_, w) in &mut sig {
+            *w /= total;
+        }
+        sig
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All three exact solvers agree on every instance.
+    #[test]
+    fn solvers_agree(a in signature(), b in signature()) {
+        let d1 = Emd::OneDimensional.distance(&a, &b).unwrap();
+        let ds = Emd::Simplex.distance(&a, &b).unwrap();
+        let dp = Emd::ShortestPaths.distance(&a, &b).unwrap();
+        prop_assert!((d1 - ds).abs() < 1e-6 * (1.0 + d1), "1d {} vs simplex {}", d1, ds);
+        prop_assert!((d1 - dp).abs() < 1e-6 * (1.0 + d1), "1d {} vs ssp {}", d1, dp);
+    }
+
+    /// EMD is a metric on the scalar domain: non-negative, symmetric, zero
+    /// on identity, triangle inequality.
+    #[test]
+    fn emd_metric_properties(a in signature(), b in signature(), c in signature()) {
+        let ab = emd_1d(&a, &b);
+        let ba = emd_1d(&b, &a);
+        let aa = emd_1d(&a, &a);
+        let bc = emd_1d(&b, &c);
+        let ac = emd_1d(&a, &c);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(aa.abs() < 1e-9);
+        prop_assert!(ac <= ab + bc + 1e-9, "triangle: {} > {} + {}", ac, ab, bc);
+    }
+
+    /// Every lower bound stays below the exact distance.
+    #[test]
+    fn lower_bounds_are_sound(a in signature(), b in signature()) {
+        let exact = emd_1d(&a, &b);
+        prop_assert!(centroid_lower_bound(&a, &b) <= exact + 1e-9);
+        prop_assert!(best_lower_bound(&a, &b, -65.0, 65.0) <= exact + 1e-9);
+    }
+
+    /// The CDF embedding approximates EMD within its declared error bound.
+    #[test]
+    fn embedding_error_within_bound(a in signature(), b in signature()) {
+        let embedder = CdfEmbedder::new(-65.0, 65.0, 128);
+        let ea = embedder.embed(&a);
+        let eb = embedder.embed(&b);
+        let approx: f64 = ea.iter().zip(&eb).map(|(x, y)| (x - y).abs()).sum();
+        let exact = emd_1d(&a, &b);
+        prop_assert!((approx - exact).abs() <= embedder.error_bound() + 1e-9);
+    }
+
+    /// SimC is a similarity in (0, 1] and decreasing in distance.
+    #[test]
+    fn sim_c_behaviour(d1 in 0.0..100.0f64, d2 in 0.0..100.0f64) {
+        let (s1, s2) = (sim_c(d1), sim_c(d2));
+        prop_assert!(s1 > 0.0 && s1 <= 1.0);
+        if d1 < d2 {
+            prop_assert!(s1 >= s2);
+        }
+    }
+
+    /// κJ stays in [0, 1] and is symmetric for symmetric similarity tables.
+    #[test]
+    fn kappa_bounds_and_symmetry(
+        n in 1..8usize,
+        m in 1..8usize,
+        seed in 0..u64::MAX,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..m).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let cfg = MatchingConfig::default();
+        let forward = extended_jaccard(n, m, |i, j| table[i][j], cfg);
+        let backward = extended_jaccard(m, n, |j, i| table[i][j], cfg);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&forward));
+        prop_assert!((forward - backward).abs() < 1e-12);
+    }
+
+    /// DTW: non-negative, symmetric, zero on self.
+    #[test]
+    fn dtw_properties(xs in prop::collection::vec(-50.0..50.0f64, 1..12),
+                      ys in prop::collection::vec(-50.0..50.0f64, 1..12)) {
+        let d = dtw_distance(xs.len(), ys.len(), |i, j| (xs[i] - ys[j]).abs());
+        let rev = dtw_distance(ys.len(), xs.len(), |j, i| (ys[j] - xs[i]).abs());
+        let own = dtw_distance(xs.len(), xs.len(), |i, j| (xs[i] - xs[j]).abs());
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - rev).abs() < 1e-9);
+        prop_assert!(own.abs() < 1e-12);
+    }
+
+    /// ERP is a metric: symmetric, identity, triangle inequality.
+    #[test]
+    fn erp_metric(xs in prop::collection::vec(-20.0..20.0f64, 0..8),
+                  ys in prop::collection::vec(-20.0..20.0f64, 0..8),
+                  zs in prop::collection::vec(-20.0..20.0f64, 0..8)) {
+        let xy = erp_scalar(&xs, &ys, 0.0);
+        let yx = erp_scalar(&ys, &xs, 0.0);
+        let yz = erp_scalar(&ys, &zs, 0.0);
+        let xz = erp_scalar(&xs, &zs, 0.0);
+        prop_assert!((xy - yx).abs() < 1e-9);
+        prop_assert!(erp_scalar(&xs, &xs, 0.0).abs() < 1e-12);
+        prop_assert!(xz <= xy + yz + 1e-9);
+    }
+}

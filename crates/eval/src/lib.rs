@@ -1,0 +1,32 @@
+//! # viderec-eval
+//!
+//! The evaluation harness reproducing §5 of the paper.
+//!
+//! The paper evaluates on a 200-hour YouTube crawl over the five most popular
+//! queries (Table 2), rated by a 10-person panel. Neither is available to a
+//! reproduction, so this crate provides seeded synthetic equivalents with the
+//! statistical structure the algorithms depend on (see DESIGN.md for the
+//! substitution table):
+//!
+//! * [`community`] — the sharing-community simulator: topics → stories →
+//!   videos (with edited near-duplicates ingested through the toy codec),
+//!   user groups with themed interests, and time-stamped comments over a
+//!   16-month timeline;
+//! * [`ratings`] — the simulated evaluator panel (ratings 1–5, per-evaluator
+//!   bias and noise over the generator's ground-truth relevance);
+//! * [`metrics`] — AR, AC, AP and MAP exactly as Eq. 10–12;
+//! * [`experiment`] — one runner per table/figure of §5, shared by the
+//!   `viderec-bench` binaries and the integration tests;
+//! * [`report`] — plain-text table printers for the bench binaries.
+
+#![warn(missing_docs)]
+
+pub mod community;
+pub mod experiment;
+pub mod metrics;
+pub mod ratings;
+pub mod report;
+
+pub use community::{Community, CommunityConfig, SimComment, SimVideo};
+pub use metrics::{average_precision, EffMetrics, RatedList};
+pub use ratings::RatingPanel;

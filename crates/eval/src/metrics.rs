@@ -1,0 +1,177 @@
+//! Effectiveness metrics — Eq. 10–12.
+//!
+//! * **AR** (Eq. 10a): mean rating of the returned videos.
+//! * **AC** (Eq. 10b): fraction of returned videos rated above 4.
+//! * **AP** (Eq. 11): `Σ_γ P(γ)·rel(γ)` over ranks, with `rel` the binary
+//!   relevance at a rank and `P(γ)` the precision at cut-off `γ`, normalised
+//!   by the number of relevant retrieved videos (TRECVID non-interpolated
+//!   AP).
+//! * **MAP** (Eq. 12): mean AP over the query set.
+
+/// The rating threshold above which a video counts as accurate/relevant
+/// ("rating score bigger than 4", §5.2).
+pub const RELEVANT_RATING: f64 = 4.0;
+
+/// One query's rated result list, in rank order.
+#[derive(Debug, Clone, Default)]
+pub struct RatedList {
+    /// Panel rating (1–5) of the video at each rank.
+    pub ratings: Vec<f64>,
+}
+
+impl RatedList {
+    /// Wraps rank-ordered ratings.
+    pub fn new(ratings: Vec<f64>) -> Self {
+        assert!(
+            ratings.iter().all(|r| (1.0..=5.0).contains(r)),
+            "ratings must lie in [1, 5]"
+        );
+        Self { ratings }
+    }
+
+    /// AR over the top `n` (Eq. 10a). Zero for an empty prefix.
+    pub fn average_rating(&self, n: usize) -> f64 {
+        let top = &self.ratings[..n.min(self.ratings.len())];
+        if top.is_empty() {
+            return 0.0;
+        }
+        top.iter().sum::<f64>() / top.len() as f64
+    }
+
+    /// AC over the top `n` (Eq. 10b): share of ratings above 4.
+    pub fn accuracy(&self, n: usize) -> f64 {
+        let top = &self.ratings[..n.min(self.ratings.len())];
+        if top.is_empty() {
+            return 0.0;
+        }
+        top.iter().filter(|&&r| r > RELEVANT_RATING).count() as f64 / top.len() as f64
+    }
+
+    /// AP over the top `n` (Eq. 11).
+    pub fn average_precision(&self, n: usize) -> f64 {
+        let top = &self.ratings[..n.min(self.ratings.len())];
+        average_precision(top.iter().map(|&r| r > RELEVANT_RATING))
+    }
+}
+
+/// Non-interpolated average precision of a rank-ordered binary relevance
+/// sequence: `Σ P(γ)·rel(γ) / N`, `N` = number of relevant items retrieved.
+/// Zero when nothing relevant was retrieved.
+pub fn average_precision(relevance: impl Iterator<Item = bool>) -> f64 {
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    let mut rank = 0usize;
+    for rel in relevance {
+        rank += 1;
+        if rel {
+            hits += 1;
+            sum += hits as f64 / rank as f64;
+        }
+    }
+    if hits == 0 {
+        0.0
+    } else {
+        sum / hits as f64
+    }
+}
+
+/// The (AR, AC, MAP) triple at one cut-off, aggregated over a query set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EffMetrics {
+    /// Mean average rating.
+    pub ar: f64,
+    /// Mean accuracy.
+    pub ac: f64,
+    /// Mean average precision (Eq. 12).
+    pub map: f64,
+}
+
+impl EffMetrics {
+    /// Aggregates per-query rated lists at cut-off `n`.
+    pub fn at_cutoff(lists: &[RatedList], n: usize) -> Self {
+        assert!(!lists.is_empty(), "no queries");
+        let q = lists.len() as f64;
+        Self {
+            ar: lists.iter().map(|l| l.average_rating(n)).sum::<f64>() / q,
+            ac: lists.iter().map(|l| l.accuracy(n)).sum::<f64>() / q,
+            map: lists.iter().map(|l| l.average_precision(n)).sum::<f64>() / q,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ar_and_ac_basic() {
+        let l = RatedList::new(vec![5.0, 4.5, 3.0, 2.0]);
+        assert!((l.average_rating(2) - 4.75).abs() < 1e-12);
+        assert!((l.average_rating(4) - 3.625).abs() < 1e-12);
+        assert!((l.accuracy(2) - 1.0).abs() < 1e-12);
+        assert!((l.accuracy(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rating_exactly_four_is_not_relevant() {
+        let l = RatedList::new(vec![4.0]);
+        assert_eq!(l.accuracy(1), 0.0);
+    }
+
+    #[test]
+    fn cutoff_beyond_length_uses_whole_list() {
+        let l = RatedList::new(vec![5.0, 1.0]);
+        assert_eq!(l.average_rating(10), 3.0);
+    }
+
+    #[test]
+    fn empty_list_scores_zero() {
+        let l = RatedList::default();
+        assert_eq!(l.average_rating(5), 0.0);
+        assert_eq!(l.accuracy(5), 0.0);
+        assert_eq!(l.average_precision(5), 0.0);
+    }
+
+    #[test]
+    fn ap_perfect_ranking_is_one() {
+        let ap = average_precision([true, true, false, false].into_iter());
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_textbook_example() {
+        // Relevant at ranks 1, 3: AP = (1/1 + 2/3) / 2 = 5/6.
+        let ap = average_precision([true, false, true].into_iter());
+        assert!((ap - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_rewards_early_hits() {
+        let early = average_precision([true, false, false, false].into_iter());
+        let late = average_precision([false, false, false, true].into_iter());
+        assert!(early > late);
+    }
+
+    #[test]
+    fn ap_all_irrelevant_is_zero() {
+        assert_eq!(average_precision([false, false].into_iter()), 0.0);
+    }
+
+    #[test]
+    fn aggregate_over_queries() {
+        let lists = vec![
+            RatedList::new(vec![5.0, 5.0]),
+            RatedList::new(vec![1.0, 1.0]),
+        ];
+        let m = EffMetrics::at_cutoff(&lists, 2);
+        assert!((m.ar - 3.0).abs() < 1e-12);
+        assert!((m.ac - 0.5).abs() < 1e-12);
+        assert!((m.map - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratings must lie")]
+    fn out_of_range_rating_rejected() {
+        RatedList::new(vec![0.5]);
+    }
+}

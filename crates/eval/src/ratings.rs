@@ -1,0 +1,118 @@
+//! The simulated evaluator panel.
+//!
+//! §5.1: "10 evaluators majored in computer science … were asked to give a
+//! rating score from 1 to 5 indicating whether the recommended videos are
+//! relevant to [the] current source video." The panel here maps the
+//! generator's ground-truth relevance (in `[0, 1]`) to a 1–5 scale, adds a
+//! per-evaluator bias and per-judgement noise, and averages — preserving the
+//! only property the metrics need: ratings monotonically follow true
+//! relevance, with human-scale jitter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A panel of simulated evaluators.
+#[derive(Debug, Clone)]
+pub struct RatingPanel {
+    /// Per-evaluator additive bias (some raters are lenient, some harsh).
+    biases: Vec<f64>,
+    /// Per-judgement noise amplitude.
+    noise: f64,
+    seed: u64,
+}
+
+impl RatingPanel {
+    /// A panel of `evaluators` raters with judgement noise `noise`, seeded.
+    pub fn new(evaluators: usize, noise: f64, seed: u64) -> Self {
+        assert!(evaluators > 0, "need at least one evaluator");
+        assert!(noise >= 0.0, "noise must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let biases = (0..evaluators).map(|_| rng.gen_range(-0.25..0.25)).collect();
+        Self { biases, noise, seed }
+    }
+
+    /// The paper's panel: 10 raters, moderate jitter.
+    pub fn paper_panel(seed: u64) -> Self {
+        Self::new(10, 0.35, seed)
+    }
+
+    /// Number of evaluators.
+    pub fn evaluators(&self) -> usize {
+        self.biases.len()
+    }
+
+    /// Panel-average rating of one recommendation with ground-truth
+    /// relevance `relevance ∈ [0, 1]`. Deterministic in `(relevance,
+    /// judgement_id)`.
+    pub fn rate(&self, relevance: f64, judgement_id: u64) -> f64 {
+        assert!((0.0..=1.0).contains(&relevance), "relevance out of range");
+        let base = 1.0 + 4.0 * relevance;
+        let total: f64 = self
+            .biases
+            .iter()
+            .enumerate()
+            .map(|(e, &bias)| {
+                let mut rng =
+                    StdRng::seed_from_u64(self.seed ^ judgement_id.wrapping_mul(0x9e37_79b9) ^ (e as u64) << 32);
+                let noise = rng.gen_range(-self.noise..=self.noise);
+                (base + bias + noise).clamp(1.0, 5.0)
+            })
+            .sum();
+        total / self.biases.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratings_bounded() {
+        let p = RatingPanel::paper_panel(1);
+        for (i, rel) in [0.0, 0.3, 0.7, 1.0].into_iter().enumerate() {
+            let r = p.rate(rel, i as u64);
+            assert!((1.0..=5.0).contains(&r), "rating {r}");
+        }
+    }
+
+    #[test]
+    fn ratings_monotone_in_relevance() {
+        let p = RatingPanel::paper_panel(2);
+        let lo = p.rate(0.1, 7);
+        let hi = p.rate(0.9, 7);
+        assert!(hi > lo + 1.0, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn deterministic_per_judgement() {
+        let p = RatingPanel::paper_panel(3);
+        assert_eq!(p.rate(0.5, 42), p.rate(0.5, 42));
+        // Different judgements jitter differently.
+        assert_ne!(p.rate(0.5, 42), p.rate(0.5, 43));
+    }
+
+    #[test]
+    fn perfect_relevance_rates_near_five() {
+        let p = RatingPanel::paper_panel(4);
+        let r = p.rate(1.0, 1);
+        assert!(r > 4.4, "rating {r}");
+    }
+
+    #[test]
+    fn irrelevant_rates_near_one() {
+        let p = RatingPanel::paper_panel(5);
+        let r = p.rate(0.0, 1);
+        assert!(r < 1.6, "rating {r}");
+    }
+
+    #[test]
+    fn panel_size_accessor() {
+        assert_eq!(RatingPanel::new(3, 0.1, 0).evaluators(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "relevance out of range")]
+    fn out_of_range_relevance_rejected() {
+        RatingPanel::paper_panel(0).rate(1.5, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Plain-text table printers shared by the `viderec-bench` binaries.
+
+use crate::experiment::{EffTriple, EfficiencyRow, UpdateCostRow};
+use crate::metrics::EffMetrics;
+
+/// Formats one metrics cell as `AR/AC/MAP`.
+pub fn metrics_cell(m: &EffMetrics) -> String {
+    format!("AR {:.3}  AC {:.3}  MAP {:.3}", m.ar, m.ac, m.map)
+}
+
+/// Renders an effectiveness table: one row per labelled configuration, one
+/// column block per cut-off — the layout of Figs. 7–11 (a)–(c).
+pub fn effectiveness_table(title: &str, rows: &[(String, EffTriple)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<12} | {:<32} | {:<32} | {:<32}\n",
+        "config", "top 5", "top 10", "top 20"
+    ));
+    out.push_str(&"-".repeat(12 + 3 * 35));
+    out.push('\n');
+    for (label, m) in rows {
+        out.push_str(&format!(
+            "{:<12} | {:<32} | {:<32} | {:<32}\n",
+            label,
+            metrics_cell(&m.top5),
+            metrics_cell(&m.top10),
+            metrics_cell(&m.top20),
+        ));
+    }
+    out
+}
+
+/// Renders Fig. 12a/b efficiency rows.
+pub fn efficiency_table(title: &str, rows: &[EfficiencyRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    if rows.is_empty() {
+        return out;
+    }
+    out.push_str(&format!("{:<8} {:<8}", "hours", "videos"));
+    for (label, _) in &rows[0].timings {
+        out.push_str(&format!(" {label:>12}"));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<8} {:<8}", row.hours, row.videos));
+        for (_, secs) in &row.timings {
+            out.push_str(&format!(" {:>10.4}s", secs));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Fig. 12c update-cost rows.
+pub fn update_cost_table(title: &str, rows: &[UpdateCostRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>14} {:>16}\n",
+        "months", "updates", "measured (s)", "Eq.8 model (s)"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<8} {:>10} {:>14.4} {:>16.6}\n",
+            row.months, row.updates, row.measured_seconds, row.estimated_seconds
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effectiveness_table_contains_labels_and_metrics() {
+        let rows = vec![("CSF".to_string(), EffTriple::default())];
+        let t = effectiveness_table("Fig. X", &rows);
+        assert!(t.contains("Fig. X"));
+        assert!(t.contains("CSF"));
+        assert!(t.contains("AR 0.000"));
+        assert!(t.contains("top 20"));
+    }
+
+    #[test]
+    fn efficiency_table_lists_strategies() {
+        let rows = vec![EfficiencyRow {
+            hours: 50.0,
+            videos: 600,
+            timings: vec![("CSF", 0.5), ("CR", 0.1)],
+        }];
+        let t = efficiency_table("Fig. 12a", &rows);
+        assert!(t.contains("CSF"));
+        assert!(t.contains("0.5000s"));
+        assert!(t.contains("600"));
+    }
+
+    #[test]
+    fn empty_efficiency_table_is_just_title() {
+        let t = efficiency_table("T", &[]);
+        assert_eq!(t, "== T ==\n");
+    }
+
+    #[test]
+    fn update_cost_table_rows() {
+        let rows = vec![UpdateCostRow {
+            months: 2,
+            updates: 100,
+            measured_seconds: 1.5,
+            estimated_seconds: 0.01,
+        }];
+        let t = update_cost_table("Fig. 12c", &rows);
+        assert!(t.contains("1.5000"));
+        assert!(t.contains("100"));
+    }
+}

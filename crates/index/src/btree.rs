@@ -1,0 +1,613 @@
+//! A from-scratch B⁺-tree keyed by `u128` Z-order values.
+//!
+//! The LSB-index of Tao et al. [28] — which §4.4 adopts verbatim — stores
+//! hashed points in a B⁺-tree by Z-order key and answers KNN queries by
+//! walking outward from the query position in both directions. This tree
+//! therefore provides exactly that access pattern: keyed insertion, ordered
+//! iteration, and bidirectional cursors from any key position via doubly
+//! linked leaves.
+//!
+//! Duplicate Z-values are common (collisions of the LSH grid), so each key
+//! maps to a bag of values. Deletion is not needed: the content index is
+//! append-only and rebuilt offline, like the paper's.
+
+/// Maximum entries per node before splitting.
+const MAX_ENTRIES: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Node<V> {
+    Internal {
+        /// Separator keys; `children[i]` holds keys `< keys[i]`,
+        /// `children[i+1]` holds keys `>= keys[i]`.
+        keys: Vec<u128>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        /// Sorted by key; keys are unique within and across leaves.
+        entries: Vec<(u128, Vec<V>)>,
+        prev: Option<usize>,
+        next: Option<usize>,
+    },
+}
+
+/// B⁺-tree mapping `u128` keys to bags of values.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<V> {
+    nodes: Vec<Node<V>>,
+    root: usize,
+    /// Total number of stored values (not distinct keys).
+    len: usize,
+    /// Number of distinct keys.
+    distinct: usize,
+}
+
+impl<V> Default for BPlusTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> BPlusTree<V> {
+    /// Empty tree.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node::Leaf { entries: Vec::new(), prev: None, next: None }],
+            root: 0,
+            len: 0,
+            distinct: 0,
+        }
+    }
+
+    /// Total stored values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.distinct
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut n = self.root;
+        loop {
+            match &self.nodes[n] {
+                Node::Leaf { .. } => return d,
+                Node::Internal { children, .. } => {
+                    n = children[0];
+                    d += 1;
+                }
+            }
+        }
+    }
+
+    /// Descends to the leaf that would contain `key`.
+    fn find_leaf(&self, key: u128) -> usize {
+        let mut n = self.root;
+        loop {
+            match &self.nodes[n] {
+                Node::Leaf { .. } => return n,
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= key);
+                    n = children[idx];
+                }
+            }
+        }
+    }
+
+    /// The values stored under `key`.
+    pub fn get(&self, key: u128) -> Option<&[V]> {
+        let leaf = self.find_leaf(key);
+        let Node::Leaf { entries, .. } = &self.nodes[leaf] else { unreachable!() };
+        entries
+            .binary_search_by_key(&key, |e| e.0)
+            .ok()
+            .map(|i| entries[i].1.as_slice())
+    }
+
+    /// Inserts `value` under `key`.
+    pub fn insert(&mut self, key: u128, value: V) {
+        self.len += 1;
+        if let Some((sep, right)) = self.insert_rec(self.root, key, value) {
+            // Root split: grow the tree by one level.
+            let old_root = self.root;
+            self.nodes.push(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.root = self.nodes.len() - 1;
+        }
+    }
+
+    /// Recursive insert; returns `Some((separator, new_right_node))` when the
+    /// child split.
+    fn insert_rec(&mut self, node: usize, key: u128, value: V) -> Option<(u128, usize)> {
+        match &mut self.nodes[node] {
+            Node::Leaf { entries, .. } => {
+                match entries.binary_search_by_key(&key, |e| e.0) {
+                    Ok(i) => {
+                        entries[i].1.push(value);
+                        None
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key, vec![value]));
+                        self.distinct += 1;
+                        if entries.len() > MAX_ENTRIES {
+                            Some(self.split_leaf(node))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|&k| k <= key);
+                let child = children[idx];
+                let split = self.insert_rec(child, key, value)?;
+                let Node::Internal { keys, children } = &mut self.nodes[node] else {
+                    unreachable!()
+                };
+                keys.insert(idx, split.0);
+                children.insert(idx + 1, split.1);
+                if keys.len() > MAX_ENTRIES {
+                    Some(self.split_internal(node))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node: usize) -> (u128, usize) {
+        let new_idx = self.nodes.len();
+        let Node::Leaf { entries, next, .. } = &mut self.nodes[node] else { unreachable!() };
+        let mid = entries.len() / 2;
+        let right_entries = entries.split_off(mid);
+        let sep = right_entries[0].0;
+        let old_next = *next;
+        *next = Some(new_idx);
+        self.nodes.push(Node::Leaf { entries: right_entries, prev: Some(node), next: old_next });
+        if let Some(on) = old_next {
+            let Node::Leaf { prev, .. } = &mut self.nodes[on] else { unreachable!() };
+            *prev = Some(new_idx);
+        }
+        (sep, new_idx)
+    }
+
+    fn split_internal(&mut self, node: usize) -> (u128, usize) {
+        let new_idx = self.nodes.len();
+        let Node::Internal { keys, children } = &mut self.nodes[node] else { unreachable!() };
+        let mid = keys.len() / 2;
+        let sep = keys[mid];
+        let right_keys = keys.split_off(mid + 1);
+        keys.pop(); // the separator moves up
+        let right_children = children.split_off(mid + 1);
+        self.nodes.push(Node::Internal { keys: right_keys, children: right_children });
+        (sep, new_idx)
+    }
+
+    /// Removes one occurrence of `value` under `key`. Returns whether a
+    /// value was removed.
+    ///
+    /// Deletion is *lazy*: emptied key bags leave their leaf, but leaves are
+    /// never rebalanced or merged (cursors skip empty leaves). This matches
+    /// the index's usage — the content index is append-heavy with occasional
+    /// retractions and is rebuilt offline — and keeps every read-path
+    /// invariant intact, which `check_invariants` still verifies.
+    pub fn remove(&mut self, key: u128, value: &V) -> bool
+    where
+        V: PartialEq,
+    {
+        let leaf = self.find_leaf(key);
+        let Node::Leaf { entries, .. } = &mut self.nodes[leaf] else { unreachable!() };
+        let Ok(idx) = entries.binary_search_by_key(&key, |e| e.0) else {
+            return false;
+        };
+        let bag = &mut entries[idx].1;
+        let Some(pos) = bag.iter().position(|v| v == value) else {
+            return false;
+        };
+        bag.remove(pos);
+        self.len -= 1;
+        if bag.is_empty() {
+            entries.remove(idx);
+            self.distinct -= 1;
+        }
+        true
+    }
+
+    /// Position of the first entry with key `>= key`; `None` past the end.
+    /// Walks past leaves emptied by lazy deletion.
+    fn lower_bound_pos(&self, key: u128) -> Option<(usize, usize)> {
+        let leaf = self.find_leaf(key);
+        let Node::Leaf { entries, next, .. } = &self.nodes[leaf] else { unreachable!() };
+        let idx = entries.partition_point(|e| e.0 < key);
+        if idx < entries.len() {
+            return Some((leaf, idx));
+        }
+        let mut n = *next;
+        while let Some(nl) = n {
+            let Node::Leaf { entries, next, .. } = &self.nodes[nl] else { unreachable!() };
+            if !entries.is_empty() {
+                return Some((nl, 0));
+            }
+            n = *next;
+        }
+        None
+    }
+
+    /// Forward cursor from the first key `>= key`.
+    pub fn cursor_forward(&self, key: u128) -> ForwardCursor<'_, V> {
+        ForwardCursor { tree: self, pos: self.lower_bound_pos(key) }
+    }
+
+    /// Backward cursor from the last key `< key`.
+    pub fn cursor_backward(&self, key: u128) -> BackwardCursor<'_, V> {
+        // Start from lower bound and step left once.
+        let pos = match self.lower_bound_pos(key) {
+            Some(p) => self.step_left(p),
+            None => self.last_pos(),
+        };
+        BackwardCursor { tree: self, pos }
+    }
+
+    fn step_left(&self, (leaf, idx): (usize, usize)) -> Option<(usize, usize)> {
+        if idx > 0 {
+            return Some((leaf, idx - 1));
+        }
+        let Node::Leaf { prev, .. } = &self.nodes[leaf] else { unreachable!() };
+        let mut p = *prev;
+        while let Some(pl) = p {
+            let Node::Leaf { entries, prev, .. } = &self.nodes[pl] else { unreachable!() };
+            if !entries.is_empty() {
+                return Some((pl, entries.len() - 1));
+            }
+            p = *prev;
+        }
+        None
+    }
+
+    fn step_right(&self, (leaf, idx): (usize, usize)) -> Option<(usize, usize)> {
+        let Node::Leaf { entries, next, .. } = &self.nodes[leaf] else { unreachable!() };
+        if idx + 1 < entries.len() {
+            return Some((leaf, idx + 1));
+        }
+        let mut n = *next;
+        while let Some(nl) = n {
+            let Node::Leaf { entries, next, .. } = &self.nodes[nl] else { unreachable!() };
+            if !entries.is_empty() {
+                return Some((nl, 0));
+            }
+            n = *next;
+        }
+        None
+    }
+
+    fn last_pos(&self) -> Option<(usize, usize)> {
+        let mut n = self.root;
+        loop {
+            match &self.nodes[n] {
+                Node::Internal { children, .. } => n = *children.last().expect("non-empty"),
+                Node::Leaf { entries, prev, .. } => {
+                    if entries.is_empty() {
+                        // Only possible for an empty tree (single root leaf).
+                        let mut p = *prev;
+                        while let Some(pl) = p {
+                            let Node::Leaf { entries, prev, .. } = &self.nodes[pl] else {
+                                unreachable!()
+                            };
+                            if !entries.is_empty() {
+                                return Some((pl, entries.len() - 1));
+                            }
+                            p = *prev;
+                        }
+                        return None;
+                    }
+                    return Some((n, entries.len() - 1));
+                }
+            }
+        }
+    }
+
+    fn entry_at(&self, (leaf, idx): (usize, usize)) -> (u128, &[V]) {
+        let Node::Leaf { entries, .. } = &self.nodes[leaf] else { unreachable!() };
+        (entries[idx].0, entries[idx].1.as_slice())
+    }
+
+    /// Iterates all `(key, values)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u128, &[V])> {
+        let mut cursor = self.cursor_forward(0);
+        std::iter::from_fn(move || cursor.next())
+    }
+
+    /// Checks structural invariants (test support): keys sorted globally,
+    /// uniform leaf depth, separator consistency.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Global ordering via iteration.
+        let mut prev: Option<u128> = None;
+        let mut count = 0usize;
+        let mut distinct = 0usize;
+        for (k, vs) in self.iter() {
+            if let Some(p) = prev {
+                if k <= p {
+                    return Err(format!("keys out of order: {p} then {k}"));
+                }
+            }
+            if vs.is_empty() {
+                return Err(format!("empty value bag at {k}"));
+            }
+            prev = Some(k);
+            distinct += 1;
+            count += vs.len();
+        }
+        if count != self.len {
+            return Err(format!("len {} but iterated {count}", self.len));
+        }
+        if distinct != self.distinct {
+            return Err(format!("distinct {} but iterated {distinct}", self.distinct));
+        }
+        // Uniform depth.
+        fn depth_of<V>(nodes: &[Node<V>], n: usize) -> Result<usize, String> {
+            match &nodes[n] {
+                Node::Leaf { .. } => Ok(1),
+                Node::Internal { children, keys } => {
+                    if children.len() != keys.len() + 1 {
+                        return Err("child/key arity mismatch".into());
+                    }
+                    let d0 = depth_of(nodes, children[0])?;
+                    for &c in &children[1..] {
+                        if depth_of(nodes, c)? != d0 {
+                            return Err("ragged leaf depth".into());
+                        }
+                    }
+                    Ok(d0 + 1)
+                }
+            }
+        }
+        depth_of(&self.nodes, self.root).map(|_| ())
+    }
+}
+
+/// Ascending cursor over `(key, values)` entries.
+pub struct ForwardCursor<'a, V> {
+    tree: &'a BPlusTree<V>,
+    pos: Option<(usize, usize)>,
+}
+
+impl<'a, V> ForwardCursor<'a, V> {
+    /// The next entry in ascending key order.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(u128, &'a [V])> {
+        let pos = self.pos?;
+        let entry = self.tree.entry_at(pos);
+        self.pos = self.tree.step_right(pos);
+        Some(entry)
+    }
+
+    /// Peeks the next key without advancing.
+    pub fn peek_key(&self) -> Option<u128> {
+        self.pos.map(|p| self.tree.entry_at(p).0)
+    }
+}
+
+/// Descending cursor over `(key, values)` entries.
+pub struct BackwardCursor<'a, V> {
+    tree: &'a BPlusTree<V>,
+    pos: Option<(usize, usize)>,
+}
+
+impl<'a, V> BackwardCursor<'a, V> {
+    /// The next entry in descending key order.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(u128, &'a [V])> {
+        let pos = self.pos?;
+        let entry = self.tree.entry_at(pos);
+        self.pos = self.tree.step_left(pos);
+        Some(entry)
+    }
+
+    /// Peeks the next key without advancing.
+    pub fn peek_key(&self) -> Option<u128> {
+        self.pos.map(|p| self.tree.entry_at(p).0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: BPlusTree<u32> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.depth(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = BPlusTree::new();
+        t.insert(10, "a");
+        t.insert(5, "b");
+        t.insert(10, "c");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.distinct_keys(), 2);
+        assert_eq!(t.get(10), Some(&["a", "c"][..]));
+        assert_eq!(t.get(5), Some(&["b"][..]));
+        assert_eq!(t.get(7), None);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grows_beyond_one_node_and_stays_sorted() {
+        let mut t = BPlusTree::new();
+        for i in (0..500u128).rev() {
+            t.insert(i * 7 % 501, i as u32);
+        }
+        assert!(t.depth() > 1);
+        t.check_invariants().unwrap();
+        let keys: Vec<u128> = t.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn matches_std_btreemap_model() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut ours = BPlusTree::new();
+        let mut model: std::collections::BTreeMap<u128, Vec<u32>> = Default::default();
+        for _ in 0..2000 {
+            let k = rng.gen_range(0..300u128);
+            let v: u32 = rng.gen();
+            ours.insert(k, v);
+            model.entry(k).or_default().push(v);
+        }
+        ours.check_invariants().unwrap();
+        for (k, vs) in &model {
+            assert_eq!(ours.get(*k), Some(vs.as_slice()));
+        }
+        let flat_ours: Vec<(u128, Vec<u32>)> =
+            ours.iter().map(|(k, v)| (k, v.to_vec())).collect();
+        let flat_model: Vec<(u128, Vec<u32>)> =
+            model.into_iter().collect();
+        assert_eq!(flat_ours, flat_model);
+    }
+
+    #[test]
+    fn forward_cursor_from_lower_bound() {
+        let mut t = BPlusTree::new();
+        for k in [10u128, 20, 30, 40] {
+            t.insert(k, k as u32);
+        }
+        let mut c = t.cursor_forward(25);
+        assert_eq!(c.peek_key(), Some(30));
+        assert_eq!(c.next().map(|(k, _)| k), Some(30));
+        assert_eq!(c.next().map(|(k, _)| k), Some(40));
+        assert!(c.next().is_none());
+    }
+
+    #[test]
+    fn backward_cursor_from_position() {
+        let mut t = BPlusTree::new();
+        for k in [10u128, 20, 30, 40] {
+            t.insert(k, ());
+        }
+        let mut c = t.cursor_backward(25);
+        assert_eq!(c.next().map(|(k, _)| k), Some(20));
+        assert_eq!(c.next().map(|(k, _)| k), Some(10));
+        assert!(c.next().is_none());
+        // Backward from past the end sees everything reversed.
+        let mut c = t.cursor_backward(u128::MAX);
+        let keys: Vec<u128> = std::iter::from_fn(|| c.next().map(|(k, _)| k)).collect();
+        assert_eq!(keys, vec![40, 30, 20, 10]);
+    }
+
+    #[test]
+    fn cursors_meet_in_the_middle() {
+        let mut t = BPlusTree::new();
+        for k in 0..100u128 {
+            t.insert(k, ());
+        }
+        let mut f = t.cursor_forward(50);
+        let mut b = t.cursor_backward(50);
+        assert_eq!(f.next().map(|(k, _)| k), Some(50));
+        assert_eq!(b.next().map(|(k, _)| k), Some(49));
+    }
+
+    #[test]
+    fn cursor_on_boundary_key() {
+        let mut t = BPlusTree::new();
+        for k in [10u128, 20] {
+            t.insert(k, ());
+        }
+        // Forward from an existing key includes it; backward excludes it.
+        assert_eq!(t.cursor_forward(10).peek_key(), Some(10));
+        assert_eq!(t.cursor_backward(10).peek_key(), None);
+    }
+
+    #[test]
+    fn remove_single_values_and_whole_bags() {
+        let mut t = BPlusTree::new();
+        t.insert(5, "a");
+        t.insert(5, "b");
+        t.insert(9, "c");
+        assert!(t.remove(5, &"a"));
+        assert_eq!(t.get(5), Some(&["b"][..]));
+        assert!(!t.remove(5, &"a"), "already removed");
+        assert!(t.remove(5, &"b"));
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.distinct_keys(), 1);
+        assert!(!t.remove(7, &"x"), "missing key");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_interleaved_matches_model() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut ours = BPlusTree::new();
+        let mut model: std::collections::BTreeMap<u128, Vec<u32>> = Default::default();
+        for _ in 0..3000 {
+            let k = rng.gen_range(0..150u128);
+            if rng.gen_bool(0.6) {
+                let v: u32 = rng.gen_range(0..5);
+                ours.insert(k, v);
+                model.entry(k).or_default().push(v);
+            } else {
+                let v: u32 = rng.gen_range(0..5);
+                let in_model = model.get_mut(&k).and_then(|bag| {
+                    bag.iter().position(|x| *x == v).map(|i| {
+                        bag.remove(i);
+                    })
+                });
+                let removed = ours.remove(k, &v);
+                assert_eq!(removed, in_model.is_some());
+                if model.get(&k).is_some_and(|b| b.is_empty()) {
+                    model.remove(&k);
+                }
+            }
+        }
+        ours.check_invariants().unwrap();
+        let flat_ours: Vec<(u128, Vec<u32>)> =
+            ours.iter().map(|(k, v)| (k, v.to_vec())).collect();
+        let flat_model: Vec<(u128, Vec<u32>)> = model.into_iter().collect();
+        assert_eq!(flat_ours, flat_model);
+    }
+
+    #[test]
+    fn cursors_skip_emptied_leaves() {
+        let mut t = BPlusTree::new();
+        for k in 0..200u128 {
+            t.insert(k, ());
+        }
+        // Hollow out a middle band spanning several leaves.
+        for k in 40..160u128 {
+            assert!(t.remove(k, &()));
+        }
+        let mut f = t.cursor_forward(40);
+        assert_eq!(f.next().map(|(k, _)| k), Some(160));
+        let mut b = t.cursor_backward(160);
+        assert_eq!(b.next().map(|(k, _)| k), Some(39));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn large_sequential_and_reverse_inserts_keep_depth_log() {
+        let mut t = BPlusTree::new();
+        for k in 0..5000u128 {
+            t.insert(k, ());
+        }
+        t.check_invariants().unwrap();
+        // MAX_ENTRIES=16 → depth about log_8(5000/16)+1; generous cap:
+        assert!(t.depth() <= 6, "depth {}", t.depth());
+    }
+}

@@ -1,0 +1,137 @@
+//! The *shift-add-xor* string hash family — Eq. 7 (Ramakrishna & Zobel,
+//! DASFAA'97).
+//!
+//! ```text
+//! init(v)        = v
+//! step(i, h, c)  = h ⊕ (L_L(h) + R_R(h) + c)
+//! final(h, v)    = h mod T
+//! ```
+//!
+//! The paper picks this family for its uniformity, universality,
+//! applicability and efficiency (§4.2.3). Different seeds `v` give different
+//! family members; the classic shift amounts are `L = 5`, `R = 2`.
+
+use serde::{Deserialize, Serialize};
+
+/// One member of the shift-add-xor family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShiftAddXor {
+    seed: u64,
+    left: u32,
+    right: u32,
+}
+
+impl Default for ShiftAddXor {
+    fn default() -> Self {
+        Self::new(0x9e37_79b9, 5, 2)
+    }
+}
+
+impl ShiftAddXor {
+    /// A family member with seed `v` and shift amounts `L`, `R`.
+    ///
+    /// # Panics
+    /// Panics if either shift is zero or ≥ 64 (the mix would degenerate).
+    pub fn new(seed: u64, left: u32, right: u32) -> Self {
+        assert!(left > 0 && left < 64 && right > 0 && right < 64, "bad shift amounts");
+        Self { seed, left, right }
+    }
+
+    /// A family member with the classic shifts and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(seed, 5, 2)
+    }
+
+    /// The raw 64-bit hash of `s` (before the final modulo).
+    pub fn hash_raw(&self, s: &str) -> u64 {
+        let mut h = self.seed; // init(v) = v
+        for &c in s.as_bytes() {
+            // step: h ⊕ (h << L + h >> R + c)
+            h ^= h
+                .wrapping_shl(self.left)
+                .wrapping_add(h.wrapping_shr(self.right))
+                .wrapping_add(c as u64);
+        }
+        h
+    }
+
+    /// The bucket index of `s` in a table of `table_size` buckets —
+    /// `final(h, v) = h mod T`.
+    ///
+    /// # Panics
+    /// Panics if `table_size` is zero.
+    pub fn hash(&self, s: &str, table_size: usize) -> usize {
+        assert!(table_size > 0, "table size must be non-zero");
+        (self.hash_raw(s) % table_size as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let h = ShiftAddXor::with_seed(7);
+        assert_eq!(h.hash_raw("alice"), h.hash_raw("alice"));
+        assert_eq!(h.hash("alice", 97), h.hash("alice", 97));
+    }
+
+    #[test]
+    fn different_seeds_give_different_members() {
+        let a = ShiftAddXor::with_seed(1);
+        let b = ShiftAddXor::with_seed(2);
+        // Not a universality proof — a smoke check that seeds matter.
+        let differing = ["alice", "bob", "carol", "dave", "erin"]
+            .iter()
+            .filter(|s| a.hash_raw(s) != b.hash_raw(s))
+            .count();
+        assert!(differing >= 4);
+    }
+
+    #[test]
+    fn similar_keys_scatter() {
+        let h = ShiftAddXor::default();
+        let codes: Vec<usize> = (0..64).map(|i| h.hash(&format!("user{i}"), 64)).collect();
+        let distinct: std::collections::HashSet<usize> = codes.iter().copied().collect();
+        // With 64 keys in 64 buckets a decent hash keeps well over half the
+        // buckets distinct (expected ≈ 1 − 1/e ≈ 63%).
+        assert!(distinct.len() >= 32, "only {} distinct buckets", distinct.len());
+    }
+
+    #[test]
+    fn uniformity_chi_square_smoke() {
+        // 10 000 sequential names into 64 buckets: each bucket should land
+        // within a loose band around 156.
+        let h = ShiftAddXor::default();
+        let mut buckets = [0usize; 64];
+        for i in 0..10_000 {
+            buckets[h.hash(&format!("user_{i}"), 64)] += 1;
+        }
+        let expected = 10_000.0 / 64.0;
+        for (b, &count) in buckets.iter().enumerate() {
+            assert!(
+                (count as f64) > expected * 0.5 && (count as f64) < expected * 1.6,
+                "bucket {b} has {count} (expected ≈ {expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_string_hashes_to_seed() {
+        let h = ShiftAddXor::with_seed(1234);
+        assert_eq!(h.hash_raw(""), 1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "table size")]
+    fn zero_table_rejected() {
+        ShiftAddXor::default().hash("x", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad shift")]
+    fn degenerate_shifts_rejected() {
+        ShiftAddXor::new(1, 0, 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! The `k` inverted files of §4.4.
+//!
+//! "To quickly identify the social relevance, we use k inverted files, each
+//! of which stores a sub-community id and a list of its corresponding
+//! videos." A video belongs to a sub-community's list when at least one of
+//! its engaged users maps to that sub-community (its descriptor vector has a
+//! non-zero count there).
+
+use serde::{Deserialize, Serialize};
+use viderec_video::VideoId;
+
+/// `k` sorted posting lists: sub-community → videos.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    lists: Vec<Vec<VideoId>>,
+}
+
+impl InvertedIndex {
+    /// Empty index over `k` sub-communities.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one sub-community");
+        Self { lists: vec![Vec::new(); k] }
+    }
+
+    /// Number of sub-communities.
+    pub fn k(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Indexes a video under every sub-community with a non-zero histogram
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if the vector's dimensionality differs from `k`.
+    pub fn add_video(&mut self, video: VideoId, descriptor_vector: &[u32]) {
+        assert_eq!(descriptor_vector.len(), self.k(), "vector dimensionality mismatch");
+        for (c, &count) in descriptor_vector.iter().enumerate() {
+            if count > 0 {
+                self.add_posting(c, video);
+            }
+        }
+    }
+
+    /// Adds one posting (idempotent).
+    pub fn add_posting(&mut self, community: usize, video: VideoId) {
+        let list = &mut self.lists[community];
+        if let Err(pos) = list.binary_search(&video) {
+            list.insert(pos, video);
+        }
+    }
+
+    /// Removes one posting. Returns whether it was present.
+    pub fn remove_posting(&mut self, community: usize, video: VideoId) -> bool {
+        let list = &mut self.lists[community];
+        if let Ok(pos) = list.binary_search(&video) {
+            list.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The posting list of one sub-community.
+    pub fn postings(&self, community: usize) -> &[VideoId] {
+        &self.lists[community]
+    }
+
+    /// Social candidates for a query histogram: videos sharing at least one
+    /// non-zero sub-community, ranked by the number of shared communities
+    /// weighted by the query's counts (descending), ties by id. This is the
+    /// `GetSocialRelevanceCandidates` + `RankRelevanceCandidates` step of
+    /// Fig. 6.
+    pub fn candidates(&self, query_vector: &[u32]) -> Vec<VideoId> {
+        assert_eq!(query_vector.len(), self.k(), "vector dimensionality mismatch");
+        let mut score: std::collections::HashMap<VideoId, u64> =
+            std::collections::HashMap::new();
+        for (c, &count) in query_vector.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            for &v in &self.lists[c] {
+                *score.entry(v).or_insert(0) += count as u64;
+            }
+        }
+        let mut out: Vec<(VideoId, u64)> = score.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.into_iter().map(|(v, _)| v).collect()
+    }
+
+    /// Moves every posting of `from` into `to` (a community merge) and
+    /// clears `from`. Returns the number of postings moved.
+    pub fn merge_communities(&mut self, from: usize, to: usize) -> usize {
+        assert_ne!(from, to, "cannot merge a community into itself");
+        let moving = std::mem::take(&mut self.lists[from]);
+        let n = moving.len();
+        for v in moving {
+            self.add_posting(to, v);
+        }
+        n
+    }
+
+    /// Appends a fresh empty sub-community list (a community split) and
+    /// returns its index.
+    pub fn push_community(&mut self) -> usize {
+        self.lists.push(Vec::new());
+        self.lists.len() - 1
+    }
+
+    /// Total postings across all lists.
+    pub fn total_postings(&self) -> usize {
+        self.lists.iter().map(|l| l.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u64) -> VideoId {
+        VideoId(i)
+    }
+
+    #[test]
+    fn add_video_indexes_nonzero_dims() {
+        let mut idx = InvertedIndex::new(3);
+        idx.add_video(v(1), &[2, 0, 1]);
+        idx.add_video(v(2), &[0, 3, 0]);
+        assert_eq!(idx.postings(0), &[v(1)]);
+        assert_eq!(idx.postings(1), &[v(2)]);
+        assert_eq!(idx.postings(2), &[v(1)]);
+        assert_eq!(idx.total_postings(), 3);
+    }
+
+    #[test]
+    fn postings_are_sorted_and_deduped() {
+        let mut idx = InvertedIndex::new(1);
+        idx.add_posting(0, v(5));
+        idx.add_posting(0, v(1));
+        idx.add_posting(0, v(5));
+        assert_eq!(idx.postings(0), &[v(1), v(5)]);
+    }
+
+    #[test]
+    fn candidates_ranked_by_weighted_overlap() {
+        let mut idx = InvertedIndex::new(3);
+        idx.add_video(v(1), &[1, 1, 0]); // overlaps communities 0 and 1
+        idx.add_video(v(2), &[1, 0, 0]); // only community 0
+        idx.add_video(v(3), &[0, 0, 5]); // no overlap with the query
+        let c = idx.candidates(&[2, 1, 0]);
+        assert_eq!(c, vec![v(1), v(2)]);
+    }
+
+    #[test]
+    fn empty_query_yields_nothing() {
+        let mut idx = InvertedIndex::new(2);
+        idx.add_video(v(1), &[1, 0]);
+        assert!(idx.candidates(&[0, 0]).is_empty());
+    }
+
+    #[test]
+    fn remove_posting_works() {
+        let mut idx = InvertedIndex::new(1);
+        idx.add_posting(0, v(3));
+        assert!(idx.remove_posting(0, v(3)));
+        assert!(!idx.remove_posting(0, v(3)));
+        assert!(idx.postings(0).is_empty());
+    }
+
+    #[test]
+    fn merge_and_split_communities() {
+        let mut idx = InvertedIndex::new(2);
+        idx.add_posting(0, v(1));
+        idx.add_posting(0, v(2));
+        idx.add_posting(1, v(2));
+        let moved = idx.merge_communities(0, 1);
+        assert_eq!(moved, 2);
+        assert!(idx.postings(0).is_empty());
+        assert_eq!(idx.postings(1), &[v(1), v(2)]);
+        let fresh = idx.push_community();
+        assert_eq!(fresh, 2);
+        assert_eq!(idx.k(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_video_id() {
+        let mut idx = InvertedIndex::new(1);
+        idx.add_video(v(9), &[1]);
+        idx.add_video(v(2), &[1]);
+        assert_eq!(idx.candidates(&[1]), vec![v(2), v(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dims_rejected() {
+        InvertedIndex::new(2).add_video(v(1), &[1]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # viderec-index
+//!
+//! The indexing substrates of §4.2.3 and §4.4:
+//!
+//! * [`hasher`] — the *shift-add-xor* string hash family (Eq. 7; Ramakrishna
+//!   & Zobel), chosen by the paper for uniformity/universality/efficiency.
+//! * [`chained`] — the chained hash table of Fig. 4: buckets of
+//!   `<key, cno, nextptr>` triads mapping user names to sub-community ids.
+//! * [`inverted`] — the `k` inverted files of §4.4: one video list per
+//!   sub-community, feeding social candidates to the KNN search.
+//! * [`lsh`] — p-stable (Cauchy) locality-sensitive hashing for the L1 norm,
+//!   used to convert embedded signature points to integer grid points.
+//! * [`zorder`] — Morton (Z-order) codes over the LSH grid and their
+//!   longest-common-prefix comparisons.
+//! * [`btree`] — a from-scratch B⁺-tree with doubly linked leaves, keyed by
+//!   Z-order values (Tao et al.'s LSB-tree substrate [28]).
+//! * [`lsb`] — the LSB-tree ensemble: `L` independent (LSH → Z-order →
+//!   B⁺-tree) indexes answering approximate nearest-neighbour queries by
+//!   expanding around the query's Z-value in longest-common-prefix order.
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod chained;
+pub mod hasher;
+pub mod inverted;
+pub mod lsb;
+pub mod zorder;
+
+pub mod lsh;
+
+pub use btree::BPlusTree;
+pub use chained::ChainedHashTable;
+pub use hasher::ShiftAddXor;
+pub use inverted::InvertedIndex;
+pub use lsb::{LsbConfig, LsbForest};
+pub use lsh::CauchyLsh;
+pub use zorder::{common_prefix_len, zorder_encode};

@@ -1,0 +1,261 @@
+//! The LSB-tree ensemble (Tao et al., SIGMOD'09 [28]), as adopted in §4.4.
+//!
+//! Each of the `L` trees owns an independent Cauchy LSH bundle: a point is
+//! hashed to `m` grid coordinates, Z-order encoded, and stored in a B⁺-tree
+//! under that Z-value. A query "continuously find[s] the next longest common
+//! prefix with the query" (Fig. 6): bidirectional cursors expand around the
+//! query's Z-value, always taking the side whose next entry shares the longer
+//! prefix, because a longer shared Z-prefix means a smaller shared quadrant
+//! of the LSH grid and therefore (w.h.p.) a closer point in L1.
+
+use crate::btree::BPlusTree;
+use crate::lsh::CauchyLsh;
+use crate::zorder::{common_prefix_len, zorder_encode};
+
+/// LSB ensemble parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LsbConfig {
+    /// Number of independent trees `L`.
+    pub trees: usize,
+    /// LSH functions per tree `m` (Z-order dimensions).
+    pub hashes_per_tree: usize,
+    /// Bits per LSH coordinate.
+    pub bits: u32,
+    /// LSH bucket width `W`.
+    pub bucket_width: f64,
+    /// Base seed; tree `t` uses `seed + t`.
+    pub seed: u64,
+}
+
+impl Default for LsbConfig {
+    fn default() -> Self {
+        Self { trees: 4, hashes_per_tree: 8, bits: 12, bucket_width: 4.0, seed: 0x15b }
+    }
+}
+
+/// A candidate returned by an LSB query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsbCandidate<P> {
+    /// Stored payload.
+    pub payload: P,
+    /// The best (longest) common Z-prefix across trees, in bits.
+    pub lcp: u32,
+}
+
+/// `L` independent LSH → Z-order → B⁺-tree indexes.
+#[derive(Debug)]
+pub struct LsbForest<P> {
+    cfg: LsbConfig,
+    dims: usize,
+    trees: Vec<(CauchyLsh, BPlusTree<P>)>,
+    len: usize,
+}
+
+impl<P: Clone + Eq + std::hash::Hash> LsbForest<P> {
+    /// Empty forest for `dims`-dimensional points.
+    ///
+    /// # Panics
+    /// Panics on a zero-tree config or a Z-order bit budget above 128.
+    pub fn new(cfg: LsbConfig, dims: usize) -> Self {
+        assert!(cfg.trees > 0, "need at least one tree");
+        assert!(
+            cfg.hashes_per_tree as u32 * cfg.bits <= 128,
+            "Z-order bit budget exceeds u128"
+        );
+        let trees = (0..cfg.trees)
+            .map(|t| {
+                (
+                    CauchyLsh::new(cfg.hashes_per_tree, dims, cfg.bucket_width, cfg.seed + t as u64),
+                    BPlusTree::new(),
+                )
+            })
+            .collect();
+        Self { cfg, dims, trees, len: 0 }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Point dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Total Z-order bits per key.
+    fn total_bits(&self) -> u32 {
+        self.cfg.hashes_per_tree as u32 * self.cfg.bits
+    }
+
+    fn zvalue(&self, lsh: &CauchyLsh, point: &[f64]) -> u128 {
+        let coords = lsh.hash_unsigned(point, self.cfg.bits);
+        zorder_encode(&coords, self.cfg.bits)
+    }
+
+    /// Indexes `point` under `payload` in every tree.
+    pub fn insert(&mut self, point: &[f64], payload: P) {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        let keys: Vec<u128> = self
+            .trees
+            .iter()
+            .map(|(lsh, _)| self.zvalue(lsh, point))
+            .collect();
+        for ((_, tree), key) in self.trees.iter_mut().zip(keys) {
+            tree.insert(key, payload.clone());
+        }
+        self.len += 1;
+    }
+
+    /// Returns up to `limit` distinct candidates, best common-prefix first.
+    ///
+    /// Per tree, up to `limit` entries are pulled by expanding two cursors
+    /// around the query Z-value, always stepping the side with the longer
+    /// common prefix (the "next longest common prefix" rule of Fig. 6).
+    /// Candidates found in several trees keep their best LCP.
+    pub fn query(&self, point: &[f64], limit: usize) -> Vec<LsbCandidate<P>> {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        if limit == 0 {
+            return Vec::new();
+        }
+        let total_bits = self.total_bits();
+        let mut best: std::collections::HashMap<P, u32> = std::collections::HashMap::new();
+        for (lsh, tree) in &self.trees {
+            let q = self.zvalue(lsh, point);
+            let mut fwd = tree.cursor_forward(q);
+            let mut bwd = tree.cursor_backward(q);
+            let mut pulled = 0usize;
+            while pulled < limit {
+                let flcp = fwd.peek_key().map(|k| common_prefix_len(q, k, total_bits));
+                let blcp = bwd.peek_key().map(|k| common_prefix_len(q, k, total_bits));
+                let take_forward = match (flcp, blcp) {
+                    (None, None) => break,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (Some(f), Some(b)) => f >= b,
+                };
+                let (key, values) = if take_forward {
+                    fwd.next().expect("peeked")
+                } else {
+                    bwd.next().expect("peeked")
+                };
+                let lcp = common_prefix_len(q, key, total_bits);
+                for v in values {
+                    let e = best.entry(v.clone()).or_insert(lcp);
+                    if lcp > *e {
+                        *e = lcp;
+                    }
+                    pulled += 1;
+                }
+            }
+        }
+        let mut out: Vec<LsbCandidate<P>> = best
+            .into_iter()
+            .map(|(payload, lcp)| LsbCandidate { payload, lcp })
+            .collect();
+        out.sort_by_key(|c| std::cmp::Reverse(c.lcp));
+        out.truncate(limit);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cfg() -> LsbConfig {
+        LsbConfig { trees: 4, hashes_per_tree: 6, bits: 10, bucket_width: 2.0, seed: 9 }
+    }
+
+    fn random_point(rng: &mut StdRng, dims: usize, scale: f64) -> Vec<f64> {
+        (0..dims).map(|_| rng.gen_range(-scale..scale)).collect()
+    }
+
+    #[test]
+    fn exact_match_is_top_candidate() {
+        let mut f: LsbForest<u32> = LsbForest::new(cfg(), 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = random_point(&mut rng, 8, 5.0);
+        f.insert(&target, 42);
+        for i in 0..50 {
+            let p = random_point(&mut rng, 8, 50.0);
+            f.insert(&p, i);
+        }
+        let res = f.query(&target, 5);
+        assert_eq!(res[0].payload, 42);
+        assert_eq!(res[0].lcp, f.total_bits());
+    }
+
+    #[test]
+    fn near_neighbours_surface_in_candidates() {
+        // Insert clusters far apart; querying near one cluster should return
+        // mostly that cluster's members.
+        let mut f: LsbForest<usize> = LsbForest::new(cfg(), 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..20 {
+            let base = if i < 10 { 0.0 } else { 400.0 };
+            let p: Vec<f64> = (0..4).map(|_| base + rng.gen_range(-0.5..0.5)).collect();
+            f.insert(&p, i);
+        }
+        let res = f.query(&[0.0, 0.0, 0.0, 0.0], 10);
+        let near_hits = res.iter().filter(|c| c.payload < 10).count();
+        assert!(near_hits >= 7, "only {near_hits}/10 candidates from the near cluster");
+    }
+
+    #[test]
+    fn candidates_ordered_by_lcp() {
+        let mut f: LsbForest<usize> = LsbForest::new(cfg(), 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..60 {
+            f.insert(&random_point(&mut rng, 4, 30.0), i);
+        }
+        let res = f.query(&[0.0; 4], 20);
+        for w in res.windows(2) {
+            assert!(w[0].lcp >= w[1].lcp);
+        }
+    }
+
+    #[test]
+    fn limit_respected_and_dedup() {
+        let mut f: LsbForest<u8> = LsbForest::new(cfg(), 4);
+        let p = [1.0, 2.0, 3.0, 4.0];
+        f.insert(&p, 7); // appears in all 4 trees
+        let res = f.query(&p, 10);
+        assert_eq!(res.len(), 1, "payload must be deduplicated across trees");
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..30 {
+            f.insert(&random_point(&mut rng, 4, 10.0), i);
+        }
+        assert!(f.query(&p, 5).len() <= 5);
+    }
+
+    #[test]
+    fn empty_forest_returns_nothing() {
+        let f: LsbForest<u8> = LsbForest::new(cfg(), 3);
+        assert!(f.is_empty());
+        assert!(f.query(&[0.0; 3], 8).is_empty());
+        assert_eq!(f.dims(), 3);
+    }
+
+    #[test]
+    fn zero_limit_returns_nothing() {
+        let mut f: LsbForest<u8> = LsbForest::new(cfg(), 2);
+        f.insert(&[0.0, 0.0], 1);
+        assert!(f.query(&[0.0, 0.0], 0).is_empty());
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit budget")]
+    fn oversized_bits_rejected() {
+        let cfg = LsbConfig { hashes_per_tree: 16, bits: 16, ..Default::default() };
+        let _f: LsbForest<u8> = LsbForest::new(cfg, 2);
+    }
+}

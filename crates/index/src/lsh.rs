@@ -1,0 +1,176 @@
+//! p-stable locality-sensitive hashing for the L1 norm.
+//!
+//! §4.4 converts EMD-embedded L1 points into hash grid points before Z-order
+//! encoding. For L1, the p-stable distribution is Cauchy (Datar et al.): each
+//! hash is `h(v) = ⌊(a·v + b) / W⌋` with `a` drawn i.i.d. Cauchy(0, 1) and
+//! `b` uniform in `[0, W)`. Close points in L1 collide with higher
+//! probability than far points.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bundle of `m` Cauchy LSH functions mapping `dims`-dimensional points to
+/// `m` integer grid coordinates.
+#[derive(Debug, Clone)]
+pub struct CauchyLsh {
+    /// `m × dims` projection coefficients.
+    a: Vec<Vec<f64>>,
+    /// `m` offsets in `[0, w)`.
+    b: Vec<f64>,
+    /// `m` random grid translations in `[0, 1)`, applied by
+    /// [`CauchyLsh::hash_unsigned`] so the Z-order quadrant boundaries fall
+    /// at different places in each tree (without this, every point near the
+    /// data origin straddles the most significant bit of every coordinate and
+    /// common prefixes collapse).
+    shift: Vec<f64>,
+    w: f64,
+}
+
+impl CauchyLsh {
+    /// Samples `m` hash functions for `dims`-dimensional input with bucket
+    /// width `w`, deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `m` or `dims` is zero or `w` is not positive.
+    pub fn new(m: usize, dims: usize, w: f64, seed: u64) -> Self {
+        assert!(m > 0 && dims > 0, "need at least one function and dimension");
+        assert!(w > 0.0, "bucket width must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..m)
+            .map(|_| (0..dims).map(|_| sample_cauchy(&mut rng)).collect())
+            .collect();
+        let b = (0..m).map(|_| rng.gen_range(0.0..w)).collect();
+        let shift = (0..m).map(|_| rng.gen_range(0.0..1.0)).collect();
+        Self { a, b, shift, w }
+    }
+
+    /// Number of hash functions `m`.
+    pub fn m(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Input dimensionality.
+    pub fn dims(&self) -> usize {
+        self.a[0].len()
+    }
+
+    /// Bucket width `W`.
+    pub fn width(&self) -> f64 {
+        self.w
+    }
+
+    /// Hashes a point to `m` signed grid coordinates.
+    ///
+    /// # Panics
+    /// Panics if the point's dimensionality is wrong.
+    pub fn hash(&self, point: &[f64]) -> Vec<i64> {
+        assert_eq!(point.len(), self.dims(), "point dimensionality mismatch");
+        self.a
+            .iter()
+            .zip(&self.b)
+            .map(|(row, &b)| {
+                let dot: f64 = row.iter().zip(point).map(|(a, x)| a * x).sum();
+                ((dot + b) / self.w).floor() as i64
+            })
+            .collect()
+    }
+
+    /// Hashes to unsigned coordinates clamped into `[0, 2^bits)` around a
+    /// per-function randomly translated centre — the representation the
+    /// Z-order encoder consumes.
+    pub fn hash_unsigned(&self, point: &[f64], bits: u32) -> Vec<u64> {
+        let max = (1u64 << bits) - 1;
+        let centre = 1i64 << (bits - 1);
+        // Translate by up to a quarter of the grid per function so quadrant
+        // boundaries decorrelate across trees.
+        let span = (1i64 << (bits - 2)) as f64;
+        self.hash(point)
+            .into_iter()
+            .zip(&self.shift)
+            .map(|(h, &s)| {
+                let off = (s * span) as i64;
+                (h + centre + off).clamp(0, max as i64) as u64
+            })
+            .collect()
+    }
+}
+
+fn sample_cauchy(rng: &mut StdRng) -> f64 {
+    // Inverse-CDF sampling: tan(π(u − ½)) with u uniform in (0, 1).
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (std::f64::consts::PI * (u - 0.5)).tan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = CauchyLsh::new(4, 8, 4.0, 7);
+        let b = CauchyLsh::new(4, 8, 4.0, 7);
+        let p = vec![0.5; 8];
+        assert_eq!(a.hash(&p), b.hash(&p));
+    }
+
+    #[test]
+    fn identical_points_always_collide() {
+        let lsh = CauchyLsh::new(6, 4, 2.0, 1);
+        let p = vec![1.0, -2.0, 0.5, 3.0];
+        assert_eq!(lsh.hash(&p), lsh.hash(&p));
+    }
+
+    #[test]
+    fn near_points_collide_more_than_far_points() {
+        let lsh = CauchyLsh::new(32, 8, 8.0, 3);
+        let base = vec![0.0; 8];
+        let near: Vec<f64> = (0..8).map(|i| if i == 0 { 0.3 } else { 0.0 }).collect();
+        let far: Vec<f64> = (0..8).map(|_| 20.0).collect();
+        let collisions = |x: &[f64], y: &[f64]| {
+            lsh.hash(x)
+                .iter()
+                .zip(lsh.hash(y))
+                .filter(|&(&a, b)| a == b)
+                .count()
+        };
+        let cn = collisions(&base, &near);
+        let cf = collisions(&base, &far);
+        assert!(cn > cf, "near {cn} vs far {cf}");
+    }
+
+    #[test]
+    fn unsigned_hash_respects_bit_budget() {
+        let lsh = CauchyLsh::new(8, 4, 1.0, 5);
+        let p = vec![100.0, -100.0, 5.0, 0.0];
+        for &h in &lsh.hash_unsigned(&p, 10) {
+            assert!(h < 1 << 10);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let lsh = CauchyLsh::new(3, 7, 2.5, 0);
+        assert_eq!(lsh.m(), 3);
+        assert_eq!(lsh.dims(), 7);
+        assert_eq!(lsh.width(), 2.5);
+    }
+
+    #[test]
+    fn cauchy_sampler_is_heavy_tailed() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples: Vec<f64> = (0..10_000).map(|_| sample_cauchy(&mut rng)).collect();
+        // Median near 0; a visible fraction of |x| > 10 (tails).
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert!(sorted[5000].abs() < 0.2);
+        let tail = samples.iter().filter(|x| x.abs() > 10.0).count();
+        assert!(tail > 100, "only {tail} tail samples");
+    }
+
+    #[test]
+    #[should_panic(expected = "point dimensionality")]
+    fn wrong_dims_rejected() {
+        CauchyLsh::new(2, 3, 1.0, 0).hash(&[0.0; 4]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Legacy compact signatures from the near-duplicate literature (§2.2).
+//!
+//! The paper's §4.1 weighs the cuboid model against the classic alternatives
+//! it cites from Zobel & Hoad [40] and Kim & Vasudev [14]; these are
+//! implemented here both to back that comparison in the ablation bench and
+//! because a credible release of the system ships the baselines it argues
+//! against:
+//!
+//! * [`OrdinalSignature`] — per-keyframe rank order of block intensities
+//!   (robust to global transforms, fragile to frame editing);
+//! * [`ColorShiftSignature`] — mean-intensity difference between neighbouring
+//!   frames (robust but weakly discriminative);
+//! * [`CentroidSignature`] — movement of the lightest/darkest block between
+//!   neighbouring frames.
+
+use crate::block::BlockGrid;
+use viderec_video::Video;
+
+/// Per-keyframe rank order of block average intensities (Kim & Vasudev).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrdinalSignature {
+    /// One rank vector per sampled frame; `ranks[f][b]` is the rank of block
+    /// `b` among the blocks of frame `f`.
+    ranks: Vec<Vec<u16>>,
+    blocks: usize,
+}
+
+impl OrdinalSignature {
+    /// Extracts the signature on a `cols × rows` grid, sampling every
+    /// `stride`-th frame.
+    pub fn extract(video: &Video, cols: usize, rows: usize, stride: usize) -> Self {
+        assert!(stride >= 1, "stride must be at least 1");
+        let ranks = video
+            .frames()
+            .iter()
+            .step_by(stride)
+            .map(|f| {
+                let grid = BlockGrid::from_frame(f, cols, rows);
+                rank_vector(grid.values())
+            })
+            .collect();
+        Self { ranks, blocks: cols * rows }
+    }
+
+    /// Normalised ordinal distance in `[0, 1]`: mean absolute rank
+    /// displacement over aligned frames, divided by the maximum possible
+    /// displacement sum. Sequences of different lengths compare over their
+    /// common prefix, with the surplus counted as maximal distance.
+    pub fn distance(&self, other: &OrdinalSignature) -> f64 {
+        assert_eq!(self.blocks, other.blocks, "grid mismatch");
+        let n = self.ranks.len().max(other.ranks.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let common = self.ranks.len().min(other.ranks.len());
+        // Max displacement of a permutation of b elements is b²/2.
+        let max_disp = (self.blocks * self.blocks) as f64 / 2.0;
+        let mut total = 0.0;
+        for f in 0..common {
+            let d: f64 = self.ranks[f]
+                .iter()
+                .zip(&other.ranks[f])
+                .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                .sum();
+            total += d / max_disp;
+        }
+        total += (n - common) as f64; // unmatched frames are maximally far
+        (total / n as f64).min(1.0)
+    }
+}
+
+fn rank_vector(values: &[f64]) -> Vec<u16> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut ranks = vec![0u16; values.len()];
+    for (rank, &i) in idx.iter().enumerate() {
+        ranks[i] = rank as u16;
+    }
+    ranks
+}
+
+/// Mean-intensity shift between neighbouring frames (Zobel & Hoad's "colour
+/// shift", on luminance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorShiftSignature {
+    shifts: Vec<f64>,
+}
+
+impl ColorShiftSignature {
+    /// Extracts per-boundary mean intensity differences.
+    pub fn extract(video: &Video) -> Self {
+        let shifts = video
+            .frames()
+            .windows(2)
+            .map(|w| w[1].mean_intensity() - w[0].mean_intensity())
+            .collect();
+        Self { shifts }
+    }
+
+    /// The shift sequence.
+    pub fn shifts(&self) -> &[f64] {
+        &self.shifts
+    }
+
+    /// Mean absolute difference over the aligned prefix plus a length
+    /// penalty; in intensity units.
+    pub fn distance(&self, other: &ColorShiftSignature) -> f64 {
+        let common = self.shifts.len().min(other.shifts.len());
+        let longest = self.shifts.len().max(other.shifts.len());
+        if longest == 0 {
+            return 0.0;
+        }
+        let mut total: f64 = self.shifts[..common]
+            .iter()
+            .zip(&other.shifts[..common])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        // Surplus boundaries compare against zero shift.
+        total += self.shifts[common..].iter().map(|s| s.abs()).sum::<f64>();
+        total += other.shifts[common..].iter().map(|s| s.abs()).sum::<f64>();
+        total / longest as f64
+    }
+}
+
+/// Movement of the lightest and darkest blocks between neighbouring frames
+/// (Zobel & Hoad's centroid signature).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentroidSignature {
+    /// Per-boundary `(light_dx, light_dy, dark_dx, dark_dy)` in block units.
+    moves: Vec<[f64; 4]>,
+}
+
+impl CentroidSignature {
+    /// Extracts block-centroid movements on a `cols × rows` grid.
+    pub fn extract(video: &Video, cols: usize, rows: usize) -> Self {
+        let extrema: Vec<(usize, usize)> = video
+            .frames()
+            .iter()
+            .map(|f| {
+                let grid = BlockGrid::from_frame(f, cols, rows);
+                let mut lightest = 0;
+                let mut darkest = 0;
+                for i in 1..grid.len() {
+                    if grid.get_flat(i) > grid.get_flat(lightest) {
+                        lightest = i;
+                    }
+                    if grid.get_flat(i) < grid.get_flat(darkest) {
+                        darkest = i;
+                    }
+                }
+                (lightest, darkest)
+            })
+            .collect();
+        let moves = extrema
+            .windows(2)
+            .map(|w| {
+                let pos = |i: usize| ((i % cols) as f64, (i / cols) as f64);
+                let (l0, d0) = w[0];
+                let (l1, d1) = w[1];
+                let (lx0, ly0) = pos(l0);
+                let (lx1, ly1) = pos(l1);
+                let (dx0, dy0) = pos(d0);
+                let (dx1, dy1) = pos(d1);
+                [lx1 - lx0, ly1 - ly0, dx1 - dx0, dy1 - dy0]
+            })
+            .collect();
+        Self { moves }
+    }
+
+    /// Mean Euclidean difference of movement vectors over the aligned prefix,
+    /// in block units.
+    pub fn distance(&self, other: &CentroidSignature) -> f64 {
+        let common = self.moves.len().min(other.moves.len());
+        if common == 0 {
+            return if self.moves.len() == other.moves.len() { 0.0 } else { f64::INFINITY };
+        }
+        let total: f64 = self.moves[..common]
+            .iter()
+            .zip(&other.moves[..common])
+            .map(|(a, b)| {
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .sum();
+        total / common as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viderec_video::{SynthConfig, Transform, VideoId, VideoSynthesizer};
+
+    fn synth(seed: u64, topic: usize) -> Video {
+        let mut s = VideoSynthesizer::new(SynthConfig::default(), 3, seed);
+        s.generate(VideoId(seed), topic, 12.0)
+    }
+
+    #[test]
+    fn ordinal_self_distance_zero() {
+        let v = synth(1, 0);
+        let s = OrdinalSignature::extract(&v, 4, 4, 5);
+        assert_eq!(s.distance(&s), 0.0);
+    }
+
+    #[test]
+    fn ordinal_invariant_to_contrast_change() {
+        // Monotone intensity maps preserve block ranks.
+        let v = synth(2, 0);
+        let w = Transform::ContrastScale(1.2).apply(&v);
+        let sv = OrdinalSignature::extract(&v, 4, 4, 5);
+        let sw = OrdinalSignature::extract(&w, 4, 4, 5);
+        assert!(sv.distance(&sw) < 0.08, "d = {}", sv.distance(&sw));
+    }
+
+    #[test]
+    fn ordinal_fragile_to_logo_editing() {
+        // The weakness the paper cites: frame editing disturbs rank order
+        // more than a photometric change does.
+        let v = synth(3, 0);
+        let photometric = Transform::BrightnessShift(10).apply(&v);
+        let edited = Transform::LogoOverlay { fraction: 0.4, intensity: 255 }.apply(&v);
+        let s = OrdinalSignature::extract(&v, 4, 4, 5);
+        let sp = OrdinalSignature::extract(&photometric, 4, 4, 5);
+        let se = OrdinalSignature::extract(&edited, 4, 4, 5);
+        assert!(s.distance(&se) > s.distance(&sp));
+    }
+
+    #[test]
+    fn color_shift_self_zero_and_symmetric() {
+        let a = ColorShiftSignature::extract(&synth(4, 0));
+        let b = ColorShiftSignature::extract(&synth(5, 1));
+        assert_eq!(a.distance(&a), 0.0);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        assert!(!a.shifts().is_empty());
+    }
+
+    #[test]
+    fn color_shift_robust_to_brightness() {
+        // Constant brightness offsets cancel in frame-to-frame differences
+        // (up to clamping at the intensity bounds).
+        let v = synth(6, 0);
+        let w = Transform::BrightnessShift(10).apply(&v);
+        let sv = ColorShiftSignature::extract(&v);
+        let sw = ColorShiftSignature::extract(&w);
+        assert!(sv.distance(&sw) < 1.0, "d = {}", sv.distance(&sw));
+    }
+
+    #[test]
+    fn centroid_self_zero() {
+        let v = synth(7, 1);
+        let s = CentroidSignature::extract(&v, 4, 4);
+        assert_eq!(s.distance(&s), 0.0);
+    }
+
+    #[test]
+    fn centroid_differs_across_topics() {
+        let a = CentroidSignature::extract(&synth(8, 0), 4, 4);
+        let b = CentroidSignature::extract(&synth(9, 2), 4, 4);
+        assert!(a.distance(&b) > 0.0);
+    }
+
+    #[test]
+    fn rank_vector_is_a_permutation() {
+        let r = rank_vector(&[5.0, 1.0, 3.0, 2.0]);
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert_eq!(r[1], 0); // smallest value gets rank 0
+        assert_eq!(r[0], 3); // largest gets rank 3
+    }
+}

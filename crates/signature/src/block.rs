@@ -1,0 +1,138 @@
+//! Keyframe block partition.
+//!
+//! §4.1: "dividing each keyframe into a fixed number of equal-size blocks".
+//! A [`BlockGrid`] is the `cols × rows` table of block average intensities of
+//! one keyframe, the raw material for spatial merging and temporal deltas.
+
+use viderec_video::Frame;
+
+/// Average intensities of a keyframe's equal-size blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockGrid {
+    cols: usize,
+    rows: usize,
+    /// Row-major block averages.
+    values: Vec<f64>,
+}
+
+impl BlockGrid {
+    /// Partitions `frame` into a `cols × rows` grid of block averages.
+    pub fn from_frame(frame: &Frame, cols: usize, rows: usize) -> Self {
+        Self { cols, rows, values: frame.block_grid(cols, rows) }
+    }
+
+    /// Builds a grid directly from values (tests, synthetic inputs).
+    ///
+    /// # Panics
+    /// Panics if `values.len() != cols * rows`.
+    pub fn from_values(cols: usize, rows: usize, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), cols * rows, "value count mismatch");
+        assert!(cols > 0 && rows > 0, "grid dimensions must be non-zero");
+        Self { cols, rows, values }
+    }
+
+    /// Grid columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the grid has no blocks (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Block average at `(col, row)`.
+    #[inline]
+    pub fn get(&self, col: usize, row: usize) -> f64 {
+        debug_assert!(col < self.cols && row < self.rows);
+        self.values[row * self.cols + col]
+    }
+
+    /// Block average at flat index.
+    #[inline]
+    pub fn get_flat(&self, idx: usize) -> f64 {
+        self.values[idx]
+    }
+
+    /// Flat index of `(col, row)`.
+    #[inline]
+    pub fn flat(&self, col: usize, row: usize) -> usize {
+        row * self.cols + col
+    }
+
+    /// 4-neighbourhood of a flat index (up/down/left/right).
+    pub fn neighbours(&self, idx: usize) -> impl Iterator<Item = usize> + '_ {
+        let col = idx % self.cols;
+        let row = idx / self.cols;
+        let candidates = [
+            (col.wrapping_sub(1), row),
+            (col + 1, row),
+            (col, row.wrapping_sub(1)),
+            (col, row + 1),
+        ];
+        candidates
+            .into_iter()
+            .filter(move |&(c, r)| c < self.cols && r < self.rows)
+            .map(move |(c, r)| r * self.cols + c)
+    }
+
+    /// All block values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_frame_matches_block_grid() {
+        let f = Frame::from_data(4, 4, (0..16).map(|i| i as u8 * 10).collect());
+        let g = BlockGrid::from_frame(&f, 2, 2);
+        assert_eq!(g.len(), 4);
+        // Top-left block = pixels 0,1,4,5 → (0+10+40+50)/4 = 25.
+        assert_eq!(g.get(0, 0), 25.0);
+    }
+
+    #[test]
+    fn neighbours_corner_and_centre() {
+        let g = BlockGrid::from_values(3, 3, vec![0.0; 9]);
+        let corner: Vec<usize> = g.neighbours(0).collect();
+        assert_eq!(corner.len(), 2);
+        assert!(corner.contains(&1) && corner.contains(&3));
+        let centre: Vec<usize> = g.neighbours(4).collect();
+        assert_eq!(centre.len(), 4);
+    }
+
+    #[test]
+    fn flat_indexing_roundtrip() {
+        let g = BlockGrid::from_values(4, 2, (0..8).map(|i| i as f64).collect());
+        assert_eq!(g.flat(3, 1), 7);
+        assert_eq!(g.get(3, 1), 7.0);
+        assert_eq!(g.get_flat(7), 7.0);
+        assert!(!g.is_empty());
+        assert_eq!((g.cols(), g.rows()), (4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "value count mismatch")]
+    fn bad_value_count_rejected() {
+        BlockGrid::from_values(2, 2, vec![0.0; 3]);
+    }
+}

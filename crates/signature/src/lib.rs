@@ -1,0 +1,36 @@
+//! # viderec-signature
+//!
+//! The video cuboid signature model of §4.1 (after Zhou & Chen, MM'10 [35]),
+//! built on `viderec-video` frames and measured with `viderec-emd`.
+//!
+//! Pipeline per video:
+//!
+//! 1. shot detection → segments → keyframes → bigrams (`viderec-video`);
+//! 2. each keyframe is divided into a fixed grid of equal-size blocks
+//!    ([`block`]);
+//! 3. spatially adjacent *similar* blocks of the reference (first) keyframe
+//!    are merged into variable-size regions ([`merge`]);
+//! 4. temporally adjacent blocks are grouped along each region: the cuboid's
+//!    value `v` is the average intensity change over time, its weight `μ` the
+//!    normalised region size ([`cuboid`]);
+//! 5. a video becomes a [`series::SignatureSeries`]; series are compared with
+//!    `κJ` (Eq. 4) or the DTW/ERP baselines ([`series`]).
+//!
+//! [`baselines`] adds the legacy compact signatures the related work
+//! discusses (ordinal, colour-shift, centroid), used by the measure ablation.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod block;
+pub mod builder;
+pub mod cuboid;
+pub mod merge;
+pub mod series;
+
+pub use builder::{SignatureBuilder, SignatureConfig};
+pub use cuboid::{Cuboid, CuboidSignature};
+pub use series::{
+    kappa_j_series, kappa_j_series_pruned, series_dtw_similarity, series_erp_similarity,
+    SignatureSeries,
+};

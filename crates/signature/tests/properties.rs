@@ -1,0 +1,126 @@
+//! Property tests for cuboid signatures: normalisation, photometric
+//! invariance, and κJ bounds over the real pipeline.
+
+use proptest::prelude::*;
+use viderec_signature::{CuboidSignature, SignatureBuilder};
+use viderec_video::{Frame, QGram, Transform, Video, VideoId};
+
+/// A random q-gram of `q` frames on an 16×16 canvas with 4×4-block structure.
+fn qgram_strategy() -> impl Strategy<Value = QGram> {
+    (2..4usize, prop::collection::vec(0..=255u8, 16))
+        .prop_flat_map(|(q, base_blocks)| {
+            prop::collection::vec(prop::collection::vec(-20i32..20, 16), q)
+                .prop_map(move |deltas| {
+                    let frames = deltas
+                        .iter()
+                        .map(|frame_deltas| {
+                            let mut data = vec![0u8; 256];
+                            for (b, (&base, &d)) in
+                                base_blocks.iter().zip(frame_deltas).enumerate()
+                            {
+                                let v = (base as i32 + d).clamp(0, 255) as u8;
+                                let (bx, by) = (b % 4, b / 4);
+                                for y in 0..4 {
+                                    for x in 0..4 {
+                                        data[(by * 4 + y) * 16 + bx * 4 + x] = v;
+                                    }
+                                }
+                            }
+                            Frame::from_data(16, 16, data)
+                        })
+                        .collect();
+                    QGram { segment: 0, frames }
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every signature the pipeline produces is normalised with positive
+    /// weights and finite values.
+    #[test]
+    fn signatures_are_normalised(gram in qgram_strategy(), thr in 0.0..30.0f64) {
+        let sig = CuboidSignature::from_qgram(&gram, 4, 4, thr);
+        let mass: f64 = sig.cuboids().iter().map(|c| c.weight).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-6);
+        prop_assert!(sig.cuboids().iter().all(|c| c.weight > 0.0 && c.value.is_finite()));
+        prop_assert!(sig.len() <= 16);
+    }
+
+    /// A uniform brightness offset applied to *all* frames of a q-gram
+    /// leaves the signature's EMD at zero (temporal deltas are unchanged).
+    #[test]
+    fn brightness_offset_invariance(gram in qgram_strategy(), offset in 1..30i32) {
+        // Keep away from the clamp boundaries so the delta really is uniform.
+        let shifted_frames: Vec<Frame> = gram
+            .frames
+            .iter()
+            .map(|f| {
+                let data = f
+                    .data()
+                    .iter()
+                    .map(|&p| (p as i32 / 2 + 60 + offset).clamp(0, 255) as u8)
+                    .collect();
+                Frame::from_data(f.width(), f.height(), data)
+            })
+            .collect();
+        let base_frames: Vec<Frame> = gram
+            .frames
+            .iter()
+            .map(|f| {
+                let data = f
+                    .data()
+                    .iter()
+                    .map(|&p| (p as i32 / 2 + 60).clamp(0, 255) as u8)
+                    .collect();
+                Frame::from_data(f.width(), f.height(), data)
+            })
+            .collect();
+        let a = CuboidSignature::from_qgram(
+            &QGram { segment: 0, frames: base_frames }, 4, 4, 8.0,
+        );
+        let b = CuboidSignature::from_qgram(
+            &QGram { segment: 0, frames: shifted_frames }, 4, 4, 8.0,
+        );
+        // Region structure can differ (merging keys off absolute values),
+        // but the mass-weighted delta distribution is identical.
+        prop_assert!(a.emd(&b) < 1e-9, "EMD {}", a.emd(&b));
+    }
+
+    /// κJ over the full pipeline stays in [0, 1] and scores 1 on self.
+    #[test]
+    fn kappa_pipeline_bounds(seed in 0..5000u64) {
+        use viderec_video::{SynthConfig, VideoSynthesizer};
+        let mut synth = VideoSynthesizer::new(SynthConfig::default(), 2, seed);
+        let v1 = synth.generate(VideoId(1), 0, 8.0);
+        let v2 = synth.generate(VideoId(2), 1, 8.0);
+        let b = SignatureBuilder::default();
+        let (s1, s2) = (b.build(&v1), b.build(&v2));
+        let k12 = s1.kappa_j(&s2);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&k12));
+        prop_assert!((s1.kappa_j(&s1) - 1.0).abs() < 1e-9);
+        prop_assert!((k12 - s2.kappa_j(&s1)).abs() < 1e-12);
+    }
+
+    /// Frame-count-preserving photometric edits never change the series
+    /// length; temporal edits change it predictably.
+    #[test]
+    fn series_length_stability(seed in 0..2000u64) {
+        use viderec_video::{SynthConfig, VideoSynthesizer};
+        let mut synth = VideoSynthesizer::new(SynthConfig::default(), 1, seed);
+        let v = synth.generate(VideoId(1), 0, 10.0);
+        let b = SignatureBuilder::default();
+        let base_len = b.build(&v).len();
+        prop_assert!(base_len > 0);
+        // An identity photometric edit preserves the cut structure exactly;
+        // a non-zero one may clamp pixels at the intensity bounds and move
+        // the odd boundary, but must still yield a usable series.
+        let noop = Transform::ContrastScale(1.0).apply(&v);
+        prop_assert_eq!(b.build(&noop).len(), base_len);
+        let bright = Transform::BrightnessShift(10).apply(&v);
+        prop_assert!(!b.build(&bright).is_empty());
+        let half: Video = Transform::SubClip { start: 0, len: v.len() / 2 }.apply(&v);
+        prop_assert!(b.build(&half).len() <= base_len);
+    }
+}

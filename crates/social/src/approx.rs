@@ -1,0 +1,127 @@
+//! SAR approximate social relevance — Eq. 6.
+//!
+//! With both descriptors vectorised over the `k` sub-communities, the
+//! approximation replaces the quadratic user-set Jaccard with the linear
+//! histogram intersection-over-union:
+//!
+//! ```text
+//! s̃J = Σᵢ min(d_Qi, d_Vi) / Σᵢ max(d_Qi, d_Vi)
+//! ```
+
+/// `s̃J` of two k-dimensional user histograms (Eq. 6). Two all-zero vectors
+/// score 0.
+///
+/// # Panics
+/// Panics if the vectors differ in dimensionality.
+pub fn sar_similarity(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "histogram dimensionality mismatch");
+    let mut num = 0u64;
+    let mut den = 0u64;
+    for (&x, &y) in a.iter().zip(b) {
+        num += x.min(y) as u64;
+        den += x.max(y) as u64;
+    }
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{social_jaccard, SocialDescriptor};
+    use crate::dictionary::UserDictionary;
+    use crate::extract::Partition;
+    use crate::user::UserId;
+
+    #[test]
+    fn identical_histograms_score_one() {
+        assert_eq!(sar_similarity(&[3, 0, 2], &[3, 0, 2]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_support_scores_zero() {
+        assert_eq!(sar_similarity(&[3, 0], &[0, 5]), 0.0);
+    }
+
+    #[test]
+    fn empty_vectors_score_zero() {
+        assert_eq!(sar_similarity(&[0, 0], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // min = (1,2), max = (3,4) → 3/7.
+        let s = sar_similarity(&[1, 4], &[3, 2]);
+        assert!((s - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_and_bounded() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let k = rng.gen_range(1..12);
+            let a: Vec<u32> = (0..k).map(|_| rng.gen_range(0..9)).collect();
+            let b: Vec<u32> = (0..k).map(|_| rng.gen_range(0..9)).collect();
+            let s = sar_similarity(&a, &b);
+            assert!((0.0..=1.0).contains(&s));
+            assert_eq!(s, sar_similarity(&b, &a));
+        }
+    }
+
+    #[test]
+    fn sar_upper_bounds_exact_jaccard() {
+        // Aggregating users into communities can only merge distinctions:
+        // s̃J ≥ sJ for descriptors vectorised under one dictionary.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..100 {
+            let n_users = rng.gen_range(4..30usize);
+            let k = rng.gen_range(1..=n_users.min(6));
+            let assignment: Vec<usize> = {
+                let mut a: Vec<usize> = (0..n_users).map(|i| i % k).collect();
+                a.sort_unstable();
+                a
+            };
+            let partition = Partition::from_assignment(assignment);
+            let dict = UserDictionary::from_partition(&partition);
+            let da: SocialDescriptor = (0..rng.gen_range(1..15))
+                .map(|_| UserId(rng.gen_range(0..n_users as u32)))
+                .collect();
+            let db: SocialDescriptor = (0..rng.gen_range(1..15))
+                .map(|_| UserId(rng.gen_range(0..n_users as u32)))
+                .collect();
+            let exact = social_jaccard(&da, &db);
+            let approx = sar_similarity(&dict.vectorize(&da), &dict.vectorize(&db));
+            assert!(
+                approx >= exact - 1e-12,
+                "SAR {approx} below exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn sar_exact_when_communities_are_singletons() {
+        // k = number of users: the histogram *is* the indicator vector, so
+        // s̃J = sJ exactly.
+        let n_users = 8;
+        let partition = Partition::from_assignment((0..n_users).collect());
+        let dict = UserDictionary::from_partition(&partition);
+        let da = SocialDescriptor::from_users([UserId(0), UserId(1), UserId(2)]);
+        let db = SocialDescriptor::from_users([UserId(2), UserId(3)]);
+        let exact = social_jaccard(&da, &db);
+        let approx = sar_similarity(&dict.vectorize(&da), &dict.vectorize(&db));
+        assert!((approx - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn mismatched_dims_rejected() {
+        sar_similarity(&[1], &[1, 2]);
+    }
+}

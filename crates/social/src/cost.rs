@@ -1,0 +1,102 @@
+//! The social-update cost model — Eq. 8.
+//!
+//! ```text
+//! T_mc = |E|·c_h + Σᵢ (|g_ui|·t₁ + N_ui·t₂) + Σᵢ (|g_si|·(t₁+t₃) + N_si·t₂)
+//! ```
+//!
+//! `c_h` prices a user-name → sub-community mapping, `t₁` an index update on
+//! one sub-community element, `t₂` a descriptor update on one dimension, `t₃`
+//! an element check during partitioning. The maintenance run supplies the
+//! counts through [`crate::update::UpdateCounters`]; the caller supplies the
+//! number of video descriptors affected (only it knows the video ↔ community
+//! mapping).
+
+use crate::update::UpdateCounters;
+
+/// Calibratable unit costs of Eq. 8, in seconds per operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of mapping a user name to its sub-community id (`c_h`).
+    pub c_h: f64,
+    /// Cost of an index update on one sub-community element (`t₁`).
+    pub t1: f64,
+    /// Cost of a descriptor update on one dimension (`t₂`).
+    pub t2: f64,
+    /// Cost of an element check in sub-community partition (`t₃`).
+    pub t3: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Defaults in the order of magnitude of hash probes / vector writes
+        // on commodity hardware; calibrate with measured timings if needed.
+        Self { c_h: 2e-7, t1: 1e-7, t2: 5e-8, t3: 5e-8 }
+    }
+}
+
+impl CostModel {
+    /// Estimated maintenance time in seconds for one run's counters plus the
+    /// number of video descriptor dimensions rewritten.
+    pub fn estimate(&self, counters: &UpdateCounters, video_descriptor_updates: usize) -> f64 {
+        counters.hash_mappings as f64 * self.c_h
+            + counters.index_updates as f64 * self.t1
+            + counters.partition_checks as f64 * self.t3
+            + video_descriptor_updates as f64 * self.t2
+    }
+
+    /// The model is linear: estimates of split batches sum to the estimate
+    /// of the merged batch. Exposed for tests and documentation.
+    pub fn is_linear(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(h: usize, i: usize, p: usize) -> UpdateCounters {
+        UpdateCounters {
+            hash_mappings: h,
+            index_updates: i,
+            partition_checks: p,
+            communities_touched: 0,
+        }
+    }
+
+    #[test]
+    fn zero_work_costs_nothing() {
+        let m = CostModel::default();
+        assert_eq!(m.estimate(&UpdateCounters::default(), 0), 0.0);
+    }
+
+    #[test]
+    fn estimate_is_linear_in_counters() {
+        let m = CostModel::default();
+        let a = counters(10, 5, 3);
+        let b = counters(20, 10, 6);
+        let ea = m.estimate(&a, 7);
+        let eb = m.estimate(&b, 14);
+        assert!((eb - 2.0 * ea).abs() < 1e-15);
+        assert!(m.is_linear());
+    }
+
+    #[test]
+    fn each_term_contributes() {
+        let m = CostModel { c_h: 1.0, t1: 10.0, t2: 100.0, t3: 1000.0 };
+        let e = m.estimate(&counters(1, 1, 1), 1);
+        assert_eq!(e, 1.0 + 10.0 + 100.0 + 1000.0);
+    }
+
+    #[test]
+    fn batch_additivity() {
+        // Eq. 8's linearity: processing two periods separately costs the
+        // same as their combined counters.
+        let m = CostModel::default();
+        let p1 = counters(3, 2, 1);
+        let p2 = counters(5, 0, 4);
+        let combined = counters(8, 2, 5);
+        let sum = m.estimate(&p1, 2) + m.estimate(&p2, 3);
+        assert!((sum - m.estimate(&combined, 5)).abs() < 1e-15);
+    }
+}

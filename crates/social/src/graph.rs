@@ -1,0 +1,272 @@
+//! The user interest graph (UIG).
+//!
+//! §4.2.2: nodes are the social users of a collection; "the weight of an edge
+//! linking two users denotes the number of common interested videos shared by
+//! them". The graph is built incrementally from (video → engaged users)
+//! records, so the maintenance algorithm of Fig. 5 can keep extending it with
+//! new comment connections.
+
+use crate::user::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Canonical (small, large) ordering of an undirected edge key.
+#[inline]
+fn key(a: UserId, b: UserId) -> (UserId, UserId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Weighted undirected user interest graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UserInterestGraph {
+    /// Number of user slots (ids `0..num_users` are valid nodes; isolated
+    /// users are legitimate singleton components).
+    num_users: usize,
+    edges: HashMap<(UserId, UserId), u32>,
+}
+
+impl UserInterestGraph {
+    /// Empty graph over `num_users` user slots.
+    pub fn new(num_users: usize) -> Self {
+        Self { num_users, edges: HashMap::new() }
+    }
+
+    /// Builds the UIG from video engagement records: every pair of users who
+    /// both engaged with one video gains +1 edge weight.
+    pub fn from_videos<'a>(
+        num_users: usize,
+        videos: impl IntoIterator<Item = &'a [UserId]>,
+    ) -> Self {
+        let mut g = Self::new(num_users);
+        for users in videos {
+            g.add_video(users);
+        }
+        g
+    }
+
+    /// Registers one video's engaged users: all pairs gain +1.
+    pub fn add_video(&mut self, users: &[UserId]) {
+        for (i, &a) in users.iter().enumerate() {
+            debug_assert!(a.index() < self.num_users, "user {a} out of range");
+            for &b in &users[i + 1..] {
+                if a != b {
+                    self.add_edge_weight(a, b, 1);
+                }
+            }
+        }
+    }
+
+    /// Adds `w` to the weight of edge `(a, b)` (creating it if absent).
+    pub fn add_edge_weight(&mut self, a: UserId, b: UserId, w: u32) {
+        assert!(a != b, "self-loops are not part of the UIG");
+        assert!(
+            a.index() < self.num_users && b.index() < self.num_users,
+            "edge endpoint out of range"
+        );
+        *self.edges.entry(key(a, b)).or_insert(0) += w;
+    }
+
+    /// Ages every connection by `amount`: weights decrease, edges reaching
+    /// zero disappear (§4.2.4: "as the interests of people may change over
+    /// time … existing user connections may become invalid"). Returns the
+    /// number of edges removed.
+    pub fn decay_all(&mut self, amount: u32) -> usize {
+        let before = self.edges.len();
+        self.edges.retain(|_, w| {
+            *w = w.saturating_sub(amount);
+            *w > 0
+        });
+        before - self.edges.len()
+    }
+
+    /// Grows the node slot count (new users joined the community).
+    pub fn grow_users(&mut self, num_users: usize) {
+        assert!(num_users >= self.num_users, "cannot shrink the user space");
+        self.num_users = num_users;
+    }
+
+    /// Number of user slots.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Weight of edge `(a, b)`, 0 if absent.
+    pub fn weight(&self, a: UserId, b: UserId) -> u32 {
+        self.edges.get(&key(a, b)).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(a, b, weight)` over all edges (unspecified order).
+    pub fn edges(&self) -> impl Iterator<Item = (UserId, UserId, u32)> + '_ {
+        self.edges.iter().map(|(&(a, b), &w)| (a, b, w))
+    }
+
+    /// All edges sorted by `(weight, a, b)` ascending — the deterministic
+    /// removal order of the extraction algorithms.
+    pub fn edges_sorted_ascending(&self) -> Vec<(UserId, UserId, u32)> {
+        let mut v: Vec<_> = self.edges().collect();
+        v.sort_by_key(|&(a, b, w)| (w, a, b));
+        v
+    }
+
+    /// Adjacency lists `user → [(neighbour, weight)]`.
+    pub fn adjacency(&self) -> Vec<Vec<(UserId, u32)>> {
+        let mut adj = vec![Vec::new(); self.num_users];
+        for (&(a, b), &w) in &self.edges {
+            adj[a.index()].push((b, w));
+            adj[b.index()].push((a, w));
+        }
+        adj
+    }
+
+    /// Connected components (each a sorted user list), including singleton
+    /// isolated users. Deterministic order: by smallest member id.
+    pub fn components(&self) -> Vec<Vec<UserId>> {
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.num_users];
+        let mut comps = Vec::new();
+        for start in 0..self.num_users {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = vec![UserId(start as u32)];
+            seen[start] = true;
+            let mut head = 0;
+            while head < comp.len() {
+                let u = comp[head];
+                head += 1;
+                for &(v, _) in &adj[u.index()] {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        comp.push(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// The subgraph induced by `users` (edges with both endpoints inside).
+    pub fn induced_edges(&self, users: &[UserId]) -> Vec<(UserId, UserId, u32)> {
+        let inside: std::collections::HashSet<UserId> = users.iter().copied().collect();
+        self.edges()
+            .filter(|(a, b, _)| inside.contains(a) && inside.contains(b))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u32) -> UserId {
+        UserId(i)
+    }
+
+    /// The running example of Fig. 2: 8 videos, 5 users.
+    pub(crate) fn paper_example() -> UserInterestGraph {
+        // (u1,<V1,V3,V8>) (u2,<V3,V8>) (u3,<V2,V4,V5>) (u4,<V1,V4,V5>)
+        // (u5,<V4,V5,V6,V7>)  — users 0-indexed here.
+        let videos: Vec<Vec<UserId>> = vec![
+            vec![u(0), u(3)],       // V1: u1, u4
+            vec![u(2)],             // V2: u3
+            vec![u(0), u(1)],       // V3: u1, u2
+            vec![u(2), u(3), u(4)], // V4: u3, u4, u5
+            vec![u(2), u(3), u(4)], // V5
+            vec![u(4)],             // V6
+            vec![u(4)],             // V7
+            vec![u(0), u(1)],       // V8: u1, u2
+        ];
+        UserInterestGraph::from_videos(5, videos.iter().map(|v| v.as_slice()))
+    }
+
+    #[test]
+    fn paper_example_weights_match_figure_2() {
+        let g = paper_example();
+        assert_eq!(g.weight(u(0), u(1)), 2); // u1–u2 share V3, V8
+        assert_eq!(g.weight(u(0), u(3)), 1); // u1–u4 share V1
+        assert_eq!(g.weight(u(2), u(3)), 2); // u3–u4 share V4, V5
+        assert_eq!(g.weight(u(2), u(4)), 2); // u3–u5 share V4, V5
+        assert_eq!(g.weight(u(3), u(4)), 2); // u4–u5 share V4, V5
+        assert_eq!(g.weight(u(1), u(4)), 0);
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn components_and_isolated_users() {
+        let mut g = UserInterestGraph::new(4);
+        g.add_edge_weight(u(0), u(1), 1);
+        let comps = g.components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![u(0), u(1)]);
+        assert_eq!(comps[1], vec![u(2)]);
+        assert_eq!(comps[2], vec![u(3)]);
+    }
+
+    #[test]
+    fn add_video_is_pairwise() {
+        let mut g = UserInterestGraph::new(3);
+        g.add_video(&[u(0), u(1), u(2)]);
+        assert_eq!(g.num_edges(), 3);
+        g.add_video(&[u(0), u(1)]);
+        assert_eq!(g.weight(u(0), u(1)), 2);
+        assert_eq!(g.weight(u(0), u(2)), 1);
+    }
+
+    #[test]
+    fn sorted_edges_ascend() {
+        let g = paper_example();
+        let e = g.edges_sorted_ascending();
+        for w in e.windows(2) {
+            assert!(w[0].2 <= w[1].2);
+        }
+        assert_eq!(e[0].2, 1);
+    }
+
+    #[test]
+    fn induced_edges_filter() {
+        let g = paper_example();
+        let sub = g.induced_edges(&[u(2), u(3), u(4)]);
+        assert_eq!(sub.len(), 3);
+        assert!(sub.iter().all(|&(_, _, w)| w == 2));
+    }
+
+    #[test]
+    fn decay_all_ages_and_prunes() {
+        let mut g = paper_example();
+        let removed = g.decay_all(1);
+        // The single weight-1 edge (u1–u4) disappears; weight-2 edges drop
+        // to 1.
+        assert_eq!(removed, 1);
+        assert_eq!(g.weight(u(0), u(3)), 0);
+        assert_eq!(g.weight(u(0), u(1)), 1);
+        assert_eq!(g.decay_all(5), 4, "everything else dies");
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn grow_users_extends_slots() {
+        let mut g = UserInterestGraph::new(2);
+        g.grow_users(5);
+        assert_eq!(g.num_users(), 5);
+        g.add_edge_weight(u(3), u(4), 2);
+        assert_eq!(g.weight(u(3), u(4)), 2);
+        assert_eq!(g.components().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        UserInterestGraph::new(2).add_edge_weight(u(1), u(1), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Seeded k-means with k-means++ initialisation.
+//!
+//! The final step of the spectral-clustering baseline (§4.2.2 / von Luxburg
+//! [30]): cluster the rows of the eigenvector matrix. Kept generic over
+//! dense points so the evaluation harness can reuse it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per point.
+    pub assignment: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations until convergence (or the cap).
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means on `points` (row-major, equal-length rows).
+///
+/// k-means++ seeding, Lloyd iterations, at most `max_iter` rounds, seeded for
+/// determinism. Empty clusters are re-seeded with the point farthest from its
+/// centroid.
+///
+/// # Panics
+/// Panics if `points` is empty, rows differ in length, or `k` is zero or
+/// exceeds the point count.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMeansResult {
+    assert!(!points.is_empty(), "no points to cluster");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+    assert!(k >= 1 && k <= points.len(), "bad cluster count");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // --- k-means++ seeding ---
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = 0;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    idx = i;
+                    break;
+                }
+            }
+            idx
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(p, centroids.last().unwrap()));
+        }
+    }
+
+    // --- Lloyd iterations ---
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| sq_dist(p, &centroids[a]).total_cmp(&sq_dist(p, &centroids[b])))
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, &v) in sums[assignment[i]].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the point farthest from its
+                // current centroid.
+                let far = (0..points.len())
+                    .max_by(|&a, &b| {
+                        sq_dist(&points[a], &centroids[assignment[a]])
+                            .total_cmp(&sq_dist(&points[b], &centroids[assignment[b]]))
+                    })
+                    .expect("non-empty points");
+                centroids[c] = points[far].clone();
+                changed = true;
+            } else {
+                for (cv, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cv = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &c)| sq_dist(p, &centroids[c]))
+        .sum();
+    KMeansResult { assignment, centroids, inertia, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        // Two tight blobs around (0,0) and (10,10).
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let o = i as f64 * 0.01;
+            pts.push(vec![o, -o]);
+            pts.push(vec![10.0 + o, 10.0 - o]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = blobs();
+        let r = kmeans(&pts, 2, 50, 1);
+        // Even indices are blob A, odd blob B.
+        let a = r.assignment[0];
+        for (i, &c) in r.assignment.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(c, a);
+            } else {
+                assert_ne!(c, a);
+            }
+        }
+        assert!(r.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pts = blobs();
+        let r1 = kmeans(&pts, 2, 50, 7);
+        let r2 = kmeans(&pts, 2, 50, 7);
+        assert_eq!(r1.assignment, r2.assignment);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let r = kmeans(&pts, 3, 20, 3);
+        assert!(r.inertia < 1e-18);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        let r = kmeans(&pts, 1, 20, 5);
+        assert!((r.centroids[0][0] - 1.0).abs() < 1e-12);
+        assert!((r.centroids[0][1] - 2.0).abs() < 1e-12);
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn duplicate_points_are_fine() {
+        let pts = vec![vec![1.0]; 6];
+        let r = kmeans(&pts, 2, 20, 9);
+        assert_eq!(r.assignment.len(), 6);
+        assert!(r.inertia < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cluster count")]
+    fn k_larger_than_n_rejected() {
+        kmeans(&[vec![0.0]], 2, 10, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # viderec-social
+//!
+//! The social half of the paper: social descriptors and exact Jaccard
+//! relevance (Eq. 5), the user interest graph, the sub-community
+//! approximation scheme **SAR** (§4.2.2), the spectral-clustering baseline it
+//! is evaluated against, and the social-updates maintenance algorithm of
+//! Fig. 5 with its cost model (Eq. 8).
+//!
+//! * [`user`] — interned user identities (names are kept because the
+//!   chained-hash optimisation of `viderec-index` hashes user *names*).
+//! * [`descriptor`] — per-video social descriptors `D_V = {id_Vi}` and exact
+//!   `sJ` (Eq. 5).
+//! * [`graph`] — the weighted user interest graph (UIG): edge weight =
+//!   number of videos two users both engaged with.
+//! * [`extract`] — `SubgraphExtraction` (Fig. 3): repeated lightest-edge
+//!   deletion until `k` connected components remain; implemented both
+//!   literally and via the maximum-spanning-forest duality (the fast path),
+//!   with tests pinning their agreement.
+//! * [`spectral`] / [`kmeans`] — the spectral-clustering baseline of the
+//!   Silhouette comparison in §4.2.2.
+//! * [`silhouette`] — the Silhouette Coefficient metric.
+//! * [`dictionary`] — the user → sub-community dictionary and social
+//!   descriptor vectorisation.
+//! * [`approx`] — the SAR approximate relevance `s̃J` (Eq. 6).
+//! * [`update`] — `SocialUpdatesMaintenance` (Fig. 5): incremental
+//!   merge/split of sub-communities under new connections.
+//! * [`cost`] — the update cost model of Eq. 8.
+
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod cost;
+pub mod descriptor;
+pub mod dictionary;
+pub mod extract;
+pub mod graph;
+pub mod kmeans;
+pub mod silhouette;
+pub mod spectral;
+pub mod update;
+pub mod user;
+
+pub use approx::sar_similarity;
+pub use descriptor::{social_jaccard, SocialDescriptor};
+pub use dictionary::UserDictionary;
+pub use extract::{extract_subcommunities, extract_subcommunities_literal, Partition};
+pub use graph::UserInterestGraph;
+pub use silhouette::silhouette_coefficient;
+pub use spectral::spectral_clustering;
+pub use update::{MaintenanceReport, SocialUpdatesMaintenance};
+pub use user::{UserId, UserRegistry};

@@ -1,0 +1,130 @@
+//! The Silhouette Coefficient (Han, *Data Mining* [10]) — the clustering
+//! quality metric of §4.2.2's comparison between `SubgraphExtraction`
+//! (average 0.498 in the paper) and spectral clustering (0.242).
+//!
+//! For point `i` with mean intra-cluster distance `a(i)` and smallest mean
+//! distance to another cluster `b(i)`:
+//!
+//! ```text
+//! s(i) = (b(i) − a(i)) / max(a(i), b(i))        s(i) ∈ [−1, 1]
+//! ```
+//!
+//! Singleton clusters contribute `s(i) = 0` by convention.
+
+/// Average silhouette over all points, generic over the pairwise distance.
+///
+/// `assignment[i]` is point `i`'s cluster. Returns 0 when every point is in
+/// one cluster (no between-cluster structure to score).
+///
+/// # Panics
+/// Panics if `assignment` is empty.
+pub fn silhouette_coefficient(
+    assignment: &[usize],
+    mut dist: impl FnMut(usize, usize) -> f64,
+) -> f64 {
+    let n = assignment.len();
+    assert!(n > 0, "no points");
+    let k = assignment.iter().max().unwrap() + 1;
+    if k == 1 {
+        return 0.0;
+    }
+    let mut sizes = vec![0usize; k];
+    for &c in assignment {
+        sizes[c] += 1;
+    }
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let ci = assignment[i];
+        if sizes[ci] <= 1 {
+            continue; // singleton: s(i) = 0
+        }
+        // Mean distance to each cluster.
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i != j {
+                sums[assignment[j]] += dist(i, j);
+            }
+        }
+        let a = sums[ci] / (sizes[ci] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != ci && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            continue;
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn euclid(points: &[(f64, f64)]) -> impl FnMut(usize, usize) -> f64 + '_ {
+        move |i, j| {
+            let (x1, y1) = points[i];
+            let (x2, y2) = points[j];
+            ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()
+        }
+    }
+
+    #[test]
+    fn perfect_separation_scores_near_one() {
+        let pts = [(0.0, 0.0), (0.1, 0.0), (100.0, 0.0), (100.1, 0.0)];
+        let assign = [0, 0, 1, 1];
+        let s = silhouette_coefficient(&assign, euclid(&pts));
+        assert!(s > 0.99, "s = {s}");
+    }
+
+    #[test]
+    fn wrong_clustering_scores_negative() {
+        // Pair the far points together: each point's own cluster is farther
+        // than its true neighbour's cluster.
+        let pts = [(0.0, 0.0), (0.1, 0.0), (100.0, 0.0), (100.1, 0.0)];
+        let assign = [0, 1, 0, 1];
+        let s = silhouette_coefficient(&assign, euclid(&pts));
+        assert!(s < 0.0, "s = {s}");
+    }
+
+    #[test]
+    fn single_cluster_scores_zero() {
+        let pts = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)];
+        assert_eq!(silhouette_coefficient(&[0, 0, 0], euclid(&pts)), 0.0);
+    }
+
+    #[test]
+    fn singletons_contribute_zero() {
+        let pts = [(0.0, 0.0), (0.1, 0.0), (50.0, 0.0)];
+        let assign = [0, 0, 1];
+        let s = silhouette_coefficient(&assign, euclid(&pts));
+        // Third point is a singleton; the first two are well-placed.
+        assert!(s > 0.6 && s < 1.0, "s = {s}");
+    }
+
+    #[test]
+    fn bounded_in_minus_one_one() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..30);
+            let pts: Vec<(f64, f64)> =
+                (0..n).map(|_| (rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0))).collect();
+            let k = rng.gen_range(1..=n.min(5));
+            let assign: Vec<usize> = {
+                // Ensure indices are dense 0..k.
+                let mut a: Vec<usize> = (0..n).map(|i| i % k).collect();
+                a.sort_unstable();
+                a
+            };
+            let s = silhouette_coefficient(&assign, euclid(&pts));
+            assert!((-1.0..=1.0).contains(&s), "s = {s}");
+        }
+    }
+}

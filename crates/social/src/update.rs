@@ -1,0 +1,574 @@
+//! `SocialUpdatesMaintenance` (Fig. 5): incremental sub-community upkeep
+//! under new comment connections.
+//!
+//! Given the connections of a recent time period, the algorithm:
+//!
+//! 1. strengthens the UIG with the new edges; when a connection's weight
+//!    exceeds `w` — the lightest intra-community edge weight of the current
+//!    partition — and it crosses two sub-communities, the two are **merged**
+//!    (lines 6–10) and the merged community is flagged as a later split
+//!    candidate (line 11);
+//! 2. while fewer than `k` sub-communities remain, the flagged (or, failing
+//!    that, any splittable) community with the lightest internal edge is
+//!    **split** at its weakest link (lines 14–18);
+//! 3. every operation is counted so the Eq. 8 cost model can price the
+//!    maintenance run, and all touched communities are reported so the owner
+//!    of the inverted index and descriptor vectors can update exactly the
+//!    affected dimensions (lines 9–10, 19–20).
+
+use crate::extract::{extract_subcommunities, Partition};
+use crate::graph::UserInterestGraph;
+use crate::user::UserId;
+
+/// Operation counters feeding the Eq. 8 cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateCounters {
+    /// User → sub-community mappings performed (`|E| · c_h` term).
+    pub hash_mappings: usize,
+    /// Index entries rewritten (`|g| · t₁` terms).
+    pub index_updates: usize,
+    /// Element checks during community partitioning (`|g| · t₃` term).
+    pub partition_checks: usize,
+    /// Communities whose descriptor dimensions changed (`N · t₂` pricing is
+    /// completed by the caller, who knows the per-community video counts).
+    pub communities_touched: usize,
+}
+
+/// What a maintenance run did.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceReport {
+    /// Community index pairs that merged (pre-renumbering indices).
+    pub merges: Vec<(usize, usize)>,
+    /// Number of split operations performed.
+    pub splits: usize,
+    /// Users whose community assignment changed.
+    pub reassigned_users: Vec<UserId>,
+    /// Operation counters for the cost model.
+    pub counters: UpdateCounters,
+}
+
+/// Incrementally maintained sub-community state.
+#[derive(Debug, Clone)]
+pub struct SocialUpdatesMaintenance {
+    graph: UserInterestGraph,
+    /// Dense user → community assignment.
+    assignment: Vec<usize>,
+    /// Members per community (parallel to live community indices; merged-away
+    /// communities become empty and are compacted on [`Self::partition`]).
+    members: Vec<Vec<UserId>>,
+    /// Target community count `k`.
+    k: usize,
+}
+
+impl SocialUpdatesMaintenance {
+    /// Bootstraps maintenance state with a fresh extraction at `k`
+    /// sub-communities.
+    pub fn new(graph: UserInterestGraph, k: usize) -> Self {
+        let partition = extract_subcommunities(&graph, k);
+        let assignment = partition.assignment().to_vec();
+        let members = partition.communities().to_vec();
+        Self { graph, assignment, members, k }
+    }
+
+    /// The target community count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of live (non-empty) communities.
+    pub fn live_communities(&self) -> usize {
+        self.members.iter().filter(|m| !m.is_empty()).count()
+    }
+
+    /// The current partition, densely renumbered.
+    pub fn partition(&self) -> Partition {
+        let mut remap = vec![usize::MAX; self.members.len()];
+        let mut next = 0;
+        for (i, m) in self.members.iter().enumerate() {
+            if !m.is_empty() {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        Partition::from_assignment(self.assignment.iter().map(|&c| remap[c]).collect())
+    }
+
+    /// The maintained graph.
+    pub fn graph(&self) -> &UserInterestGraph {
+        &self.graph
+    }
+
+    /// The *raw* user → community-slot assignment. Slot indices are stable
+    /// across maintenance runs (merged-away slots go empty, splits append new
+    /// slots), which is what lets descriptor vectors be updated on only their
+    /// affected dimensions instead of being renumbered wholesale.
+    pub fn assignment_raw(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Number of community slots, live or empty. Descriptor vectors are
+    /// dimensioned by this.
+    pub fn num_slots(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Members of a community slot (empty for merged-away slots).
+    pub fn slot_members(&self, slot: usize) -> &[UserId] {
+        &self.members[slot]
+    }
+
+    /// `w` — the lightest edge weight that is *internal* to some current
+    /// sub-community (Fig. 5's merge/split threshold). `None` when no
+    /// community has an internal edge.
+    pub fn lightest_intra_edge_weight(&self) -> Option<u32> {
+        self.graph
+            .edges()
+            .filter(|&(a, b, _)| self.assignment[a.index()] == self.assignment[b.index()])
+            .map(|(_, _, w)| w)
+            .min()
+    }
+
+    /// Applies one period's new connections (Fig. 5).
+    ///
+    /// Each `(a, b, weight)` adds `weight` to the UIG edge `a–b`. Users with
+    /// ids beyond the current space are admitted first and join the community
+    /// of their connection partner (a fresh registered user has no community
+    /// until their first interaction).
+    pub fn apply_connections(
+        &mut self,
+        connections: &[(UserId, UserId, u32)],
+    ) -> MaintenanceReport {
+        let mut report = MaintenanceReport::default();
+        let w = self.lightest_intra_edge_weight().unwrap_or(u32::MAX);
+        let mut split_flags: Vec<bool> = vec![false; self.members.len()];
+        let mut touched: Vec<bool> = vec![false; self.members.len()];
+
+        for &(a, b, weight) in connections {
+            if a == b || weight == 0 {
+                continue;
+            }
+            self.admit(a, b, &mut report);
+            self.admit(b, a, &mut report);
+            self.graph.add_edge_weight(a, b, weight);
+            // Lines 4–5: map both endpoints to their sub-communities.
+            report.counters.hash_mappings += 2;
+            let (ca, cb) = (self.assignment[a.index()], self.assignment[b.index()]);
+            let edge_weight = self.graph.weight(a, b);
+            if edge_weight > w {
+                if ca != cb {
+                    // Lines 7–11: union, update index/descriptors, flag.
+                    self.merge(ca, cb, &mut report, &mut touched);
+                    split_flags[self.assignment[a.index()]] = true;
+                } else {
+                    // Lines 12–13: strong internal edge — split candidate.
+                    split_flags[ca] = true;
+                }
+            }
+        }
+
+        // Lines 14–20: restore the community count to k by splitting.
+        while self.live_communities() < self.k {
+            let candidate = self
+                .splittable_community(&split_flags)
+                .or_else(|| self.splittable_community(&vec![true; self.members.len()]));
+            let Some(c) = candidate else { break };
+            self.split(c, &mut report, &mut touched);
+            if c < split_flags.len() {
+                split_flags[c] = false;
+            }
+        }
+
+        report.counters.communities_touched = touched.iter().filter(|&&t| t).count();
+        report
+    }
+
+    /// Ages every UIG connection by `amount` (§4.2.4: stale connections
+    /// "become invalid" as interests drift) and splits any community whose
+    /// induced subgraph fell apart, so communities always remain internally
+    /// connected. Counterpart of [`Self::apply_connections`] for the decay
+    /// direction of community dynamics.
+    pub fn age_connections(&mut self, amount: u32) -> MaintenanceReport {
+        let mut report = MaintenanceReport::default();
+        self.graph.decay_all(amount);
+        // Fragmented communities split into their connected components: the
+        // component holding the first member keeps the slot, the rest move
+        // to fresh slots.
+        let live: Vec<usize> = (0..self.members.len())
+            .filter(|&c| self.members[c].len() >= 2)
+            .collect();
+        for c in live {
+            let members = self.members[c].clone();
+            report.counters.partition_checks += members.len();
+            let components = self.components_of(&members);
+            if components.len() <= 1 {
+                continue;
+            }
+            let mut keep = Vec::new();
+            for (i, comp) in components.into_iter().enumerate() {
+                if i == 0 {
+                    keep = comp;
+                    continue;
+                }
+                let fresh = self.members.len();
+                report.counters.index_updates += comp.len();
+                for &u in &comp {
+                    self.assignment[u.index()] = fresh;
+                    report.reassigned_users.push(u);
+                }
+                self.members.push(comp);
+                report.splits += 1;
+            }
+            self.members[c] = keep;
+        }
+        report.counters.communities_touched =
+            report.splits + usize::from(report.splits > 0);
+        report
+    }
+
+    /// Connected components of the induced subgraph over `members`, the
+    /// component containing `members[0]` first.
+    fn components_of(&self, members: &[UserId]) -> Vec<Vec<UserId>> {
+        let local: std::collections::HashMap<UserId, usize> =
+            members.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); members.len()];
+        for (a, b, _) in self.graph.induced_edges(members) {
+            let (ia, ib) = (local[&a], local[&b]);
+            adj[ia].push(ib);
+            adj[ib].push(ia);
+        }
+        let mut seen = vec![false; members.len()];
+        let mut out = Vec::new();
+        for start in 0..members.len() {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            let mut comp = vec![start];
+            let mut head = 0;
+            while head < comp.len() {
+                let u = comp[head];
+                head += 1;
+                for &v in &adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        comp.push(v);
+                    }
+                }
+            }
+            out.push(comp.into_iter().map(|i| members[i]).collect());
+        }
+        out
+    }
+
+    /// Admits `user` into the community of `partner` if it is new to the
+    /// system.
+    fn admit(&mut self, user: UserId, partner: UserId, report: &mut MaintenanceReport) {
+        if user.index() < self.assignment.len() {
+            return;
+        }
+        let home = if partner.index() < self.assignment.len() {
+            self.assignment[partner.index()]
+        } else {
+            0
+        };
+        // Dense ids: fill any gap conservatively into community `home`.
+        while self.assignment.len() <= user.index() {
+            let id = UserId(self.assignment.len() as u32);
+            self.assignment.push(home);
+            self.members[home].push(id);
+            report.reassigned_users.push(id);
+            report.counters.index_updates += 1;
+        }
+        self.graph.grow_users(self.assignment.len());
+    }
+
+    fn merge(
+        &mut self,
+        ca: usize,
+        cb: usize,
+        report: &mut MaintenanceReport,
+        touched: &mut [bool],
+    ) {
+        debug_assert_ne!(ca, cb);
+        // Move the smaller community into the larger (fewer index updates).
+        let (dst, src) = if self.members[ca].len() >= self.members[cb].len() {
+            (ca, cb)
+        } else {
+            (cb, ca)
+        };
+        let moving = std::mem::take(&mut self.members[src]);
+        report.counters.index_updates += moving.len();
+        for &u in &moving {
+            self.assignment[u.index()] = dst;
+            report.reassigned_users.push(u);
+        }
+        self.members[dst].extend(moving);
+        self.members[dst].sort_unstable();
+        touched[dst] = true;
+        touched[src] = true;
+        report.merges.push((src, dst));
+    }
+
+    /// The split-flagged community with the lightest internal edge, if any
+    /// flagged community has more than one member and at least one internal
+    /// edge.
+    fn splittable_community(&self, flags: &[bool]) -> Option<usize> {
+        let mut best: Option<(u32, usize)> = None;
+        for (c, members) in self.members.iter().enumerate() {
+            if !flags.get(c).copied().unwrap_or(false) || members.len() < 2 {
+                continue;
+            }
+            let lightest = self
+                .graph
+                .induced_edges(members)
+                .into_iter()
+                .map(|(_, _, w)| w)
+                .min();
+            match (lightest, best) {
+                (Some(w), None) => best = Some((w, c)),
+                (Some(w), Some((bw, _))) if w < bw => best = Some((w, c)),
+                _ => {}
+            }
+        }
+        // Communities of ≥2 members with no internal edge split trivially.
+        if best.is_none() {
+            for (c, members) in self.members.iter().enumerate() {
+                if flags.get(c).copied().unwrap_or(false) && members.len() >= 2 {
+                    return Some(c);
+                }
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
+    /// Splits community `c` at its weakest link: cut the lightest edge of its
+    /// maximum spanning forest; one side keeps index `c`, the other becomes a
+    /// fresh community.
+    fn split(&mut self, c: usize, report: &mut MaintenanceReport, touched: &mut Vec<bool>) {
+        let members = self.members[c].clone();
+        debug_assert!(members.len() >= 2);
+        report.counters.partition_checks += members.len();
+
+        // Maximum spanning forest of the induced subgraph, same deterministic
+        // order as the extraction algorithm.
+        let mut edges = self.graph.induced_edges(&members);
+        edges.sort_by_key(|&(a, b, w)| (w, a, b));
+        let mut local: std::collections::HashMap<UserId, usize> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, i))
+            .collect();
+        let mut parent: Vec<usize> = (0..members.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut msf: Vec<(UserId, UserId, u32)> = Vec::new();
+        for &(a, b, w) in edges.iter().rev() {
+            let (ra, rb) = (find(&mut parent, local[&a]), find(&mut parent, local[&b]));
+            if ra != rb {
+                parent[ra] = rb;
+                msf.push((a, b, w));
+            }
+        }
+        // Cut the lightest MSF edge; re-union the rest.
+        msf.sort_by_key(|&(a, b, w)| (w, a, b));
+        let mut parent: Vec<usize> = (0..members.len()).collect();
+        for &(a, b, _) in msf.iter().skip(1) {
+            let (ra, rb) = (find(&mut parent, local[&a]), find(&mut parent, local[&b]));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        // Component containing the first member keeps index c.
+        let anchor = find(&mut parent, 0);
+        let mut keep = Vec::new();
+        let mut moved = Vec::new();
+        for (i, &u) in members.iter().enumerate() {
+            if find(&mut parent, i) == anchor {
+                keep.push(u);
+            } else {
+                moved.push(u);
+            }
+        }
+        debug_assert!(!moved.is_empty(), "split produced no second component");
+        let fresh = self.members.len();
+        report.counters.index_updates += moved.len();
+        for &u in &moved {
+            self.assignment[u.index()] = fresh;
+            report.reassigned_users.push(u);
+        }
+        self.members[c] = keep;
+        self.members.push(moved);
+        touched.push(true);
+        touched[c] = true;
+        report.splits += 1;
+        local.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u32) -> UserId {
+        UserId(i)
+    }
+
+    /// Two triangles (weights 5) joined by nothing; k = 2.
+    fn two_triangles() -> SocialUpdatesMaintenance {
+        let mut g = UserInterestGraph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge_weight(u(a), u(b), 5);
+        }
+        SocialUpdatesMaintenance::new(g, 2)
+    }
+
+    #[test]
+    fn bootstrap_matches_extraction() {
+        let m = two_triangles();
+        let p = m.partition();
+        assert_eq!(p.k(), 2);
+        assert_eq!(p.communities()[0], vec![u(0), u(1), u(2)]);
+        assert_eq!(m.lightest_intra_edge_weight(), Some(5));
+    }
+
+    #[test]
+    fn weak_new_connection_changes_nothing() {
+        let mut m = two_triangles();
+        // Weight 1 ≤ w = 5: no merge.
+        let r = m.apply_connections(&[(u(0), u(3), 1)]);
+        assert!(r.merges.is_empty());
+        assert_eq!(r.splits, 0);
+        assert_eq!(m.partition().k(), 2);
+        assert_eq!(r.counters.hash_mappings, 2);
+    }
+
+    #[test]
+    fn strong_cross_connection_merges_then_splits_to_restore_k() {
+        let mut m = two_triangles();
+        // Weight 9 > w = 5 across communities: merge, then a split restores
+        // k = 2.
+        let r = m.apply_connections(&[(u(2), u(3), 9)]);
+        assert_eq!(r.merges.len(), 1);
+        assert_eq!(r.splits, 1);
+        let p = m.partition();
+        assert_eq!(p.k(), 2);
+        assert!(p.is_valid());
+        // The split cuts at the weakest link. The strong 9-edge must survive:
+        // u2 and u3 stay together.
+        assert_eq!(p.community_of(u(2)), p.community_of(u(3)));
+    }
+
+    #[test]
+    fn new_user_is_admitted_to_partner_community() {
+        let mut m = two_triangles();
+        let r = m.apply_connections(&[(u(0), u(6), 1)]);
+        let p = m.partition();
+        assert_eq!(p.num_users(), 7);
+        assert_eq!(p.community_of(u(6)), p.community_of(u(0)));
+        assert!(r.reassigned_users.contains(&u(6)));
+    }
+
+    #[test]
+    fn repeated_weak_connections_accumulate_into_merge() {
+        let mut m = two_triangles();
+        // Six +1 updates on the same cross edge: total weight 6 > 5 on the
+        // sixth application.
+        for _ in 0..5 {
+            let r = m.apply_connections(&[(u(1), u(4), 1)]);
+            assert!(r.merges.is_empty());
+        }
+        let r = m.apply_connections(&[(u(1), u(4), 1)]);
+        assert_eq!(r.merges.len(), 1);
+        assert_eq!(m.partition().k(), 2);
+    }
+
+    #[test]
+    fn partition_invariant_after_many_random_updates() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut m = two_triangles();
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..40 {
+            let batch: Vec<(UserId, UserId, u32)> = (0..rng.gen_range(1..6))
+                .map(|_| {
+                    let a = rng.gen_range(0..8u32);
+                    let mut b = rng.gen_range(0..8u32);
+                    if a == b {
+                        b = (b + 1) % 8;
+                    }
+                    (u(a), u(b), rng.gen_range(1..8))
+                })
+                .collect();
+            m.apply_connections(&batch);
+            let p = m.partition();
+            assert!(p.is_valid());
+            assert!(p.k() >= 1);
+        }
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let mut m = two_triangles();
+        let r = m.apply_connections(&[(u(2), u(3), 9)]);
+        assert_eq!(r.counters.hash_mappings, 2);
+        assert!(r.counters.index_updates > 0);
+        assert!(r.counters.partition_checks > 0);
+        assert!(r.counters.communities_touched >= 2);
+    }
+
+    #[test]
+    fn aging_splits_fragmented_communities() {
+        // Two triangles joined by a weight-1 bridge form ONE community at
+        // k=1; aging by 1 kills the bridge, so the community must split.
+        let mut g = UserInterestGraph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge_weight(u(a), u(b), 5);
+        }
+        g.add_edge_weight(u(2), u(3), 1);
+        let mut m = SocialUpdatesMaintenance::new(g, 1);
+        assert_eq!(m.partition().k(), 1);
+        let r = m.age_connections(1);
+        assert_eq!(r.splits, 1);
+        let p = m.partition();
+        assert_eq!(p.k(), 2);
+        assert!(p.is_valid());
+        assert_ne!(p.community_of(u(0)), p.community_of(u(5)));
+    }
+
+    #[test]
+    fn aging_below_edge_weights_is_a_noop() {
+        let mut m = two_triangles();
+        let r = m.age_connections(2); // all intra edges weigh 5
+        assert_eq!(r.splits, 0);
+        assert!(r.reassigned_users.is_empty());
+        assert_eq!(m.partition().k(), 2);
+        // Weights actually decayed.
+        assert_eq!(m.lightest_intra_edge_weight(), Some(3));
+    }
+
+    #[test]
+    fn aging_everything_away_leaves_singletons() {
+        let mut m = two_triangles();
+        let r = m.age_connections(10);
+        assert_eq!(m.graph().num_edges(), 0);
+        let p = m.partition();
+        assert_eq!(p.k(), 6, "every user isolated");
+        assert!(p.is_valid());
+        assert!(r.splits >= 4);
+    }
+
+    #[test]
+    fn internal_strong_edge_flags_split_but_k_holds() {
+        let mut m = two_triangles();
+        // Strengthen an internal edge well above w; community count is
+        // already k so no split is needed.
+        let r = m.apply_connections(&[(u(0), u(1), 10)]);
+        assert_eq!(r.splits, 0);
+        assert_eq!(m.partition().k(), 2);
+    }
+}

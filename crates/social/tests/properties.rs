@@ -1,0 +1,129 @@
+//! Property tests for the social substrate: extraction equivalence, SAR
+//! soundness, and maintenance invariants.
+
+use proptest::prelude::*;
+use viderec_social::{
+    extract_subcommunities, extract_subcommunities_literal, sar_similarity, social_jaccard,
+    SocialDescriptor, SocialUpdatesMaintenance, UserDictionary, UserId, UserInterestGraph,
+};
+
+/// A random weighted graph as an edge list over `n` users.
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, u32)>)> {
+    (2..16usize).prop_flat_map(|n| {
+        let edges = prop::collection::vec(
+            (0..n as u32, 0..n as u32, 1..5u32),
+            0..40,
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build_graph(n: usize, edges: &[(u32, u32, u32)]) -> UserInterestGraph {
+    let mut g = UserInterestGraph::new(n);
+    for &(a, b, w) in edges {
+        if a != b {
+            g.add_edge_weight(UserId(a), UserId(b), w);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fast MSF-duality extraction equals the literal Fig. 3 algorithm,
+    /// ties and all.
+    #[test]
+    fn extraction_fast_equals_literal((n, edges) in graph_strategy(), k in 1..10usize) {
+        let g = build_graph(n, &edges);
+        let fast = extract_subcommunities(&g, k);
+        let literal = extract_subcommunities_literal(&g, k);
+        prop_assert_eq!(&fast, &literal);
+        prop_assert!(fast.is_valid());
+    }
+
+    /// Requesting more communities never yields fewer, and community count
+    /// never exceeds the user count.
+    #[test]
+    fn extraction_monotone_in_k((n, edges) in graph_strategy()) {
+        let g = build_graph(n, &edges);
+        let mut prev = 0;
+        for k in 1..=n {
+            let p = extract_subcommunities(&g, k);
+            prop_assert!(p.k() >= prev);
+            prop_assert!(p.k() <= n);
+            prev = p.k();
+        }
+    }
+
+    /// Exact Jaccard is bounded and symmetric; SAR under any dictionary
+    /// upper-bounds it and coincides for singleton communities.
+    #[test]
+    fn sar_soundness(
+        users_a in prop::collection::vec(0..30u32, 1..20),
+        users_b in prop::collection::vec(0..30u32, 1..20),
+        k in 1..6usize,
+    ) {
+        let a: SocialDescriptor = users_a.iter().map(|&u| UserId(u)).collect();
+        let b: SocialDescriptor = users_b.iter().map(|&u| UserId(u)).collect();
+        let exact = social_jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&exact));
+        prop_assert!((exact - social_jaccard(&b, &a)).abs() < 1e-12);
+
+        // Coarse dictionary: user u → community u % k.
+        let assignment: Vec<usize> = {
+            let mut v: Vec<usize> = (0..30).map(|u| u % k).collect();
+            v.sort_unstable();
+            v
+        };
+        let dict = UserDictionary::from_partition(
+            &viderec_social::Partition::from_assignment(assignment),
+        );
+        // Sorting destroyed the u → u % k mapping; rebuild an order-true one:
+        let dict2 = {
+            let mut d = dict;
+            for u in 0..30u32 {
+                d.reassign(UserId(u), (u as usize) % k);
+            }
+            d
+        };
+        let approx = sar_similarity(&dict2.vectorize(&a), &dict2.vectorize(&b));
+        prop_assert!(approx >= exact - 1e-12, "SAR {} < exact {}", approx, exact);
+
+        // Singleton communities: SAR is exact.
+        let singleton = UserDictionary::from_partition(
+            &viderec_social::Partition::from_assignment((0..30).collect()),
+        );
+        let s = sar_similarity(&singleton.vectorize(&a), &singleton.vectorize(&b));
+        prop_assert!((s - exact).abs() < 1e-12);
+    }
+
+    /// Maintenance keeps a valid partition under arbitrary update batches
+    /// and never loses users.
+    #[test]
+    fn maintenance_invariants(
+        (n, edges) in graph_strategy(),
+        batches in prop::collection::vec(
+            prop::collection::vec((0..20u32, 0..20u32, 1..6u32), 1..8),
+            1..5,
+        ),
+        k in 1..6usize,
+    ) {
+        let g = build_graph(n, &edges);
+        let mut m = SocialUpdatesMaintenance::new(g, k);
+        let users_before = m.partition().num_users();
+        prop_assert!(users_before == n);
+        for batch in &batches {
+            let conns: Vec<(UserId, UserId, u32)> = batch
+                .iter()
+                .filter(|&&(a, b, _)| a != b)
+                .map(|&(a, b, w)| (UserId(a), UserId(b), w))
+                .collect();
+            m.apply_connections(&conns);
+            let p = m.partition();
+            prop_assert!(p.is_valid());
+            prop_assert!(p.num_users() >= users_before);
+            prop_assert!(p.k() >= 1);
+        }
+    }
+}

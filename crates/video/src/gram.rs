@@ -1,0 +1,121 @@
+//! Video q-grams.
+//!
+//! §4.1: "A video cuboid signature is constructed over a number of temporally
+//! consecutive keyframes … Given a video q-gram consisting of q keyframes …
+//! To simplify the video cuboid signature, we use bigrams." A q-gram is a
+//! sliding window of q consecutive keyframes inside one segment; the
+//! signature builder in `viderec-signature` turns each q-gram into one cuboid
+//! signature.
+
+use crate::frame::Frame;
+use crate::keyframe::Segment;
+
+/// A window of `q` temporally consecutive keyframes within one segment.
+#[derive(Debug, Clone)]
+pub struct QGram {
+    /// Index of the segment this q-gram came from.
+    pub segment: usize,
+    /// The keyframes, oldest first; `frames.len() == q`.
+    pub frames: Vec<Frame>,
+}
+
+impl QGram {
+    /// The window size q.
+    pub fn q(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// Extracts all q-grams (stride 1) from each segment's keyframes. Segments
+/// with fewer than `q` keyframes are padded by repeating their last keyframe
+/// so every segment contributes at least one q-gram — a segment with a single
+/// static keyframe then yields a zero-motion gram, which is the correct
+/// signal.
+pub fn qgrams(segments: &[Segment], q: usize) -> Vec<QGram> {
+    assert!(q >= 2, "a q-gram needs at least two keyframes");
+    let mut out = Vec::new();
+    for (si, seg) in segments.iter().enumerate() {
+        if seg.keyframes.is_empty() {
+            continue;
+        }
+        if seg.keyframes.len() < q {
+            let mut frames = seg.keyframes.clone();
+            while frames.len() < q {
+                frames.push(frames.last().expect("non-empty").clone());
+            }
+            out.push(QGram { segment: si, frames });
+        } else {
+            for w in seg.keyframes.windows(q) {
+                out.push(QGram { segment: si, frames: w.to_vec() });
+            }
+        }
+    }
+    out
+}
+
+/// Bigram convenience wrapper (`q = 2`), the configuration the paper uses.
+pub fn bigrams(segments: &[Segment]) -> Vec<QGram> {
+    qgrams(segments, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(si_start: usize, n_kf: usize) -> Segment {
+        Segment {
+            start: si_start,
+            end: si_start + n_kf,
+            keyframes: (0..n_kf)
+                .map(|i| Frame::filled(4, 4, (si_start + i) as u8))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bigrams_slide_with_stride_one() {
+        let segs = vec![seg(0, 4)];
+        let grams = bigrams(&segs);
+        assert_eq!(grams.len(), 3);
+        assert_eq!(grams[0].frames[0].data()[0], 0);
+        assert_eq!(grams[0].frames[1].data()[0], 1);
+        assert_eq!(grams[2].frames[1].data()[0], 3);
+        assert!(grams.iter().all(|g| g.q() == 2));
+    }
+
+    #[test]
+    fn short_segment_padded_to_one_gram() {
+        let segs = vec![seg(10, 1)];
+        let grams = bigrams(&segs);
+        assert_eq!(grams.len(), 1);
+        assert_eq!(grams[0].frames[0], grams[0].frames[1]);
+    }
+
+    #[test]
+    fn grams_do_not_cross_segment_boundaries() {
+        let segs = vec![seg(0, 3), seg(100, 3)];
+        let grams = bigrams(&segs);
+        assert_eq!(grams.len(), 4);
+        for g in &grams {
+            let a = g.frames[0].data()[0];
+            let b = g.frames[1].data()[0];
+            assert_eq!(b, a + 1, "gram crosses a boundary: {a} {b}");
+        }
+        assert_eq!(grams[0].segment, 0);
+        assert_eq!(grams[3].segment, 1);
+    }
+
+    #[test]
+    fn trigram_extraction() {
+        let segs = vec![seg(0, 5)];
+        let grams = qgrams(&segs, 3);
+        assert_eq!(grams.len(), 3);
+        assert!(grams.iter().all(|g| g.q() == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two keyframes")]
+    fn unigram_rejected() {
+        qgrams(&[seg(0, 3)], 1);
+    }
+}

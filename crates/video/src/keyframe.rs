@@ -1,0 +1,132 @@
+//! Segment keyframe selection.
+//!
+//! After shot detection the paper represents each segment by temporally
+//! consecutive keyframes over which video cuboids are built (§4.1). We select
+//! keyframes by uniform temporal sampling inside each segment, which is the
+//! standard choice when no semantic saliency model is available.
+
+use crate::frame::Frame;
+use crate::shot::segments_from_cuts;
+use crate::video::Video;
+
+/// A detected shot segment with its selected keyframes.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Start frame index (inclusive).
+    pub start: usize,
+    /// End frame index (exclusive).
+    pub end: usize,
+    /// Selected keyframes, in temporal order.
+    pub keyframes: Vec<Frame>,
+}
+
+impl Segment {
+    /// Segment length in frames.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the segment is empty (never true for detector output).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Selects up to `max_keyframes` uniformly spaced keyframes from
+/// `frames[start..end]`. Always returns at least one frame for a non-empty
+/// range, and never duplicates an index.
+pub fn select_keyframes(
+    frames: &[Frame],
+    start: usize,
+    end: usize,
+    max_keyframes: usize,
+) -> Vec<Frame> {
+    assert!(start < end && end <= frames.len(), "bad keyframe range");
+    assert!(max_keyframes > 0, "need at least one keyframe");
+    let len = end - start;
+    let n = max_keyframes.min(len);
+    // Uniform sampling: the i-th keyframe sits at the centre of the i-th of
+    // n equal sub-ranges.
+    (0..n)
+        .map(|i| {
+            let idx = start + (2 * i + 1) * len / (2 * n);
+            frames[idx.min(end - 1)].clone()
+        })
+        .collect()
+}
+
+/// Full segmentation pipeline: cut boundaries → segments → keyframes.
+///
+/// `cuts` are boundaries as produced by [`crate::shot::detect_cuts`];
+/// `keyframes_per_segment` bounds the keyframes per shot.
+pub fn segment_keyframes(
+    video: &Video,
+    cuts: &[usize],
+    keyframes_per_segment: usize,
+) -> Vec<Segment> {
+    segments_from_cuts(video.len(), cuts)
+        .into_iter()
+        .map(|(start, end)| Segment {
+            start,
+            end,
+            keyframes: select_keyframes(video.frames(), start, end, keyframes_per_segment),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::VideoId;
+
+    fn ramp(n: usize) -> Vec<Frame> {
+        (0..n).map(|i| Frame::filled(4, 4, (i % 256) as u8)).collect()
+    }
+
+    #[test]
+    fn short_segment_yields_all_frames() {
+        let frames = ramp(3);
+        let kf = select_keyframes(&frames, 0, 3, 8);
+        assert_eq!(kf.len(), 3);
+        assert_eq!(kf[0], frames[0]);
+        assert_eq!(kf[2], frames[2]);
+    }
+
+    #[test]
+    fn long_segment_samples_uniformly() {
+        let frames = ramp(100);
+        let kf = select_keyframes(&frames, 0, 100, 4);
+        assert_eq!(kf.len(), 4);
+        // Centres of quarters: 12, 37, 62, 87.
+        assert_eq!(kf[0], frames[12]);
+        assert_eq!(kf[3], frames[87]);
+    }
+
+    #[test]
+    fn keyframes_are_in_temporal_order_and_distinct_indices() {
+        let frames = ramp(50);
+        let kf = select_keyframes(&frames, 10, 40, 6);
+        let vals: Vec<u8> = kf.iter().map(|f| f.data()[0]).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(vals.len(), sorted.len(), "duplicate keyframes");
+    }
+
+    #[test]
+    fn full_pipeline_segments_align_with_cuts() {
+        let v = Video::new(VideoId(1), 10.0, ramp(30));
+        let segs = segment_keyframes(&v, &[10, 20], 3);
+        assert_eq!(segs.len(), 3);
+        assert_eq!((segs[0].start, segs[0].end), (0, 10));
+        assert_eq!(segs[0].len(), 10);
+        assert!(!segs[0].is_empty());
+        assert_eq!(segs[1].keyframes.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad keyframe range")]
+    fn empty_range_rejected() {
+        select_keyframes(&ramp(4), 2, 2, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # viderec-video
+//!
+//! The video substrate of the `viderec` reproduction of *Online Video
+//! Recommendation in Sharing Community* (SIGMOD 2015).
+//!
+//! The paper operates on real YouTube clips; decoding real video in pure Rust
+//! is out of scope (`repro_why`: video-decode crates immature), so this crate
+//! provides the closest synthetic equivalent that exercises the same code
+//! path end to end:
+//!
+//! * [`frame::Frame`] — an 8-bit luminance grid, the unit every downstream
+//!   algorithm (shot detection, cuboid signatures) consumes.
+//! * [`video::Video`] — a frame sequence with a frame rate and identity.
+//! * [`codec`] — a small lossy block codec (quantise + temporal delta + RLE)
+//!   so the pipeline genuinely ingests a bitstream rather than in-memory
+//!   arrays.
+//! * [`synth`] — a seeded, topic-conditioned generator of realistic scene
+//!   structure (smooth fields, motion, hard cuts) used by the evaluation
+//!   harness to stand in for the paper's 200-hour crawl.
+//! * [`transform`] — the editing operations the paper's robustness argument
+//!   rests on (brightness/contrast change, noise, logo overlay, border crop,
+//!   spatial shift, temporal cut/reorder/insert).
+//! * [`shot`] — histogram-difference cut detection in the spirit of the
+//!   AT&T TRECVID detector the paper cites ([18]).
+//! * [`keyframe`] / [`gram`] — segment keyframe selection and the q-gram
+//!   (bigram) windows the cuboid signatures are built over.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod frame;
+pub mod gram;
+pub mod keyframe;
+pub mod shot;
+pub mod stats;
+pub mod synth;
+pub mod transform;
+pub mod video;
+
+pub use frame::Frame;
+pub use gram::{bigrams, QGram};
+pub use keyframe::{segment_keyframes, Segment};
+pub use shot::{detect_cuts, segments_from_cuts, CutDetector};
+pub use stats::{psnr, video_mse};
+pub use synth::{SynthConfig, VideoSynthesizer};
+pub use transform::Transform;
+pub use video::{Video, VideoId};

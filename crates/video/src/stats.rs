@@ -1,0 +1,108 @@
+//! Video quality statistics.
+//!
+//! The codec's fidelity needs a standard yardstick: [`psnr`] (peak
+//! signal-to-noise ratio over 8-bit luminance) quantifies how much the
+//! `VRC1` transcode — or any editing transform — disturbs a clip, and the
+//! tests pin the codec above the "visually transparent" band.
+
+use crate::frame::Frame;
+use crate::video::Video;
+
+/// Mean squared error between two equally shaped frames.
+///
+/// # Panics
+/// Panics if the frames differ in shape.
+pub fn frame_mse(a: &Frame, b: &Frame) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "frame shape mismatch"
+    );
+    let sum: u64 = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| {
+            let d = x as i64 - y as i64;
+            (d * d) as u64
+        })
+        .sum();
+    sum as f64 / a.data().len() as f64
+}
+
+/// Mean squared error across two equally long videos.
+///
+/// # Panics
+/// Panics if lengths or frame shapes differ.
+pub fn video_mse(a: &Video, b: &Video) -> f64 {
+    assert_eq!(a.len(), b.len(), "video length mismatch");
+    a.frames()
+        .iter()
+        .zip(b.frames())
+        .map(|(fa, fb)| frame_mse(fa, fb))
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB for 8-bit content; `f64::INFINITY` for
+/// identical inputs.
+pub fn psnr(a: &Video, b: &Video) -> f64 {
+    let mse = video_mse(a, b);
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0 * 255.0 / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::transcode;
+    use crate::synth::{SynthConfig, VideoSynthesizer};
+    use crate::transform::Transform;
+    use crate::video::VideoId;
+
+    fn clip(seed: u64) -> Video {
+        let mut s = VideoSynthesizer::new(SynthConfig::default(), 2, seed);
+        s.generate(VideoId(seed), 0, 8.0)
+    }
+
+    #[test]
+    fn identical_videos_have_infinite_psnr() {
+        let v = clip(1);
+        assert_eq!(psnr(&v, &v), f64::INFINITY);
+        assert_eq!(video_mse(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn codec_transcode_is_high_fidelity() {
+        // |err| ≤ 3 per pixel → MSE ≤ 9 → PSNR ≥ 38.6 dB; typically ~44.
+        let v = clip(2);
+        let p = psnr(&v, &transcode(&v));
+        assert!(p > 38.0, "codec PSNR {p:.1} dB");
+    }
+
+    #[test]
+    fn psnr_orders_edit_severity() {
+        let v = clip(3);
+        let light = Transform::Noise { amp: 2, seed: 1 }.apply(&v);
+        let heavy = Transform::Noise { amp: 40, seed: 1 }.apply(&v);
+        assert!(psnr(&v, &light) > psnr(&v, &heavy));
+    }
+
+    #[test]
+    fn known_mse_value() {
+        let a = Frame::filled(4, 4, 10);
+        let b = Frame::filled(4, 4, 13);
+        assert_eq!(frame_mse(&a, &b), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_rejected() {
+        let v = clip(4);
+        let short = Transform::SubClip { start: 0, len: 10 }.apply(&v);
+        video_mse(&v, &short);
+    }
+}

@@ -1,0 +1,55 @@
+//! An anonymous browsing session: the motivating scenario of §1 — an
+//! unregistered viewer (private browsing, no cookies, no profile) clicks
+//! through videos, and every recommendation is computed only from the
+//! *clicked video's* content and social context.
+//!
+//! ```sh
+//! cargo run --release --example anonymous_session
+//! ```
+
+use viderec::core::{QueryVideo, Recommender, RecommenderConfig, Strategy};
+use viderec::eval::community::{Community, CommunityConfig};
+
+fn main() {
+    let community = Community::generate(CommunityConfig { hours: 10.0, ..Default::default() });
+    let recommender =
+        Recommender::build(RecommenderConfig::default(), community.source_corpus())
+            .expect("valid corpus");
+
+    // The anonymous viewer starts from a trending video and follows the #1
+    // recommendation five times. A good recommender keeps the session inside
+    // relevant material instead of drifting to noise.
+    let mut current = community.query_videos()[2];
+    let mut visited = vec![current];
+    println!("anonymous session (no profile, no history used):\n");
+    for hop in 0..5 {
+        let query = QueryVideo {
+            series: recommender.series_of(current).unwrap().clone(),
+            users: recommender.users_of(current).unwrap().to_vec(),
+        };
+        let recs = recommender.recommend_excluding(Strategy::CsfSarH, &query, 3, &visited);
+        let Some(next) = recs.first() else {
+            println!("  no further recommendations");
+            break;
+        };
+        println!(
+            "hop {}: watching {} ('{}') -> recommended {} (score {:.3}, true relevance {:.2})",
+            hop + 1,
+            current,
+            community.topic_label(current),
+            next.video,
+            next.score,
+            community.relevance(current, next.video),
+        );
+        current = next.video;
+        visited.push(current);
+    }
+
+    // Session quality: mean true relevance of consecutive hops.
+    let mean_rel: f64 = visited
+        .windows(2)
+        .map(|w| community.relevance(w[0], w[1]))
+        .sum::<f64>()
+        / (visited.len() - 1).max(1) as f64;
+    println!("\nmean hop relevance: {mean_rel:.2} (1.0 = perfect, 0.05 = random)");
+}

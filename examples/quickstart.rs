@@ -1,0 +1,62 @@
+//! Quickstart: build a recommender over a synthetic sharing community and
+//! recommend videos for a clicked one.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use viderec::core::{QueryVideo, Recommender, RecommenderConfig, Strategy};
+use viderec::eval::community::{Community, CommunityConfig};
+
+fn main() {
+    // A small deterministic community: ~10 paper-hours of synthetic uploads,
+    // users, and 16 months of comments.
+    println!("generating community…");
+    let community = Community::generate(CommunityConfig { hours: 10.0, ..Default::default() });
+    println!(
+        "  {} videos, {} users, {} comments",
+        community.videos.len(),
+        community.config().users,
+        community.comments.len()
+    );
+
+    // Build the recommender over the first 12 months of social activity.
+    println!("building recommender…");
+    let recommender =
+        Recommender::build(RecommenderConfig::default(), community.source_corpus())
+            .expect("valid corpus");
+    println!(
+        "  {} sub-communities over {} users",
+        recommender.live_communities(),
+        recommender.num_users()
+    );
+
+    // An (anonymous!) viewer clicks a popular video. The query carries only
+    // the video's own content signature and social context — no viewer
+    // profile exists.
+    let clicked = community.query_videos()[0];
+    println!(
+        "\nviewer clicked {} (topic '{}')",
+        clicked,
+        community.topic_label(clicked)
+    );
+    let query = QueryVideo {
+        series: recommender.series_of(clicked).unwrap().clone(),
+        users: recommender.users_of(clicked).unwrap().to_vec(),
+    };
+
+    for strategy in [Strategy::Cr, Strategy::Sr, Strategy::CsfSarH] {
+        let recs = recommender.recommend_excluding(strategy, &query, 5, &[clicked]);
+        println!("\ntop 5 by {}:", strategy.label());
+        for (rank, rec) in recs.iter().enumerate() {
+            println!(
+                "  {}. {}  score {:.3}  (true relevance {:.2}, topic '{}')",
+                rank + 1,
+                rec.video,
+                rec.score,
+                community.relevance(clicked, rec.video),
+                community.topic_label(rec.video),
+            );
+        }
+    }
+}

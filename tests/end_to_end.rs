@@ -1,0 +1,143 @@
+//! Cross-crate integration: community generation → recommender build → all
+//! strategies → incremental maintenance, on a small but non-trivial corpus.
+
+use viderec::core::{QueryVideo, Recommender, RecommenderConfig, Strategy};
+use viderec::eval::community::{Community, CommunityConfig};
+use viderec::video::VideoId;
+
+fn small_community() -> Community {
+    Community::generate(CommunityConfig { hours: 5.0, ..Default::default() })
+}
+
+fn query_for(r: &Recommender, id: VideoId) -> QueryVideo {
+    QueryVideo {
+        series: r.series_of(id).expect("indexed").clone(),
+        users: r.users_of(id).expect("indexed").to_vec(),
+    }
+}
+
+fn mean_top5_relevance(
+    community: &Community,
+    r: &Recommender,
+    strategy: Strategy,
+) -> f64 {
+    let queries = community.query_videos();
+    let mut total = 0.0;
+    for &qid in &queries {
+        let recs = r.recommend_excluding(strategy, &query_for(r, qid), 5, &[qid]);
+        assert!(!recs.is_empty(), "{} returned nothing", strategy.label());
+        total += recs
+            .iter()
+            .map(|s| community.relevance(qid, s.video))
+            .sum::<f64>()
+            / recs.len() as f64;
+    }
+    total / queries.len() as f64
+}
+
+#[test]
+fn full_pipeline_builds_and_recommends() {
+    let community = small_community();
+    let r = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("build");
+    assert_eq!(r.num_videos(), community.videos.len());
+    assert!(r.num_users() > 0);
+    assert!(r.live_communities() >= 2);
+
+    // Every strategy returns ranked, deduplicated, query-free results.
+    let qid = community.query_videos()[0];
+    let q = query_for(&r, qid);
+    for strategy in [
+        Strategy::Cr,
+        Strategy::Sr,
+        Strategy::Csf,
+        Strategy::CsfSar,
+        Strategy::CsfSarH,
+    ] {
+        let recs = r.recommend_excluding(strategy, &q, 10, &[qid]);
+        assert!(!recs.is_empty());
+        for w in recs.windows(2) {
+            assert!(w[0].score >= w[1].score, "{} unsorted", strategy.label());
+        }
+        let mut ids: Vec<VideoId> = recs.iter().map(|s| s.video).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), recs.len(), "{} duplicated", strategy.label());
+        assert!(!ids.contains(&qid));
+    }
+}
+
+#[test]
+fn fusion_beats_both_pure_strategies_and_everything_beats_chance() {
+    let community = small_community();
+    let r = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("build");
+    let cr = mean_top5_relevance(&community, &r, Strategy::Cr);
+    let sr = mean_top5_relevance(&community, &r, Strategy::Sr);
+    let csf = mean_top5_relevance(&community, &r, Strategy::Csf);
+    // The paper's headline ordering at the top of the list.
+    assert!(csf >= sr - 0.02, "CSF {csf} below SR {sr}");
+    assert!(csf > cr, "CSF {csf} not above CR {cr}");
+    assert!(cr > 0.1, "CR {cr} no better than chance");
+}
+
+#[test]
+fn sar_approximations_track_the_exact_fusion() {
+    let community = small_community();
+    let r = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("build");
+    let csf = mean_top5_relevance(&community, &r, Strategy::Csf);
+    let sar = mean_top5_relevance(&community, &r, Strategy::CsfSar);
+    let sarh = mean_top5_relevance(&community, &r, Strategy::CsfSarH);
+    assert!((csf - sar).abs() < 0.2, "CSF {csf} vs CSF-SAR {sar}");
+    assert!((sar - sarh).abs() < 0.1, "CSF-SAR {sar} vs CSF-SAR-H {sarh}");
+}
+
+#[test]
+fn maintenance_keeps_quality_and_consistency_over_the_test_window() {
+    let community = small_community();
+    let mut r = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("build");
+    let cfg = community.config().clone();
+    let before = mean_top5_relevance(&community, &r, Strategy::CsfSarH);
+
+    let mut total_applied = 0;
+    for month in cfg.source_months..cfg.months {
+        let summary = r.apply_social_updates(&community.updates_in_month(month));
+        total_applied += summary.comments_applied;
+        // Vector/descriptor consistency after every batch.
+        for v in community.videos.iter().take(20) {
+            let sum: u32 = r.vector_of(v.id).unwrap().iter().sum();
+            let users = r.users_of(v.id).unwrap().len();
+            assert_eq!(sum as usize, users, "vector drifted for {}", v.id);
+        }
+    }
+    assert!(total_applied > 0, "test window contained no updates");
+    let after = mean_top5_relevance(&community, &r, Strategy::CsfSarH);
+    // Fig. 11's claim: effectiveness stays steady under maintained updates.
+    assert!(
+        after >= before - 0.15,
+        "effectiveness collapsed under updates: {before} -> {after}"
+    );
+}
+
+#[test]
+fn queries_with_unseen_users_and_fresh_content_still_work() {
+    use viderec::signature::SignatureBuilder;
+    use viderec::video::{SynthConfig, VideoSynthesizer};
+
+    let community = small_community();
+    let r = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("build");
+    // A brand-new video by an unknown uploader, never indexed.
+    let mut synth = VideoSynthesizer::new(SynthConfig::default(), 5, 999);
+    let fresh = synth.generate(VideoId(9999), 1, 12.0);
+    let q = QueryVideo {
+        series: SignatureBuilder::default().build(&fresh),
+        users: vec!["totally_new_user".into()],
+    };
+    for strategy in [Strategy::Cr, Strategy::Csf, Strategy::CsfSarH] {
+        let recs = r.recommend(strategy, &q, 5);
+        assert!(recs.len() <= 5);
+    }
+}
