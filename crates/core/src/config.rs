@@ -101,11 +101,9 @@ mod tests {
     fn validation_catches_bad_values() {
         assert!(RecommenderConfig::default().with_omega(1.5).validate().is_err());
         assert!(RecommenderConfig::default().with_k(0).validate().is_err());
-        let mut c = RecommenderConfig::default();
-        c.embed_dims = 1;
+        let c = RecommenderConfig { embed_dims: 1, ..Default::default() };
         assert!(c.validate().is_err());
-        let mut c = RecommenderConfig::default();
-        c.candidate_limit = 0;
+        let c = RecommenderConfig { candidate_limit: 0, ..Default::default() };
         assert!(c.validate().is_err());
     }
 }

@@ -25,6 +25,11 @@
 //! [`baselines`] adds AFFRF (Yang et al., CIVR'07) over synthetic multimodal
 //! features, and [`maintenance`] wires the Fig. 5 social-updates algorithm
 //! into the index structures.
+//!
+//! For batch workloads, [`parallel::ParallelRecommender`] shards each query's
+//! candidate universe across a scoped worker pool and prunes candidates via
+//! admissible `κJ` ceilings ([`prune`]), returning results identical to the
+//! sequential path.
 
 #![warn(missing_docs)]
 
@@ -33,6 +38,8 @@ pub mod config;
 pub mod corpus;
 pub mod errors;
 pub mod maintenance;
+pub mod parallel;
+pub mod prune;
 pub mod recommender;
 pub mod relevance;
 
@@ -40,5 +47,7 @@ pub use config::RecommenderConfig;
 pub use corpus::{CorpusVideo, QueryVideo};
 pub use errors::RecError;
 pub use maintenance::{SocialUpdate, UpdateSummary};
+pub use parallel::{ParallelConfig, ParallelRecommender};
+pub use prune::{PruneBound, PruneStats};
 pub use recommender::{Recommender, Scored};
 pub use relevance::{fuse_fj, Strategy};

@@ -1,0 +1,605 @@
+//! Parallel sharded query engine with query-level pruning.
+//!
+//! [`ParallelRecommender`] answers batches of queries by sharding the
+//! candidate universe of each query across a scoped worker pool
+//! (`crossbeam::thread::scope`): every worker refines its shard into a
+//! bounded top-k heap, skipping candidates whose admissible score ceiling
+//! (see [`crate::prune`]) cannot strictly beat its running k-th score, and
+//! the per-shard heaps merge under the same total order the sequential path
+//! sorts with (score descending, then `VideoId` ascending). Pruning and
+//! sharding are both exact, so `recommend_batch` returns *identical* results
+//! to calling [`Recommender::recommend`] per query, for every strategy and
+//! any worker count.
+
+use crate::corpus::QueryVideo;
+use crate::prune::{
+    kappa_exact_cached, kappa_upper_bound, PruneBound, PruneStats, SeriesCache,
+};
+use crate::recommender::{PreparedQuery, Recommender, Scored};
+use crate::relevance::{strategy_score, Strategy};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Configuration of the sharded engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Logical shards per query (≥ 1). `1` runs the pruned scan inline.
+    pub workers: usize,
+    /// Whether to apply query-level pruning at all (off = pure sharding,
+    /// useful to isolate the two effects in benchmarks).
+    pub prune: bool,
+    /// Which EMD lower bound feeds the pruning ceilings.
+    pub bound: PruneBound,
+    /// OS-thread cap for executing shards. `None` (the default) clamps to
+    /// the host's available parallelism: the scan is CPU-bound, so threads
+    /// beyond the hardware supply only add context-switch and cache-thrash
+    /// overhead — excess logical shards are then drained by the threads that
+    /// exist (down to a plain serial drain on a single-core host). `Some(n)`
+    /// forces up to `n` threads regardless; tests use it to exercise the
+    /// threaded merge paths even where `available_parallelism` is 1.
+    pub max_threads: Option<usize>,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self { workers: 4, prune: true, bound: PruneBound::default(), max_threads: None }
+    }
+}
+
+/// A batch-query façade over a built [`Recommender`].
+///
+/// Holds only caches derived from immutable recommender state (per-video
+/// signature means and anchor features for the pruning bound), so it borrows
+/// the recommender shared; rebuild it after maintenance updates that replace
+/// the corpus.
+pub struct ParallelRecommender<'a> {
+    rec: &'a Recommender,
+    cfg: ParallelConfig,
+    video_caches: Vec<SeriesCache>,
+}
+
+/// Max-heap entry ordered worst-first (lowest score, then largest id), so the
+/// heap root is always the eviction candidate.
+struct WorstFirst(Scored);
+
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for WorstFirst {}
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .score
+            .total_cmp(&self.0.score)
+            .then(self.0.video.cmp(&other.0.video))
+    }
+}
+
+impl<'a> ParallelRecommender<'a> {
+    /// Wraps a recommender with the default configuration.
+    pub fn new(rec: &'a Recommender) -> Self {
+        Self::with_config(rec, ParallelConfig::default())
+    }
+
+    /// Wraps a recommender with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if `cfg.workers == 0`.
+    pub fn with_config(rec: &'a Recommender, cfg: ParallelConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        let video_caches = rec
+            .videos
+            .iter()
+            .map(|v| SeriesCache::build(&v.series, cfg.bound))
+            .collect();
+        Self { rec, cfg, video_caches }
+    }
+
+    /// The wrapped recommender.
+    pub fn recommender(&self) -> &Recommender {
+        self.rec
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ParallelConfig {
+        &self.cfg
+    }
+
+    /// Top-`k` recommendations for each query, identical to calling
+    /// [`Recommender::recommend`] per query.
+    pub fn recommend_batch(
+        &self,
+        strategy: Strategy,
+        queries: &[QueryVideo],
+        k: usize,
+    ) -> Vec<Vec<Scored>> {
+        self.recommend_batch_with_stats(strategy, queries, k)
+            .into_iter()
+            .map(|(recs, _)| recs)
+            .collect()
+    }
+
+    /// Like [`Self::recommend_batch`], also returning the per-query pruning
+    /// counters the bench harness reports.
+    ///
+    /// Scheduling policy: a batch at least as wide as the worker pool shards
+    /// whole *queries* across one scope (one spawn/join round per batch
+    /// instead of one per query), and every query runs the single-worker
+    /// pruned scan — whose heap fills exactly as fast as the sequential
+    /// path's, so the per-query prune rate does not degrade with the worker
+    /// count. Narrower batches fall back to sharding each query's
+    /// *candidates* across the pool. Both paths execute the same per-shard
+    /// scan and the same merge order, so the results are identical either
+    /// way (and identical to [`Recommender::recommend`]).
+    pub fn recommend_batch_with_stats(
+        &self,
+        strategy: Strategy,
+        queries: &[QueryVideo],
+        k: usize,
+    ) -> Vec<(Vec<Scored>, PruneStats)> {
+        let workers = self.cfg.workers;
+        if workers > 1 && queries.len() >= workers {
+            let threads = self.threads_for(workers);
+            if threads == 1 {
+                return queries
+                    .iter()
+                    .map(|q| self.recommend_one(strategy, q, k, 1))
+                    .collect();
+            }
+            let chunk = queries.len().div_ceil(threads);
+            return crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = queries
+                    .chunks(chunk)
+                    .map(|qs| {
+                        scope.spawn(move |_| {
+                            qs.iter()
+                                .map(|q| self.recommend_one(strategy, q, k, 1))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("query worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+        }
+        queries.iter().map(|q| self.recommend_one(strategy, q, k, workers)).collect()
+    }
+
+    /// OS threads to drain `shards` logical shards: never more than the
+    /// shards themselves, never more than the cap (see
+    /// [`ParallelConfig::max_threads`]).
+    fn threads_for(&self, shards: usize) -> usize {
+        let cap = self.cfg.max_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+        shards.min(cap).max(1)
+    }
+
+    fn recommend_one(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        k: usize,
+        workers: usize,
+    ) -> (Vec<Scored>, PruneStats) {
+        if k == 0 {
+            return (Vec::new(), PruneStats::default());
+        }
+        let prep = self.rec.prepare_query(strategy, query);
+        let candidates = self.rec.candidate_indices(strategy, query, &prep);
+        let query_cache = SeriesCache::build(&query.series, self.cfg.bound);
+        let workers = workers.min(candidates.len()).max(1);
+
+        let (mut merged, mut stats) = if self.cfg.prune && strategy.uses_content() {
+            self.run_pruned(strategy, query, &prep, &query_cache, &candidates, k, workers)
+        } else {
+            self.run_plain(strategy, query, &prep, &query_cache, &candidates, k, workers)
+        };
+
+        // Same total order as the sequential sort — per-shard tops are exact
+        // for their shard, so the merged top-k is the global top-k.
+        merged.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.video.cmp(&b.video)));
+        merged.truncate(k);
+        stats.scanned = candidates.len() as u64;
+        (merged, stats)
+    }
+
+    /// Unpruned path: shard the candidate list into contiguous chunks and
+    /// heap-scan each (SR's and CR's scores are cheap and exact already; with
+    /// pruning disabled content strategies pay one exact `κJ` per candidate).
+    #[allow(clippy::too_many_arguments)]
+    fn run_plain(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        prep: &PreparedQuery,
+        query_cache: &SeriesCache,
+        candidates: &[u32],
+        k: usize,
+        workers: usize,
+    ) -> (Vec<Scored>, PruneStats) {
+        if workers == 1 {
+            return self.score_plain_shard(strategy, query, prep, query_cache, candidates, k);
+        }
+        let chunk = candidates.len().div_ceil(workers);
+        let shards: Vec<&[u32]> = candidates.chunks(chunk).collect();
+        let threads = self.threads_for(shards.len());
+        let results = if threads == 1 {
+            shards
+                .iter()
+                .map(|shard| {
+                    self.score_plain_shard(strategy, query, prep, query_cache, shard, k)
+                })
+                .collect()
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .chunks(shards.len().div_ceil(threads))
+                    .map(|mine| {
+                        let (prep, qc) = (prep, query_cache);
+                        scope.spawn(move |_| {
+                            mine.iter()
+                                .map(|shard| {
+                                    self.score_plain_shard(strategy, query, prep, qc, shard, k)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("crossbeam scope")
+        };
+        merge_shards(results)
+    }
+
+    /// Pruned path. The whole candidate set is annotated *once* with each
+    /// candidate's exact social score and admissible score ceiling, and
+    /// sorted ceiling-descending. The `k` highest-ceiling candidates are then
+    /// evaluated inline: their k-th score is a *global* pruning floor that
+    /// every shard can test against from its very first candidate — a shard
+    /// smaller than `k` (whose own heap can never fill) prunes exactly as
+    /// well as the sequential scan, so prune rates no longer collapse as the
+    /// worker count grows. The remainder is dealt to the workers round-robin;
+    /// striding a ceiling-sorted list keeps every shard itself
+    /// ceiling-descending, preserving the one-step tail prune.
+    ///
+    /// Soundness of the floor: the prefix holds `k` candidates whose exact
+    /// scores are all ≥ the floor, so a candidate whose ceiling is *strictly*
+    /// below it loses to all of them regardless of tie-breaking.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pruned(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        prep: &PreparedQuery,
+        query_cache: &SeriesCache,
+        candidates: &[u32],
+        k: usize,
+        workers: usize,
+    ) -> (Vec<Scored>, PruneStats) {
+        let omega = self.rec.config().omega;
+        let matching = self.rec.config().matching;
+
+        // Annotate: exact social score (cheap) + admissible score ceiling.
+        let mut annotated: Vec<(u32, f64, f64)> = candidates
+            .iter()
+            .map(|&idx| {
+                let i = idx as usize;
+                let sj = self.rec.social_score(strategy, query, prep, i);
+                let ceiling = strategy_score(
+                    strategy,
+                    omega,
+                    kappa_upper_bound(
+                        query_cache,
+                        &self.video_caches[i],
+                        self.cfg.bound,
+                        matching,
+                    ),
+                    sj,
+                );
+                (idx, sj, ceiling)
+            })
+            .collect();
+        annotated.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+
+        // Evaluate the k highest ceilings inline to establish the floor.
+        let mut stats = PruneStats::default();
+        let mut prefix_heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
+        let prefix = annotated.len().min(k);
+        for &(idx, sj, _) in &annotated[..prefix] {
+            stats.exact_evals += 1;
+            let idx = idx as usize;
+            let score = strategy_score(
+                strategy,
+                omega,
+                kappa_exact_cached(query_cache, &self.video_caches[idx], matching),
+                sj,
+            );
+            push_top_k(
+                &mut prefix_heap,
+                WorstFirst(Scored { video: self.rec.videos[idx].id, score }),
+                k,
+            );
+        }
+        let rest = &annotated[prefix..];
+        if rest.is_empty() {
+            return (prefix_heap.into_iter().map(|e| e.0).collect(), stats);
+        }
+        // rest is non-empty ⇒ prefix == k ⇒ the heap is full. Workers share
+        // the floor through an atomic (monotone max over f64 bit patterns —
+        // scores are non-negative, so the bit order is the numeric order) and
+        // publish their own k-th scores as they rise, so every shard prunes
+        // against the best threshold discovered anywhere, not just its own.
+        let floor = prefix_heap.peek().expect("prefix heap is full").0.score;
+        let shared_floor = AtomicU64::new(floor.to_bits());
+
+        let results = if workers == 1 {
+            vec![self.score_annotated_shard(strategy, query_cache, rest, k, &shared_floor)]
+        } else {
+            let mut shards: Vec<Vec<(u32, f64, f64)>> =
+                (0..workers).map(|_| Vec::with_capacity(rest.len() / workers + 1)).collect();
+            for (pos, &entry) in rest.iter().enumerate() {
+                shards[pos % workers].push(entry);
+            }
+            let threads = self.threads_for(shards.len());
+            if threads == 1 {
+                // Serial drain of the logical shards: the shared floor still
+                // carries each shard's k-th score into the next, like the
+                // threaded drain's atomic does across cores.
+                shards
+                    .iter()
+                    .map(|shard| {
+                        self.score_annotated_shard(strategy, query_cache, shard, k, &shared_floor)
+                    })
+                    .collect()
+            } else {
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = shards
+                        .chunks(shards.len().div_ceil(threads))
+                        .map(|mine| {
+                            let (qc, sf) = (query_cache, &shared_floor);
+                            scope.spawn(move |_| {
+                                mine.iter()
+                                    .map(|shard| {
+                                        self.score_annotated_shard(strategy, qc, shard, k, sf)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("shard worker panicked"))
+                        .collect::<Vec<_>>()
+                })
+                .expect("crossbeam scope")
+            }
+        };
+        let (mut merged, shard_stats) = merge_shards(results);
+        merged.extend(prefix_heap.into_iter().map(|e| e.0));
+        stats.absorb(shard_stats);
+        (merged, stats)
+    }
+
+    /// Plain heap scan of a shard of candidate indices; exact scores only.
+    fn score_plain_shard(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        prep: &PreparedQuery,
+        query_cache: &SeriesCache,
+        shard: &[u32],
+        k: usize,
+    ) -> (Vec<Scored>, PruneStats) {
+        let omega = self.rec.config().omega;
+        let matching = self.rec.config().matching;
+        let mut stats = PruneStats::default();
+        let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
+        for &idx in shard {
+            let idx = idx as usize;
+            let content = if strategy.uses_content() {
+                stats.exact_evals += 1;
+                kappa_exact_cached(query_cache, &self.video_caches[idx], matching)
+            } else {
+                0.0
+            };
+            let sj = self.rec.social_score(strategy, query, prep, idx);
+            let score = strategy_score(strategy, omega, content, sj);
+            push_top_k(&mut heap, WorstFirst(Scored { video: self.rec.videos[idx].id, score }), k);
+        }
+        (heap.into_iter().map(|e| e.0).collect(), stats)
+    }
+
+    /// Scores one ceiling-descending annotated shard into its exact top-k,
+    /// pruning candidates whose score ceiling cannot strictly beat the
+    /// shared floor — the highest k-th score any worker (or the prefix scan)
+    /// has reached so far. Each worker publishes its own k-th score to the
+    /// atomic as it rises; every published value is the k-th best of `k`
+    /// exactly-scored candidates, so it is a sound global floor.
+    ///
+    /// The ceiling-descending order front-loads the strong candidates so the
+    /// running k-th score rises fast — and once the ceiling of the current
+    /// candidate falls *strictly* below the threshold, every remaining
+    /// candidate's ceiling is at least as low, so the whole tail is pruned in
+    /// one step. Candidates whose ceiling ties the threshold are still
+    /// evaluated (ranking ties break by `VideoId`), keeping the result exact.
+    fn score_annotated_shard(
+        &self,
+        strategy: Strategy,
+        query_cache: &SeriesCache,
+        shard: &[(u32, f64, f64)],
+        k: usize,
+        shared_floor: &AtomicU64,
+    ) -> (Vec<Scored>, PruneStats) {
+        let omega = self.rec.config().omega;
+        let matching = self.rec.config().matching;
+        let mut stats = PruneStats::default();
+        let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
+        for (pos, &(idx, sj, ceiling)) in shard.iter().enumerate() {
+            let mut threshold = f64::from_bits(shared_floor.load(AtomicOrdering::Relaxed));
+            if heap.len() == k {
+                let kth = heap.peek().expect("heap is full").0.score;
+                if kth > threshold {
+                    shared_floor.fetch_max(kth.to_bits(), AtomicOrdering::Relaxed);
+                    threshold = kth;
+                }
+            }
+            if ceiling < threshold {
+                // Strictly below a score k candidates already reach: even a
+                // tie is impossible, so neither this candidate nor any later
+                // one (sorted by ceiling) can enter the top-k.
+                stats.pruned += (shard.len() - pos) as u64;
+                break;
+            }
+            stats.exact_evals += 1;
+            let idx = idx as usize;
+            let score = strategy_score(
+                strategy,
+                omega,
+                kappa_exact_cached(query_cache, &self.video_caches[idx], matching),
+                sj,
+            );
+            push_top_k(&mut heap, WorstFirst(Scored { video: self.rec.videos[idx].id, score }), k);
+        }
+        (heap.into_iter().map(|e| e.0).collect(), stats)
+    }
+}
+
+/// Inserts into a `k`-bounded worst-first heap: grow while short of `k`, then
+/// replace the root only for a *strictly* better entry under the ranking
+/// order (WorstFirst inverts it).
+fn push_top_k(heap: &mut BinaryHeap<WorstFirst>, entry: WorstFirst, k: usize) {
+    if heap.len() < k {
+        heap.push(entry);
+    } else if entry < *heap.peek().expect("heap is full") {
+        heap.pop();
+        heap.push(entry);
+    }
+}
+
+/// Concatenates per-shard tops and counters.
+fn merge_shards(results: Vec<(Vec<Scored>, PruneStats)>) -> (Vec<Scored>, PruneStats) {
+    let mut merged = Vec::new();
+    let mut stats = PruneStats::default();
+    for (shard_top, shard_stats) in results {
+        merged.extend(shard_top);
+        stats.absorb(shard_stats);
+    }
+    (merged, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RecommenderConfig;
+    use crate::corpus::CorpusVideo;
+    use viderec_signature::SignatureBuilder;
+    use viderec_video::{SynthConfig, VideoId, VideoSynthesizer};
+
+    fn corpus(n: usize) -> Vec<CorpusVideo> {
+        let mut synth = VideoSynthesizer::new(SynthConfig::default(), 4, 900);
+        let builder = SignatureBuilder::default();
+        (0..n)
+            .map(|i| {
+                let v = synth.generate(VideoId(i as u64), i % 4, 10.0);
+                CorpusVideo {
+                    id: v.id(),
+                    series: builder.build(&v),
+                    users: vec![format!("user{}", i % 5), format!("user{}", (i + 1) % 7)],
+                }
+            })
+            .collect()
+    }
+
+    fn build() -> Recommender {
+        let cfg = RecommenderConfig { k_subcommunities: 3, ..Default::default() };
+        Recommender::build(cfg, corpus(24)).unwrap()
+    }
+
+    #[test]
+    fn worst_first_orders_by_score_then_id() {
+        let better = WorstFirst(Scored { video: VideoId(9), score: 0.8 });
+        let worse = WorstFirst(Scored { video: VideoId(1), score: 0.2 });
+        assert!(better < worse);
+        let tie_low_id = WorstFirst(Scored { video: VideoId(1), score: 0.5 });
+        let tie_high_id = WorstFirst(Scored { video: VideoId(2), score: 0.5 });
+        assert!(tie_low_id < tie_high_id);
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_every_strategy() {
+        let rec = build();
+        let queries: Vec<QueryVideo> = (0..3)
+            .map(|i| QueryVideo {
+                series: rec.series_of(VideoId(i)).unwrap().clone(),
+                users: rec.users_of(VideoId(i)).unwrap().to_vec(),
+            })
+            .collect();
+        let par = ParallelRecommender::new(&rec);
+        for strategy in
+            [Strategy::Cr, Strategy::Sr, Strategy::Csf, Strategy::CsfSar, Strategy::CsfSarH]
+        {
+            let batch = par.recommend_batch(strategy, &queries, 5);
+            for (q, got) in queries.iter().zip(&batch) {
+                let want = rec.recommend(strategy, q, 5);
+                assert_eq!(&want, got, "{} diverged", strategy.label());
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_counters_are_consistent() {
+        let rec = build();
+        let q = QueryVideo {
+            series: rec.series_of(VideoId(0)).unwrap().clone(),
+            users: rec.users_of(VideoId(0)).unwrap().to_vec(),
+        };
+        let par = ParallelRecommender::with_config(
+            &rec,
+            ParallelConfig { workers: 2, ..Default::default() },
+        );
+        let results = par.recommend_batch_with_stats(Strategy::CsfSar, &[q], 3);
+        let (recs, stats) = &results[0];
+        assert_eq!(recs.len(), 3);
+        assert_eq!(stats.scanned, rec.num_videos() as u64);
+        assert_eq!(stats.pruned + stats.exact_evals, stats.scanned);
+    }
+
+    #[test]
+    fn zero_k_yields_empty_results() {
+        let rec = build();
+        let q = QueryVideo {
+            series: rec.series_of(VideoId(0)).unwrap().clone(),
+            users: vec![],
+        };
+        let par = ParallelRecommender::new(&rec);
+        let out = par.recommend_batch(Strategy::Csf, &[q], 0);
+        assert_eq!(out, vec![Vec::new()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let rec = build();
+        ParallelRecommender::with_config(
+            &rec,
+            ParallelConfig { workers: 0, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! Query-level pruning for the sharded engine.
+//!
+//! The expensive part of refining a candidate is the exact `κJ`: every
+//! signature pair of the two series may need an EMD solve. Once a worker
+//! already holds `k` results, a candidate whose *best possible* score cannot
+//! strictly beat the current k-th score can be skipped without any exact
+//! evaluation:
+//!
+//! 1. per query signature, the cheapest admissible EMD lower bound against
+//!    each video signature gives a `SimC` ceiling
+//!    ([`viderec_emd::sim_c_upper_bound`]);
+//! 2. the per-row ceilings combine into an admissible `κJ` ceiling
+//!    ([`viderec_emd::extended_jaccard_upper_bound`]);
+//! 3. fusing that ceiling with the (cheap, exact) social score gives a score
+//!    ceiling to test against the running k-th score.
+//!
+//! The per-pair bound is evaluated from a [`SeriesCache`] — signature means
+//! for Rubner's centroid bound, plus (for [`PruneBound::Best`]) cached
+//! Lipschitz anchor features that turn the bound into an O([`ANCHORS`])
+//! component-wise max ([`viderec_emd::anchor_lower_bound_from_features`])
+//! instead of a per-pair sort or sweep.
+//!
+//! The pruning test uses *strict* inequality: a candidate tying the k-th
+//! score must still be evaluated because ranking ties break by `VideoId`, so
+//! the result set stays identical to the unpruned scan.
+
+use viderec_emd::{
+    anchor_features, anchor_lower_bound_from_features, emd_1d_presorted,
+    emd_1d_presorted_capped, extended_jaccard, sim_c, sim_c_upper_bound, MatchingConfig,
+};
+use viderec_signature::SignatureSeries;
+
+/// Lipschitz anchors cached per signature for [`PruneBound::Best`]: the bound
+/// compares `E[|X − c|]` at this many anchor points per pair, so the per-pair
+/// cost is O([`ANCHORS`]) — it has to pay for itself against exact
+/// evaluations that are themselves only a few microseconds.
+const ANCHORS: usize = 8;
+
+/// Row-scan give-up threshold: once a row's running minimum lower bound falls
+/// to this value its `SimC` ceiling is already ≥ `1/(1+0.25) = 0.8` — far
+/// above any useful matching threshold — so the scan stops and reports the
+/// trivially admissible ceiling `1.0` instead of grinding through the
+/// remaining pairs (which is exactly the case where the centroid-gap break
+/// cannot fire: every remaining gap is below `min_lb`). Loosening such rows
+/// from `≈0.8..1.0` to `1.0` costs almost no pruning power because they were
+/// never the rows that excluded a candidate.
+const ROW_GIVE_UP_LB: f64 = 0.25;
+
+/// Per-query pruning counters, summed over a query's shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Candidates considered (shard sizes summed).
+    pub scanned: u64,
+    /// Candidates skipped because their score ceiling could not beat the
+    /// running k-th score.
+    pub pruned: u64,
+    /// Candidates that paid for an exact `κJ` evaluation.
+    pub exact_evals: u64,
+}
+
+impl PruneStats {
+    /// Accumulates another shard's counters.
+    pub fn absorb(&mut self, other: PruneStats) {
+        self.scanned += other.scanned;
+        self.pruned += other.pruned;
+        self.exact_evals += other.exact_evals;
+    }
+
+    /// Fraction of scanned candidates that were pruned (0 when none scanned).
+    pub fn prune_rate(&self) -> f64 {
+        if self.scanned == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.scanned as f64
+        }
+    }
+}
+
+/// Which EMD lower bound feeds the `SimC` ceilings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PruneBound {
+    /// Rubner's centroid bound — O(1) per pair from cached signature means.
+    /// Cheapest, but collapses when signature means cluster.
+    Centroid,
+    /// Centroid ∨ the Lipschitz anchor bound
+    /// ([`viderec_emd::anchor_lower_bound_from_features`]): `E[|X − c|]` at
+    /// [`ANCHORS`] points spread over `[lo, hi]`, cached per signature and
+    /// compared in O([`ANCHORS`]) per pair. Sound for any `[lo, hi]` (every
+    /// anchor map is 1-Lipschitz); tightest when the anchors straddle the
+    /// actual cuboid value range.
+    Best {
+        /// Lower edge of the anchor domain (intensity-delta units).
+        lo: f64,
+        /// Upper edge of the anchor domain.
+        hi: f64,
+    },
+}
+
+impl Default for PruneBound {
+    fn default() -> Self {
+        // Cuboid values are mean temporal intensity deltas; after block
+        // merging they concentrate well within ±16 in practice, and anchors
+        // outside the data range would just be wasted.
+        PruneBound::Best { lo: -16.0, hi: 16.0 }
+    }
+}
+
+/// Cached per-series state the bound evaluates against: weighted means of
+/// every signature (mass is normalised to 1 per Definition 1, so the weighted
+/// value sum *is* the mean), plus anchor features when the bound needs them.
+pub(crate) struct SeriesCache {
+    pub(crate) means: Vec<f64>,
+    /// Anchor features, [`ANCHORS`] per signature, flattened into one
+    /// contiguous buffer (signature `j` owns
+    /// `feats[j * ANCHORS..(j + 1) * ANCHORS]`) so consecutive pair
+    /// comparisons stay in cache; empty for [`PruneBound::Centroid`].
+    pub(crate) feats: Vec<f64>,
+    /// Each signature's `(value, weight)` pairs sorted by value ascending, so
+    /// the exact refinement can run the EMD merge sweep
+    /// ([`viderec_emd::emd_1d_presorted`]) without re-sorting or allocating
+    /// per pair. This is where the batch engine's amortisation lives: the
+    /// sort happens once per video at engine build (once per query for the
+    /// query side) instead of once per evaluated signature pair.
+    pub(crate) sorted: Vec<Vec<(f64, f64)>>,
+    /// Signature indices ordered by mean ascending, so a bound row can visit
+    /// this side's signatures in centroid-gap order (two-pointer expansion
+    /// from a binary search) and stop exactly when the gap reaches the
+    /// running row minimum.
+    pub(crate) mean_order: Vec<u32>,
+}
+
+impl SeriesCache {
+    pub(crate) fn build(series: &SignatureSeries, bound: PruneBound) -> Self {
+        let means: Vec<f64> = series
+            .signatures()
+            .iter()
+            .map(|sig| sig.cuboids().iter().map(|c| c.value * c.weight).sum())
+            .collect();
+        let mut mean_order: Vec<u32> = (0..means.len() as u32).collect();
+        mean_order.sort_by(|&x, &y| means[x as usize].total_cmp(&means[y as usize]));
+        let feats = match bound {
+            PruneBound::Centroid => Vec::new(),
+            PruneBound::Best { lo, hi } => series
+                .signatures()
+                .iter()
+                .flat_map(|sig| anchor_features(&sig.as_pairs(), lo, hi, ANCHORS))
+                .collect(),
+        };
+        let sorted = series
+            .signatures()
+            .iter()
+            .map(|sig| {
+                let mut pairs = sig.as_pairs();
+                pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
+                pairs
+            })
+            .collect();
+        Self { means, feats, sorted, mean_order }
+    }
+}
+
+/// Exact `κJ(query, video)` from cached state — the same value (bit for bit)
+/// as [`viderec_signature::kappa_j_series_pruned`] on the underlying series:
+/// identical centroid pre-filter, identical EMD sweep (over pre-sorted pairs,
+/// which [`emd_1d_presorted`] guarantees changes nothing), identical greedy
+/// matching.
+pub(crate) fn kappa_exact_cached(
+    query: &SeriesCache,
+    video: &SeriesCache,
+    cfg: MatchingConfig,
+) -> f64 {
+    let (n1, n2) = (query.means.len(), video.means.len());
+    if cfg.min_similarity <= 0.0 {
+        return extended_jaccard(
+            n1,
+            n2,
+            |i, j| sim_c(emd_1d_presorted(&query.sorted[i], &video.sorted[j])),
+            cfg,
+        );
+    }
+    let radius = 1.0 / cfg.min_similarity - 1.0;
+    extended_jaccard(
+        n1,
+        n2,
+        |i, j| {
+            if (query.means[i] - video.means[j]).abs() > radius {
+                // Centroid lower bound already exceeds the match radius.
+                0.0
+            } else {
+                // A pair is only eligible when EMD ≤ radius, so the sweep may
+                // abort once its running total passes it: `sim_c(∞) = 0`
+                // fails the τ test exactly like the true (> radius) distance
+                // would, and distances within the radius come back exact.
+                sim_c(emd_1d_presorted_capped(&query.sorted[i], &video.sorted[j], radius))
+            }
+        },
+        cfg,
+    )
+}
+
+/// Admissible upper bound on `κJ(query, video)` from the two series' caches,
+/// which must both have been built for `bound`.
+pub(crate) fn kappa_upper_bound(
+    query: &SeriesCache,
+    video: &SeriesCache,
+    bound: PruneBound,
+    cfg: MatchingConfig,
+) -> f64 {
+    let (n1, n2) = (query.means.len(), video.means.len());
+    viderec_emd::extended_jaccard_upper_bound(
+        n1,
+        n2,
+        |i| {
+            // Row ceiling: max_j SimC_ub(i, j) = SimC of the smallest lower
+            // bound in the row. Visit the video's signatures in centroid-gap
+            // order (two-pointer expansion around the query mean): each pair
+            // bound is ≥ its centroid gap, so the moment the smallest
+            // remaining gap reaches the running minimum, no remaining pair
+            // can lower it and the row is done. Exact, not a relaxation —
+            // typically only one or two anchor comparisons survive per row.
+            let q = query.means[i];
+            let order = &video.mean_order;
+            let mut r = order.partition_point(|&j| video.means[j as usize] < q);
+            let mut l = r;
+            let mut min_lb = f64::INFINITY;
+            while l > 0 || r < n2 {
+                let gap_l = if l > 0 {
+                    (q - video.means[order[l - 1] as usize]).abs()
+                } else {
+                    f64::INFINITY
+                };
+                let gap_r = if r < n2 {
+                    (video.means[order[r] as usize] - q).abs()
+                } else {
+                    f64::INFINITY
+                };
+                let (j, centroid) = if gap_l <= gap_r {
+                    l -= 1;
+                    (order[l] as usize, gap_l)
+                } else {
+                    let j = order[r] as usize;
+                    r += 1;
+                    (j, gap_r)
+                };
+                if centroid >= min_lb {
+                    break;
+                }
+                let lb = match bound {
+                    PruneBound::Centroid => centroid,
+                    PruneBound::Best { .. } => centroid.max(anchor_lower_bound_from_features(
+                        &query.feats[i * ANCHORS..(i + 1) * ANCHORS],
+                        &video.feats[j * ANCHORS..(j + 1) * ANCHORS],
+                    )),
+                };
+                min_lb = min_lb.min(lb);
+                if min_lb <= ROW_GIVE_UP_LB {
+                    // Give up on an uninformative row (see [`ROW_GIVE_UP_LB`]);
+                    // `sim_c_upper_bound(0) = 1` dominates every true `SimC`.
+                    min_lb = 0.0;
+                    break;
+                }
+            }
+            sim_c_upper_bound(min_lb)
+        },
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use viderec_signature::cuboid::{Cuboid, CuboidSignature};
+    use viderec_signature::kappa_j_series;
+
+    fn random_series(rng: &mut StdRng, max_sigs: usize) -> SignatureSeries {
+        let n = rng.gen_range(1..=max_sigs);
+        let sigs = (0..n)
+            .map(|_| {
+                let parts = rng.gen_range(1..5);
+                let mut ws: Vec<f64> = (0..parts).map(|_| rng.gen_range(0.1..1.0)).collect();
+                let t: f64 = ws.iter().sum();
+                ws.iter_mut().for_each(|w| *w /= t);
+                CuboidSignature::new(
+                    ws.into_iter()
+                        .map(|w| Cuboid { value: rng.gen_range(-40.0..40.0), weight: w })
+                        .collect(),
+                )
+            })
+            .collect();
+        SignatureSeries::new(sigs)
+    }
+
+    #[test]
+    fn kappa_bound_dominates_exact_for_both_bound_kinds() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..60 {
+            let a = random_series(&mut rng, 6);
+            let b = random_series(&mut rng, 6);
+            for tau in [0.3, 0.5, 0.8] {
+                let cfg = MatchingConfig { min_similarity: tau };
+                let exact = kappa_j_series(&a, &b, cfg);
+                for bound in [PruneBound::Centroid, PruneBound::Best { lo: -45.0, hi: 45.0 }] {
+                    let qc = SeriesCache::build(&a, bound);
+                    let vc = SeriesCache::build(&b, bound);
+                    let ub = kappa_upper_bound(&qc, &vc, bound, cfg);
+                    assert!(
+                        ub >= exact - 1e-12,
+                        "{bound:?} τ={tau}: ub {ub} below exact κJ {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_exact_kappa_matches_series_kappa() {
+        use viderec_signature::kappa_j_series_pruned;
+        let mut rng = StdRng::seed_from_u64(94);
+        for _ in 0..60 {
+            let a = random_series(&mut rng, 6);
+            let b = random_series(&mut rng, 6);
+            for tau in [0.0, 0.3, 0.5, 0.8] {
+                let cfg = MatchingConfig { min_similarity: tau };
+                let qc = SeriesCache::build(&a, PruneBound::Centroid);
+                let vc = SeriesCache::build(&b, PruneBound::Centroid);
+                // Bit-identical, not merely close: same pre-filter, same
+                // sweep, same greedy matcher.
+                assert_eq!(
+                    kappa_exact_cached(&qc, &vc, cfg),
+                    kappa_j_series_pruned(&a, &b, cfg),
+                    "τ={tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_bound_is_no_looser_than_centroid() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let cfg = MatchingConfig::default();
+        let best = PruneBound::Best { lo: -45.0, hi: 45.0 };
+        for _ in 0..40 {
+            let a = random_series(&mut rng, 5);
+            let b = random_series(&mut rng, 5);
+            let centroid_ub = kappa_upper_bound(
+                &SeriesCache::build(&a, PruneBound::Centroid),
+                &SeriesCache::build(&b, PruneBound::Centroid),
+                PruneBound::Centroid,
+                cfg,
+            );
+            let best_ub = kappa_upper_bound(
+                &SeriesCache::build(&a, best),
+                &SeriesCache::build(&b, best),
+                best,
+                cfg,
+            );
+            assert!(
+                best_ub <= centroid_ub + 1e-12,
+                "best {best_ub} looser than centroid {centroid_ub}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_is_exact_for_identical_series() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let a = random_series(&mut rng, 4);
+        let cfg = MatchingConfig::default();
+        let bound = PruneBound::default();
+        let qc = SeriesCache::build(&a, bound);
+        let vc = SeriesCache::build(&a, bound);
+        let ub = kappa_upper_bound(&qc, &vc, bound, cfg);
+        assert!(ub >= kappa_j_series(&a, &a, cfg) - 1e-12);
+    }
+
+    #[test]
+    fn stats_absorb_and_rate() {
+        let mut s = PruneStats::default();
+        assert_eq!(s.prune_rate(), 0.0);
+        s.absorb(PruneStats { scanned: 8, pruned: 6, exact_evals: 2 });
+        s.absorb(PruneStats { scanned: 2, pruned: 0, exact_evals: 2 });
+        assert_eq!(s, PruneStats { scanned: 10, pruned: 6, exact_evals: 4 });
+        assert!((s.prune_rate() - 0.6).abs() < 1e-12);
+    }
+}

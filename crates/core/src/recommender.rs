@@ -41,6 +41,14 @@ pub struct Scored {
     pub score: f64,
 }
 
+/// Per-query state precomputed once and shared by every per-video scoring
+/// call (sequential and parallel), so both paths see identical inputs.
+pub(crate) struct PreparedQuery {
+    /// SAR vector of the query users; all-zero for strategies without a SAR
+    /// social side.
+    pub(crate) qvec: Vec<u32>,
+}
+
 pub(crate) struct StoredVideo {
     pub(crate) id: VideoId,
     pub(crate) series: SignatureSeries,
@@ -210,12 +218,15 @@ impl Recommender {
             return Vec::new();
         }
         let excluded: HashSet<VideoId> = exclude.iter().copied().collect();
-        let mut scored = match strategy {
-            Strategy::Cr => self.score_indexed(query, strategy),
-            Strategy::Sr | Strategy::Csf => self.score_full_exact(query, strategy),
-            Strategy::CsfSar => self.score_full_sar(query, strategy),
-            Strategy::CsfSarH => self.score_indexed(query, strategy),
-        };
+        let prep = self.prepare_query(strategy, query);
+        let mut scored: Vec<Scored> = self
+            .candidate_indices(strategy, query, &prep)
+            .into_iter()
+            .map(|idx| Scored {
+                video: self.videos[idx as usize].id,
+                score: self.score_video(strategy, query, &prep, idx as usize),
+            })
+            .collect();
         scored.retain(|s| !excluded.contains(&s.video));
         scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.video.cmp(&b.video)));
         scored.truncate(top_k);
@@ -255,104 +266,114 @@ impl Recommender {
             .collect()
     }
 
-    // ---------- exact paths ----------
+    // ---------- shared scoring kernel ----------
+    //
+    // Sequential `recommend` and the sharded `parallel::ParallelRecommender`
+    // both go through `prepare_query` → `candidate_indices` → per-video
+    // scoring, so the two paths are bit-identical by construction. The cost
+    // model of each strategy (see the module docs) lives entirely in how the
+    // query is prepared and how `social_score` resolves users.
 
-    /// Full scan with exact string-set `sJ` (the unoptimised CSF / SR of
-    /// Fig. 12a).
-    fn score_full_exact(&self, query: &QueryVideo, strategy: Strategy) -> Vec<Scored> {
-        self.videos
-            .iter()
-            .map(|v| {
-                let kappa = if strategy.uses_content() {
-                    kappa_j_series(&query.series, &v.series, self.cfg.matching)
-                } else {
-                    0.0
-                };
-                let sj = exact_sj_strings(&query.users, &v.user_names);
-                Scored {
-                    video: v.id,
-                    score: strategy_score(strategy, self.cfg.omega, kappa, sj),
-                }
-            })
-            .collect()
-    }
-
-    /// Full scan with SAR social similarity; user → sub-community mapping via
-    /// a registry *scan* (no hash), pricing the CSF-SAR point of Fig. 12a.
-    fn score_full_sar(&self, query: &QueryVideo, strategy: Strategy) -> Vec<Scored> {
-        let qvec = self.vectorize_by_scan(&query.users);
-        self.videos
-            .iter()
-            .map(|v| {
-                let kappa = kappa_j_series(&query.series, &v.series, self.cfg.matching);
-                let sj = viderec_social::sar_similarity(&qvec, &v.vector);
-                Scored {
-                    video: v.id,
-                    score: strategy_score(strategy, self.cfg.omega, kappa, sj),
-                }
-            })
-            .collect()
-    }
-
-    // ---------- indexed path (Fig. 6) ----------
-
-    /// Candidate-based scoring: social candidates from the inverted files,
-    /// content candidates from the LSB forest, FJ refinement on the union.
-    /// Used by CSF-SAR-H and (content side only) CR.
-    fn score_indexed(&self, query: &QueryVideo, strategy: Strategy) -> Vec<Scored> {
-        let mut candidates: HashSet<u32> = HashSet::new();
-
-        // Lines 1–3 of Fig. 6: vectorise the query socially via the chained
-        // hash table and pull ranked social candidates.
-        let qvec = if strategy.uses_social() {
-            let qvec = self.vectorize_by_hash(&query.users);
-            for video in self
-                .inverted
-                .candidates(&qvec)
-                .into_iter()
-                .take(self.cfg.candidate_limit)
-            {
-                if let Some(&idx) = self.by_id.get(&video) {
-                    candidates.insert(idx as u32);
-                }
-            }
-            qvec
-        } else {
-            vec![0; self.community_slots()]
+    /// Vectorises the query socially the way the strategy prescribes:
+    /// CSF-SAR by registry *scan* (the cost the hash removes), CSF-SAR-H via
+    /// the chained hash table (Fig. 6 lines 1–2), zeros otherwise.
+    pub(crate) fn prepare_query(&self, strategy: Strategy, query: &QueryVideo) -> PreparedQuery {
+        let qvec = match strategy {
+            Strategy::CsfSar => self.vectorize_by_scan(&query.users),
+            Strategy::CsfSarH => self.vectorize_by_hash(&query.users),
+            Strategy::Cr | Strategy::Sr | Strategy::Csf => vec![0; self.community_slots()],
         };
+        PreparedQuery { qvec }
+    }
 
-        // Lines 5–6: per query signature, pull the entries with the next
-        // longest common prefix from the LSB forest.
-        if strategy.uses_content() {
-            for sig in query.series.signatures() {
-                let point = self.embedder.embed(&sig.as_pairs());
-                for cand in self.lsb.query(&point, self.cfg.candidate_limit) {
-                    candidates.insert(cand.payload);
+    /// The candidate universe the strategy refines: every corpus video for
+    /// the full-scan strategies; for CR and CSF-SAR-H, the union of ranked
+    /// inverted-file candidates (Fig. 6 line 3) and, per query signature, the
+    /// longest-common-prefix LSB-forest entries (lines 5–6). Returned sorted
+    /// ascending so sharding the list is deterministic.
+    pub(crate) fn candidate_indices(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        prep: &PreparedQuery,
+    ) -> Vec<u32> {
+        match strategy {
+            Strategy::Sr | Strategy::Csf | Strategy::CsfSar => {
+                (0..self.videos.len() as u32).collect()
+            }
+            Strategy::Cr | Strategy::CsfSarH => {
+                let mut candidates: HashSet<u32> = HashSet::new();
+                if strategy.uses_social() {
+                    for video in self
+                        .inverted
+                        .candidates(&prep.qvec)
+                        .into_iter()
+                        .take(self.cfg.candidate_limit)
+                    {
+                        if let Some(&idx) = self.by_id.get(&video) {
+                            candidates.insert(idx as u32);
+                        }
+                    }
                 }
+                if strategy.uses_content() {
+                    for sig in query.series.signatures() {
+                        let point = self.embedder.embed(&sig.as_pairs());
+                        for cand in self.lsb.query(&point, self.cfg.candidate_limit) {
+                            candidates.insert(cand.payload);
+                        }
+                    }
+                }
+                let mut sorted: Vec<u32> = candidates.into_iter().collect();
+                sorted.sort_unstable();
+                sorted
             }
         }
+    }
 
-        // Lines 7–10: FJ refinement of the candidate set.
-        candidates
-            .into_iter()
-            .map(|idx| {
-                let v = &self.videos[idx as usize];
-                let kappa = if strategy.uses_content() {
-                    kappa_j_series(&query.series, &v.series, self.cfg.matching)
-                } else {
-                    0.0
-                };
-                let sj = if strategy.uses_social() {
-                    viderec_social::sar_similarity(&qvec, &v.vector)
-                } else {
-                    0.0
-                };
-                Scored {
-                    video: v.id,
-                    score: strategy_score(strategy, self.cfg.omega, kappa, sj),
-                }
-            })
-            .collect()
+    /// The content side of the score: `κJ` for content strategies, 0 for SR.
+    pub(crate) fn content_score(&self, strategy: Strategy, query: &QueryVideo, idx: usize) -> f64 {
+        if strategy.uses_content() {
+            kappa_j_series(&query.series, &self.videos[idx].series, self.cfg.matching)
+        } else {
+            0.0
+        }
+    }
+
+    /// The social side of the score: exact string-set `sJ` for SR/CSF (the
+    /// quadratic cost of §4.2.1), SAR vector similarity for the SAR
+    /// strategies, 0 for CR.
+    pub(crate) fn social_score(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        prep: &PreparedQuery,
+        idx: usize,
+    ) -> f64 {
+        match strategy {
+            Strategy::Cr => 0.0,
+            Strategy::Sr | Strategy::Csf => {
+                exact_sj_strings(&query.users, &self.videos[idx].user_names)
+            }
+            Strategy::CsfSar | Strategy::CsfSarH => {
+                viderec_social::sar_similarity(&prep.qvec, &self.videos[idx].vector)
+            }
+        }
+    }
+
+    /// FJ refinement of one candidate (Fig. 6 lines 7–10).
+    pub(crate) fn score_video(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        prep: &PreparedQuery,
+        idx: usize,
+    ) -> f64 {
+        strategy_score(
+            strategy,
+            self.cfg.omega,
+            self.content_score(strategy, query, idx),
+            self.social_score(strategy, query, prep, idx),
+        )
     }
 
     // ---------- query vectorisation paths ----------

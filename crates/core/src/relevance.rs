@@ -79,7 +79,7 @@ mod tests {
     fn fj_is_convex_combination() {
         let f = fuse_fj(0.7, 0.4, 0.9);
         assert!((f - (0.3 * 0.4 + 0.7 * 0.9)).abs() < 1e-12);
-        assert!(f >= 0.4 && f <= 0.9);
+        assert!((0.4..=0.9).contains(&f));
     }
 
     #[test]

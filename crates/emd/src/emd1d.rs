@@ -29,11 +29,38 @@ pub fn emd_1d(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
     validate(a, "first");
     validate(b, "second");
 
-    // Sort indices by value.
-    let mut sa: Vec<usize> = (0..a.len()).collect();
-    let mut sb: Vec<usize> = (0..b.len()).collect();
-    sa.sort_by(|&x, &y| a[x].0.total_cmp(&a[y].0));
-    sb.sort_by(|&x, &y| b[x].0.total_cmp(&b[y].0));
+    // Sort by value (stable, so ties keep input order) and sweep.
+    let mut sa: Vec<(f64, f64)> = a.to_vec();
+    let mut sb: Vec<(f64, f64)> = b.to_vec();
+    sa.sort_by(|x, y| x.0.total_cmp(&y.0));
+    sb.sort_by(|x, y| x.0.total_cmp(&y.0));
+    emd_1d_presorted(&sa, &sb)
+}
+
+/// [`emd_1d`] for inputs already sorted by value ascending — skips the
+/// validation and the per-call sort, which is what makes cached hot paths
+/// (e.g. the recommender's batch engine, which pre-sorts every signature
+/// once) cheap. Returns exactly the same value as [`emd_1d`] on the same
+/// multiset of pairs.
+///
+/// Sortedness is only debug-asserted; unsorted input silently yields a wrong
+/// (but finite) result in release builds.
+pub fn emd_1d_presorted(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    emd_1d_presorted_capped(a, b, f64::INFINITY)
+}
+
+/// [`emd_1d_presorted`] with an early abort: the sweep accumulates
+/// non-negative interval terms, so the running total only grows — the moment
+/// it exceeds `cap` the function returns `f64::INFINITY` without finishing.
+///
+/// Callers that only need to distinguish "distance ≤ cap (and its exact
+/// value)" from "distance > cap" — e.g. the κJ matcher, whose `SimC ≥ τ`
+/// eligibility test is `EMD ≤ 1/τ − 1` — get the exact distance in the first
+/// case and skip most of the sweep in the second. With `cap = ∞` this is
+/// exactly [`emd_1d_presorted`].
+pub fn emd_1d_presorted_capped(a: &[(f64, f64)], b: &[(f64, f64)], cap: f64) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "first side unsorted");
+    debug_assert!(b.windows(2).all(|w| w[0].0 <= w[1].0), "second side unsorted");
 
     // Merge sweep integrating |F_a(t) − F_b(t)| dt between consecutive
     // breakpoints of the union of supports.
@@ -43,20 +70,23 @@ pub fn emd_1d(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
     let mut cdf_b = 0.0f64;
     let mut prev_t = f64::NEG_INFINITY;
     let mut total = 0.0;
-    while ia < sa.len() || ib < sb.len() {
-        let ta = if ia < sa.len() { a[sa[ia]].0 } else { f64::INFINITY };
-        let tb = if ib < sb.len() { b[sb[ib]].0 } else { f64::INFINITY };
+    while ia < a.len() || ib < b.len() {
+        let ta = if ia < a.len() { a[ia].0 } else { f64::INFINITY };
+        let tb = if ib < b.len() { b[ib].0 } else { f64::INFINITY };
         let t = ta.min(tb);
         if prev_t.is_finite() && t > prev_t {
             total += (cdf_a - cdf_b).abs() * (t - prev_t);
+            if total > cap {
+                return f64::INFINITY;
+            }
         }
         // Absorb all points at exactly t from both sides.
-        while ia < sa.len() && a[sa[ia]].0 == t {
-            cdf_a += a[sa[ia]].1;
+        while ia < a.len() && a[ia].0 == t {
+            cdf_a += a[ia].1;
             ia += 1;
         }
-        while ib < sb.len() && b[sb[ib]].0 == t {
-            cdf_b += b[sb[ib]].1;
+        while ib < b.len() && b[ib].0 == t {
+            cdf_b += b[ib].1;
             ib += 1;
         }
         prev_t = t;
@@ -138,6 +168,65 @@ mod tests {
         let a = vec![(5.0, 0.5), (0.0, 0.5)];
         let b = vec![(0.0, 0.5), (5.0, 0.5)];
         assert!(emd_1d(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presorted_matches_emd_1d() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let mk = |rng: &mut StdRng| {
+                let n = rng.gen_range(1..10);
+                let mut ws: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+                let t: f64 = ws.iter().sum();
+                ws.iter_mut().for_each(|w| *w /= t);
+                ws.into_iter()
+                    .map(|w| (rng.gen_range(-30.0f64..30.0), w))
+                    .collect::<Vec<_>>()
+            };
+            let a = mk(&mut rng);
+            let b = mk(&mut rng);
+            let full = emd_1d(&a, &b);
+            let mut sa = a.clone();
+            let mut sb = b.clone();
+            sa.sort_by(|x, y| x.0.total_cmp(&y.0));
+            sb.sort_by(|x, y| x.0.total_cmp(&y.0));
+            // Bit-identical, not merely close: same sweep over the same
+            // sorted sequence.
+            assert_eq!(full, emd_1d_presorted(&sa, &sb));
+        }
+    }
+
+    #[test]
+    fn capped_sweep_is_exact_below_cap_and_infinite_above() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..200 {
+            let mk = |rng: &mut StdRng| {
+                let n = rng.gen_range(1..8);
+                let mut ws: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+                let t: f64 = ws.iter().sum();
+                ws.iter_mut().for_each(|w| *w /= t);
+                let mut pairs: Vec<(f64, f64)> = ws
+                    .into_iter()
+                    .map(|w| (rng.gen_range(-30.0f64..30.0), w))
+                    .collect();
+                pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
+                pairs
+            };
+            let a = mk(&mut rng);
+            let b = mk(&mut rng);
+            let exact = emd_1d_presorted(&a, &b);
+            let cap = rng.gen_range(0.0..20.0);
+            let capped = emd_1d_presorted_capped(&a, &b, cap);
+            if exact <= cap {
+                assert_eq!(capped, exact);
+            } else {
+                assert_eq!(capped, f64::INFINITY, "exact {exact} cap {cap}");
+            }
+        }
     }
 
     #[test]

@@ -25,13 +25,23 @@ pub fn centroid_lower_bound(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
 }
 
 /// CDF-sample lower bound: samples both CDFs at `samples` uniform points over
-/// `[lo, hi]` and lower-sums `∫|F₁ − F₂|` by taking the interval minimum of
-/// the two endpoint gaps.
+/// `[lo, hi]`, sums the interval minimum of the two endpoint gaps, and
+/// subtracts the total-variation correction `2·step`.
 ///
-/// Tighter than the centroid bound when distributions cross; exact in the
-/// limit of dense sampling *only if* all mass lies within `[lo, hi]` — mass
-/// outside still yields a valid (looser) lower bound because the integrand is
-/// non-negative.
+/// The correction is what makes the bound *sound*: `G = F₁ − F₂` may dip
+/// between two sample points (mass of one side entering and leaving), so the
+/// endpoint minimum alone can overshoot `∫|G|` on that interval. Writing
+/// `m_s` for the endpoint minimum and `TV_s` for the variation of `G` inside
+/// interval `s`, `|G(t)| ≥ m_s − TV_s` pointwise, hence
+///
+/// ```text
+/// ∫|G| ≥ Σ_s step·m_s − step·Σ_s TV_s ≥ Σ_s step·m_s − 2·step
+/// ```
+///
+/// because the total variation of `G` is at most `TV(F₁) + TV(F₂) = 2`. Mass
+/// outside `[lo, hi]` only adds non-negative area, so the bound stays valid
+/// (just looser). Tighter than the centroid bound when distributions cross
+/// and the grid is fine enough for the correction not to dominate.
 pub fn cdf_sample_lower_bound(
     a: &[(f64, f64)],
     b: &[(f64, f64)],
@@ -53,12 +63,87 @@ pub fn cdf_sample_lower_bound(
         total += prev_gap.min(gap) * step;
         prev_gap = gap;
     }
-    total
+    (total - 2.0 * step).max(0.0)
 }
 
 /// The best (largest) of the available lower bounds.
 pub fn best_lower_bound(a: &[(f64, f64)], b: &[(f64, f64)], lo: f64, hi: f64) -> f64 {
     centroid_lower_bound(a, b).max(cdf_sample_lower_bound(a, b, lo, hi, 32))
+}
+
+/// [`cdf_sample_lower_bound`] evaluated from two *cached*
+/// [`crate::CdfEmbedder`] embeddings instead of the raw signatures.
+///
+/// An embedding stores `F(tₛ)·Δ` per sample point, so each interval's lower
+/// sum term `min(|F₁ − F₂|ₛ₋₁, |F₁ − F₂|ₛ)·Δ` is `min(|e₁ − e₂|ₛ₋₁,
+/// |e₁ − e₂|ₛ)` — O(dims) per pair with no sorting. `step` must be the
+/// embedder's grid spacing ([`crate::CdfEmbedder::step`]); it feeds the same
+/// `2·step` total-variation correction that keeps
+/// [`cdf_sample_lower_bound`] sound. Returns exactly
+/// `cdf_sample_lower_bound(a, b, lo, hi, dims)` when both embeddings come
+/// from `CdfEmbedder::new(lo, hi, dims)`.
+///
+/// # Panics
+/// Panics if the embeddings have different lengths.
+pub fn cdf_lower_bound_from_embeddings(ea: &[f64], eb: &[f64], step: f64) -> f64 {
+    assert_eq!(ea.len(), eb.len(), "embedding dimension mismatch");
+    let mut prev_gap = (ea[0] - eb[0]).abs();
+    let mut total = 0.0;
+    for s in 1..ea.len() {
+        let gap = (ea[s] - eb[s]).abs();
+        total += prev_gap.min(gap);
+        prev_gap = gap;
+    }
+    (total - 2.0 * step).max(0.0)
+}
+
+/// Lipschitz anchor features of a signature: `E[|X − c|]` at `k` anchors `c`
+/// evenly spaced over `[lo, hi]` (endpoints included for `k ≥ 2`).
+///
+/// Each map `x ↦ |x − c|` is 1-Lipschitz, so by Kantorovich duality the
+/// difference of the two sides' expectations lower-bounds their EMD — see
+/// [`anchor_lower_bound_from_features`]. Computed once per signature and
+/// compared in O(k) per pair, these are the cheap sound screen the
+/// recommender's pruning ceilings are built from.
+pub fn anchor_features(sig: &[(f64, f64)], lo: f64, hi: f64, k: usize) -> Vec<f64> {
+    assert!(k >= 1, "need at least one anchor");
+    assert!(hi >= lo, "empty anchor domain");
+    (0..k)
+        .map(|i| {
+            let c = if k == 1 {
+                (lo + hi) / 2.0
+            } else {
+                lo + (hi - lo) * i as f64 / (k - 1) as f64
+            };
+            sig.iter().map(|&(v, w)| w * (v - c).abs()).sum()
+        })
+        .collect()
+}
+
+/// Lower bound on EMD from two signatures' [`anchor_features`]:
+/// `max_c |E_a[|X − c|] − E_b[|X − c|]| ≤ EMD(a, b)`.
+///
+/// Soundness: for any 1-Lipschitz `f`, `∫f dμ − ∫f dν ≤ EMD(μ, ν)`
+/// (Kantorovich–Rubinstein), and `x ↦ |x − c|` is 1-Lipschitz for every
+/// anchor `c`; taking the best anchor and either sign keeps the inequality.
+///
+/// # Panics
+/// Panics if the feature vectors have different lengths.
+pub fn anchor_lower_bound_from_features(fa: &[f64], fb: &[f64]) -> f64 {
+    assert_eq!(fa.len(), fb.len(), "anchor feature dimension mismatch");
+    fa.iter()
+        .zip(fb)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Upper bound on `SimC` from a lower bound on EMD: `SimC = 1/(1 + EMD)` is
+/// strictly decreasing in the distance, so `1/(1 + LB) ≥ SimC` whenever
+/// `LB ≤ EMD`. This is the hook the recommender's query-level pruning uses to
+/// turn any of the bounds in this module into an admissible similarity
+/// ceiling.
+pub fn sim_c_upper_bound(emd_lower_bound: f64) -> f64 {
+    crate::sim_c(emd_lower_bound)
 }
 
 #[cfg(test)]
@@ -121,6 +206,73 @@ mod tests {
         let lb = cdf_sample_lower_bound(&a, &b, -6.0, 6.0, 128);
         assert!(lb > 1.0, "got {lb}");
         assert!(lb <= emd_1d(&a, &b) + 1e-9);
+    }
+
+    #[test]
+    fn cdf_bound_survives_interior_dips() {
+        // Regression: without the 2·step total-variation correction the
+        // endpoint-minimum sum overshoots wildly here. Both sides put half
+        // their mass near 0 and half near 10, offset by 0.001, so the CDF gap
+        // is 0.5 at every sample point of a coarse grid but the true EMD is
+        // 2 × 0.5 × 0.001.
+        let a = vec![(0.0, 0.5), (10.0, 0.5)];
+        let b = vec![(0.001, 0.5), (10.001, 0.5)];
+        let exact = emd_1d(&a, &b);
+        assert!((exact - 0.001).abs() < 1e-12);
+        for samples in [2, 3, 5, 9, 33] {
+            let lb = cdf_sample_lower_bound(&a, &b, 0.0005, 10.0005, samples);
+            assert!(lb <= exact + 1e-9, "samples={samples}: lb {lb} > emd {exact}");
+        }
+    }
+
+    #[test]
+    fn embedding_bound_equals_cdf_sample_bound() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let embedder = crate::CdfEmbedder::new(-25.0, 25.0, 48);
+        for _ in 0..100 {
+            let na = rng.gen_range(1..8);
+            let a = random_sig(&mut rng, na);
+            let nb = rng.gen_range(1..8);
+            let b = random_sig(&mut rng, nb);
+            let direct = cdf_sample_lower_bound(&a, &b, -25.0, 25.0, 48);
+            let cached = cdf_lower_bound_from_embeddings(
+                &embedder.embed(&a),
+                &embedder.embed(&b),
+                embedder.step(),
+            );
+            assert!((direct - cached).abs() < 1e-12, "{direct} vs {cached}");
+            assert!(cached <= emd_1d(&a, &b) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn anchor_bound_is_admissible_and_tight_for_shifted_supports() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let na = rng.gen_range(1..8);
+            let a = random_sig(&mut rng, na);
+            let nb = rng.gen_range(1..8);
+            let b = random_sig(&mut rng, nb);
+            let fa = anchor_features(&a, -25.0, 25.0, 8);
+            let fb = anchor_features(&b, -25.0, 25.0, 8);
+            let lb = anchor_lower_bound_from_features(&fa, &fb);
+            let d = emd_1d(&a, &b);
+            assert!(lb <= d + 1e-9, "anchor lb {lb} > emd {d}");
+        }
+        // Separated point masses with an anchor at one support: the feature
+        // gap equals the full distance.
+        let a = vec![(0.0, 1.0)];
+        let b = vec![(10.0, 1.0)];
+        let fa = anchor_features(&a, 0.0, 10.0, 2);
+        let fb = anchor_features(&b, 0.0, 10.0, 2);
+        assert!((anchor_lower_bound_from_features(&fa, &fb) - 10.0).abs() < 1e-12);
+        // Equal means, different spread: anchors still separate what the
+        // centroid bound cannot.
+        let a = vec![(-1.0, 0.5), (1.0, 0.5)];
+        let b = vec![(-5.0, 0.5), (5.0, 0.5)];
+        let fa = anchor_features(&a, -6.0, 6.0, 5);
+        let fb = anchor_features(&b, -6.0, 6.0, 5);
+        assert!(anchor_lower_bound_from_features(&fa, &fb) >= 4.0 - 1e-12);
     }
 
     #[test]

@@ -67,6 +67,44 @@ pub fn extended_jaccard(
     total / (n1 + n2 - matched) as f64
 }
 
+/// Admissible upper bound on [`extended_jaccard`] from per-row similarity
+/// ceilings.
+///
+/// `row_upper(i)` must over-estimate `max_j sim(i, j)` for the i-th signature
+/// of `S₁` (e.g. `SimC` of the cheapest EMD lower bound, via
+/// [`crate::lower_bounds::sim_c_upper_bound`]), with values in `[0, 1]`.
+///
+/// Soundness: any one-to-one matching `M` with all pair similarities ≥ τ has
+/// `|M| = m ≤ min(n1, n2)` and touches `m` distinct rows, each with
+/// `row_upper(i) ≥ sim(i, σ(i)) ≥ τ`; hence `Σ_M sim ≤` the sum of the `m`
+/// largest eligible row ceilings, and
+/// `κJ = Σ_M sim / (n1 + n2 − m) ≤ max_t Σ_{top t} / (n1 + n2 − t)`.
+/// The maximisation over `t` is required because the matched count that the
+/// greedy matcher realises is unknown at bound time.
+pub fn extended_jaccard_upper_bound(
+    n1: usize,
+    n2: usize,
+    mut row_upper: impl FnMut(usize) -> f64,
+    cfg: MatchingConfig,
+) -> f64 {
+    if n1 == 0 || n2 == 0 {
+        return 0.0;
+    }
+    let mut ceilings: Vec<f64> = (0..n1)
+        .map(|i| row_upper(i).min(1.0))
+        .filter(|&u| u >= cfg.min_similarity)
+        .collect();
+    ceilings.sort_by(|a, b| b.total_cmp(a));
+    ceilings.truncate(n2);
+    let mut best = 0.0f64;
+    let mut sum = 0.0;
+    for (t, u) in ceilings.iter().enumerate() {
+        sum += u;
+        best = best.max(sum / (n1 + n2 - (t + 1)) as f64);
+    }
+    best
+}
+
 /// The literal all-pairs reading of Eq. 4: `Σ_{i,j} SimC(Cᵢ, Cⱼ) / (|S₁| +
 /// |S₂|)`. Kept for the measure ablation; over-counts when one signature
 /// resembles many.
@@ -165,6 +203,52 @@ mod tests {
         assert!((greedy - 1.0).abs() < 1e-12);
         assert!((literal - 1.5).abs() < 1e-12);
         assert!(literal > greedy);
+    }
+
+    #[test]
+    fn upper_bound_dominates_exact_on_random_tables() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..200 {
+            let n1 = rng.gen_range(1..8);
+            let n2 = rng.gen_range(1..8);
+            let table: Vec<Vec<f64>> = (0..n1)
+                .map(|_| (0..n2).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            for tau in [0.0, 0.3, 0.5, 0.8] {
+                let cfg = MatchingConfig { min_similarity: tau };
+                let exact = extended_jaccard(n1, n2, |i, j| table[i][j], cfg);
+                let ub = extended_jaccard_upper_bound(
+                    n1,
+                    n2,
+                    |i| table[i].iter().cloned().fold(0.0, f64::max),
+                    cfg,
+                );
+                assert!(
+                    ub >= exact - 1e-12,
+                    "τ={tau}: upper bound {ub} below exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_tight_for_perfect_diagonal() {
+        let sim = |i: usize, j: usize| if i == j { 1.0 } else { 0.0 };
+        let exact = extended_jaccard(3, 3, sim, MatchingConfig::default());
+        let ub = extended_jaccard_upper_bound(3, 3, |_| 1.0, MatchingConfig::default());
+        assert!((ub - exact).abs() < 1e-12, "ub {ub} vs exact {exact}");
+    }
+
+    #[test]
+    fn upper_bound_zero_when_no_row_clears_threshold() {
+        let ub = extended_jaccard_upper_bound(4, 4, |_| 0.3, MatchingConfig::default());
+        assert_eq!(ub, 0.0);
+        assert_eq!(
+            extended_jaccard_upper_bound(0, 3, |_| 1.0, MatchingConfig::default()),
+            0.0
+        );
     }
 
     #[test]

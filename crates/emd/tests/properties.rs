@@ -3,8 +3,13 @@
 use proptest::prelude::*;
 use viderec_emd::dtw::dtw_distance;
 use viderec_emd::erp::erp_scalar;
-use viderec_emd::lower_bounds::{best_lower_bound, centroid_lower_bound};
-use viderec_emd::{emd_1d, extended_jaccard, sim_c, CdfEmbedder, Emd, MatchingConfig};
+use viderec_emd::lower_bounds::{
+    best_lower_bound, cdf_sample_lower_bound, centroid_lower_bound, sim_c_upper_bound,
+};
+use viderec_emd::{
+    emd_1d, extended_jaccard, extended_jaccard_upper_bound, sim_c, CdfEmbedder, Emd,
+    MatchingConfig,
+};
 
 /// A normalised scalar signature: 1..8 cuboids, values in ±60.
 fn signature() -> impl Strategy<Value = Vec<(f64, f64)>> {
@@ -45,12 +50,58 @@ proptest! {
         prop_assert!(ac <= ab + bc + 1e-9, "triangle: {} > {} + {}", ac, ab, bc);
     }
 
-    /// Every lower bound stays below the exact distance.
+    /// Every lower bound stays below the exact distance, for any sampling
+    /// resolution and even when the sampling window clips part of the mass
+    /// (the CDF lower sum only loses area, never gains it).
     #[test]
-    fn lower_bounds_are_sound(a in signature(), b in signature()) {
+    fn lower_bounds_are_sound(
+        a in signature(),
+        b in signature(),
+        samples in 2..128usize,
+        hi in 10.0..80.0f64,
+    ) {
         let exact = emd_1d(&a, &b);
         prop_assert!(centroid_lower_bound(&a, &b) <= exact + 1e-9);
+        prop_assert!(cdf_sample_lower_bound(&a, &b, -hi, hi, samples) <= exact + 1e-9);
         prop_assert!(best_lower_bound(&a, &b, -65.0, 65.0) <= exact + 1e-9);
+    }
+
+    /// EMD of a signature with itself admits no positive lower bound, and the
+    /// `SimC` ceiling derived from any lower bound dominates the true `SimC`.
+    #[test]
+    fn sim_c_ceiling_is_admissible(a in signature(), b in signature()) {
+        prop_assert!(best_lower_bound(&a, &a, -65.0, 65.0).abs() < 1e-9);
+        let exact = emd_1d(&a, &b);
+        let lb = best_lower_bound(&a, &b, -65.0, 65.0);
+        prop_assert!(sim_c_upper_bound(lb) >= sim_c(exact) - 1e-12);
+    }
+
+    /// The `κJ` ceiling built from per-row similarity ceilings dominates the
+    /// exact greedy `κJ` whenever the row ceilings are honest.
+    #[test]
+    fn kappa_upper_bound_is_admissible(
+        n in 1..8usize,
+        m in 1..8usize,
+        tau in 0.0..0.9f64,
+        seed in 0..u64::MAX,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..m).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let cfg = MatchingConfig { min_similarity: tau };
+        let exact = extended_jaccard(n, m, |i, j| table[i][j], cfg);
+        // Honest ceilings: the true row maxima, and slightly inflated ones.
+        for slack in [0.0, 0.05] {
+            let ub = extended_jaccard_upper_bound(
+                n,
+                m,
+                |i| table[i].iter().cloned().fold(0.0, f64::max) + slack,
+                cfg,
+            );
+            prop_assert!(ub >= exact - 1e-12, "slack {}: ub {} < exact {}", slack, ub, exact);
+        }
     }
 
     /// The CDF embedding approximates EMD within its declared error bound.

@@ -232,6 +232,40 @@ mod tests {
     }
 
     #[test]
+    fn mean_chain_length_tracks_deletions() {
+        // One bucket: the chain statistic must follow removals exactly and
+        // unlink nodes from the probe path (the arena slot may leak, the
+        // chain must not).
+        let mut t: ChainedHashTable<u32> = ChainedHashTable::new(1);
+        for i in 0..10u32 {
+            t.insert(&format!("user{i}"), i);
+        }
+        assert_eq!(t.mean_chain_length(), 10.0);
+        for i in 0..5u32 {
+            assert_eq!(t.remove(&format!("user{i}")), Some(i));
+        }
+        assert_eq!(t.mean_chain_length(), 5.0);
+        let (_, probes) = t.get_counted("user9");
+        assert!(probes <= 5, "removed nodes still on the chain: {probes} probes");
+        for i in 5..10u32 {
+            t.remove(&format!("user{i}"));
+        }
+        assert_eq!(t.mean_chain_length(), 0.0, "empty table has no chains");
+
+        // Many buckets: η shrinks as entries leave.
+        let mut t: ChainedHashTable<usize> = ChainedHashTable::new(32);
+        for i in 0..128 {
+            t.insert(&format!("k{i}"), i);
+        }
+        let full = t.mean_chain_length();
+        for i in 0..96 {
+            t.remove(&format!("k{i}"));
+        }
+        assert!(t.mean_chain_length() < full);
+        assert_eq!(t.len(), 32);
+    }
+
+    #[test]
     fn iter_visits_every_entry() {
         let mut t: ChainedHashTable<usize> = ChainedHashTable::new(16);
         for i in 0..50 {

@@ -118,6 +118,23 @@ mod tests {
     }
 
     #[test]
+    fn golden_vectors_for_default_member() {
+        // Eq. 7 with the classic parameters (seed 0x9e37_79b9, L = 5,
+        // R = 2), computed independently; pins the exact recurrence so a
+        // refactor cannot silently change every on-disk bucket assignment.
+        let h = ShiftAddXor::default();
+        assert_eq!(h.hash_raw("a"), 0x13_704a_6c56);
+        assert_eq!(h.hash_raw("alice"), 0x13e_9241_133d_6f2d);
+        assert_eq!(h.hash_raw("bob"), 0x4eaa_9fb9_e774);
+        assert_eq!(h.hash_raw("user_42"), 0x728_cf4a_f5da_b24b);
+        // And through the final modulo of a 2¹² table.
+        assert_eq!(h.hash("alice", 4096), 3885);
+        assert_eq!(h.hash("user_42", 4096), 587);
+        // A different family member diverges on the same key.
+        assert_eq!(ShiftAddXor::with_seed(7).hash_raw("alice"), 0x14e3_2f6d);
+    }
+
+    #[test]
     fn empty_string_hashes_to_seed() {
         let h = ShiftAddXor::with_seed(1234);
         assert_eq!(h.hash_raw(""), 1234);

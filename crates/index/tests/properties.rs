@@ -18,7 +18,7 @@ proptest! {
             ours.insert(k, v);
             model.entry(k).or_default().push(v);
         }
-        ours.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        ours.check_invariants().map_err(TestCaseError::fail)?;
         prop_assert_eq!(ours.len(), entries.len());
         prop_assert_eq!(ours.distinct_keys(), model.len());
         for (k, vs) in &model {

@@ -172,11 +172,11 @@ mod tests {
         let assign = spectral_clustering(&two_cliques(), 2, 1);
         assert_eq!(assign.len(), 8);
         let a = assign[0];
-        for i in 0..4 {
-            assert_eq!(assign[i], a, "first clique split");
+        for &x in &assign[..4] {
+            assert_eq!(x, a, "first clique split");
         }
-        for i in 4..8 {
-            assert_ne!(assign[i], a, "cliques merged");
+        for &x in &assign[4..8] {
+            assert_ne!(x, a, "cliques merged");
         }
     }
 

@@ -16,8 +16,15 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CutDetector {
     /// A boundary requires distance ≥ `abs_threshold` (hard floor, in the
-    /// `[0, 2]` L1-histogram range).
+    /// `[0, 2]` L1-histogram range). Kept low: its job is to reject cuts in
+    /// near-static footage where the adaptive floor collapses to zero.
     pub abs_threshold: f64,
+    /// ... and distance ≥ `noise_factor ×` the median boundary distance of
+    /// the whole video. Static overlays (logos, letterboxes) scale every
+    /// histogram distance by the uncovered-area fraction; a ratio test
+    /// against the video's own motion level is invariant to that, where a
+    /// fixed absolute floor is not.
+    pub noise_factor: f64,
     /// ... and distance ≥ `rel_factor ×` the mean distance in the sliding
     /// window around it (adaptivity).
     pub rel_factor: f64,
@@ -29,7 +36,7 @@ pub struct CutDetector {
 
 impl Default for CutDetector {
     fn default() -> Self {
-        Self { abs_threshold: 0.25, rel_factor: 3.0, window: 8, min_gap: 4 }
+        Self { abs_threshold: 0.05, noise_factor: 3.0, rel_factor: 3.0, window: 8, min_gap: 4 }
     }
 }
 
@@ -57,10 +64,20 @@ fn detect_cuts_impl(frames: &[Frame], cfg: &CutDetector) -> Vec<usize> {
         .map(|w| w[0].histogram_distance(&w[1]))
         .collect();
 
+    // The global floor scales with the video's typical (median) boundary
+    // distance, so uniform attenuation of all distances — e.g. a static
+    // logo shrinking every normalised histogram difference by the covered
+    // area — moves the floor by the same factor and leaves the cut set
+    // unchanged. `abs_threshold` only backstops near-static footage.
+    let mut sorted = d.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let floor = cfg.abs_threshold.max(cfg.noise_factor * median);
+
     let mut cuts = Vec::new();
     let mut last_cut: Option<usize> = None;
     for i in 0..d.len() {
-        if d[i] < cfg.abs_threshold {
+        if d[i] < floor {
             continue;
         }
         // Local mean over the window, excluding the candidate itself.
@@ -126,7 +143,7 @@ mod tests {
     fn scene_video(scenes: &[u8], len: usize) -> Video {
         let frames = scenes
             .iter()
-            .flat_map(|&v| std::iter::repeat(Frame::filled(16, 16, v)).take(len))
+            .flat_map(|&v| std::iter::repeat_n(Frame::filled(16, 16, v), len))
             .collect();
         Video::new(VideoId(1), 10.0, frames)
     }

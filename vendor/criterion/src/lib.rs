@@ -1,0 +1,282 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the bench crate uses — `criterion_group!` /
+//! `criterion_main!`, `Criterion::bench_function` / `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `BenchmarkId`,
+//! `BatchSize`, `black_box` — with a simple timing loop: a short warm-up,
+//! then timed batches until a wall-clock budget is spent, reporting the mean
+//! time per iteration on stdout. No statistics, plots or baselines.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost — accepted, not acted on.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Things usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Runs closures under timing.
+pub struct Bencher {
+    /// (total time, total iterations) accumulated by the last `iter` call.
+    measured: Option<(Duration, u64)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Self { measured: None, budget }
+    }
+
+    /// Times `routine` until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + batch-size calibration: run once, then size batches to
+        // ~10 runs of the routine.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.measured = Some((total, iters));
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+fn report(id: &str, measured: Option<(Duration, u64)>) {
+    match measured {
+        Some((total, iters)) if iters > 0 => {
+            let per = total.as_secs_f64() / iters as f64;
+            println!("{id:<48} time: {:>12}   ({iters} iterations)", format_time(per));
+        }
+        _ => println!("{id:<48} (no measurement)"),
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs quick: the stub is for smoke-timing, not statistics.
+        Self { budget: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        report(&id, bencher.measured);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("— group {name} —");
+        BenchmarkGroup { criterion: self, name }
+    }
+}
+
+/// A named group; ids are reported as `group/id`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub keeps its own budget.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut bencher = Bencher::new(self.criterion.budget);
+        f(&mut bencher);
+        report(&full, bencher.measured);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut bencher = Bencher::new(self.criterion.budget);
+        f(&mut bencher, input);
+        report(&full, bencher.measured);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion { budget: Duration::from_millis(5) }
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_inputs() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

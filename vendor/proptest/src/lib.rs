@@ -1,0 +1,373 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro (with `#![proptest_config(..)]`), range and
+//! tuple strategies, `prop::collection::vec`, [`Just`], `prop_map` /
+//! `prop_flat_map`, and the `prop_assert*` macros returning
+//! [`TestCaseError`]. Cases are generated from a deterministic per-test RNG
+//! (seeded by FNV-1a of the test name); there is **no shrinking** — a failure
+//! reports the case index so it can be replayed by re-running the test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use rand as test_rand;
+
+/// Runner configuration — only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed test case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The RNG driving case generation.
+pub type TestRng = StdRng;
+
+/// Deterministic RNG for a named test.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name, so sibling tests get distinct streams.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always yields a clone of the held value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Strategy for core::ops::Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection-size specification: an exact count or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        Self { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+/// Strategy modules, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use rand::Rng;
+
+        /// A `Vec` of values from `element`, sized within `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.size.lo..self.size.hi);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// The proptest prelude: everything the test files import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Declares property tests. Supports the `#![proptest_config(..)]` header
+/// and `fn name(pattern in strategy, ...) { body }` items; the body may use
+/// `?` on `Result<_, TestCaseError>` and the `prop_assert*` macros.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        $vis fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3..10usize, y in -2.0..2.0f64, b in 0..=255u8) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            let _always: u8 = b;
+        }
+
+        #[test]
+        fn tuples_and_vecs((n, v) in (1..5usize, prop::collection::vec(0..100u32, 1..8))) {
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn map_and_flat_map(len in (1..6usize).prop_flat_map(|n| {
+            prop::collection::vec(Just(n), n).prop_map(|v| v.len())
+        })) {
+            prop_assert!((1..6).contains(&len));
+        }
+    }
+
+    #[test]
+    fn fixed_size_vec() {
+        let strat = prop::collection::vec(0..10u32, 4);
+        let mut rng = crate::test_rng("fixed_size_vec");
+        for _ in 0..20 {
+            assert_eq!(crate::Strategy::generate(&strat, &mut rng).len(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        mod inner {
+            #[allow(unused_imports)]
+            use crate::prelude::*;
+            proptest! {
+                #[test]
+                pub fn always_fails(x in 0..10u32) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+        }
+        inner::always_fails();
+    }
+}

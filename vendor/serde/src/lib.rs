@@ -1,0 +1,14 @@
+//! Offline stub of the `serde` facade.
+//!
+//! Exposes `Serialize`/`Deserialize` as (a) marker traits and (b) the no-op
+//! derive macros from the vendored `serde_derive`, which is all the
+//! workspace needs: types are annotated for future serialization but nothing
+//! in the tree serializes today.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait DeserializeMarker {}
+
+pub use serde_derive::{Deserialize, Serialize};

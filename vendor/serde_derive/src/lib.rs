@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types but never
+//! serializes anything (no serde_json/bincode in the tree), so the derives
+//! can expand to nothing. If real serialization is ever needed, replace the
+//! vendored `serde`/`serde_derive` pair with the real crates.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
