@@ -11,7 +11,9 @@ fn random_sig(rng: &mut StdRng, n: usize) -> Vec<(f64, f64)> {
     let mut ws: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
     let t: f64 = ws.iter().sum();
     ws.iter_mut().for_each(|w| *w /= t);
-    ws.into_iter().map(|w| (rng.gen_range(-50.0..50.0), w)).collect()
+    ws.into_iter()
+        .map(|w| (rng.gen_range(-50.0..50.0), w))
+        .collect()
 }
 
 fn bench_solvers(c: &mut Criterion) {
@@ -37,8 +39,9 @@ fn bench_kappa_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("kappa_j");
     let mut rng = StdRng::seed_from_u64(2);
     let n = 30usize;
-    let sims: Vec<Vec<f64>> =
-        (0..n).map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+    let sims: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
     group.bench_function("greedy_matching", |bench| {
         bench.iter(|| extended_jaccard(n, n, |i, j| sims[i][j], MatchingConfig::default()))
     });
@@ -66,7 +69,9 @@ fn bench_kappa_pruning(c: &mut Criterion) {
     let s2 = b.build(&synth.generate(VideoId(2), 4, 25.0));
     let cfg = MatchingConfig::default();
     let mut group = c.benchmark_group("kappa_pruning");
-    group.bench_function("exact", |bench| bench.iter(|| kappa_j_series(&s1, &s2, cfg)));
+    group.bench_function("exact", |bench| {
+        bench.iter(|| kappa_j_series(&s1, &s2, cfg))
+    });
     group.bench_function("centroid_pruned", |bench| {
         bench.iter(|| kappa_j_series_pruned(&s1, &s2, cfg))
     });

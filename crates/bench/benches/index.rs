@@ -58,7 +58,9 @@ fn bench_zorder_and_lsb(c: &mut Criterion) {
 
     let lsh = CauchyLsh::new(8, 32, 4.0, 10);
     let point: Vec<f64> = (0..32).map(|_| rng.gen_range(-10.0..10.0)).collect();
-    c.bench_function("cauchy_lsh_hash_32d", |bench| bench.iter(|| lsh.hash(&point)));
+    c.bench_function("cauchy_lsh_hash_32d", |bench| {
+        bench.iter(|| lsh.hash(&point))
+    });
 
     let mut forest: LsbForest<u32> = LsbForest::new(LsbConfig::default(), 32);
     for i in 0..2000 {

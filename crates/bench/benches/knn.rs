@@ -19,7 +19,12 @@ fn bench_knn(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("recommend_10h");
     group.sample_size(10);
-    for strategy in [Strategy::Csf, Strategy::CsfSar, Strategy::CsfSarH, Strategy::Cr] {
+    for strategy in [
+        Strategy::Csf,
+        Strategy::CsfSar,
+        Strategy::CsfSarH,
+        Strategy::Cr,
+    ] {
         group.bench_function(strategy.label(), |bench| {
             bench.iter(|| recommender.recommend_excluding(strategy, &query, 20, &[clicked]))
         });

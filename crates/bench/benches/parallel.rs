@@ -10,15 +10,18 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 use viderec_core::{
-    ParallelConfig, ParallelRecommender, PruneBound, QueryVideo, Recommender,
-    RecommenderConfig, Strategy,
+    ParallelConfig, ParallelRecommender, PruneBound, QueryVideo, Recommender, RecommenderConfig,
+    Strategy,
 };
 use viderec_eval::community::{Community, CommunityConfig};
 
 const TOP_K: usize = 20;
 
 fn setup() -> (Recommender, Vec<QueryVideo>) {
-    let community = Community::generate(CommunityConfig { hours: 10.0, ..Default::default() });
+    let community = Community::generate(CommunityConfig {
+        hours: 10.0,
+        ..Default::default()
+    });
     let recommender =
         Recommender::build(RecommenderConfig::default(), community.source_corpus()).unwrap();
     let queries: Vec<QueryVideo> = community
@@ -67,13 +70,22 @@ fn report(recommender: &Recommender, queries: &[QueryVideo]) {
         },
         reps,
     );
-    println!("sequential: {:>9.3} ms/batch  ({:.1} queries/s)", seq * 1e3, queries.len() as f64 / seq);
+    println!(
+        "sequential: {:>9.3} ms/batch  ({:.1} queries/s)",
+        seq * 1e3,
+        queries.len() as f64 / seq
+    );
 
     for workers in [1usize, 2, 4, 8] {
         for (prune, tag) in [(false, "prune off"), (true, "prune on ")] {
             let par = ParallelRecommender::with_config(
                 recommender,
-                ParallelConfig { workers, prune, bound: PruneBound::default(), max_threads: None },
+                ParallelConfig {
+                    workers,
+                    prune,
+                    bound: PruneBound::default(),
+                    max_threads: None,
+                },
             );
             let t = time_batch(
                 || {
@@ -106,7 +118,12 @@ fn report(recommender: &Recommender, queries: &[QueryVideo]) {
     // Full-scan strategy for contrast: pruning has the whole corpus to cut.
     let par = ParallelRecommender::with_config(
         recommender,
-        ParallelConfig { workers: 4, prune: true, bound: PruneBound::default(), max_threads: None },
+        ParallelConfig {
+            workers: 4,
+            prune: true,
+            bound: PruneBound::default(),
+            max_threads: None,
+        },
     );
     let seq_sar = time_batch(
         || {
@@ -147,12 +164,15 @@ fn bench_parallel(c: &mut Criterion) {
     for workers in [1usize, 2, 4, 8] {
         let par = ParallelRecommender::with_config(
             &recommender,
-            ParallelConfig { workers, prune: true, bound: PruneBound::default(), max_threads: None },
+            ParallelConfig {
+                workers,
+                prune: true,
+                bound: PruneBound::default(),
+                max_threads: None,
+            },
         );
         group.bench_function(format!("workers_{workers}_pruned"), |b| {
-            b.iter(|| {
-                std::hint::black_box(par.recommend_batch(Strategy::CsfSarH, &queries, TOP_K))
-            })
+            b.iter(|| std::hint::black_box(par.recommend_batch(Strategy::CsfSarH, &queries, TOP_K)))
         });
     }
     group.finish();

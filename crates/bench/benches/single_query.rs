@@ -1,0 +1,142 @@
+//! Single-query latency: the pruned sequential path (ceiling-sorted scan
+//! over the corpus-owned scoring arena, DESIGN.md "Corpus-owned scoring
+//! arena") against the naive reference scan that scores every candidate.
+//!
+//! CSF-SAR-H is the paper's headline online path (candidate retrieval +
+//! refinement); CSF is the full-scan contrast where pruning has the whole
+//! corpus to cut. Both paths return bit-identical rankings — the equivalence
+//! suite (`tests/sequential_prune_equiv.rs`) pins that — so the only
+//! difference a click sees is latency, reported here with the prune-rate
+//! counters that explain it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use viderec_core::{PruneStats, QueryVideo, Recommender, RecommenderConfig, Strategy};
+use viderec_eval::community::{Community, CommunityConfig};
+
+const TOP_K: usize = 20;
+
+fn setup() -> (Recommender, Vec<QueryVideo>) {
+    let community = Community::generate(CommunityConfig {
+        hours: 10.0,
+        ..Default::default()
+    });
+    let recommender =
+        Recommender::build(RecommenderConfig::default(), community.source_corpus()).unwrap();
+    let queries: Vec<QueryVideo> = community
+        .query_videos()
+        .into_iter()
+        .take(8)
+        .map(|id| QueryVideo {
+            series: recommender.series_of(id).unwrap().clone(),
+            users: recommender.users_of(id).unwrap().to_vec(),
+        })
+        .collect();
+    (recommender, queries)
+}
+
+/// Per-query wall time in seconds: best of three measurement rounds of
+/// `reps` repetitions each, so a single scheduler hiccup on a small container
+/// cannot distort one configuration's line relative to the others.
+fn time_queries(mut run: impl FnMut(), reps: usize, queries: usize) -> f64 {
+    run(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            run();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / (reps * queries) as f64);
+    }
+    best
+}
+
+fn report(recommender: &Recommender, queries: &[QueryVideo]) {
+    println!("\n== single-query top-{TOP_K}: pruned sequential vs naive scan ==");
+    println!(
+        "corpus: {} videos, {} users, {} queries, arena bound {:?}",
+        recommender.num_videos(),
+        recommender.num_users(),
+        queries.len(),
+        recommender.config().prune_bound,
+    );
+
+    let reps = 5;
+    for strategy in [Strategy::CsfSarH, Strategy::Csf] {
+        let naive = time_queries(
+            || {
+                for q in queries {
+                    std::hint::black_box(recommender.recommend_naive_excluding(
+                        strategy,
+                        q,
+                        TOP_K,
+                        &[],
+                    ));
+                }
+            },
+            reps,
+            queries.len(),
+        );
+        let pruned = time_queries(
+            || {
+                for q in queries {
+                    std::hint::black_box(recommender.recommend(strategy, q, TOP_K));
+                }
+            },
+            reps,
+            queries.len(),
+        );
+        // Counters from one extra pass (identical work: the scan is
+        // deterministic).
+        let stats = queries.iter().fold(PruneStats::default(), |mut acc, q| {
+            acc.absorb(recommender.recommend_with_stats(strategy, q, TOP_K, &[]).1);
+            acc
+        });
+        println!(
+            "{:<9} naive {:>9.3} ms/query | pruned {:>9.3} ms/query | speedup {:>5.2}x | \
+             scanned {:>6} pruned {:>6} exact {:>6} prune-rate {:>5.1}%",
+            strategy.label(),
+            naive * 1e3,
+            pruned * 1e3,
+            naive / pruned,
+            stats.scanned,
+            stats.pruned,
+            stats.exact_evals,
+            100.0 * stats.prune_rate(),
+        );
+    }
+    println!();
+}
+
+fn bench_single_query(c: &mut Criterion) {
+    let (recommender, queries) = setup();
+    report(&recommender, &queries);
+
+    let mut group = c.benchmark_group("single_query_top20");
+    group.sample_size(10);
+    for strategy in [Strategy::CsfSarH, Strategy::Csf] {
+        group.bench_function(format!("{}_naive", strategy.label()), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(recommender.recommend_naive_excluding(
+                        strategy,
+                        q,
+                        TOP_K,
+                        &[],
+                    ));
+                }
+            })
+        });
+        group.bench_function(format!("{}_pruned", strategy.label()), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(recommender.recommend(strategy, q, TOP_K));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_query);
+criterion_main!(benches);

@@ -25,10 +25,8 @@ fn bench_relevance(c: &mut Criterion) {
     let mut group = c.benchmark_group("social_relevance");
     let mut rng = StdRng::seed_from_u64(4);
     for &n in &[50usize, 200, 800] {
-        let a: SocialDescriptor =
-            (0..n).map(|_| UserId(rng.gen_range(0..5000))).collect();
-        let b: SocialDescriptor =
-            (0..n).map(|_| UserId(rng.gen_range(0..5000))).collect();
+        let a: SocialDescriptor = (0..n).map(|_| UserId(rng.gen_range(0..5000))).collect();
+        let b: SocialDescriptor = (0..n).map(|_| UserId(rng.gen_range(0..5000))).collect();
         let va: Vec<u32> = (0..60).map(|_| rng.gen_range(0..10)).collect();
         let vb: Vec<u32> = (0..60).map(|_| rng.gen_range(0..10)).collect();
         group.bench_with_input(BenchmarkId::new("exact_sj", n), &n, |bench, _| {
@@ -76,5 +74,10 @@ fn bench_maintenance(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_relevance, bench_extraction, bench_maintenance);
+criterion_group!(
+    benches,
+    bench_relevance,
+    bench_extraction,
+    bench_maintenance
+);
 criterion_main!(benches);

@@ -6,10 +6,19 @@ use viderec_eval::experiment;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let hours: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2.5);
-    let mut cfg = if hours <= 3.0 { CommunityConfig::tiny(7) } else { CommunityConfig::default() };
+    let mut cfg = if hours <= 3.0 {
+        CommunityConfig::tiny(7)
+    } else {
+        CommunityConfig::default()
+    };
     cfg.hours = hours;
     let c = Community::generate(cfg.clone());
-    println!("videos={} users={} comments={}", c.videos.len(), cfg.users, c.comments.len());
+    println!(
+        "videos={} users={} comments={}",
+        c.videos.len(),
+        cfg.users,
+        c.comments.len()
+    );
 
     // kappa_j separation by relation
     let mut sums = [0.0f64; 4];
@@ -17,33 +26,68 @@ fn main() {
     let n = c.videos.len().min(40);
     for i in 0..n {
         for j in 0..n {
-            if i == j { continue; }
+            if i == j {
+                continue;
+            }
             let rel = c.relevance(c.videos[i].id, c.videos[j].id);
-            let cls = if rel > 0.8 { 0 } else if rel > 0.6 { 1 } else if rel > 0.4 { 2 } else { 3 };
+            let cls = if rel > 0.8 {
+                0
+            } else if rel > 0.6 {
+                1
+            } else if rel > 0.4 {
+                2
+            } else {
+                3
+            };
             sums[cls] += c.videos[i].series.kappa_j(&c.videos[j].series);
             cnts[cls] += 1;
         }
     }
     for (lbl, k) in ["story", "theme", "topic", "none"].iter().zip(0..4) {
-        println!("kappa[{}] = {:.4} (n={})", lbl, sums[k] / cnts[k].max(1) as f64, cnts[k]);
+        println!(
+            "kappa[{}] = {:.4} (n={})",
+            lbl,
+            sums[k] / cnts[k].max(1) as f64,
+            cnts[k]
+        );
     }
 
     // social jaccard separation by relation (descriptors from full window)
     let corpus = c.corpus_through(16);
-    let mut ssum = [0.0f64; 4]; let mut scnt = [0usize; 4];
+    let mut ssum = [0.0f64; 4];
+    let mut scnt = [0usize; 4];
     for i in 0..corpus.len() {
         for j in 0..corpus.len() {
-            if i == j { continue; }
+            if i == j {
+                continue;
+            }
             let rel = c.relevance(corpus[i].id, corpus[j].id);
-            let cls = if rel > 0.8 { 0 } else if rel > 0.6 { 1 } else if rel > 0.4 { 2 } else { 3 };
-            let a = &corpus[i].users; let b = &corpus[j].users;
+            let cls = if rel > 0.8 {
+                0
+            } else if rel > 0.6 {
+                1
+            } else if rel > 0.4 {
+                2
+            } else {
+                3
+            };
+            let a = &corpus[i].users;
+            let b = &corpus[j].users;
             let inter = a.iter().filter(|u| b.contains(u)).count();
             let uni = a.len() + b.len() - inter;
-            if uni > 0 { ssum[cls] += inter as f64 / uni as f64; scnt[cls] += 1; }
+            if uni > 0 {
+                ssum[cls] += inter as f64 / uni as f64;
+                scnt[cls] += 1;
+            }
         }
     }
     for (lbl, k) in ["story", "theme", "topic", "none"].iter().zip(0..4) {
-        println!("sj[{}] = {:.4} (n={})", lbl, ssum[k] / scnt[k].max(1) as f64, scnt[k]);
+        println!(
+            "sj[{}] = {:.4} (n={})",
+            lbl,
+            ssum[k] / scnt[k].max(1) as f64,
+            scnt[k]
+        );
     }
 
     let k = cfg.true_groups;
@@ -52,7 +96,10 @@ fn main() {
 
     // omega sweep quick
     for row in experiment::omega_sweep(&c, &[0.0, 0.3, 0.5, 0.7, 0.9, 1.0], 1) {
-        println!("omega {:.1}: AR5 {:.3} MAP5 {:.3}", row.0, row.1.top5.ar, row.1.top5.map);
+        println!(
+            "omega {:.1}: AR5 {:.3} MAP5 {:.3}",
+            row.0, row.1.top5.ar, row.1.top5.map
+        );
     }
 }
 

@@ -11,5 +11,8 @@ fn main() {
         .into_iter()
         .map(|(l, m)| (l.to_string(), m))
         .collect();
-    print!("{}", effectiveness_table("Fig. 7: content relevance measures", &rows));
+    print!(
+        "{}",
+        effectiveness_table("Fig. 7: content relevance measures", &rows)
+    );
 }

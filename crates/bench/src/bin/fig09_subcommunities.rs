@@ -12,5 +12,8 @@ fn main() {
         .into_iter()
         .map(|(k, m)| (format!("k={k}"), m))
         .collect();
-    print!("{}", effectiveness_table("Fig. 9: effect of k (SAR)", &rows));
+    print!(
+        "{}",
+        effectiveness_table("Fig. 9: effect of k (SAR)", &rows)
+    );
 }

@@ -10,10 +10,16 @@ fn main() {
     let rows: Vec<(String, _)> = update_effect(&community, scale::SEED)
         .into_iter()
         .map(|(months, m)| {
-            let label =
-                if months == 0 { "baseline".to_string() } else { format!("+{months} mo") };
+            let label = if months == 0 {
+                "baseline".to_string()
+            } else {
+                format!("+{months} mo")
+            };
             (label, m)
         })
         .collect();
-    print!("{}", effectiveness_table("Fig. 11: effect of social updates", &rows));
+    print!(
+        "{}",
+        effectiveness_table("Fig. 11: effect of social updates", &rows)
+    );
 }

@@ -14,5 +14,8 @@ fn main() {
             efficiency(&community)
         })
         .collect();
-    print!("{}", efficiency_table("Fig. 12a/b: recommendation time by strategy", &rows));
+    print!(
+        "{}",
+        efficiency_table("Fig. 12a/b: recommendation time by strategy", &rows)
+    );
 }

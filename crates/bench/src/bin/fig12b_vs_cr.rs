@@ -6,15 +6,28 @@ use viderec_eval::experiment::efficiency;
 
 fn main() {
     println!("== Fig. 12b: CSF-SAR-H vs CR ==");
-    println!("{:<8} {:>14} {:>14} {:>8}", "hours", "CSF-SAR-H (s)", "CR (s)", "ratio");
+    println!(
+        "{:<8} {:>14} {:>14} {:>8}",
+        "hours", "CSF-SAR-H (s)", "CR (s)", "ratio"
+    );
     for &hours in &scale::EFFICIENCY_HOURS {
         eprintln!("generating {hours}h community…");
         let community = Community::generate(scale::config_at(hours));
         let row = efficiency(&community);
         let get = |label: &str| {
-            row.timings.iter().find(|(l, _)| *l == label).map(|&(_, t)| t).unwrap()
+            row.timings
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|&(_, t)| t)
+                .unwrap()
         };
         let (sarh, cr) = (get("CSF-SAR-H"), get("CR"));
-        println!("{:<8} {:>14.4} {:>14.4} {:>8.2}", hours, sarh, cr, sarh / cr.max(1e-12));
+        println!(
+            "{:<8} {:>14.4} {:>14.4} {:>8.2}",
+            hours,
+            sarh,
+            cr,
+            sarh / cr.max(1e-12)
+        );
     }
 }

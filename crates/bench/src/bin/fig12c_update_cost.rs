@@ -9,5 +9,8 @@ use viderec_eval::report::update_cost_table;
 fn main() {
     let community = Community::generate(scale::config_at(200.0));
     let rows = update_cost(&community);
-    print!("{}", update_cost_table("Fig. 12c: social update maintenance cost (200h)", &rows));
+    print!(
+        "{}",
+        update_cost_table("Fig. 12c: social update maintenance cost (200h)", &rows)
+    );
 }

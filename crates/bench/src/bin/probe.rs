@@ -3,11 +3,28 @@ use viderec_core::{QueryVideo, Recommender, RecommenderConfig, Strategy};
 use viderec_eval::community::{Community, CommunityConfig};
 
 fn main() {
-    let hours: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(25.0);
-    let community = Community::generate(CommunityConfig { hours, ..Default::default() });
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25.0);
+    let community = Community::generate(CommunityConfig {
+        hours,
+        ..Default::default()
+    });
     let r = Recommender::build(RecommenderConfig::default(), community.source_corpus()).unwrap();
-    println!("videos={} users={} live_communities={}", r.num_videos(), r.num_users(), r.live_communities());
-    for strategy in [Strategy::Cr, Strategy::Sr, Strategy::Csf, Strategy::CsfSar, Strategy::CsfSarH] {
+    println!(
+        "videos={} users={} live_communities={}",
+        r.num_videos(),
+        r.num_users(),
+        r.live_communities()
+    );
+    for strategy in [
+        Strategy::Cr,
+        Strategy::Sr,
+        Strategy::Csf,
+        Strategy::CsfSar,
+        Strategy::CsfSarH,
+    ] {
         let mut total = 0.0;
         let queries = community.query_videos();
         for &q in &queries {
@@ -16,9 +33,16 @@ fn main() {
                 users: r.users_of(q).unwrap().to_vec(),
             };
             let recs = r.recommend_excluding(strategy, &query, 5, &[q]);
-            total += recs.iter().map(|x| community.relevance(q, x.video)).sum::<f64>()
+            total += recs
+                .iter()
+                .map(|x| community.relevance(q, x.video))
+                .sum::<f64>()
                 / recs.len().max(1) as f64;
         }
-        println!("{:<10} top5 mean rel {:.3}", strategy.label(), total / queries.len() as f64);
+        println!(
+            "{:<10} top5 mean rel {:.3}",
+            strategy.label(),
+            total / queries.len() as f64
+        );
     }
 }

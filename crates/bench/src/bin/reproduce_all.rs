@@ -5,8 +5,8 @@
 use viderec_bench::scale;
 use viderec_eval::community::{Community, TABLE2_TOPICS};
 use viderec_eval::experiment::{
-    compare_approaches, content_measures, efficiency, k_sweep, omega_sweep,
-    silhouette_comparison, update_cost, update_effect,
+    compare_approaches, content_measures, efficiency, k_sweep, omega_sweep, silhouette_comparison,
+    update_cost, update_effect,
 };
 use viderec_eval::report::{effectiveness_table, efficiency_table, update_cost_table};
 
@@ -16,8 +16,10 @@ fn main() {
     println!("== Table 2 ==");
     let queries = community.query_videos();
     for (t, label) in TABLE2_TOPICS.iter().enumerate() {
-        let sources: Vec<String> =
-            queries[2 * t..2 * t + 2].iter().map(|v| v.to_string()).collect();
+        let sources: Vec<String> = queries[2 * t..2 * t + 2]
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         println!("q{} {:<16} {}", t + 1, label, sources.join(", "));
     }
     println!();
@@ -68,5 +70,8 @@ fn main() {
     println!("{}", efficiency_table("Fig. 12a/b: efficiency", &eff));
 
     let cost = update_cost(&Community::generate(scale::config_at(200.0)));
-    print!("{}", update_cost_table("Fig. 12c: update cost (200h)", &cost));
+    print!(
+        "{}",
+        update_cost_table("Fig. 12c: update cost (200h)", &cost)
+    );
 }

@@ -9,8 +9,10 @@ fn main() {
     println!("{:<10} {:<16} source videos", "query id", "description");
     let queries = community.query_videos();
     for (t, label) in TABLE2_TOPICS.iter().enumerate() {
-        let sources: Vec<String> =
-            queries[2 * t..2 * t + 2].iter().map(|v| v.to_string()).collect();
+        let sources: Vec<String> = queries[2 * t..2 * t + 2]
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         println!("q{:<9} {:<16} {}", t + 1, label, sources.join(", "));
     }
 }

@@ -38,7 +38,10 @@ pub mod scale {
     /// smallest scale of §5.4 — large enough for stable metrics, small
     /// enough to regenerate in minutes.
     pub fn effectiveness_config() -> CommunityConfig {
-        CommunityConfig { hours: 50.0, ..Default::default() }
+        CommunityConfig {
+            hours: 50.0,
+            ..Default::default()
+        }
     }
 
     /// The efficiency sweep scales of Fig. 12 (paper-hours).
@@ -46,7 +49,10 @@ pub mod scale {
 
     /// A community at an explicit scale.
     pub fn config_at(hours: f64) -> CommunityConfig {
-        CommunityConfig { hours, ..Default::default() }
+        CommunityConfig {
+            hours,
+            ..Default::default()
+        }
     }
 }
 

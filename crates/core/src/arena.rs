@@ -1,0 +1,278 @@
+//! The corpus-owned scoring arena: every per-video cache the hot scoring
+//! paths need, laid out as contiguous structure-of-arrays buffers.
+//!
+//! Before this module existed, each [`crate::parallel::ParallelRecommender`]
+//! rebuilt a `Vec<SeriesCache>` — one heap-allocated cache per video, each
+//! holding its own `Vec`s — every time it was constructed, and the sequential
+//! [`crate::recommender::Recommender::recommend`] path had no caches at all:
+//! it re-sorted every signature's `(value, weight)` pairs inside every exact
+//! `κJ` evaluation. The arena moves all of that to *ingest time*:
+//!
+//! * one flat `means` buffer (one entry per signature, videos own contiguous
+//!   ranges via `sig_off`);
+//! * one flat `feats` buffer of Lipschitz anchor features
+//!   ([`crate::prune::ANCHORS`] per signature) for the arena's configured
+//!   [`PruneBound`];
+//! * one flat `pairs` buffer of value-sorted `(value, weight)` pairs with a
+//!   per-signature `pair_off` table, so the exact EMD sweep
+//!   ([`viderec_emd::emd_1d_presorted`]) never sorts or allocates per pair;
+//! * a per-video `mean_order` permutation so bound rows can visit signatures
+//!   in centroid-gap order.
+//!
+//! The arena is built once in [`crate::recommender::Recommender::build`],
+//! *extended* (never rebuilt) when [`crate::maintenance`] ingests new videos,
+//! and borrowed by both the sequential pruned scan and the batch engine, so
+//! the two query paths literally share one cache.
+
+use crate::prune::{PruneBound, ANCHORS};
+use viderec_emd::anchor_features;
+use viderec_signature::SignatureSeries;
+
+/// Structure-of-arrays scoring caches for a whole corpus (or, via
+/// [`ScoringArena::for_series`], a single query series).
+#[derive(Debug, Clone)]
+pub(crate) struct ScoringArena {
+    bound: PruneBound,
+    /// Per-video signature ranges: video `v` owns global signature indices
+    /// `sig_off[v]..sig_off[v + 1]`. Length `num_videos + 1`.
+    sig_off: Vec<u32>,
+    /// Weighted mean of each signature (mass is normalised to 1 per
+    /// Definition 1, so the weighted value sum *is* the mean). One entry per
+    /// global signature index.
+    means: Vec<f64>,
+    /// Per-video permutation of *local* signature indices, ordered by mean
+    /// ascending; laid out in the same per-video ranges as `means`.
+    mean_order: Vec<u32>,
+    /// Anchor features, [`ANCHORS`] per signature, flattened; empty for
+    /// [`PruneBound::Centroid`].
+    feats: Vec<f64>,
+    /// Per-signature ranges into `pairs`: signature `s` (global index) owns
+    /// `pair_off[s]..pair_off[s + 1]`. Length `total_signatures + 1`.
+    pair_off: Vec<u32>,
+    /// Every signature's `(value, weight)` pairs sorted by value ascending.
+    pairs: Vec<(f64, f64)>,
+}
+
+impl ScoringArena {
+    /// Empty arena for `bound`; extend it with [`Self::push_series`].
+    pub(crate) fn new(bound: PruneBound) -> Self {
+        Self {
+            bound,
+            sig_off: vec![0],
+            means: Vec::new(),
+            mean_order: Vec::new(),
+            feats: Vec::new(),
+            pair_off: vec![0],
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Single-series arena — the query-side cache of a pruned scan. View it
+    /// with `view(0)`.
+    pub(crate) fn for_series(series: &SignatureSeries, bound: PruneBound) -> Self {
+        let mut arena = Self::new(bound);
+        arena.push_series(series);
+        arena
+    }
+
+    /// Appends one video's caches. This is the ingest-time (and
+    /// maintenance-time) extension point: adding a video to the corpus costs
+    /// one pass over its signatures, never a rebuild of the arena.
+    pub(crate) fn push_series(&mut self, series: &SignatureSeries) {
+        let base = self.means.len();
+        for sig in series.signatures() {
+            let mut pairs = sig.as_pairs();
+            self.means.push(pairs.iter().map(|&(v, w)| v * w).sum());
+            if let PruneBound::Best { lo, hi } = self.bound {
+                self.feats.extend(anchor_features(&pairs, lo, hi, ANCHORS));
+            }
+            pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
+            self.pairs.extend_from_slice(&pairs);
+            self.pair_off.push(self.pairs.len() as u32);
+        }
+        let n = self.means.len() - base;
+        let means = &self.means;
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&x, &y| means[base + x as usize].total_cmp(&means[base + y as usize]));
+        self.mean_order.extend_from_slice(&order);
+        self.sig_off.push(self.means.len() as u32);
+    }
+
+    /// The bound the arena's anchor features were computed for.
+    pub(crate) fn bound(&self) -> PruneBound {
+        self.bound
+    }
+
+    /// Number of videos in the arena.
+    pub(crate) fn len(&self) -> usize {
+        self.sig_off.len() - 1
+    }
+
+    /// Anchor features for a *different* anchor domain than the arena's own,
+    /// recomputed from the stored pairs (`E[|X − c|]` is order-independent,
+    /// so the sorted buffers are a valid source). Returned flattened in the
+    /// arena's signature layout; view them via [`Self::view_with_feats`].
+    /// This is the overlay a [`crate::parallel::ParallelRecommender`] builds
+    /// when its configured bound disagrees with the arena's — everything
+    /// else (means, orders, presorted pairs) is still borrowed.
+    pub(crate) fn anchor_feats_for(&self, lo: f64, hi: f64) -> Vec<f64> {
+        let mut feats = Vec::with_capacity(self.means.len() * ANCHORS);
+        for s in 0..self.means.len() {
+            let pairs = &self.pairs[self.pair_off[s] as usize..self.pair_off[s + 1] as usize];
+            feats.extend(anchor_features(pairs, lo, hi, ANCHORS));
+        }
+        feats
+    }
+
+    /// Borrowed view of one video's caches.
+    pub(crate) fn view(&self, video: usize) -> SeriesView<'_> {
+        self.view_with_feats(video, &self.feats)
+    }
+
+    /// Like [`Self::view`] but reading anchor features from `feats` (an
+    /// [`Self::anchor_feats_for`] overlay in the arena's layout, or an empty
+    /// slice to view without features).
+    pub(crate) fn view_with_feats<'a>(&'a self, video: usize, feats: &'a [f64]) -> SeriesView<'a> {
+        let (lo, hi) = (
+            self.sig_off[video] as usize,
+            self.sig_off[video + 1] as usize,
+        );
+        SeriesView {
+            means: &self.means[lo..hi],
+            mean_order: &self.mean_order[lo..hi],
+            feats: if feats.is_empty() {
+                &[]
+            } else {
+                &feats[lo * ANCHORS..hi * ANCHORS]
+            },
+            pair_off: &self.pair_off[lo..=hi],
+            pairs: &self.pairs,
+        }
+    }
+}
+
+/// One video's (or one query's) slice of a [`ScoringArena`]: everything the
+/// bound evaluation ([`crate::prune::kappa_upper_bound`]) and the cached
+/// exact refinement ([`crate::prune::kappa_exact_cached`]) read.
+#[derive(Clone, Copy)]
+pub(crate) struct SeriesView<'a> {
+    /// Signature means, local indexing.
+    pub(crate) means: &'a [f64],
+    /// Local signature indices ordered by mean ascending.
+    pub(crate) mean_order: &'a [u32],
+    /// Anchor features, [`ANCHORS`] per signature, local indexing; empty when
+    /// the view carries no features (centroid-only bounds never read them).
+    pub(crate) feats: &'a [f64],
+    /// Global `pairs` offsets of this video's signatures (`len + 1` entries).
+    pair_off: &'a [u32],
+    /// The arena-wide sorted pair buffer the offsets index into.
+    pairs: &'a [(f64, f64)],
+}
+
+impl SeriesView<'_> {
+    /// Number of signatures in the series.
+    pub(crate) fn len(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Signature `i`'s `(value, weight)` pairs, sorted by value ascending.
+    pub(crate) fn sorted_pairs(&self, i: usize) -> &[(f64, f64)] {
+        &self.pairs[self.pair_off[i] as usize..self.pair_off[i + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viderec_signature::cuboid::{Cuboid, CuboidSignature};
+
+    fn series(sig_values: &[&[f64]]) -> SignatureSeries {
+        let sigs = sig_values
+            .iter()
+            .map(|vals| {
+                let w = 1.0 / vals.len() as f64;
+                CuboidSignature::new(
+                    vals.iter()
+                        .map(|&v| Cuboid {
+                            value: v,
+                            weight: w,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        SignatureSeries::new(sigs)
+    }
+
+    #[test]
+    fn arena_layout_matches_per_video_views() {
+        let a = series(&[&[3.0, 1.0], &[10.0]]);
+        let b = series(&[&[-2.0, 4.0, 0.0]]);
+        let mut arena = ScoringArena::new(PruneBound::default());
+        arena.push_series(&a);
+        arena.push_series(&b);
+        assert_eq!(arena.len(), 2);
+
+        let va = arena.view(0);
+        assert_eq!(va.len(), 2);
+        assert!((va.means[0] - 2.0).abs() < 1e-12);
+        assert!((va.means[1] - 10.0).abs() < 1e-12);
+        assert_eq!(va.sorted_pairs(0), &[(1.0, 0.5), (3.0, 0.5)]);
+        assert_eq!(va.mean_order, &[0, 1]);
+        assert_eq!(va.feats.len(), 2 * ANCHORS);
+
+        let vb = arena.view(1);
+        assert_eq!(vb.len(), 1);
+        assert_eq!(vb.sorted_pairs(0).len(), 3);
+        assert_eq!(vb.sorted_pairs(0)[0].0, -2.0);
+    }
+
+    #[test]
+    fn centroid_arena_has_no_feats() {
+        let a = series(&[&[1.0], &[2.0]]);
+        let arena = ScoringArena::for_series(&a, PruneBound::Centroid);
+        assert!(arena.view(0).feats.is_empty());
+    }
+
+    #[test]
+    fn mean_order_sorts_locally_per_video() {
+        let a = series(&[&[5.0], &[1.0], &[3.0]]);
+        let arena = ScoringArena::for_series(&a, PruneBound::Centroid);
+        assert_eq!(arena.view(0).mean_order, &[1, 2, 0]);
+    }
+
+    #[test]
+    fn push_series_extends_without_disturbing_existing_views() {
+        let a = series(&[&[2.0, 6.0]]);
+        let b = series(&[&[-1.0]]);
+        let mut arena = ScoringArena::for_series(&a, PruneBound::default());
+        let before_pairs = arena.view(0).sorted_pairs(0).to_vec();
+        arena.push_series(&b);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.view(0).sorted_pairs(0), before_pairs.as_slice());
+        assert_eq!(arena.view(1).sorted_pairs(0), &[(-1.0, 1.0)]);
+    }
+
+    #[test]
+    fn overlay_feats_match_a_fresh_arena_for_that_domain() {
+        let a = series(&[&[3.0, -7.0], &[12.0]]);
+        let base = ScoringArena::for_series(
+            &a,
+            PruneBound::Best {
+                lo: -16.0,
+                hi: 16.0,
+            },
+        );
+        let overlay = base.anchor_feats_for(-64.0, 64.0);
+        let fresh = ScoringArena::for_series(
+            &a,
+            PruneBound::Best {
+                lo: -64.0,
+                hi: 64.0,
+            },
+        );
+        assert_eq!(overlay, fresh.feats);
+        let view = base.view_with_feats(0, &overlay);
+        assert_eq!(view.feats, fresh.view(0).feats);
+    }
+}

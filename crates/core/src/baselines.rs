@@ -73,7 +73,10 @@ impl AffrfRecommender {
             entries.iter().all(|(_, f)| shape(f) == first),
             "inconsistent feature shapes"
         );
-        Self { entries, feedback_top: 5 }
+        Self {
+            entries,
+            feedback_top: 5,
+        }
     }
 
     /// Sets the pseudo-feedback set size.
@@ -150,7 +153,10 @@ impl AffrfRecommender {
             .iter()
             .enumerate()
             .filter(|(_, (id, _))| !exclude.contains(id))
-            .map(|(i, (id, _))| Scored { video: *id, score: 0.5 * initial[i] + 0.5 * refined[i] })
+            .map(|(i, (id, _))| Scored {
+                video: *id,
+                score: 0.5 * initial[i] + 0.5 * refined[i],
+            })
             .collect();
         scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.video.cmp(&b.video)));
         scored.truncate(top_k);
@@ -203,7 +209,10 @@ mod tests {
         let r = index();
         let recs = r.recommend(&feat(0.88, 0.05), 4, &[]);
         let top2: Vec<VideoId> = recs[..2].iter().map(|s| s.video).collect();
-        assert!(top2.contains(&VideoId(0)) && top2.contains(&VideoId(1)), "{top2:?}");
+        assert!(
+            top2.contains(&VideoId(0)) && top2.contains(&VideoId(1)),
+            "{top2:?}"
+        );
     }
 
     #[test]
@@ -244,7 +253,11 @@ mod tests {
             (VideoId(0), feat(0.5, 0.5)),
             (
                 VideoId(1),
-                MultimodalFeatures { text: vec![0.0], visual: vec![], aural: vec![] },
+                MultimodalFeatures {
+                    text: vec![0.0],
+                    visual: vec![],
+                    aural: vec![],
+                },
             ),
         ]);
     }

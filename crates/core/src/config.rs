@@ -1,6 +1,7 @@
 //! Recommender configuration: the paper's tunables with their §5 optima as
 //! defaults.
 
+use crate::prune::PruneBound;
 use viderec_emd::MatchingConfig;
 use viderec_index::LsbConfig;
 use viderec_signature::SignatureConfig;
@@ -27,6 +28,11 @@ pub struct RecommenderConfig {
     pub candidate_limit: usize,
     /// Buckets of the chained user-name hash table.
     pub hash_buckets: usize,
+    /// Which EMD lower bound the corpus scoring arena caches anchor features
+    /// for. Every query path — the sequential pruned scan and (by default)
+    /// the batch engine — prunes against this bound; pruning is admissible
+    /// for any choice, so it affects latency only, never results.
+    pub prune_bound: PruneBound,
 }
 
 impl Default for RecommenderConfig {
@@ -40,6 +46,7 @@ impl Default for RecommenderConfig {
             embed_dims: 32,
             candidate_limit: 64,
             hash_buckets: 1 << 12,
+            prune_bound: PruneBound::default(),
         }
     }
 }
@@ -62,6 +69,13 @@ impl RecommenderConfig {
         if self.hash_buckets == 0 {
             return Err("hash_buckets must be positive".into());
         }
+        if let PruneBound::Best { lo, hi } = self.prune_bound {
+            if lo >= hi || !lo.is_finite() || !hi.is_finite() {
+                return Err(format!(
+                    "prune_bound anchor domain [{lo}, {hi}] is not a finite interval"
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -74,6 +88,12 @@ impl RecommenderConfig {
     /// A copy with a different sub-community count (the Fig. 9 sweep).
     pub fn with_k(mut self, k: usize) -> Self {
         self.k_subcommunities = k;
+        self
+    }
+
+    /// A copy with a different pruning bound for the scoring arena.
+    pub fn with_prune_bound(mut self, bound: PruneBound) -> Self {
+        self.prune_bound = bound;
         self
     }
 }
@@ -99,11 +119,25 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        assert!(RecommenderConfig::default().with_omega(1.5).validate().is_err());
+        assert!(RecommenderConfig::default()
+            .with_omega(1.5)
+            .validate()
+            .is_err());
         assert!(RecommenderConfig::default().with_k(0).validate().is_err());
-        let c = RecommenderConfig { embed_dims: 1, ..Default::default() };
+        let c = RecommenderConfig {
+            embed_dims: 1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = RecommenderConfig { candidate_limit: 0, ..Default::default() };
+        let c = RecommenderConfig {
+            candidate_limit: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = RecommenderConfig {
+            prune_bound: PruneBound::Best { lo: 4.0, hi: -4.0 },
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

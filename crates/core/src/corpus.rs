@@ -32,7 +32,10 @@ impl QueryVideo {
     /// Builds a query from a corpus video (the common case: the user clicked
     /// something already in the community).
     pub fn from_corpus(video: &CorpusVideo) -> Self {
-        Self { series: video.series.clone(), users: video.users.clone() }
+        Self {
+            series: video.series.clone(),
+            users: video.users.clone(),
+        }
     }
 }
 

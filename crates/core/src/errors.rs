@@ -34,8 +34,12 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(RecError::EmptyCorpus.to_string().contains("no videos"));
-        assert!(RecError::BadConfig("omega".into()).to_string().contains("omega"));
+        assert!(RecError::BadConfig("omega".into())
+            .to_string()
+            .contains("omega"));
         assert!(RecError::DuplicateVideo(7).to_string().contains("v7"));
-        assert!(RecError::MissingData("features").to_string().contains("features"));
+        assert!(RecError::MissingData("features")
+            .to_string()
+            .contains("features"));
     }
 }

@@ -26,12 +26,18 @@
 //! features, and [`maintenance`] wires the Fig. 5 social-updates algorithm
 //! into the index structures.
 //!
-//! For batch workloads, [`parallel::ParallelRecommender`] shards each query's
-//! candidate universe across a scoped worker pool and prunes candidates via
-//! admissible `κJ` ceilings ([`prune`]), returning results identical to the
-//! sequential path.
+//! Every query path is pruned against corpus-owned scoring caches: the
+//! recommender builds a structure-of-arrays arena at ingest (signature means,
+//! anchor features, presorted EMD pairs), extends it through maintenance, and
+//! both the sequential [`recommender::Recommender::recommend`] scan and the
+//! batch [`parallel::ParallelRecommender`] borrow it, skipping candidates via
+//! admissible `κJ` ceilings ([`prune`]) while returning results bit-identical
+//! to the naive full scan.
 
 #![warn(missing_docs)]
+
+mod arena;
+mod topk;
 
 pub mod baselines;
 pub mod config;

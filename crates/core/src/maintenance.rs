@@ -10,10 +10,22 @@
 //! 3. only the *affected* structures are rewritten: descriptor vectors of
 //!    videos that got comments or contain reassigned users, their inverted
 //!    postings, and the chained-hash entries of reassigned users — the
-//!    incremental strategy §4.2.5 credits for the controlled update cost;
+//!    incremental strategy §4.2.5 credits for the controlled update cost.
+//!    Vectors are sparse `(slot, count)` pairs, so the rewrite is a
+//!    two-pointer diff against the fresh vectorisation: postings change only
+//!    for slots entering or leaving the support, and community *splits* cost
+//!    nothing at all (absent slots are implicit zeros — there is no
+//!    zero-extension pass);
 //! 4. the Eq. 8 cost model prices the run from the measured counters.
+//!
+//! [`Recommender::add_videos`] is the corpus-growth counterpart: new videos
+//! enter every index incrementally — including the scoring arena, which is
+//! *extended* per video ([`crate::arena::ScoringArena::push_series`]), never
+//! rebuilt.
 
-use crate::recommender::{vectorize, Recommender};
+use crate::corpus::CorpusVideo;
+use crate::errors::RecError;
+use crate::recommender::{vectorize_sparse, Recommender, StoredVideo};
 use viderec_social::cost::CostModel;
 use viderec_social::update::MaintenanceReport;
 use viderec_social::UserId;
@@ -66,28 +78,165 @@ impl Recommender {
                     connections.push((user, other, 1));
                 }
             }
-            self.videos_of_user.entry(user).or_default().push(vidx as u32);
+            self.videos_of_user
+                .entry(user)
+                .or_default()
+                .push(vidx as u32);
             commented_videos.push(vidx as u32);
         }
 
         // --- 2. Fig. 5 merge/split maintenance ---
         let report = self.maintenance.apply_connections(&connections);
 
-        // --- 3. incremental index sync ---
-        // Splits may have appended community slots: grow vectors + inverted.
+        // --- 3 + 4. incremental index sync, priced by Eq. 8 ---
+        let (videos_rewritten, estimated_seconds) =
+            self.sync_after_maintenance(&report, commented_videos);
+
+        UpdateSummary {
+            report,
+            videos_rewritten,
+            comments_applied,
+            estimated_seconds,
+            communities: self.maintenance.live_communities(),
+        }
+    }
+
+    /// Ages every social connection by `amount` (§4.2.4's "connections may
+    /// become invalid"): UIG weights decay, communities that fall apart
+    /// split, and — like [`Self::apply_social_updates`] — only the affected
+    /// index structures are rewritten.
+    pub fn age_social_connections(&mut self, amount: u32) -> UpdateSummary {
+        let report = self.maintenance.age_connections(amount);
+        let (videos_rewritten, estimated_seconds) =
+            self.sync_after_maintenance(&report, Vec::new());
+        UpdateSummary {
+            report,
+            videos_rewritten,
+            comments_applied: 0,
+            estimated_seconds,
+            communities: self.maintenance.live_communities(),
+        }
+    }
+
+    /// Grows the corpus in place: interns the new videos' users, feeds their
+    /// pairwise interest connections through the Fig. 5 maintenance, and
+    /// extends every index — inverted files, LSB forest, chained hash,
+    /// engagement lists and the scoring arena — incrementally. Existing
+    /// videos are rewritten only if the new connections reassigned one of
+    /// their users, exactly like a comment batch.
+    ///
+    /// A new user engaging only alone (a single-user video) stays outside
+    /// the UIG until their first co-engagement, mirroring
+    /// `apply_connections`' admission rule; their count simply does not
+    /// surface in any descriptor vector yet.
+    ///
+    /// Duplicate ids (against the corpus or within the batch) are rejected
+    /// before any state changes.
+    pub fn add_videos(&mut self, additions: Vec<CorpusVideo>) -> Result<UpdateSummary, RecError> {
+        {
+            let mut seen = std::collections::HashSet::new();
+            for v in &additions {
+                if self.by_id.contains_key(&v.id) || !seen.insert(v.id) {
+                    return Err(RecError::DuplicateVideo(v.id.0));
+                }
+            }
+        }
+
+        // Intern users, build descriptors, collect the pairwise connections
+        // the new engagements imply (the UIG edge weight is the common-video
+        // count, so each co-engagement pair contributes +1).
+        let mut descriptors = Vec::with_capacity(additions.len());
+        let mut connections: Vec<(UserId, UserId, u32)> = Vec::new();
+        let mut comments_applied = 0usize;
+        for video in &additions {
+            let desc: viderec_social::SocialDescriptor = video
+                .users
+                .iter()
+                .map(|name| self.registry.intern(name))
+                .collect();
+            comments_applied += desc.len();
+            let ids: Vec<UserId> = desc.iter().collect();
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    connections.push((a, b, 1));
+                }
+            }
+            descriptors.push(desc);
+        }
+
+        let report = self.maintenance.apply_connections(&connections);
+
+        // Index the new videos. Their vectors are computed against the
+        // *post-maintenance* assignment, so they need no later rewrite — but
+        // the inverted files must cover any slots that maintenance appended.
+        while self.inverted.k() < self.maintenance.num_slots() {
+            self.inverted.push_community();
+        }
+        for (video, descriptor) in additions.into_iter().zip(descriptors) {
+            let idx = self.videos.len();
+            self.by_id.insert(video.id, idx);
+            let vector = vectorize_sparse(self.maintenance.assignment_raw(), &descriptor);
+            for &(slot, _) in &vector {
+                self.inverted.add_posting(slot as usize, video.id);
+            }
+            for user in descriptor.iter() {
+                self.videos_of_user
+                    .entry(user)
+                    .or_default()
+                    .push(idx as u32);
+                let name = self.registry.name(user).to_owned();
+                if let Some(&slot) = self.maintenance.assignment_raw().get(user.index()) {
+                    self.chained.insert(&name, slot);
+                }
+            }
+            for sig in video.series.signatures() {
+                self.lsb
+                    .insert(&self.embedder.embed(&sig.as_pairs()), idx as u32);
+            }
+            self.arena.push_series(&video.series);
+            debug_assert_eq!(self.arena.len(), idx + 1, "arena tracks the corpus 1:1");
+            self.videos.push(StoredVideo {
+                id: video.id,
+                series: video.series,
+                descriptor,
+                user_names: video.users,
+                vector,
+            });
+        }
+
+        // Existing videos touched by reassignments sync like any other
+        // maintenance run (the fresh videos diff to zero changes).
+        let (videos_rewritten, estimated_seconds) =
+            self.sync_after_maintenance(&report, Vec::new());
+
+        Ok(UpdateSummary {
+            report,
+            videos_rewritten,
+            comments_applied,
+            estimated_seconds,
+            communities: self.maintenance.live_communities(),
+        })
+    }
+
+    /// Incremental index sync after a maintenance run: grows the inverted
+    /// files to any fresh community slots, re-hashes reassigned users, and
+    /// re-vectorises affected videos (the `touched` set plus every video of a
+    /// reassigned user) with a sparse two-pointer diff — postings change only
+    /// where the support changed. Returns the rewritten-video count and the
+    /// Eq. 8 cost estimate.
+    fn sync_after_maintenance(
+        &mut self,
+        report: &MaintenanceReport,
+        touched: Vec<u32>,
+    ) -> (usize, f64) {
+        // Splits may have appended community slots: grow the inverted files.
+        // Sparse vectors need no zero-extension — absent slots are zeros.
         let slots = self.maintenance.num_slots();
         while self.inverted.k() < slots {
             self.inverted.push_community();
         }
-        for video in &mut self.videos {
-            // Zero-extend to the new dimensionality; fresh slots hold no
-            // postings yet so no index change is implied.
-            video.vector.resize(slots, 0);
-        }
 
-        // Affected videos: commented ones plus every video containing a
-        // reassigned user.
-        let mut affected: Vec<u32> = commented_videos;
+        let mut affected: Vec<u32> = touched;
         for user in &report.reassigned_users {
             if let Some(list) = self.videos_of_user.get(user) {
                 affected.extend_from_slice(list);
@@ -105,90 +254,47 @@ impl Recommender {
         let mut descriptor_dim_updates = 0usize;
         for &vidx in &affected {
             let video = &mut self.videos[vidx as usize];
-            let fresh = vectorize(self.maintenance.assignment_raw(), slots, &video.descriptor);
-            // Rewrite only changed dimensions and their postings.
-            for (c, &new) in fresh.iter().enumerate() {
-                let old = video.vector.get(c).copied().unwrap_or(0);
-                if old == new {
-                    continue;
+            let fresh = vectorize_sparse(self.maintenance.assignment_raw(), &video.descriptor);
+            // Two-pointer diff of the sorted supports: a slot entering or
+            // leaving the support moves a posting; a count change in a shared
+            // slot only counts as a dimension update.
+            let (old, new) = (&video.vector, &fresh);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < old.len() && j < new.len() {
+                match old[i].0.cmp(&new[j].0) {
+                    std::cmp::Ordering::Less => {
+                        descriptor_dim_updates += 1;
+                        self.inverted.remove_posting(old[i].0 as usize, video.id);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        descriptor_dim_updates += 1;
+                        self.inverted.add_posting(new[j].0 as usize, video.id);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        if old[i].1 != new[j].1 {
+                            descriptor_dim_updates += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
                 }
+            }
+            for &(slot, _) in &old[i..] {
                 descriptor_dim_updates += 1;
-                if old == 0 && new > 0 {
-                    self.inverted.add_posting(c, video.id);
-                } else if old > 0 && new == 0 {
-                    self.inverted.remove_posting(c, video.id);
-                }
+                self.inverted.remove_posting(slot as usize, video.id);
+            }
+            for &(slot, _) in &new[j..] {
+                descriptor_dim_updates += 1;
+                self.inverted.add_posting(slot as usize, video.id);
             }
             video.vector = fresh;
         }
 
-        // --- 4. price the run (Eq. 8) ---
         let estimated_seconds =
             CostModel::default().estimate(&report.counters, descriptor_dim_updates);
-
-        UpdateSummary {
-            report,
-            videos_rewritten: affected.len(),
-            comments_applied,
-            estimated_seconds,
-            communities: self.maintenance.live_communities(),
-        }
-    }
-
-    /// Ages every social connection by `amount` (§4.2.4's "connections may
-    /// become invalid"): UIG weights decay, communities that fall apart
-    /// split, and — like [`Self::apply_social_updates`] — only the affected
-    /// index structures are rewritten.
-    pub fn age_social_connections(&mut self, amount: u32) -> UpdateSummary {
-        let report = self.maintenance.age_connections(amount);
-        let slots = self.maintenance.num_slots();
-        while self.inverted.k() < slots {
-            self.inverted.push_community();
-        }
-        for video in &mut self.videos {
-            video.vector.resize(slots, 0);
-        }
-        let mut affected: Vec<u32> = report
-            .reassigned_users
-            .iter()
-            .flat_map(|u| self.videos_of_user.get(u).cloned().unwrap_or_default())
-            .collect();
-        for user in &report.reassigned_users {
-            if user.index() < self.registry.len() {
-                let slot = self.maintenance.assignment_raw()[user.index()];
-                let name = self.registry.name(*user).to_owned();
-                self.chained.insert(&name, slot);
-            }
-        }
-        affected.sort_unstable();
-        affected.dedup();
-        let mut descriptor_dim_updates = 0usize;
-        for &vidx in &affected {
-            let video = &mut self.videos[vidx as usize];
-            let fresh = vectorize(self.maintenance.assignment_raw(), slots, &video.descriptor);
-            for (c, &new) in fresh.iter().enumerate() {
-                let old = video.vector.get(c).copied().unwrap_or(0);
-                if old == new {
-                    continue;
-                }
-                descriptor_dim_updates += 1;
-                if old == 0 && new > 0 {
-                    self.inverted.add_posting(c, video.id);
-                } else if old > 0 && new == 0 {
-                    self.inverted.remove_posting(c, video.id);
-                }
-            }
-            video.vector = fresh;
-        }
-        let estimated_seconds =
-            CostModel::default().estimate(&report.counters, descriptor_dim_updates);
-        UpdateSummary {
-            report,
-            videos_rewritten: affected.len(),
-            comments_applied: 0,
-            estimated_seconds,
-            communities: self.maintenance.live_communities(),
-        }
+        (affected.len(), estimated_seconds)
     }
 }
 
@@ -223,7 +329,35 @@ mod tests {
     }
 
     fn cfg() -> RecommenderConfig {
-        RecommenderConfig { k_subcommunities: 2, ..Default::default() }
+        RecommenderConfig {
+            k_subcommunities: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Every sparse vector must equal the from-scratch vectorisation of its
+    /// descriptor, and the inverted postings must match the supports.
+    fn assert_indexes_consistent(r: &Recommender) {
+        for video in &r.videos {
+            let fresh = vectorize_sparse(r.maintenance.assignment_raw(), &video.descriptor);
+            assert_eq!(video.vector, fresh, "video {} vector stale", video.id);
+            for &(slot, _) in &video.vector {
+                assert!(
+                    r.inverted.postings(slot as usize).contains(&video.id),
+                    "video {} missing from posting list {slot}",
+                    video.id
+                );
+            }
+        }
+        for slot in 0..r.inverted.k() {
+            for &vid in r.inverted.postings(slot) {
+                let sparse = r.sparse_vector_of(vid).unwrap();
+                assert!(
+                    sparse.iter().any(|&(s, _)| s as usize == slot),
+                    "stale posting {vid} in list {slot}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -242,12 +376,16 @@ mod tests {
             before.iter().sum::<u32>() + 1,
             "one more counted user"
         );
+        assert_indexes_consistent(&r);
     }
 
     #[test]
     fn repeat_comments_are_idempotent() {
         let mut r = Recommender::build(cfg(), corpus()).unwrap();
-        let u = SocialUpdate { video: VideoId(0), user: "ann".into() };
+        let u = SocialUpdate {
+            video: VideoId(0),
+            user: "ann".into(),
+        };
         let summary = r.apply_social_updates(&[u.clone(), u]);
         assert_eq!(summary.comments_applied, 0, "ann already engaged video 0");
     }
@@ -267,11 +405,14 @@ mod tests {
     fn new_user_is_admitted_and_hashable() {
         let mut r = Recommender::build(cfg(), corpus()).unwrap();
         let users_before = r.num_users();
-        r.apply_social_updates(&[SocialUpdate { video: VideoId(2), user: "newbie".into() }]);
+        r.apply_social_updates(&[SocialUpdate {
+            video: VideoId(2),
+            user: "newbie".into(),
+        }]);
         assert_eq!(r.num_users(), users_before + 1);
         // The new user must be mapped by the SAR-H path.
         let v = r.vectorize_by_hash(&["newbie".into()]);
-        assert_eq!(v.iter().sum::<u32>(), 1);
+        assert_eq!(v.iter().map(|&(_, c)| c).sum::<u32>(), 1);
     }
 
     #[test]
@@ -280,8 +421,14 @@ mod tests {
         // Cross-community engagement heavy enough to beat the intra weight.
         let mut batch = Vec::new();
         for user in ["ann", "bob", "cal", "dee"] {
-            batch.push(SocialUpdate { video: VideoId(2), user: user.into() });
-            batch.push(SocialUpdate { video: VideoId(3), user: user.into() });
+            batch.push(SocialUpdate {
+                video: VideoId(2),
+                user: user.into(),
+            });
+            batch.push(SocialUpdate {
+                video: VideoId(3),
+                user: user.into(),
+            });
         }
         let summary = r.apply_social_updates(&batch);
         assert!(summary.communities >= 2, "k must be restored");
@@ -292,6 +439,7 @@ mod tests {
             let desc_len = r.users_of(VideoId(id)).unwrap().len();
             assert_eq!(vec_sum as usize, desc_len, "video {id}");
         }
+        assert_indexes_consistent(&r);
     }
 
     #[test]
@@ -308,6 +456,7 @@ mod tests {
         // Aging hard enough isolates everyone; structures must survive.
         let summary = r.age_social_connections(1000);
         assert!(summary.communities >= 2);
+        assert_indexes_consistent(&r);
         let q = QueryVideo {
             series: r.series_of(VideoId(0)).unwrap().clone(),
             users: r.users_of(VideoId(0)).unwrap().to_vec(),
@@ -320,12 +469,21 @@ mod tests {
     fn recommendations_stay_sane_after_updates() {
         let mut r = Recommender::build(cfg(), corpus()).unwrap();
         let q_users: Vec<String> = r.users_of(VideoId(1)).unwrap().to_vec();
-        let q = QueryVideo { series: r.series_of(VideoId(1)).unwrap().clone(), users: q_users };
+        let q = QueryVideo {
+            series: r.series_of(VideoId(1)).unwrap().clone(),
+            users: q_users,
+        };
         for round in 0..5 {
             let user = format!("late_user_{round}");
             r.apply_social_updates(&[
-                SocialUpdate { video: VideoId(0), user: user.clone() },
-                SocialUpdate { video: VideoId(1), user },
+                SocialUpdate {
+                    video: VideoId(0),
+                    user: user.clone(),
+                },
+                SocialUpdate {
+                    video: VideoId(1),
+                    user,
+                },
             ]);
             let recs = r.recommend_excluding(Strategy::CsfSarH, &q, 2, &[VideoId(1)]);
             assert!(!recs.is_empty());
@@ -335,5 +493,64 @@ mod tests {
                 "round {round}: social twin must stay on top"
             );
         }
+    }
+
+    #[test]
+    fn add_videos_extends_every_index_incrementally() {
+        let mut r = Recommender::build(cfg(), corpus()).unwrap();
+        let mut synth = VideoSynthesizer::new(SynthConfig::default(), 2, 601);
+        let builder = SignatureBuilder::default();
+        let fresh: Vec<CorpusVideo> = (4..6u64)
+            .map(|i| {
+                let v = synth.generate(VideoId(i), 0, 12.0);
+                CorpusVideo {
+                    id: v.id(),
+                    series: builder.build(&v),
+                    users: vec!["ann".into(), format!("late{i}")],
+                }
+            })
+            .collect();
+        let summary = r.add_videos(fresh).unwrap();
+        assert_eq!(summary.comments_applied, 4);
+        assert_eq!(r.num_videos(), 6);
+        assert_eq!(r.arena().len(), 6, "arena extended, not rebuilt");
+        assert_indexes_consistent(&r);
+        // The new videos are reachable through every query path.
+        let q = QueryVideo {
+            series: r.series_of(VideoId(4)).unwrap().clone(),
+            users: r.users_of(VideoId(4)).unwrap().to_vec(),
+        };
+        for strategy in [Strategy::Csf, Strategy::CsfSar, Strategy::CsfSarH] {
+            let recs = r.recommend(strategy, &q, 6);
+            assert_eq!(
+                recs[0].video,
+                VideoId(4),
+                "{}: new video must match itself",
+                strategy.label()
+            );
+        }
+        // And the pruned path still agrees with the naive reference.
+        for strategy in [Strategy::Csf, Strategy::CsfSarH] {
+            assert_eq!(
+                r.recommend(strategy, &q, 3),
+                r.recommend_naive_excluding(strategy, &q, 3, &[]),
+            );
+        }
+    }
+
+    #[test]
+    fn add_videos_rejects_duplicates_without_side_effects() {
+        let mut r = Recommender::build(cfg(), corpus()).unwrap();
+        let dup = CorpusVideo {
+            id: VideoId(0),
+            series: r.series_of(VideoId(1)).unwrap().clone(),
+            users: vec!["zed".into()],
+        };
+        assert_eq!(
+            r.add_videos(vec![dup]).err(),
+            Some(RecError::DuplicateVideo(0))
+        );
+        assert_eq!(r.num_videos(), 4);
+        assert_eq!(r.num_users(), 8, "no user interned before the reject");
     }
 }

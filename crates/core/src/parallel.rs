@@ -10,14 +10,20 @@
 //! sharding are both exact, so `recommend_batch` returns *identical* results
 //! to calling [`Recommender::recommend`] per query, for every strategy and
 //! any worker count.
+//!
+//! The per-video scoring caches are **not** built here: the engine borrows
+//! the corpus-owned [`crate::arena::ScoringArena`] the recommender filled at
+//! ingest. Only when the engine is configured with an anchor-feature bound
+//! whose domain differs from the arena's does it materialise a feats-only
+//! overlay ([`ScoringArena::anchor_feats_for`]); means, centroid orders and
+//! presorted pairs are always shared.
 
+use crate::arena::{ScoringArena, SeriesView};
 use crate::corpus::QueryVideo;
-use crate::prune::{
-    kappa_exact_cached, kappa_upper_bound, PruneBound, PruneStats, SeriesCache,
-};
+use crate::prune::{kappa_exact_cached, kappa_upper_bound, PruneBound, PruneStats};
 use crate::recommender::{PreparedQuery, Recommender, Scored};
 use crate::relevance::{strategy_score, Strategy};
-use std::cmp::Ordering;
+use crate::topk::{push_top_k, WorstFirst};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
@@ -43,45 +49,30 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        Self { workers: 4, prune: true, bound: PruneBound::default(), max_threads: None }
+        Self {
+            workers: 4,
+            prune: true,
+            bound: PruneBound::default(),
+            max_threads: None,
+        }
     }
 }
 
 /// A batch-query façade over a built [`Recommender`].
 ///
-/// Holds only caches derived from immutable recommender state (per-video
-/// signature means and anchor features for the pruning bound), so it borrows
-/// the recommender shared; rebuild it after maintenance updates that replace
-/// the corpus.
+/// Borrows the recommender's scoring arena rather than deriving caches of its
+/// own, so construction is O(1) unless the configured [`ParallelConfig::bound`]
+/// needs anchor features over a different domain than the arena cached (then
+/// one feats overlay is computed; everything else is still borrowed). The
+/// arena is maintained by the recommender itself — including through
+/// [`crate::maintenance`] ingests — so the engine never goes stale with it.
 pub struct ParallelRecommender<'a> {
     rec: &'a Recommender,
     cfg: ParallelConfig,
-    video_caches: Vec<SeriesCache>,
-}
-
-/// Max-heap entry ordered worst-first (lowest score, then largest id), so the
-/// heap root is always the eviction candidate.
-struct WorstFirst(Scored);
-
-impl PartialEq for WorstFirst {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for WorstFirst {}
-impl PartialOrd for WorstFirst {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for WorstFirst {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .0
-            .score
-            .total_cmp(&self.0.score)
-            .then(self.0.video.cmp(&other.0.video))
-    }
+    /// Anchor features over `cfg.bound`'s domain when that differs from the
+    /// arena's cached domain; `None` means the arena's own feats (or none,
+    /// for centroid bounds) are the right ones.
+    feats_overlay: Option<Vec<f64>>,
 }
 
 impl<'a> ParallelRecommender<'a> {
@@ -96,12 +87,17 @@ impl<'a> ParallelRecommender<'a> {
     /// Panics if `cfg.workers == 0`.
     pub fn with_config(rec: &'a Recommender, cfg: ParallelConfig) -> Self {
         assert!(cfg.workers >= 1, "need at least one worker");
-        let video_caches = rec
-            .videos
-            .iter()
-            .map(|v| SeriesCache::build(&v.series, cfg.bound))
-            .collect();
-        Self { rec, cfg, video_caches }
+        let feats_overlay = match cfg.bound {
+            // Centroid ceilings never read anchor features.
+            PruneBound::Centroid => None,
+            PruneBound::Best { .. } if cfg.bound == rec.arena().bound() => None,
+            PruneBound::Best { lo, hi } => Some(rec.arena().anchor_feats_for(lo, hi)),
+        };
+        Self {
+            rec,
+            cfg,
+            feats_overlay,
+        }
     }
 
     /// The wrapped recommender.
@@ -112,6 +108,21 @@ impl<'a> ParallelRecommender<'a> {
     /// The engine configuration.
     pub fn config(&self) -> &ParallelConfig {
         &self.cfg
+    }
+
+    /// Whether this engine borrows the arena's anchor features directly
+    /// (`false` = it materialised a domain overlay). Test support.
+    pub fn shares_arena_feats(&self) -> bool {
+        self.feats_overlay.is_none()
+    }
+
+    /// The cached view of one video, with anchor features resolved against
+    /// the engine's bound.
+    fn video_view(&self, idx: usize) -> SeriesView<'_> {
+        match &self.feats_overlay {
+            Some(feats) => self.rec.arena().view_with_feats(idx, feats),
+            None => self.rec.arena().view(idx),
+        }
     }
 
     /// Top-`k` recommendations for each query, identical to calling
@@ -174,7 +185,10 @@ impl<'a> ParallelRecommender<'a> {
             })
             .expect("crossbeam scope");
         }
-        queries.iter().map(|q| self.recommend_one(strategy, q, k, workers)).collect()
+        queries
+            .iter()
+            .map(|q| self.recommend_one(strategy, q, k, workers))
+            .collect()
     }
 
     /// OS threads to drain `shards` logical shards: never more than the
@@ -182,7 +196,9 @@ impl<'a> ParallelRecommender<'a> {
     /// [`ParallelConfig::max_threads`]).
     fn threads_for(&self, shards: usize) -> usize {
         let cap = self.cfg.max_threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         });
         shards.min(cap).max(1)
     }
@@ -199,13 +215,14 @@ impl<'a> ParallelRecommender<'a> {
         }
         let prep = self.rec.prepare_query(strategy, query);
         let candidates = self.rec.candidate_indices(strategy, query, &prep);
-        let query_cache = SeriesCache::build(&query.series, self.cfg.bound);
+        let query_cache = ScoringArena::for_series(&query.series, self.cfg.bound);
+        let qv = query_cache.view(0);
         let workers = workers.min(candidates.len()).max(1);
 
         let (mut merged, mut stats) = if self.cfg.prune && strategy.uses_content() {
-            self.run_pruned(strategy, query, &prep, &query_cache, &candidates, k, workers)
+            self.run_pruned(strategy, query, &prep, qv, &candidates, k, workers)
         } else {
-            self.run_plain(strategy, query, &prep, &query_cache, &candidates, k, workers)
+            self.run_plain(strategy, query, &prep, qv, &candidates, k, workers)
         };
 
         // Same total order as the sequential sort — per-shard tops are exact
@@ -225,13 +242,13 @@ impl<'a> ParallelRecommender<'a> {
         strategy: Strategy,
         query: &QueryVideo,
         prep: &PreparedQuery,
-        query_cache: &SeriesCache,
+        qv: SeriesView<'_>,
         candidates: &[u32],
         k: usize,
         workers: usize,
     ) -> (Vec<Scored>, PruneStats) {
         if workers == 1 {
-            return self.score_plain_shard(strategy, query, prep, query_cache, candidates, k);
+            return self.score_plain_shard(strategy, query, prep, qv, candidates, k);
         }
         let chunk = candidates.len().div_ceil(workers);
         let shards: Vec<&[u32]> = candidates.chunks(chunk).collect();
@@ -239,20 +256,17 @@ impl<'a> ParallelRecommender<'a> {
         let results = if threads == 1 {
             shards
                 .iter()
-                .map(|shard| {
-                    self.score_plain_shard(strategy, query, prep, query_cache, shard, k)
-                })
+                .map(|shard| self.score_plain_shard(strategy, query, prep, qv, shard, k))
                 .collect()
         } else {
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .chunks(shards.len().div_ceil(threads))
                     .map(|mine| {
-                        let (prep, qc) = (prep, query_cache);
                         scope.spawn(move |_| {
                             mine.iter()
                                 .map(|shard| {
-                                    self.score_plain_shard(strategy, query, prep, qc, shard, k)
+                                    self.score_plain_shard(strategy, query, prep, qv, shard, k)
                                 })
                                 .collect::<Vec<_>>()
                         })
@@ -288,7 +302,7 @@ impl<'a> ParallelRecommender<'a> {
         strategy: Strategy,
         query: &QueryVideo,
         prep: &PreparedQuery,
-        query_cache: &SeriesCache,
+        qv: SeriesView<'_>,
         candidates: &[u32],
         k: usize,
         workers: usize,
@@ -305,12 +319,7 @@ impl<'a> ParallelRecommender<'a> {
                 let ceiling = strategy_score(
                     strategy,
                     omega,
-                    kappa_upper_bound(
-                        query_cache,
-                        &self.video_caches[i],
-                        self.cfg.bound,
-                        matching,
-                    ),
+                    kappa_upper_bound(qv, self.video_view(i), self.cfg.bound, matching),
                     sj,
                 );
                 (idx, sj, ceiling)
@@ -328,12 +337,15 @@ impl<'a> ParallelRecommender<'a> {
             let score = strategy_score(
                 strategy,
                 omega,
-                kappa_exact_cached(query_cache, &self.video_caches[idx], matching),
+                kappa_exact_cached(qv, self.video_view(idx), matching),
                 sj,
             );
             push_top_k(
                 &mut prefix_heap,
-                WorstFirst(Scored { video: self.rec.videos[idx].id, score }),
+                WorstFirst(Scored {
+                    video: self.rec.videos[idx].id,
+                    score,
+                }),
                 k,
             );
         }
@@ -350,10 +362,11 @@ impl<'a> ParallelRecommender<'a> {
         let shared_floor = AtomicU64::new(floor.to_bits());
 
         let results = if workers == 1 {
-            vec![self.score_annotated_shard(strategy, query_cache, rest, k, &shared_floor)]
+            vec![self.score_annotated_shard(strategy, qv, rest, k, &shared_floor)]
         } else {
-            let mut shards: Vec<Vec<(u32, f64, f64)>> =
-                (0..workers).map(|_| Vec::with_capacity(rest.len() / workers + 1)).collect();
+            let mut shards: Vec<Vec<(u32, f64, f64)>> = (0..workers)
+                .map(|_| Vec::with_capacity(rest.len() / workers + 1))
+                .collect();
             for (pos, &entry) in rest.iter().enumerate() {
                 shards[pos % workers].push(entry);
             }
@@ -364,20 +377,18 @@ impl<'a> ParallelRecommender<'a> {
                 // threaded drain's atomic does across cores.
                 shards
                     .iter()
-                    .map(|shard| {
-                        self.score_annotated_shard(strategy, query_cache, shard, k, &shared_floor)
-                    })
+                    .map(|shard| self.score_annotated_shard(strategy, qv, shard, k, &shared_floor))
                     .collect()
             } else {
                 crossbeam::thread::scope(|scope| {
                     let handles: Vec<_> = shards
                         .chunks(shards.len().div_ceil(threads))
                         .map(|mine| {
-                            let (qc, sf) = (query_cache, &shared_floor);
+                            let sf = &shared_floor;
                             scope.spawn(move |_| {
                                 mine.iter()
                                     .map(|shard| {
-                                        self.score_annotated_shard(strategy, qc, shard, k, sf)
+                                        self.score_annotated_shard(strategy, qv, shard, k, sf)
                                     })
                                     .collect::<Vec<_>>()
                             })
@@ -403,7 +414,7 @@ impl<'a> ParallelRecommender<'a> {
         strategy: Strategy,
         query: &QueryVideo,
         prep: &PreparedQuery,
-        query_cache: &SeriesCache,
+        qv: SeriesView<'_>,
         shard: &[u32],
         k: usize,
     ) -> (Vec<Scored>, PruneStats) {
@@ -415,13 +426,20 @@ impl<'a> ParallelRecommender<'a> {
             let idx = idx as usize;
             let content = if strategy.uses_content() {
                 stats.exact_evals += 1;
-                kappa_exact_cached(query_cache, &self.video_caches[idx], matching)
+                kappa_exact_cached(qv, self.video_view(idx), matching)
             } else {
                 0.0
             };
             let sj = self.rec.social_score(strategy, query, prep, idx);
             let score = strategy_score(strategy, omega, content, sj);
-            push_top_k(&mut heap, WorstFirst(Scored { video: self.rec.videos[idx].id, score }), k);
+            push_top_k(
+                &mut heap,
+                WorstFirst(Scored {
+                    video: self.rec.videos[idx].id,
+                    score,
+                }),
+                k,
+            );
         }
         (heap.into_iter().map(|e| e.0).collect(), stats)
     }
@@ -442,7 +460,7 @@ impl<'a> ParallelRecommender<'a> {
     fn score_annotated_shard(
         &self,
         strategy: Strategy,
-        query_cache: &SeriesCache,
+        qv: SeriesView<'_>,
         shard: &[(u32, f64, f64)],
         k: usize,
         shared_floor: &AtomicU64,
@@ -472,24 +490,19 @@ impl<'a> ParallelRecommender<'a> {
             let score = strategy_score(
                 strategy,
                 omega,
-                kappa_exact_cached(query_cache, &self.video_caches[idx], matching),
+                kappa_exact_cached(qv, self.video_view(idx), matching),
                 sj,
             );
-            push_top_k(&mut heap, WorstFirst(Scored { video: self.rec.videos[idx].id, score }), k);
+            push_top_k(
+                &mut heap,
+                WorstFirst(Scored {
+                    video: self.rec.videos[idx].id,
+                    score,
+                }),
+                k,
+            );
         }
         (heap.into_iter().map(|e| e.0).collect(), stats)
-    }
-}
-
-/// Inserts into a `k`-bounded worst-first heap: grow while short of `k`, then
-/// replace the root only for a *strictly* better entry under the ranking
-/// order (WorstFirst inverts it).
-fn push_top_k(heap: &mut BinaryHeap<WorstFirst>, entry: WorstFirst, k: usize) {
-    if heap.len() < k {
-        heap.push(entry);
-    } else if entry < *heap.peek().expect("heap is full") {
-        heap.pop();
-        heap.push(entry);
     }
 }
 
@@ -528,18 +541,11 @@ mod tests {
     }
 
     fn build() -> Recommender {
-        let cfg = RecommenderConfig { k_subcommunities: 3, ..Default::default() };
+        let cfg = RecommenderConfig {
+            k_subcommunities: 3,
+            ..Default::default()
+        };
         Recommender::build(cfg, corpus(24)).unwrap()
-    }
-
-    #[test]
-    fn worst_first_orders_by_score_then_id() {
-        let better = WorstFirst(Scored { video: VideoId(9), score: 0.8 });
-        let worse = WorstFirst(Scored { video: VideoId(1), score: 0.2 });
-        assert!(better < worse);
-        let tie_low_id = WorstFirst(Scored { video: VideoId(1), score: 0.5 });
-        let tie_high_id = WorstFirst(Scored { video: VideoId(2), score: 0.5 });
-        assert!(tie_low_id < tie_high_id);
     }
 
     #[test]
@@ -552,15 +558,62 @@ mod tests {
             })
             .collect();
         let par = ParallelRecommender::new(&rec);
-        for strategy in
-            [Strategy::Cr, Strategy::Sr, Strategy::Csf, Strategy::CsfSar, Strategy::CsfSarH]
-        {
+        for strategy in [
+            Strategy::Cr,
+            Strategy::Sr,
+            Strategy::Csf,
+            Strategy::CsfSar,
+            Strategy::CsfSarH,
+        ] {
             let batch = par.recommend_batch(strategy, &queries, 5);
             for (q, got) in queries.iter().zip(&batch) {
                 let want = rec.recommend(strategy, q, 5);
                 assert_eq!(&want, got, "{} diverged", strategy.label());
             }
         }
+    }
+
+    #[test]
+    fn default_engine_borrows_arena_feats() {
+        let rec = build();
+        // The default engine bound equals the default arena bound, so no
+        // overlay is materialised — construction borrows everything.
+        let par = ParallelRecommender::new(&rec);
+        assert!(par.shares_arena_feats());
+        // A centroid engine reads no feats at all.
+        let centroid = ParallelRecommender::with_config(
+            &rec,
+            ParallelConfig {
+                bound: PruneBound::Centroid,
+                ..Default::default()
+            },
+        );
+        assert!(centroid.shares_arena_feats());
+    }
+
+    #[test]
+    fn overlay_engine_still_matches_sequential() {
+        let rec = build();
+        let par = ParallelRecommender::with_config(
+            &rec,
+            ParallelConfig {
+                bound: PruneBound::Best {
+                    lo: -64.0,
+                    hi: 64.0,
+                },
+                ..Default::default()
+            },
+        );
+        assert!(
+            !par.shares_arena_feats(),
+            "different domain must build an overlay"
+        );
+        let q = QueryVideo {
+            series: rec.series_of(VideoId(1)).unwrap().clone(),
+            users: rec.users_of(VideoId(1)).unwrap().to_vec(),
+        };
+        let want = rec.recommend(Strategy::CsfSar, &q, 5);
+        assert_eq!(par.recommend_batch(Strategy::CsfSar, &[q], 5), vec![want]);
     }
 
     #[test]
@@ -572,7 +625,10 @@ mod tests {
         };
         let par = ParallelRecommender::with_config(
             &rec,
-            ParallelConfig { workers: 2, ..Default::default() },
+            ParallelConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         let results = par.recommend_batch_with_stats(Strategy::CsfSar, &[q], 3);
         let (recs, stats) = &results[0];
@@ -599,7 +655,10 @@ mod tests {
         let rec = build();
         ParallelRecommender::with_config(
             &rec,
-            ParallelConfig { workers: 0, ..Default::default() },
+            ParallelConfig {
+                workers: 0,
+                ..Default::default()
+            },
         );
     }
 }

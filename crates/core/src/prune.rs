@@ -1,7 +1,7 @@
-//! Query-level pruning for the sharded engine.
+//! Query-level pruning, shared by the sequential scan and the batch engine.
 //!
 //! The expensive part of refining a candidate is the exact `κJ`: every
-//! signature pair of the two series may need an EMD solve. Once a worker
+//! signature pair of the two series may need an EMD solve. Once a scan
 //! already holds `k` results, a candidate whose *best possible* score cannot
 //! strictly beat the current k-th score can be skipped without any exact
 //! evaluation:
@@ -14,27 +14,28 @@
 //! 3. fusing that ceiling with the (cheap, exact) social score gives a score
 //!    ceiling to test against the running k-th score.
 //!
-//! The per-pair bound is evaluated from a [`SeriesCache`] — signature means
-//! for Rubner's centroid bound, plus (for [`PruneBound::Best`]) cached
-//! Lipschitz anchor features that turn the bound into an O([`ANCHORS`])
-//! component-wise max ([`viderec_emd::anchor_lower_bound_from_features`])
-//! instead of a per-pair sort or sweep.
+//! The per-pair bound is evaluated from two [`SeriesView`]s into the
+//! corpus-owned [`crate::arena::ScoringArena`] — signature means for Rubner's
+//! centroid bound, plus (for [`PruneBound::Best`]) cached Lipschitz anchor
+//! features that turn the bound into an O([`ANCHORS`]) component-wise max
+//! ([`viderec_emd::anchor_lower_bound_from_features`]) instead of a per-pair
+//! sort or sweep.
 //!
 //! The pruning test uses *strict* inequality: a candidate tying the k-th
 //! score must still be evaluated because ranking ties break by `VideoId`, so
 //! the result set stays identical to the unpruned scan.
 
+use crate::arena::SeriesView;
 use viderec_emd::{
-    anchor_features, anchor_lower_bound_from_features, emd_1d_presorted,
-    emd_1d_presorted_capped, extended_jaccard, sim_c, sim_c_upper_bound, MatchingConfig,
+    anchor_lower_bound_from_features, emd_1d_presorted, emd_1d_presorted_capped, extended_jaccard,
+    sim_c, sim_c_upper_bound, MatchingConfig,
 };
-use viderec_signature::SignatureSeries;
 
 /// Lipschitz anchors cached per signature for [`PruneBound::Best`]: the bound
 /// compares `E[|X − c|]` at this many anchor points per pair, so the per-pair
 /// cost is O([`ANCHORS`]) — it has to pay for itself against exact
 /// evaluations that are themselves only a few microseconds.
-const ANCHORS: usize = 8;
+pub(crate) const ANCHORS: usize = 8;
 
 /// Row-scan give-up threshold: once a row's running minimum lower bound falls
 /// to this value its `SimC` ceiling is already ≥ `1/(1+0.25) = 0.8` — far
@@ -46,7 +47,8 @@ const ANCHORS: usize = 8;
 /// never the rows that excluded a candidate.
 const ROW_GIVE_UP_LB: f64 = 0.25;
 
-/// Per-query pruning counters, summed over a query's shards.
+/// Per-query pruning counters, summed over a query's shards (or reported
+/// as-is by the sequential scan).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PruneStats {
     /// Candidates considered (shard sizes summed).
@@ -101,61 +103,10 @@ impl Default for PruneBound {
         // Cuboid values are mean temporal intensity deltas; after block
         // merging they concentrate well within ±16 in practice, and anchors
         // outside the data range would just be wasted.
-        PruneBound::Best { lo: -16.0, hi: 16.0 }
-    }
-}
-
-/// Cached per-series state the bound evaluates against: weighted means of
-/// every signature (mass is normalised to 1 per Definition 1, so the weighted
-/// value sum *is* the mean), plus anchor features when the bound needs them.
-pub(crate) struct SeriesCache {
-    pub(crate) means: Vec<f64>,
-    /// Anchor features, [`ANCHORS`] per signature, flattened into one
-    /// contiguous buffer (signature `j` owns
-    /// `feats[j * ANCHORS..(j + 1) * ANCHORS]`) so consecutive pair
-    /// comparisons stay in cache; empty for [`PruneBound::Centroid`].
-    pub(crate) feats: Vec<f64>,
-    /// Each signature's `(value, weight)` pairs sorted by value ascending, so
-    /// the exact refinement can run the EMD merge sweep
-    /// ([`viderec_emd::emd_1d_presorted`]) without re-sorting or allocating
-    /// per pair. This is where the batch engine's amortisation lives: the
-    /// sort happens once per video at engine build (once per query for the
-    /// query side) instead of once per evaluated signature pair.
-    pub(crate) sorted: Vec<Vec<(f64, f64)>>,
-    /// Signature indices ordered by mean ascending, so a bound row can visit
-    /// this side's signatures in centroid-gap order (two-pointer expansion
-    /// from a binary search) and stop exactly when the gap reaches the
-    /// running row minimum.
-    pub(crate) mean_order: Vec<u32>,
-}
-
-impl SeriesCache {
-    pub(crate) fn build(series: &SignatureSeries, bound: PruneBound) -> Self {
-        let means: Vec<f64> = series
-            .signatures()
-            .iter()
-            .map(|sig| sig.cuboids().iter().map(|c| c.value * c.weight).sum())
-            .collect();
-        let mut mean_order: Vec<u32> = (0..means.len() as u32).collect();
-        mean_order.sort_by(|&x, &y| means[x as usize].total_cmp(&means[y as usize]));
-        let feats = match bound {
-            PruneBound::Centroid => Vec::new(),
-            PruneBound::Best { lo, hi } => series
-                .signatures()
-                .iter()
-                .flat_map(|sig| anchor_features(&sig.as_pairs(), lo, hi, ANCHORS))
-                .collect(),
-        };
-        let sorted = series
-            .signatures()
-            .iter()
-            .map(|sig| {
-                let mut pairs = sig.as_pairs();
-                pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
-                pairs
-            })
-            .collect();
-        Self { means, feats, sorted, mean_order }
+        PruneBound::Best {
+            lo: -16.0,
+            hi: 16.0,
+        }
     }
 }
 
@@ -165,16 +116,21 @@ impl SeriesCache {
 /// which [`emd_1d_presorted`] guarantees changes nothing), identical greedy
 /// matching.
 pub(crate) fn kappa_exact_cached(
-    query: &SeriesCache,
-    video: &SeriesCache,
+    query: SeriesView<'_>,
+    video: SeriesView<'_>,
     cfg: MatchingConfig,
 ) -> f64 {
-    let (n1, n2) = (query.means.len(), video.means.len());
+    let (n1, n2) = (query.len(), video.len());
     if cfg.min_similarity <= 0.0 {
         return extended_jaccard(
             n1,
             n2,
-            |i, j| sim_c(emd_1d_presorted(&query.sorted[i], &video.sorted[j])),
+            |i, j| {
+                sim_c(emd_1d_presorted(
+                    query.sorted_pairs(i),
+                    video.sorted_pairs(j),
+                ))
+            },
             cfg,
         );
     }
@@ -191,22 +147,27 @@ pub(crate) fn kappa_exact_cached(
                 // abort once its running total passes it: `sim_c(∞) = 0`
                 // fails the τ test exactly like the true (> radius) distance
                 // would, and distances within the radius come back exact.
-                sim_c(emd_1d_presorted_capped(&query.sorted[i], &video.sorted[j], radius))
+                sim_c(emd_1d_presorted_capped(
+                    query.sorted_pairs(i),
+                    video.sorted_pairs(j),
+                    radius,
+                ))
             }
         },
         cfg,
     )
 }
 
-/// Admissible upper bound on `κJ(query, video)` from the two series' caches,
-/// which must both have been built for `bound`.
+/// Admissible upper bound on `κJ(query, video)` from the two series' views,
+/// whose anchor features (when `bound` needs them) must have been computed
+/// over the same anchor domain.
 pub(crate) fn kappa_upper_bound(
-    query: &SeriesCache,
-    video: &SeriesCache,
+    query: SeriesView<'_>,
+    video: SeriesView<'_>,
     bound: PruneBound,
     cfg: MatchingConfig,
 ) -> f64 {
-    let (n1, n2) = (query.means.len(), video.means.len());
+    let (n1, n2) = (query.len(), video.len());
     viderec_emd::extended_jaccard_upper_bound(
         n1,
         n2,
@@ -219,7 +180,7 @@ pub(crate) fn kappa_upper_bound(
             // can lower it and the row is done. Exact, not a relaxation —
             // typically only one or two anchor comparisons survive per row.
             let q = query.means[i];
-            let order = &video.mean_order;
+            let order = video.mean_order;
             let mut r = order.partition_point(|&j| video.means[j as usize] < q);
             let mut l = r;
             let mut min_lb = f64::INFINITY;
@@ -269,10 +230,11 @@ pub(crate) fn kappa_upper_bound(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::ScoringArena;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use viderec_signature::cuboid::{Cuboid, CuboidSignature};
-    use viderec_signature::kappa_j_series;
+    use viderec_signature::{kappa_j_series, SignatureSeries};
 
     fn random_series(rng: &mut StdRng, max_sigs: usize) -> SignatureSeries {
         let n = rng.gen_range(1..=max_sigs);
@@ -284,7 +246,10 @@ mod tests {
                 ws.iter_mut().for_each(|w| *w /= t);
                 CuboidSignature::new(
                     ws.into_iter()
-                        .map(|w| Cuboid { value: rng.gen_range(-40.0..40.0), weight: w })
+                        .map(|w| Cuboid {
+                            value: rng.gen_range(-40.0..40.0),
+                            weight: w,
+                        })
                         .collect(),
                 )
             })
@@ -299,12 +264,20 @@ mod tests {
             let a = random_series(&mut rng, 6);
             let b = random_series(&mut rng, 6);
             for tau in [0.3, 0.5, 0.8] {
-                let cfg = MatchingConfig { min_similarity: tau };
+                let cfg = MatchingConfig {
+                    min_similarity: tau,
+                };
                 let exact = kappa_j_series(&a, &b, cfg);
-                for bound in [PruneBound::Centroid, PruneBound::Best { lo: -45.0, hi: 45.0 }] {
-                    let qc = SeriesCache::build(&a, bound);
-                    let vc = SeriesCache::build(&b, bound);
-                    let ub = kappa_upper_bound(&qc, &vc, bound, cfg);
+                for bound in [
+                    PruneBound::Centroid,
+                    PruneBound::Best {
+                        lo: -45.0,
+                        hi: 45.0,
+                    },
+                ] {
+                    let qc = ScoringArena::for_series(&a, bound);
+                    let vc = ScoringArena::for_series(&b, bound);
+                    let ub = kappa_upper_bound(qc.view(0), vc.view(0), bound, cfg);
                     assert!(
                         ub >= exact - 1e-12,
                         "{bound:?} τ={tau}: ub {ub} below exact κJ {exact}"
@@ -322,13 +295,15 @@ mod tests {
             let a = random_series(&mut rng, 6);
             let b = random_series(&mut rng, 6);
             for tau in [0.0, 0.3, 0.5, 0.8] {
-                let cfg = MatchingConfig { min_similarity: tau };
-                let qc = SeriesCache::build(&a, PruneBound::Centroid);
-                let vc = SeriesCache::build(&b, PruneBound::Centroid);
+                let cfg = MatchingConfig {
+                    min_similarity: tau,
+                };
+                let qc = ScoringArena::for_series(&a, PruneBound::Centroid);
+                let vc = ScoringArena::for_series(&b, PruneBound::Centroid);
                 // Bit-identical, not merely close: same pre-filter, same
                 // sweep, same greedy matcher.
                 assert_eq!(
-                    kappa_exact_cached(&qc, &vc, cfg),
+                    kappa_exact_cached(qc.view(0), vc.view(0), cfg),
                     kappa_j_series_pruned(&a, &b, cfg),
                     "τ={tau}"
                 );
@@ -340,19 +315,22 @@ mod tests {
     fn best_bound_is_no_looser_than_centroid() {
         let mut rng = StdRng::seed_from_u64(92);
         let cfg = MatchingConfig::default();
-        let best = PruneBound::Best { lo: -45.0, hi: 45.0 };
+        let best = PruneBound::Best {
+            lo: -45.0,
+            hi: 45.0,
+        };
         for _ in 0..40 {
             let a = random_series(&mut rng, 5);
             let b = random_series(&mut rng, 5);
             let centroid_ub = kappa_upper_bound(
-                &SeriesCache::build(&a, PruneBound::Centroid),
-                &SeriesCache::build(&b, PruneBound::Centroid),
+                ScoringArena::for_series(&a, PruneBound::Centroid).view(0),
+                ScoringArena::for_series(&b, PruneBound::Centroid).view(0),
                 PruneBound::Centroid,
                 cfg,
             );
             let best_ub = kappa_upper_bound(
-                &SeriesCache::build(&a, best),
-                &SeriesCache::build(&b, best),
+                ScoringArena::for_series(&a, best).view(0),
+                ScoringArena::for_series(&b, best).view(0),
                 best,
                 cfg,
             );
@@ -369,9 +347,9 @@ mod tests {
         let a = random_series(&mut rng, 4);
         let cfg = MatchingConfig::default();
         let bound = PruneBound::default();
-        let qc = SeriesCache::build(&a, bound);
-        let vc = SeriesCache::build(&a, bound);
-        let ub = kappa_upper_bound(&qc, &vc, bound, cfg);
+        let qc = ScoringArena::for_series(&a, bound);
+        let vc = ScoringArena::for_series(&a, bound);
+        let ub = kappa_upper_bound(qc.view(0), vc.view(0), bound, cfg);
         assert!(ub >= kappa_j_series(&a, &a, cfg) - 1e-12);
     }
 
@@ -379,9 +357,24 @@ mod tests {
     fn stats_absorb_and_rate() {
         let mut s = PruneStats::default();
         assert_eq!(s.prune_rate(), 0.0);
-        s.absorb(PruneStats { scanned: 8, pruned: 6, exact_evals: 2 });
-        s.absorb(PruneStats { scanned: 2, pruned: 0, exact_evals: 2 });
-        assert_eq!(s, PruneStats { scanned: 10, pruned: 6, exact_evals: 4 });
+        s.absorb(PruneStats {
+            scanned: 8,
+            pruned: 6,
+            exact_evals: 2,
+        });
+        s.absorb(PruneStats {
+            scanned: 2,
+            pruned: 0,
+            exact_evals: 2,
+        });
+        assert_eq!(
+            s,
+            PruneStats {
+                scanned: 10,
+                pruned: 6,
+                exact_evals: 4
+            }
+        );
         assert!((s.prune_rate() - 0.6).abs() < 1e-12);
     }
 }

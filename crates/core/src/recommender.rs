@@ -15,20 +15,31 @@
 //!   optimisation of [35]), which is why Fig. 12b finds CSF-SAR-H ≈ CR.
 //!
 //! Descriptor vectors are dimensioned by the maintenance state's *community
-//! slots* (stable indices; merges empty a slot, splits append one), so the
-//! Fig. 5 update wiring in [`crate::maintenance`] can rewrite only affected
-//! dimensions.
+//! slots* (stable indices; merges empty a slot, splits append one) and stored
+//! *sparse* — sorted `(slot, count)` pairs — because a video engages a
+//! handful of users while `k` is 60+. The Fig. 5 update wiring in
+//! [`crate::maintenance`] rewrites only affected entries.
+//!
+//! Every query path is pruned: [`Recommender::recommend`] runs the same
+//! ceiling-sorted admissible-bound scan as the batch engine (see
+//! [`crate::prune`] and the corpus-owned caches in [`crate::arena`]), with
+//! results bit-identical to the naive full scan
+//! ([`Recommender::recommend_naive_excluding`], kept as the reference).
 
+use crate::arena::ScoringArena;
 use crate::config::RecommenderConfig;
 use crate::corpus::{CorpusVideo, QueryVideo};
 use crate::errors::RecError;
+use crate::prune::{kappa_exact_cached, kappa_upper_bound, PruneStats};
 use crate::relevance::{strategy_score, Strategy};
-use std::collections::{HashMap, HashSet};
+use crate::topk::{push_top_k, sort_ranked, WorstFirst};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use viderec_emd::CdfEmbedder;
 use viderec_index::{ChainedHashTable, InvertedIndex, LsbForest};
 use viderec_signature::{kappa_j_series_pruned as kappa_j_series, SignatureSeries};
 use viderec_social::{
-    SocialDescriptor, SocialUpdatesMaintenance, UserId, UserInterestGraph, UserRegistry,
+    sar_similarity_sparse, SocialDescriptor, SocialUpdatesMaintenance, UserId, UserInterestGraph,
+    UserRegistry,
 };
 use viderec_video::VideoId;
 
@@ -44,9 +55,9 @@ pub struct Scored {
 /// Per-query state precomputed once and shared by every per-video scoring
 /// call (sequential and parallel), so both paths see identical inputs.
 pub(crate) struct PreparedQuery {
-    /// SAR vector of the query users; all-zero for strategies without a SAR
-    /// social side.
-    pub(crate) qvec: Vec<u32>,
+    /// Sparse SAR vector of the query users (sorted `(slot, count)` pairs);
+    /// empty for strategies without a SAR social side.
+    pub(crate) qvec: Vec<(u32, u32)>,
 }
 
 pub(crate) struct StoredVideo {
@@ -55,8 +66,10 @@ pub(crate) struct StoredVideo {
     pub(crate) descriptor: SocialDescriptor,
     /// Raw user names, kept for the unoptimised exact-`sJ` path.
     pub(crate) user_names: Vec<String>,
-    /// SAR histogram over the community slots.
-    pub(crate) vector: Vec<u32>,
+    /// Sparse SAR histogram over the community slots: sorted `(slot, count)`
+    /// pairs, zero slots omitted. Slots beyond the last entry are implicit
+    /// zeros, so community splits never need to touch it.
+    pub(crate) vector: Vec<(u32, u32)>,
 }
 
 /// The content-social video recommender.
@@ -70,18 +83,20 @@ pub struct Recommender {
     pub(crate) maintenance: SocialUpdatesMaintenance,
     pub(crate) chained: ChainedHashTable<usize>,
     pub(crate) inverted: InvertedIndex,
-    lsb: LsbForest<u32>,
-    embedder: CdfEmbedder,
+    pub(crate) lsb: LsbForest<u32>,
+    pub(crate) embedder: CdfEmbedder,
+    /// Corpus-owned scoring caches (see [`crate::arena`]): built here at
+    /// ingest, extended by [`crate::maintenance`], borrowed by both the
+    /// sequential pruned scan and the batch engine.
+    pub(crate) arena: ScoringArena,
 }
 
 impl Recommender {
     /// Builds the recommender over a corpus: interns users, builds the UIG,
-    /// extracts `k` sub-communities, vectorises every descriptor, and
-    /// populates the chained hash table, inverted files and LSB forest.
-    pub fn build(
-        cfg: RecommenderConfig,
-        corpus: Vec<CorpusVideo>,
-    ) -> Result<Self, RecError> {
+    /// extracts `k` sub-communities, vectorises every descriptor, populates
+    /// the chained hash table, inverted files and LSB forest, and fills the
+    /// scoring arena.
+    pub fn build(cfg: RecommenderConfig, corpus: Vec<CorpusVideo>) -> Result<Self, RecError> {
         cfg.validate().map_err(RecError::BadConfig)?;
         if corpus.is_empty() {
             return Err(RecError::EmptyCorpus);
@@ -91,8 +106,11 @@ impl Recommender {
         let mut registry = UserRegistry::new();
         let mut descriptors = Vec::with_capacity(corpus.len());
         for video in &corpus {
-            let desc: SocialDescriptor =
-                video.users.iter().map(|name| registry.intern(name)).collect();
+            let desc: SocialDescriptor = video
+                .users
+                .iter()
+                .map(|name| registry.intern(name))
+                .collect();
             descriptors.push(desc);
         }
         let mut graph = UserInterestGraph::new(registry.len().max(1));
@@ -111,26 +129,30 @@ impl Recommender {
             }
         }
 
-        // --- per-video records + inverted files + LSB forest ---
+        // --- per-video records + inverted files + LSB forest + arena ---
         let mut inverted = InvertedIndex::new(slots);
         let mut by_id = HashMap::with_capacity(corpus.len());
         let mut videos_of_user: HashMap<UserId, Vec<u32>> = HashMap::new();
         let mut videos = Vec::with_capacity(corpus.len());
         let embedder = CdfEmbedder::for_intensity_deltas(cfg.embed_dims);
         let mut lsb = LsbForest::new(cfg.lsb, cfg.embed_dims);
+        let mut arena = ScoringArena::new(cfg.prune_bound);
 
         for (idx, (video, descriptor)) in corpus.into_iter().zip(descriptors).enumerate() {
             if by_id.insert(video.id, idx).is_some() {
                 return Err(RecError::DuplicateVideo(video.id.0));
             }
-            let vector = vectorize(maintenance.assignment_raw(), slots, &descriptor);
-            inverted.add_video(video.id, &vector);
+            let vector = vectorize_sparse(maintenance.assignment_raw(), &descriptor);
+            for &(slot, _) in &vector {
+                inverted.add_posting(slot as usize, video.id);
+            }
             for user in descriptor.iter() {
                 videos_of_user.entry(user).or_default().push(idx as u32);
             }
             for sig in video.series.signatures() {
                 lsb.insert(&embedder.embed(&sig.as_pairs()), idx as u32);
             }
+            arena.push_series(&video.series);
             videos.push(StoredVideo {
                 id: video.id,
                 series: video.series,
@@ -151,6 +173,7 @@ impl Recommender {
             inverted,
             lsb,
             embedder,
+            arena,
         })
     }
 
@@ -180,34 +203,192 @@ impl Recommender {
         self.registry.len()
     }
 
+    /// The corpus scoring arena (crate-internal: the batch engine borrows it
+    /// instead of deriving its own caches).
+    pub(crate) fn arena(&self) -> &ScoringArena {
+        &self.arena
+    }
+
     /// The signature series of an indexed video (test/eval support).
     pub fn series_of(&self, id: VideoId) -> Option<&SignatureSeries> {
         self.by_id.get(&id).map(|&i| &self.videos[i].series)
     }
 
-    /// The SAR vector of an indexed video (test/eval support).
-    pub fn vector_of(&self, id: VideoId) -> Option<&[u32]> {
-        self.by_id.get(&id).map(|&i| self.videos[i].vector.as_slice())
+    /// The *dense* SAR vector of an indexed video over the current community
+    /// slots (test/eval support; storage is sparse).
+    pub fn vector_of(&self, id: VideoId) -> Option<Vec<u32>> {
+        self.by_id.get(&id).map(|&i| {
+            let mut dense = vec![0u32; self.community_slots()];
+            for &(slot, count) in &self.videos[i].vector {
+                if (slot as usize) < dense.len() {
+                    dense[slot as usize] = count;
+                }
+            }
+            dense
+        })
+    }
+
+    /// The sparse SAR vector of an indexed video (test/eval support).
+    pub fn sparse_vector_of(&self, id: VideoId) -> Option<&[(u32, u32)]> {
+        self.by_id
+            .get(&id)
+            .map(|&i| self.videos[i].vector.as_slice())
     }
 
     /// The engaged user names of an indexed video (test/eval support).
     pub fn users_of(&self, id: VideoId) -> Option<&[String]> {
-        self.by_id.get(&id).map(|&i| self.videos[i].user_names.as_slice())
+        self.by_id
+            .get(&id)
+            .map(|&i| self.videos[i].user_names.as_slice())
     }
 
     /// Top-`top_k` recommendations for a clicked video under `strategy`.
-    pub fn recommend(
-        &self,
-        strategy: Strategy,
-        query: &QueryVideo,
-        top_k: usize,
-    ) -> Vec<Scored> {
+    pub fn recommend(&self, strategy: Strategy, query: &QueryVideo, top_k: usize) -> Vec<Scored> {
         self.recommend_excluding(strategy, query, top_k, &[])
     }
 
     /// Like [`Self::recommend`] but never returns the listed videos
     /// (typically the clicked video itself).
     pub fn recommend_excluding(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        top_k: usize,
+        exclude: &[VideoId],
+    ) -> Vec<Scored> {
+        self.recommend_with_stats(strategy, query, top_k, exclude).0
+    }
+
+    /// The pruned single-query path, also returning its [`PruneStats`]: a
+    /// ceiling-sorted scan with a bounded top-k heap, exactly the admissible
+    /// pruning the batch engine applies per shard, so a single click pays
+    /// `κJ` only for candidates that can still enter the top-k. Results are
+    /// bit-identical to [`Self::recommend_naive_excluding`].
+    pub fn recommend_with_stats(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        top_k: usize,
+        exclude: &[VideoId],
+    ) -> (Vec<Scored>, PruneStats) {
+        if top_k == 0 {
+            return (Vec::new(), PruneStats::default());
+        }
+        let prep = self.prepare_query(strategy, query);
+        let mut candidates = self.candidate_indices(strategy, query, &prep);
+        // Exclusions drop out *before* any scoring: an excluded video never
+        // pays for `κJ` and never occupies the pruning floor.
+        let excluded: HashSet<u32> = exclude
+            .iter()
+            .filter_map(|id| self.by_id.get(id).map(|&i| i as u32))
+            .collect();
+        if !excluded.is_empty() {
+            candidates.retain(|idx| !excluded.contains(idx));
+        }
+        let mut stats = PruneStats {
+            scanned: candidates.len() as u64,
+            ..PruneStats::default()
+        };
+        let mut top = if strategy.uses_content() {
+            self.pruned_content_scan(strategy, query, &prep, &candidates, top_k, &mut stats)
+        } else {
+            // SR: the social score is cheap and exact, so a plain bounded
+            // heap scan is already optimal — nothing to prune.
+            let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(top_k + 1);
+            for &idx in &candidates {
+                stats.exact_evals += 1;
+                let score = self.score_video(strategy, query, &prep, idx as usize);
+                push_top_k(
+                    &mut heap,
+                    WorstFirst(Scored {
+                        video: self.videos[idx as usize].id,
+                        score,
+                    }),
+                    top_k,
+                );
+            }
+            heap.into_iter().map(|e| e.0).collect()
+        };
+        sort_ranked(&mut top);
+        (top, stats)
+    }
+
+    /// Ceiling-sorted pruned scan over content-scored candidates (see
+    /// [`crate::prune`] for the soundness argument): annotate every candidate
+    /// with its exact social score and an admissible score ceiling from the
+    /// arena caches, sort ceiling-descending, and evaluate into a bounded
+    /// top-k heap whose k-th score is the pruning floor. Strict inequality
+    /// keeps ties evaluated, so the result is exact; sorting by ceiling makes
+    /// the first prune a one-step tail prune.
+    fn pruned_content_scan(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        prep: &PreparedQuery,
+        candidates: &[u32],
+        top_k: usize,
+        stats: &mut PruneStats,
+    ) -> Vec<Scored> {
+        let omega = self.cfg.omega;
+        let matching = self.cfg.matching;
+        let bound = self.arena.bound();
+        let query_cache = ScoringArena::for_series(&query.series, bound);
+        let qv = query_cache.view(0);
+
+        let mut annotated: Vec<(u32, f64, f64)> = candidates
+            .iter()
+            .map(|&idx| {
+                let i = idx as usize;
+                let sj = self.social_score(strategy, query, prep, i);
+                let ceiling = strategy_score(
+                    strategy,
+                    omega,
+                    kappa_upper_bound(qv, self.arena.view(i), bound, matching),
+                    sj,
+                );
+                (idx, sj, ceiling)
+            })
+            .collect();
+        annotated.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+
+        let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(top_k + 1);
+        for (pos, &(idx, sj, ceiling)) in annotated.iter().enumerate() {
+            if heap.len() == top_k {
+                let floor = heap.peek().expect("heap is full").0.score;
+                if ceiling < floor {
+                    // Strictly below a score `top_k` candidates already
+                    // reach: even a tie is impossible, and every later
+                    // candidate's ceiling is at least as low (sorted), so the
+                    // whole tail is pruned in one step.
+                    stats.pruned += (annotated.len() - pos) as u64;
+                    break;
+                }
+            }
+            stats.exact_evals += 1;
+            let i = idx as usize;
+            let score = strategy_score(
+                strategy,
+                omega,
+                kappa_exact_cached(qv, self.arena.view(i), matching),
+                sj,
+            );
+            push_top_k(
+                &mut heap,
+                WorstFirst(Scored {
+                    video: self.videos[i].id,
+                    score,
+                }),
+                top_k,
+            );
+        }
+        heap.into_iter().map(|e| e.0).collect()
+    }
+
+    /// The unpruned reference path — score every candidate, sort fully,
+    /// truncate — exactly the pre-arena behaviour of [`Self::recommend`].
+    /// Kept public for the equivalence suite and the single-query benchmark;
+    /// the pruned path must return bit-identical results.
+    pub fn recommend_naive_excluding(
         &self,
         strategy: Strategy,
         query: &QueryVideo,
@@ -228,7 +409,7 @@ impl Recommender {
             })
             .collect();
         scored.retain(|s| !excluded.contains(&s.video));
-        scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.video.cmp(&b.video)));
+        sort_ranked(&mut scored);
         scored.truncate(top_k);
         scored
     }
@@ -260,7 +441,7 @@ impl Recommender {
                 (
                     v.id,
                     kappa_j_series(&query.series, &v.series, self.cfg.matching),
-                    viderec_social::sar_similarity(&qvec, &v.vector),
+                    sar_similarity_sparse(&qvec, &v.vector),
                 )
             })
             .collect()
@@ -276,19 +457,20 @@ impl Recommender {
 
     /// Vectorises the query socially the way the strategy prescribes:
     /// CSF-SAR by registry *scan* (the cost the hash removes), CSF-SAR-H via
-    /// the chained hash table (Fig. 6 lines 1–2), zeros otherwise.
+    /// the chained hash table (Fig. 6 lines 1–2), empty otherwise.
     pub(crate) fn prepare_query(&self, strategy: Strategy, query: &QueryVideo) -> PreparedQuery {
         let qvec = match strategy {
             Strategy::CsfSar => self.vectorize_by_scan(&query.users),
             Strategy::CsfSarH => self.vectorize_by_hash(&query.users),
-            Strategy::Cr | Strategy::Sr | Strategy::Csf => vec![0; self.community_slots()],
+            Strategy::Cr | Strategy::Sr | Strategy::Csf => Vec::new(),
         };
         PreparedQuery { qvec }
     }
 
     /// The candidate universe the strategy refines: every corpus video for
-    /// the full-scan strategies; for CR and CSF-SAR-H, the union of ranked
-    /// inverted-file candidates (Fig. 6 line 3) and, per query signature, the
+    /// the full-scan strategies; for CR and CSF-SAR-H, the union of the
+    /// top-`candidate_limit` ranked inverted-file candidates (Fig. 6 line 3 —
+    /// the truncation happens inside the index) and, per query signature, the
     /// longest-common-prefix LSB-forest entries (lines 5–6). Returned sorted
     /// ascending so sharding the list is deterministic.
     pub(crate) fn candidate_indices(
@@ -306,9 +488,7 @@ impl Recommender {
                 if strategy.uses_social() {
                     for video in self
                         .inverted
-                        .candidates(&prep.qvec)
-                        .into_iter()
-                        .take(self.cfg.candidate_limit)
+                        .candidates_topn(&prep.qvec, self.cfg.candidate_limit)
                     {
                         if let Some(&idx) = self.by_id.get(&video) {
                             candidates.insert(idx as u32);
@@ -340,7 +520,7 @@ impl Recommender {
     }
 
     /// The social side of the score: exact string-set `sJ` for SR/CSF (the
-    /// quadratic cost of §4.2.1), SAR vector similarity for the SAR
+    /// quadratic cost of §4.2.1), sparse SAR vector similarity for the SAR
     /// strategies, 0 for CR.
     pub(crate) fn social_score(
         &self,
@@ -355,7 +535,7 @@ impl Recommender {
                 exact_sj_strings(&query.users, &self.videos[idx].user_names)
             }
             Strategy::CsfSar | Strategy::CsfSarH => {
-                viderec_social::sar_similarity(&prep.qvec, &self.videos[idx].vector)
+                sar_similarity_sparse(&prep.qvec, &self.videos[idx].vector)
             }
         }
     }
@@ -381,7 +561,7 @@ impl Recommender {
     /// SAR without hashing: find each user by scanning the registry, then
     /// look up its community slot. Deliberately linear in the user count —
     /// this is the cost the chained hash removes.
-    fn vectorize_by_scan(&self, users: &[String]) -> Vec<u32> {
+    fn vectorize_by_scan(&self, users: &[String]) -> Vec<(u32, u32)> {
         let mut v = vec![0u32; self.community_slots()];
         for name in users {
             let found = self
@@ -395,11 +575,11 @@ impl Recommender {
                 }
             }
         }
-        v
+        viderec_social::sparsify(&v)
     }
 
     /// SAR-H: O(1 + η) chained-hash mapping per user name (§4.2.3).
-    pub(crate) fn vectorize_by_hash(&self, users: &[String]) -> Vec<u32> {
+    pub(crate) fn vectorize_by_hash(&self, users: &[String]) -> Vec<(u32, u32)> {
         let mut v = vec![0u32; self.community_slots()];
         for name in users {
             if let Some(&c) = self.chained.get(name) {
@@ -408,23 +588,29 @@ impl Recommender {
                 }
             }
         }
-        v
+        viderec_social::sparsify(&v)
     }
 }
 
-/// Vectorises a descriptor against a raw slot assignment.
-pub(crate) fn vectorize(
+/// Vectorises a descriptor against a raw slot assignment into the sparse
+/// sorted `(slot, count)` form.
+pub(crate) fn vectorize_sparse(
     assignment: &[usize],
-    slots: usize,
     descriptor: &SocialDescriptor,
-) -> Vec<u32> {
-    let mut v = vec![0u32; slots];
-    for user in descriptor.iter() {
-        if let Some(&c) = assignment.get(user.index()) {
-            v[c] += 1;
+) -> Vec<(u32, u32)> {
+    let mut slots: Vec<u32> = descriptor
+        .iter()
+        .filter_map(|user| assignment.get(user.index()).map(|&c| c as u32))
+        .collect();
+    slots.sort_unstable();
+    let mut sparse: Vec<(u32, u32)> = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match sparse.last_mut() {
+            Some((s, count)) if *s == slot => *count += 1,
+            _ => sparse.push((slot, 1)),
         }
     }
-    v
+    sparse
 }
 
 /// Exact `sJ` over raw user-name sets with nested string comparison — the
@@ -484,14 +670,29 @@ mod tests {
         let corpus = raw
             .iter()
             .zip(users)
-            .map(|(v, u)| CorpusVideo { id: v.id(), series: builder.build(v), users: u })
+            .map(|(v, u)| CorpusVideo {
+                id: v.id(),
+                series: builder.build(v),
+                users: u,
+            })
             .collect();
         (corpus, raw)
     }
 
     fn test_cfg() -> RecommenderConfig {
-        RecommenderConfig { k_subcommunities: 2, ..Default::default() }
+        RecommenderConfig {
+            k_subcommunities: 2,
+            ..Default::default()
+        }
     }
+
+    const ALL: [Strategy; 5] = [
+        Strategy::Cr,
+        Strategy::Sr,
+        Strategy::Csf,
+        Strategy::CsfSar,
+        Strategy::CsfSarH,
+    ];
 
     #[test]
     fn build_validates() {
@@ -523,7 +724,10 @@ mod tests {
         assert!(r.series_of(VideoId(0)).is_some());
         let v0 = r.vector_of(VideoId(0)).unwrap();
         assert_eq!(v0.iter().sum::<u32>(), 3);
+        let sparse = r.sparse_vector_of(VideoId(0)).unwrap();
+        assert_eq!(sparse.iter().map(|&(_, c)| c).sum::<u32>(), 3);
         assert_eq!(r.users_of(VideoId(0)).unwrap().len(), 3);
+        assert_eq!(r.arena().len(), 4, "arena holds one entry per video");
     }
 
     #[test]
@@ -542,7 +746,10 @@ mod tests {
         // Edited copy of video 2 as the query — content matches topic 1.
         let edited = Transform::BrightnessShift(8).apply(&raw[2]);
         let series = SignatureBuilder::default().build(&edited);
-        let q = QueryVideo { series, users: vec![] };
+        let q = QueryVideo {
+            series,
+            users: vec![],
+        };
         let r = Recommender::build(test_cfg(), corpus).unwrap();
         let recs = r.recommend(Strategy::Cr, &q, 4);
         // Both topic-1 videos share the query's motion band; they must beat
@@ -559,13 +766,7 @@ mod tests {
         let (corpus, _) = small_corpus();
         let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
         let q = QueryVideo::from_corpus(&corpus[3]);
-        for strategy in [
-            Strategy::Cr,
-            Strategy::Sr,
-            Strategy::Csf,
-            Strategy::CsfSar,
-            Strategy::CsfSarH,
-        ] {
+        for strategy in ALL {
             let recs = r.recommend(strategy, &q, 4);
             assert_eq!(
                 recs[0].video,
@@ -574,6 +775,39 @@ mod tests {
                 strategy.label()
             );
         }
+    }
+
+    #[test]
+    fn pruned_path_matches_naive_on_the_small_corpus() {
+        let (corpus, _) = small_corpus();
+        let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
+        for strategy in ALL {
+            for k in [1, 2, 4, 10] {
+                for (query_idx, source) in corpus.iter().enumerate() {
+                    let q = QueryVideo::from_corpus(source);
+                    let (pruned, stats) = r.recommend_with_stats(strategy, &q, k, &[]);
+                    let naive = r.recommend_naive_excluding(strategy, &q, k, &[]);
+                    assert_eq!(pruned, naive, "{} k={k} q={query_idx}", strategy.label());
+                    assert_eq!(stats.pruned + stats.exact_evals, stats.scanned);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn excluded_videos_are_never_scored() {
+        let (corpus, _) = small_corpus();
+        let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
+        let q = QueryVideo::from_corpus(&corpus[0]);
+        let (recs, stats) =
+            r.recommend_with_stats(Strategy::Csf, &q, 10, &[VideoId(0), VideoId(2)]);
+        assert!(recs
+            .iter()
+            .all(|s| s.video != VideoId(0) && s.video != VideoId(2)));
+        // The exclusions left the candidate set before scoring, so they are
+        // not even *scanned*.
+        assert_eq!(stats.scanned, 2);
+        assert_eq!(recs.len(), 2);
     }
 
     #[test]
@@ -599,11 +833,20 @@ mod tests {
         let (corpus, _) = small_corpus();
         let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
         let q = QueryVideo::from_corpus(&corpus[2]);
-        let exact: Vec<VideoId> =
-            r.recommend(Strategy::Csf, &q, 4).into_iter().map(|s| s.video).collect();
-        let sar: Vec<VideoId> =
-            r.recommend(Strategy::CsfSar, &q, 4).into_iter().map(|s| s.video).collect();
-        assert_eq!(exact[0], sar[0], "top choice must survive the approximation");
+        let exact: Vec<VideoId> = r
+            .recommend(Strategy::Csf, &q, 4)
+            .into_iter()
+            .map(|s| s.video)
+            .collect();
+        let sar: Vec<VideoId> = r
+            .recommend(Strategy::CsfSar, &q, 4)
+            .into_iter()
+            .map(|s| s.video)
+            .collect();
+        assert_eq!(
+            exact[0], sar[0],
+            "top choice must survive the approximation"
+        );
     }
 
     #[test]
@@ -634,7 +877,12 @@ mod tests {
             series: corpus[0].series.clone(),
             users: vec!["stranger1".into(), "stranger2".into()],
         };
-        for strategy in [Strategy::Sr, Strategy::Csf, Strategy::CsfSar, Strategy::CsfSarH] {
+        for strategy in [
+            Strategy::Sr,
+            Strategy::Csf,
+            Strategy::CsfSar,
+            Strategy::CsfSarH,
+        ] {
             let _ = r.recommend(strategy, &q, 3);
         }
     }

@@ -72,11 +72,7 @@ fn check(side: &[(f64, f64)]) -> Result<(), EmdError> {
 impl Emd {
     /// Computes EMD between two normalised scalar-valued weighted sets under
     /// ground distance `|x − y|`.
-    pub fn distance(
-        &self,
-        a: &[(f64, f64)],
-        b: &[(f64, f64)],
-    ) -> Result<f64, EmdError> {
+    pub fn distance(&self, a: &[(f64, f64)], b: &[(f64, f64)]) -> Result<f64, EmdError> {
         check(a)?;
         check(b)?;
         Ok(match self {
@@ -89,8 +85,7 @@ impl Emd {
                 let (s, d): (f64, f64) = (supply.iter().sum(), demand.iter().sum());
                 let supply: Vec<f64> = supply.iter().map(|w| w / s).collect();
                 let demand: Vec<f64> = demand.iter().map(|w| w / d).collect();
-                let cost =
-                    DenseMatrix::from_fn(a.len(), b.len(), |i, j| (a[i].0 - b[j].0).abs());
+                let cost = DenseMatrix::from_fn(a.len(), b.len(), |i, j| (a[i].0 - b[j].0).abs());
                 let p = TransportProblem::new(supply, demand, cost);
                 match self {
                     Emd::Simplex => solve_simplex(&p).objective,
@@ -169,7 +164,10 @@ mod tests {
             let d1 = Emd::OneDimensional.distance(&a, &b).unwrap();
             let ds = Emd::Simplex.distance(&a, &b).unwrap();
             let dp = Emd::ShortestPaths.distance(&a, &b).unwrap();
-            assert!((d1 - ds).abs() < 1e-6 * (1.0 + d1), "1d {d1} vs simplex {ds}");
+            assert!(
+                (d1 - ds).abs() < 1e-6 * (1.0 + d1),
+                "1d {d1} vs simplex {ds}"
+            );
             assert!((d1 - dp).abs() < 1e-6 * (1.0 + d1), "1d {d1} vs ssp {dp}");
         }
     }
@@ -188,7 +186,9 @@ mod tests {
             Emd::default().distance(&[(0.0, 0.5)], &[(0.0, 1.0)]),
             Err(EmdError::NotNormalised { .. })
         ));
-        assert!(EmdError::NotNormalised { mass: 0.5 }.to_string().contains("0.5"));
+        assert!(EmdError::NotNormalised { mass: 0.5 }
+            .to_string()
+            .contains("0.5"));
     }
 
     #[test]

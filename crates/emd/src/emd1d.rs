@@ -59,8 +59,14 @@ pub fn emd_1d_presorted(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
 /// case and skip most of the sweep in the second. With `cap = ∞` this is
 /// exactly [`emd_1d_presorted`].
 pub fn emd_1d_presorted_capped(a: &[(f64, f64)], b: &[(f64, f64)], cap: f64) -> f64 {
-    debug_assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "first side unsorted");
-    debug_assert!(b.windows(2).all(|w| w[0].0 <= w[1].0), "second side unsorted");
+    debug_assert!(
+        a.windows(2).all(|w| w[0].0 <= w[1].0),
+        "first side unsorted"
+    );
+    debug_assert!(
+        b.windows(2).all(|w| w[0].0 <= w[1].0),
+        "second side unsorted"
+    );
 
     // Merge sweep integrating |F_a(t) − F_b(t)| dt between consecutive
     // breakpoints of the union of supports.
@@ -97,7 +103,8 @@ pub fn emd_1d_presorted_capped(a: &[(f64, f64)], b: &[(f64, f64)], cap: f64) -> 
 fn validate(side: &[(f64, f64)], which: &str) {
     assert!(!side.is_empty(), "{which} signature is empty");
     assert!(
-        side.iter().all(|&(v, w)| v.is_finite() && w.is_finite() && w > 0.0),
+        side.iter()
+            .all(|&(v, w)| v.is_finite() && w.is_finite() && w > 0.0),
         "{which} signature has non-positive or non-finite entries"
     );
     let mass: f64 = side.iter().map(|&(_, w)| w).sum();

@@ -135,13 +135,7 @@ mod tests {
     fn similarity_bounds() {
         assert_eq!(erp_similarity(0, 0, |_, _| 0.0, |_| 0.0, |_| 0.0), 0.0);
         let a: [f64; 2] = [1.0, 2.0];
-        let s = erp_similarity(
-            2,
-            2,
-            |i, j| (a[i] - a[j]).abs(),
-            |i| a[i],
-            |j| a[j],
-        );
+        let s = erp_similarity(2, 2, |i, j| (a[i] - a[j]).abs(), |i| a[i], |j| a[j]);
         assert!(s > 0.0 && s <= 1.0);
     }
 }

@@ -41,11 +41,11 @@ pub use dtw::dtw_distance;
 pub use embed::CdfEmbedder;
 pub use emd1d::{emd_1d, emd_1d_presorted, emd_1d_presorted_capped};
 pub use erp::erp_distance;
-pub use matrix::DenseMatrix;
 pub use lower_bounds::{
     anchor_features, anchor_lower_bound_from_features, best_lower_bound,
     cdf_lower_bound_from_embeddings, centroid_lower_bound, sim_c_upper_bound,
 };
+pub use matrix::DenseMatrix;
 pub use measures::{
     extended_jaccard, extended_jaccard_all_pairs, extended_jaccard_upper_bound, MatchingConfig,
 };

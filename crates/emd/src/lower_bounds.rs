@@ -157,7 +157,9 @@ mod tests {
         let mut ws: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
         let t: f64 = ws.iter().sum();
         ws.iter_mut().for_each(|w| *w /= t);
-        ws.into_iter().map(|w| (rng.gen_range(-20.0..20.0), w)).collect()
+        ws.into_iter()
+            .map(|w| (rng.gen_range(-20.0..20.0), w))
+            .collect()
     }
 
     #[test]
@@ -221,7 +223,10 @@ mod tests {
         assert!((exact - 0.001).abs() < 1e-12);
         for samples in [2, 3, 5, 9, 33] {
             let lb = cdf_sample_lower_bound(&a, &b, 0.0005, 10.0005, samples);
-            assert!(lb <= exact + 1e-9, "samples={samples}: lb {lb} > emd {exact}");
+            assert!(
+                lb <= exact + 1e-9,
+                "samples={samples}: lb {lb} > emd {exact}"
+            );
         }
     }
 

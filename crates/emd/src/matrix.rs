@@ -14,7 +14,11 @@ impl DenseMatrix {
     /// Creates a `rows × cols` matrix filled with `fill`.
     pub fn filled(rows: usize, cols: usize, fill: f64) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        Self { rows, cols, data: vec![fill; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![fill; rows * cols],
+        }
     }
 
     /// Creates a matrix of zeros.

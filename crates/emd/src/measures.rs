@@ -21,7 +21,9 @@ pub struct MatchingConfig {
 
 impl Default for MatchingConfig {
     fn default() -> Self {
-        Self { min_similarity: 0.5 }
+        Self {
+            min_similarity: 0.5,
+        }
     }
 }
 
@@ -45,7 +47,10 @@ pub fn extended_jaccard(
     for i in 0..n1 {
         for j in 0..n2 {
             let s = sim(i, j);
-            debug_assert!((-1e-9..=1.0 + 1e-9).contains(&s), "similarity {s} out of range");
+            debug_assert!(
+                (-1e-9..=1.0 + 1e-9).contains(&s),
+                "similarity {s} out of range"
+            );
             if s >= cfg.min_similarity {
                 pairs.push((s, i, j));
             }
@@ -176,21 +181,28 @@ mod tests {
             2,
             2,
             |_, _| 0.4,
-            MatchingConfig { min_similarity: 0.5 },
+            MatchingConfig {
+                min_similarity: 0.5,
+            },
         );
         assert_eq!(s, 0.0);
         let s2 = extended_jaccard(
             2,
             2,
             |i, j| if i == j { 0.4 } else { 0.0 },
-            MatchingConfig { min_similarity: 0.3 },
+            MatchingConfig {
+                min_similarity: 0.3,
+            },
         );
         assert!(s2 > 0.0);
     }
 
     #[test]
     fn empty_series_yield_zero() {
-        assert_eq!(extended_jaccard(0, 3, |_, _| 1.0, MatchingConfig::default()), 0.0);
+        assert_eq!(
+            extended_jaccard(0, 3, |_, _| 1.0, MatchingConfig::default()),
+            0.0
+        );
         assert_eq!(extended_jaccard_all_pairs(3, 0, |_, _| 1.0), 0.0);
     }
 
@@ -217,7 +229,9 @@ mod tests {
                 .map(|_| (0..n2).map(|_| rng.gen_range(0.0..1.0)).collect())
                 .collect();
             for tau in [0.0, 0.3, 0.5, 0.8] {
-                let cfg = MatchingConfig { min_similarity: tau };
+                let cfg = MatchingConfig {
+                    min_similarity: tau,
+                };
                 let exact = extended_jaccard(n1, n2, |i, j| table[i][j], cfg);
                 let ub = extended_jaccard_upper_bound(
                     n1,

@@ -110,7 +110,10 @@ pub fn solve_from(p: &TransportProblem, mut bs: BasicSolution) -> SimplexSolutio
                 }
             }
         }
-        debug_assert!(visited[m + ej], "basis tree must connect entering endpoints");
+        debug_assert!(
+            visited[m + ej],
+            "basis tree must connect entering endpoints"
+        );
 
         // Cells on the cycle, ordered from the entering cell: the entering
         // cell takes +θ; walking the tree path from sink ej to source ei the
@@ -154,7 +157,11 @@ pub fn solve_from(p: &TransportProblem, mut bs: BasicSolution) -> SimplexSolutio
     }
 
     let objective = p.objective(&bs.flow);
-    SimplexSolution { flow: bs.flow, objective, pivots }
+    SimplexSolution {
+        flow: bs.flow,
+        objective,
+        pivots,
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +173,11 @@ mod tests {
 
     fn classic() -> TransportProblem {
         let cost = DenseMatrix::from_fn(3, 4, |i, j| {
-            [[3.0, 1.0, 7.0, 4.0], [2.0, 6.0, 5.0, 9.0], [8.0, 3.0, 3.0, 2.0]][i][j]
+            [
+                [3.0, 1.0, 7.0, 4.0],
+                [2.0, 6.0, 5.0, 9.0],
+                [8.0, 3.0, 3.0, 2.0],
+            ][i][j]
         });
         TransportProblem::new(
             vec![300.0, 400.0, 500.0],
@@ -180,7 +191,11 @@ mod tests {
         let p = classic();
         let sol = solve_simplex(&p);
         assert!(p.is_feasible(&sol.flow, 1e-6));
-        assert!((sol.objective - 2850.0).abs() < 1e-6, "got {}", sol.objective);
+        assert!(
+            (sol.objective - 2850.0).abs() < 1e-6,
+            "got {}",
+            sol.objective
+        );
     }
 
     #[test]

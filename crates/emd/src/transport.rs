@@ -33,7 +33,10 @@ impl TransportProblem {
     pub fn new(supply: Vec<f64>, demand: Vec<f64>, cost: DenseMatrix) -> Self {
         assert!(!supply.is_empty() && !demand.is_empty(), "empty problem");
         assert!(
-            supply.iter().chain(&demand).all(|&w| w.is_finite() && w > 0.0),
+            supply
+                .iter()
+                .chain(&demand)
+                .all(|&w| w.is_finite() && w > 0.0),
             "supplies and demands must be positive and finite"
         );
         assert!(
@@ -46,7 +49,11 @@ impl TransportProblem {
             "unbalanced problem: supply {s} vs demand {d}"
         );
         assert_eq!((cost.rows(), cost.cols()), (supply.len(), demand.len()));
-        Self { supply, demand, cost }
+        Self {
+            supply,
+            demand,
+            cost,
+        }
     }
 
     /// Number of sources.
@@ -414,7 +421,11 @@ mod tests {
     fn classic() -> TransportProblem {
         // A standard textbook instance with a known optimum.
         let cost = DenseMatrix::from_fn(3, 4, |i, j| {
-            [[3.0, 1.0, 7.0, 4.0], [2.0, 6.0, 5.0, 9.0], [8.0, 3.0, 3.0, 2.0]][i][j]
+            [
+                [3.0, 1.0, 7.0, 4.0],
+                [2.0, 6.0, 5.0, 9.0],
+                [8.0, 3.0, 3.0, 2.0],
+            ][i][j]
         });
         TransportProblem::new(
             vec![300.0, 400.0, 500.0],
@@ -462,11 +473,7 @@ mod tests {
 
     #[test]
     fn ssp_single_source_sink() {
-        let p = TransportProblem::new(
-            vec![1.0],
-            vec![1.0],
-            DenseMatrix::filled(1, 1, 4.2),
-        );
+        let p = TransportProblem::new(vec![1.0], vec![1.0], DenseMatrix::filled(1, 1, 4.2));
         let (flow, obj) = solve_ssp(&p);
         assert!((flow.get(0, 0) - 1.0).abs() < 1e-12);
         assert!((obj - 4.2).abs() < 1e-12);

@@ -7,8 +7,7 @@ use viderec_emd::lower_bounds::{
     best_lower_bound, cdf_sample_lower_bound, centroid_lower_bound, sim_c_upper_bound,
 };
 use viderec_emd::{
-    emd_1d, extended_jaccard, extended_jaccard_upper_bound, sim_c, CdfEmbedder, Emd,
-    MatchingConfig,
+    emd_1d, extended_jaccard, extended_jaccard_upper_bound, sim_c, CdfEmbedder, Emd, MatchingConfig,
 };
 
 /// A normalised scalar signature: 1..8 cuboids, values in ±60.

@@ -41,8 +41,13 @@ use viderec_video::codec::transcode;
 use viderec_video::{SynthConfig, Transform, VideoId, VideoSynthesizer};
 
 /// Table 2's five query topics.
-pub const TABLE2_TOPICS: [&str; 5] =
-    ["youtube", "mariah carey", "miley cyrus", "american idol", "wwe"];
+pub const TABLE2_TOPICS: [&str; 5] = [
+    "youtube",
+    "mariah carey",
+    "miley cyrus",
+    "american idol",
+    "wwe",
+];
 
 /// Generator configuration. The `hours` knob is the dataset-scale axis of
 /// Fig. 12; one paper hour maps to 12 synthetic videos (≈ the paper's clip
@@ -204,9 +209,18 @@ impl Community {
             cfg.themes >= cfg.num_topics && cfg.themes.is_multiple_of(cfg.num_topics),
             "themes must be a positive multiple of num_topics"
         );
-        assert!(cfg.true_groups >= cfg.themes, "need at least one group per theme");
-        assert!(cfg.users >= cfg.true_groups, "need at least one user per group");
-        assert!(cfg.source_months <= cfg.months, "source window exceeds timeline");
+        assert!(
+            cfg.true_groups >= cfg.themes,
+            "need at least one group per theme"
+        );
+        assert!(
+            cfg.users >= cfg.true_groups,
+            "need at least one user per group"
+        );
+        assert!(
+            cfg.source_months <= cfg.months,
+            "source window exceeds timeline"
+        );
         assert!(
             (0.0..=1.0).contains(&cfg.primary_comment_prob),
             "primary_comment_prob must be a probability"
@@ -240,14 +254,15 @@ impl Community {
         let themes_per_topic = cfg.themes / cfg.num_topics;
         let group_theme: Vec<usize> = (0..cfg.true_groups)
             .map(|g| {
-                (g % cfg.num_topics) * themes_per_topic
-                    + (g / cfg.num_topics) % themes_per_topic
+                (g % cfg.num_topics) * themes_per_topic + (g / cfg.num_topics) % themes_per_topic
             })
             .collect();
-        let story_topic: Vec<usize> =
-            (0..num_stories).map(|s| story_group[s] % cfg.num_topics).collect();
-        let story_theme: Vec<usize> =
-            (0..num_stories).map(|s| group_theme[story_group[s]]).collect();
+        let story_topic: Vec<usize> = (0..num_stories)
+            .map(|s| story_group[s] % cfg.num_topics)
+            .collect();
+        let story_theme: Vec<usize> = (0..num_stories)
+            .map(|s| group_theme[story_group[s]])
+            .collect();
 
         // --- user groups ---
         // Deliberately *uneven* group sizes: real fan bases are skewed, and
@@ -291,7 +306,8 @@ impl Community {
         }
 
         // --- content: masters + derived uploads, through the codec ---
-        let mut synth = VideoSynthesizer::new(SynthConfig::default(), cfg.num_topics, cfg.seed ^ 0xf00d);
+        let mut synth =
+            VideoSynthesizer::new(SynthConfig::default(), cfg.num_topics, cfg.seed ^ 0xf00d);
         let builder = SignatureBuilder::default();
         let mut videos: Vec<SimVideo> = Vec::with_capacity(num_videos);
         let feature_seeds: Vec<u64> = (0..num_stories).map(|_| rng.gen()).collect();
@@ -426,8 +442,9 @@ impl Community {
         // near weight 1 and remain separable by the extraction.
         let cohorts = cfg.drifters / cfg.drift_cohort.max(1);
         for _ in 0..cohorts {
-            let members: Vec<usize> =
-                (0..cfg.drift_cohort).map(|_| rng.gen_range(0..cfg.users)).collect();
+            let members: Vec<usize> = (0..cfg.drift_cohort)
+                .map(|_| rng.gen_range(0..cfg.users))
+                .collect();
             let picks: Vec<usize> = (0..cfg.drift_stories)
                 .map(|_| {
                     let s = rng.gen_range(0..num_stories);
@@ -454,7 +471,15 @@ impl Community {
         }
         comments.sort_by_key(|c| c.month);
 
-        Self { cfg, videos, comments, story_theme, story_topic, user_group, group_theme }
+        Self {
+            cfg,
+            videos,
+            comments,
+            story_theme,
+            story_topic,
+            user_group,
+            group_theme,
+        }
     }
 
     /// The generator configuration.
@@ -514,7 +539,10 @@ impl Community {
         self.comments
             .iter()
             .filter(|c| c.month == month)
-            .map(|c| SocialUpdate { video: c.video, user: c.user.clone() })
+            .map(|c| SocialUpdate {
+                video: c.video,
+                user: c.user.clone(),
+            })
             .collect()
     }
 
@@ -533,7 +561,10 @@ impl Community {
             let mut topic_videos: Vec<&SimVideo> =
                 self.videos.iter().filter(|v| v.topic == topic).collect();
             topic_videos.sort_by_key(|v| {
-                (std::cmp::Reverse(counts.get(&v.id).copied().unwrap_or(0)), v.id)
+                (
+                    std::cmp::Reverse(counts.get(&v.id).copied().unwrap_or(0)),
+                    v.id,
+                )
             });
             for v in topic_videos.iter().take(2) {
                 out.push(v.id);
@@ -544,7 +575,10 @@ impl Community {
 
     /// Per-video AFFRF features.
     pub fn affrf_features(&self) -> Vec<(VideoId, MultimodalFeatures)> {
-        self.videos.iter().map(|v| (v.id, v.features.clone())).collect()
+        self.videos
+            .iter()
+            .map(|v| (v.id, v.features.clone()))
+            .collect()
     }
 
     /// The latent group of a user id (ground truth for clustering quality).
@@ -590,11 +624,13 @@ fn story_features(
 ) -> MultimodalFeatures {
     let mut srng = StdRng::seed_from_u64(story_seed);
     let base = |dims: usize, srng: &mut StdRng| -> Vec<f64> {
-        (0..dims).map(|d| {
-            // Topic component + story component.
-            let topic_part = ((topic * 31 + d * 7) % 13) as f64 / 13.0;
-            topic_part + srng.gen_range(-0.35..0.35)
-        }).collect()
+        (0..dims)
+            .map(|d| {
+                // Topic component + story component.
+                let topic_part = ((topic * 31 + d * 7) % 13) as f64 / 13.0;
+                topic_part + srng.gen_range(-0.35..0.35)
+            })
+            .collect()
     };
     let mut text = base(24, &mut srng);
     let mut visual = base(16, &mut srng);
@@ -611,11 +647,19 @@ fn story_features(
             *t += rng.gen_range(-0.8..0.8);
         }
     } else {
-        for v in visual.iter_mut().chain(aural.iter_mut()).chain(text.iter_mut()) {
+        for v in visual
+            .iter_mut()
+            .chain(aural.iter_mut())
+            .chain(text.iter_mut())
+        {
             *v += rng.gen_range(-0.05..0.05);
         }
     }
-    MultimodalFeatures { text, visual, aural }
+    MultimodalFeatures {
+        text,
+        visual,
+        aural,
+    }
 }
 
 #[cfg(test)]
@@ -752,9 +796,8 @@ mod tests {
         let c = tiny();
         let corpus = c.corpus_through(16);
         let users: Vec<&Vec<String>> = corpus.iter().map(|v| &v.users).collect();
-        let overlap = |a: &[String], b: &[String]| {
-            a.iter().filter(|u| b.contains(u)).count() as f64
-        };
+        let overlap =
+            |a: &[String], b: &[String]| a.iter().filter(|u| b.contains(u)).count() as f64;
         let mut same_theme = (0.0, 0usize);
         let mut cross_theme = (0.0, 0usize);
         for i in 0..corpus.len() {

@@ -9,9 +9,7 @@ use crate::metrics::{EffMetrics, RatedList};
 use crate::ratings::RatingPanel;
 use std::time::Instant;
 use viderec_core::baselines::AffrfRecommender;
-use viderec_core::{
-    fuse_fj, QueryVideo, Recommender, RecommenderConfig, SocialUpdate, Strategy,
-};
+use viderec_core::{fuse_fj, QueryVideo, Recommender, RecommenderConfig, SocialUpdate, Strategy};
 use viderec_signature::{series_dtw_similarity, series_erp_similarity};
 use viderec_video::VideoId;
 
@@ -122,7 +120,9 @@ pub fn content_measures(community: &Community, seed: u64) -> Vec<(&'static str, 
         ),
         (
             "kJ",
-            Box::new(|q: &QueryVideo, v: VideoId| q.series.kappa_j(recommender.series_of(v).unwrap())),
+            Box::new(|q: &QueryVideo, v: VideoId| {
+                q.series.kappa_j(recommender.series_of(v).unwrap())
+            }),
         ),
     ];
     let all_ids: Vec<VideoId> = community.videos.iter().map(|v| v.id).collect();
@@ -181,28 +181,31 @@ pub fn omega_sweep(community: &Community, omegas: &[f64], seed: u64) -> Vec<(f64
 pub fn k_sweep(community: &Community, ks: &[usize], seed: u64) -> Vec<(usize, EffTriple)> {
     let panel = RatingPanel::paper_panel(seed);
     let run_one = |&k: &usize| {
-            let recommender =
-                build_recommender(community, RecommenderConfig::default().with_k(k));
-            let queries = query_set(community, &recommender);
-            let lists: Vec<RatedList> = queries
-                .iter()
-                .map(|(qid, q)| {
-                    let scored: Vec<(VideoId, f64)> = recommender
-                        .score_components_sar(q)
-                        .into_iter()
-                        .map(|(v, kappa, sj)| {
-                            (v, fuse_fj(recommender.config().omega, kappa, sj))
-                        })
-                        .collect();
-                    let ranked = top_by_score(scored, *qid, 20);
-                    rate_list(community, &panel, *qid, &ranked)
-                })
-                .collect();
-            (k, EffTriple::from_lists(&lists))
+        let recommender = build_recommender(community, RecommenderConfig::default().with_k(k));
+        let queries = query_set(community, &recommender);
+        let lists: Vec<RatedList> = queries
+            .iter()
+            .map(|(qid, q)| {
+                let scored: Vec<(VideoId, f64)> = recommender
+                    .score_components_sar(q)
+                    .into_iter()
+                    .map(|(v, kappa, sj)| (v, fuse_fj(recommender.config().omega, kappa, sj)))
+                    .collect();
+                let ranked = top_by_score(scored, *qid, 20);
+                rate_list(community, &panel, *qid, &ranked)
+            })
+            .collect();
+        (k, EffTriple::from_lists(&lists))
     };
     crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = ks.iter().map(|k| scope.spawn(move |_| run_one(k))).collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
+        let handles: Vec<_> = ks
+            .iter()
+            .map(|k| scope.spawn(move |_| run_one(k)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread"))
+            .collect()
     })
     .expect("crossbeam scope")
 }
@@ -238,8 +241,10 @@ pub fn compare_approaches(community: &Community, seed: u64) -> Vec<(&'static str
         let lists: Vec<RatedList> = components
             .iter()
             .map(|(qid, comps)| {
-                let scored: Vec<(VideoId, f64)> =
-                    comps.iter().map(|&(v, kappa, sj)| (v, f(kappa, sj))).collect();
+                let scored: Vec<(VideoId, f64)> = comps
+                    .iter()
+                    .map(|&(v, kappa, sj)| (v, f(kappa, sj)))
+                    .collect();
                 let ranked = top_by_score(scored, *qid, 20);
                 rate_list(community, &panel, *qid, &ranked)
             })
@@ -348,8 +353,7 @@ pub fn update_cost(community: &Community) -> Vec<UpdateCostRow> {
     let cfg = community.config().clone();
     (1..=cfg.months - cfg.source_months)
         .map(|window| {
-            let mut recommender =
-                build_recommender(community, RecommenderConfig::default());
+            let mut recommender = build_recommender(community, RecommenderConfig::default());
             let updates: Vec<SocialUpdate> = (cfg.source_months..cfg.source_months + window)
                 .flat_map(|m| community.updates_in_month(m))
                 .collect();
@@ -492,7 +496,10 @@ mod tests {
         let rows = update_cost(&c);
         assert_eq!(rows.len(), 4);
         for w in rows.windows(2) {
-            assert!(w[1].updates >= w[0].updates, "larger windows see more updates");
+            assert!(
+                w[1].updates >= w[0].updates,
+                "larger windows see more updates"
+            );
         }
     }
 

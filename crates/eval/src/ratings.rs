@@ -27,8 +27,14 @@ impl RatingPanel {
         assert!(evaluators > 0, "need at least one evaluator");
         assert!(noise >= 0.0, "noise must be non-negative");
         let mut rng = StdRng::seed_from_u64(seed);
-        let biases = (0..evaluators).map(|_| rng.gen_range(-0.25..0.25)).collect();
-        Self { biases, noise, seed }
+        let biases = (0..evaluators)
+            .map(|_| rng.gen_range(-0.25..0.25))
+            .collect();
+        Self {
+            biases,
+            noise,
+            seed,
+        }
     }
 
     /// The paper's panel: 10 raters, moderate jitter.
@@ -52,8 +58,9 @@ impl RatingPanel {
             .iter()
             .enumerate()
             .map(|(e, &bias)| {
-                let mut rng =
-                    StdRng::seed_from_u64(self.seed ^ judgement_id.wrapping_mul(0x9e37_79b9) ^ (e as u64) << 32);
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed ^ judgement_id.wrapping_mul(0x9e37_79b9) ^ (e as u64) << 32,
+                );
                 let noise = rng.gen_range(-self.noise..=self.noise);
                 (base + bias + noise).clamp(1.0, 5.0)
             })

@@ -51,7 +51,11 @@ impl<V> BPlusTree<V> {
     /// Empty tree.
     pub fn new() -> Self {
         Self {
-            nodes: vec![Node::Leaf { entries: Vec::new(), prev: None, next: None }],
+            nodes: vec![Node::Leaf {
+                entries: Vec::new(),
+                prev: None,
+                next: None,
+            }],
             root: 0,
             len: 0,
             distinct: 0,
@@ -105,7 +109,9 @@ impl<V> BPlusTree<V> {
     /// The values stored under `key`.
     pub fn get(&self, key: u128) -> Option<&[V]> {
         let leaf = self.find_leaf(key);
-        let Node::Leaf { entries, .. } = &self.nodes[leaf] else { unreachable!() };
+        let Node::Leaf { entries, .. } = &self.nodes[leaf] else {
+            unreachable!()
+        };
         entries
             .binary_search_by_key(&key, |e| e.0)
             .ok()
@@ -118,7 +124,10 @@ impl<V> BPlusTree<V> {
         if let Some((sep, right)) = self.insert_rec(self.root, key, value) {
             // Root split: grow the tree by one level.
             let old_root = self.root;
-            self.nodes.push(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.nodes.push(Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            });
             self.root = self.nodes.len() - 1;
         }
     }
@@ -127,23 +136,21 @@ impl<V> BPlusTree<V> {
     /// child split.
     fn insert_rec(&mut self, node: usize, key: u128, value: V) -> Option<(u128, usize)> {
         match &mut self.nodes[node] {
-            Node::Leaf { entries, .. } => {
-                match entries.binary_search_by_key(&key, |e| e.0) {
-                    Ok(i) => {
-                        entries[i].1.push(value);
+            Node::Leaf { entries, .. } => match entries.binary_search_by_key(&key, |e| e.0) {
+                Ok(i) => {
+                    entries[i].1.push(value);
+                    None
+                }
+                Err(i) => {
+                    entries.insert(i, (key, vec![value]));
+                    self.distinct += 1;
+                    if entries.len() > MAX_ENTRIES {
+                        Some(self.split_leaf(node))
+                    } else {
                         None
                     }
-                    Err(i) => {
-                        entries.insert(i, (key, vec![value]));
-                        self.distinct += 1;
-                        if entries.len() > MAX_ENTRIES {
-                            Some(self.split_leaf(node))
-                        } else {
-                            None
-                        }
-                    }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|&k| k <= key);
                 let child = children[idx];
@@ -164,15 +171,23 @@ impl<V> BPlusTree<V> {
 
     fn split_leaf(&mut self, node: usize) -> (u128, usize) {
         let new_idx = self.nodes.len();
-        let Node::Leaf { entries, next, .. } = &mut self.nodes[node] else { unreachable!() };
+        let Node::Leaf { entries, next, .. } = &mut self.nodes[node] else {
+            unreachable!()
+        };
         let mid = entries.len() / 2;
         let right_entries = entries.split_off(mid);
         let sep = right_entries[0].0;
         let old_next = *next;
         *next = Some(new_idx);
-        self.nodes.push(Node::Leaf { entries: right_entries, prev: Some(node), next: old_next });
+        self.nodes.push(Node::Leaf {
+            entries: right_entries,
+            prev: Some(node),
+            next: old_next,
+        });
         if let Some(on) = old_next {
-            let Node::Leaf { prev, .. } = &mut self.nodes[on] else { unreachable!() };
+            let Node::Leaf { prev, .. } = &mut self.nodes[on] else {
+                unreachable!()
+            };
             *prev = Some(new_idx);
         }
         (sep, new_idx)
@@ -180,13 +195,18 @@ impl<V> BPlusTree<V> {
 
     fn split_internal(&mut self, node: usize) -> (u128, usize) {
         let new_idx = self.nodes.len();
-        let Node::Internal { keys, children } = &mut self.nodes[node] else { unreachable!() };
+        let Node::Internal { keys, children } = &mut self.nodes[node] else {
+            unreachable!()
+        };
         let mid = keys.len() / 2;
         let sep = keys[mid];
         let right_keys = keys.split_off(mid + 1);
         keys.pop(); // the separator moves up
         let right_children = children.split_off(mid + 1);
-        self.nodes.push(Node::Internal { keys: right_keys, children: right_children });
+        self.nodes.push(Node::Internal {
+            keys: right_keys,
+            children: right_children,
+        });
         (sep, new_idx)
     }
 
@@ -203,7 +223,9 @@ impl<V> BPlusTree<V> {
         V: PartialEq,
     {
         let leaf = self.find_leaf(key);
-        let Node::Leaf { entries, .. } = &mut self.nodes[leaf] else { unreachable!() };
+        let Node::Leaf { entries, .. } = &mut self.nodes[leaf] else {
+            unreachable!()
+        };
         let Ok(idx) = entries.binary_search_by_key(&key, |e| e.0) else {
             return false;
         };
@@ -224,14 +246,18 @@ impl<V> BPlusTree<V> {
     /// Walks past leaves emptied by lazy deletion.
     fn lower_bound_pos(&self, key: u128) -> Option<(usize, usize)> {
         let leaf = self.find_leaf(key);
-        let Node::Leaf { entries, next, .. } = &self.nodes[leaf] else { unreachable!() };
+        let Node::Leaf { entries, next, .. } = &self.nodes[leaf] else {
+            unreachable!()
+        };
         let idx = entries.partition_point(|e| e.0 < key);
         if idx < entries.len() {
             return Some((leaf, idx));
         }
         let mut n = *next;
         while let Some(nl) = n {
-            let Node::Leaf { entries, next, .. } = &self.nodes[nl] else { unreachable!() };
+            let Node::Leaf { entries, next, .. } = &self.nodes[nl] else {
+                unreachable!()
+            };
             if !entries.is_empty() {
                 return Some((nl, 0));
             }
@@ -242,7 +268,10 @@ impl<V> BPlusTree<V> {
 
     /// Forward cursor from the first key `>= key`.
     pub fn cursor_forward(&self, key: u128) -> ForwardCursor<'_, V> {
-        ForwardCursor { tree: self, pos: self.lower_bound_pos(key) }
+        ForwardCursor {
+            tree: self,
+            pos: self.lower_bound_pos(key),
+        }
     }
 
     /// Backward cursor from the last key `< key`.
@@ -259,10 +288,14 @@ impl<V> BPlusTree<V> {
         if idx > 0 {
             return Some((leaf, idx - 1));
         }
-        let Node::Leaf { prev, .. } = &self.nodes[leaf] else { unreachable!() };
+        let Node::Leaf { prev, .. } = &self.nodes[leaf] else {
+            unreachable!()
+        };
         let mut p = *prev;
         while let Some(pl) = p {
-            let Node::Leaf { entries, prev, .. } = &self.nodes[pl] else { unreachable!() };
+            let Node::Leaf { entries, prev, .. } = &self.nodes[pl] else {
+                unreachable!()
+            };
             if !entries.is_empty() {
                 return Some((pl, entries.len() - 1));
             }
@@ -272,13 +305,17 @@ impl<V> BPlusTree<V> {
     }
 
     fn step_right(&self, (leaf, idx): (usize, usize)) -> Option<(usize, usize)> {
-        let Node::Leaf { entries, next, .. } = &self.nodes[leaf] else { unreachable!() };
+        let Node::Leaf { entries, next, .. } = &self.nodes[leaf] else {
+            unreachable!()
+        };
         if idx + 1 < entries.len() {
             return Some((leaf, idx + 1));
         }
         let mut n = *next;
         while let Some(nl) = n {
-            let Node::Leaf { entries, next, .. } = &self.nodes[nl] else { unreachable!() };
+            let Node::Leaf { entries, next, .. } = &self.nodes[nl] else {
+                unreachable!()
+            };
             if !entries.is_empty() {
                 return Some((nl, 0));
             }
@@ -314,7 +351,9 @@ impl<V> BPlusTree<V> {
     }
 
     fn entry_at(&self, (leaf, idx): (usize, usize)) -> (u128, &[V]) {
-        let Node::Leaf { entries, .. } = &self.nodes[leaf] else { unreachable!() };
+        let Node::Leaf { entries, .. } = &self.nodes[leaf] else {
+            unreachable!()
+        };
         (entries[idx].0, entries[idx].1.as_slice())
     }
 
@@ -348,7 +387,10 @@ impl<V> BPlusTree<V> {
             return Err(format!("len {} but iterated {count}", self.len));
         }
         if distinct != self.distinct {
-            return Err(format!("distinct {} but iterated {distinct}", self.distinct));
+            return Err(format!(
+                "distinct {} but iterated {distinct}",
+                self.distinct
+            ));
         }
         // Uniform depth.
         fn depth_of<V>(nodes: &[Node<V>], n: usize) -> Result<usize, String> {
@@ -475,10 +517,8 @@ mod tests {
         for (k, vs) in &model {
             assert_eq!(ours.get(*k), Some(vs.as_slice()));
         }
-        let flat_ours: Vec<(u128, Vec<u32>)> =
-            ours.iter().map(|(k, v)| (k, v.to_vec())).collect();
-        let flat_model: Vec<(u128, Vec<u32>)> =
-            model.into_iter().collect();
+        let flat_ours: Vec<(u128, Vec<u32>)> = ours.iter().map(|(k, v)| (k, v.to_vec())).collect();
+        let flat_model: Vec<(u128, Vec<u32>)> = model.into_iter().collect();
         assert_eq!(flat_ours, flat_model);
     }
 
@@ -577,8 +617,7 @@ mod tests {
             }
         }
         ours.check_invariants().unwrap();
-        let flat_ours: Vec<(u128, Vec<u32>)> =
-            ours.iter().map(|(k, v)| (k, v.to_vec())).collect();
+        let flat_ours: Vec<(u128, Vec<u32>)> = ours.iter().map(|(k, v)| (k, v.to_vec())).collect();
         let flat_model: Vec<(u128, Vec<u32>)> = model.into_iter().collect();
         assert_eq!(flat_ours, flat_model);
     }

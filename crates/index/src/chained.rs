@@ -43,7 +43,12 @@ impl<V: Clone> ChainedHashTable<V> {
     /// Panics if `num_buckets` is zero.
     pub fn with_hasher(num_buckets: usize, hasher: ShiftAddXor) -> Self {
         assert!(num_buckets > 0, "need at least one bucket");
-        Self { hasher, buckets: vec![None; num_buckets], arena: Vec::new(), len: 0 }
+        Self {
+            hasher,
+            buckets: vec![None; num_buckets],
+            arena: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Number of stored keys.
@@ -74,7 +79,11 @@ impl<V: Clone> ChainedHashTable<V> {
             cursor = self.arena[i].next;
         }
         // Head insertion.
-        let node = Triad { key: key.to_owned(), cno, next: self.buckets[b] };
+        let node = Triad {
+            key: key.to_owned(),
+            cno,
+            next: self.buckets[b],
+        };
         self.arena.push(node);
         self.buckets[b] = Some(self.arena.len() - 1);
         self.len += 1;
@@ -246,7 +255,10 @@ mod tests {
         }
         assert_eq!(t.mean_chain_length(), 5.0);
         let (_, probes) = t.get_counted("user9");
-        assert!(probes <= 5, "removed nodes still on the chain: {probes} probes");
+        assert!(
+            probes <= 5,
+            "removed nodes still on the chain: {probes} probes"
+        );
         for i in 5..10u32 {
             t.remove(&format!("user{i}"));
         }

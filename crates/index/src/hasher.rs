@@ -33,7 +33,10 @@ impl ShiftAddXor {
     /// # Panics
     /// Panics if either shift is zero or ≥ 64 (the mix would degenerate).
     pub fn new(seed: u64, left: u32, right: u32) -> Self {
-        assert!(left > 0 && left < 64 && right > 0 && right < 64, "bad shift amounts");
+        assert!(
+            left > 0 && left < 64 && right > 0 && right < 64,
+            "bad shift amounts"
+        );
         Self { seed, left, right }
     }
 
@@ -96,7 +99,11 @@ mod tests {
         let distinct: std::collections::HashSet<usize> = codes.iter().copied().collect();
         // With 64 keys in 64 buckets a decent hash keeps well over half the
         // buckets distinct (expected ≈ 1 − 1/e ≈ 63%).
-        assert!(distinct.len() >= 32, "only {} distinct buckets", distinct.len());
+        assert!(
+            distinct.len() >= 32,
+            "only {} distinct buckets",
+            distinct.len()
+        );
     }
 
     #[test]

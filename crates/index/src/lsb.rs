@@ -29,7 +29,13 @@ pub struct LsbConfig {
 
 impl Default for LsbConfig {
     fn default() -> Self {
-        Self { trees: 4, hashes_per_tree: 8, bits: 12, bucket_width: 4.0, seed: 0x15b }
+        Self {
+            trees: 4,
+            hashes_per_tree: 8,
+            bits: 12,
+            bucket_width: 4.0,
+            seed: 0x15b,
+        }
     }
 }
 
@@ -65,12 +71,22 @@ impl<P: Clone + Eq + std::hash::Hash> LsbForest<P> {
         let trees = (0..cfg.trees)
             .map(|t| {
                 (
-                    CauchyLsh::new(cfg.hashes_per_tree, dims, cfg.bucket_width, cfg.seed + t as u64),
+                    CauchyLsh::new(
+                        cfg.hashes_per_tree,
+                        dims,
+                        cfg.bucket_width,
+                        cfg.seed + t as u64,
+                    ),
                     BPlusTree::new(),
                 )
             })
             .collect();
-        Self { cfg, dims, trees, len: 0 }
+        Self {
+            cfg,
+            dims,
+            trees,
+            len: 0,
+        }
     }
 
     /// Number of indexed points.
@@ -171,7 +187,13 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn cfg() -> LsbConfig {
-        LsbConfig { trees: 4, hashes_per_tree: 6, bits: 10, bucket_width: 2.0, seed: 9 }
+        LsbConfig {
+            trees: 4,
+            hashes_per_tree: 6,
+            bits: 10,
+            bucket_width: 2.0,
+            seed: 9,
+        }
     }
 
     fn random_point(rng: &mut StdRng, dims: usize, scale: f64) -> Vec<f64> {
@@ -206,7 +228,10 @@ mod tests {
         }
         let res = f.query(&[0.0, 0.0, 0.0, 0.0], 10);
         let near_hits = res.iter().filter(|c| c.payload < 10).count();
-        assert!(near_hits >= 7, "only {near_hits}/10 candidates from the near cluster");
+        assert!(
+            near_hits >= 7,
+            "only {near_hits}/10 candidates from the near cluster"
+        );
     }
 
     #[test]
@@ -255,7 +280,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "bit budget")]
     fn oversized_bits_rejected() {
-        let cfg = LsbConfig { hashes_per_tree: 16, bits: 16, ..Default::default() };
+        let cfg = LsbConfig {
+            hashes_per_tree: 16,
+            bits: 16,
+            ..Default::default()
+        };
         let _f: LsbForest<u8> = LsbForest::new(cfg, 2);
     }
 }

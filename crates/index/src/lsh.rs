@@ -33,7 +33,10 @@ impl CauchyLsh {
     /// # Panics
     /// Panics if `m` or `dims` is zero or `w` is not positive.
     pub fn new(m: usize, dims: usize, w: f64, seed: u64) -> Self {
-        assert!(m > 0 && dims > 0, "need at least one function and dimension");
+        assert!(
+            m > 0 && dims > 0,
+            "need at least one function and dimension"
+        );
         assert!(w > 0.0, "bucket width must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let a = (0..m)

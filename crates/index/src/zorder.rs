@@ -79,8 +79,9 @@ mod tests {
         for _ in 0..200 {
             let dims = rng.gen_range(1..8usize);
             let bits = rng.gen_range(1..=(128 / dims as u32).min(16));
-            let coords: Vec<u64> =
-                (0..dims).map(|_| rng.gen_range(0..(1u64 << bits))).collect();
+            let coords: Vec<u64> = (0..dims)
+                .map(|_| rng.gen_range(0..(1u64 << bits)))
+                .collect();
             let z = zorder_encode(&coords, bits);
             assert_eq!(zorder_decode(z, dims, bits), coords);
         }

@@ -39,7 +39,10 @@ impl OrdinalSignature {
                 rank_vector(grid.values())
             })
             .collect();
-        Self { ranks, blocks: cols * rows }
+        Self {
+            ranks,
+            blocks: cols * rows,
+        }
     }
 
     /// Normalised ordinal distance in `[0, 1]`: mean absolute rank
@@ -172,7 +175,11 @@ impl CentroidSignature {
     pub fn distance(&self, other: &CentroidSignature) -> f64 {
         let common = self.moves.len().min(other.moves.len());
         if common == 0 {
-            return if self.moves.len() == other.moves.len() { 0.0 } else { f64::INFINITY };
+            return if self.moves.len() == other.moves.len() {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         let total: f64 = self.moves[..common]
             .iter()
@@ -222,7 +229,11 @@ mod tests {
         // more than a photometric change does.
         let v = synth(3, 0);
         let photometric = Transform::BrightnessShift(10).apply(&v);
-        let edited = Transform::LogoOverlay { fraction: 0.4, intensity: 255 }.apply(&v);
+        let edited = Transform::LogoOverlay {
+            fraction: 0.4,
+            intensity: 255,
+        }
+        .apply(&v);
         let s = OrdinalSignature::extract(&v, 4, 4, 5);
         let sp = OrdinalSignature::extract(&photometric, 4, 4, 5);
         let se = OrdinalSignature::extract(&edited, 4, 4, 5);

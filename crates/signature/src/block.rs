@@ -18,7 +18,11 @@ pub struct BlockGrid {
 impl BlockGrid {
     /// Partitions `frame` into a `cols × rows` grid of block averages.
     pub fn from_frame(frame: &Frame, cols: usize, rows: usize) -> Self {
-        Self { cols, rows, values: frame.block_grid(cols, rows) }
+        Self {
+            cols,
+            rows,
+            values: frame.block_grid(cols, rows),
+        }
     }
 
     /// Builds a grid directly from values (tests, synthetic inputs).

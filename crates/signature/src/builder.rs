@@ -46,7 +46,10 @@ pub struct SignatureBuilder {
 impl SignatureBuilder {
     /// Builder with the given configuration.
     pub fn new(cfg: SignatureConfig) -> Self {
-        assert!(cfg.grid_cols > 0 && cfg.grid_rows > 0, "grid must be non-empty");
+        assert!(
+            cfg.grid_cols > 0 && cfg.grid_rows > 0,
+            "grid must be non-empty"
+        );
         assert!(cfg.q >= 2, "q-grams need q >= 2");
         assert!(cfg.keyframes_per_segment >= 1, "need at least one keyframe");
         Self { cfg }
@@ -142,7 +145,10 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let cfg = SignatureConfig { q: 1, ..Default::default() };
+        let cfg = SignatureConfig {
+            q: 1,
+            ..Default::default()
+        };
         let r = std::panic::catch_unwind(|| SignatureBuilder::new(cfg));
         assert!(r.is_err());
     }

@@ -38,7 +38,9 @@ impl CuboidSignature {
     pub fn new(cuboids: Vec<Cuboid>) -> Self {
         assert!(!cuboids.is_empty(), "signature needs at least one cuboid");
         assert!(
-            cuboids.iter().all(|c| c.weight > 0.0 && c.value.is_finite()),
+            cuboids
+                .iter()
+                .all(|c| c.weight > 0.0 && c.value.is_finite()),
             "cuboids must have positive weight and finite value"
         );
         let mass: f64 = cuboids.iter().map(|c| c.weight).sum();
@@ -54,12 +56,7 @@ impl CuboidSignature {
     /// 3. each region becomes one cuboid: `v` = mean over member blocks and
     ///    over the q−1 temporal transitions of the block intensity change,
     ///    `μ` = region size / grid size.
-    pub fn from_qgram(
-        gram: &QGram,
-        cols: usize,
-        rows: usize,
-        merge_threshold: f64,
-    ) -> Self {
+    pub fn from_qgram(gram: &QGram, cols: usize, rows: usize, merge_threshold: f64) -> Self {
         assert!(gram.q() >= 2, "need at least a bigram");
         let grids: Vec<BlockGrid> = gram
             .frames
@@ -176,7 +173,10 @@ mod tests {
         // Two intensity groups in the reference: {10,12} and {200,202};
         // group one brightens by 30, group two dims by 10.
         let g = gram_from_intensities(
-            vec![quad_frame([10, 12, 200, 202]), quad_frame([40, 42, 190, 192])],
+            vec![
+                quad_frame([10, 12, 200, 202]),
+                quad_frame([40, 42, 190, 192]),
+            ],
             8,
             8,
         );
@@ -205,7 +205,10 @@ mod tests {
     fn brightness_shift_invariance() {
         // A global +15 shift on both frames leaves all temporal deltas
         // unchanged — the robustness property §4.1 claims.
-        let base = vec![quad_frame([50, 90, 130, 170]), quad_frame([60, 85, 140, 165])];
+        let base = vec![
+            quad_frame([50, 90, 130, 170]),
+            quad_frame([60, 85, 140, 165]),
+        ];
         let shifted: Vec<Vec<u8>> = base
             .iter()
             .map(|f| f.iter().map(|&p| p + 15).collect())
@@ -220,21 +223,9 @@ mod tests {
 
     #[test]
     fn similarity_decreases_with_motion_difference() {
-        let still = gram_from_intensities(
-            vec![quad_frame([100; 4]), quad_frame([100; 4])],
-            8,
-            8,
-        );
-        let slow = gram_from_intensities(
-            vec![quad_frame([100; 4]), quad_frame([110; 4])],
-            8,
-            8,
-        );
-        let fast = gram_from_intensities(
-            vec![quad_frame([100; 4]), quad_frame([180; 4])],
-            8,
-            8,
-        );
+        let still = gram_from_intensities(vec![quad_frame([100; 4]), quad_frame([100; 4])], 8, 8);
+        let slow = gram_from_intensities(vec![quad_frame([100; 4]), quad_frame([110; 4])], 8, 8);
+        let fast = gram_from_intensities(vec![quad_frame([100; 4]), quad_frame([180; 4])], 8, 8);
         let s_still = CuboidSignature::from_qgram(&still, 2, 2, 5.0);
         let s_slow = CuboidSignature::from_qgram(&slow, 2, 2, 5.0);
         let s_fast = CuboidSignature::from_qgram(&fast, 2, 2, 5.0);
@@ -245,7 +236,11 @@ mod tests {
     fn trigram_averages_transitions() {
         // 3 keyframes with +10 then +30 per step → average change 20.
         let g = gram_from_intensities(
-            vec![quad_frame([50; 4]), quad_frame([60; 4]), quad_frame([90; 4])],
+            vec![
+                quad_frame([50; 4]),
+                quad_frame([60; 4]),
+                quad_frame([90; 4]),
+            ],
             8,
             8,
         );
@@ -256,7 +251,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "mass")]
     fn unnormalised_rejected() {
-        CuboidSignature::new(vec![Cuboid { value: 0.0, weight: 0.5 }]);
+        CuboidSignature::new(vec![Cuboid {
+            value: 0.0,
+            weight: 0.5,
+        }]);
     }
 
     #[test]

@@ -62,18 +62,13 @@ pub fn kappa_j_series(a: &SignatureSeries, b: &SignatureSeries, cfg: MatchingCon
 /// value as [`kappa_j_series`] (the bound is sound); it is the "LSH-based
 /// optimization … to reduce the number of EMD-based signature measures" of
 /// §4.1 in filter form, and the hot path used by the recommender.
-pub fn kappa_j_series_pruned(
-    a: &SignatureSeries,
-    b: &SignatureSeries,
-    cfg: MatchingConfig,
-) -> f64 {
+pub fn kappa_j_series_pruned(a: &SignatureSeries, b: &SignatureSeries, cfg: MatchingConfig) -> f64 {
     if cfg.min_similarity <= 0.0 {
         return kappa_j_series(a, b, cfg);
     }
     let radius = 1.0 / cfg.min_similarity - 1.0;
-    let mean = |sig: &CuboidSignature| -> f64 {
-        sig.cuboids().iter().map(|c| c.value * c.weight).sum()
-    };
+    let mean =
+        |sig: &CuboidSignature| -> f64 { sig.cuboids().iter().map(|c| c.value * c.weight).sum() };
     let means_a: Vec<f64> = a.signatures().iter().map(mean).collect();
     let means_b: Vec<f64> = b.signatures().iter().map(mean).collect();
     extended_jaccard(
@@ -123,7 +118,10 @@ mod tests {
     use crate::cuboid::Cuboid;
 
     fn sig(v: f64) -> CuboidSignature {
-        CuboidSignature::new(vec![Cuboid { value: v, weight: 1.0 }])
+        CuboidSignature::new(vec![Cuboid {
+            value: v,
+            weight: 1.0,
+        }])
     }
 
     fn series(vals: &[f64]) -> SignatureSeries {
@@ -184,12 +182,8 @@ mod tests {
         let a = series(&[0.0, 7.0, 2.0]);
         let b = series(&[5.0, 1.0]);
         assert!((a.kappa_j(&b) - b.kappa_j(&a)).abs() < 1e-12);
-        assert!(
-            (series_dtw_similarity(&a, &b) - series_dtw_similarity(&b, &a)).abs() < 1e-12
-        );
-        assert!(
-            (series_erp_similarity(&a, &b) - series_erp_similarity(&b, &a)).abs() < 1e-12
-        );
+        assert!((series_dtw_similarity(&a, &b) - series_dtw_similarity(&b, &a)).abs() < 1e-12);
+        assert!((series_erp_similarity(&a, &b) - series_erp_similarity(&b, &a)).abs() < 1e-12);
     }
 
     #[test]
@@ -200,10 +194,20 @@ mod tests {
         for _ in 0..40 {
             let n = rng.gen_range(1..12);
             let m = rng.gen_range(1..12);
-            let a = series(&(0..n).map(|_| rng.gen_range(-80.0..80.0)).collect::<Vec<_>>());
-            let b = series(&(0..m).map(|_| rng.gen_range(-80.0..80.0)).collect::<Vec<_>>());
+            let a = series(
+                &(0..n)
+                    .map(|_| rng.gen_range(-80.0..80.0))
+                    .collect::<Vec<_>>(),
+            );
+            let b = series(
+                &(0..m)
+                    .map(|_| rng.gen_range(-80.0..80.0))
+                    .collect::<Vec<_>>(),
+            );
             for tau in [0.0, 0.3, 0.5, 0.8] {
-                let cfg = MatchingConfig { min_similarity: tau };
+                let cfg = MatchingConfig {
+                    min_similarity: tau,
+                };
                 let exact = kappa_j_series(&a, &b, cfg);
                 let pruned = kappa_j_series_pruned(&a, &b, cfg);
                 assert!(
@@ -222,8 +226,16 @@ mod tests {
         for _ in 0..30 {
             let n = rng.gen_range(1..10);
             let m = rng.gen_range(1..10);
-            let a = series(&(0..n).map(|_| rng.gen_range(-50.0..50.0)).collect::<Vec<_>>());
-            let b = series(&(0..m).map(|_| rng.gen_range(-50.0..50.0)).collect::<Vec<_>>());
+            let a = series(
+                &(0..n)
+                    .map(|_| rng.gen_range(-50.0..50.0))
+                    .collect::<Vec<_>>(),
+            );
+            let b = series(
+                &(0..m)
+                    .map(|_| rng.gen_range(-50.0..50.0))
+                    .collect::<Vec<_>>(),
+            );
             let k = a.kappa_j(&b);
             assert!((0.0..=1.0 + 1e-12).contains(&k), "κJ = {k}");
         }

@@ -7,31 +7,27 @@ use viderec_video::{Frame, QGram, Transform, Video, VideoId};
 
 /// A random q-gram of `q` frames on an 16×16 canvas with 4×4-block structure.
 fn qgram_strategy() -> impl Strategy<Value = QGram> {
-    (2..4usize, prop::collection::vec(0..=255u8, 16))
-        .prop_flat_map(|(q, base_blocks)| {
-            prop::collection::vec(prop::collection::vec(-20i32..20, 16), q)
-                .prop_map(move |deltas| {
-                    let frames = deltas
-                        .iter()
-                        .map(|frame_deltas| {
-                            let mut data = vec![0u8; 256];
-                            for (b, (&base, &d)) in
-                                base_blocks.iter().zip(frame_deltas).enumerate()
-                            {
-                                let v = (base as i32 + d).clamp(0, 255) as u8;
-                                let (bx, by) = (b % 4, b / 4);
-                                for y in 0..4 {
-                                    for x in 0..4 {
-                                        data[(by * 4 + y) * 16 + bx * 4 + x] = v;
-                                    }
-                                }
+    (2..4usize, prop::collection::vec(0..=255u8, 16)).prop_flat_map(|(q, base_blocks)| {
+        prop::collection::vec(prop::collection::vec(-20i32..20, 16), q).prop_map(move |deltas| {
+            let frames = deltas
+                .iter()
+                .map(|frame_deltas| {
+                    let mut data = vec![0u8; 256];
+                    for (b, (&base, &d)) in base_blocks.iter().zip(frame_deltas).enumerate() {
+                        let v = (base as i32 + d).clamp(0, 255) as u8;
+                        let (bx, by) = (b % 4, b / 4);
+                        for y in 0..4 {
+                            for x in 0..4 {
+                                data[(by * 4 + y) * 16 + bx * 4 + x] = v;
                             }
-                            Frame::from_data(16, 16, data)
-                        })
-                        .collect();
-                    QGram { segment: 0, frames }
+                        }
+                    }
+                    Frame::from_data(16, 16, data)
                 })
+                .collect();
+            QGram { segment: 0, frames }
         })
+    })
 }
 
 proptest! {

@@ -28,6 +28,60 @@ pub fn sar_similarity(a: &[u32], b: &[u32]) -> f64 {
     }
 }
 
+/// `s̃J` of two histograms in *sparse* form: sorted `(slot, count)` pairs
+/// with strictly increasing slots and non-zero counts. Descriptors are
+/// sparse in practice — a video engages a handful of users, the community
+/// count `k` is 60+ — so the linear merge touches only the occupied slots of
+/// either side instead of all `k` dimensions.
+///
+/// Slots absent from a vector are implicit zeros, so two sparse vectors of
+/// different "dimensionality" compare exactly like their zero-padded dense
+/// counterparts: `sar_similarity_sparse(sparsify(a), sparsify(b)) ==
+/// sar_similarity(a, b)` for any equal-length dense `a`, `b`.
+pub fn sar_similarity_sparse(a: &[(u32, u32)], b: &[(u32, u32)]) -> f64 {
+    let mut num = 0u64;
+    let mut den = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (sa, ca) = a[i];
+        let (sb, cb) = b[j];
+        match sa.cmp(&sb) {
+            std::cmp::Ordering::Less => {
+                den += ca as u64;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                den += cb as u64;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                num += ca.min(cb) as u64;
+                den += ca.max(cb) as u64;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    den += a[i..].iter().map(|&(_, c)| c as u64).sum::<u64>();
+    den += b[j..].iter().map(|&(_, c)| c as u64).sum::<u64>();
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Converts a dense histogram into the sorted sparse `(slot, count)` form
+/// [`sar_similarity_sparse`] consumes, dropping zero slots.
+pub fn sparsify(dense: &[u32]) -> Vec<(u32, u32)> {
+    dense
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(slot, &c)| (slot as u32, c))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,10 +152,7 @@ mod tests {
                 .collect();
             let exact = social_jaccard(&da, &db);
             let approx = sar_similarity(&dict.vectorize(&da), &dict.vectorize(&db));
-            assert!(
-                approx >= exact - 1e-12,
-                "SAR {approx} below exact {exact}"
-            );
+            assert!(approx >= exact - 1e-12, "SAR {approx} below exact {exact}");
         }
     }
 
@@ -123,5 +174,57 @@ mod tests {
     #[should_panic(expected = "dimensionality mismatch")]
     fn mismatched_dims_rejected() {
         sar_similarity(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn sparsify_drops_zero_slots_and_keeps_order() {
+        assert_eq!(sparsify(&[0, 3, 0, 1]), vec![(1, 3), (3, 1)]);
+        assert!(sparsify(&[0, 0]).is_empty());
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_random_histograms() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..200 {
+            let k = rng.gen_range(1..20);
+            // Mostly-zero histograms, like real descriptor vectors.
+            let a: Vec<u32> = (0..k)
+                .map(|_| {
+                    if rng.gen_range(0..4) == 0 {
+                        rng.gen_range(1..9)
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let b: Vec<u32> = (0..k)
+                .map(|_| {
+                    if rng.gen_range(0..4) == 0 {
+                        rng.gen_range(1..9)
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let dense = sar_similarity(&a, &b);
+            let sparse = sar_similarity_sparse(&sparsify(&a), &sparsify(&b));
+            assert_eq!(dense, sparse, "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_handles_implicit_trailing_zeros() {
+        // Dense would panic on the length mismatch; sparse treats missing
+        // slots as zeros — the property that lets community splits skip the
+        // zero-extension pass entirely.
+        let a = sparsify(&[2, 0, 1]);
+        let b = sparsify(&[2, 0, 1, 0, 0]);
+        assert_eq!(sar_similarity_sparse(&a, &b), 1.0);
+        let c = sparsify(&[0, 0, 0, 0, 4]);
+        let s = sar_similarity_sparse(&a, &c);
+        assert_eq!(s, 0.0);
+        assert!(sar_similarity_sparse(&[], &[]) == 0.0);
     }
 }

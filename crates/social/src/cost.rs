@@ -30,7 +30,12 @@ impl Default for CostModel {
     fn default() -> Self {
         // Defaults in the order of magnitude of hash probes / vector writes
         // on commodity hardware; calibrate with measured timings if needed.
-        Self { c_h: 2e-7, t1: 1e-7, t2: 5e-8, t3: 5e-8 }
+        Self {
+            c_h: 2e-7,
+            t1: 1e-7,
+            t2: 5e-8,
+            t3: 5e-8,
+        }
     }
 }
 
@@ -83,7 +88,12 @@ mod tests {
 
     #[test]
     fn each_term_contributes() {
-        let m = CostModel { c_h: 1.0, t1: 10.0, t2: 100.0, t3: 1000.0 };
+        let m = CostModel {
+            c_h: 1.0,
+            t1: 10.0,
+            t2: 100.0,
+            t3: 1000.0,
+        };
         let e = m.estimate(&counters(1, 1, 1), 1);
         assert_eq!(e, 1.0 + 10.0 + 100.0 + 1000.0);
     }

@@ -23,7 +23,9 @@ impl SocialDescriptor {
 
     /// Descriptor from a user collection; duplicates collapse.
     pub fn from_users(users: impl IntoIterator<Item = UserId>) -> Self {
-        Self { users: users.into_iter().collect() }
+        Self {
+            users: users.into_iter().collect(),
+        }
     }
 
     /// Adds a user (a new comment or the owner). Returns true if the user
@@ -154,10 +156,12 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(8);
         for _ in 0..100 {
-            let a: SocialDescriptor =
-                (0..rng.gen_range(1..30)).map(|_| UserId(rng.gen_range(0..40))).collect();
-            let b: SocialDescriptor =
-                (0..rng.gen_range(1..30)).map(|_| UserId(rng.gen_range(0..40))).collect();
+            let a: SocialDescriptor = (0..rng.gen_range(1..30))
+                .map(|_| UserId(rng.gen_range(0..40)))
+                .collect();
+            let b: SocialDescriptor = (0..rng.gen_range(1..30))
+                .map(|_| UserId(rng.gen_range(0..40)))
+                .collect();
             let s = social_jaccard(&a, &b);
             assert!((0.0..=1.0).contains(&s));
         }

@@ -23,7 +23,10 @@ pub struct UserDictionary {
 impl UserDictionary {
     /// Builds the dictionary from an extracted partition.
     pub fn from_partition(partition: &Partition) -> Self {
-        Self { community: partition.assignment().to_vec(), k: partition.k() }
+        Self {
+            community: partition.assignment().to_vec(),
+            k: partition.k(),
+        }
     }
 
     /// The sub-community of a user, or `None` for users outside the

@@ -60,7 +60,10 @@ impl Partition {
             sorted_comms[new] = communities[old].clone();
         }
         let assignment = assignment.into_iter().map(|c| remap[c]).collect();
-        Self { assignment, communities: sorted_comms }
+        Self {
+            assignment,
+            communities: sorted_comms,
+        }
     }
 
     /// Number of communities.
@@ -96,8 +99,7 @@ impl Partition {
         let mut seen = vec![false; self.assignment.len()];
         for (c, members) in self.communities.iter().enumerate() {
             for &u in members {
-                if u.index() >= seen.len() || seen[u.index()] || self.assignment[u.index()] != c
-                {
+                if u.index() >= seen.len() || seen[u.index()] || self.assignment[u.index()] != c {
                     return false;
                 }
                 seen[u.index()] = true;
@@ -116,7 +118,10 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect(), size: vec![1; n] }
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -132,7 +137,11 @@ impl Dsu {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big;
         self.size[big] += self.size[small];
         true
@@ -210,12 +219,7 @@ fn count_components(n: usize, edges: &[(UserId, UserId, u32)]) -> usize {
     comps
 }
 
-fn connected_without(
-    n: usize,
-    remaining: &[(UserId, UserId, u32)],
-    a: UserId,
-    b: UserId,
-) -> bool {
+fn connected_without(n: usize, remaining: &[(UserId, UserId, u32)], a: UserId, b: UserId) -> bool {
     let mut dsu = Dsu::new(n);
     for &(x, y, _) in remaining {
         dsu.union(x.index(), y.index());

@@ -32,7 +32,10 @@ pub struct UserInterestGraph {
 impl UserInterestGraph {
     /// Empty graph over `num_users` user slots.
     pub fn new(num_users: usize) -> Self {
-        Self { num_users, edges: HashMap::new() }
+        Self {
+            num_users,
+            edges: HashMap::new(),
+        }
     }
 
     /// Builds the UIG from video engagement records: every pair of users who

@@ -119,7 +119,12 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMea
         .zip(&assignment)
         .map(|(p, &c)| sq_dist(p, &centroids[c]))
         .sum();
-    KMeansResult { assignment, centroids, inertia, iterations }
+    KMeansResult {
+        assignment,
+        centroids,
+        inertia,
+        iterations,
+    }
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@ pub mod spectral;
 pub mod update;
 pub mod user;
 
-pub use approx::sar_similarity;
+pub use approx::{sar_similarity, sar_similarity_sparse, sparsify};
 pub use descriptor::{social_jaccard, SocialDescriptor};
 pub use dictionary::UserDictionary;
 pub use extract::{extract_subcommunities, extract_subcommunities_literal, Partition};

@@ -114,8 +114,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         for _ in 0..20 {
             let n = rng.gen_range(2..30);
-            let pts: Vec<(f64, f64)> =
-                (0..n).map(|_| (rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0))).collect();
+            let pts: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
+                .collect();
             let k = rng.gen_range(1..=n.min(5));
             let assign: Vec<usize> = {
                 // Ensure indices are dense 0..k.

@@ -50,7 +50,10 @@ pub fn spectral_clustering_with_dims(
     let n = graph.num_users();
     assert!(n > 0, "empty user space");
     assert!(k >= 1 && k <= n, "bad cluster count");
-    assert!(dims >= 1 && dims <= k, "embedding dimension must be in 1..=k");
+    assert!(
+        dims >= 1 && dims <= k,
+        "embedding dimension must be in 1..=k"
+    );
 
     // Dense affinity and degree.
     let mut w = vec![0.0f64; n * n];
@@ -64,8 +67,10 @@ pub fn spectral_clustering_with_dims(
     }
     // A = 2I − L_sym = I + D^{−1/2} W D^{−1/2}; isolated nodes keep A = I
     // rows (their eigenvector mass stays on themselves).
-    let inv_sqrt: Vec<f64> =
-        deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let inv_sqrt: Vec<f64> = deg
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
     let mut a = vec![0.0f64; n * n];
     for i in 0..n {
         a[i * n + i] = 1.0;

@@ -67,7 +67,12 @@ impl SocialUpdatesMaintenance {
         let partition = extract_subcommunities(&graph, k);
         let assignment = partition.assignment().to_vec();
         let members = partition.communities().to_vec();
-        Self { graph, assignment, members, k }
+        Self {
+            graph,
+            assignment,
+            members,
+            k,
+        }
     }
 
     /// The target community count.
@@ -220,8 +225,7 @@ impl SocialUpdatesMaintenance {
             }
             self.members[c] = keep;
         }
-        report.counters.communities_touched =
-            report.splits + usize::from(report.splits > 0);
+        report.counters.communities_touched = report.splits + usize::from(report.splits > 0);
         report
     }
 
@@ -353,11 +357,8 @@ impl SocialUpdatesMaintenance {
         // order as the extraction algorithm.
         let mut edges = self.graph.induced_edges(&members);
         edges.sort_by_key(|&(a, b, w)| (w, a, b));
-        let mut local: std::collections::HashMap<UserId, usize> = members
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| (u, i))
-            .collect();
+        let mut local: std::collections::HashMap<UserId, usize> =
+            members.iter().enumerate().map(|(i, &u)| (u, i)).collect();
         let mut parent: Vec<usize> = (0..members.len()).collect();
         fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {

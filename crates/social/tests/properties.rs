@@ -10,10 +10,7 @@ use viderec_social::{
 /// A random weighted graph as an edge list over `n` users.
 fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, u32)>)> {
     (2..16usize).prop_flat_map(|n| {
-        let edges = prop::collection::vec(
-            (0..n as u32, 0..n as u32, 1..5u32),
-            0..40,
-        );
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32, 1..5u32), 0..40);
         (Just(n), edges)
     })
 }

@@ -248,11 +248,7 @@ mod tests {
 
     #[test]
     fn static_scenes_compress_well() {
-        let v = Video::new(
-            VideoId(1),
-            10.0,
-            vec![Frame::filled(32, 32, 77); 50],
-        );
+        let v = Video::new(VideoId(1), 10.0, vec![Frame::filled(32, 32, 77); 50]);
         let bits = encode(&v);
         // 50 frames × 1024 pixels = 51200 raw bytes; static content must
         // collapse to a tiny fraction via inter-frame RLE.
@@ -273,7 +269,10 @@ mod tests {
         let bits = encode(&v);
         let cut = bits.slice(0..bits.len() - 5);
         let err = decode(cut).unwrap_err();
-        assert!(matches!(err, CodecError::Truncated | CodecError::RunOverflow));
+        assert!(matches!(
+            err,
+            CodecError::Truncated | CodecError::RunOverflow
+        ));
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl Frame {
     pub fn from_data(width: usize, height: usize, data: Vec<u8>) -> Self {
         assert!(width > 0 && height > 0, "frame dimensions must be non-zero");
         assert_eq!(data.len(), width * height, "pixel buffer size mismatch");
-        Self { width, height, data }
+        Self {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Creates a frame filled with a constant intensity.

@@ -43,10 +43,16 @@ pub fn qgrams(segments: &[Segment], q: usize) -> Vec<QGram> {
             while frames.len() < q {
                 frames.push(frames.last().expect("non-empty").clone());
             }
-            out.push(QGram { segment: si, frames });
+            out.push(QGram {
+                segment: si,
+                frames,
+            });
         } else {
             for w in seg.keyframes.windows(q) {
-                out.push(QGram { segment: si, frames: w.to_vec() });
+                out.push(QGram {
+                    segment: si,
+                    frames: w.to_vec(),
+                });
             }
         }
     }

@@ -80,7 +80,9 @@ mod tests {
     use crate::video::VideoId;
 
     fn ramp(n: usize) -> Vec<Frame> {
-        (0..n).map(|i| Frame::filled(4, 4, (i % 256) as u8)).collect()
+        (0..n)
+            .map(|i| Frame::filled(4, 4, (i % 256) as u8))
+            .collect()
     }
 
     #[test]

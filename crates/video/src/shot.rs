@@ -36,7 +36,13 @@ pub struct CutDetector {
 
 impl Default for CutDetector {
     fn default() -> Self {
-        Self { abs_threshold: 0.05, noise_factor: 3.0, rel_factor: 3.0, window: 8, min_gap: 4 }
+        Self {
+            abs_threshold: 0.05,
+            noise_factor: 3.0,
+            rel_factor: 3.0,
+            window: 8,
+            min_gap: 4,
+        }
     }
 }
 
@@ -166,7 +172,11 @@ mod tests {
         // Scene flips every 2 frames — closer than min_gap, so most cuts
         // must be suppressed.
         let v = scene_video(&[10, 200, 10, 200, 10, 200], 2);
-        let cuts = CutDetector { min_gap: 4, ..Default::default() }.detect(&v);
+        let cuts = CutDetector {
+            min_gap: 4,
+            ..Default::default()
+        }
+        .detect(&v);
         for w in cuts.windows(2) {
             assert!(w[1] - w[0] >= 4);
         }

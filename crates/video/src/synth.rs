@@ -76,7 +76,14 @@ impl ScenePrototype {
 
     /// Renders the coarse layout at `w × h` with bilinear interpolation plus
     /// texture noise and a per-frame drift offset.
-    fn render(&self, w: usize, h: usize, drift: &[f64; 16], texture: f64, rng: &mut StdRng) -> Frame {
+    fn render(
+        &self,
+        w: usize,
+        h: usize,
+        drift: &[f64; 16],
+        texture: f64,
+        rng: &mut StdRng,
+    ) -> Frame {
         let mut data = Vec::with_capacity(w * h);
         for y in 0..h {
             for x in 0..w {
@@ -116,8 +123,14 @@ impl VideoSynthesizer {
     /// Builds palettes for `num_topics` topics from `seed`.
     pub fn new(cfg: SynthConfig, num_topics: usize, seed: u64) -> Self {
         assert!(num_topics > 0, "need at least one topic");
-        assert!(cfg.min_scene_len >= 2, "scenes must span at least two frames");
-        assert!(cfg.max_scene_len >= cfg.min_scene_len, "bad scene length range");
+        assert!(
+            cfg.min_scene_len >= 2,
+            "scenes must span at least two frames"
+        );
+        assert!(
+            cfg.max_scene_len >= cfg.min_scene_len,
+            "bad scene length range"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let palettes = (0..num_topics)
             .map(|_| {
@@ -152,7 +165,10 @@ impl VideoSynthesizer {
     pub fn generate(&mut self, id: VideoId, topic: usize, duration_secs: f64) -> Video {
         assert!(topic < self.palettes.len(), "unknown topic {topic}");
         let total = (duration_secs * self.cfg.fps).round() as usize;
-        assert!(total >= self.cfg.min_scene_len, "duration too short for one scene");
+        assert!(
+            total >= self.cfg.min_scene_len,
+            "duration too short for one scene"
+        );
         let mut frames = Vec::with_capacity(total);
         while frames.len() < total {
             let remaining = total - frames.len();

@@ -86,9 +86,9 @@ impl Transform {
     /// [`Transform::SubClip`] past the end).
     pub fn apply(&self, video: &Video) -> Video {
         match *self {
-            Transform::BrightnessShift(delta) => map_pixels(video, |p| {
-                (p as i32 + delta as i32).clamp(0, 255) as u8
-            }),
+            Transform::BrightnessShift(delta) => {
+                map_pixels(video, |p| (p as i32 + delta as i32).clamp(0, 255) as u8)
+            }
             Transform::ContrastScale(factor) => {
                 assert!(factor > 0.0, "contrast factor must be positive");
                 map_pixels(video, move |p| {
@@ -114,7 +114,10 @@ impl Transform {
                     .collect();
                 video.with_frames(frames)
             }
-            Transform::LogoOverlay { fraction, intensity } => {
+            Transform::LogoOverlay {
+                fraction,
+                intensity,
+            } => {
                 assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
                 let (w, h) = (video.width(), video.height());
                 let lw = ((w as f64 * fraction).round() as usize).max(1);
@@ -177,7 +180,10 @@ impl Transform {
                 video.with_frames(frames)
             }
             Transform::SubClip { start, len } => {
-                assert!(len > 0 && start + len <= video.len(), "sub-clip out of range");
+                assert!(
+                    len > 0 && start + len <= video.len(),
+                    "sub-clip out of range"
+                );
                 video.with_frames(video.frames()[start..start + len].to_vec())
             }
             Transform::ReorderChunks { chunks } => {
@@ -208,8 +214,7 @@ impl Transform {
                 video.with_frames(frames)
             }
             Transform::HalfRate => {
-                let frames: Vec<Frame> =
-                    video.frames().iter().step_by(2).cloned().collect();
+                let frames: Vec<Frame> = video.frames().iter().step_by(2).cloned().collect();
                 video.with_frames(frames)
             }
         }
@@ -233,12 +238,17 @@ impl Transform {
             let t = match rng.gen_range(0..8u8) {
                 0 => Transform::BrightnessShift(rng.gen_range(-25..=25)),
                 1 => Transform::ContrastScale(rng.gen_range(0.8..1.25)),
-                2 => Transform::Noise { amp: rng.gen_range(2..10), seed: rng.gen() },
+                2 => Transform::Noise {
+                    amp: rng.gen_range(2..10),
+                    seed: rng.gen(),
+                },
                 3 => Transform::LogoOverlay {
                     fraction: rng.gen_range(0.1..0.2),
                     intensity: rng.gen_range(180..=255),
                 },
-                4 => Transform::BorderCrop { fraction: rng.gen_range(0.05..0.15) },
+                4 => Transform::BorderCrop {
+                    fraction: rng.gen_range(0.05..0.15),
+                },
                 5 => Transform::SpatialShift {
                     dx: rng.gen_range(-3..=3),
                     dy: rng.gen_range(-3..=3),
@@ -287,9 +297,15 @@ mod tests {
     fn brightness_shift_clamps() {
         let v = ramp_video(3);
         let up = Transform::BrightnessShift(300).apply(&v);
-        assert!(up.frames().iter().all(|f| f.data().iter().all(|&p| p == 255)));
+        assert!(up
+            .frames()
+            .iter()
+            .all(|f| f.data().iter().all(|&p| p == 255)));
         let down = Transform::BrightnessShift(-300).apply(&v);
-        assert!(down.frames().iter().all(|f| f.data().iter().all(|&p| p == 0)));
+        assert!(down
+            .frames()
+            .iter()
+            .all(|f| f.data().iter().all(|&p| p == 0)));
     }
 
     #[test]
@@ -315,7 +331,11 @@ mod tests {
     #[test]
     fn logo_overlay_touches_only_corner() {
         let v = ramp_video(2);
-        let w = Transform::LogoOverlay { fraction: 0.25, intensity: 200 }.apply(&v);
+        let w = Transform::LogoOverlay {
+            fraction: 0.25,
+            intensity: 200,
+        }
+        .apply(&v);
         assert_eq!(w.frames()[0].pixel(7, 7), 200);
         assert_eq!(w.frames()[0].pixel(0, 0), v.frames()[0].pixel(0, 0));
     }
@@ -350,7 +370,12 @@ mod tests {
         assert_eq!(re.frames()[0], v.frames()[5]);
         assert_eq!(re.frames()[5], v.frames()[0]);
 
-        let ad = Transform::AdInsert { at: 3, len: 2, intensity: 128 }.apply(&v);
+        let ad = Transform::AdInsert {
+            at: 3,
+            len: 2,
+            intensity: 128,
+        }
+        .apply(&v);
         assert_eq!(ad.len(), 12);
         assert_eq!(ad.frames()[3], Frame::filled(8, 8, 128));
         assert_eq!(ad.frames()[5], v.frames()[3]);

@@ -34,7 +34,10 @@ impl Video {
     /// Panics if `frames` is empty, `fps` is not positive, or the frames do
     /// not all share one shape.
     pub fn new(id: VideoId, fps: f64, frames: Vec<Frame>) -> Self {
-        assert!(!frames.is_empty(), "a video must contain at least one frame");
+        assert!(
+            !frames.is_empty(),
+            "a video must contain at least one frame"
+        );
         assert!(fps > 0.0, "fps must be positive");
         let (w, h) = (frames[0].width(), frames[0].height());
         assert!(

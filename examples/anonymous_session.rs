@@ -11,10 +11,12 @@ use viderec::core::{QueryVideo, Recommender, RecommenderConfig, Strategy};
 use viderec::eval::community::{Community, CommunityConfig};
 
 fn main() {
-    let community = Community::generate(CommunityConfig { hours: 10.0, ..Default::default() });
-    let recommender =
-        Recommender::build(RecommenderConfig::default(), community.source_corpus())
-            .expect("valid corpus");
+    let community = Community::generate(CommunityConfig {
+        hours: 10.0,
+        ..Default::default()
+    });
+    let recommender = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("valid corpus");
 
     // The anonymous viewer starts from a trending video and follows the #1
     // recommendation five times. A good recommender keeps the session inside

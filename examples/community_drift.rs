@@ -10,7 +10,10 @@ use viderec::core::{QueryVideo, Recommender, RecommenderConfig, Strategy};
 use viderec::eval::community::{Community, CommunityConfig};
 
 fn main() {
-    let community = Community::generate(CommunityConfig { hours: 10.0, ..Default::default() });
+    let community = Community::generate(CommunityConfig {
+        hours: 10.0,
+        ..Default::default()
+    });
     let mut recommender =
         Recommender::build(RecommenderConfig::default(), community.source_corpus())
             .expect("valid corpus");

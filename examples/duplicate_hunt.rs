@@ -19,11 +19,23 @@ fn main() {
         ("brightness +20", Transform::BrightnessShift(20)),
         ("contrast ×1.2", Transform::ContrastScale(1.2)),
         ("noise amp 6", Transform::Noise { amp: 6, seed: 1 }),
-        ("logo overlay", Transform::LogoOverlay { fraction: 0.18, intensity: 240 }),
+        (
+            "logo overlay",
+            Transform::LogoOverlay {
+                fraction: 0.18,
+                intensity: 240,
+            },
+        ),
         ("border crop", Transform::BorderCrop { fraction: 0.1 }),
         ("shifted +3px", Transform::SpatialShift { dx: 3, dy: 2 }),
         ("re-ordered", Transform::ReorderChunks { chunks: 3 }),
-        ("sub-clip", Transform::SubClip { start: 30, len: 180 }),
+        (
+            "sub-clip",
+            Transform::SubClip {
+                start: 30,
+                len: 180,
+            },
+        ),
     ];
     // Decoys: other videos, one from the same topic, rest from others.
     let decoys: Vec<_> = (0..6)
@@ -36,7 +48,10 @@ fn main() {
         .iter()
         .map(|(label, t)| {
             let edited = t.apply(&original);
-            (format!("copy: {label}"), sig_original.kappa_j(&builder.build(&edited)))
+            (
+                format!("copy: {label}"),
+                sig_original.kappa_j(&builder.build(&edited)),
+            )
         })
         .collect();
     let mut others: Vec<(String, f64)> = decoys
@@ -63,6 +78,10 @@ fn main() {
     let best_decoy = others.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
     println!(
         "\nworst copy κJ {worst_copy:.3} vs best decoy κJ {best_decoy:.3} — {}",
-        if worst_copy > best_decoy { "clean separation" } else { "overlap (heavy edits)" }
+        if worst_copy > best_decoy {
+            "clean separation"
+        } else {
+            "overlap (heavy edits)"
+        }
     );
 }

@@ -12,7 +12,10 @@ fn main() {
     // A small deterministic community: ~10 paper-hours of synthetic uploads,
     // users, and 16 months of comments.
     println!("generating community…");
-    let community = Community::generate(CommunityConfig { hours: 10.0, ..Default::default() });
+    let community = Community::generate(CommunityConfig {
+        hours: 10.0,
+        ..Default::default()
+    });
     println!(
         "  {} videos, {} users, {} comments",
         community.videos.len(),
@@ -22,9 +25,8 @@ fn main() {
 
     // Build the recommender over the first 12 months of social activity.
     println!("building recommender…");
-    let recommender =
-        Recommender::build(RecommenderConfig::default(), community.source_corpus())
-            .expect("valid corpus");
+    let recommender = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("valid corpus");
     println!(
         "  {} sub-communities over {} users",
         recommender.live_communities(),

@@ -56,7 +56,10 @@ fn near_duplicates_beat_decoys_under_every_edit() {
     }
     // The robust-signature claim: edited copies outrank decoys for (at
     // least) the overwhelming majority of edit types.
-    assert!(wins >= 4, "only {wins}/5 edits beat the best decoy ({decoy_score:.3})");
+    assert!(
+        wins >= 4,
+        "only {wins}/5 edits beat the best decoy ({decoy_score:.3})"
+    );
 }
 
 #[test]
@@ -65,7 +68,11 @@ fn cuboids_are_robust_where_ordinal_signatures_break() {
     // videos". A large logo disturbs block ranks badly but barely moves the
     // temporal-delta distribution of the untouched regions.
     let original = clip(11, 2);
-    let edited = Transform::LogoOverlay { fraction: 0.35, intensity: 250 }.apply(&original);
+    let edited = Transform::LogoOverlay {
+        fraction: 0.35,
+        intensity: 250,
+    }
+    .apply(&original);
 
     let b = SignatureBuilder::default();
     let kappa_drop = 1.0 - b.build(&original).kappa_j(&b.build(&edited));

@@ -6,7 +6,10 @@ use viderec::eval::community::{Community, CommunityConfig};
 use viderec::video::VideoId;
 
 fn small_community() -> Community {
-    Community::generate(CommunityConfig { hours: 5.0, ..Default::default() })
+    Community::generate(CommunityConfig {
+        hours: 5.0,
+        ..Default::default()
+    })
 }
 
 fn query_for(r: &Recommender, id: VideoId) -> QueryVideo {
@@ -16,11 +19,7 @@ fn query_for(r: &Recommender, id: VideoId) -> QueryVideo {
     }
 }
 
-fn mean_top5_relevance(
-    community: &Community,
-    r: &Recommender,
-    strategy: Strategy,
-) -> f64 {
+fn mean_top5_relevance(community: &Community, r: &Recommender, strategy: Strategy) -> f64 {
     let queries = community.query_videos();
     let mut total = 0.0;
     for &qid in &queries {
@@ -38,8 +37,8 @@ fn mean_top5_relevance(
 #[test]
 fn full_pipeline_builds_and_recommends() {
     let community = small_community();
-    let r = Recommender::build(RecommenderConfig::default(), community.source_corpus())
-        .expect("build");
+    let r =
+        Recommender::build(RecommenderConfig::default(), community.source_corpus()).expect("build");
     assert_eq!(r.num_videos(), community.videos.len());
     assert!(r.num_users() > 0);
     assert!(r.live_communities() >= 2);
@@ -70,8 +69,8 @@ fn full_pipeline_builds_and_recommends() {
 #[test]
 fn fusion_beats_both_pure_strategies_and_everything_beats_chance() {
     let community = small_community();
-    let r = Recommender::build(RecommenderConfig::default(), community.source_corpus())
-        .expect("build");
+    let r =
+        Recommender::build(RecommenderConfig::default(), community.source_corpus()).expect("build");
     let cr = mean_top5_relevance(&community, &r, Strategy::Cr);
     let sr = mean_top5_relevance(&community, &r, Strategy::Sr);
     let csf = mean_top5_relevance(&community, &r, Strategy::Csf);
@@ -84,20 +83,23 @@ fn fusion_beats_both_pure_strategies_and_everything_beats_chance() {
 #[test]
 fn sar_approximations_track_the_exact_fusion() {
     let community = small_community();
-    let r = Recommender::build(RecommenderConfig::default(), community.source_corpus())
-        .expect("build");
+    let r =
+        Recommender::build(RecommenderConfig::default(), community.source_corpus()).expect("build");
     let csf = mean_top5_relevance(&community, &r, Strategy::Csf);
     let sar = mean_top5_relevance(&community, &r, Strategy::CsfSar);
     let sarh = mean_top5_relevance(&community, &r, Strategy::CsfSarH);
     assert!((csf - sar).abs() < 0.2, "CSF {csf} vs CSF-SAR {sar}");
-    assert!((sar - sarh).abs() < 0.1, "CSF-SAR {sar} vs CSF-SAR-H {sarh}");
+    assert!(
+        (sar - sarh).abs() < 0.1,
+        "CSF-SAR {sar} vs CSF-SAR-H {sarh}"
+    );
 }
 
 #[test]
 fn maintenance_keeps_quality_and_consistency_over_the_test_window() {
     let community = small_community();
-    let mut r = Recommender::build(RecommenderConfig::default(), community.source_corpus())
-        .expect("build");
+    let mut r =
+        Recommender::build(RecommenderConfig::default(), community.source_corpus()).expect("build");
     let cfg = community.config().clone();
     let before = mean_top5_relevance(&community, &r, Strategy::CsfSarH);
 
@@ -127,8 +129,8 @@ fn queries_with_unseen_users_and_fresh_content_still_work() {
     use viderec::video::{SynthConfig, VideoSynthesizer};
 
     let community = small_community();
-    let r = Recommender::build(RecommenderConfig::default(), community.source_corpus())
-        .expect("build");
+    let r =
+        Recommender::build(RecommenderConfig::default(), community.source_corpus()).expect("build");
     // A brand-new video by an unknown uploader, never indexed.
     let mut synth = VideoSynthesizer::new(SynthConfig::default(), 5, 999);
     let fresh = synth.generate(VideoId(9999), 1, 12.0);

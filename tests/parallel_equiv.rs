@@ -3,8 +3,8 @@
 //! and again after a round of Fig. 5 maintenance churn.
 
 use viderec::core::{
-    ParallelConfig, ParallelRecommender, PruneBound, QueryVideo, Recommender,
-    RecommenderConfig, SocialUpdate, Strategy,
+    ParallelConfig, ParallelRecommender, PruneBound, QueryVideo, Recommender, RecommenderConfig,
+    SocialUpdate, Strategy,
 };
 use viderec::eval::community::{Community, CommunityConfig};
 use viderec::video::VideoId;
@@ -18,7 +18,10 @@ const STRATEGIES: [Strategy; 5] = [
 ];
 
 fn build() -> (Community, Recommender) {
-    let community = Community::generate(CommunityConfig { hours: 5.0, ..Default::default() });
+    let community = Community::generate(CommunityConfig {
+        hours: 5.0,
+        ..Default::default()
+    });
     let cfg = RecommenderConfig::default();
     let rec = Recommender::build(cfg, community.source_corpus()).expect("build");
     (community, rec)
@@ -41,7 +44,13 @@ fn assert_equivalent(rec: &Recommender, queries: &[QueryVideo], k: usize, label:
         for (prune, bound) in [
             (false, PruneBound::Centroid),
             (true, PruneBound::Centroid),
-            (true, PruneBound::Best { lo: -64.0, hi: 64.0 }),
+            (
+                true,
+                PruneBound::Best {
+                    lo: -64.0,
+                    hi: 64.0,
+                },
+            ),
         ] {
             // `Some(workers)` forces real OS threads even on a single-core
             // host; `None` lets the engine clamp to available parallelism
@@ -50,7 +59,12 @@ fn assert_equivalent(rec: &Recommender, queries: &[QueryVideo], k: usize, label:
             for max_threads in [Some(workers), None] {
                 let par = ParallelRecommender::with_config(
                     rec,
-                    ParallelConfig { workers, prune, bound, max_threads },
+                    ParallelConfig {
+                        workers,
+                        prune,
+                        bound,
+                        max_threads,
+                    },
                 );
                 // The full batch is at least as wide as the worker pool
                 // (inter-query sharding); the single-query slice is narrower
@@ -117,7 +131,10 @@ fn oversized_k_and_stats_invariants() {
     let queries = queries_for(&community, &rec);
     let par = ParallelRecommender::with_config(
         &rec,
-        ParallelConfig { workers: 4, ..Default::default() },
+        ParallelConfig {
+            workers: 4,
+            ..Default::default()
+        },
     );
     // k beyond the corpus: both paths return everything, same order.
     let k = rec.num_videos() + 10;

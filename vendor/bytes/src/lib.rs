@@ -14,7 +14,10 @@ pub struct Bytes {
 impl Bytes {
     /// Wraps a static slice.
     pub fn from_static(s: &'static [u8]) -> Self {
-        Self { data: s.to_vec(), pos: 0 }
+        Self {
+            data: s.to_vec(),
+            pos: 0,
+        }
     }
 
     /// Remaining (unconsumed) length.
@@ -29,7 +32,10 @@ impl Bytes {
 
     /// A copy of the sub-range `range` of the remaining bytes.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        Bytes { data: self.as_slice()[range].to_vec(), pos: 0 }
+        Bytes {
+            data: self.as_slice()[range].to_vec(),
+            pos: 0,
+        }
     }
 
     fn as_slice(&self) -> &[u8] {
@@ -112,7 +118,9 @@ pub struct BytesMut {
 impl BytesMut {
     /// An empty buffer with `cap` reserved bytes.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { data: Vec::with_capacity(cap) }
+        Self {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Current length.
@@ -127,7 +135,10 @@ impl BytesMut {
 
     /// Freezes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data, pos: 0 }
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
     }
 }
 

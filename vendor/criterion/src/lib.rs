@@ -35,12 +35,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id with a function name and a displayed parameter.
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        Self { id: format!("{}/{}", function_name.into(), parameter) }
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// An id from the parameter alone.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -77,7 +81,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(budget: Duration) -> Self {
-        Self { measured: None, budget }
+        Self {
+            measured: None,
+            budget,
+        }
     }
 
     /// Times `routine` until the budget is spent.
@@ -125,7 +132,10 @@ fn report(id: &str, measured: Option<(Duration, u64)>) {
     match measured {
         Some((total, iters)) if iters > 0 => {
             let per = total.as_secs_f64() / iters as f64;
-            println!("{id:<48} time: {:>12}   ({iters} iterations)", format_time(per));
+            println!(
+                "{id:<48} time: {:>12}   ({iters} iterations)",
+                format_time(per)
+            );
         }
         _ => println!("{id:<48} (no measurement)"),
     }
@@ -151,7 +161,9 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // Keep runs quick: the stub is for smoke-timing, not statistics.
-        Self { budget: Duration::from_millis(200) }
+        Self {
+            budget: Duration::from_millis(200),
+        }
     }
 }
 
@@ -173,7 +185,10 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("— group {name} —");
-        BenchmarkGroup { criterion: self, name }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
     }
 }
 
@@ -257,7 +272,9 @@ mod tests {
     use super::*;
 
     fn quick() -> Criterion {
-        Criterion { budget: Duration::from_millis(5) }
+        Criterion {
+            budget: Duration::from_millis(5),
+        }
     }
 
     #[test]

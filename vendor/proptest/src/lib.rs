@@ -42,7 +42,9 @@ pub struct TestCaseError {
 impl TestCaseError {
     /// A failure with the given reason.
     pub fn fail(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -197,13 +199,19 @@ impl From<usize> for SizeRange {
 impl From<core::ops::Range<usize>> for SizeRange {
     fn from(r: core::ops::Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        Self { lo: r.start, hi: r.end }
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 
 impl From<core::ops::RangeInclusive<usize>> for SizeRange {
     fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-        Self { lo: *r.start(), hi: *r.end() + 1 }
+        Self {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
     }
 }
 
@@ -216,7 +224,10 @@ pub mod prop {
 
         /// A `Vec` of values from `element`, sized within `size`.
         pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { element, size: size.into() }
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
         }
 
         /// See [`vec`].

@@ -86,7 +86,14 @@ impl SeedableRng for StdRng {
 
     fn seed_from_u64(state: u64) -> Self {
         let mut sm = state;
-        Self { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
     }
 }
 
@@ -143,7 +150,12 @@ impl Standard for f32 {
 /// (the range's element type alone determines `T`).
 pub trait SampleUniform: PartialOrd + Copy {
     /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -166,7 +178,12 @@ macro_rules! impl_sample_uniform_int {
 impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleUniform for u128 {
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self {
         let span = (hi - lo).wrapping_add(if inclusive { 1 } else { 0 });
         if span == 0 {
             return u128::sample_standard(rng);
