@@ -1,0 +1,220 @@
+//! Closed-loop load generator for the serving subsystem.
+//!
+//! Starts the server in-process over a synthetic community, then drives it
+//! from closed-loop client threads (each issues the next request as soon as
+//! the previous response lands) for a fixed duration, and writes
+//! `BENCH_serve.json` with throughput and client-observed p50/p95/p99.
+//!
+//! ```sh
+//! cargo run --release -p viderec-bench --bin serve_load
+//! ```
+//!
+//! Knobs (environment variables):
+//!
+//! | var | default | meaning |
+//! |---|---|---|
+//! | `SERVE_LOAD_SECONDS` | 10 | measured duration per strategy |
+//! | `SERVE_LOAD_CLIENTS` | 4 | closed-loop client threads |
+//! | `SERVE_LOAD_HOURS` | 10.0 | community scale (paper-hours) |
+//! | `SERVE_LOAD_K` | 10 | top-k per request |
+//! | `SERVE_LOAD_OUT` | BENCH_serve.json | output path |
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use viderec_core::{Recommender, RecommenderConfig};
+use viderec_eval::community::{Community, CommunityConfig};
+use viderec_serve::client::get;
+use viderec_serve::{start, ServeConfig};
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Exact quantile over sorted client-side latencies (nearest-rank).
+fn quantile_micros(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct StrategyRun {
+    strategy: &'static str,
+    requests: u64,
+    errors: u64,
+    throughput_rps: f64,
+    p50_micros: u64,
+    p95_micros: u64,
+    p99_micros: u64,
+    mean_micros: u64,
+    max_micros: u64,
+}
+
+fn run_strategy(
+    addr: std::net::SocketAddr,
+    strategy: &'static str,
+    queries: &[u64],
+    clients: usize,
+    seconds: u64,
+    k: usize,
+) -> StrategyRun {
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(4096);
+                    let mut errors = 0u64;
+                    let mut i = c; // stagger the query rotation per client
+                    while !stop.load(Ordering::Relaxed) {
+                        let video = queries[i % queries.len()];
+                        i += 1;
+                        let t0 = Instant::now();
+                        let ok = get(
+                            addr,
+                            &format!("/recommend?video={video}&k={k}&strategy={strategy}"),
+                            Duration::from_secs(10),
+                        )
+                        .map(|r| r.status == 200)
+                        .unwrap_or(false);
+                        let micros = t0.elapsed().as_micros() as u64;
+                        if ok {
+                            lats.push(micros);
+                        } else {
+                            errors += 1;
+                        }
+                    }
+                    (lats, errors)
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs(seconds));
+        stop.store(true, Ordering::Relaxed);
+        let mut all = Vec::new();
+        let mut errors = 0u64;
+        for h in handles {
+            let (lats, errs) = h.join().expect("client thread");
+            all.extend(lats);
+            errors += errs;
+        }
+        all.push(errors); // smuggle the error count through the scope
+        all
+    });
+    let errors = latencies.pop().unwrap_or(0);
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let requests = latencies.len() as u64;
+    StrategyRun {
+        strategy,
+        requests,
+        errors,
+        throughput_rps: requests as f64 / elapsed,
+        p50_micros: quantile_micros(&latencies, 0.50),
+        p95_micros: quantile_micros(&latencies, 0.95),
+        p99_micros: quantile_micros(&latencies, 0.99),
+        mean_micros: latencies
+            .iter()
+            .sum::<u64>()
+            .checked_div(requests)
+            .unwrap_or(0),
+        max_micros: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+fn main() {
+    let seconds: u64 = env_or("SERVE_LOAD_SECONDS", 10);
+    let clients: usize = env_or("SERVE_LOAD_CLIENTS", 4);
+    let hours: f64 = env_or("SERVE_LOAD_HOURS", 10.0);
+    let k: usize = env_or("SERVE_LOAD_K", 10);
+    let out_path = std::env::var("SERVE_LOAD_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+
+    eprintln!("generating community ({hours} paper-hours)…");
+    let community = Community::generate(CommunityConfig {
+        hours,
+        seed: viderec_bench::scale::SEED,
+        ..Default::default()
+    });
+    eprintln!("building recommender…");
+    let recommender = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("valid corpus");
+    let (videos, users) = (recommender.num_videos(), recommender.num_users());
+    let queries: Vec<u64> = community.query_videos().iter().map(|v| v.0).collect();
+
+    let handle = start(ServeConfig::default(), recommender).expect("server starts");
+    let addr = handle.addr();
+    eprintln!("serving on {addr}; {clients} closed-loop clients x {seconds}s per strategy, k={k}");
+
+    let mut runs = Vec::new();
+    for strategy in ["csf-sar-h", "csf", "cr"] {
+        eprintln!("measuring {strategy}…");
+        let run = run_strategy(addr, strategy, &queries, clients, seconds, k);
+        eprintln!(
+            "  {:.1} req/s, p50 {} µs, p95 {} µs, p99 {} µs ({} errors)",
+            run.throughput_rps, run.p50_micros, run.p95_micros, run.p99_micros, run.errors
+        );
+        runs.push(run);
+    }
+
+    let m = handle.metrics();
+    let submitted = m.submitted.load(Ordering::SeqCst);
+    let served = m.served.load(Ordering::SeqCst);
+    let rejected = m.rejected.load(Ordering::SeqCst);
+    let expired = m.deadline_expired.load(Ordering::SeqCst);
+    assert_eq!(
+        submitted,
+        served + rejected + expired,
+        "accounting identity violated"
+    );
+    handle.shutdown();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"serve_load\",\n");
+    json.push_str(
+        "  \"description\": \"Closed-loop HTTP load against the serving subsystem \
+         (in-process server, epoch-swapped snapshots). Client-observed latency per \
+         GET /recommend over a real TCP socket, one request per connection.\",\n",
+    );
+    json.push_str("  \"command\": \"cargo run --release -p viderec-bench --bin serve_load\",\n");
+    json.push_str(&format!(
+        "  \"setup\": {{ \"community_hours\": {hours}, \"corpus_videos\": {videos}, \
+         \"users\": {users}, \"query_rotation\": {}, \"top_k\": {k}, \
+         \"clients\": {clients}, \"seconds_per_strategy\": {seconds}, \
+         \"workers\": \"available_parallelism\" }},\n",
+        queries.len()
+    ));
+    json.push_str(&format!(
+        "  \"server_accounting\": {{ \"submitted\": {submitted}, \"served\": {served}, \
+         \"rejected\": {rejected}, \"deadline_expired\": {expired} }},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"strategy\": \"{}\", \"requests\": {}, \"errors\": {}, \
+             \"throughput_rps\": {:.2}, \"p50_micros\": {}, \"p95_micros\": {}, \
+             \"p99_micros\": {}, \"mean_micros\": {}, \"max_micros\": {} }}{}\n",
+            r.strategy,
+            r.requests,
+            r.errors,
+            r.throughput_rps,
+            r.p50_micros,
+            r.p95_micros,
+            r.p99_micros,
+            r.mean_micros,
+            r.max_micros,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write output");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+}

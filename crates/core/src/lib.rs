@@ -52,7 +52,7 @@ pub mod relevance;
 pub use config::RecommenderConfig;
 pub use corpus::{CorpusVideo, QueryVideo};
 pub use errors::RecError;
-pub use maintenance::{SocialUpdate, UpdateSummary};
+pub use maintenance::{SocialUpdate, UpdateEvent, UpdateSummary};
 pub use parallel::{ParallelConfig, ParallelRecommender};
 pub use prune::{PruneBound, PruneStats};
 pub use recommender::{Recommender, Scored};

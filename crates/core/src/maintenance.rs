@@ -40,6 +40,21 @@ pub struct SocialUpdate {
     pub user: String,
 }
 
+/// One corpus mutation, as carried by the serving layer's update queue: the
+/// three maintenance paths ([`Recommender::apply_social_updates`],
+/// [`Recommender::add_videos`], [`Recommender::age_social_connections`])
+/// behind a single enum so a writer thread can drain heterogeneous batches
+/// through [`Recommender::apply_event`].
+#[derive(Debug, Clone)]
+pub enum UpdateEvent {
+    /// New comment events (Fig. 5 social updates).
+    Comments(Vec<SocialUpdate>),
+    /// New videos entering the corpus.
+    Ingest(Vec<CorpusVideo>),
+    /// Age every UIG connection by the amount (§4.2.4 invalidation).
+    Age(u32),
+}
+
 /// Outcome of one maintenance batch.
 #[derive(Debug, Clone)]
 pub struct UpdateSummary {
@@ -56,6 +71,17 @@ pub struct UpdateSummary {
 }
 
 impl Recommender {
+    /// Applies one [`UpdateEvent`] through its maintenance path. The only
+    /// fallible arm is ingest (duplicate video ids); comment batches and
+    /// aging always succeed.
+    pub fn apply_event(&mut self, event: UpdateEvent) -> Result<UpdateSummary, RecError> {
+        match event {
+            UpdateEvent::Comments(updates) => Ok(self.apply_social_updates(&updates)),
+            UpdateEvent::Ingest(videos) => self.add_videos(videos),
+            UpdateEvent::Age(amount) => Ok(self.age_social_connections(amount)),
+        }
+    }
+
     /// Applies one period of social updates (Fig. 5) incrementally.
     pub fn apply_social_updates(&mut self, updates: &[SocialUpdate]) -> UpdateSummary {
         // --- 1. ingest comments: descriptors + UIG connections ---
@@ -536,6 +562,61 @@ mod tests {
                 r.recommend_naive_excluding(strategy, &q, 3, &[]),
             );
         }
+    }
+
+    #[test]
+    fn clone_for_publish_is_independent_and_bit_identical() {
+        let mut r = Recommender::build(cfg(), corpus()).unwrap();
+        let snapshot = r.clone();
+        let q = QueryVideo {
+            series: r.series_of(VideoId(0)).unwrap().clone(),
+            users: r.users_of(VideoId(0)).unwrap().to_vec(),
+        };
+        // The clone answers bit-identically...
+        for strategy in [Strategy::Csf, Strategy::CsfSarH] {
+            assert_eq!(
+                r.recommend(strategy, &q, 4),
+                snapshot.recommend(strategy, &q, 4)
+            );
+        }
+        // ...and mutating the original does not leak into the clone.
+        r.apply_event(UpdateEvent::Comments(vec![SocialUpdate {
+            video: VideoId(0),
+            user: "eve".into(),
+        }]))
+        .unwrap();
+        assert_eq!(r.users_of(VideoId(0)).unwrap().len(), 4);
+        assert_eq!(snapshot.users_of(VideoId(0)).unwrap().len(), 3);
+        assert_eq!(snapshot.query_for(VideoId(0)).unwrap().users.len(), 3);
+    }
+
+    #[test]
+    fn apply_event_routes_every_arm() {
+        let mut r = Recommender::build(cfg(), corpus()).unwrap();
+        let s = r
+            .apply_event(UpdateEvent::Comments(vec![SocialUpdate {
+                video: VideoId(1),
+                user: "gus".into(),
+            }]))
+            .unwrap();
+        assert_eq!(s.comments_applied, 1);
+        let mut synth = VideoSynthesizer::new(SynthConfig::default(), 2, 777);
+        let v = synth.generate(VideoId(9), 1, 12.0);
+        let fresh = CorpusVideo {
+            id: v.id(),
+            series: SignatureBuilder::default().build(&v),
+            users: vec!["ann".into()],
+        };
+        r.apply_event(UpdateEvent::Ingest(vec![fresh.clone()]))
+            .unwrap();
+        assert_eq!(r.num_videos(), 5);
+        assert!(matches!(
+            r.apply_event(UpdateEvent::Ingest(vec![fresh])),
+            Err(RecError::DuplicateVideo(9))
+        ));
+        let s = r.apply_event(UpdateEvent::Age(1)).unwrap();
+        assert_eq!(s.comments_applied, 0);
+        assert_indexes_consistent(&r);
     }
 
     #[test]

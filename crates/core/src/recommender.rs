@@ -60,6 +60,7 @@ pub(crate) struct PreparedQuery {
     pub(crate) qvec: Vec<(u32, u32)>,
 }
 
+#[derive(Clone)]
 pub(crate) struct StoredVideo {
     pub(crate) id: VideoId,
     pub(crate) series: SignatureSeries,
@@ -73,6 +74,14 @@ pub(crate) struct StoredVideo {
 }
 
 /// The content-social video recommender.
+///
+/// `Clone` is the *clone-for-publish* path of the serving layer: a deep copy
+/// of every index and the scoring arena, producing an independent corpus
+/// state a single-writer maintenance thread can mutate while readers keep
+/// querying the previous snapshot (see `viderec-serve`). The copy is O(corpus)
+/// in time and memory; queries against the clone are bit-identical to queries
+/// against the original.
+#[derive(Clone)]
 pub struct Recommender {
     cfg: RecommenderConfig,
     pub(crate) registry: UserRegistry,
@@ -233,6 +242,16 @@ impl Recommender {
         self.by_id
             .get(&id)
             .map(|&i| self.videos[i].vector.as_slice())
+    }
+
+    /// The query "click" on an indexed video: its signature series and
+    /// engaged users, exactly as [`QueryVideo::from_corpus`] would build it.
+    /// This is what a served `GET /recommend?video=<id>` resolves to.
+    pub fn query_for(&self, id: VideoId) -> Option<QueryVideo> {
+        self.by_id.get(&id).map(|&i| QueryVideo {
+            series: self.videos[i].series.clone(),
+            users: self.videos[i].user_names.clone(),
+        })
     }
 
     /// The engaged user names of an indexed video (test/eval support).

@@ -49,7 +49,7 @@ pub struct LsbCandidate<P> {
 }
 
 /// `L` independent LSH → Z-order → B⁺-tree indexes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LsbForest<P> {
     cfg: LsbConfig,
     dims: usize,

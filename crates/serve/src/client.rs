@@ -1,0 +1,108 @@
+//! A minimal blocking HTTP/1.1 client — one request per connection, matching
+//! the server's `Connection: close` discipline. Shared by the e2e suite, the
+//! demo example, and the closed-loop load generator.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body, as UTF-8 (lossy).
+    pub body: String,
+}
+
+/// Performs one request and reads the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Convenience GET.
+pub fn get(addr: SocketAddr, target: &str, timeout: Duration) -> std::io::Result<Response> {
+    request(addr, "GET", target, "", timeout)
+}
+
+/// Convenience POST.
+pub fn post(
+    addr: SocketAddr,
+    target: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    request(addr, "POST", target, body, timeout)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator in response"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
+    let status_line = head.split("\r\n").next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    Ok(Response {
+        status,
+        body: String::from_utf8_lossy(&raw[head_end + 4..]).into_owned(),
+    })
+}
+
+/// Pulls the first `"key":<integer>` out of a flat JSON body — enough to
+/// read the tiny documents this server emits without a JSON dependency.
+pub fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle)? + needle.len();
+    let digits: String = body[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "ok");
+        assert!(parse_response(b"garbage").is_err());
+    }
+
+    #[test]
+    fn json_u64_extracts_integers() {
+        let body = "{\"accepted\":3,\"epoch_at_enqueue\":12}";
+        assert_eq!(json_u64(body, "accepted"), Some(3));
+        assert_eq!(json_u64(body, "epoch_at_enqueue"), Some(12));
+        assert_eq!(json_u64(body, "missing"), None);
+    }
+}

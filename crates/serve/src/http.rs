@@ -1,0 +1,253 @@
+//! A deliberately minimal HTTP/1.1 subset over `std::net` — just enough to
+//! serve the four endpoints without any external dependency (the build
+//! container is offline).
+//!
+//! Supported: one request per connection (`Connection: close` on every
+//! response), request line + headers capped at 16 KiB, bodies capped at
+//! 4 MiB and sized by `Content-Length`. Anything outside that subset parses
+//! to [`HttpError::Malformed`] and is answered with 400.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Head (request line + headers) size cap.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Body size cap.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased as received).
+    pub method: String,
+    /// Path without the query string, percent-decoded.
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be served.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes on the wire are not the HTTP subset we speak; the static
+    /// string names the first violation.
+    Malformed(&'static str),
+    /// The socket failed (timeout, reset); no response is possible.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads and parses one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    // --- read until the blank line ends the head ---
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("request head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed("bad request line"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("bad request line"));
+    }
+    if method.is_empty() || target.is_empty() {
+        return Err(HttpError::Malformed("bad request line"));
+    }
+
+    // --- headers: only Content-Length matters to this subset ---
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("bad header line"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(HttpError::Malformed("body too large"));
+            }
+        }
+    }
+
+    // --- body ---
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    // --- split target into path + query ---
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = raw_query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: percent_decode(raw_path),
+        query,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Decodes `%XX` escapes and `+` (as space). Invalid escapes pass through
+/// verbatim, which is the lenient behaviour clients expect from debug
+/// servers.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Writes a complete `Connection: close` response.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = reason_of(status);
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn reason_of(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("no-escapes"), "no-escapes");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("%41%42"), "AB");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("plain"), "plain");
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+}

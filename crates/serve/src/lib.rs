@@ -1,0 +1,35 @@
+//! # viderec-serve
+//!
+//! The online serving layer over [`viderec_core::Recommender`] — the process
+//! that turns the paper's *online* framing (a clicked video is the query,
+//! the social side is maintained incrementally as comments arrive, Fig. 5)
+//! into a running service:
+//!
+//! * `GET /recommend?video=<id>&k=<n>&strategy=<s>` — top-k recommendations
+//!   for a clicked corpus video, bit-identical to a direct library call
+//!   against the pinned snapshot (scores ship with their exact `f64` bits);
+//! * `POST /update` — a line-oriented batch of comment events, new-video
+//!   ingests and connection aging (see [`wire`]), drained by a single-writer
+//!   maintenance thread that applies the Fig. 5 paths and publishes the next
+//!   snapshot atomically;
+//! * `GET /healthz` — liveness, snapshot epoch, corpus size, queue depths;
+//! * `GET /metrics` — lock-free counters and latency percentiles.
+//!
+//! Readers never lock the corpus: snapshots are epoch-swapped `Arc`s
+//! ([`snapshot`]), admission is a bounded queue with fast-fail 503
+//! backpressure, per-request deadlines answer 504 before scoring starts, and
+//! shutdown drains every admitted request ([`server`]). The whole stack is
+//! `std::net` + the vendored crossbeam channel — no external dependencies.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod snapshot;
+pub mod wire;
+
+pub use metrics::{Endpoint, Histogram, Metrics};
+pub use server::{parse_strategy, start, ServeConfig, ServerHandle};
+pub use snapshot::{CachedSnapshot, SnapshotCell};

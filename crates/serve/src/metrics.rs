@@ -1,0 +1,329 @@
+//! Lock-free serving metrics.
+//!
+//! Every counter is a plain `AtomicU64` and every latency histogram is a
+//! fixed array of power-of-two buckets, so recording never allocates, never
+//! locks, and never blocks a worker. The registry renders to a
+//! Prometheus-style text page at `/metrics`.
+//!
+//! The accounting identity the e2e suite pins:
+//!
+//! ```text
+//! requests_submitted == requests_served + requests_rejected + requests_deadline_expired
+//! ```
+//!
+//! * `submitted` — counted by the acceptor for every accepted connection;
+//! * `rejected` — fast-fail 503s written by the acceptor when the admission
+//!   queue is full (backpressure);
+//! * `deadline_expired` — 504s written by a worker whose request aged past
+//!   its deadline before scoring started;
+//! * `served` — every other worker-written response, including error
+//!   responses (400/404/update-queue 503s).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram bucket count: bucket `i` holds latencies in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 holds `< 1 µs`), so 40 buckets
+/// cover far beyond any realistic request.
+const BUCKETS: usize = 40;
+
+/// A lock-free log2-bucketed latency histogram (microsecond domain).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(micros: u64) -> usize {
+        ((64 - micros.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, micros: u64) {
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Maximum observed latency in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper bound of the bucket
+    /// holding the rank — accurate to the bucket's factor-of-two width,
+    /// which is the usual precision/footprint trade of log-bucketed
+    /// histograms. Returns 0 when empty.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper bound of bucket i: 2^i - 1 µs (bucket 0 is "< 1 µs").
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        self.max_micros()
+    }
+}
+
+/// The served endpoints, as metric labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /recommend`
+    Recommend,
+    /// `POST /update`
+    Update,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404s, malformed requests).
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 5] = [
+        Endpoint::Recommend,
+        Endpoint::Update,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Recommend => 0,
+            Endpoint::Update => 1,
+            Endpoint::Healthz => 2,
+            Endpoint::Metrics => 3,
+            Endpoint::Other => 4,
+        }
+    }
+
+    /// The metric label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Recommend => "recommend",
+            Endpoint::Update => "update",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Per-endpoint hit/error counters and a latency histogram.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    /// Responses written for this endpoint.
+    pub hits: AtomicU64,
+    /// Of which carried a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Admission-to-response latency.
+    pub latency: Histogram,
+}
+
+/// The server-wide metrics registry. All members are lock-free.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted by the acceptor.
+    pub submitted: AtomicU64,
+    /// Responses written by workers (any status except 503-at-admission and
+    /// 504-deadline).
+    pub served: AtomicU64,
+    /// Fast-fail 503s at admission (queue full).
+    pub rejected: AtomicU64,
+    /// 504s for requests whose deadline expired before scoring.
+    pub deadline_expired: AtomicU64,
+    /// Update batches accepted into the maintenance queue.
+    pub updates_enqueued: AtomicU64,
+    /// Update batches bounced with 503 (update queue full).
+    pub updates_rejected: AtomicU64,
+    /// Individual [`viderec_core::UpdateEvent`]s applied by the writer.
+    pub events_applied: AtomicU64,
+    /// Events the writer rejected (e.g. duplicate video ingest).
+    pub events_failed: AtomicU64,
+    /// Snapshots published (≥ 1 once the first update lands).
+    pub snapshots_published: AtomicU64,
+    endpoints: [EndpointMetrics; 5],
+}
+
+impl Metrics {
+    /// Records a worker-written response.
+    pub fn record_response(&self, endpoint: Endpoint, status: u16, micros: u64) {
+        let ep = &self.endpoints[endpoint.index()];
+        ep.hits.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            ep.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        ep.latency.record(micros);
+    }
+
+    /// The per-endpoint slot (rendering and tests).
+    pub fn endpoint(&self, endpoint: Endpoint) -> &EndpointMetrics {
+        &self.endpoints[endpoint.index()]
+    }
+
+    /// Renders the Prometheus-style text page. `epoch`, `videos` and the
+    /// live queue depths are sampled by the caller (they belong to the
+    /// snapshot cell and the channels, not to this registry).
+    pub fn render(
+        &self,
+        epoch: u64,
+        videos: usize,
+        admission_depth: usize,
+        update_depth: usize,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let _ = writeln!(out, "serve_requests_submitted_total {}", c(&self.submitted));
+        let _ = writeln!(out, "serve_requests_served_total {}", c(&self.served));
+        let _ = writeln!(out, "serve_requests_rejected_total {}", c(&self.rejected));
+        let _ = writeln!(
+            out,
+            "serve_requests_deadline_expired_total {}",
+            c(&self.deadline_expired)
+        );
+        let _ = writeln!(
+            out,
+            "serve_update_batches_enqueued_total {}",
+            c(&self.updates_enqueued)
+        );
+        let _ = writeln!(
+            out,
+            "serve_update_batches_rejected_total {}",
+            c(&self.updates_rejected)
+        );
+        let _ = writeln!(
+            out,
+            "serve_events_applied_total {}",
+            c(&self.events_applied)
+        );
+        let _ = writeln!(out, "serve_events_failed_total {}", c(&self.events_failed));
+        let _ = writeln!(
+            out,
+            "serve_snapshots_published_total {}",
+            c(&self.snapshots_published)
+        );
+        let _ = writeln!(out, "serve_snapshot_epoch {epoch}");
+        let _ = writeln!(out, "serve_corpus_videos {videos}");
+        let _ = writeln!(out, "serve_admission_queue_depth {admission_depth}");
+        let _ = writeln!(out, "serve_update_queue_depth {update_depth}");
+        for ep in Endpoint::ALL {
+            let m = self.endpoint(ep);
+            let label = ep.label();
+            let _ = writeln!(
+                out,
+                "serve_responses_total{{endpoint=\"{label}\"}} {}",
+                c(&m.hits)
+            );
+            let _ = writeln!(
+                out,
+                "serve_response_errors_total{{endpoint=\"{label}\"}} {}",
+                c(&m.errors)
+            );
+            for (q, name) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                let _ = writeln!(
+                    out,
+                    "serve_latency_micros{{endpoint=\"{label}\",quantile=\"{name}\"}} {}",
+                    m.latency.quantile_micros(q)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "serve_latency_micros{{endpoint=\"{label}\",quantile=\"mean\"}} {}",
+                m.latency.mean_micros()
+            );
+            let _ = writeln!(
+                out,
+                "serve_latency_micros{{endpoint=\"{label}\",quantile=\"max\"}} {}",
+                m.latency.max_micros()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bracket_the_data() {
+        let h = Histogram::default();
+        for micros in [3u64, 5, 9, 120, 900, 1500, 15_000] {
+            h.record(micros);
+        }
+        assert_eq!(h.count(), 7);
+        let p50 = h.quantile_micros(0.5);
+        let p95 = h.quantile_micros(0.95);
+        let p99 = h.quantile_micros(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Upper bounds: each quantile is within 2x of a real observation.
+        assert!((9..=2 * 120).contains(&p50), "p50={p50}");
+        assert!((15_000 / 2..=2 * 15_000).contains(&p99), "p99={p99}");
+        assert_eq!(h.max_micros(), 15_000);
+        assert!(h.mean_micros() > 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_micros(0.5), 0);
+        assert_eq!(h.mean_micros(), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn render_contains_the_accounting_counters() {
+        let m = Metrics::default();
+        m.submitted.fetch_add(3, Ordering::Relaxed);
+        m.served.fetch_add(2, Ordering::Relaxed);
+        m.rejected.fetch_add(1, Ordering::Relaxed);
+        m.record_response(Endpoint::Recommend, 200, 840);
+        m.record_response(Endpoint::Recommend, 404, 12);
+        let page = m.render(7, 42, 1, 0);
+        assert!(page.contains("serve_requests_submitted_total 3"));
+        assert!(page.contains("serve_requests_served_total 2"));
+        assert!(page.contains("serve_requests_rejected_total 1"));
+        assert!(page.contains("serve_snapshot_epoch 7"));
+        assert!(page.contains("serve_corpus_videos 42"));
+        assert!(page.contains("serve_responses_total{endpoint=\"recommend\"} 2"));
+        assert!(page.contains("serve_response_errors_total{endpoint=\"recommend\"} 1"));
+        assert!(page.contains("quantile=\"p99\""));
+    }
+}

@@ -1,0 +1,567 @@
+//! The serving pipeline: acceptor → bounded admission queue → worker pool,
+//! plus the single-writer maintenance thread that turns queued
+//! [`UpdateEvent`]s into freshly published snapshots.
+//!
+//! ```text
+//!                    ┌────────────── 503 (queue full, fast-fail)
+//! accept ── submit ──┤
+//!                    └─ admission queue ─ worker ──┬─ 504 (deadline expired
+//!                        (bounded MPMC)            │      before scoring)
+//!                                                  └─ 200/202/400/404/503
+//!   POST /update ── update queue ── maintenance thread
+//!                    (bounded)       apply events → master.clone()
+//!                                    → SnapshotCell::publish (epoch++)
+//! ```
+//!
+//! Invariants:
+//!
+//! * **Consistency** — a worker pins one snapshot per request; results are
+//!   bit-identical to calling [`Recommender::recommend_excluding`] on that
+//!   snapshot directly (the e2e suite asserts this across live updates).
+//! * **Accounting** — every accepted connection is counted exactly once:
+//!   `submitted == served + rejected + deadline_expired`.
+//! * **Bounded memory** — both queues are bounded; overload answers 503
+//!   without buffering, so a burst can never grow memory without limit.
+//! * **Graceful shutdown** — the acceptor stops submitting, workers drain
+//!   every admitted request, and only then does the maintenance thread
+//!   retire.
+
+use crate::http::{escape_json, read_request, write_response, HttpError, Request};
+use crate::metrics::{Endpoint, Metrics};
+use crate::snapshot::{CachedSnapshot, SnapshotCell};
+use crate::wire::parse_update_body;
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use viderec_core::{Recommender, Strategy, UpdateEvent};
+use viderec_video::VideoId;
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads; 0 means `available_parallelism`.
+    pub workers: usize,
+    /// Admission queue capacity: connections waiting for a worker beyond
+    /// this bound are answered 503 immediately.
+    pub admission_capacity: usize,
+    /// Update queue capacity: `POST /update` batches beyond this bound are
+    /// answered 503.
+    pub update_capacity: usize,
+    /// Default per-request deadline (override per request with
+    /// `deadline_ms=`); expiry is checked after queueing and parsing,
+    /// *before* scoring starts, and answered 504.
+    pub default_deadline: Duration,
+    /// Socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Artificial pre-handling stall applied by every worker — zero in
+    /// production; the load/robustness tests use it to make queueing and
+    /// deadline behaviour deterministic.
+    pub synthetic_delay: Duration,
+    /// Upper bound on the `k` a request may ask for (larger values clamp).
+    pub max_k: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            admission_capacity: 64,
+            update_capacity: 64,
+            default_deadline: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(2),
+            synthetic_delay: Duration::ZERO,
+            max_k: 1024,
+        }
+    }
+}
+
+/// One admitted connection, stamped at admission for deadline accounting.
+struct Admitted {
+    stream: TcpStream,
+    at: Instant,
+}
+
+/// State shared by the acceptor and every worker.
+struct Ctx {
+    cfg: ServeConfig,
+    metrics: Arc<Metrics>,
+    cell: Arc<SnapshotCell<Recommender>>,
+    update_tx: Sender<Vec<UpdateEvent>>,
+    /// Probe handles for queue-depth gauges (never received from).
+    admission_probe: Receiver<Admitted>,
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::shutdown`])
+/// stops accepting, drains in-flight work, and joins every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop_flag: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    maintainer: Option<std::thread::JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+    cell: Arc<SnapshotCell<Recommender>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, drain admitted requests, apply
+    /// queued updates, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.stop_flag.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of `accept()`; it checks the flag first and
+        // drops this connection without admitting it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // The acceptor dropped its sender: workers drain the remaining
+        // admitted connections, then observe disconnection and exit.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // The workers dropped the last update sender: the maintainer drains
+        // queued batches, publishes, and exits.
+        if let Some(h) = self.maintainer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Starts the server over `recommender` and returns once the listener is
+/// bound and every thread is running.
+pub fn start(cfg: ServeConfig, recommender: Recommender) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.workers
+    };
+
+    let metrics = Arc::new(Metrics::default());
+    let master = recommender;
+    let cell = Arc::new(SnapshotCell::new(Arc::new(master.clone())));
+    let (admission_tx, admission_rx) = channel::bounded::<Admitted>(cfg.admission_capacity);
+    let (update_tx, update_rx) = channel::bounded::<Vec<UpdateEvent>>(cfg.update_capacity);
+    let stop_flag = Arc::new(AtomicBool::new(false));
+
+    let ctx = Arc::new(Ctx {
+        cfg: cfg.clone(),
+        metrics: Arc::clone(&metrics),
+        cell: Arc::clone(&cell),
+        update_tx,
+        admission_probe: admission_rx.clone(),
+    });
+
+    // --- maintenance thread (the single writer) ---
+    let maintainer = {
+        let cell = Arc::clone(&cell);
+        let metrics = Arc::clone(&metrics);
+        std::thread::Builder::new()
+            .name("serve-maintainer".into())
+            .spawn(move || maintainer_loop(master, update_rx, &cell, &metrics))?
+    };
+
+    // --- worker pool ---
+    let worker_handles = (0..workers)
+        .map(|i| {
+            let ctx = Arc::clone(&ctx);
+            let rx = admission_rx.clone();
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&ctx, &rx))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+    // The pool owns its clones; drop the original so worker exit alone
+    // disconnects the update channel.
+    drop(admission_rx);
+
+    // --- acceptor ---
+    let acceptor = {
+        let ctx = Arc::clone(&ctx);
+        let flag = Arc::clone(&stop_flag);
+        std::thread::Builder::new()
+            .name("serve-acceptor".into())
+            .spawn(move || acceptor_loop(&listener, &ctx, admission_tx, &flag))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop_flag,
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+        maintainer: Some(maintainer),
+        metrics,
+        cell,
+    })
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    ctx: &Ctx,
+    admission_tx: Sender<Admitted>,
+    stop_flag: &AtomicBool,
+) {
+    for conn in listener.incoming() {
+        if stop_flag.load(Ordering::SeqCst) {
+            break; // the waking connection is dropped, never admitted
+        }
+        let Ok(stream) = conn else { continue };
+        ctx.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let admitted = Admitted {
+            stream,
+            at: Instant::now(),
+        };
+        match admission_tx.try_send(admitted) {
+            Ok(()) => {}
+            Err(TrySendError::Full(adm)) => {
+                ctx.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                reject_503(adm.stream);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `admission_tx` here lets workers drain and exit.
+}
+
+/// Backpressure fast-fail: answer 503 without waiting for a worker. The
+/// single short read drains the (typically one-segment) request so closing
+/// the socket does not RST the response away before the client reads it.
+fn reject_503(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut drain = [0u8; 4096];
+    let _ = std::io::Read::read(&mut stream, &mut drain);
+    let _ = write_response(
+        &mut stream,
+        503,
+        "application/json",
+        b"{\"error\":\"admission queue full\"}",
+    );
+}
+
+fn worker_loop(ctx: &Ctx, rx: &Receiver<Admitted>) {
+    let mut cache = CachedSnapshot::new(&ctx.cell);
+    while let Ok(admitted) = rx.recv() {
+        handle_connection(ctx, &mut cache, admitted);
+    }
+}
+
+/// Outcome classes for the accounting identity.
+enum Outcome {
+    /// A response was written (or attempted) by this worker: `served`.
+    Served(u16),
+    /// The request aged past its deadline before scoring: `deadline_expired`.
+    Expired,
+}
+
+fn handle_connection(ctx: &Ctx, cache: &mut CachedSnapshot<Recommender>, mut adm: Admitted) {
+    let _ = adm.stream.set_read_timeout(Some(ctx.cfg.io_timeout));
+    let _ = adm.stream.set_write_timeout(Some(ctx.cfg.io_timeout));
+    if !ctx.cfg.synthetic_delay.is_zero() {
+        // Simulated downstream latency; sits before the deadline check so
+        // deadline behaviour under load is reproducible.
+        std::thread::sleep(ctx.cfg.synthetic_delay);
+    }
+
+    let (endpoint, outcome) = match read_request(&mut adm.stream) {
+        Ok(req) => route(ctx, cache, &mut adm, &req),
+        Err(HttpError::Malformed(msg)) => {
+            let body = format!("{{\"error\":\"{}\"}}", escape_json(msg));
+            let _ = write_response(&mut adm.stream, 400, "application/json", body.as_bytes());
+            (Endpoint::Other, Outcome::Served(400))
+        }
+        // The socket died before a request arrived; nothing can be written,
+        // but the admission must still be accounted (nginx's 499).
+        Err(HttpError::Io(_)) => (Endpoint::Other, Outcome::Served(499)),
+    };
+
+    let micros = adm.at.elapsed().as_micros() as u64;
+    match outcome {
+        Outcome::Served(status) => {
+            ctx.metrics.served.fetch_add(1, Ordering::Relaxed);
+            ctx.metrics.record_response(endpoint, status, micros);
+        }
+        Outcome::Expired => {
+            ctx.metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            ctx.metrics.record_response(endpoint, 504, micros);
+        }
+    }
+}
+
+fn route(
+    ctx: &Ctx,
+    cache: &mut CachedSnapshot<Recommender>,
+    adm: &mut Admitted,
+    req: &Request,
+) -> (Endpoint, Outcome) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/recommend") => (Endpoint::Recommend, recommend(ctx, cache, adm, req)),
+        ("POST", "/update") => (Endpoint::Update, update(ctx, adm, req)),
+        ("GET", "/healthz") => (Endpoint::Healthz, healthz(ctx, cache, adm)),
+        ("GET", "/metrics") => (Endpoint::Metrics, metrics_page(ctx, cache, adm)),
+        _ => {
+            let outcome = respond(adm, 404, "application/json", b"{\"error\":\"not found\"}");
+            (Endpoint::Other, outcome)
+        }
+    }
+}
+
+fn respond(adm: &mut Admitted, status: u16, content_type: &str, body: &[u8]) -> Outcome {
+    let _ = write_response(&mut adm.stream, status, content_type, body);
+    Outcome::Served(status)
+}
+
+fn bad_request(adm: &mut Admitted, msg: &str) -> Outcome {
+    let body = format!("{{\"error\":\"{}\"}}", escape_json(msg));
+    respond(adm, 400, "application/json", body.as_bytes())
+}
+
+fn recommend(
+    ctx: &Ctx,
+    cache: &mut CachedSnapshot<Recommender>,
+    adm: &mut Admitted,
+    req: &Request,
+) -> Outcome {
+    // --- parse everything before the deadline check: parsing is part of
+    // the request's age, scoring is not allowed to start past-deadline ---
+    let Some(video_str) = req.param("video") else {
+        return bad_request(adm, "missing required parameter 'video'");
+    };
+    let Ok(video) = video_str.parse::<u64>() else {
+        return bad_request(adm, "parameter 'video' must be an unsigned integer");
+    };
+    let k = match req.param("k") {
+        None => 10usize,
+        Some(s) => match s.parse::<usize>() {
+            Ok(k) => k.min(ctx.cfg.max_k),
+            Err(_) => return bad_request(adm, "parameter 'k' must be an unsigned integer"),
+        },
+    };
+    let strategy = match req.param("strategy") {
+        None => Strategy::CsfSarH,
+        Some(s) => match parse_strategy(s) {
+            Some(st) => st,
+            None => {
+                return bad_request(
+                    adm,
+                    "unknown strategy (expected cr|sr|csf|csf-sar|csf-sar-h)",
+                )
+            }
+        },
+    };
+    let mut exclude = vec![VideoId(video)];
+    if let Some(csv) = req.param("exclude") {
+        for part in csv.split(',').filter(|p| !p.is_empty()) {
+            match part.parse::<u64>() {
+                Ok(id) => exclude.push(VideoId(id)),
+                Err(_) => return bad_request(adm, "parameter 'exclude' must be a CSV of ids"),
+            }
+        }
+    }
+    let budget = match req.param("deadline_ms") {
+        None => ctx.cfg.default_deadline,
+        Some(s) => match s.parse::<u64>() {
+            Ok(ms) => Duration::from_millis(ms),
+            Err(_) => return bad_request(adm, "parameter 'deadline_ms' must be milliseconds"),
+        },
+    };
+
+    // --- deadline gate: queue wait + parse time, measured before scoring ---
+    if adm.at.elapsed() > budget {
+        let _ = write_response(
+            &mut adm.stream,
+            504,
+            "application/json",
+            b"{\"error\":\"deadline expired before scoring\"}",
+        );
+        return Outcome::Expired;
+    }
+
+    // --- score against one pinned snapshot ---
+    let snapshot = cache.get(&ctx.cell);
+    let epoch = cache.epoch();
+    let Some(query) = snapshot.query_for(VideoId(video)) else {
+        let body = format!("{{\"error\":\"unknown video {video}\"}}");
+        return respond(adm, 404, "application/json", body.as_bytes());
+    };
+    let results = snapshot.recommend_excluding(strategy, &query, k, &exclude);
+
+    let mut body = format!(
+        "{{\"query\":{video},\"strategy\":\"{}\",\"k\":{k},\"epoch\":{epoch},\"results\":[",
+        strategy.label()
+    );
+    for (i, scored) in results.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"video\":{},\"score\":{},\"score_bits\":\"{:016x}\"}}",
+            scored.video.0,
+            scored.score,
+            scored.score.to_bits()
+        );
+    }
+    body.push_str("]}");
+    respond(adm, 200, "application/json", body.as_bytes())
+}
+
+fn update(ctx: &Ctx, adm: &mut Admitted, req: &Request) -> Outcome {
+    let Ok(body_str) = std::str::from_utf8(&req.body) else {
+        return bad_request(adm, "update body must be UTF-8");
+    };
+    let events = match parse_update_body(body_str) {
+        Ok(events) => events,
+        Err(msg) => return bad_request(adm, &msg),
+    };
+    let accepted = events.len();
+    if accepted == 0 {
+        return respond(
+            adm,
+            202,
+            "application/json",
+            b"{\"accepted\":0,\"note\":\"empty batch\"}",
+        );
+    }
+    match ctx.update_tx.try_send(events) {
+        Ok(()) => {
+            ctx.metrics.updates_enqueued.fetch_add(1, Ordering::Relaxed);
+            let body = format!(
+                "{{\"accepted\":{accepted},\"epoch_at_enqueue\":{}}}",
+                ctx.cell.epoch()
+            );
+            respond(adm, 202, "application/json", body.as_bytes())
+        }
+        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+            ctx.metrics.updates_rejected.fetch_add(1, Ordering::Relaxed);
+            respond(
+                adm,
+                503,
+                "application/json",
+                b"{\"error\":\"update queue full\"}",
+            )
+        }
+    }
+}
+
+fn healthz(ctx: &Ctx, cache: &mut CachedSnapshot<Recommender>, adm: &mut Admitted) -> Outcome {
+    let snapshot = cache.get(&ctx.cell);
+    let body = format!(
+        "{{\"status\":\"ok\",\"epoch\":{},\"videos\":{},\"users\":{},\"admission_queue_depth\":{},\"update_queue_depth\":{}}}",
+        cache.epoch(),
+        snapshot.num_videos(),
+        snapshot.num_users(),
+        ctx.admission_probe.len(),
+        ctx.update_tx.len(),
+    );
+    respond(adm, 200, "application/json", body.as_bytes())
+}
+
+fn metrics_page(ctx: &Ctx, cache: &mut CachedSnapshot<Recommender>, adm: &mut Admitted) -> Outcome {
+    let videos = cache.get(&ctx.cell).num_videos();
+    let page = ctx.metrics.render(
+        ctx.cell.epoch(),
+        videos,
+        ctx.admission_probe.len(),
+        ctx.update_tx.len(),
+    );
+    respond(adm, 200, "text/plain; version=0.0.4", page.as_bytes())
+}
+
+fn maintainer_loop(
+    mut master: Recommender,
+    update_rx: Receiver<Vec<UpdateEvent>>,
+    cell: &SnapshotCell<Recommender>,
+    metrics: &Metrics,
+) {
+    // `recv` returns Err only when every sender is gone *and* the queue is
+    // drained, so shutdown applies every accepted batch before retiring.
+    while let Ok(first) = update_rx.recv() {
+        let mut batches = vec![first];
+        while let Ok(more) = update_rx.try_recv() {
+            batches.push(more);
+        }
+        for batch in batches {
+            for event in batch {
+                match master.apply_event(event) {
+                    Ok(_) => {
+                        metrics.events_applied.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        metrics.events_failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        // Clone-for-publish: readers keep the old snapshot until they next
+        // observe the epoch bump; nothing is ever mutated in place under a
+        // reader.
+        cell.publish(Arc::new(master.clone()));
+        metrics.snapshots_published.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Parses a strategy label (case-insensitive; `_` and `-` interchangeable).
+pub fn parse_strategy(s: &str) -> Option<Strategy> {
+    match s.to_ascii_lowercase().replace('_', "-").as_str() {
+        "cr" => Some(Strategy::Cr),
+        "sr" => Some(Strategy::Sr),
+        "csf" => Some(Strategy::Csf),
+        "csf-sar" => Some(Strategy::CsfSar),
+        "csf-sar-h" | "csfsarh" => Some(Strategy::CsfSarH),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_labels_parse_back() {
+        for s in [
+            Strategy::Cr,
+            Strategy::Sr,
+            Strategy::Csf,
+            Strategy::CsfSar,
+            Strategy::CsfSarH,
+        ] {
+            assert_eq!(parse_strategy(s.label()), Some(s));
+            assert_eq!(parse_strategy(&s.label().to_lowercase()), Some(s));
+        }
+        assert_eq!(parse_strategy("csf_sar_h"), Some(Strategy::CsfSarH));
+        assert_eq!(parse_strategy("bogus"), None);
+    }
+}

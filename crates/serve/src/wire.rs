@@ -1,0 +1,288 @@
+//! The update-pipeline wire format.
+//!
+//! `POST /update` carries a plain-text, line-oriented batch — one event per
+//! line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! comment <video_id> <user name...>
+//! ingest <video_id> <users-csv|-> <series|->
+//! age <amount>
+//! ```
+//!
+//! Signature series travel as **bit-exact** hex: every `f64` is encoded as
+//! its 16-digit `to_bits` hex, cuboids as `value:weight`, cuboids joined by
+//! `,`, signatures joined by `|`, and an empty series as `-`. Decoding
+//! re-validates Definition 1 (positive weights, unit mass) before
+//! constructing the signature, so a malformed body can never panic the
+//! server — it parses to an error and is answered with 400.
+//!
+//! The same codec backs the load generator and the e2e suite: a series that
+//! round-trips through this format is `==` to the original, which is what
+//! makes "served results are bit-identical to direct library calls" testable
+//! across a real socket.
+
+use viderec_core::{CorpusVideo, SocialUpdate, UpdateEvent};
+use viderec_signature::{Cuboid, CuboidSignature, SignatureSeries};
+use viderec_video::VideoId;
+
+fn f64_to_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn f64_from_hex(s: &str) -> Result<f64, String> {
+    if s.len() != 16 {
+        return Err(format!("f64 hex '{s}' is not 16 digits"));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad f64 hex '{s}'"))
+}
+
+/// Encodes a series bit-exactly (`-` for an empty series).
+pub fn encode_series(series: &SignatureSeries) -> String {
+    if series.is_empty() {
+        return "-".to_string();
+    }
+    series
+        .signatures()
+        .iter()
+        .map(|sig| {
+            sig.cuboids()
+                .iter()
+                .map(|c| format!("{}:{}", f64_to_hex(c.value), f64_to_hex(c.weight)))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Decodes [`encode_series`] output, re-validating Definition 1.
+pub fn decode_series(s: &str) -> Result<SignatureSeries, String> {
+    if s == "-" {
+        return Ok(SignatureSeries::default());
+    }
+    let mut signatures = Vec::new();
+    for (i, sig_str) in s.split('|').enumerate() {
+        let mut cuboids = Vec::new();
+        for pair in sig_str.split(',') {
+            let Some((v, w)) = pair.split_once(':') else {
+                return Err(format!("signature {i}: cuboid '{pair}' lacks ':'"));
+            };
+            cuboids.push(Cuboid {
+                value: f64_from_hex(v)?,
+                weight: f64_from_hex(w)?,
+            });
+        }
+        // Re-validate before the panicking constructor.
+        if cuboids.is_empty() {
+            return Err(format!("signature {i} has no cuboids"));
+        }
+        if !cuboids
+            .iter()
+            .all(|c| c.weight > 0.0 && c.weight.is_finite() && c.value.is_finite())
+        {
+            return Err(format!(
+                "signature {i}: weights must be positive and finite"
+            ));
+        }
+        let mass: f64 = cuboids.iter().map(|c| c.weight).sum();
+        if (mass - 1.0).abs() >= 1e-6 {
+            return Err(format!("signature {i}: mass {mass} != 1"));
+        }
+        signatures.push(CuboidSignature::new(cuboids));
+    }
+    Ok(SignatureSeries::new(signatures))
+}
+
+/// Encodes one comment event line.
+pub fn encode_comment(video: VideoId, user: &str) -> String {
+    format!("comment {} {user}", video.0)
+}
+
+/// Encodes one ingest event line.
+pub fn encode_ingest(video: &CorpusVideo) -> String {
+    let users = if video.users.is_empty() {
+        "-".to_string()
+    } else {
+        video.users.join(",")
+    };
+    format!(
+        "ingest {} {users} {}",
+        video.id.0,
+        encode_series(&video.series)
+    )
+}
+
+/// Encodes one aging event line.
+pub fn encode_age(amount: u32) -> String {
+    format!("age {amount}")
+}
+
+/// Parses an update body into events. Consecutive `comment` lines collapse
+/// into one [`UpdateEvent::Comments`] batch (one Fig. 5 maintenance run),
+/// matching how a period's comments arrive together.
+pub fn parse_update_body(body: &str) -> Result<Vec<UpdateEvent>, String> {
+    let mut events: Vec<UpdateEvent> = Vec::new();
+    for (lineno, raw) in body.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let mut parts = line.splitn(2, ' ');
+        let verb = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        match verb {
+            "comment" => {
+                let Some((id_str, user)) = rest.split_once(' ') else {
+                    return Err(err("comment needs '<video_id> <user>'".into()));
+                };
+                let id: u64 = id_str
+                    .parse()
+                    .map_err(|_| err(format!("bad video id '{id_str}'")))?;
+                let user = user.trim();
+                if user.is_empty() {
+                    return Err(err("empty user name".into()));
+                }
+                let update = SocialUpdate {
+                    video: VideoId(id),
+                    user: user.to_string(),
+                };
+                match events.last_mut() {
+                    Some(UpdateEvent::Comments(batch)) => batch.push(update),
+                    _ => events.push(UpdateEvent::Comments(vec![update])),
+                }
+            }
+            "ingest" => {
+                let mut fields = rest.splitn(3, ' ');
+                let (Some(id_str), Some(users_csv), Some(series_str)) =
+                    (fields.next(), fields.next(), fields.next())
+                else {
+                    return Err(err("ingest needs '<id> <users-csv|-> <series|->'".into()));
+                };
+                let id: u64 = id_str
+                    .parse()
+                    .map_err(|_| err(format!("bad video id '{id_str}'")))?;
+                let users: Vec<String> = if users_csv == "-" {
+                    Vec::new()
+                } else {
+                    users_csv
+                        .split(',')
+                        .filter(|u| !u.is_empty())
+                        .map(str::to_string)
+                        .collect()
+                };
+                let series = decode_series(series_str.trim()).map_err(err)?;
+                events.push(UpdateEvent::Ingest(vec![CorpusVideo {
+                    id: VideoId(id),
+                    series,
+                    users,
+                }]));
+            }
+            "age" => {
+                let amount: u32 = rest
+                    .parse()
+                    .map_err(|_| err(format!("bad age amount '{rest}'")))?;
+                events.push(UpdateEvent::Age(amount));
+            }
+            other => return Err(err(format!("unknown verb '{other}'"))),
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> SignatureSeries {
+        SignatureSeries::new(vec![
+            CuboidSignature::new(vec![
+                Cuboid {
+                    value: 0.123456789,
+                    weight: 0.25,
+                },
+                Cuboid {
+                    value: -3.5e-7,
+                    weight: 0.75,
+                },
+            ]),
+            CuboidSignature::new(vec![Cuboid {
+                value: 42.0,
+                weight: 1.0,
+            }]),
+        ])
+    }
+
+    #[test]
+    fn series_roundtrip_is_bit_identical() {
+        let s = sample_series();
+        assert_eq!(decode_series(&encode_series(&s)).unwrap(), s);
+        let empty = SignatureSeries::default();
+        assert_eq!(encode_series(&empty), "-");
+        assert_eq!(decode_series("-").unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_bad_input_without_panicking() {
+        assert!(decode_series("nonsense").is_err());
+        assert!(decode_series("zzzz:zzzz").is_err());
+        // Valid hex but negative weight: bff0000000000000 = -1.0.
+        let neg = format!("{}:bff0000000000000", "3ff0000000000000");
+        assert!(decode_series(&neg).unwrap_err().contains("positive"));
+        // Mass != 1: two cuboids of weight 1.0 each.
+        let heavy = "3ff0000000000000:3ff0000000000000,3ff0000000000000:3ff0000000000000";
+        assert!(decode_series(heavy).unwrap_err().contains("mass"));
+    }
+
+    #[test]
+    fn update_body_roundtrip() {
+        let video = CorpusVideo {
+            id: VideoId(9),
+            series: sample_series(),
+            users: vec!["ann".into(), "bob".into()],
+        };
+        let body = format!(
+            "# a batch\n{}\n{}\n\n{}\n{}\n",
+            encode_comment(VideoId(1), "carol jones"),
+            encode_comment(VideoId(2), "dave"),
+            encode_ingest(&video),
+            encode_age(3),
+        );
+        let events = parse_update_body(&body).unwrap();
+        assert_eq!(events.len(), 3, "comments collapse into one batch");
+        match &events[0] {
+            UpdateEvent::Comments(batch) => {
+                assert_eq!(batch.len(), 2);
+                assert_eq!(batch[0].user, "carol jones");
+                assert_eq!(batch[1].video, VideoId(2));
+            }
+            other => panic!("expected comments, got {other:?}"),
+        }
+        match &events[1] {
+            UpdateEvent::Ingest(videos) => {
+                assert_eq!(videos[0].id, VideoId(9));
+                assert_eq!(videos[0].users, vec!["ann", "bob"]);
+                assert_eq!(videos[0].series, sample_series());
+            }
+            other => panic!("expected ingest, got {other:?}"),
+        }
+        assert!(matches!(events[2], UpdateEvent::Age(3)));
+    }
+
+    #[test]
+    fn update_body_errors_name_the_line() {
+        assert!(parse_update_body("comment 1")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(parse_update_body("bogus 1 2")
+            .unwrap_err()
+            .contains("bogus"));
+        assert!(parse_update_body("age x").unwrap_err().contains("line 1"));
+        assert!(parse_update_body("ingest 5 - zz")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(parse_update_body("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Serving demo: start the recommendation server over a synthetic community,
+//! issue real HTTP requests against it (queries, an update, health, metrics),
+//! and shut down gracefully.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use std::time::Duration;
+use viderec::core::{Recommender, RecommenderConfig};
+use viderec::eval::community::{Community, CommunityConfig};
+use viderec_serve::client::{get, post};
+use viderec_serve::wire::encode_comment;
+use viderec_serve::{start, ServeConfig};
+
+fn main() {
+    let timeout = Duration::from_secs(5);
+
+    println!("generating community…");
+    let community = Community::generate(CommunityConfig {
+        hours: 10.0,
+        ..Default::default()
+    });
+    println!("building recommender…");
+    let recommender = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("valid corpus");
+    println!(
+        "  {} videos, {} users, {} sub-communities",
+        recommender.num_videos(),
+        recommender.num_users(),
+        recommender.live_communities()
+    );
+
+    let handle = start(ServeConfig::default(), recommender).expect("server starts");
+    let addr = handle.addr();
+    println!("serving on http://{addr}\n");
+
+    // A clicked video → top-5 recommendations, all strategies.
+    let clicked = community.query_videos()[0];
+    for strategy in ["cr", "sr", "csf", "csf-sar", "csf-sar-h"] {
+        let resp = get(
+            addr,
+            &format!("/recommend?video={}&k=5&strategy={strategy}", clicked.0),
+            timeout,
+        )
+        .expect("recommend");
+        println!("GET /recommend strategy={strategy:9} -> {}", resp.status);
+        println!("  {}", resp.body);
+    }
+
+    // Push a comment batch through the update pipeline and watch the epoch.
+    let user = &community.comments[0].user;
+    let body = format!("{}\n", encode_comment(clicked, user));
+    let resp = post(addr, "/update", &body, timeout).expect("update");
+    println!("\nPOST /update -> {} {}", resp.status, resp.body);
+    while handle.epoch() < 2 {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("snapshot epoch is now {}", handle.epoch());
+
+    let resp = get(addr, "/healthz", timeout).expect("healthz");
+    println!("\nGET /healthz -> {} {}", resp.status, resp.body);
+
+    let resp = get(addr, "/metrics", timeout).expect("metrics");
+    println!("\nGET /metrics -> {}\n{}", resp.status, resp.body);
+
+    handle.shutdown();
+    println!("shut down cleanly");
+}

@@ -1,0 +1,428 @@
+//! End-to-end tests for the serving subsystem over real sockets.
+//!
+//! The central claim under test: a response served over TCP is **bit
+//! identical** to calling the library directly on the corpus state named by
+//! the response's `epoch` — including while a concurrent `POST /update`
+//! swaps snapshots underneath the readers.
+
+use std::collections::HashMap;
+use std::time::Duration;
+use viderec::core::{CorpusVideo, Recommender, RecommenderConfig, SocialUpdate, Strategy};
+use viderec::eval::community::{Community, CommunityConfig};
+use viderec::video::VideoId;
+use viderec_serve::client::{get, json_u64, post};
+use viderec_serve::wire::{encode_age, encode_comment, encode_ingest};
+use viderec_serve::{start, ServeConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn build_recommender() -> (Community, Recommender) {
+    let community = Community::generate(CommunityConfig::tiny(0xC0FFEE));
+    let r =
+        Recommender::build(RecommenderConfig::default(), community.source_corpus()).expect("build");
+    (community, r)
+}
+
+/// Direct library call matching the server's `GET /recommend` semantics.
+fn direct(
+    r: &Recommender,
+    strategy: Strategy,
+    qid: VideoId,
+    k: usize,
+    extra_exclude: &[VideoId],
+) -> Vec<(u64, u64)> {
+    let q = r.query_for(qid).expect("query video indexed");
+    let mut exclude = vec![qid];
+    exclude.extend_from_slice(extra_exclude);
+    r.recommend_excluding(strategy, &q, k, &exclude)
+        .into_iter()
+        .map(|s| (s.video.0, s.score.to_bits()))
+        .collect()
+}
+
+/// Pulls `(video, score_bits)` pairs out of a `/recommend` response body.
+fn parse_results(body: &str) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(pos) = rest.find("{\"video\":") {
+        rest = &rest[pos + "{\"video\":".len()..];
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let video: u64 = digits.parse().expect("video id");
+        let key = "\"score_bits\":\"";
+        let bpos = rest.find(key).expect("score_bits present");
+        let hex = &rest[bpos + key.len()..bpos + key.len() + 16];
+        out.push((video, u64::from_str_radix(hex, 16).expect("hex bits")));
+        rest = &rest[bpos..];
+    }
+    out
+}
+
+#[test]
+fn served_results_are_bit_identical_to_direct_calls() {
+    let (community, r) = build_recommender();
+    let reference = r.clone(); // library-side ground truth
+    let handle = start(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        r,
+    )
+    .expect("server starts");
+    let addr = handle.addr();
+
+    let strategies = [
+        ("cr", Strategy::Cr),
+        ("sr", Strategy::Sr),
+        ("csf", Strategy::Csf),
+        ("csf-sar", Strategy::CsfSar),
+        ("csf-sar-h", Strategy::CsfSarH),
+    ];
+    let queries: Vec<VideoId> = community.query_videos().into_iter().take(4).collect();
+
+    // Concurrent clients, one per strategy, each walking every query.
+    std::thread::scope(|s| {
+        for &(label, strategy) in &strategies {
+            let queries = &queries;
+            let reference = &reference;
+            s.spawn(move || {
+                for &qid in queries {
+                    for k in [1usize, 5, 10] {
+                        let target = format!("/recommend?video={}&k={k}&strategy={label}", qid.0);
+                        let resp = get(addr, &target, TIMEOUT).expect("request succeeds");
+                        assert_eq!(resp.status, 200, "body: {}", resp.body);
+                        assert_eq!(
+                            parse_results(&resp.body),
+                            direct(reference, strategy, qid, k, &[]),
+                            "strategy {label}, query {}, k {k}",
+                            qid.0
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // The `exclude` parameter composes with the implicit query exclusion.
+    let qid = queries[0];
+    let base = direct(&reference, Strategy::CsfSarH, qid, 3, &[]);
+    let excluded: Vec<VideoId> = base.iter().map(|&(v, _)| VideoId(v)).collect();
+    let csv = excluded
+        .iter()
+        .map(|v| v.0.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let resp = get(
+        addr,
+        &format!("/recommend?video={}&k=3&exclude={csv}", qid.0),
+        TIMEOUT,
+    )
+    .expect("request succeeds");
+    assert_eq!(resp.status, 200);
+    let served = parse_results(&resp.body);
+    assert_eq!(
+        served,
+        direct(&reference, Strategy::CsfSarH, qid, 3, &excluded)
+    );
+    for (v, _) in &served {
+        assert!(!excluded.contains(&VideoId(*v)), "excluded id served");
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_400_and_404() {
+    let (_, r) = build_recommender();
+    let handle = start(ServeConfig::default(), r).expect("server starts");
+    let addr = handle.addr();
+
+    for target in [
+        "/recommend",                          // missing video
+        "/recommend?video=abc",                // non-numeric id
+        "/recommend?video=1&k=x",              // non-numeric k
+        "/recommend?video=1&strategy=bogus",   // unknown strategy
+        "/recommend?video=1&deadline_ms=soon", // non-numeric deadline
+        "/recommend?video=1&exclude=1,x",      // bad exclude csv
+    ] {
+        let resp = get(addr, target, TIMEOUT).expect("request succeeds");
+        assert_eq!(resp.status, 400, "{target}: {}", resp.body);
+        assert!(resp.body.contains("error"), "{target}");
+    }
+
+    let resp = post(addr, "/update", "frobnicate 1 2", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 400, "unknown verb: {}", resp.body);
+
+    let resp = get(addr, "/nowhere", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = get(addr, "/recommend?video=999999999", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 404, "unknown video: {}", resp.body);
+
+    // Non-HTTP bytes on the socket get a 400, not a hang or a panic.
+    {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 400"), "got: {out}");
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn overload_burst_fast_fails_503_and_accounting_balances() {
+    let (community, r) = build_recommender();
+    let qid = community.query_videos()[0];
+    // One slow worker + a one-slot queue: a burst must overflow admission.
+    let handle = start(
+        ServeConfig {
+            workers: 1,
+            admission_capacity: 1,
+            synthetic_delay: Duration::from_millis(120),
+            ..ServeConfig::default()
+        },
+        r,
+    )
+    .expect("server starts");
+    let addr = handle.addr();
+
+    let statuses: Vec<u16> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                s.spawn(move || {
+                    get(addr, &format!("/recommend?video={}", qid.0), TIMEOUT)
+                        .map(|r| r.status)
+                        .unwrap_or(0)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let ok = statuses.iter().filter(|&&s| s == 200).count();
+    let rejected = statuses.iter().filter(|&&s| s == 503).count();
+    assert!(ok >= 1, "statuses: {statuses:?}");
+    assert!(rejected >= 1, "burst never overflowed: {statuses:?}");
+    for s in &statuses {
+        assert!(
+            [200, 503].contains(s),
+            "unexpected status {s}: {statuses:?}"
+        );
+    }
+
+    // The accounting identity covers every admitted connection.
+    let m = handle.metrics();
+    let submitted = m.submitted.load(std::sync::atomic::Ordering::SeqCst);
+    let served = m.served.load(std::sync::atomic::Ordering::SeqCst);
+    let rejected_m = m.rejected.load(std::sync::atomic::Ordering::SeqCst);
+    let expired = m.deadline_expired.load(std::sync::atomic::Ordering::SeqCst);
+    assert_eq!(submitted, 12);
+    assert_eq!(
+        submitted,
+        served + rejected_m + expired,
+        "served={served} rejected={rejected_m} expired={expired}"
+    );
+    assert_eq!(rejected_m as usize, rejected);
+
+    handle.shutdown();
+}
+
+#[test]
+fn past_deadline_requests_get_504_before_scoring() {
+    let (community, r) = build_recommender();
+    let qid = community.query_videos()[0];
+    let handle = start(
+        ServeConfig {
+            workers: 1,
+            synthetic_delay: Duration::from_millis(30),
+            ..ServeConfig::default()
+        },
+        r,
+    )
+    .expect("server starts");
+    let addr = handle.addr();
+
+    let resp = get(
+        addr,
+        &format!("/recommend?video={}&deadline_ms=1", qid.0),
+        TIMEOUT,
+    )
+    .expect("request succeeds");
+    assert_eq!(resp.status, 504, "body: {}", resp.body);
+
+    // A generous deadline on the same server still serves.
+    let resp = get(
+        addr,
+        &format!("/recommend?video={}&deadline_ms=5000", qid.0),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+
+    let m = handle.metrics();
+    assert_eq!(
+        m.deadline_expired.load(std::sync::atomic::Ordering::SeqCst),
+        1
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn updates_apply_and_queries_stay_bit_identical_across_the_swap() {
+    let (community, r) = build_recommender();
+    let old_reference = r.clone(); // epoch-1 ground truth
+    let mut reference = r.clone(); // becomes the epoch-2 ground truth
+    let handle = start(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        r,
+    )
+    .expect("server starts");
+    let addr = handle.addr();
+    let qid = community.query_videos()[0];
+    let epoch0 = handle.epoch();
+    assert_eq!(epoch0, 1);
+
+    // The update batch: fresh comments, one brand-new video (a copy of an
+    // existing series under a new id), and one aging step.
+    let existing_users: Vec<String> = community
+        .comments
+        .iter()
+        .take(3)
+        .map(|c| c.user.clone())
+        .collect();
+    let new_id = VideoId(1_000_000);
+    let new_video = CorpusVideo {
+        id: new_id,
+        series: reference.series_of(qid).unwrap().clone(),
+        users: existing_users.clone(),
+    };
+    let mut body = String::new();
+    for (i, user) in existing_users.iter().enumerate() {
+        body.push_str(&encode_comment(community.videos[i].id, user));
+        body.push('\n');
+    }
+    body.push_str(&encode_ingest(&new_video));
+    body.push('\n');
+    body.push_str(&encode_age(1));
+    body.push('\n');
+
+    // Apply the identical events to the local reference: consecutive
+    // comments collapse into one batch, exactly as the wire parser does.
+    let updates: Vec<SocialUpdate> = existing_users
+        .iter()
+        .enumerate()
+        .map(|(i, user)| SocialUpdate {
+            video: community.videos[i].id,
+            user: user.clone(),
+        })
+        .collect();
+    reference.apply_social_updates(&updates);
+    reference.add_videos(vec![new_video]).expect("ingest");
+    reference.age_social_connections(1);
+
+    // Fire queries concurrently with the update: every response must match
+    // the state its epoch names — old corpus for epoch 1, updated for 2.
+    let by_epoch: HashMap<u64, &Recommender> = [(1u64, &old_reference), (2u64, &reference)]
+        .into_iter()
+        .collect();
+
+    std::thread::scope(|s| {
+        let reader = s.spawn(|| {
+            let mut seen: Vec<(u64, Vec<(u64, u64)>)> = Vec::new();
+            for _ in 0..40 {
+                let resp = get(
+                    addr,
+                    &format!("/recommend?video={}&k=5&strategy=csf-sar-h", qid.0),
+                    TIMEOUT,
+                )
+                .expect("request succeeds");
+                assert_eq!(resp.status, 200, "{}", resp.body);
+                let epoch = json_u64(&resp.body, "epoch").expect("epoch in body");
+                seen.push((epoch, parse_results(&resp.body)));
+            }
+            seen
+        });
+        let resp = post(addr, "/update", &body, TIMEOUT).expect("update accepted");
+        assert_eq!(resp.status, 202, "{}", resp.body);
+        assert_eq!(json_u64(&resp.body, "accepted"), Some(3));
+
+        for (epoch, results) in reader.join().unwrap() {
+            let expected = by_epoch
+                .get(&epoch)
+                .unwrap_or_else(|| panic!("response from unexpected epoch {epoch}"));
+            assert_eq!(
+                results,
+                direct(expected, Strategy::CsfSarH, qid, 5, &[]),
+                "epoch {epoch} response diverged from its snapshot"
+            );
+        }
+    });
+
+    // Wait for the maintainer to publish, then verify the new video serves.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = get(addr, "/healthz", TIMEOUT).unwrap();
+        assert_eq!(resp.status, 200);
+        let epoch = json_u64(&resp.body, "epoch").unwrap();
+        let videos = json_u64(&resp.body, "videos").unwrap();
+        if epoch >= 2 && videos == reference.num_videos() as u64 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "update never applied");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let resp = get(addr, &format!("/recommend?video={}&k=5", new_id.0), TIMEOUT)
+        .expect("request succeeds");
+    assert_eq!(resp.status, 200, "new video not queryable: {}", resp.body);
+    assert_eq!(
+        parse_results(&resp.body),
+        direct(&reference, Strategy::CsfSarH, new_id, 5, &[]),
+        "post-update state diverged from the reference"
+    );
+
+    let m = handle.metrics();
+    assert_eq!(
+        m.events_applied.load(std::sync::atomic::Ordering::SeqCst),
+        3
+    );
+    assert_eq!(m.events_failed.load(std::sync::atomic::Ordering::SeqCst), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_and_metrics_render() {
+    let (_, r) = build_recommender();
+    let videos = r.num_videos();
+    let handle = start(ServeConfig::default(), r).expect("server starts");
+    let addr = handle.addr();
+
+    let resp = get(addr, "/healthz", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(json_u64(&resp.body, "epoch"), Some(1));
+    assert_eq!(json_u64(&resp.body, "videos"), Some(videos as u64));
+
+    let resp = get(addr, "/metrics", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    for needle in [
+        "serve_requests_submitted_total",
+        "serve_requests_served_total",
+        "serve_requests_rejected_total",
+        "serve_requests_deadline_expired_total",
+        "serve_snapshot_epoch 1",
+        "serve_latency_micros{endpoint=\"healthz\",quantile=\"p99\"}",
+    ] {
+        assert!(
+            resp.body.contains(needle),
+            "missing {needle}:\n{}",
+            resp.body
+        );
+    }
+
+    handle.shutdown();
+}

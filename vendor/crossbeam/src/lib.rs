@@ -1,7 +1,13 @@
-//! Offline stub of the `crossbeam` scoped-thread API used by this workspace,
-//! implemented over `std::thread::scope` (stable since Rust 1.63). Only
-//! `crossbeam::thread::scope` / `Scope::spawn` / `ScopedJoinHandle::join`
-//! are provided — the workspace uses nothing else.
+//! Offline stub of the `crossbeam` APIs used by this workspace:
+//!
+//! * [`thread`] — scoped threads over `std::thread::scope` (stable since
+//!   Rust 1.63): `crossbeam::thread::scope` / `Scope::spawn` /
+//!   `ScopedJoinHandle::join`;
+//! * [`channel`] — a bounded MPMC channel over `Mutex` + `Condvar`,
+//!   API-compatible with the `crossbeam-channel` subset the serving layer
+//!   needs: [`channel::bounded`], `Sender`/`Receiver` (both `Clone`),
+//!   `try_send`/`send`/`recv`/`try_recv`/`recv_timeout`, plus the
+//!   `len`/`is_empty`/`capacity` observers.
 
 /// Scoped threads (subset of `crossbeam::thread`).
 pub mod thread {
@@ -55,6 +61,405 @@ pub mod thread {
             let scope = Scope { inner: s };
             f(&scope)
         }))
+    }
+}
+
+/// Bounded MPMC channel (subset of `crossbeam-channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error of [`Sender::try_send`]: the message comes back.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error of [`Sender::send`]: every receiver is gone; the message comes
+    /// back.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// Error of [`Receiver::recv`]: every sender is gone and the queue is
+    /// drained.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    /// Error of [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The queue is currently empty (senders may still produce).
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error of [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled when a message is enqueued (wakes receivers) or when the
+        /// last sender leaves.
+        not_empty: Condvar,
+        /// Signalled when a slot frees up (wakes blocked senders) or when the
+        /// last receiver leaves.
+        not_full: Condvar,
+        capacity: usize,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The sending half; cheap to clone.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cheap to clone (MPMC: clones *share* the queue,
+    /// they do not broadcast).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a bounded channel with room for `capacity` in-flight messages.
+    /// Like `crossbeam-channel`, a zero capacity is not supported by this
+    /// stub (the workspace never uses rendezvous channels).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "bounded(0) rendezvous channels not supported");
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(capacity),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues without blocking; on a full queue the message is
+        /// returned in [`TrySendError::Full`].
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if inner.queue.len() >= self.shared.capacity {
+                return Err(TrySendError::Full(msg));
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Blocks until a slot frees up (or every receiver is gone).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if inner.queue.len() < self.shared.capacity {
+                    inner.queue.push_back(msg);
+                    drop(inner);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self.shared.not_full.wait(inner).unwrap();
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The fixed capacity (`Some`, matching crossbeam's bounded case).
+        pub fn capacity(&self) -> Option<usize> {
+            Some(self.shared.capacity)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; `Err` once every sender is gone
+        /// *and* the queue is drained (queued messages are always delivered
+        /// first, as in `crossbeam-channel`).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.not_empty.wait(inner).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, timed_out) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap();
+                inner = guard;
+                if timed_out.timed_out() && inner.queue.is_empty() {
+                    if inner.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The fixed capacity (`Some`, matching crossbeam's bounded case).
+        pub fn capacity(&self) -> Option<usize> {
+            Some(self.shared.capacity)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                // Wake every blocked receiver so they observe disconnection.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                // Wake every blocked sender so they observe disconnection.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(tx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn try_send_full_returns_message() {
+        let (tx, _rx) = bounded(1);
+        tx.try_send(1u32).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(tx.capacity(), Some(1));
+    }
+
+    #[test]
+    fn disconnection_is_observed_after_drain() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(7u8).unwrap();
+        drop(tx);
+        // Queued messages are delivered before the disconnect surfaces.
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(3u8), Err(SendError(3)));
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.try_send(9u8).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(0u32).unwrap();
+        crate::thread::scope(|s| {
+            let tx2 = tx.clone();
+            let h = s.spawn(move |_| tx2.send(1).unwrap());
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(0));
+            h.join().unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_last_sender_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        crate::thread::scope(|s| {
+            let h = s.spawn(|_| rx.recv());
+            std::thread::sleep(Duration::from_millis(20));
+            drop(tx);
+            assert_eq!(h.join().unwrap(), Err(RecvError));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn mpmc_partitions_work_exactly_once() {
+        let (tx, rx) = bounded::<u32>(8);
+        let total: u32 = crate::thread::scope(|s| {
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| {
+                        let mut sum = 0u32;
+                        while let Ok(v) = rx.recv() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            for v in 1..=100u32 {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+            drop(rx);
+            consumers.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 5050, "every message consumed exactly once");
     }
 }
 
