@@ -3,7 +3,9 @@
 //! Starts the server in-process over a synthetic community, then drives it
 //! from closed-loop client threads (each issues the next request as soon as
 //! the previous response lands) for a fixed duration, and writes
-//! `BENCH_serve.json` with throughput and client-observed p50/p95/p99.
+//! `BENCH_serve.json` with throughput, client-observed p50/p95/p99, and the
+//! server-side stage breakdown scraped from `/metrics` and `/debug/queries`
+//! (where the EMD time share, prune rate and admission-queue wait live).
 //!
 //! ```sh
 //! cargo run --release -p viderec-bench --bin serve_load
@@ -22,9 +24,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use viderec_core::{Recommender, RecommenderConfig};
+use viderec_core::{Recommender, RecommenderConfig, Stage};
 use viderec_eval::community::{Community, CommunityConfig};
-use viderec_serve::client::get;
+use viderec_serve::client::{get, json_u64};
 use viderec_serve::{start, ServeConfig};
 
 fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -41,6 +43,57 @@ fn quantile_micros(sorted: &[u64], q: f64) -> u64 {
     }
     let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
+}
+
+/// Reads one sample value from a Prometheus exposition page. `name` is the
+/// full sample name including any label set; the match requires the exact
+/// name followed by a single space, so `..._sum` never matches a longer
+/// sample that merely starts with it.
+fn sample(page: &str, name: &str) -> u64 {
+    page.lines()
+        .find_map(|l| {
+            l.strip_prefix(name)?
+                .strip_prefix(' ')?
+                .trim()
+                .parse::<f64>()
+                .ok()
+        })
+        .unwrap_or(0.0) as u64
+}
+
+/// One row of the server-side stage breakdown, pooled over every traced
+/// request of the run.
+struct StageRow {
+    label: &'static str,
+    sum_micros: u64,
+    count: u64,
+}
+
+/// Aggregate of the prune counters over the trace ring's most recent entries
+/// (`GET /debug/queries`), which cover the tail of the last strategy run.
+#[derive(Default)]
+struct TraceSummary {
+    traces: u64,
+    scanned: u64,
+    pruned: u64,
+    exact_evals: u64,
+    total_micros: u64,
+    stage_sum_micros: u64,
+}
+
+fn summarize_traces(debug_page: &str) -> TraceSummary {
+    let mut agg = TraceSummary::default();
+    // Each trace object in the "recent" array starts with its hex id; the
+    // page was requested with slow=0 so every segment is a distinct trace.
+    for seg in debug_page.split("{\"trace\":\"").skip(1) {
+        agg.traces += 1;
+        agg.scanned += json_u64(seg, "scanned").unwrap_or(0);
+        agg.pruned += json_u64(seg, "pruned").unwrap_or(0);
+        agg.exact_evals += json_u64(seg, "exact_evals").unwrap_or(0);
+        agg.total_micros += json_u64(seg, "total_micros").unwrap_or(0);
+        agg.stage_sum_micros += json_u64(seg, "stage_sum_micros").unwrap_or(0);
+    }
+    agg
 }
 
 struct StrategyRun {
@@ -162,6 +215,49 @@ fn main() {
         runs.push(run);
     }
 
+    // Scrape the server's own view before shutting down: per-stage time from
+    // /metrics (pooled over every traced request of the whole run) and the
+    // prune counters from the trace ring's most recent entries.
+    let metrics_page = get(addr, "/metrics", Duration::from_secs(10))
+        .expect("scrape /metrics")
+        .body;
+    let stages: Vec<StageRow> = Stage::ALL
+        .iter()
+        .map(|s| {
+            let label = s.label();
+            StageRow {
+                label,
+                sum_micros: sample(
+                    &metrics_page,
+                    &format!("serve_query_stage_micros_sum{{stage=\"{label}\"}}"),
+                ),
+                count: sample(
+                    &metrics_page,
+                    &format!("serve_query_stage_micros_count{{stage=\"{label}\"}}"),
+                ),
+            }
+        })
+        .collect();
+    let stage_total: u64 = stages.iter().map(|s| s.sum_micros).sum();
+    let share = |sum: u64| sum as f64 / stage_total.max(1) as f64;
+    let queue = &stages[Stage::Queue.index()];
+    let emd_share = share(stages[Stage::Emd.index()].sum_micros);
+    let mean_queue_wait = queue.sum_micros.checked_div(queue.count).unwrap_or(0);
+    let traces = summarize_traces(
+        &get(addr, "/debug/queries?n=64&slow=0", Duration::from_secs(10))
+            .expect("scrape /debug/queries")
+            .body,
+    );
+    let prune_rate = traces.pruned as f64 / traces.scanned.max(1) as f64;
+    eprintln!(
+        "stage breakdown: emd {:.1}% of stage time, mean queue wait {} µs, \
+         prune rate {:.1}% over {} ring traces",
+        100.0 * emd_share,
+        mean_queue_wait,
+        100.0 * prune_rate,
+        traces.traces
+    );
+
     let m = handle.metrics();
     let submitted = m.submitted.load(Ordering::SeqCst);
     let served = m.served.load(Ordering::SeqCst);
@@ -193,6 +289,41 @@ fn main() {
     json.push_str(&format!(
         "  \"server_accounting\": {{ \"submitted\": {submitted}, \"served\": {served}, \
          \"rejected\": {rejected}, \"deadline_expired\": {expired} }},\n"
+    ));
+    json.push_str(
+        "  \"stage_breakdown\": {\n    \"source\": \"GET /metrics serve_query_stage_micros, \
+         pooled over every traced request of the run\",\n    \"stages\": [\n",
+    );
+    for (i, s) in stages.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"stage\": \"{}\", \"sum_micros\": {}, \"count\": {}, \
+             \"share\": {:.4} }}{}\n",
+            s.label,
+            s.sum_micros,
+            s.count,
+            share(s.sum_micros),
+            if i + 1 < stages.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"emd_time_share\": {:.4},\n    \"mean_queue_wait_micros\": {}\n  }},\n",
+        emd_share, mean_queue_wait
+    ));
+    json.push_str(&format!(
+        "  \"trace_summary\": {{ \"source\": \"GET /debug/queries?n=64 (most recent ring \
+         traces; tail of the last strategy measured)\", \"traces\": {}, \"scanned\": {}, \
+         \"pruned\": {}, \"exact_evals\": {}, \"prune_rate\": {:.4}, \
+         \"mean_total_micros\": {}, \"mean_stage_sum_micros\": {} }},\n",
+        traces.traces,
+        traces.scanned,
+        traces.pruned,
+        traces.exact_evals,
+        prune_rate,
+        traces.total_micros.checked_div(traces.traces).unwrap_or(0),
+        traces
+            .stage_sum_micros
+            .checked_div(traces.traces)
+            .unwrap_or(0),
     ));
     json.push_str("  \"results\": [\n");
     for (i, r) in runs.iter().enumerate() {

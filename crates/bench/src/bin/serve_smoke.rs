@@ -1,0 +1,154 @@
+//! CI smoke check for the observability surface.
+//!
+//! Starts the server in-process over a small community, issues a traced
+//! recommendation, pushes one update batch through the maintenance thread,
+//! then scrapes `/metrics`, `/debug/queries` and `/debug/trace/<id>` and
+//! asserts every family and field the tracing work added is present and
+//! coherent (stage sum bounded by the total, accounting identity, update
+//! histograms populated). Exits nonzero on any failure.
+//!
+//! ```sh
+//! cargo run --release -p viderec-bench --bin serve_smoke
+//! ```
+
+use std::time::{Duration, Instant};
+use viderec_core::{Recommender, RecommenderConfig};
+use viderec_eval::community::{Community, CommunityConfig};
+use viderec_serve::client::{get, json_str, json_u64, post};
+use viderec_serve::wire::{encode_age, encode_comment};
+use viderec_serve::{start, ServeConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn main() {
+    eprintln!("generating community…");
+    let community = Community::generate(CommunityConfig {
+        hours: 5.0,
+        ..Default::default()
+    });
+    let recommender = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("valid corpus");
+    let qid = community.query_videos()[0];
+    let commenter = recommender.users_of(qid).expect("query video exists")[0].clone();
+    let comment_video = community.videos[0].id;
+
+    let handle = start(ServeConfig::default(), recommender).expect("server starts");
+    let addr = handle.addr();
+    eprintln!("serving on {addr}");
+
+    // A traced request: the response must carry the trace id in the body.
+    let resp = get(
+        addr,
+        &format!("/recommend?video={}&k=5&strategy=csf-sar-h", qid.0),
+        TIMEOUT,
+    )
+    .expect("recommend");
+    assert_eq!(resp.status, 200, "recommend: {}", resp.body);
+    let trace = json_str(&resp.body, "trace").expect("traced response carries a trace id");
+    assert_eq!(trace.len(), 16, "trace id is 16 hex chars: {trace}");
+    println!("traced request ok: trace {trace}");
+
+    // The id must resolve to a full stage breakdown whose stage sum is
+    // bounded by the request total.
+    let resp = get(addr, &format!("/debug/trace/{trace}"), TIMEOUT).expect("debug trace");
+    assert_eq!(resp.status, 200, "debug trace: {}", resp.body);
+    let total = json_u64(&resp.body, "total_micros").expect("total_micros");
+    let stage_sum = json_u64(&resp.body, "stage_sum_micros").expect("stage_sum_micros");
+    assert!(
+        stage_sum <= total,
+        "stage sum {stage_sum} µs exceeds total {total} µs"
+    );
+    for field in [
+        "\"stages\":{\"queue\"",
+        "\"emd\"",
+        "\"prune_rate\"",
+        "\"shard_breakdown\"",
+    ] {
+        assert!(resp.body.contains(field), "trace misses {field}");
+    }
+    println!("debug trace ok: total {total} µs, stage sum {stage_sum} µs");
+
+    // Push one batch through the update pipeline so its histograms populate.
+    let body = format!(
+        "{}\n{}\n",
+        encode_comment(comment_video, &commenter),
+        encode_age(1)
+    );
+    let resp = post(addr, "/update", &body, TIMEOUT).expect("update");
+    assert_eq!(resp.status, 202, "update: {}", resp.body);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.epoch() < 2 {
+        assert!(Instant::now() < deadline, "snapshot never advanced");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("update pipeline ok: epoch {}", handle.epoch());
+
+    // The ring page must report its state and both trace lists.
+    let resp = get(addr, "/debug/queries?n=8&slow=4", TIMEOUT).expect("debug queries");
+    assert_eq!(resp.status, 200, "debug queries: {}", resp.body);
+    assert!(
+        resp.body.starts_with("{\"enabled\":true"),
+        "tracing should be on by default: {}",
+        resp.body
+    );
+    assert!(json_u64(&resp.body, "recorded").unwrap_or(0) >= 1);
+    for field in [
+        "\"capacity\":",
+        "\"dropped\":",
+        "\"recent\":[",
+        "\"slowest\":[",
+    ] {
+        assert!(resp.body.contains(field), "queries page misses {field}");
+    }
+    println!("debug queries ok");
+
+    // Every family the tracing work added must be present in /metrics, and
+    // the accounting identity must hold (the scrape itself is the single
+    // in-flight request at render time).
+    let page = get(addr, "/metrics", TIMEOUT).expect("metrics").body;
+    for needle in [
+        "# TYPE serve_requests_submitted_total counter",
+        "# TYPE serve_latency_micros summary",
+        "# TYPE serve_query_stage_micros histogram",
+        "# TYPE serve_update_queue_wait_micros histogram",
+        "# TYPE serve_update_apply_micros histogram",
+        "# TYPE serve_update_batch_events histogram",
+        "# TYPE serve_snapshot_clone_micros histogram",
+        "# TYPE serve_snapshot_publish_micros histogram",
+        "# TYPE serve_snapshot_age_micros gauge",
+        "# TYPE serve_trace_ring_capacity gauge",
+        "serve_tracing_enabled 1",
+    ] {
+        assert!(page.contains(needle), "metrics page misses {needle:?}");
+    }
+    let sample = |name: &str| -> u64 {
+        page.lines()
+            .find_map(|l| {
+                l.strip_prefix(name)?
+                    .strip_prefix(' ')?
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+            })
+            .unwrap_or_else(|| panic!("missing sample {name}")) as u64
+    };
+    assert!(sample("serve_query_traces_recorded_total") >= 1);
+    assert!(sample("serve_query_stage_micros_count{stage=\"emd\"}") >= 1);
+    assert!(sample("serve_update_apply_micros_count{kind=\"comments\"}") >= 1);
+    assert!(sample("serve_update_apply_micros_count{kind=\"age\"}") >= 1);
+    // Counts maintainer publishes only — the boot snapshot is not one.
+    assert!(sample("serve_snapshots_published_total") >= 1);
+    let submitted = sample("serve_requests_submitted_total");
+    let served = sample("serve_requests_served_total");
+    let rejected = sample("serve_requests_rejected_total");
+    let expired = sample("serve_requests_deadline_expired_total");
+    assert_eq!(
+        submitted,
+        served + rejected + expired + 1,
+        "accounting identity (+1: the scrape is in flight while it renders)"
+    );
+    println!("metrics ok: {submitted} submitted, accounting identity holds");
+
+    handle.shutdown();
+    println!("serve smoke OK");
+}

@@ -48,6 +48,7 @@ pub mod parallel;
 pub mod prune;
 pub mod recommender;
 pub mod relevance;
+pub mod trace;
 
 pub use config::RecommenderConfig;
 pub use corpus::{CorpusVideo, QueryVideo};
@@ -57,3 +58,4 @@ pub use parallel::{ParallelConfig, ParallelRecommender};
 pub use prune::{PruneBound, PruneStats};
 pub use recommender::{Recommender, Scored};
 pub use relevance::{fuse_fj, Strategy};
+pub use trace::{QueryTrace, ShardTrace, Stage, Tracer, MAX_SHARD_TRACES, NUM_STAGES};

@@ -20,10 +20,11 @@
 
 use crate::arena::{ScoringArena, SeriesView};
 use crate::corpus::QueryVideo;
-use crate::prune::{kappa_exact_cached, kappa_upper_bound, PruneBound, PruneStats};
+use crate::prune::{kappa_exact_cached, PruneBound, PruneStats};
 use crate::recommender::{PreparedQuery, Recommender, Scored};
 use crate::relevance::{strategy_score, Strategy};
 use crate::topk::{push_top_k, WorstFirst};
+use crate::trace::{QueryTrace, ShardTrace, Stage, StageSet, Tracer, MAX_SHARD_TRACES, NUM_STAGES};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
@@ -157,13 +158,55 @@ impl<'a> ParallelRecommender<'a> {
         queries: &[QueryVideo],
         k: usize,
     ) -> Vec<(Vec<Scored>, PruneStats)> {
+        self.recommend_batch_traced(strategy, queries, k, Tracer::OFF)
+            .into_iter()
+            .map(|(recs, trace)| (recs, trace.stats))
+            .collect()
+    }
+
+    /// Like [`Self::recommend_batch`], also returning the batch-wide
+    /// *aggregate* pruning counters — what a serving batch endpoint reports
+    /// as one number. With `workers == 1` every query runs the sequential
+    /// engine's single-heap scan verbatim (shared helpers, same floor), so
+    /// the aggregate equals the sum of
+    /// [`Recommender::recommend_with_stats`] counters over the same queries.
+    pub fn recommend_batch_aggregate(
+        &self,
+        strategy: Strategy,
+        queries: &[QueryVideo],
+        k: usize,
+    ) -> (Vec<Vec<Scored>>, PruneStats) {
+        let mut total = PruneStats::default();
+        let recs = self
+            .recommend_batch_with_stats(strategy, queries, k)
+            .into_iter()
+            .map(|(recs, stats)| {
+                total.absorb(stats);
+                recs
+            })
+            .collect();
+        (recs, total)
+    }
+
+    /// [`Self::recommend_batch_with_stats`] with stage-level tracing: one
+    /// [`QueryTrace`] per query, including the per-shard breakdown when the
+    /// query's candidates were sharded. `recommend_batch_with_stats` *is*
+    /// this path under [`Tracer::OFF`], so results are bit-identical with
+    /// tracing on or off.
+    pub fn recommend_batch_traced(
+        &self,
+        strategy: Strategy,
+        queries: &[QueryVideo],
+        k: usize,
+        tracer: Tracer,
+    ) -> Vec<(Vec<Scored>, QueryTrace)> {
         let workers = self.cfg.workers;
         if workers > 1 && queries.len() >= workers {
             let threads = self.threads_for(workers);
             if threads == 1 {
                 return queries
                     .iter()
-                    .map(|q| self.recommend_one(strategy, q, k, 1))
+                    .map(|q| self.recommend_one_traced(strategy, q, k, 1, tracer))
                     .collect();
             }
             let chunk = queries.len().div_ceil(threads);
@@ -173,7 +216,7 @@ impl<'a> ParallelRecommender<'a> {
                     .map(|qs| {
                         scope.spawn(move |_| {
                             qs.iter()
-                                .map(|q| self.recommend_one(strategy, q, k, 1))
+                                .map(|q| self.recommend_one_traced(strategy, q, k, 1, tracer))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -187,8 +230,19 @@ impl<'a> ParallelRecommender<'a> {
         }
         queries
             .iter()
-            .map(|q| self.recommend_one(strategy, q, k, workers))
+            .map(|q| self.recommend_one_traced(strategy, q, k, workers, tracer))
             .collect()
+    }
+
+    /// One traced query under the engine's configured worker count.
+    pub fn recommend_traced(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        k: usize,
+        tracer: Tracer,
+    ) -> (Vec<Scored>, QueryTrace) {
+        self.recommend_one_traced(strategy, query, k, self.cfg.workers, tracer)
     }
 
     /// OS threads to drain `shards` logical shards: never more than the
@@ -203,34 +257,100 @@ impl<'a> ParallelRecommender<'a> {
         shards.min(cap).max(1)
     }
 
-    fn recommend_one(
+    fn recommend_one_traced(
         &self,
         strategy: Strategy,
         query: &QueryVideo,
         k: usize,
         workers: usize,
-    ) -> (Vec<Scored>, PruneStats) {
+        tracer: Tracer,
+    ) -> (Vec<Scored>, QueryTrace) {
+        let total = tracer.start();
+        let mut trace = QueryTrace::new(strategy, k);
         if k == 0 {
-            return (Vec::new(), PruneStats::default());
+            return (Vec::new(), trace);
         }
+        let sp = tracer.start();
         let prep = self.rec.prepare_query(strategy, query);
+        sp.stop(trace.cell_mut(Stage::Prepare));
+
+        let sp = tracer.start();
         let candidates = self.rec.candidate_indices(strategy, query, &prep);
+        sp.stop(trace.cell_mut(Stage::Gather));
+        trace.gathered = candidates.len() as u64;
+        trace.stats.scanned = candidates.len() as u64;
+
+        // The query-side scoring cache is query preparation too.
+        let sp = tracer.start();
         let query_cache = ScoringArena::for_series(&query.series, self.cfg.bound);
         let qv = query_cache.view(0);
-        let workers = workers.min(candidates.len()).max(1);
+        sp.stop(trace.cell_mut(Stage::Prepare));
 
-        let (mut merged, mut stats) = if self.cfg.prune && strategy.uses_content() {
-            self.run_pruned(strategy, query, &prep, qv, &candidates, k, workers)
+        let workers = workers.min(candidates.len()).max(1);
+        trace.shards = workers as u64;
+
+        let mut merged = if self.cfg.prune && strategy.uses_content() {
+            if workers == 1 {
+                // The sequential engine's exact single-heap scan, through the
+                // same shared helpers — identical results *and* identical
+                // [`PruneStats`] to [`Recommender::recommend_with_stats`].
+                let annotated = self.rec.annotate_candidates(
+                    strategy,
+                    query,
+                    &prep,
+                    qv,
+                    &|i| self.video_view(i),
+                    self.cfg.bound,
+                    &candidates,
+                    tracer,
+                    &mut trace,
+                );
+                self.rec.scan_annotated_single(
+                    strategy,
+                    qv,
+                    &|i| self.video_view(i),
+                    &annotated,
+                    k,
+                    tracer,
+                    &mut trace,
+                )
+            } else {
+                self.run_pruned(
+                    strategy,
+                    query,
+                    &prep,
+                    qv,
+                    &candidates,
+                    k,
+                    workers,
+                    tracer,
+                    &mut trace,
+                )
+            }
         } else {
-            self.run_plain(strategy, query, &prep, qv, &candidates, k, workers)
+            self.run_plain(
+                strategy,
+                query,
+                &prep,
+                qv,
+                &candidates,
+                k,
+                workers,
+                tracer,
+                &mut trace,
+            )
         };
 
         // Same total order as the sequential sort — per-shard tops are exact
         // for their shard, so the merged top-k is the global top-k.
+        let sp = tracer.start();
         merged.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.video.cmp(&b.video)));
         merged.truncate(k);
-        stats.scanned = candidates.len() as u64;
-        (merged, stats)
+        sp.stop(trace.cell_mut(Stage::TopK));
+        if let Some(ns) = total.elapsed_ns() {
+            trace.total_ns = ns;
+        }
+        (merged, trace)
     }
 
     /// Unpruned path: shard the candidate list into contiguous chunks and
@@ -246,9 +366,13 @@ impl<'a> ParallelRecommender<'a> {
         candidates: &[u32],
         k: usize,
         workers: usize,
-    ) -> (Vec<Scored>, PruneStats) {
+        tracer: Tracer,
+        trace: &mut QueryTrace,
+    ) -> Vec<Scored> {
         if workers == 1 {
-            return self.score_plain_shard(strategy, query, prep, qv, candidates, k);
+            let results =
+                vec![self.score_plain_shard(strategy, query, prep, qv, candidates, k, tracer)];
+            return merge_shards(results, trace);
         }
         let chunk = candidates.len().div_ceil(workers);
         let shards: Vec<&[u32]> = candidates.chunks(chunk).collect();
@@ -256,7 +380,7 @@ impl<'a> ParallelRecommender<'a> {
         let results = if threads == 1 {
             shards
                 .iter()
-                .map(|shard| self.score_plain_shard(strategy, query, prep, qv, shard, k))
+                .map(|shard| self.score_plain_shard(strategy, query, prep, qv, shard, k, tracer))
                 .collect()
         } else {
             crossbeam::thread::scope(|scope| {
@@ -266,7 +390,9 @@ impl<'a> ParallelRecommender<'a> {
                         scope.spawn(move |_| {
                             mine.iter()
                                 .map(|shard| {
-                                    self.score_plain_shard(strategy, query, prep, qv, shard, k)
+                                    self.score_plain_shard(
+                                        strategy, query, prep, qv, shard, k, tracer,
+                                    )
                                 })
                                 .collect::<Vec<_>>()
                         })
@@ -279,7 +405,7 @@ impl<'a> ParallelRecommender<'a> {
             })
             .expect("crossbeam scope")
         };
-        merge_shards(results)
+        merge_shards(results, trace)
     }
 
     /// Pruned path. The whole candidate set is annotated *once* with each
@@ -306,33 +432,33 @@ impl<'a> ParallelRecommender<'a> {
         candidates: &[u32],
         k: usize,
         workers: usize,
-    ) -> (Vec<Scored>, PruneStats) {
+        tracer: Tracer,
+        trace: &mut QueryTrace,
+    ) -> Vec<Scored> {
         let omega = self.rec.config().omega;
         let matching = self.rec.config().matching;
 
-        // Annotate: exact social score (cheap) + admissible score ceiling.
-        let mut annotated: Vec<(u32, f64, f64)> = candidates
-            .iter()
-            .map(|&idx| {
-                let i = idx as usize;
-                let sj = self.rec.social_score(strategy, query, prep, i);
-                let ceiling = strategy_score(
-                    strategy,
-                    omega,
-                    kappa_upper_bound(qv, self.video_view(i), self.cfg.bound, matching),
-                    sj,
-                );
-                (idx, sj, ceiling)
-            })
-            .collect();
-        annotated.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+        // Annotate: exact social score (cheap) + admissible score ceiling —
+        // the same shared helper (and the same `Social`/`Bound`/`Sort` stage
+        // laps) as the sequential scan.
+        let annotated = self.rec.annotate_candidates(
+            strategy,
+            query,
+            prep,
+            qv,
+            &|i| self.video_view(i),
+            self.cfg.bound,
+            candidates,
+            tracer,
+            trace,
+        );
 
         // Evaluate the k highest ceilings inline to establish the floor.
-        let mut stats = PruneStats::default();
+        let mut sp = tracer.start();
         let mut prefix_heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
         let prefix = annotated.len().min(k);
         for &(idx, sj, _) in &annotated[..prefix] {
-            stats.exact_evals += 1;
+            trace.stats.exact_evals += 1;
             let idx = idx as usize;
             let score = strategy_score(
                 strategy,
@@ -340,6 +466,7 @@ impl<'a> ParallelRecommender<'a> {
                 kappa_exact_cached(qv, self.video_view(idx), matching),
                 sj,
             );
+            sp.lap(trace.cell_mut(Stage::Emd));
             push_top_k(
                 &mut prefix_heap,
                 WorstFirst(Scored {
@@ -348,10 +475,11 @@ impl<'a> ParallelRecommender<'a> {
                 }),
                 k,
             );
+            sp.lap(trace.cell_mut(Stage::TopK));
         }
         let rest = &annotated[prefix..];
         if rest.is_empty() {
-            return (prefix_heap.into_iter().map(|e| e.0).collect(), stats);
+            return prefix_heap.into_iter().map(|e| e.0).collect();
         }
         // rest is non-empty ⇒ prefix == k ⇒ the heap is full. Workers share
         // the floor through an atomic (monotone max over f64 bit patterns —
@@ -361,54 +489,53 @@ impl<'a> ParallelRecommender<'a> {
         let floor = prefix_heap.peek().expect("prefix heap is full").0.score;
         let shared_floor = AtomicU64::new(floor.to_bits());
 
-        let results = if workers == 1 {
-            vec![self.score_annotated_shard(strategy, qv, rest, k, &shared_floor)]
-        } else {
-            let mut shards: Vec<Vec<(u32, f64, f64)>> = (0..workers)
-                .map(|_| Vec::with_capacity(rest.len() / workers + 1))
-                .collect();
-            for (pos, &entry) in rest.iter().enumerate() {
-                shards[pos % workers].push(entry);
-            }
-            let threads = self.threads_for(shards.len());
-            if threads == 1 {
-                // Serial drain of the logical shards: the shared floor still
-                // carries each shard's k-th score into the next, like the
-                // threaded drain's atomic does across cores.
-                shards
-                    .iter()
-                    .map(|shard| self.score_annotated_shard(strategy, qv, shard, k, &shared_floor))
-                    .collect()
-            } else {
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = shards
-                        .chunks(shards.len().div_ceil(threads))
-                        .map(|mine| {
-                            let sf = &shared_floor;
-                            scope.spawn(move |_| {
-                                mine.iter()
-                                    .map(|shard| {
-                                        self.score_annotated_shard(strategy, qv, shard, k, sf)
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("shard worker panicked"))
-                        .collect::<Vec<_>>()
+        let mut shards: Vec<Vec<(u32, f64, f64)>> = (0..workers)
+            .map(|_| Vec::with_capacity(rest.len() / workers + 1))
+            .collect();
+        for (pos, &entry) in rest.iter().enumerate() {
+            shards[pos % workers].push(entry);
+        }
+        let threads = self.threads_for(shards.len());
+        let results = if threads == 1 {
+            // Serial drain of the logical shards: the shared floor still
+            // carries each shard's k-th score into the next, like the
+            // threaded drain's atomic does across cores.
+            shards
+                .iter()
+                .map(|shard| {
+                    self.score_annotated_shard(strategy, qv, shard, k, &shared_floor, tracer)
                 })
-                .expect("crossbeam scope")
-            }
+                .collect()
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .chunks(shards.len().div_ceil(threads))
+                    .map(|mine| {
+                        let sf = &shared_floor;
+                        scope.spawn(move |_| {
+                            mine.iter()
+                                .map(|shard| {
+                                    self.score_annotated_shard(strategy, qv, shard, k, sf, tracer)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("crossbeam scope")
         };
-        let (mut merged, shard_stats) = merge_shards(results);
+        let mut merged = merge_shards(results, trace);
         merged.extend(prefix_heap.into_iter().map(|e| e.0));
-        stats.absorb(shard_stats);
-        (merged, stats)
+        merged
     }
 
     /// Plain heap scan of a shard of candidate indices; exact scores only.
+    /// Returns the shard's top-k, counters, stage set and wall time.
+    #[allow(clippy::too_many_arguments)]
     fn score_plain_shard(
         &self,
         strategy: Strategy,
@@ -417,21 +544,31 @@ impl<'a> ParallelRecommender<'a> {
         qv: SeriesView<'_>,
         shard: &[u32],
         k: usize,
-    ) -> (Vec<Scored>, PruneStats) {
+        tracer: Tracer,
+    ) -> (Vec<Scored>, PruneStats, StageSet<NUM_STAGES>, u64) {
         let omega = self.rec.config().omega;
         let matching = self.rec.config().matching;
+        let wall = tracer.start();
+        let mut stages: StageSet<NUM_STAGES> = StageSet::default();
         let mut stats = PruneStats::default();
+        let mut sp = tracer.start();
         let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
         for &idx in shard {
             let idx = idx as usize;
             let content = if strategy.uses_content() {
                 stats.exact_evals += 1;
-                kappa_exact_cached(qv, self.video_view(idx), matching)
+                let kappa = kappa_exact_cached(qv, self.video_view(idx), matching);
+                sp.lap(stages.cell_mut(Stage::Emd.index()));
+                kappa
             } else {
                 0.0
             };
             let sj = self.rec.social_score(strategy, query, prep, idx);
+            if !strategy.uses_content() {
+                stats.exact_evals += 1;
+            }
             let score = strategy_score(strategy, omega, content, sj);
+            sp.lap(stages.cell_mut(Stage::Social.index()));
             push_top_k(
                 &mut heap,
                 WorstFirst(Scored {
@@ -440,8 +577,10 @@ impl<'a> ParallelRecommender<'a> {
                 }),
                 k,
             );
+            sp.lap(stages.cell_mut(Stage::TopK.index()));
         }
-        (heap.into_iter().map(|e| e.0).collect(), stats)
+        let ns = wall.elapsed_ns().unwrap_or(0);
+        (heap.into_iter().map(|e| e.0).collect(), stats, stages, ns)
     }
 
     /// Scores one ceiling-descending annotated shard into its exact top-k,
@@ -464,10 +603,14 @@ impl<'a> ParallelRecommender<'a> {
         shard: &[(u32, f64, f64)],
         k: usize,
         shared_floor: &AtomicU64,
-    ) -> (Vec<Scored>, PruneStats) {
+        tracer: Tracer,
+    ) -> (Vec<Scored>, PruneStats, StageSet<NUM_STAGES>, u64) {
         let omega = self.rec.config().omega;
         let matching = self.rec.config().matching;
+        let wall = tracer.start();
+        let mut stages: StageSet<NUM_STAGES> = StageSet::default();
         let mut stats = PruneStats::default();
+        let mut sp = tracer.start();
         let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
         for (pos, &(idx, sj, ceiling)) in shard.iter().enumerate() {
             let mut threshold = f64::from_bits(shared_floor.load(AtomicOrdering::Relaxed));
@@ -493,6 +636,7 @@ impl<'a> ParallelRecommender<'a> {
                 kappa_exact_cached(qv, self.video_view(idx), matching),
                 sj,
             );
+            sp.lap(stages.cell_mut(Stage::Emd.index()));
             push_top_k(
                 &mut heap,
                 WorstFirst(Scored {
@@ -501,20 +645,35 @@ impl<'a> ParallelRecommender<'a> {
                 }),
                 k,
             );
+            sp.lap(stages.cell_mut(Stage::TopK.index()));
         }
-        (heap.into_iter().map(|e| e.0).collect(), stats)
+        let ns = wall.elapsed_ns().unwrap_or(0);
+        (heap.into_iter().map(|e| e.0).collect(), stats, stages, ns)
     }
 }
 
-/// Concatenates per-shard tops and counters.
-fn merge_shards(results: Vec<(Vec<Scored>, PruneStats)>) -> (Vec<Scored>, PruneStats) {
+/// Concatenates per-shard tops into one candidate list while folding each
+/// shard's counters, stage set and wall time into the query's trace (the
+/// first [`MAX_SHARD_TRACES`] shards get individual breakdown entries).
+fn merge_shards(
+    results: Vec<(Vec<Scored>, PruneStats, StageSet<NUM_STAGES>, u64)>,
+    trace: &mut QueryTrace,
+) -> Vec<Scored> {
     let mut merged = Vec::new();
-    let mut stats = PruneStats::default();
-    for (shard_top, shard_stats) in results {
+    for (s, (shard_top, shard_stats, shard_stages, shard_ns)) in results.into_iter().enumerate() {
         merged.extend(shard_top);
-        stats.absorb(shard_stats);
+        trace.stats.absorb(shard_stats);
+        trace.stages.merge(&shard_stages);
+        if s < MAX_SHARD_TRACES {
+            trace.shard[s] = ShardTrace {
+                ns: shard_ns,
+                exact_evals: shard_stats.exact_evals,
+                pruned: shard_stats.pruned,
+            };
+            trace.shards_recorded = (s + 1) as u64;
+        }
     }
-    (merged, stats)
+    merged
 }
 
 #[cfg(test)]
@@ -635,6 +794,90 @@ mod tests {
         assert_eq!(recs.len(), 3);
         assert_eq!(stats.scanned, rec.num_videos() as u64);
         assert_eq!(stats.pruned + stats.exact_evals, stats.scanned);
+    }
+
+    #[test]
+    fn one_worker_aggregate_matches_the_sequential_engine() {
+        let rec = build();
+        let queries: Vec<QueryVideo> = (0..4)
+            .map(|i| QueryVideo {
+                series: rec.series_of(VideoId(i)).unwrap().clone(),
+                users: rec.users_of(VideoId(i)).unwrap().to_vec(),
+            })
+            .collect();
+        let par = ParallelRecommender::with_config(
+            &rec,
+            ParallelConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        for strategy in [
+            Strategy::Cr,
+            Strategy::Sr,
+            Strategy::Csf,
+            Strategy::CsfSar,
+            Strategy::CsfSarH,
+        ] {
+            let (recs, aggregate) = par.recommend_batch_aggregate(strategy, &queries, 5);
+            let mut want = PruneStats::default();
+            for (q, got) in queries.iter().zip(&recs) {
+                let (seq, stats) = rec.recommend_with_stats(strategy, q, 5, &[]);
+                assert_eq!(&seq, got, "{} diverged", strategy.label());
+                want.absorb(stats);
+            }
+            // On one worker the engine runs the sequential single-heap scan
+            // verbatim, so the aggregate counters match the sequential
+            // engine's sum exactly — not just the invariants.
+            assert_eq!(aggregate, want, "{} counters diverged", strategy.label());
+            assert_eq!(
+                aggregate.pruned + aggregate.exact_evals,
+                aggregate.scanned,
+                "{}",
+                strategy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn traced_batch_is_bit_identical_and_accounts_shards() {
+        let rec = build();
+        let q = QueryVideo {
+            series: rec.series_of(VideoId(2)).unwrap().clone(),
+            users: rec.users_of(VideoId(2)).unwrap().to_vec(),
+        };
+        let par = ParallelRecommender::with_config(
+            &rec,
+            ParallelConfig {
+                workers: 3,
+                max_threads: Some(2),
+                ..Default::default()
+            },
+        );
+        for strategy in [Strategy::Sr, Strategy::CsfSar] {
+            let off =
+                par.recommend_batch_traced(strategy, std::slice::from_ref(&q), 4, Tracer::OFF);
+            let on = par.recommend_batch_traced(strategy, std::slice::from_ref(&q), 4, Tracer::ON);
+            assert_eq!(
+                off[0].0,
+                on[0].0,
+                "{} diverged under tracing",
+                strategy.label()
+            );
+            assert_eq!(off[0].1.stats, on[0].1.stats);
+            let t = &on[0].1;
+            assert!(t.total_ns > 0);
+            assert_eq!(t.stats.scanned, rec.num_videos() as u64);
+            assert_eq!(t.stats.pruned + t.stats.exact_evals, t.stats.scanned);
+            assert_eq!(t.shards, 3);
+            assert!(t.shards_recorded <= t.shards);
+            // The per-shard breakdown re-partitions the sharded part of the
+            // scan: shard counters never exceed the query totals.
+            let shard_evals: u64 = t.shard.iter().map(|s| s.exact_evals).sum();
+            let shard_pruned: u64 = t.shard.iter().map(|s| s.pruned).sum();
+            assert!(shard_evals <= t.stats.exact_evals);
+            assert!(shard_pruned <= t.stats.pruned);
+        }
     }
 
     #[test]

@@ -26,13 +26,14 @@
 //! results bit-identical to the naive full scan
 //! ([`Recommender::recommend_naive_excluding`], kept as the reference).
 
-use crate::arena::ScoringArena;
+use crate::arena::{ScoringArena, SeriesView};
 use crate::config::RecommenderConfig;
 use crate::corpus::{CorpusVideo, QueryVideo};
 use crate::errors::RecError;
-use crate::prune::{kappa_exact_cached, kappa_upper_bound, PruneStats};
+use crate::prune::{kappa_exact_cached, kappa_upper_bound, PruneBound, PruneStats};
 use crate::relevance::{strategy_score, Strategy};
 use crate::topk::{push_top_k, sort_ranked, WorstFirst};
+use crate::trace::{QueryTrace, Stage, Tracer};
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use viderec_emd::CdfEmbedder;
 use viderec_index::{ChainedHashTable, InvertedIndex, LsbForest};
@@ -290,13 +291,41 @@ impl Recommender {
         top_k: usize,
         exclude: &[VideoId],
     ) -> (Vec<Scored>, PruneStats) {
+        let (top, trace) = self.recommend_traced(strategy, query, top_k, exclude, Tracer::OFF);
+        (top, trace.stats)
+    }
+
+    /// The pruned scan with stage-level tracing: the same arithmetic in the
+    /// same order as [`Self::recommend_with_stats`] (which *is* this path
+    /// under [`Tracer::OFF`]), with `tracer`-gated monotonic-clock spans
+    /// accumulated into a [`QueryTrace`] around every pipeline stage. A
+    /// disabled tracer collapses each span to a single branch — no clock
+    /// read, no store — so results are bit-identical with tracing on or off.
+    pub fn recommend_traced(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        top_k: usize,
+        exclude: &[VideoId],
+        tracer: Tracer,
+    ) -> (Vec<Scored>, QueryTrace) {
+        let total = tracer.start();
+        let mut trace = QueryTrace::new(strategy, top_k);
         if top_k == 0 {
-            return (Vec::new(), PruneStats::default());
+            return (Vec::new(), trace);
         }
+        let sp = tracer.start();
         let prep = self.prepare_query(strategy, query);
+        sp.stop(trace.cell_mut(Stage::Prepare));
+
+        let sp = tracer.start();
         let mut candidates = self.candidate_indices(strategy, query, &prep);
+        sp.stop(trace.cell_mut(Stage::Gather));
+        trace.gathered = candidates.len() as u64;
+
         // Exclusions drop out *before* any scoring: an excluded video never
         // pays for `κJ` and never occupies the pruning floor.
+        let sp = tracer.start();
         let excluded: HashSet<u32> = exclude
             .iter()
             .filter_map(|id| self.by_id.get(id).map(|&i| i as u32))
@@ -304,19 +333,47 @@ impl Recommender {
         if !excluded.is_empty() {
             candidates.retain(|idx| !excluded.contains(idx));
         }
-        let mut stats = PruneStats {
-            scanned: candidates.len() as u64,
-            ..PruneStats::default()
-        };
+        sp.stop(trace.cell_mut(Stage::Filter));
+        trace.excluded = trace.gathered - candidates.len() as u64;
+        trace.stats.scanned = candidates.len() as u64;
+        trace.shards = 1;
+
         let mut top = if strategy.uses_content() {
-            self.pruned_content_scan(strategy, query, &prep, &candidates, top_k, &mut stats)
+            // The query-side scoring cache is query preparation too.
+            let sp = tracer.start();
+            let bound = self.arena.bound();
+            let query_cache = ScoringArena::for_series(&query.series, bound);
+            let qv = query_cache.view(0);
+            sp.stop(trace.cell_mut(Stage::Prepare));
+            let annotated = self.annotate_candidates(
+                strategy,
+                query,
+                &prep,
+                qv,
+                &|i| self.arena.view(i),
+                bound,
+                &candidates,
+                tracer,
+                &mut trace,
+            );
+            self.scan_annotated_single(
+                strategy,
+                qv,
+                &|i| self.arena.view(i),
+                &annotated,
+                top_k,
+                tracer,
+                &mut trace,
+            )
         } else {
             // SR: the social score is cheap and exact, so a plain bounded
             // heap scan is already optimal — nothing to prune.
+            let mut sp = tracer.start();
             let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(top_k + 1);
             for &idx in &candidates {
-                stats.exact_evals += 1;
+                trace.stats.exact_evals += 1;
                 let score = self.score_video(strategy, query, &prep, idx as usize);
+                sp.lap(trace.cell_mut(Stage::Social));
                 push_top_k(
                     &mut heap,
                     WorstFirst(Scored {
@@ -325,51 +382,83 @@ impl Recommender {
                     }),
                     top_k,
                 );
+                sp.lap(trace.cell_mut(Stage::TopK));
             }
             heap.into_iter().map(|e| e.0).collect()
         };
+        let sp = tracer.start();
         sort_ranked(&mut top);
-        (top, stats)
+        sp.stop(trace.cell_mut(Stage::TopK));
+        if let Some(ns) = total.elapsed_ns() {
+            trace.total_ns = ns;
+        }
+        (top, trace)
     }
 
-    /// Ceiling-sorted pruned scan over content-scored candidates (see
-    /// [`crate::prune`] for the soundness argument): annotate every candidate
-    /// with its exact social score and an admissible score ceiling from the
-    /// arena caches, sort ceiling-descending, and evaluate into a bounded
-    /// top-k heap whose k-th score is the pruning floor. Strict inequality
-    /// keeps ties evaluated, so the result is exact; sorting by ceiling makes
-    /// the first prune a one-step tail prune.
-    fn pruned_content_scan(
+    /// Annotates every candidate with its exact social score and an
+    /// admissible score ceiling — `κJ` bounds read through `view_of` (the
+    /// arena directly here; the batch engine passes its overlay-resolving
+    /// view) — then sorts ceiling-descending so the scan's first prune is a
+    /// one-step tail prune. Span laps split the per-candidate cost into the
+    /// `Social` and `Bound` stages; the sort is its own `Sort` stage.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn annotate_candidates<'v>(
         &self,
         strategy: Strategy,
         query: &QueryVideo,
         prep: &PreparedQuery,
+        qv: SeriesView<'_>,
+        view_of: &dyn Fn(usize) -> SeriesView<'v>,
+        bound: PruneBound,
         candidates: &[u32],
+        tracer: Tracer,
+        trace: &mut QueryTrace,
+    ) -> Vec<(u32, f64, f64)> {
+        let omega = self.cfg.omega;
+        let matching = self.cfg.matching;
+        let mut sp = tracer.start();
+        let mut annotated: Vec<(u32, f64, f64)> = Vec::with_capacity(candidates.len());
+        for &idx in candidates {
+            let i = idx as usize;
+            let sj = self.social_score(strategy, query, prep, i);
+            sp.lap(trace.cell_mut(Stage::Social));
+            let ceiling = strategy_score(
+                strategy,
+                omega,
+                kappa_upper_bound(qv, view_of(i), bound, matching),
+                sj,
+            );
+            sp.lap(trace.cell_mut(Stage::Bound));
+            annotated.push((idx, sj, ceiling));
+        }
+        let sp = tracer.start();
+        annotated.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+        sp.stop(trace.cell_mut(Stage::Sort));
+        annotated
+    }
+
+    /// Ceiling-sorted pruned scan over annotated candidates (see
+    /// [`crate::prune`] for the soundness argument): evaluate into a bounded
+    /// top-k heap whose k-th score is the pruning floor. Strict inequality
+    /// keeps ties evaluated, so the result is exact; the ceiling-descending
+    /// order makes the first prune a one-step tail prune. Shared verbatim by
+    /// the batch engine's single-worker path, so the two report identical
+    /// [`PruneStats`]. Span laps split each evaluation into the `Emd` and
+    /// `TopK` stages.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn scan_annotated_single<'v>(
+        &self,
+        strategy: Strategy,
+        qv: SeriesView<'_>,
+        view_of: &dyn Fn(usize) -> SeriesView<'v>,
+        annotated: &[(u32, f64, f64)],
         top_k: usize,
-        stats: &mut PruneStats,
+        tracer: Tracer,
+        trace: &mut QueryTrace,
     ) -> Vec<Scored> {
         let omega = self.cfg.omega;
         let matching = self.cfg.matching;
-        let bound = self.arena.bound();
-        let query_cache = ScoringArena::for_series(&query.series, bound);
-        let qv = query_cache.view(0);
-
-        let mut annotated: Vec<(u32, f64, f64)> = candidates
-            .iter()
-            .map(|&idx| {
-                let i = idx as usize;
-                let sj = self.social_score(strategy, query, prep, i);
-                let ceiling = strategy_score(
-                    strategy,
-                    omega,
-                    kappa_upper_bound(qv, self.arena.view(i), bound, matching),
-                    sj,
-                );
-                (idx, sj, ceiling)
-            })
-            .collect();
-        annotated.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
-
+        let mut sp = tracer.start();
         let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(top_k + 1);
         for (pos, &(idx, sj, ceiling)) in annotated.iter().enumerate() {
             if heap.len() == top_k {
@@ -379,18 +468,19 @@ impl Recommender {
                     // reach: even a tie is impossible, and every later
                     // candidate's ceiling is at least as low (sorted), so the
                     // whole tail is pruned in one step.
-                    stats.pruned += (annotated.len() - pos) as u64;
+                    trace.stats.pruned += (annotated.len() - pos) as u64;
                     break;
                 }
             }
-            stats.exact_evals += 1;
+            trace.stats.exact_evals += 1;
             let i = idx as usize;
             let score = strategy_score(
                 strategy,
                 omega,
-                kappa_exact_cached(qv, self.arena.view(i), matching),
+                kappa_exact_cached(qv, view_of(i), matching),
                 sj,
             );
+            sp.lap(trace.cell_mut(Stage::Emd));
             push_top_k(
                 &mut heap,
                 WorstFirst(Scored {
@@ -399,6 +489,7 @@ impl Recommender {
                 }),
                 top_k,
             );
+            sp.lap(trace.cell_mut(Stage::TopK));
         }
         heap.into_iter().map(|e| e.0).collect()
     }
@@ -810,6 +901,54 @@ mod tests {
                     assert_eq!(stats.pruned + stats.exact_evals, stats.scanned);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn tracing_never_changes_results() {
+        let (corpus, _) = small_corpus();
+        let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
+        for strategy in ALL {
+            for source in &corpus {
+                let q = QueryVideo::from_corpus(source);
+                let (off, off_trace) =
+                    r.recommend_traced(strategy, &q, 3, &[VideoId(1)], Tracer::OFF);
+                let (on, on_trace) = r.recommend_traced(strategy, &q, 3, &[VideoId(1)], Tracer::ON);
+                assert_eq!(off.len(), on.len(), "{}", strategy.label());
+                for (a, b) in off.iter().zip(&on) {
+                    assert_eq!(a.video, b.video);
+                    // Bit-identical scores, not just approximately equal.
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "{}", strategy.label());
+                }
+                assert_eq!(off_trace.stats, on_trace.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn traces_account_for_the_scan() {
+        let (corpus, _) = small_corpus();
+        let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
+        let q = QueryVideo::from_corpus(&corpus[0]);
+        for strategy in ALL {
+            let (_, off) = r.recommend_traced(strategy, &q, 2, &[VideoId(0)], Tracer::OFF);
+            // A disabled tracer records no time at all — the zero-cost path.
+            assert_eq!(off.total_ns, 0);
+            assert_eq!(off.stage_sum_ns(), 0);
+
+            let (_, on) = r.recommend_traced(strategy, &q, 2, &[VideoId(0)], Tracer::ON);
+            assert!(on.total_ns > 0, "{}", strategy.label());
+            // Stages tile disjoint sub-intervals of the scan.
+            assert!(on.stage_sum_ns() <= on.total_ns, "{}", strategy.label());
+            assert_eq!(on.gathered - on.excluded, on.stats.scanned);
+            assert_eq!(on.shards, 1);
+            if strategy.uses_content() {
+                assert_eq!(on.stage(Stage::Emd).count, on.stats.exact_evals);
+                assert_eq!(on.stage(Stage::Bound).count, on.stats.scanned);
+                assert_eq!(on.stage(Stage::Sort).count, 1);
+            }
+            // The library path never sees an admission queue.
+            assert_eq!(on.stage(Stage::Queue), viderec_trace::StageCell::default());
         }
     }
 

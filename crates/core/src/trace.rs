@@ -1,0 +1,338 @@
+//! The per-query trace model: which pipeline stage a microsecond went to.
+//!
+//! Built on the generic machinery of `viderec-trace` (spans, stage cells,
+//! the lock-free trace ring); this module pins down what a *stage* means for
+//! the recommender pipeline and how a whole [`QueryTrace`] serialises to the
+//! fixed-width `[u64; QueryTrace::WORDS]` records the ring stores.
+//!
+//! Tracing never changes results: the traced paths run the exact arithmetic
+//! of the untraced ones and only read the monotonic clock around it, and a
+//! disabled [`Tracer`] collapses every stage to a single branch (asserted by
+//! the bit-identity tests).
+
+use crate::prune::PruneStats;
+use crate::relevance::Strategy;
+pub use viderec_trace::{next_trace_id, Span, StageCell, StageSet, Tracer};
+
+/// Number of pipeline stages a [`QueryTrace`] distinguishes.
+pub const NUM_STAGES: usize = 9;
+
+/// Shard-breakdown capacity of a trace record: the first this many shards of
+/// a parallel query get individual entries (the stage totals always cover
+/// every shard).
+pub const MAX_SHARD_TRACES: usize = 8;
+
+/// The stages of the query pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Admission-queue wait before a worker picked the request up (serving
+    /// layer only; zero for direct library calls).
+    Queue,
+    /// Query preparation: social vectorisation (SAR scan / chained hash) and
+    /// the query-side scoring cache.
+    Prepare,
+    /// Candidate gathering: full range, or inverted files + LSB forest.
+    Gather,
+    /// Exclusion filtering.
+    Filter,
+    /// Social similarity (exact `sJ` or SAR) over the candidates.
+    Social,
+    /// Admissible score ceilings (EMD lower bounds) over the candidates.
+    Bound,
+    /// The ceiling-descending sort that enables one-step tail pruning.
+    Sort,
+    /// Exact EMD evaluations (`κJ` refinement).
+    Emd,
+    /// Top-k heap maintenance, shard merging and the final ranked sort.
+    TopK,
+}
+
+impl Stage {
+    /// Every stage, in execution order.
+    pub const ALL: [Stage; NUM_STAGES] = [
+        Stage::Queue,
+        Stage::Prepare,
+        Stage::Gather,
+        Stage::Filter,
+        Stage::Social,
+        Stage::Bound,
+        Stage::Sort,
+        Stage::Emd,
+        Stage::TopK,
+    ];
+
+    /// The stage's slot in a [`StageSet<NUM_STAGES>`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Queue => 0,
+            Stage::Prepare => 1,
+            Stage::Gather => 2,
+            Stage::Filter => 3,
+            Stage::Social => 4,
+            Stage::Bound => 5,
+            Stage::Sort => 6,
+            Stage::Emd => 7,
+            Stage::TopK => 8,
+        }
+    }
+
+    /// The metric/JSON label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::Prepare => "prepare",
+            Stage::Gather => "gather",
+            Stage::Filter => "filter",
+            Stage::Social => "social",
+            Stage::Bound => "bound",
+            Stage::Sort => "sort",
+            Stage::Emd => "emd",
+            Stage::TopK => "topk",
+        }
+    }
+}
+
+/// One shard's slice of a parallel query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardTrace {
+    /// Wall time of the shard's scan.
+    pub ns: u64,
+    /// Exact `κJ` evaluations the shard paid for.
+    pub exact_evals: u64,
+    /// Candidates the shard pruned.
+    pub pruned: u64,
+}
+
+/// Everything one query left behind: stage timings, pruning counters and the
+/// per-shard breakdown, in a fixed-width record the serving layer's trace
+/// ring can store without allocating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryTrace {
+    /// Trace id (0 until the serving layer assigns one).
+    pub id: u64,
+    /// Snapshot epoch the query ran against (0 for direct library calls).
+    pub epoch: u64,
+    /// Strategy the query ran under.
+    pub strategy: Strategy,
+    /// Requested `k`.
+    pub k: u64,
+    /// End-to-end wall time: the scan for library calls, overwritten with
+    /// admission-to-scored time by the serving layer. For single-threaded
+    /// scans this is ≥ the sum of the stage times (stages tile disjoint
+    /// sub-intervals); a multi-shard parallel scan accumulates per-shard
+    /// *CPU* time into the stages, so their sum may exceed the wall time.
+    pub total_ns: u64,
+    /// Candidates gathered before exclusion filtering.
+    pub gathered: u64,
+    /// Candidates dropped by exclusion filtering.
+    pub excluded: u64,
+    /// Scan counters (`scanned` = gathered − excluded; `pruned` +
+    /// `exact_evals` = `scanned` for content strategies).
+    pub stats: PruneStats,
+    /// Per-stage `{ns, count}` accumulators (shards merged in).
+    pub stages: StageSet<NUM_STAGES>,
+    /// Logical shards the scan used (1 = the sequential single-heap scan).
+    pub shards: u64,
+    /// How many entries of `shard` are populated
+    /// (`min(shards, MAX_SHARD_TRACES)`; 0 when the scan was not sharded).
+    pub shards_recorded: u64,
+    /// The per-shard breakdown.
+    pub shard: [ShardTrace; MAX_SHARD_TRACES],
+}
+
+impl QueryTrace {
+    /// Words of the fixed-width ring record.
+    pub const WORDS: usize = 12 + 2 * NUM_STAGES + 3 * MAX_SHARD_TRACES;
+
+    /// A fresh trace for one query.
+    pub fn new(strategy: Strategy, k: usize) -> Self {
+        Self {
+            id: 0,
+            epoch: 0,
+            strategy,
+            k: k as u64,
+            total_ns: 0,
+            gathered: 0,
+            excluded: 0,
+            stats: PruneStats::default(),
+            stages: StageSet::default(),
+            shards: 0,
+            shards_recorded: 0,
+            shard: [ShardTrace::default(); MAX_SHARD_TRACES],
+        }
+    }
+
+    /// The accumulated cell of one stage.
+    pub fn stage(&self, stage: Stage) -> StageCell {
+        self.stages.get(stage.index())
+    }
+
+    /// Mutable cell of one stage (span recording).
+    #[inline]
+    pub fn cell_mut(&mut self, stage: Stage) -> &mut StageCell {
+        self.stages.cell_mut(stage.index())
+    }
+
+    /// Sum of all stage times — by construction ≤ [`Self::total_ns`].
+    pub fn stage_sum_ns(&self) -> u64 {
+        self.stages.total_ns()
+    }
+
+    /// Serialises to the fixed-width ring record.
+    pub fn to_words(&self) -> [u64; Self::WORDS] {
+        let mut w = [0u64; Self::WORDS];
+        w[0] = self.id;
+        w[1] = self.epoch;
+        w[2] = strategy_index(self.strategy);
+        w[3] = self.k;
+        w[4] = self.total_ns;
+        w[5] = self.gathered;
+        w[6] = self.excluded;
+        w[7] = self.stats.scanned;
+        w[8] = self.stats.pruned;
+        w[9] = self.stats.exact_evals;
+        w[10] = self.shards;
+        w[11] = self.shards_recorded;
+        let mut at = 12;
+        for (_, cell) in self.stages.iter() {
+            w[at] = cell.ns;
+            w[at + 1] = cell.count;
+            at += 2;
+        }
+        for s in &self.shard {
+            w[at] = s.ns;
+            w[at + 1] = s.exact_evals;
+            w[at + 2] = s.pruned;
+            at += 3;
+        }
+        w
+    }
+
+    /// Deserialises a ring record; `None` if the strategy word is invalid
+    /// (a record from a different build, or a torn slot the ring failed to
+    /// detect — both answered by dropping the record).
+    pub fn from_words(w: &[u64; Self::WORDS]) -> Option<Self> {
+        let mut t = QueryTrace::new(strategy_from_index(w[2])?, w[3] as usize);
+        t.id = w[0];
+        t.epoch = w[1];
+        t.total_ns = w[4];
+        t.gathered = w[5];
+        t.excluded = w[6];
+        t.stats = PruneStats {
+            scanned: w[7],
+            pruned: w[8],
+            exact_evals: w[9],
+        };
+        t.shards = w[10];
+        t.shards_recorded = w[11];
+        let mut at = 12;
+        for i in 0..NUM_STAGES {
+            *t.stages.cell_mut(i) = StageCell {
+                ns: w[at],
+                count: w[at + 1],
+            };
+            at += 2;
+        }
+        for s in t.shard.iter_mut() {
+            *s = ShardTrace {
+                ns: w[at],
+                exact_evals: w[at + 1],
+                pruned: w[at + 2],
+            };
+            at += 3;
+        }
+        Some(t)
+    }
+}
+
+fn strategy_index(s: Strategy) -> u64 {
+    match s {
+        Strategy::Cr => 0,
+        Strategy::Sr => 1,
+        Strategy::Csf => 2,
+        Strategy::CsfSar => 3,
+        Strategy::CsfSarH => 4,
+    }
+}
+
+fn strategy_from_index(i: u64) -> Option<Strategy> {
+    Some(match i {
+        0 => Strategy::Cr,
+        1 => Strategy::Sr,
+        2 => Strategy::Csf,
+        3 => Strategy::CsfSar,
+        4 => Strategy::CsfSarH,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_are_a_permutation() {
+        let mut seen = [false; NUM_STAGES];
+        for s in Stage::ALL {
+            assert!(!seen[s.index()], "{} double-indexed", s.label());
+            seen[s.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn words_roundtrip_preserves_everything() {
+        let mut t = QueryTrace::new(Strategy::CsfSarH, 17);
+        t.id = 0xdead_beef;
+        t.epoch = 42;
+        t.total_ns = 1_000_000;
+        t.gathered = 900;
+        t.excluded = 3;
+        t.stats = PruneStats {
+            scanned: 897,
+            pruned: 500,
+            exact_evals: 397,
+        };
+        t.cell_mut(Stage::Emd).add(123_456);
+        t.cell_mut(Stage::Queue).add(7);
+        t.shards = 4;
+        t.shards_recorded = 4;
+        t.shard[2] = ShardTrace {
+            ns: 55,
+            exact_evals: 9,
+            pruned: 100,
+        };
+        let back = QueryTrace::from_words(&t.to_words()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn invalid_strategy_word_is_rejected() {
+        let mut w = QueryTrace::new(Strategy::Cr, 1).to_words();
+        w[2] = 99;
+        assert!(QueryTrace::from_words(&w).is_none());
+    }
+
+    #[test]
+    fn every_strategy_roundtrips_through_its_index() {
+        for s in [
+            Strategy::Cr,
+            Strategy::Sr,
+            Strategy::Csf,
+            Strategy::CsfSar,
+            Strategy::CsfSarH,
+        ] {
+            assert_eq!(strategy_from_index(strategy_index(s)), Some(s));
+        }
+    }
+
+    #[test]
+    fn stage_sum_tracks_cells() {
+        let mut t = QueryTrace::new(Strategy::Csf, 5);
+        t.cell_mut(Stage::Social).add(10);
+        t.cell_mut(Stage::Emd).add(30);
+        assert_eq!(t.stage_sum_ns(), 40);
+        assert_eq!(t.stage(Stage::Emd), StageCell { ns: 30, count: 1 });
+    }
+}

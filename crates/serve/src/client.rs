@@ -85,6 +85,16 @@ pub fn json_u64(body: &str, key: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// Pulls the first `"key":"value"` string out of a flat JSON body (no
+/// unescaping — the callers read hex ids and labels that never contain
+/// escapes).
+pub fn json_str(body: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = body.find(&needle)? + needle.len();
+    let end = body[start..].find('"')?;
+    Some(body[start..start + end].to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +114,13 @@ mod tests {
         assert_eq!(json_u64(body, "accepted"), Some(3));
         assert_eq!(json_u64(body, "epoch_at_enqueue"), Some(12));
         assert_eq!(json_u64(body, "missing"), None);
+    }
+
+    #[test]
+    fn json_str_extracts_strings() {
+        let body = "{\"trace\":\"00000000000000ab\",\"strategy\":\"csf-sar-h\"}";
+        assert_eq!(json_str(body, "trace"), Some("00000000000000ab".into()));
+        assert_eq!(json_str(body, "strategy"), Some("csf-sar-h".into()));
+        assert_eq!(json_str(body, "missing"), None);
     }
 }

@@ -13,23 +13,34 @@
 //!   maintenance thread that applies the Fig. 5 paths and publishes the next
 //!   snapshot atomically;
 //! * `GET /healthz` — liveness, snapshot epoch, corpus size, queue depths;
-//! * `GET /metrics` — lock-free counters and latency percentiles.
+//! * `GET /metrics` — lock-free counters, per-endpoint latency summaries,
+//!   per-stage query histograms and update-pipeline histograms, every family
+//!   with `# HELP`/`# TYPE` exposition;
+//! * `GET /debug/queries` and `GET /debug/trace/<id>` — recent and slowest
+//!   query traces from a lock-free ring, with full stage breakdowns
+//!   ([`debug`]).
 //!
 //! Readers never lock the corpus: snapshots are epoch-swapped `Arc`s
 //! ([`snapshot`]), admission is a bounded queue with fast-fail 503
 //! backpressure, per-request deadlines answer 504 before scoring starts, and
-//! shutdown drains every admitted request ([`server`]). The whole stack is
-//! `std::net` + the vendored crossbeam channel — no external dependencies.
+//! shutdown drains every admitted request ([`server`]). Tracing is on by
+//! default and never changes results — the traced scan *is* the untraced
+//! scan plus tracer-gated clock reads ([`viderec_core::Recommender::
+//! recommend_traced`]); disable it with [`ServeConfig::trace`]. The whole
+//! stack is `std::net` + the vendored crossbeam channel — no external
+//! dependencies.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod debug;
 pub mod http;
 pub mod metrics;
 pub mod server;
 pub mod snapshot;
 pub mod wire;
 
-pub use metrics::{Endpoint, Histogram, Metrics};
+pub use debug::TraceStore;
+pub use metrics::{Endpoint, Gauges, Histogram, Metrics};
 pub use server::{parse_strategy, start, ServeConfig, ServerHandle};
 pub use snapshot::{CachedSnapshot, SnapshotCell};

@@ -2,8 +2,16 @@
 //!
 //! Every counter is a plain `AtomicU64` and every latency histogram is a
 //! fixed array of power-of-two buckets, so recording never allocates, never
-//! locks, and never blocks a worker. The registry renders to a
-//! Prometheus-style text page at `/metrics`.
+//! locks, and never blocks a worker. The registry renders to a Prometheus
+//! text page at `/metrics` following the exposition conventions:
+//!
+//! * every family carries `# HELP` and `# TYPE` lines;
+//! * per-endpoint latency is a `summary` (`quantile="0.5|0.95|0.99"` plus
+//!   `_sum`/`_count`), with the observed maximum as a separate gauge;
+//! * the per-stage query timings and the update-pipeline timings are native
+//!   `histogram` families: cumulative `_bucket{le=...}` series over the log2
+//!   bucket bounds (only non-empty buckets are emitted), `+Inf`, `_sum`,
+//!   `_count`.
 //!
 //! The accounting identity the e2e suite pins:
 //!
@@ -20,11 +28,19 @@
 //!   responses (400/404/update-queue 503s).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use viderec_core::{Stage, NUM_STAGES};
 
-/// Histogram bucket count: bucket `i` holds latencies in
-/// `[2^(i-1), 2^i)` microseconds (bucket 0 holds `< 1 µs`), so 40 buckets
-/// cover far beyond any realistic request.
-const BUCKETS: usize = 40;
+/// Histogram bucket count: bucket `i` holds observations in
+/// `[2^(i-1), 2^i)` (bucket 0 holds the value 0), so 40 buckets cover far
+/// beyond any realistic request latency in microseconds.
+pub const BUCKETS: usize = 40;
+
+/// Number of update-event kinds the apply-latency family distinguishes.
+pub const UPDATE_KINDS: usize = 3;
+
+/// Metric labels of the update-event kinds, indexed by
+/// [`crate::wire::event_kind_index`].
+pub const UPDATE_KIND_LABELS: [&str; UPDATE_KINDS] = ["comments", "ingest", "age"];
 
 /// A lock-free log2-bucketed latency histogram (microsecond domain).
 #[derive(Debug)]
@@ -51,6 +67,16 @@ impl Histogram {
         ((64 - micros.leading_zeros()) as usize).min(BUCKETS - 1)
     }
 
+    /// Inclusive upper bound of bucket `i` (`0` for bucket 0, `2^i - 1`
+    /// above; the top bucket additionally absorbs everything larger).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
     /// Records one observation.
     pub fn record(&self, micros: u64) {
         self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
@@ -64,17 +90,24 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all observations.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_micros(&self) -> u64 {
-        self.sum_micros
-            .load(Ordering::Relaxed)
-            .checked_div(self.count())
-            .unwrap_or(0)
+        self.sum_micros().checked_div(self.count()).unwrap_or(0)
     }
 
     /// Maximum observed latency in microseconds.
     pub fn max_micros(&self) -> u64 {
         self.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the per-bucket counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
     /// The `q`-quantile (`0 < q <= 1`) as the upper bound of the bucket
@@ -91,8 +124,7 @@ impl Histogram {
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                // Upper bound of bucket i: 2^i - 1 µs (bucket 0 is "< 1 µs").
-                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return Self::bucket_upper_bound(i);
             }
         }
         self.max_micros()
@@ -110,16 +142,19 @@ pub enum Endpoint {
     Healthz,
     /// `GET /metrics`
     Metrics,
+    /// `GET /debug/queries` and `GET /debug/trace/<id>`
+    Debug,
     /// Anything else (404s, malformed requests).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 5] = [
+    const ALL: [Endpoint; 6] = [
         Endpoint::Recommend,
         Endpoint::Update,
         Endpoint::Healthz,
         Endpoint::Metrics,
+        Endpoint::Debug,
         Endpoint::Other,
     ];
 
@@ -129,7 +164,8 @@ impl Endpoint {
             Endpoint::Update => 1,
             Endpoint::Healthz => 2,
             Endpoint::Metrics => 3,
-            Endpoint::Other => 4,
+            Endpoint::Debug => 4,
+            Endpoint::Other => 5,
         }
     }
 
@@ -140,6 +176,7 @@ impl Endpoint {
             Endpoint::Update => "update",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
+            Endpoint::Debug => "debug",
             Endpoint::Other => "other",
         }
     }
@@ -154,6 +191,31 @@ pub struct EndpointMetrics {
     pub errors: AtomicU64,
     /// Admission-to-response latency.
     pub latency: Histogram,
+}
+
+/// Point-in-time gauge values sampled by the caller at scrape time — they
+/// belong to the snapshot cell, the channels and the trace ring, not to this
+/// registry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Epoch of the currently published snapshot.
+    pub epoch: u64,
+    /// Corpus size of the published snapshot.
+    pub videos: usize,
+    /// Admission queue depth.
+    pub admission_depth: usize,
+    /// Update queue depth.
+    pub update_depth: usize,
+    /// Microseconds since the last snapshot publication.
+    pub snapshot_age_micros: u64,
+    /// Query traces pushed into the debug ring so far.
+    pub traces_recorded: u64,
+    /// Query traces dropped on a ring-slot collision.
+    pub traces_dropped: u64,
+    /// Capacity of the debug trace ring.
+    pub trace_capacity: usize,
+    /// Whether per-query tracing is enabled.
+    pub tracing_enabled: bool,
 }
 
 /// The server-wide metrics registry. All members are lock-free.
@@ -178,7 +240,20 @@ pub struct Metrics {
     pub events_failed: AtomicU64,
     /// Snapshots published (≥ 1 once the first update lands).
     pub snapshots_published: AtomicU64,
-    endpoints: [EndpointMetrics; 5],
+    /// Per-stage scan time of traced `/recommend` queries, indexed by
+    /// [`Stage::index`] (populated only while tracing is enabled).
+    pub stage_micros: [Histogram; NUM_STAGES],
+    /// Enqueue-to-drain wait of update batches in the maintenance queue.
+    pub update_queue_wait: Histogram,
+    /// Per-event apply latency, indexed by [`crate::wire::event_kind_index`].
+    pub update_apply: [Histogram; UPDATE_KINDS],
+    /// Events drained per maintenance round (unit: events, not micros).
+    pub update_batch_events: Histogram,
+    /// Master-copy clone time before a publish.
+    pub snapshot_clone: Histogram,
+    /// Epoch-swap publish time.
+    pub snapshot_publish: Histogram,
+    endpoints: [EndpointMetrics; 6],
 }
 
 impl Metrics {
@@ -197,90 +272,317 @@ impl Metrics {
         &self.endpoints[endpoint.index()]
     }
 
-    /// Renders the Prometheus-style text page. `epoch`, `videos` and the
-    /// live queue depths are sampled by the caller (they belong to the
-    /// snapshot cell and the channels, not to this registry).
-    pub fn render(
-        &self,
-        epoch: u64,
-        videos: usize,
-        admission_depth: usize,
-        update_depth: usize,
-    ) -> String {
+    /// Renders the Prometheus text page; live gauge values are sampled by
+    /// the caller into `g`.
+    pub fn render(&self, g: &Gauges) -> String {
         use std::fmt::Write as _;
-        let mut out = String::with_capacity(2048);
+        let mut out = String::with_capacity(8192);
         let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        let _ = writeln!(out, "serve_requests_submitted_total {}", c(&self.submitted));
-        let _ = writeln!(out, "serve_requests_served_total {}", c(&self.served));
-        let _ = writeln!(out, "serve_requests_rejected_total {}", c(&self.rejected));
-        let _ = writeln!(
-            out,
-            "serve_requests_deadline_expired_total {}",
-            c(&self.deadline_expired)
+        let counters: [(&str, u64, &str); 9] = [
+            (
+                "serve_requests_submitted_total",
+                c(&self.submitted),
+                "Connections accepted by the acceptor.",
+            ),
+            (
+                "serve_requests_served_total",
+                c(&self.served),
+                "Responses written by workers.",
+            ),
+            (
+                "serve_requests_rejected_total",
+                c(&self.rejected),
+                "Fast-fail 503s at admission (queue full).",
+            ),
+            (
+                "serve_requests_deadline_expired_total",
+                c(&self.deadline_expired),
+                "504s for requests past their deadline before scoring.",
+            ),
+            (
+                "serve_update_batches_enqueued_total",
+                c(&self.updates_enqueued),
+                "Update batches accepted into the maintenance queue.",
+            ),
+            (
+                "serve_update_batches_rejected_total",
+                c(&self.updates_rejected),
+                "Update batches bounced with 503 (update queue full).",
+            ),
+            (
+                "serve_events_applied_total",
+                c(&self.events_applied),
+                "Update events applied by the maintenance writer.",
+            ),
+            (
+                "serve_events_failed_total",
+                c(&self.events_failed),
+                "Update events the maintenance writer rejected.",
+            ),
+            (
+                "serve_snapshots_published_total",
+                c(&self.snapshots_published),
+                "Snapshots published by the maintenance writer.",
+            ),
+        ];
+        for (name, value, help) in counters {
+            meta(&mut out, name, help, "counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        meta(
+            &mut out,
+            "serve_query_traces_recorded_total",
+            "Query traces pushed into the debug ring.",
+            "counter",
         );
         let _ = writeln!(
             out,
-            "serve_update_batches_enqueued_total {}",
-            c(&self.updates_enqueued)
+            "serve_query_traces_recorded_total {}",
+            g.traces_recorded
         );
-        let _ = writeln!(
-            out,
-            "serve_update_batches_rejected_total {}",
-            c(&self.updates_rejected)
+        meta(
+            &mut out,
+            "serve_query_traces_dropped_total",
+            "Query traces dropped on a ring-slot collision.",
+            "counter",
         );
-        let _ = writeln!(
-            out,
-            "serve_events_applied_total {}",
-            c(&self.events_applied)
+        let _ = writeln!(out, "serve_query_traces_dropped_total {}", g.traces_dropped);
+
+        let gauges: [(&str, u64, &str); 7] = [
+            (
+                "serve_snapshot_epoch",
+                g.epoch,
+                "Epoch of the currently published snapshot.",
+            ),
+            (
+                "serve_snapshot_age_micros",
+                g.snapshot_age_micros,
+                "Microseconds since the last snapshot publication.",
+            ),
+            (
+                "serve_corpus_videos",
+                g.videos as u64,
+                "Corpus size of the published snapshot.",
+            ),
+            (
+                "serve_admission_queue_depth",
+                g.admission_depth as u64,
+                "Connections waiting for a worker.",
+            ),
+            (
+                "serve_update_queue_depth",
+                g.update_depth as u64,
+                "Update batches waiting for the maintenance writer.",
+            ),
+            (
+                "serve_tracing_enabled",
+                u64::from(g.tracing_enabled),
+                "Whether per-query tracing is enabled (1) or not (0).",
+            ),
+            (
+                "serve_trace_ring_capacity",
+                g.trace_capacity as u64,
+                "Capacity of the debug trace ring.",
+            ),
+        ];
+        for (name, value, help) in &gauges {
+            meta(&mut out, name, help, "gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+
+        meta(
+            &mut out,
+            "serve_responses_total",
+            "Responses written, by endpoint.",
+            "counter",
         );
-        let _ = writeln!(out, "serve_events_failed_total {}", c(&self.events_failed));
-        let _ = writeln!(
-            out,
-            "serve_snapshots_published_total {}",
-            c(&self.snapshots_published)
-        );
-        let _ = writeln!(out, "serve_snapshot_epoch {epoch}");
-        let _ = writeln!(out, "serve_corpus_videos {videos}");
-        let _ = writeln!(out, "serve_admission_queue_depth {admission_depth}");
-        let _ = writeln!(out, "serve_update_queue_depth {update_depth}");
         for ep in Endpoint::ALL {
-            let m = self.endpoint(ep);
+            let _ = writeln!(
+                out,
+                "serve_responses_total{{endpoint=\"{}\"}} {}",
+                ep.label(),
+                c(&self.endpoint(ep).hits)
+            );
+        }
+        meta(
+            &mut out,
+            "serve_response_errors_total",
+            "4xx/5xx responses written, by endpoint.",
+            "counter",
+        );
+        for ep in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "serve_response_errors_total{{endpoint=\"{}\"}} {}",
+                ep.label(),
+                c(&self.endpoint(ep).errors)
+            );
+        }
+        meta(
+            &mut out,
+            "serve_latency_micros",
+            "Admission-to-response latency, by endpoint.",
+            "summary",
+        );
+        for ep in Endpoint::ALL {
             let label = ep.label();
-            let _ = writeln!(
-                out,
-                "serve_responses_total{{endpoint=\"{label}\"}} {}",
-                c(&m.hits)
-            );
-            let _ = writeln!(
-                out,
-                "serve_response_errors_total{{endpoint=\"{label}\"}} {}",
-                c(&m.errors)
-            );
-            for (q, name) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            let h = &self.endpoint(ep).latency;
+            for q in ["0.5", "0.95", "0.99"] {
                 let _ = writeln!(
                     out,
-                    "serve_latency_micros{{endpoint=\"{label}\",quantile=\"{name}\"}} {}",
-                    m.latency.quantile_micros(q)
+                    "serve_latency_micros{{endpoint=\"{label}\",quantile=\"{q}\"}} {}",
+                    h.quantile_micros(q.parse().expect("static quantile"))
                 );
             }
             let _ = writeln!(
                 out,
-                "serve_latency_micros{{endpoint=\"{label}\",quantile=\"mean\"}} {}",
-                m.latency.mean_micros()
+                "serve_latency_micros_sum{{endpoint=\"{label}\"}} {}",
+                h.sum_micros()
             );
             let _ = writeln!(
                 out,
-                "serve_latency_micros{{endpoint=\"{label}\",quantile=\"max\"}} {}",
-                m.latency.max_micros()
+                "serve_latency_micros_count{{endpoint=\"{label}\"}} {}",
+                h.count()
             );
         }
+        meta(
+            &mut out,
+            "serve_latency_max_micros",
+            "Maximum observed admission-to-response latency, by endpoint.",
+            "gauge",
+        );
+        for ep in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "serve_latency_max_micros{{endpoint=\"{}\"}} {}",
+                ep.label(),
+                self.endpoint(ep).latency.max_micros()
+            );
+        }
+
+        meta(
+            &mut out,
+            "serve_query_stage_micros",
+            "Per-stage scan time of traced /recommend queries.",
+            "histogram",
+        );
+        for stage in Stage::ALL {
+            let labels = format!("stage=\"{}\"", stage.label());
+            histogram_samples(
+                &mut out,
+                "serve_query_stage_micros",
+                &labels,
+                &self.stage_micros[stage.index()],
+            );
+        }
+        meta(
+            &mut out,
+            "serve_update_queue_wait_micros",
+            "Enqueue-to-drain wait of update batches.",
+            "histogram",
+        );
+        histogram_samples(
+            &mut out,
+            "serve_update_queue_wait_micros",
+            "",
+            &self.update_queue_wait,
+        );
+        meta(
+            &mut out,
+            "serve_update_apply_micros",
+            "Per-event apply latency, by event kind.",
+            "histogram",
+        );
+        for (i, label) in UPDATE_KIND_LABELS.iter().enumerate() {
+            let labels = format!("kind=\"{label}\"");
+            histogram_samples(
+                &mut out,
+                "serve_update_apply_micros",
+                &labels,
+                &self.update_apply[i],
+            );
+        }
+        meta(
+            &mut out,
+            "serve_update_batch_events",
+            "Events drained per maintenance round.",
+            "histogram",
+        );
+        histogram_samples(
+            &mut out,
+            "serve_update_batch_events",
+            "",
+            &self.update_batch_events,
+        );
+        meta(
+            &mut out,
+            "serve_snapshot_clone_micros",
+            "Master-copy clone time before a publish.",
+            "histogram",
+        );
+        histogram_samples(
+            &mut out,
+            "serve_snapshot_clone_micros",
+            "",
+            &self.snapshot_clone,
+        );
+        meta(
+            &mut out,
+            "serve_snapshot_publish_micros",
+            "Epoch-swap publish time.",
+            "histogram",
+        );
+        histogram_samples(
+            &mut out,
+            "serve_snapshot_publish_micros",
+            "",
+            &self.snapshot_publish,
+        );
         out
+    }
+}
+
+fn meta(out: &mut String, name: &str, help: &str, ty: &str) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {ty}");
+}
+
+/// Emits one label set of a Prometheus `histogram` family: cumulative
+/// `_bucket{le=...}` lines over the non-empty log2 buckets, `+Inf`, `_sum`
+/// and `_count`.
+fn histogram_samples(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    use std::fmt::Write as _;
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (i, &n) in h.bucket_counts().iter().enumerate() {
+        cumulative += n;
+        if n > 0 {
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}",
+                Histogram::bucket_upper_bound(i)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        h.count()
+    );
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", h.sum_micros());
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    } else {
+        let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum_micros());
+        let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count());
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::{HashMap, HashSet};
 
     #[test]
     fn histogram_quantiles_are_monotone_and_bracket_the_data() {
@@ -304,26 +606,212 @@ mod tests {
     fn empty_histogram_is_all_zeros() {
         let h = Histogram::default();
         assert_eq!(h.quantile_micros(0.5), 0);
+        assert_eq!(h.quantile_micros(0.99), 0);
         assert_eq!(h.mean_micros(), 0);
         assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_micros(), 0);
+        assert_eq!(h.bucket_counts(), [0u64; BUCKETS]);
     }
 
     #[test]
-    fn render_contains_the_accounting_counters() {
+    fn single_observation_pins_every_quantile() {
+        let h = Histogram::default();
+        h.record(100);
+        // 100 lands in bucket 7 ([64, 128)); every quantile answers its
+        // upper bound.
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_micros(q), 127, "q={q}");
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum_micros(), 100);
+        assert_eq!(h.max_micros(), 100);
+    }
+
+    #[test]
+    fn zero_observations_land_in_bucket_zero() {
+        let h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.quantile_micros(0.5), 0);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+    }
+
+    #[test]
+    fn huge_values_saturate_the_top_bucket() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_counts()[BUCKETS - 1], 2);
+        // The quantile caps at the top bucket's nominal bound; the true max
+        // survives separately.
+        assert_eq!(
+            h.quantile_micros(0.5),
+            Histogram::bucket_upper_bound(BUCKETS - 1)
+        );
+        assert_eq!(h.max_micros(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn quantiles_stay_monotone_under_random_fills() {
+        // Deterministic LCG — the serve crate has no rand dependency.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(next() % 1_000_000);
+        }
+        let mut prev = 0u64;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile_micros(q);
+            assert!(v >= prev, "quantile {q} went backwards: {v} < {prev}");
+            prev = v;
+        }
+        assert!(h.quantile_micros(1.0) <= 2 * h.max_micros() + 1);
+        assert_eq!(h.count(), 1000);
+    }
+
+    fn populated() -> Metrics {
         let m = Metrics::default();
         m.submitted.fetch_add(3, Ordering::Relaxed);
         m.served.fetch_add(2, Ordering::Relaxed);
         m.rejected.fetch_add(1, Ordering::Relaxed);
         m.record_response(Endpoint::Recommend, 200, 840);
         m.record_response(Endpoint::Recommend, 404, 12);
-        let page = m.render(7, 42, 1, 0);
+        m.record_response(Endpoint::Debug, 200, 40);
+        m.stage_micros[Stage::Emd.index()].record(700);
+        m.stage_micros[Stage::Queue.index()].record(3);
+        m.update_queue_wait.record(44);
+        m.update_apply[0].record(10);
+        m.update_apply[1].record(2000);
+        m.update_batch_events.record(3);
+        m.snapshot_clone.record(100);
+        m.snapshot_publish.record(1);
+        m
+    }
+
+    fn gauges() -> Gauges {
+        Gauges {
+            epoch: 7,
+            videos: 42,
+            admission_depth: 1,
+            update_depth: 0,
+            snapshot_age_micros: 5000,
+            traces_recorded: 9,
+            traces_dropped: 0,
+            trace_capacity: 256,
+            tracing_enabled: true,
+        }
+    }
+
+    #[test]
+    fn render_contains_the_accounting_counters() {
+        let page = populated().render(&gauges());
         assert!(page.contains("serve_requests_submitted_total 3"));
         assert!(page.contains("serve_requests_served_total 2"));
         assert!(page.contains("serve_requests_rejected_total 1"));
         assert!(page.contains("serve_snapshot_epoch 7"));
         assert!(page.contains("serve_corpus_videos 42"));
+        assert!(page.contains("serve_tracing_enabled 1"));
+        assert!(page.contains("serve_query_traces_recorded_total 9"));
         assert!(page.contains("serve_responses_total{endpoint=\"recommend\"} 2"));
         assert!(page.contains("serve_response_errors_total{endpoint=\"recommend\"} 1"));
-        assert!(page.contains("quantile=\"p99\""));
+        assert!(page.contains("quantile=\"0.99\""));
+        assert!(page.contains("serve_latency_micros_count{endpoint=\"recommend\"} 2"));
+        assert!(page.contains("serve_latency_max_micros{endpoint=\"recommend\"} 840"));
+        assert!(page.contains("serve_query_stage_micros_bucket{stage=\"emd\""));
+        assert!(page.contains("serve_update_apply_micros_count{kind=\"ingest\"} 1"));
+    }
+
+    /// For every sample line in the page, the family it belongs to after
+    /// stripping `_bucket`/`_sum`/`_count` suffixes of histogram/summary
+    /// families.
+    fn family_of(name: &str, typed: &HashMap<String, String>) -> String {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if matches!(typed.get(base).map(String::as_str), Some("histogram"))
+                    || (suffix != "_bucket"
+                        && matches!(typed.get(base).map(String::as_str), Some("summary")))
+                {
+                    return base.to_string();
+                }
+            }
+        }
+        name.to_string()
+    }
+
+    #[test]
+    fn exposition_is_prometheus_conformant() {
+        let page = populated().render(&gauges());
+        let mut helped: HashSet<String> = HashSet::new();
+        let mut typed: HashMap<String, String> = HashMap::new();
+        for line in page.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap().to_string();
+                assert!(rest.len() > name.len() + 1, "HELP without text: {line}");
+                helped.insert(name);
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let name = it.next().unwrap().to_string();
+                let ty = it.next().expect("TYPE has a type").to_string();
+                assert!(
+                    ["counter", "gauge", "histogram", "summary"].contains(&ty.as_str()),
+                    "unknown type {ty}"
+                );
+                assert!(
+                    typed.insert(name.clone(), ty).is_none(),
+                    "family {name} declared twice"
+                );
+            }
+        }
+        for line in page
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let name = line.split(['{', ' ']).next().unwrap();
+            let family = family_of(name, &typed);
+            assert!(typed.contains_key(&family), "no # TYPE for {name}");
+            assert!(helped.contains(&family), "no # HELP for {name}");
+            if typed[&family] == "counter" {
+                assert!(family.ends_with("_total"), "counter {family} not _total");
+            }
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+        }
+        // Histogram internals: cumulative buckets are monotone and +Inf
+        // equals _count, for an unlabelled and a labelled family.
+        for (family, label_prefix) in [
+            ("serve_update_queue_wait_micros", ""),
+            ("serve_query_stage_micros", "stage=\"emd\","),
+        ] {
+            let bucket_prefix = format!("{family}_bucket{{{label_prefix}");
+            let mut last = 0u64;
+            let mut inf = None;
+            for line in page.lines().filter(|l| l.starts_with(&bucket_prefix)) {
+                let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(value >= last, "non-cumulative bucket: {line}");
+                last = value;
+                if line.contains("le=\"+Inf\"") {
+                    inf = Some(value);
+                }
+            }
+            let count_prefix = if label_prefix.is_empty() {
+                format!("{family}_count ")
+            } else {
+                format!("{family}_count{{{}}} ", label_prefix.trim_end_matches(','))
+            };
+            let count: u64 = page
+                .lines()
+                .find(|l| l.starts_with(&count_prefix))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("no _count for {family}"));
+            assert_eq!(inf, Some(count), "{family}: +Inf != _count");
+        }
     }
 }

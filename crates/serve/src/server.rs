@@ -26,17 +26,21 @@
 //!   every admitted request, and only then does the maintenance thread
 //!   retire.
 
-use crate::http::{escape_json, read_request, write_response, HttpError, Request};
-use crate::metrics::{Endpoint, Metrics};
+use crate::debug::{trace_json, TraceStore};
+use crate::http::{
+    escape_json, read_request, write_response, write_response_with_headers, HttpError, Request,
+};
+use crate::metrics::{Endpoint, Gauges, Metrics};
 use crate::snapshot::{CachedSnapshot, SnapshotCell};
-use crate::wire::parse_update_body;
+use crate::wire::{event_kind_index, parse_update_body};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use viderec_core::{Recommender, Strategy, UpdateEvent};
+use viderec_core::trace::next_trace_id;
+use viderec_core::{Recommender, Stage, Strategy, Tracer, UpdateEvent};
 use viderec_video::VideoId;
 
 /// Serving-layer configuration.
@@ -64,6 +68,15 @@ pub struct ServeConfig {
     pub synthetic_delay: Duration,
     /// Upper bound on the `k` a request may ask for (larger values clamp).
     pub max_k: usize,
+    /// Per-query tracing and update-pipeline spans. On, every `/recommend`
+    /// response carries a trace id resolvable via `GET /debug/trace/<id>`,
+    /// per-stage histograms populate on `/metrics`, and results stay
+    /// bit-identical to the untraced path (asserted end-to-end). Off, the
+    /// instrumentation collapses to one branch per span.
+    pub trace: bool,
+    /// Capacity of the recent-queries trace ring behind `/debug/queries`
+    /// (0 is clamped to 1).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +90,8 @@ impl Default for ServeConfig {
             io_timeout: Duration::from_secs(2),
             synthetic_delay: Duration::ZERO,
             max_k: 1024,
+            trace: true,
+            trace_capacity: 256,
         }
     }
 }
@@ -87,14 +102,23 @@ struct Admitted {
     at: Instant,
 }
 
+/// One accepted update batch, stamped at enqueue so the maintainer can
+/// record how long it waited in the queue.
+struct QueuedBatch {
+    at: Instant,
+    events: Vec<UpdateEvent>,
+}
+
 /// State shared by the acceptor and every worker.
 struct Ctx {
     cfg: ServeConfig,
     metrics: Arc<Metrics>,
     cell: Arc<SnapshotCell<Recommender>>,
-    update_tx: Sender<Vec<UpdateEvent>>,
+    update_tx: Sender<QueuedBatch>,
     /// Probe handles for queue-depth gauges (never received from).
     admission_probe: Receiver<Admitted>,
+    tracer: Tracer,
+    traces: Arc<TraceStore>,
 }
 
 /// A running server; dropping it (or calling [`ServerHandle::shutdown`])
@@ -107,6 +131,7 @@ pub struct ServerHandle {
     maintainer: Option<std::thread::JoinHandle<()>>,
     metrics: Arc<Metrics>,
     cell: Arc<SnapshotCell<Recommender>>,
+    traces: Arc<TraceStore>,
 }
 
 impl ServerHandle {
@@ -123,6 +148,11 @@ impl ServerHandle {
     /// The live metrics registry.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The ring of recent query traces (empty while tracing is disabled).
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
     }
 
     /// Graceful shutdown: stop accepting, drain admitted requests, apply
@@ -172,8 +202,10 @@ pub fn start(cfg: ServeConfig, recommender: Recommender) -> std::io::Result<Serv
     let metrics = Arc::new(Metrics::default());
     let master = recommender;
     let cell = Arc::new(SnapshotCell::new(Arc::new(master.clone())));
+    let traces = Arc::new(TraceStore::new(cfg.trace_capacity));
+    let tracer = Tracer::new(cfg.trace);
     let (admission_tx, admission_rx) = channel::bounded::<Admitted>(cfg.admission_capacity);
-    let (update_tx, update_rx) = channel::bounded::<Vec<UpdateEvent>>(cfg.update_capacity);
+    let (update_tx, update_rx) = channel::bounded::<QueuedBatch>(cfg.update_capacity);
     let stop_flag = Arc::new(AtomicBool::new(false));
 
     let ctx = Arc::new(Ctx {
@@ -182,6 +214,8 @@ pub fn start(cfg: ServeConfig, recommender: Recommender) -> std::io::Result<Serv
         cell: Arc::clone(&cell),
         update_tx,
         admission_probe: admission_rx.clone(),
+        tracer,
+        traces: Arc::clone(&traces),
     });
 
     // --- maintenance thread (the single writer) ---
@@ -190,7 +224,7 @@ pub fn start(cfg: ServeConfig, recommender: Recommender) -> std::io::Result<Serv
         let metrics = Arc::clone(&metrics);
         std::thread::Builder::new()
             .name("serve-maintainer".into())
-            .spawn(move || maintainer_loop(master, update_rx, &cell, &metrics))?
+            .spawn(move || maintainer_loop(master, update_rx, &cell, &metrics, tracer))?
     };
 
     // --- worker pool ---
@@ -224,6 +258,7 @@ pub fn start(cfg: ServeConfig, recommender: Recommender) -> std::io::Result<Serv
         maintainer: Some(maintainer),
         metrics,
         cell,
+        traces,
     })
 }
 
@@ -287,6 +322,10 @@ enum Outcome {
 }
 
 fn handle_connection(ctx: &Ctx, cache: &mut CachedSnapshot<Recommender>, mut adm: Admitted) {
+    // Admission-to-pickup wait, credited to the Queue stage of a traced
+    // request (the synthetic delay below models worker-side work, not
+    // queueing).
+    let queued_ns = adm.at.elapsed().as_nanos() as u64;
     let _ = adm.stream.set_read_timeout(Some(ctx.cfg.io_timeout));
     let _ = adm.stream.set_write_timeout(Some(ctx.cfg.io_timeout));
     if !ctx.cfg.synthetic_delay.is_zero() {
@@ -296,7 +335,7 @@ fn handle_connection(ctx: &Ctx, cache: &mut CachedSnapshot<Recommender>, mut adm
     }
 
     let (endpoint, outcome) = match read_request(&mut adm.stream) {
-        Ok(req) => route(ctx, cache, &mut adm, &req),
+        Ok(req) => route(ctx, cache, &mut adm, &req, queued_ns),
         Err(HttpError::Malformed(msg)) => {
             let body = format!("{{\"error\":\"{}\"}}", escape_json(msg));
             let _ = write_response(&mut adm.stream, 400, "application/json", body.as_bytes());
@@ -325,12 +364,20 @@ fn route(
     cache: &mut CachedSnapshot<Recommender>,
     adm: &mut Admitted,
     req: &Request,
+    queued_ns: u64,
 ) -> (Endpoint, Outcome) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/recommend") => (Endpoint::Recommend, recommend(ctx, cache, adm, req)),
+        ("GET", "/recommend") => (
+            Endpoint::Recommend,
+            recommend(ctx, cache, adm, req, queued_ns),
+        ),
         ("POST", "/update") => (Endpoint::Update, update(ctx, adm, req)),
         ("GET", "/healthz") => (Endpoint::Healthz, healthz(ctx, cache, adm)),
         ("GET", "/metrics") => (Endpoint::Metrics, metrics_page(ctx, cache, adm)),
+        ("GET", "/debug/queries") => (Endpoint::Debug, debug_queries(ctx, adm, req)),
+        ("GET", path) if path.starts_with("/debug/trace/") => {
+            (Endpoint::Debug, debug_trace(ctx, adm, path))
+        }
         _ => {
             let outcome = respond(adm, 404, "application/json", b"{\"error\":\"not found\"}");
             (Endpoint::Other, outcome)
@@ -353,6 +400,7 @@ fn recommend(
     cache: &mut CachedSnapshot<Recommender>,
     adm: &mut Admitted,
     req: &Request,
+    queued_ns: u64,
 ) -> Outcome {
     // --- parse everything before the deadline check: parsing is part of
     // the request's age, scoring is not allowed to start past-deadline ---
@@ -416,12 +464,37 @@ fn recommend(
         let body = format!("{{\"error\":\"unknown video {video}\"}}");
         return respond(adm, 404, "application/json", body.as_bytes());
     };
-    let results = snapshot.recommend_excluding(strategy, &query, k, &exclude);
+    let (results, mut trace) = snapshot.recommend_traced(strategy, &query, k, &exclude, ctx.tracer);
+
+    // Finish the trace: id, epoch, queue wait, end-to-end latency (stages
+    // tile disjoint sub-intervals of admission-to-now, so their sum stays
+    // ≤ total), then per-stage metrics and the debug ring — all before the
+    // response so the echoed id always resolves.
+    let trace_id = if ctx.tracer.enabled() {
+        trace.id = next_trace_id();
+        trace.epoch = epoch;
+        trace.cell_mut(Stage::Queue).add(queued_ns);
+        trace.total_ns = adm.at.elapsed().as_nanos() as u64;
+        for stage in Stage::ALL {
+            let cell = trace.stage(stage);
+            if cell.count > 0 {
+                ctx.metrics.stage_micros[stage.index()].record(cell.ns / 1_000);
+            }
+        }
+        ctx.traces.record(&trace);
+        Some(trace.id)
+    } else {
+        None
+    };
 
     let mut body = format!(
-        "{{\"query\":{video},\"strategy\":\"{}\",\"k\":{k},\"epoch\":{epoch},\"results\":[",
+        "{{\"query\":{video},\"strategy\":\"{}\",\"k\":{k},\"epoch\":{epoch},",
         strategy.label()
     );
+    if let Some(id) = trace_id {
+        let _ = write!(body, "\"trace\":\"{id:016x}\",");
+    }
+    body.push_str("\"results\":[");
     for (i, scored) in results.iter().enumerate() {
         if i > 0 {
             body.push(',');
@@ -435,7 +508,60 @@ fn recommend(
         );
     }
     body.push_str("]}");
+    match trace_id {
+        Some(id) => {
+            let hex = format!("{id:016x}");
+            let _ = write_response_with_headers(
+                &mut adm.stream,
+                200,
+                "application/json",
+                &[("X-Trace-Id", &hex)],
+                body.as_bytes(),
+            );
+            Outcome::Served(200)
+        }
+        None => respond(adm, 200, "application/json", body.as_bytes()),
+    }
+}
+
+fn debug_queries(ctx: &Ctx, adm: &mut Admitted, req: &Request) -> Outcome {
+    let recent_n = match req.param("n") {
+        None => 16usize,
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return bad_request(adm, "parameter 'n' must be an unsigned integer"),
+        },
+    };
+    let slowest_n = match req.param("slow") {
+        None => 8usize,
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return bad_request(adm, "parameter 'slow' must be an unsigned integer"),
+        },
+    };
+    let body = ctx
+        .traces
+        .queries_page(recent_n, slowest_n, ctx.tracer.enabled());
     respond(adm, 200, "application/json", body.as_bytes())
+}
+
+fn debug_trace(ctx: &Ctx, adm: &mut Admitted, path: &str) -> Outcome {
+    let id_str = &path["/debug/trace/".len()..];
+    let Ok(id) = u64::from_str_radix(id_str, 16) else {
+        return bad_request(
+            adm,
+            "trace id must be the hex id a /recommend response echoed",
+        );
+    };
+    match ctx.traces.find(id) {
+        Some(trace) => respond(adm, 200, "application/json", trace_json(&trace).as_bytes()),
+        None => {
+            let body = format!(
+                "{{\"error\":\"trace {id:016x} not found (expired from the ring, or tracing disabled)\"}}"
+            );
+            respond(adm, 404, "application/json", body.as_bytes())
+        }
+    }
 }
 
 fn update(ctx: &Ctx, adm: &mut Admitted, req: &Request) -> Outcome {
@@ -455,7 +581,11 @@ fn update(ctx: &Ctx, adm: &mut Admitted, req: &Request) -> Outcome {
             b"{\"accepted\":0,\"note\":\"empty batch\"}",
         );
     }
-    match ctx.update_tx.try_send(events) {
+    let batch = QueuedBatch {
+        at: Instant::now(),
+        events,
+    };
+    match ctx.update_tx.try_send(batch) {
         Ok(()) => {
             ctx.metrics.updates_enqueued.fetch_add(1, Ordering::Relaxed);
             let body = format!(
@@ -491,20 +621,26 @@ fn healthz(ctx: &Ctx, cache: &mut CachedSnapshot<Recommender>, adm: &mut Admitte
 
 fn metrics_page(ctx: &Ctx, cache: &mut CachedSnapshot<Recommender>, adm: &mut Admitted) -> Outcome {
     let videos = cache.get(&ctx.cell).num_videos();
-    let page = ctx.metrics.render(
-        ctx.cell.epoch(),
+    let page = ctx.metrics.render(&Gauges {
+        epoch: ctx.cell.epoch(),
         videos,
-        ctx.admission_probe.len(),
-        ctx.update_tx.len(),
-    );
+        admission_depth: ctx.admission_probe.len(),
+        update_depth: ctx.update_tx.len(),
+        snapshot_age_micros: ctx.cell.age_micros(),
+        traces_recorded: ctx.traces.recorded(),
+        traces_dropped: ctx.traces.dropped(),
+        trace_capacity: ctx.traces.capacity(),
+        tracing_enabled: ctx.tracer.enabled(),
+    });
     respond(adm, 200, "text/plain; version=0.0.4", page.as_bytes())
 }
 
 fn maintainer_loop(
     mut master: Recommender,
-    update_rx: Receiver<Vec<UpdateEvent>>,
+    update_rx: Receiver<QueuedBatch>,
     cell: &SnapshotCell<Recommender>,
     metrics: &Metrics,
+    tracer: Tracer,
 ) {
     // `recv` returns Err only when every sender is gone *and* the queue is
     // drained, so shutdown applies every accepted batch before retiring.
@@ -513,8 +649,17 @@ fn maintainer_loop(
         while let Ok(more) = update_rx.try_recv() {
             batches.push(more);
         }
+        let mut drained_events = 0u64;
         for batch in batches {
-            for event in batch {
+            if tracer.enabled() {
+                metrics
+                    .update_queue_wait
+                    .record(batch.at.elapsed().as_micros() as u64);
+            }
+            drained_events += batch.events.len() as u64;
+            for event in batch.events {
+                let kind = event_kind_index(&event);
+                let span = tracer.start();
                 match master.apply_event(event) {
                     Ok(_) => {
                         metrics.events_applied.fetch_add(1, Ordering::Relaxed);
@@ -523,12 +668,27 @@ fn maintainer_loop(
                         metrics.events_failed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                if let Some(ns) = span.elapsed_ns() {
+                    metrics.update_apply[kind].record(ns / 1_000);
+                }
             }
+        }
+        if tracer.enabled() {
+            metrics.update_batch_events.record(drained_events);
         }
         // Clone-for-publish: readers keep the old snapshot until they next
         // observe the epoch bump; nothing is ever mutated in place under a
         // reader.
-        cell.publish(Arc::new(master.clone()));
+        let span = tracer.start();
+        let next = Arc::new(master.clone());
+        if let Some(ns) = span.elapsed_ns() {
+            metrics.snapshot_clone.record(ns / 1_000);
+        }
+        let span = tracer.start();
+        cell.publish(next);
+        if let Some(ns) = span.elapsed_ns() {
+            metrics.snapshot_publish.record(ns / 1_000);
+        }
         metrics.snapshots_published.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -17,6 +17,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// A published, epoch-versioned `Arc<T>` slot (single writer, many readers).
 #[derive(Debug)]
@@ -25,6 +26,11 @@ pub struct SnapshotCell<T> {
     /// slot mutex is held, so `epoch` and `slot` can never disagree for
     /// longer than one publication.
     epoch: AtomicU64,
+    /// Construction instant; publication times are stored as offsets from
+    /// it so the age gauge needs only one `AtomicU64`.
+    born: Instant,
+    /// Microseconds from `born` to the latest publication.
+    published_at_micros: AtomicU64,
     slot: Mutex<(Arc<T>, u64)>,
 }
 
@@ -33,6 +39,8 @@ impl<T> SnapshotCell<T> {
     pub fn new(initial: Arc<T>) -> Self {
         Self {
             epoch: AtomicU64::new(1),
+            born: Instant::now(),
+            published_at_micros: AtomicU64::new(0),
             slot: Mutex::new((initial, 1)),
         }
     }
@@ -45,6 +53,8 @@ impl<T> SnapshotCell<T> {
         slot.1 += 1;
         slot.0 = next;
         let epoch = slot.1;
+        self.published_at_micros
+            .store(self.born.elapsed().as_micros() as u64, Ordering::Relaxed);
         // Released while the lock is held: a reader that observes the new
         // epoch and then locks the slot is guaranteed to find a snapshot at
         // least this new.
@@ -55,6 +65,14 @@ impl<T> SnapshotCell<T> {
     /// Epoch of the currently published snapshot.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Microseconds since the latest publication (since construction while
+    /// the initial snapshot is still current) — the staleness gauge
+    /// `/metrics` exposes as `serve_snapshot_age_micros`.
+    pub fn age_micros(&self) -> u64 {
+        (self.born.elapsed().as_micros() as u64)
+            .saturating_sub(self.published_at_micros.load(Ordering::Relaxed))
     }
 
     /// Clones out the current `(snapshot, epoch)` pair (slow path; readers
@@ -111,6 +129,17 @@ mod tests {
         assert_eq!(cell.epoch(), 2);
         assert_eq!(*cached.get(&cell), 20);
         assert_eq!(cached.epoch(), 2);
+    }
+
+    #[test]
+    fn age_resets_on_publish() {
+        let cell = SnapshotCell::new(Arc::new(0u32));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let before = cell.age_micros();
+        assert!(before >= 5_000, "age never advanced: {before}");
+        cell.publish(Arc::new(1));
+        let after = cell.age_micros();
+        assert!(after < before, "publish did not reset the age: {after}");
     }
 
     #[test]

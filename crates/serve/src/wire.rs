@@ -95,6 +95,21 @@ pub fn decode_series(s: &str) -> Result<SignatureSeries, String> {
     Ok(SignatureSeries::new(signatures))
 }
 
+/// Slot of an event's kind in the apply-latency histograms
+/// ([`crate::metrics::UPDATE_KIND_LABELS`] has the matching labels).
+pub fn event_kind_index(event: &UpdateEvent) -> usize {
+    match event {
+        UpdateEvent::Comments(_) => 0,
+        UpdateEvent::Ingest(_) => 1,
+        UpdateEvent::Age(_) => 2,
+    }
+}
+
+/// Metric label of an event's kind.
+pub fn event_kind_label(event: &UpdateEvent) -> &'static str {
+    crate::metrics::UPDATE_KIND_LABELS[event_kind_index(event)]
+}
+
 /// Encodes one comment event line.
 pub fn encode_comment(video: VideoId, user: &str) -> String {
     format!("comment {} {user}", video.0)
@@ -269,6 +284,20 @@ mod tests {
             other => panic!("expected ingest, got {other:?}"),
         }
         assert!(matches!(events[2], UpdateEvent::Age(3)));
+    }
+
+    #[test]
+    fn event_kinds_label_distinctly() {
+        let events = [
+            UpdateEvent::Comments(vec![]),
+            UpdateEvent::Ingest(vec![]),
+            UpdateEvent::Age(1),
+        ];
+        let labels: Vec<&str> = events.iter().map(event_kind_label).collect();
+        assert_eq!(labels, vec!["comments", "ingest", "age"]);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(event_kind_index(e), i);
+        }
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Dependency-free, lock-free structured tracing.
+//!
+//! Three building blocks, each usable on its own:
+//!
+//! * [`Tracer`] / [`Span`] — span timing via the monotonic clock
+//!   (`std::time::Instant`). A disabled tracer returns inert spans: the
+//!   whole per-stage cost collapses to one branch, no clock is read, no
+//!   memory is written, so traced and untraced executions perform the same
+//!   arithmetic in the same order (bit-identical results).
+//! * [`StageSet`] / [`AtomicStageSet`] — fixed-width per-stage `{ns, count}`
+//!   accumulators. The plain set is for single-owner recording (one query,
+//!   one shard); the atomic set aggregates across threads and is read by
+//!   metric scrapers without stopping writers.
+//! * [`TraceRing`] — a fixed-capacity lock-free ring of fixed-width records
+//!   (`[u64; W]` words). Writers claim slots round-robin and publish through
+//!   a per-slot seqlock; readers copy out whatever coherent records exist.
+//!   Nothing blocks: a reader never stalls a writer, a writer never stalls a
+//!   reader, and two writers colliding on the same slot (only possible once
+//!   the ring has wrapped a full capacity within one in-flight write) drop
+//!   the newer record rather than wait.
+//!
+//! The crate deliberately knows nothing about recommenders or HTTP — callers
+//! define what a stage means and how a record serialises to words.
+
+#![warn(missing_docs)]
+
+pub mod ring;
+pub mod span;
+pub mod stage;
+
+pub use ring::TraceRing;
+pub use span::{Span, Tracer};
+pub use stage::{AtomicStageSet, StageCell, StageSet};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global trace-id source. Ids start at 1 so that 0 can mean
+/// "untraced" on the wire.
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique trace id (monotonically increasing, never 0).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_across_threads() {
+        let ids: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| (0..100).map(|_| next_trace_id()).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate trace id handed out");
+    }
+}

@@ -1,0 +1,133 @@
+//! Monotonic-clock spans behind an enable flag.
+
+use crate::stage::StageCell;
+use std::time::Instant;
+
+/// A copyable on/off switch for span timing. All span state lives in the
+/// [`Span`] values it hands out, so one tracer can be shared freely.
+///
+/// The contract the recommender relies on: with the tracer off, starting and
+/// stopping a span costs exactly one predictable branch — no clock read, no
+/// store — so tracing can stay compiled into the hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tracer {
+    enabled: bool,
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the zero-cost path).
+    pub const OFF: Tracer = Tracer { enabled: false };
+    /// A tracer that records everything.
+    pub const ON: Tracer = Tracer { enabled: true };
+
+    /// `ON` when `enabled`, `OFF` otherwise.
+    pub fn new(enabled: bool) -> Self {
+        Self { enabled }
+    }
+
+    /// Whether spans started from this tracer record anything.
+    pub fn enabled(self) -> bool {
+        self.enabled
+    }
+
+    /// Starts a span: reads the monotonic clock when enabled, returns an
+    /// inert span otherwise.
+    #[inline]
+    pub fn start(self) -> Span {
+        Span(if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        })
+    }
+}
+
+/// An in-flight span. Inert (all methods are one branch) when started from a
+/// disabled tracer.
+#[derive(Debug)]
+pub struct Span(Option<Instant>);
+
+impl Span {
+    /// An inert span (as if started from [`Tracer::OFF`]).
+    pub const fn off() -> Self {
+        Span(None)
+    }
+
+    /// Nanoseconds since the span started; `None` when inert.
+    #[inline]
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.0.map(|t| t.elapsed().as_nanos() as u64)
+    }
+
+    /// Ends the span, accumulating its duration (and one count) into `cell`.
+    #[inline]
+    pub fn stop(self, cell: &mut StageCell) {
+        if let Some(t) = self.0 {
+            cell.add(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Accumulates the time since the (re)start into `cell` and restarts the
+    /// span at the same clock read, so consecutive laps tile an interval with
+    /// no gap and no double count — the per-candidate `EMD → top-k` split
+    /// costs one clock read per lap.
+    #[inline]
+    pub fn lap(&mut self, cell: &mut StageCell) {
+        if let Some(t) = self.0 {
+            let now = Instant::now();
+            cell.add(now.duration_since(t).as_nanos() as u64);
+            self.0 = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let mut cell = StageCell::default();
+        let mut span = Tracer::OFF.start();
+        assert_eq!(span.elapsed_ns(), None);
+        span.lap(&mut cell);
+        span.stop(&mut cell);
+        assert_eq!(cell, StageCell::default());
+    }
+
+    #[test]
+    fn enabled_span_accumulates() {
+        let mut cell = StageCell::default();
+        let span = Tracer::ON.start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(span.elapsed_ns().unwrap() >= 1_000_000);
+        span.stop(&mut cell);
+        assert_eq!(cell.count, 1);
+        assert!(cell.ns >= 1_000_000, "{}", cell.ns);
+    }
+
+    #[test]
+    fn laps_tile_the_interval() {
+        let mut emd = StageCell::default();
+        let mut topk = StageCell::default();
+        let total = Tracer::ON.start();
+        let mut span = Tracer::ON.start();
+        for _ in 0..10 {
+            span.lap(&mut emd);
+            span.lap(&mut topk);
+        }
+        let total_ns = total.elapsed_ns().unwrap();
+        span.stop(&mut StageCell::default());
+        assert_eq!(emd.count, 10);
+        assert_eq!(topk.count, 10);
+        // Laps never double-count: their sum is bounded by the enclosing span.
+        assert!(emd.ns + topk.ns <= total_ns + 1_000_000);
+    }
+
+    #[test]
+    fn tracer_construction() {
+        assert!(Tracer::new(true).enabled());
+        assert!(!Tracer::new(false).enabled());
+        assert_eq!(Tracer::default(), Tracer::OFF);
+    }
+}

@@ -10,7 +10,7 @@ use std::time::Duration;
 use viderec::core::{CorpusVideo, Recommender, RecommenderConfig, SocialUpdate, Strategy};
 use viderec::eval::community::{Community, CommunityConfig};
 use viderec::video::VideoId;
-use viderec_serve::client::{get, json_u64, post};
+use viderec_serve::client::{get, json_str, json_u64, post};
 use viderec_serve::wire::{encode_age, encode_comment, encode_ingest};
 use viderec_serve::{start, ServeConfig};
 
@@ -38,6 +38,15 @@ fn direct(
         .into_iter()
         .map(|s| (s.video.0, s.score.to_bits()))
         .collect()
+}
+
+/// Value of the first metric line starting with `prefix` (which should
+/// include the label set and trailing close brace, or the full bare name).
+fn metric_value(page: &str, prefix: &str) -> Option<u64> {
+    page.lines()
+        .find(|l| l.starts_with(prefix) && l.as_bytes().get(prefix.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
 }
 
 /// Pulls `(video, score_bits)` pairs out of a `/recommend` response body.
@@ -396,6 +405,156 @@ fn updates_apply_and_queries_stay_bit_identical_across_the_swap() {
 }
 
 #[test]
+fn trace_ids_resolve_and_tracing_never_changes_results() {
+    let (community, r) = build_recommender();
+    let traced = start(ServeConfig::default(), r.clone()).expect("traced server starts");
+    let untraced = start(
+        ServeConfig {
+            trace: false,
+            ..ServeConfig::default()
+        },
+        r,
+    )
+    .expect("untraced server starts");
+    let queries: Vec<VideoId> = community.query_videos().into_iter().take(3).collect();
+
+    for &qid in &queries {
+        for strategy in ["sr", "csf-sar-h"] {
+            let target = format!("/recommend?video={}&k=5&strategy={strategy}", qid.0);
+            let on = get(traced.addr(), &target, TIMEOUT).expect("traced request");
+            let off = get(untraced.addr(), &target, TIMEOUT).expect("untraced request");
+            assert_eq!(on.status, 200, "{}", on.body);
+            assert_eq!(off.status, 200, "{}", off.body);
+            // Bit-identical scores with tracing on and off.
+            assert_eq!(
+                parse_results(&on.body),
+                parse_results(&off.body),
+                "tracing changed results for {target}"
+            );
+            // The traced response carries a trace id; the untraced does not.
+            let id = json_str(&on.body, "trace").expect("traced response echoes a trace id");
+            assert_eq!(id.len(), 16, "trace id is 16 hex digits: {id}");
+            assert_eq!(json_str(&off.body, "trace"), None);
+
+            // The id resolves to a stage breakdown whose stage sum is
+            // bounded by the end-to-end request latency.
+            let resp = get(traced.addr(), &format!("/debug/trace/{id}"), TIMEOUT).unwrap();
+            assert_eq!(
+                resp.status, 200,
+                "trace {id} did not resolve: {}",
+                resp.body
+            );
+            assert_eq!(json_str(&resp.body, "trace").as_deref(), Some(id.as_str()));
+            let total = json_u64(&resp.body, "total_micros").expect("total_micros");
+            let stage_sum = json_u64(&resp.body, "stage_sum_micros").expect("stage_sum_micros");
+            assert!(
+                stage_sum <= total,
+                "stage sum {stage_sum}µs exceeds request latency {total}µs:\n{}",
+                resp.body
+            );
+            let gathered = json_u64(&resp.body, "gathered").unwrap();
+            let excluded = json_u64(&resp.body, "excluded").unwrap();
+            let scanned = json_u64(&resp.body, "scanned").unwrap();
+            let pruned = json_u64(&resp.body, "pruned").unwrap();
+            let exact = json_u64(&resp.body, "exact_evals").unwrap();
+            assert_eq!(gathered - excluded, scanned, "{}", resp.body);
+            assert_eq!(pruned + exact, scanned, "{}", resp.body);
+            assert_eq!(json_u64(&resp.body, "epoch"), Some(1));
+        }
+    }
+
+    // The ring lists the recorded traces, newest first.
+    let resp = get(traced.addr(), "/debug/queries?n=4&slow=2", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.starts_with("{\"enabled\":true"), "{}", resp.body);
+    let recorded = json_u64(&resp.body, "recorded").unwrap();
+    assert_eq!(recorded, (queries.len() * 2) as u64, "{}", resp.body);
+    assert!(resp.body.contains("\"slowest\":[{"), "{}", resp.body);
+
+    // Unknown and malformed ids answer 404 and 400.
+    let resp = get(traced.addr(), "/debug/trace/00000000deadbeef", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    let resp = get(traced.addr(), "/debug/trace/not-hex", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    // The untraced server's ring stays empty and says so.
+    let resp = get(untraced.addr(), "/debug/queries", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.starts_with("{\"enabled\":false"), "{}", resp.body);
+    assert_eq!(json_u64(&resp.body, "recorded"), Some(0));
+
+    // Per-stage histograms populated on the traced server only; the
+    // accounting identity holds on both.
+    for (handle, expect_stage_counts) in [(&traced, true), (&untraced, false)] {
+        let page = get(handle.addr(), "/metrics", TIMEOUT).unwrap().body;
+        let gather =
+            metric_value(&page, "serve_query_stage_micros_count{stage=\"gather\"}").unwrap();
+        assert_eq!(gather > 0, expect_stage_counts, "{page}");
+        let submitted = metric_value(&page, "serve_requests_submitted_total").unwrap();
+        let served = metric_value(&page, "serve_requests_served_total").unwrap();
+        let rejected = metric_value(&page, "serve_requests_rejected_total").unwrap();
+        let expired = metric_value(&page, "serve_requests_deadline_expired_total").unwrap();
+        // The scrape itself is submitted but not yet served when the page
+        // renders; it is the only in-flight request here.
+        assert_eq!(submitted, served + rejected + expired + 1, "{page}");
+    }
+
+    traced.shutdown();
+    untraced.shutdown();
+}
+
+#[test]
+fn update_pipeline_metrics_populate() {
+    let (community, r) = build_recommender();
+    let handle = start(ServeConfig::default(), r.clone()).expect("server starts");
+    let addr = handle.addr();
+
+    let user = community.comments[0].user.clone();
+    let new_video = CorpusVideo {
+        id: VideoId(2_000_000),
+        series: r.series_of(community.query_videos()[0]).unwrap().clone(),
+        users: vec![user.clone()],
+    };
+    let body = format!(
+        "{}\n{}\n{}\n",
+        encode_comment(community.videos[0].id, &user),
+        encode_ingest(&new_video),
+        encode_age(1),
+    );
+    let resp = post(addr, "/update", &body, TIMEOUT).expect("update accepted");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+
+    // Wait for the maintainer to drain and publish.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.epoch() < 2 {
+        assert!(std::time::Instant::now() < deadline, "update never applied");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let page = get(addr, "/metrics", TIMEOUT).unwrap().body;
+    for kind in ["comments", "ingest", "age"] {
+        let count = metric_value(
+            &page,
+            &format!("serve_update_apply_micros_count{{kind=\"{kind}\"}}"),
+        )
+        .unwrap();
+        assert_eq!(count, 1, "kind {kind}:\n{page}");
+    }
+    assert!(metric_value(&page, "serve_update_queue_wait_micros_count").unwrap() >= 1);
+    assert!(metric_value(&page, "serve_update_batch_events_count").unwrap() >= 1);
+    assert!(metric_value(&page, "serve_snapshot_clone_micros_count").unwrap() >= 1);
+    assert!(metric_value(&page, "serve_snapshot_publish_micros_count").unwrap() >= 1);
+    // The drained-events histogram saw all three events (possibly split
+    // across rounds, so compare sums).
+    assert_eq!(
+        metric_value(&page, "serve_update_batch_events_sum"),
+        Some(3)
+    );
+
+    handle.shutdown();
+}
+
+#[test]
 fn healthz_and_metrics_render() {
     let (_, r) = build_recommender();
     let videos = r.num_videos();
@@ -415,7 +574,18 @@ fn healthz_and_metrics_render() {
         "serve_requests_rejected_total",
         "serve_requests_deadline_expired_total",
         "serve_snapshot_epoch 1",
-        "serve_latency_micros{endpoint=\"healthz\",quantile=\"p99\"}",
+        "serve_snapshot_age_micros",
+        "serve_admission_queue_depth",
+        "serve_update_queue_depth",
+        "serve_tracing_enabled 1",
+        "serve_query_traces_recorded_total",
+        "# TYPE serve_latency_micros summary",
+        "serve_latency_micros{endpoint=\"healthz\",quantile=\"0.99\"}",
+        "# TYPE serve_query_stage_micros histogram",
+        "serve_update_queue_wait_micros_count",
+        "serve_update_apply_micros_count{kind=\"comments\"}",
+        "serve_snapshot_clone_micros_count",
+        "serve_snapshot_publish_micros_count",
     ] {
         assert!(
             resp.body.contains(needle),
