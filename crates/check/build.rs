@@ -1,0 +1,13 @@
+//! Turns on `--cfg viderec_check` for every target of this package.
+//!
+//! The shipped concurrency sources (`crates/trace/src/ring.rs`,
+//! `crates/serve/src/snapshot.rs`, `vendor/crossbeam/src/channel.rs`) are
+//! compiled a second time into this crate via `#[path]`, against the
+//! instrumented `sync` shim instead of `std`. The cfg marks that build so
+//! the inclusion modules are greppable and so shared sources could branch on
+//! it if they ever need to.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(viderec_check)");
+    println!("cargo::rustc-cfg=viderec_check");
+}

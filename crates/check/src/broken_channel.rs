@@ -1,0 +1,13 @@
+//! The vendored bounded channel compiled against a **lossy** condvar whose
+//! `notify_all` wakes nobody (see [`crate::shim::LossyCondvar`]). The
+//! disconnect broadcast in the last `Sender`'s `Drop` is lost, so a blocked
+//! `recv()` sleeps forever — the model checker must find that deadlock.
+
+/// A `sync` facade that silently swaps in the lossy condvar.
+pub mod sync {
+    pub use crate::shim::LossyCondvar as Condvar;
+    pub use crate::shim::{Arc, Instant, Mutex};
+}
+
+#[path = "../../../vendor/crossbeam/src/channel.rs"]
+pub mod channel;

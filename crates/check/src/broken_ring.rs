@@ -1,0 +1,15 @@
+//! The shipped seqlock source compiled against a **demoted** atomic whose
+//! stores are all forced to `Relaxed` (see
+//! [`crate::shim::DemotedAtomicU64`]). The version-publication store loses
+//! its `Release` edge, so the model checker must be able to drive a reader
+//! into accepting a torn record — the negative control proving the checker
+//! (and the shipped ordering) actually do something.
+
+/// A `sync` facade that silently swaps in the demoted atomic.
+pub mod sync {
+    pub use crate::shim::DemotedAtomicU64 as AtomicU64;
+    pub use crate::shim::Ordering;
+}
+
+#[path = "../../trace/src/ring.rs"]
+pub mod ring;

@@ -1,0 +1,343 @@
+//! A hand-rolled, dependency-free Rust lexer — just enough fidelity for
+//! `viderec-lint`'s token-level rules to be trustworthy:
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * raw strings (`r"…"`, `r#"…"#`, any `#` depth) and raw identifiers
+//!   (`r#type`),
+//! * byte/C strings and byte chars (`b"…"`, `br#"…"#`, `c"…"`, `b'x'`),
+//! * char literals vs lifetimes (`'a'` vs `'a` in generics, `'_'` vs `'_`),
+//! * line/doc/block comments preserved **as tokens** (waiver detection needs
+//!   their text), while string and char literal *contents* never produce
+//!   identifier tokens — `"Ordering::Acquire"` in a string is one `Str`
+//!   token, so pattern rules cannot be fooled by prose.
+//!
+//! Everything is line-stamped. The lexer never fails: unterminated constructs
+//! are closed at end of input (the linter's job is invariants, not parsing
+//! diagnostics — rustc rejects genuinely malformed files long before CI runs
+//! the linter).
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers lose their `r#` prefix).
+    Ident,
+    /// Lifetime (`'a`), including the leading quote in `text`.
+    Lifetime,
+    /// String literal of any flavor (normal/raw/byte/C), quotes included.
+    Str,
+    /// Char or byte-char literal, quotes included.
+    Char,
+    /// Numeric literal.
+    Number,
+    /// One punctuation character.
+    Punct,
+    /// `// …` comment (doc comments included), text without the newline.
+    LineComment,
+    /// `/* … */` comment (nesting included), full text.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Exact source text (see [`TokenKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        // Rules only dispatch on ASCII; multi-byte chars never start a
+        // construct we care about, so byte peeking is sound here.
+        self.src.get(self.pos + ahead).map(|&b| b as char)
+    }
+
+    fn peek_char(&self, ahead: usize) -> Option<char> {
+        std::str::from_utf8(&self.src[(self.pos + ahead).min(self.src.len())..])
+            .ok()
+            .and_then(|s| s.chars().next())
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let b = *self.src.get(self.pos)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        // Skip UTF-8 continuation bytes so multi-byte chars advance cleanly.
+        while matches!(self.src.get(self.pos), Some(b) if b & 0xC0 == 0x80) {
+            self.pos += 1;
+        }
+        Some(b as char)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.push(TokenKind::BlockComment, start, line);
+    }
+
+    /// `"…"` body with escapes; the opening quote is already consumed.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// `r##"…"##` body; `hashes` is the `#` count, the opening quote is
+    /// already consumed.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// `'…'` body with escapes; the opening quote is already consumed.
+    fn char_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while matches!(self.peek_char(0), Some(c) if is_ident_continue(c)) {
+            self.bump();
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    /// After a `'`: lifetime or char literal. `'a'` is a char, `'a` is a
+    /// lifetime, `'_'` is a char, `'_` is a lifetime, `'\n'` is a char.
+    fn quote(&mut self, start: usize, line: u32) {
+        self.bump(); // '\''
+        match self.peek_char(0) {
+            Some(c) if is_ident_start(c) => {
+                // One ident char followed directly by a closing quote is a
+                // char literal; anything else is a lifetime.
+                let after = {
+                    let rest = std::str::from_utf8(&self.src[self.pos..]).unwrap_or("");
+                    let mut it = rest.chars();
+                    it.next();
+                    it.next()
+                };
+                if after == Some('\'') {
+                    self.bump();
+                    self.bump(); // closing quote
+                    self.push(TokenKind::Char, start, line);
+                } else {
+                    while matches!(self.peek_char(0), Some(c) if is_ident_continue(c)) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Lifetime, start, line);
+                }
+            }
+            Some(_) => {
+                self.char_body();
+                self.push(TokenKind::Char, start, line);
+            }
+            None => self.push(TokenKind::Punct, start, line),
+        }
+    }
+
+    /// `r` / `b` / `c` prefixes: raw strings, raw identifiers, byte strings,
+    /// byte chars, C strings — or a plain identifier starting with that
+    /// letter.
+    fn prefixed(&mut self, start: usize, line: u32) {
+        let first = self.peek(0);
+        let prefix_len = match (first, self.peek(1)) {
+            (Some('b'), Some('r')) | (Some('c'), Some('r')) => 2,
+            _ => 1,
+        };
+        match self.peek(prefix_len) {
+            Some('"') => {
+                for _ in 0..=prefix_len {
+                    self.bump();
+                }
+                self.string_body();
+                self.push(TokenKind::Str, start, line);
+            }
+            Some('#') => {
+                // Count hashes: raw string (`r#"`/`br##"`) or raw ident
+                // (`r#type`).
+                let mut hashes = 0;
+                while self.peek(prefix_len + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(prefix_len + hashes) == Some('"') {
+                    for _ in 0..prefix_len + hashes + 1 {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes);
+                    self.push(TokenKind::Str, start, line);
+                } else if first == Some('r') && hashes == 1 && prefix_len == 1 {
+                    self.bump(); // r
+                    self.bump(); // #
+                    let ident_start = self.pos;
+                    while matches!(self.peek_char(0), Some(c) if is_ident_continue(c)) {
+                        self.bump();
+                    }
+                    let text =
+                        String::from_utf8_lossy(&self.src[ident_start..self.pos]).into_owned();
+                    self.out.push(Token {
+                        kind: TokenKind::Ident,
+                        text,
+                        line,
+                    });
+                } else {
+                    self.bump();
+                    self.ident(start, line);
+                }
+            }
+            Some('\'') if first == Some('b') && prefix_len == 1 => {
+                self.bump(); // b
+                self.bump(); // '
+                self.char_body();
+                self.push(TokenKind::Char, start, line);
+            }
+            _ => {
+                self.bump();
+                self.ident(start, line);
+            }
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        while let Some(c) = self.peek(0) {
+            // A '.' continues the number only when a digit follows, so `1..5`
+            // ends the literal at the range operator.
+            let decimal_dot = c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit());
+            if c.is_ascii_alphanumeric() || c == '_' || decimal_dot {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, start, line);
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek_char(0) {
+            let (start, line) = (self.pos, self.line);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(start, line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(start, line),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(TokenKind::Str, start, line);
+                }
+                '\'' => self.quote(start, line),
+                'r' | 'b' | 'c' => self.prefixed(start, line),
+                c if is_ident_start(c) => {
+                    self.bump();
+                    self.ident(start, line);
+                }
+                c if c.is_ascii_digit() => {
+                    self.bump();
+                    self.number(start, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+}
+
+/// Lex `src` into a token stream. Never fails; see the module docs.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+/// The tokens rules should pattern-match on: comments removed (they carry
+/// waivers, not code), everything else kept.
+pub fn significant(tokens: &[Token]) -> Vec<&Token> {
+    tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect()
+}

@@ -1,0 +1,58 @@
+//! # viderec-check
+//!
+//! Correctness tooling for the workspace's hand-rolled concurrency, in two
+//! independent halves:
+//!
+//! 1. **A deterministic interleaving explorer** ("loom-lite"): [`Model`]
+//!    runs a closure once per schedule, driving every atomic access, lock,
+//!    condvar wait/notify, spawn/join and clock read through recorded choice
+//!    points — exhaustive bounded DFS for small configurations, seeded
+//!    random walks beyond, exact replay from a printed choice string
+//!    (`VIDEREC_CHECK_REPLAY`). The memory model is a C11 subset with
+//!    per-atomic store histories and vector clocks, so missing
+//!    `Release`/`Acquire` edges produce real stale reads, not just unlucky
+//!    interleavings. See [`model`] for the full semantics.
+//!
+//! 2. **`viderec-lint`** (`cargo run -p viderec-check --bin viderec-lint`):
+//!    a repo-invariant linter over a hand-rolled Rust lexer ([`lex`]) that
+//!    enforces, among others, that every `Ordering::` site is justified in
+//!    the checked-in `ATOMICS.md` audit table. See [`lint`] for the rule
+//!    catalogue and the waiver syntax.
+//!
+//! The primitives under model check are **the shipped sources themselves** —
+//! `crates/trace/src/ring.rs`, `crates/serve/src/snapshot.rs` and
+//! `vendor/crossbeam/src/channel.rs` are included by `#[path]` and compiled
+//! against the instrumented [`shim`] via their `sync` facades, so there is
+//! no model copy to drift out of sync. The [`broken_ring`] and
+//! [`broken_channel`] modules compile the *same* sources against
+//! deliberately weakened primitives; tests assert the checker catches the
+//! resulting torn reads and lost wakeups, which is the evidence that both
+//! the checker and the shipped orderings are load-bearing.
+
+#![warn(missing_docs)]
+
+pub mod lex;
+pub mod lint;
+pub mod model;
+pub mod shim;
+pub mod thread;
+
+// The shipped/broken pairs include the same source file twice on purpose —
+// identical code, different `sync` primitives — so the duplicate-mod lint
+// does not apply.
+#[cfg(viderec_check)]
+#[allow(clippy::duplicate_mod)]
+pub mod broken_channel;
+#[cfg(viderec_check)]
+#[allow(clippy::duplicate_mod)]
+pub mod broken_ring;
+#[cfg(viderec_check)]
+#[allow(clippy::duplicate_mod)]
+pub mod shipped_channel;
+#[cfg(viderec_check)]
+#[allow(clippy::duplicate_mod)]
+pub mod shipped_ring;
+#[cfg(viderec_check)]
+pub mod shipped_snapshot;
+
+pub use model::{Model, Report, MAX_THREADS};

@@ -1,0 +1,533 @@
+//! The repo-invariant rule engine behind the `viderec-lint` binary.
+//!
+//! Pure: it takes `(path, contents)` pairs plus the text of `ATOMICS.md` and
+//! returns findings — no filesystem, no process exit — so every rule is unit
+//! testable against synthetic workspaces. All matching runs on the token
+//! stream from [`crate::lex`], never on raw text: `Ordering::Acquire` inside
+//! a string or a comment is one `Str`/comment token and cannot trip a rule.
+//!
+//! # Rules
+//!
+//! * **`atomics-audit`** — every `Ordering::{Relaxed,Acquire,Release,AcqRel,
+//!   SeqCst}` site in shipped code must have a row in `ATOMICS.md` matching
+//!   its exact `path:line` and ordering, with a non-empty justification.
+//!   Stale rows (no matching site anymore) fail too, so the table cannot rot.
+//! * **`serve-no-panic`** — no `.unwrap(` / `.expect(` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` on the serve request path
+//!   (`crates/serve/src`), excluding `#[cfg(test)]` regions.
+//! * **`wallclock`** — no `Instant::now` in deterministic crates; timing
+//!   belongs to the tracer (and `eval`'s experiment harness, under waiver).
+//! * **`reader-locks`** — no `Mutex`/`RwLock` identifiers in reader-side
+//!   crates; readers stay lock-free (atomics and epoch snapshots).
+//! * **`vendor-drift`** — `vendored_crate::segment` references from workspace
+//!   code must name something actually declared in the vendored stub's
+//!   sources, catching silent API drift between stub and real crate.
+//!
+//! # Waivers
+//!
+//! `// viderec-lint: allow(<rule>) — <reason>` waives `<rule>` on the
+//! comment's own line and the next line. The marker must open the comment
+//! (mentioning the syntax mid-sentence, as this paragraph does, is inert).
+//! The reason is mandatory; a waiver without one is itself a finding.
+//! `atomics-audit` cannot be waived — its escape hatch is the audit table.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lex::{lex, significant, Token, TokenKind};
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line the finding anchors to.
+    pub line: u32,
+    /// Rule identifier (also the name accepted by `allow(...)` waivers).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Read-hot crates whose lookups run inside the serve loop: no blocking
+/// primitives allowed anywhere in their `src/` trees.
+const READER_CRATES: [&str; 6] = ["core", "emd", "index", "signature", "social", "video"];
+
+/// Crates that must stay wall-clock free so replays and model runs are
+/// deterministic (trace/serve/bench own the clock; check shims it away).
+const WALLCLOCK_CRATES: [&str; 7] = [
+    "core",
+    "emd",
+    "eval",
+    "index",
+    "signature",
+    "social",
+    "video",
+];
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Rules a `// viderec-lint: allow(...)` comment may waive.
+const WAIVABLE: [&str; 4] = [
+    "serve-no-panic",
+    "wallclock",
+    "reader-locks",
+    "vendor-drift",
+];
+
+/// `crates/<name>/src/...` → `<name>`.
+fn crate_src(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(name)
+}
+
+/// `vendor/<name>/src/...` → `<name>`.
+fn vendor_src(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("vendor/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(name)
+}
+
+fn is_punct(toks: &[&Token], i: usize, ch: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == ch)
+}
+
+fn ident_at<'a>(toks: &[&'a Token], i: usize) -> Option<&'a str> {
+    toks.get(i)
+        .and_then(|t| (t.kind == TokenKind::Ident).then_some(t.text.as_str()))
+}
+
+struct Waiver {
+    rule: String,
+    line: u32,
+}
+
+fn waived(waivers: &[Waiver], rule: &str, line: u32) -> bool {
+    waivers
+        .iter()
+        .any(|w| w.rule == rule && (w.line == line || w.line + 1 == line))
+}
+
+fn parse_waivers(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for t in tokens
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    {
+        // The marker must open the comment (only comment sigils and
+        // whitespace before it); prose that merely mentions the syntax in
+        // backticks, like this module's docs, is not a waiver.
+        let stripped = t.text.trim_start_matches(['/', '*', '!', ' ', '\t']);
+        let Some(rest) = stripped.strip_prefix("viderec-lint:") else {
+            continue;
+        };
+        let mut bad = |message: String| {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: t.line,
+                rule: "waiver",
+                message,
+            });
+        };
+        let Some(a) = rest.find("allow(") else {
+            bad("malformed waiver: expected `viderec-lint: allow(<rule>) — <reason>`".into());
+            continue;
+        };
+        let after = &rest[a + "allow(".len()..];
+        let Some(close) = after.find(')') else {
+            bad("malformed waiver: unclosed `allow(`".into());
+            continue;
+        };
+        let rule = after[..close].trim().to_string();
+        if !WAIVABLE.contains(&rule.as_str()) {
+            bad(format!(
+                "waiver names unknown or unwaivable rule `{rule}` (waivable: {})",
+                WAIVABLE.join(", ")
+            ));
+            continue;
+        }
+        let reason = after[close + 1..]
+            .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '–' | '-'))
+            .trim_end_matches("*/")
+            .trim();
+        if reason.is_empty() {
+            bad(format!(
+                "waiver for `{rule}` has no reason; write `— <why>`"
+            ));
+            continue;
+        }
+        out.push(Waiver { rule, line: t.line });
+    }
+    out
+}
+
+/// All `Ordering::<variant>` sites in `toks` as `(line, variant)`.
+fn ordering_sites(toks: &[&Token]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if ident_at(toks, i) == Some("Ordering")
+            && is_punct(toks, i + 1, ":")
+            && is_punct(toks, i + 2, ":")
+            && ident_at(toks, i + 3).is_some_and(|v| ATOMIC_ORDERINGS.contains(&v))
+        {
+            out.push((toks[i].line, toks[i + 3].text.clone()));
+        }
+    }
+    out
+}
+
+/// True when `path` is in scope for the atomics audit.
+fn atomics_scope(path: &str) -> bool {
+    (crate_src(path).is_some_and(|c| c != "check"))
+        || vendor_src(path).is_some()
+        || path.starts_with("src/")
+}
+
+/// Every in-scope `Ordering::<variant>` site across `files`, deduplicated,
+/// as `(path, line, variant)` — the raw material for `ATOMICS.md` rows.
+pub fn atomics_sites(files: &[(String, String)]) -> Vec<(String, u32, String)> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for (path, src) in files {
+        if !atomics_scope(path) {
+            continue;
+        }
+        let tokens = lex(src);
+        for (line, variant) in ordering_sites(&significant(&tokens)) {
+            if seen.insert((path.clone(), line, variant.clone())) {
+                out.push((path.clone(), line, variant));
+            }
+        }
+    }
+    out
+}
+
+struct AuditRow {
+    path: String,
+    line: u32,
+    ordering: String,
+    justified: bool,
+    row_line: u32,
+    used: bool,
+}
+
+fn parse_audit(md: &str, findings: &mut Vec<Finding>) -> Vec<AuditRow> {
+    let mut rows = Vec::new();
+    for (idx, raw) in md.lines().enumerate() {
+        let row_line = (idx + 1) as u32;
+        let t = raw.trim();
+        if !t.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = t
+            .trim_matches('|')
+            .split('|')
+            .map(|c| c.trim().trim_matches('`'))
+            .collect();
+        if cells.len() < 3
+            || cells[0] == "site"
+            || cells[0].chars().all(|c| matches!(c, '-' | ':' | ' '))
+        {
+            continue;
+        }
+        let parsed = cells[0]
+            .rsplit_once(':')
+            .and_then(|(p, l)| l.parse::<u32>().ok().map(|l| (p.to_string(), l)));
+        let Some((path, line)) = parsed else {
+            findings.push(Finding {
+                path: "ATOMICS.md".into(),
+                line: row_line,
+                rule: "atomics-audit",
+                message: format!("malformed site cell `{}` (expected `path:line`)", cells[0]),
+            });
+            continue;
+        };
+        rows.push(AuditRow {
+            path,
+            line,
+            ordering: cells[1].to_string(),
+            justified: !cells[2].is_empty() && cells[2] != "TODO",
+            row_line,
+            used: false,
+        });
+    }
+    rows
+}
+
+/// `#[cfg(test)]`-guarded regions of `toks` as inclusive `(start, end)`
+/// line ranges (attribute line through the item's closing brace).
+fn cfg_test_regions(toks: &[&Token]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attr = is_punct(toks, i, "#")
+            && is_punct(toks, i + 1, "[")
+            && ident_at(toks, i + 2) == Some("cfg")
+            && is_punct(toks, i + 3, "(")
+            && ident_at(toks, i + 4) == Some("test")
+            && is_punct(toks, i + 5, ")")
+            && is_punct(toks, i + 6, "]");
+        if !attr {
+            i += 1;
+            continue;
+        }
+        let start = toks[i].line;
+        let mut end = start;
+        let mut j = i + 7;
+        while j < toks.len() {
+            if is_punct(toks, j, ";") {
+                end = toks[j].line;
+                break;
+            }
+            if is_punct(toks, j, "{") {
+                let mut depth = 1usize;
+                j += 1;
+                while j < toks.len() && depth > 0 {
+                    if is_punct(toks, j, "{") {
+                        depth += 1;
+                    } else if is_punct(toks, j, "}") {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                end = toks[j.saturating_sub(1)].line;
+                break;
+            }
+            j += 1;
+        }
+        out.push((start, end.max(start)));
+        i = j.max(i + 7);
+    }
+    out
+}
+
+const ITEM_KEYWORDS: [&str; 9] = [
+    "fn", "struct", "enum", "mod", "trait", "type", "const", "static", "union",
+];
+
+/// Names a vendored stub declares (items, `use` path segments, macros) —
+/// deliberately a superset: drift detection must not false-positive.
+fn collect_declared(toks: &[&Token], set: &mut HashSet<String>) {
+    let mut i = 0;
+    while i < toks.len() {
+        match ident_at(toks, i) {
+            Some("macro_rules") if is_punct(toks, i + 1, "!") => {
+                if let Some(name) = ident_at(toks, i + 2) {
+                    set.insert(name.to_string());
+                }
+            }
+            Some("use") => {
+                let mut j = i + 1;
+                while j < toks.len() && !is_punct(toks, j, ";") {
+                    if let Some(name) = ident_at(toks, j) {
+                        set.insert(name.to_string());
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            Some(kw) if ITEM_KEYWORDS.contains(&kw) => {
+                if let Some(name) = ident_at(toks, i + 1) {
+                    set.insert(name.to_string());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Run every rule over `files` (workspace-relative `(path, contents)` pairs)
+/// against the `ATOMICS.md` text, returning findings sorted by path/line.
+pub fn lint_workspace(files: &[(String, String)], atomics_md: Option<&str>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lexed: Vec<(&str, Vec<Token>)> = files.iter().map(|(p, s)| (p.as_str(), lex(s))).collect();
+    let waivers: HashMap<&str, Vec<Waiver>> = lexed
+        .iter()
+        .map(|(p, tokens)| (*p, parse_waivers(p, tokens, &mut findings)))
+        .collect();
+    let allow = |waivers: &HashMap<&str, Vec<Waiver>>, path: &str, rule: &str, line: u32| {
+        waivers.get(path).is_some_and(|ws| waived(ws, rule, line))
+    };
+
+    // atomics-audit: sites vs the checked-in table, both directions.
+    let sites = atomics_sites(files);
+    let mut rows = atomics_md
+        .map(|md| parse_audit(md, &mut findings))
+        .unwrap_or_default();
+    for (path, line, ordering) in &sites {
+        match rows
+            .iter_mut()
+            .find(|r| r.path == *path && r.line == *line && r.ordering == *ordering)
+        {
+            Some(row) => {
+                row.used = true;
+                if !row.justified {
+                    findings.push(Finding {
+                        path: path.clone(),
+                        line: *line,
+                        rule: "atomics-audit",
+                        message: format!(
+                            "`Ordering::{ordering}` is listed in ATOMICS.md but has no \
+                             justification"
+                        ),
+                    });
+                }
+            }
+            None => findings.push(Finding {
+                path: path.clone(),
+                line: *line,
+                rule: "atomics-audit",
+                message: format!(
+                    "`Ordering::{ordering}` site is not in the ATOMICS.md audit table \
+                     (regenerate rows with `viderec-lint --print-atomics-rows`)"
+                ),
+            }),
+        }
+    }
+    for row in rows.iter().filter(|r| !r.used) {
+        findings.push(Finding {
+            path: "ATOMICS.md".into(),
+            line: row.row_line,
+            rule: "atomics-audit",
+            message: format!(
+                "stale row: no `Ordering::{}` site at `{}:{}` anymore",
+                row.ordering, row.path, row.line
+            ),
+        });
+    }
+
+    for (path, tokens) in &lexed {
+        let toks = significant(tokens);
+
+        // serve-no-panic
+        if path.starts_with("crates/serve/src/") {
+            let regions = cfg_test_regions(&toks);
+            let in_tests = |line: u32| regions.iter().any(|&(a, b)| a <= line && line <= b);
+            for i in 0..toks.len() {
+                let line = toks[i].line;
+                let hit = if is_punct(&toks, i, ".")
+                    && ident_at(&toks, i + 1).is_some_and(|m| PANIC_METHODS.contains(&m))
+                    && is_punct(&toks, i + 2, "(")
+                {
+                    Some(format!(".{}()", toks[i + 1].text))
+                } else if ident_at(&toks, i).is_some_and(|m| PANIC_MACROS.contains(&m))
+                    && is_punct(&toks, i + 1, "!")
+                {
+                    Some(format!("{}!", toks[i].text))
+                } else {
+                    None
+                };
+                if let Some(what) = hit {
+                    if !in_tests(line) && !allow(&waivers, path, "serve-no-panic", line) {
+                        findings.push(Finding {
+                            path: path.to_string(),
+                            line,
+                            rule: "serve-no-panic",
+                            message: format!(
+                                "`{what}` on the serve request path; degrade gracefully \
+                                 (recover poison, return an error) instead of panicking"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // wallclock
+        if crate_src(path).is_some_and(|c| WALLCLOCK_CRATES.contains(&c))
+            || path.starts_with("src/")
+        {
+            for i in 0..toks.len() {
+                if ident_at(&toks, i) == Some("Instant")
+                    && is_punct(&toks, i + 1, ":")
+                    && is_punct(&toks, i + 2, ":")
+                    && ident_at(&toks, i + 3) == Some("now")
+                {
+                    let line = toks[i].line;
+                    if !allow(&waivers, path, "wallclock", line) {
+                        findings.push(Finding {
+                            path: path.to_string(),
+                            line,
+                            rule: "wallclock",
+                            message: "`Instant::now()` in a deterministic crate; timing \
+                                      belongs behind the tracer"
+                                .into(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // reader-locks
+        if crate_src(path).is_some_and(|c| READER_CRATES.contains(&c)) {
+            for t in &toks {
+                if t.kind == TokenKind::Ident
+                    && (t.text == "Mutex" || t.text == "RwLock")
+                    && !allow(&waivers, path, "reader-locks", t.line)
+                {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line: t.line,
+                        rule: "reader-locks",
+                        message: format!(
+                            "blocking `{}` in a reader-side crate; readers stay \
+                             lock-free (atomics and epoch snapshots)",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // vendor-drift: collect each stub's declared names, then check every
+    // `stub_crate::segment` reference from non-vendor code.
+    let mut declared: HashMap<String, HashSet<String>> = HashMap::new();
+    for (path, tokens) in &lexed {
+        if let Some(vc) = vendor_src(path) {
+            collect_declared(
+                &significant(tokens),
+                declared.entry(vc.replace('-', "_")).or_default(),
+            );
+        }
+    }
+    for (path, tokens) in &lexed {
+        if vendor_src(path).is_some() {
+            continue;
+        }
+        let toks = significant(tokens);
+        for i in 0..toks.len() {
+            let Some(c) = ident_at(&toks, i) else {
+                continue;
+            };
+            let Some(names) = declared.get(c) else {
+                continue;
+            };
+            if is_punct(&toks, i + 1, ":") && is_punct(&toks, i + 2, ":") {
+                if let Some(seg) = ident_at(&toks, i + 3) {
+                    let line = toks[i].line;
+                    if !names.contains(seg) && !allow(&waivers, path, "vendor-drift", line) {
+                        findings.push(Finding {
+                            path: path.to_string(),
+                            line,
+                            rule: "vendor-drift",
+                            message: format!(
+                                "`{c}::{seg}` is not declared anywhere in `vendor/{c}/src`; \
+                                 the vendored stub has drifted from this usage"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    findings
+}

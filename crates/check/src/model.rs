@@ -1,0 +1,1131 @@
+//! The deterministic interleaving explorer ("loom-lite").
+//!
+//! [`Model::check`] runs a closure many times, once per *schedule*. Model
+//! threads (spawned through [`crate::thread::spawn`]) are real OS threads,
+//! but a baton protocol guarantees that **at most one of them executes at any
+//! instant**: every visible operation (atomic access, mutex acquire/release,
+//! condvar wait/notify, spawn/join, clock read) waits for the baton, applies
+//! its effect under the global state lock, then hands the baton to a
+//! scheduler-chosen runnable thread. Each such decision — and each choice of
+//! *which store an atomic load reads from* — is a recorded choice point, so a
+//! schedule is just the vector of choices taken, and the explorer can
+//! enumerate schedules by depth-first search with prefix replay, walk them
+//! pseudo-randomly from a seed, or replay one exactly from its printed
+//! choice string.
+//!
+//! ## Memory model
+//!
+//! A C11-subset model, not plain sequential consistency: every atomic keeps
+//! its full store history, and a `Relaxed`/`Acquire` load may read any store
+//! not ruled out by coherence (per-thread last-seen index) or happens-before
+//! (vector clocks: an `Acquire` load of a `Release` store joins the writer's
+//! clock at the store). This is what lets the checker catch missing
+//! `Release`/`Acquire` pairs — e.g. a seqlock version published with a
+//! `Relaxed` store lets readers observe the new version with stale payload
+//! words, which an interleaving-only model would miss. `SeqCst` is modeled
+//! conservatively as AcqRel plus "reads the latest store"; the primitives
+//! under test only rely on acquire/release edges.
+//!
+//! ## Bounds
+//!
+//! * at most [`MAX_THREADS`] model threads per execution;
+//! * DFS preempts a runnable thread at most `max_preemptions` times per
+//!   schedule (context-bounded search, CHESS-style); forced switches at
+//!   blocking operations are free;
+//! * a schedule budget (`max_schedules`) aborts exploration loudly rather
+//!   than spinning forever on a state-space blowup.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Maximum number of model threads (including the root) per execution.
+pub const MAX_THREADS: usize = 4;
+
+/// Fixed-width vector clock, one component per possible model thread.
+pub(crate) type VClock = [u32; MAX_THREADS];
+
+fn join_clock(into: &mut VClock, from: &VClock) {
+    for (a, b) in into.iter_mut().zip(from.iter()) {
+        *a = (*a).max(*b);
+    }
+}
+
+/// Panic payload used to unwind model threads once an execution is aborting.
+/// Never reported as a failure; the first *real* panic (or deadlock) is.
+pub(crate) struct AbortToken;
+
+/// One recorded decision. `alts == 1` entries are forced moves kept in the
+/// trace so replay indices stay aligned with exploration.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    label: &'static str,
+    chosen: u16,
+    alts: u16,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCond(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+pub(crate) struct ThreadSlot {
+    status: Status,
+    /// Set when a condvar wait ended by timeout (vs notification).
+    timed_out: bool,
+}
+
+/// One store in an atomic's history.
+pub(crate) struct StoreRec {
+    pub(crate) value: u64,
+    /// Thread that performed the store.
+    writer: usize,
+    /// The writer's own clock component at the store; a reader whose clock
+    /// covers it can no longer read anything older (happens-before floor).
+    when_writer: u32,
+    /// For `Release`-or-stronger stores: the clock an `Acquire` load joins.
+    /// RMWs continue the release sequence by unioning the previous head.
+    release: Option<VClock>,
+}
+
+pub(crate) struct AtomicState {
+    pub(crate) stores: Vec<StoreRec>,
+    /// Coherence floor per thread: index of the newest store each thread has
+    /// read or written; loads never go backwards from it.
+    last_seen: [usize; MAX_THREADS],
+}
+
+pub(crate) struct MutexState {
+    holder: Option<usize>,
+    /// Clock released by the last unlock; joined on the next acquire.
+    clock: VClock,
+}
+
+pub(crate) struct CvState {
+    /// Waiting threads with their optional timeout deadline (model µs).
+    waiters: Vec<(usize, Option<u64>)>,
+}
+
+#[derive(Clone, Copy)]
+pub(crate) enum Mode {
+    /// Depth-first: beyond the replayed prefix always take alternative 0.
+    Dfs,
+    /// Seeded pseudo-random walk beyond the prefix.
+    Random,
+}
+
+/// What went wrong in a failing schedule.
+pub(crate) struct Failure {
+    message: String,
+    /// The choice trace at the moment of failure (post-failure cleanup ops
+    /// are excluded so the printed schedule replays to the same point).
+    trace: Vec<Choice>,
+}
+
+pub(crate) struct State {
+    mode: Mode,
+    prefix: Vec<u16>,
+    trace: Vec<Choice>,
+    threads: Vec<ThreadSlot>,
+    vclocks: Vec<VClock>,
+    active: usize,
+    /// Logical time in model microseconds; advances one per visible op and
+    /// jumps forward when a timeout fires. Backs the shim `Instant`.
+    pub(crate) step: u64,
+    preemptions: u32,
+    max_preemptions: u32,
+    pub(crate) atomics: Vec<AtomicState>,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CvState>,
+    finished: usize,
+    aborting: bool,
+    failure: Option<Failure>,
+    rng: u64,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Shared per-episode execution: the state lock plus the baton condvar.
+pub(crate) struct Execution {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn current() -> (Arc<Execution>, usize) {
+    CURRENT.with(|c| c.borrow().clone()).expect(
+        "viderec-check shim primitive used outside Model::check \
+         (the check::sync types only work inside a model execution)",
+    )
+}
+
+/// True while the calling thread is unwinding: shim operations must then
+/// degrade to direct, non-scheduling effects so `Drop` impls never block or
+/// double-panic.
+pub(crate) fn degraded() -> bool {
+    std::thread::panicking()
+}
+
+fn lock_state(exec: &Execution) -> MutexGuard<'_, State> {
+    // Model threads can panic while holding this lock (replay-divergence
+    // asserts); recover from poison instead of cascading.
+    exec.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Record a choice and return the selected alternative.
+pub(crate) fn choose(st: &mut State, label: &'static str, alts: usize) -> usize {
+    debug_assert!(alts >= 1 && alts <= u16::MAX as usize);
+    let depth = st.trace.len();
+    let chosen = if depth < st.prefix.len() {
+        st.prefix[depth] as usize
+    } else {
+        match st.mode {
+            Mode::Dfs => 0,
+            Mode::Random => {
+                st.rng = st
+                    .rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((st.rng >> 33) as usize) % alts
+            }
+        }
+    };
+    assert!(
+        chosen < alts,
+        "viderec-check: replay diverged at choice {depth} ({label}: \
+         alternative {chosen} requested but only {alts} available); the \
+         program under test is not deterministic between runs"
+    );
+    st.trace.push(Choice {
+        label,
+        chosen: chosen as u16,
+        alts: alts as u16,
+    });
+    chosen
+}
+
+impl Execution {
+    fn new(prefix: Vec<u16>, mode: Mode, max_preemptions: u32, rng: u64) -> Self {
+        Execution {
+            state: Mutex::new(State {
+                mode,
+                prefix,
+                trace: Vec::new(),
+                threads: Vec::new(),
+                vclocks: Vec::new(),
+                active: 0,
+                step: 0,
+                preemptions: 0,
+                max_preemptions,
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                finished: 0,
+                aborting: false,
+                failure: None,
+                rng,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until this thread holds the baton. Err means the execution is
+    /// aborting: the caller must drop the guard and panic `AbortToken`.
+    #[allow(clippy::result_large_err)]
+    fn wait_turn<'e>(
+        &'e self,
+        mut st: MutexGuard<'e, State>,
+        me: usize,
+    ) -> Result<MutexGuard<'e, State>, MutexGuard<'e, State>> {
+        loop {
+            if st.aborting {
+                return Err(st);
+            }
+            if st.active == me {
+                return Ok(st);
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`wait_turn`], but additionally requires the thread to have been
+    /// made `Runnable` again (wake-up after a blocking operation).
+    #[allow(clippy::result_large_err)]
+    fn wait_runnable_turn<'e>(
+        &'e self,
+        mut st: MutexGuard<'e, State>,
+        me: usize,
+    ) -> Result<MutexGuard<'e, State>, MutexGuard<'e, State>> {
+        loop {
+            if st.aborting {
+                return Err(st);
+            }
+            if st.active == me && st.threads[me].status == Status::Runnable {
+                return Ok(st);
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Record a failure, flip the execution into abort mode and wake
+    /// everyone. Does not panic; callers decide how to unwind.
+    fn fail(&self, st: &mut State, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(Failure {
+                message,
+                trace: st.trace.clone(),
+            });
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// Pick the next thread to run after `me` completed a visible op (or
+    /// blocked / finished). Applies the preemption bound, records the
+    /// decision, and wakes the chosen thread. Falls back to firing the
+    /// earliest condvar timeout when nothing is runnable; reports a deadlock
+    /// failure when nothing is runnable and no timeout is pending.
+    fn handoff(&self, st: &mut State, me: usize) {
+        if st.aborting {
+            return;
+        }
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t].status == Status::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            self.no_runnable(st);
+            return;
+        }
+        let me_runnable = st.threads[me].status == Status::Runnable;
+        let allowed: Vec<usize> = if me_runnable {
+            if st.preemptions >= st.max_preemptions {
+                vec![me]
+            } else {
+                let mut v = vec![me];
+                v.extend(runnable.iter().copied().filter(|&t| t != me));
+                v
+            }
+        } else {
+            runnable
+        };
+        let pick = if allowed.len() > 1 {
+            allowed[choose(st, "sched", allowed.len())]
+        } else {
+            allowed[0]
+        };
+        if me_runnable && pick != me {
+            st.preemptions += 1;
+        }
+        st.active = pick;
+        self.cv.notify_all();
+    }
+
+    /// All threads are blocked or finished. If every thread is finished the
+    /// episode is simply over. Otherwise fire the earliest pending condvar
+    /// timeout; with none pending, this is a real deadlock.
+    fn no_runnable(&self, st: &mut State) {
+        if st.finished == st.threads.len() {
+            self.cv.notify_all();
+            return;
+        }
+        let mut earliest: Option<(u64, usize, usize)> = None; // (deadline, cv, tid)
+        for (cv_id, cv) in st.condvars.iter().enumerate() {
+            for &(tid, dl) in &cv.waiters {
+                if let Some(dl) = dl {
+                    if earliest.is_none_or(|(best, _, _)| dl < best) {
+                        earliest = Some((dl, cv_id, tid));
+                    }
+                }
+            }
+        }
+        if let Some((dl, cv_id, tid)) = earliest {
+            st.condvars[cv_id].waiters.retain(|&(t, _)| t != tid);
+            st.step = st.step.max(dl);
+            st.threads[tid].timed_out = true;
+            st.threads[tid].status = Status::Runnable;
+            st.active = tid;
+            self.cv.notify_all();
+            return;
+        }
+        let detail: Vec<String> = st
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(t, slot)| format!("thread {t}: {:?}", slot.status))
+            .collect();
+        self.fail(
+            st,
+            format!(
+                "deadlock: every live thread is blocked [{}]",
+                detail.join(", ")
+            ),
+        );
+    }
+}
+
+/// Run one visible operation: wait for the baton, advance logical time and
+/// this thread's clock, apply `body` under the state lock, then hand off.
+/// During unwind (`Drop` impls after a panic) `degrade` is applied directly
+/// with no scheduling so cleanup can never block or re-panic.
+pub(crate) fn with_op<R>(
+    body: impl FnOnce(&mut State, usize) -> R,
+    degrade: impl FnOnce(&mut State, usize) -> R,
+) -> R {
+    let (exec, me) = current();
+    if degraded() {
+        let mut st = lock_state(&exec);
+        let r = degrade(&mut st, me);
+        exec.cv.notify_all();
+        return r;
+    }
+    let st = lock_state(&exec);
+    let mut st = match exec.wait_turn(st, me) {
+        Ok(st) => st,
+        Err(st) => {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+    };
+    st.step += 1;
+    st.vclocks[me][me] += 1;
+    let r = body(&mut st, me);
+    exec.handoff(&mut st, me);
+    let abort = st.aborting;
+    drop(st);
+    if abort {
+        std::panic::panic_any(AbortToken);
+    }
+    r
+}
+
+// ---------------------------------------------------------------------------
+// Registration (primitive construction)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn register_atomic(initial: u64) -> usize {
+    let reg = |st: &mut State, me: usize| {
+        let id = st.atomics.len();
+        let when = st.vclocks.get(me).map_or(0, |c| c[me]);
+        st.atomics.push(AtomicState {
+            stores: vec![StoreRec {
+                value: initial,
+                writer: me,
+                when_writer: when,
+                release: None,
+            }],
+            last_seen: [0; MAX_THREADS],
+        });
+        id
+    };
+    with_op(reg, reg)
+}
+
+pub(crate) fn register_mutex() -> usize {
+    let reg = |st: &mut State, _me: usize| {
+        let id = st.mutexes.len();
+        st.mutexes.push(MutexState {
+            holder: None,
+            clock: [0; MAX_THREADS],
+        });
+        id
+    };
+    with_op(reg, reg)
+}
+
+pub(crate) fn register_condvar() -> usize {
+    let reg = |st: &mut State, _me: usize| {
+        let id = st.condvars.len();
+        st.condvars.push(CvState {
+            waiters: Vec::new(),
+        });
+        id
+    };
+    with_op(reg, reg)
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Which happens-before edges an operation carries.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Hb {
+    pub(crate) acquire: bool,
+    pub(crate) release: bool,
+    /// SeqCst is modeled conservatively: AcqRel plus loads pinned to the
+    /// latest store.
+    pub(crate) seq_cst: bool,
+}
+
+fn visible_floor(st: &State, id: usize, me: usize) -> usize {
+    let a = &st.atomics[id];
+    let mut floor = a.last_seen[me];
+    for (j, s) in a.stores.iter().enumerate().skip(floor + 1) {
+        if st.vclocks[me][s.writer] >= s.when_writer {
+            floor = j;
+        }
+    }
+    floor
+}
+
+fn finish_read(st: &mut State, id: usize, me: usize, idx: usize, sy: Hb) -> u64 {
+    let release = st.atomics[id].stores[idx].release;
+    if sy.acquire {
+        if let Some(rc) = release {
+            join_clock(&mut st.vclocks[me], &rc);
+        }
+    }
+    let a = &mut st.atomics[id];
+    a.last_seen[me] = a.last_seen[me].max(idx);
+    a.stores[idx].value
+}
+
+pub(crate) fn atomic_load(id: usize, sy: Hb) -> u64 {
+    with_op(
+        |st, me| {
+            let n = st.atomics[id].stores.len();
+            let floor = visible_floor(st, id, me);
+            let idx = if sy.seq_cst {
+                n - 1
+            } else if n - 1 > floor {
+                floor + choose(st, "read-from", n - floor)
+            } else {
+                floor
+            };
+            finish_read(st, id, me, idx, sy)
+        },
+        |st, _me| st.atomics[id].stores.last().map_or(0, |s| s.value),
+    )
+}
+
+fn push_store(st: &mut State, id: usize, me: usize, value: u64, release: Option<VClock>) {
+    let when = st.vclocks[me][me];
+    let a = &mut st.atomics[id];
+    a.stores.push(StoreRec {
+        value,
+        writer: me,
+        when_writer: when,
+        release,
+    });
+    a.last_seen[me] = a.stores.len() - 1;
+}
+
+pub(crate) fn atomic_store(id: usize, value: u64, sy: Hb) {
+    with_op(
+        |st, me| {
+            let release = sy.release.then_some(st.vclocks[me]);
+            push_store(st, id, me, value, release);
+        },
+        |st, me| push_store(st, id, me, value, None),
+    )
+}
+
+/// Read-modify-write: reads the *latest* store (RMWs are coherent), applies
+/// `f`, and appends the result. A releasing RMW continues the release
+/// sequence of the store it replaced (C11 release-sequence rule), so an
+/// acquire load of the RMW's store still synchronizes with the original
+/// release head.
+pub(crate) fn atomic_rmw(id: usize, sy: Hb, f: impl FnOnce(u64) -> Option<u64>) -> u64 {
+    with_op(
+        |st, me| {
+            let idx = st.atomics[id].stores.len() - 1;
+            let prev_release = st.atomics[id].stores[idx].release;
+            let old = finish_read(st, id, me, idx, sy);
+            if let Some(new) = f(old) {
+                let release = if sy.release {
+                    let mut rc = prev_release.unwrap_or([0; MAX_THREADS]);
+                    join_clock(&mut rc, &st.vclocks[me]);
+                    Some(rc)
+                } else {
+                    prev_release
+                };
+                push_store(st, id, me, new, release);
+            }
+            old
+        },
+        |st, _me| st.atomics[id].stores.last().map_or(0, |s| s.value),
+    )
+}
+
+/// Compare-exchange: reads the latest store (RMWs are coherent). On match,
+/// stores `new` with the success ordering's edges (continuing the release
+/// sequence); on mismatch, the read uses the failure ordering — crucially,
+/// a `Relaxed` failure must not gain a spurious acquire edge.
+pub(crate) fn atomic_cas(
+    id: usize,
+    current: u64,
+    new: u64,
+    succ: Hb,
+    fail: Hb,
+) -> Result<u64, u64> {
+    with_op(
+        |st, me| {
+            let idx = st.atomics[id].stores.len() - 1;
+            let old = st.atomics[id].stores[idx].value;
+            if old == current {
+                let prev_release = st.atomics[id].stores[idx].release;
+                finish_read(st, id, me, idx, succ);
+                let release = if succ.release {
+                    let mut rc = prev_release.unwrap_or([0; MAX_THREADS]);
+                    join_clock(&mut rc, &st.vclocks[me]);
+                    Some(rc)
+                } else {
+                    prev_release
+                };
+                push_store(st, id, me, new, release);
+                Ok(old)
+            } else {
+                finish_read(st, id, me, idx, fail);
+                Err(old)
+            }
+        },
+        |st, _me| {
+            let s = st.atomics[id].stores.last_mut().expect("registered atomic");
+            if s.value == current {
+                let old = s.value;
+                s.value = new;
+                Ok(old)
+            } else {
+                Err(s.value)
+            }
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / Condvar
+// ---------------------------------------------------------------------------
+
+fn release_mutex(st: &mut State, me: usize, id: usize) {
+    st.mutexes[id].holder = None;
+    st.mutexes[id].clock = st.vclocks[me];
+    for t in 0..st.threads.len() {
+        if st.threads[t].status == Status::BlockedMutex(id) {
+            st.threads[t].status = Status::Runnable;
+        }
+    }
+}
+
+/// Model-acquire mutex `id`: one visible op that may block (forced handoff,
+/// not a preemption) until the holder releases.
+pub(crate) fn mutex_lock(id: usize) {
+    let (exec, me) = current();
+    if degraded() {
+        // Unwind-time acquire (channel endpoint Drop): mutual exclusion no
+        // longer matters — the episode is over — so just take it.
+        let mut st = lock_state(&exec);
+        st.mutexes[id].holder = Some(me);
+        return;
+    }
+    let st = lock_state(&exec);
+    let mut st = match exec.wait_turn(st, me) {
+        Ok(st) => st,
+        Err(st) => {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+    };
+    st.step += 1;
+    st.vclocks[me][me] += 1;
+    loop {
+        if st.mutexes[id].holder.is_none() {
+            st.mutexes[id].holder = Some(me);
+            let clock = st.mutexes[id].clock;
+            join_clock(&mut st.vclocks[me], &clock);
+            break;
+        }
+        st.threads[me].status = Status::BlockedMutex(id);
+        exec.handoff(&mut st, me);
+        st = match exec.wait_runnable_turn(st, me) {
+            Ok(st) => st,
+            Err(st) => {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+        };
+    }
+    exec.handoff(&mut st, me);
+    let abort = st.aborting;
+    drop(st);
+    if abort {
+        std::panic::panic_any(AbortToken);
+    }
+}
+
+pub(crate) fn mutex_unlock(id: usize) {
+    with_op(
+        |st, me| release_mutex(st, me, id),
+        |st, me| {
+            if st.mutexes[id].holder == Some(me) {
+                release_mutex(st, me, id);
+            }
+        },
+    )
+}
+
+/// Condvar wait: atomically (in the model) releases `mutex_id`, blocks until
+/// notified or (for timed waits) until the timeout fires, then re-acquires
+/// the mutex. Returns whether the wait timed out.
+///
+/// Timed waits branch explicitly: either block like an untimed wait (the
+/// timeout then only fires via the all-blocked fallback in
+/// [`Execution::no_runnable`]), or fire the timeout *now* — logical time
+/// jumps to the deadline, but the mutex is still released and re-acquired
+/// around a handoff so schedules where other threads act "during" the wait
+/// are explored.
+pub(crate) fn cond_wait(cv_id: usize, mutex_id: usize, timeout_us: Option<u64>) -> bool {
+    let (exec, me) = current();
+    assert!(!degraded(), "condvar wait during unwind");
+    let st = lock_state(&exec);
+    let mut st = match exec.wait_turn(st, me) {
+        Ok(st) => st,
+        Err(st) => {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+    };
+    st.step += 1;
+    st.vclocks[me][me] += 1;
+    let deadline = timeout_us.map(|us| st.step + us.max(1));
+    let fire_now = match deadline {
+        Some(_) => choose(&mut st, "cv-timeout", 2) == 1,
+        None => false,
+    };
+    release_mutex(&mut st, me, mutex_id);
+    let timed_out;
+    if fire_now {
+        st.step = st.step.max(deadline.unwrap_or(0));
+        timed_out = true;
+        exec.handoff(&mut st, me);
+    } else {
+        st.threads[me].timed_out = false;
+        st.threads[me].status = Status::BlockedCond(cv_id);
+        st.condvars[cv_id].waiters.push((me, deadline));
+        exec.handoff(&mut st, me);
+        st = match exec.wait_runnable_turn(st, me) {
+            Ok(st) => st,
+            Err(st) => {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+        };
+        timed_out = st.threads[me].timed_out;
+        exec.handoff(&mut st, me);
+    }
+    let abort = st.aborting;
+    drop(st);
+    if abort {
+        std::panic::panic_any(AbortToken);
+    }
+    mutex_lock(mutex_id);
+    timed_out
+}
+
+/// Notify one waiter; *which* waiter is a choice point.
+pub(crate) fn cond_notify_one(cv_id: usize) {
+    with_op(
+        |st, _me| {
+            let n = st.condvars[cv_id].waiters.len();
+            if n == 0 {
+                return;
+            }
+            let k = if n > 1 {
+                choose(st, "notify-pick", n)
+            } else {
+                0
+            };
+            let (tid, _) = st.condvars[cv_id].waiters.remove(k);
+            st.threads[tid].timed_out = false;
+            st.threads[tid].status = Status::Runnable;
+        },
+        |st, _me| {
+            for (tid, _) in std::mem::take(&mut st.condvars[cv_id].waiters) {
+                st.threads[tid].status = Status::Runnable;
+            }
+        },
+    )
+}
+
+pub(crate) fn cond_notify_all(cv_id: usize) {
+    let wake_all = |st: &mut State, _me: usize| {
+        for (tid, _) in std::mem::take(&mut st.condvars[cv_id].waiters) {
+            st.threads[tid].timed_out = false;
+            st.threads[tid].status = Status::Runnable;
+        }
+    };
+    with_op(wake_all, wake_all)
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Read the model clock (one visible op: the value must be a deterministic
+/// function of the schedule, so it cannot be read without holding the baton).
+pub(crate) fn now_micros() -> u64 {
+    with_op(|st, _me| st.step, |st, _me| st.step)
+}
+
+/// Extra schedule point with no effect.
+pub(crate) fn yield_point() {
+    with_op(|_st, _me| (), |_st, _me| ());
+}
+
+/// Register and start a model thread running `body`; returns its tid.
+pub(crate) fn spawn_thread(body: Box<dyn FnOnce() + Send + 'static>) -> usize {
+    let (exec, _me) = current();
+    assert!(!degraded(), "thread spawn during unwind");
+    let exec2 = Arc::clone(&exec);
+    with_op(
+        move |st, me| {
+            let tid = st.threads.len();
+            assert!(
+                tid < MAX_THREADS,
+                "viderec-check models at most {MAX_THREADS} threads"
+            );
+            st.threads.push(ThreadSlot {
+                status: Status::Runnable,
+                timed_out: false,
+            });
+            let mut clock = st.vclocks[me];
+            clock[tid] += 1;
+            st.vclocks.push(clock);
+            let handle = std::thread::spawn(move || run_thread(exec2, tid, body));
+            st.os_handles.push(handle);
+            tid
+        },
+        |_st, _me| unreachable!("spawn during unwind"),
+    )
+}
+
+/// Block until thread `tid` finishes, joining its final clock.
+pub(crate) fn join_thread(tid: usize) {
+    let (exec, me) = current();
+    assert!(!degraded(), "thread join during unwind");
+    let st = lock_state(&exec);
+    let mut st = match exec.wait_turn(st, me) {
+        Ok(st) => st,
+        Err(st) => {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+    };
+    st.step += 1;
+    st.vclocks[me][me] += 1;
+    while st.threads[tid].status != Status::Finished {
+        st.threads[me].status = Status::BlockedJoin(tid);
+        exec.handoff(&mut st, me);
+        st = match exec.wait_runnable_turn(st, me) {
+            Ok(st) => st,
+            Err(st) => {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+        };
+    }
+    let clock = st.vclocks[tid];
+    join_clock(&mut st.vclocks[me], &clock);
+    exec.handoff(&mut st, me);
+    let abort = st.aborting;
+    drop(st);
+    if abort {
+        std::panic::panic_any(AbortToken);
+    }
+}
+
+fn payload_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Body of every model OS thread: run the closure, then perform the finish
+/// bookkeeping as a baton-gated step so `finished` counts change
+/// deterministically within the schedule.
+fn run_thread(exec: Arc<Execution>, tid: usize, body: Box<dyn FnOnce() + Send + 'static>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    let result = catch_unwind(AssertUnwindSafe(body));
+    let mut st = lock_state(&exec);
+    match result {
+        Ok(()) => {
+            // Wait for the baton before finishing, unless aborting.
+            loop {
+                if st.aborting || st.active == tid {
+                    break;
+                }
+                st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        Err(payload) => {
+            if !payload.is::<AbortToken>() {
+                let msg = payload_message(payload.as_ref());
+                exec.fail(&mut st, format!("thread {tid} panicked: {msg}"));
+            }
+            st.aborting = true;
+        }
+    }
+    st.threads[tid].status = Status::Finished;
+    st.finished += 1;
+    for t in 0..st.threads.len() {
+        if st.threads[t].status == Status::BlockedJoin(tid) {
+            st.threads[t].status = Status::Runnable;
+        }
+    }
+    if st.aborting {
+        exec.cv.notify_all();
+    } else {
+        exec.handoff(&mut st, tid);
+        exec.cv.notify_all();
+    }
+    drop(st);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Exploration statistics returned by a completed (violation-free) check.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: u64,
+    /// True when the bounded state space was exhausted (DFS mode).
+    pub complete: bool,
+    /// Longest choice trace observed.
+    pub max_depth: usize,
+}
+
+/// Configures and runs explorations. See the module docs for the semantics.
+pub struct Model {
+    max_preemptions: u32,
+    max_schedules: u64,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model {
+            max_preemptions: 2,
+            max_schedules: 200_000,
+        }
+    }
+}
+
+fn suppress_model_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Model threads unwind constantly (AbortToken) and their real
+            // assertion failures are re-reported by the controller with the
+            // failing schedule attached; keep stderr quiet for both.
+            let in_model = CURRENT.with(|c| c.borrow().is_some());
+            if in_model || info.payload().is::<AbortToken>() {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+impl Model {
+    /// A model with the default bounds (2 preemptions, 200k schedules).
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Set the preemption bound (forced switches at blocking ops are free).
+    pub fn preemptions(mut self, n: u32) -> Self {
+        self.max_preemptions = n;
+        self
+    }
+
+    /// Set the schedule budget; exceeding it panics rather than spinning.
+    pub fn max_schedules(mut self, n: u64) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    fn run_episode(
+        &self,
+        f: &Arc<dyn Fn() + Send + Sync>,
+        prefix: Vec<u16>,
+        mode: Mode,
+        rng: u64,
+    ) -> (Vec<Choice>, Option<Failure>) {
+        suppress_model_panics();
+        let exec = Arc::new(Execution::new(prefix, mode, self.max_preemptions, rng));
+        {
+            let mut st = lock_state(&exec);
+            st.threads.push(ThreadSlot {
+                status: Status::Runnable,
+                timed_out: false,
+            });
+            let mut clock = [0; MAX_THREADS];
+            clock[0] = 1;
+            st.vclocks.push(clock);
+        }
+        let exec2 = Arc::clone(&exec);
+        let body = Arc::clone(f);
+        let root = std::thread::spawn(move || run_thread(exec2, 0, Box::new(move || body())));
+        let mut st = lock_state(&exec);
+        while st.finished < st.threads.len() {
+            st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let handles = std::mem::take(&mut st.os_handles);
+        let failure = st.failure.take();
+        let trace = match &failure {
+            Some(fl) => fl.trace.clone(),
+            None => std::mem::take(&mut st.trace),
+        };
+        drop(st);
+        for h in handles {
+            let _ = h.join();
+        }
+        let _ = root.join();
+        (trace, failure)
+    }
+
+    fn report_violation(&self, failure: &Failure, schedules: u64, how: &str) -> ! {
+        let csv: Vec<String> = failure.trace.iter().map(|c| c.chosen.to_string()).collect();
+        let csv = csv.join(",");
+        let labels: Vec<String> = failure
+            .trace
+            .iter()
+            .rev()
+            .take(6)
+            .map(|c| format!("{}={}", c.label, c.chosen))
+            .collect();
+        panic!(
+            "\nviderec-check: property violated after {schedules} schedule(s) ({how})\n  \
+             {}\n  failing schedule ({} choice points, last: {}): {csv}\n  \
+             replay with VIDEREC_CHECK_REPLAY='{csv}' (run the single failing test) \
+             or Model::replay(\"{csv}\", ..)\n",
+            failure.message,
+            failure.trace.len(),
+            labels.join(" "),
+        );
+    }
+
+    /// Exhaustive bounded DFS over schedules. Panics with the failing
+    /// schedule on the first violation; returns exploration stats otherwise.
+    ///
+    /// If `VIDEREC_CHECK_REPLAY` is set in the environment, runs that single
+    /// schedule instead (run one test at a time when using it).
+    pub fn check(&self, f: impl Fn() + Send + Sync + 'static) -> Report {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        if let Ok(replay) = std::env::var("VIDEREC_CHECK_REPLAY") {
+            return self.replay_inner(&replay, &f);
+        }
+        let mut prefix: Vec<u16> = Vec::new();
+        let mut schedules = 0u64;
+        let mut max_depth = 0usize;
+        loop {
+            schedules += 1;
+            assert!(
+                schedules <= self.max_schedules,
+                "viderec-check: schedule budget {} exhausted (state space too \
+                 large; shrink the test or raise Model::max_schedules)",
+                self.max_schedules
+            );
+            let (trace, failure) = self.run_episode(&f, std::mem::take(&mut prefix), Mode::Dfs, 0);
+            if let Some(fl) = failure {
+                self.report_violation(
+                    &fl,
+                    schedules,
+                    &format!("exhaustive DFS, preemption bound {}", self.max_preemptions),
+                );
+            }
+            max_depth = max_depth.max(trace.len());
+            let mut next = None;
+            for i in (0..trace.len()).rev() {
+                if trace[i].chosen + 1 < trace[i].alts {
+                    let mut p: Vec<u16> = trace[..i].iter().map(|c| c.chosen).collect();
+                    p.push(trace[i].chosen + 1);
+                    next = Some(p);
+                    break;
+                }
+            }
+            match next {
+                Some(p) => prefix = p,
+                None => {
+                    return Report {
+                        schedules,
+                        complete: true,
+                        max_depth,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Seeded pseudo-random schedule walks for state spaces too large to
+    /// exhaust. Failures report the exact failing choice trace, which
+    /// replays deterministically regardless of the seed.
+    pub fn check_random(
+        &self,
+        seed: u64,
+        walks: u64,
+        f: impl Fn() + Send + Sync + 'static,
+    ) -> Report {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        if let Ok(replay) = std::env::var("VIDEREC_CHECK_REPLAY") {
+            return self.replay_inner(&replay, &f);
+        }
+        let mut max_depth = 0usize;
+        for walk in 0..walks {
+            // SplitMix64 over (seed, walk) so each walk is independent.
+            let mut z = seed ^ walk.wrapping_mul(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            let (trace, failure) = self.run_episode(&f, Vec::new(), Mode::Random, z ^ (z >> 31));
+            if let Some(fl) = failure {
+                self.report_violation(&fl, walk + 1, &format!("random walk, seed {seed}"));
+            }
+            max_depth = max_depth.max(trace.len());
+        }
+        Report {
+            schedules: walks,
+            complete: false,
+            max_depth,
+        }
+    }
+
+    /// Replay one exact schedule from its printed choice string.
+    pub fn replay(&self, schedule: &str, f: impl Fn() + Send + Sync + 'static) -> Report {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        self.replay_inner(schedule, &f)
+    }
+
+    fn replay_inner(&self, schedule: &str, f: &Arc<dyn Fn() + Send + Sync>) -> Report {
+        let prefix: Vec<u16> = schedule
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse::<u16>()
+                    .unwrap_or_else(|_| panic!("bad schedule element {s:?}"))
+            })
+            .collect();
+        let (trace, failure) = self.run_episode(f, prefix, Mode::Dfs, 0);
+        if let Some(fl) = failure {
+            self.report_violation(&fl, 1, "replay");
+        }
+        Report {
+            schedules: 1,
+            complete: false,
+            max_depth: trace.len(),
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Instrumented stand-ins for the `std` concurrency vocabulary.
+//!
+//! These types mirror the exact API subset the shipped sources use through
+//! their `sync` facades (`crates/trace/src/sync.rs`,
+//! `crates/serve/src/sync.rs`, `vendor/crossbeam/src/sync.rs`), so the same
+//! source files compile unmodified against either `std` (production) or this
+//! module (model checking). Every operation is a visible step of the
+//! interleaving explorer in [`crate::model`].
+//!
+//! Also here: deliberately *broken* variants ([`DemotedAtomicU64`],
+//! [`LossyCondvar`]) used by the `broken_*` inclusion modules to prove the
+//! checker actually catches the bug classes the shipped orderings prevent.
+
+use crate::model;
+use std::ops::{Add, Deref, DerefMut, Sub};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Memory ordering, mirroring [`std::sync::atomic::Ordering`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Ordering {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+fn load_sync(ord: Ordering) -> model::Hb {
+    model::Hb {
+        acquire: matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst),
+        release: false,
+        seq_cst: ord == Ordering::SeqCst,
+    }
+}
+
+fn store_sync(ord: Ordering) -> model::Hb {
+    model::Hb {
+        acquire: false,
+        release: matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst),
+        seq_cst: ord == Ordering::SeqCst,
+    }
+}
+
+fn rmw_sync(ord: Ordering) -> model::Hb {
+    model::Hb {
+        acquire: matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst),
+        release: matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst),
+        seq_cst: ord == Ordering::SeqCst,
+    }
+}
+
+/// Model-checked [`std::sync::atomic::AtomicU64`].
+pub struct AtomicU64 {
+    id: usize,
+}
+
+impl AtomicU64 {
+    /// Registers the atomic with the current execution.
+    pub fn new(v: u64) -> Self {
+        AtomicU64 {
+            id: model::register_atomic(v),
+        }
+    }
+
+    /// Load; `Relaxed`/`Acquire` loads branch over every visible store.
+    pub fn load(&self, ord: Ordering) -> u64 {
+        model::atomic_load(self.id, load_sync(ord))
+    }
+
+    /// Store; `Release`-or-stronger publishes the writer's clock.
+    pub fn store(&self, v: u64, ord: Ordering) {
+        model::atomic_store(self.id, v, store_sync(ord));
+    }
+
+    /// Atomic add returning the previous value.
+    pub fn fetch_add(&self, delta: u64, ord: Ordering) -> u64 {
+        model::atomic_rmw(self.id, rmw_sync(ord), |old| Some(old.wrapping_add(delta)))
+    }
+
+    /// Compare-exchange with distinct success/failure orderings.
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        model::atomic_cas(self.id, current, new, rmw_sync(success), load_sync(failure))
+    }
+}
+
+impl std::fmt::Debug for AtomicU64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicU64").field("id", &self.id).finish()
+    }
+}
+
+/// Broken-by-construction atomic: every store is demoted to `Relaxed`, no
+/// matter what ordering the caller asked for. Compiling the shipped seqlock
+/// against this (see `crate::broken_ring`) makes its `Release` version
+/// publication invisible to readers' `Acquire` loads, so the checker must
+/// find a torn read — proving the real ordering is load-bearing.
+#[derive(Debug)]
+pub struct DemotedAtomicU64 {
+    inner: AtomicU64,
+}
+
+impl DemotedAtomicU64 {
+    /// See [`AtomicU64::new`].
+    pub fn new(v: u64) -> Self {
+        DemotedAtomicU64 {
+            inner: AtomicU64::new(v),
+        }
+    }
+
+    /// See [`AtomicU64::load`] (orderings honored on the load side).
+    pub fn load(&self, ord: Ordering) -> u64 {
+        self.inner.load(ord)
+    }
+
+    /// Store with the ordering forced down to `Relaxed`.
+    pub fn store(&self, v: u64, _ord: Ordering) {
+        self.inner.store(v, Ordering::Relaxed);
+    }
+
+    /// See [`AtomicU64::fetch_add`], demoted to `Relaxed`.
+    pub fn fetch_add(&self, delta: u64, _ord: Ordering) -> u64 {
+        self.inner.fetch_add(delta, Ordering::Relaxed)
+    }
+
+    /// See [`AtomicU64::compare_exchange`], demoted to `Relaxed`.
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.inner
+            .compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Model-checked [`std::sync::Mutex`]. Mutual exclusion is enforced at the
+/// model level (the scheduler never runs two holders); the inner `std` mutex
+/// only provides storage and is therefore never contended.
+pub struct Mutex<T> {
+    id: usize,
+    raw: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the model lock on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Set by [`Condvar::wait`] while the guard is logically released; a
+    /// disarmed guard's drop is a no-op (the wait owns the release).
+    released: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Registers the mutex with the current execution.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: model::register_mutex(),
+            raw: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Model-acquire; blocks (a forced handoff) while another model thread
+    /// holds the lock. Never returns `Err`: model executions treat a panic
+    /// while holding the lock as a property violation, not as poison.
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        model::mutex_lock(self.id);
+        let inner = self
+            .raw
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(inner),
+            released: false,
+        })
+    }
+}
+
+impl<T> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Deliberately does not lock: Debug formatting must never become a
+        // visible model operation.
+        f.debug_struct("Mutex").field("id", &self.id).finish()
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard is armed")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard is armed")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.released {
+            return;
+        }
+        self.inner.take();
+        model::mutex_unlock(self.lock.id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of [`Condvar::wait_timeout`], mirroring
+/// [`std::sync::WaitTimeoutResult`].
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed
+    }
+}
+
+/// Model-checked [`std::sync::Condvar`]. `notify_one` picks the woken
+/// waiter as an explored choice point; timed waits branch between blocking
+/// and firing the timeout immediately.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    /// Registers the condvar with the current execution.
+    pub fn new() -> Self {
+        Condvar {
+            id: model::register_condvar(),
+        }
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout_us: Option<u64>,
+    ) -> (MutexGuard<'a, T>, bool) {
+        // Disarm: the model wait owns releasing and re-acquiring the lock.
+        // If we unwind mid-wait (execution abort), the disarmed guard's drop
+        // is a no-op, which is exactly right — we no longer hold the lock.
+        guard.inner.take();
+        guard.released = true;
+        let timed_out = model::cond_wait(self.id, guard.lock.id, timeout_us);
+        guard.inner = Some(
+            guard
+                .lock
+                .raw
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        guard.released = false;
+        (guard, timed_out)
+    }
+
+    /// Block until notified; releases and re-acquires the guard's mutex.
+    pub fn wait<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+    ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+        let (guard, _) = self.wait_inner(guard, None);
+        Ok(guard)
+    }
+
+    /// Block until notified or until `dur` of model time elapses.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> std::sync::LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let us = u64::try_from(dur.as_micros()).unwrap_or(u64::MAX);
+        let (guard, timed) = self.wait_inner(guard, Some(us));
+        Ok((guard, WaitTimeoutResult { timed }))
+    }
+
+    /// Wake one waiter (scheduler-chosen among the current waiters).
+    pub fn notify_one(&self) {
+        model::cond_notify_one(self.id);
+    }
+
+    /// Wake every current waiter.
+    pub fn notify_all(&self) {
+        model::cond_notify_all(self.id);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Broken-by-construction condvar: `notify_all` silently does nothing
+/// (`notify_one` still works). Compiling the shipped channel against this
+/// (see `crate::broken_channel`) loses the disconnect broadcast that `Drop`
+/// of the last `Sender` relies on, so a blocked `recv()` never learns the
+/// channel died — the checker must find that deadlock.
+pub struct LossyCondvar {
+    inner: Condvar,
+}
+
+impl LossyCondvar {
+    /// See [`Condvar::new`].
+    pub fn new() -> Self {
+        LossyCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// See [`Condvar::wait`].
+    pub fn wait<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+    ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+        self.inner.wait(guard)
+    }
+
+    /// See [`Condvar::wait_timeout`].
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> std::sync::LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        self.inner.wait_timeout(guard, dur)
+    }
+
+    /// See [`Condvar::notify_one`].
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// The bug: the broadcast is dropped on the floor.
+    pub fn notify_all(&self) {
+        // Still a visible step (so schedules line up with the honest build),
+        // but wakes nobody.
+        model::yield_point();
+    }
+}
+
+impl Default for LossyCondvar {
+    fn default() -> Self {
+        LossyCondvar::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instant
+// ---------------------------------------------------------------------------
+
+/// Model-checked [`std::time::Instant`] backed by the logical clock (one
+/// microsecond per visible operation; timeouts jump it to their deadline).
+/// Reading it is a visible operation — the value must be a deterministic
+/// function of the schedule for replay to work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Instant {
+    micros: u64,
+}
+
+impl Instant {
+    /// Current logical time.
+    pub fn now() -> Instant {
+        Instant {
+            micros: model::now_micros(),
+        }
+    }
+
+    /// Logical time elapsed since `self`.
+    pub fn elapsed(&self) -> Duration {
+        Instant::now() - *self
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, d: Duration) -> Instant {
+        Instant {
+            micros: self
+                .micros
+                .saturating_add(u64::try_from(d.as_micros()).unwrap_or(u64::MAX)),
+        }
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, other: Instant) -> Duration {
+        Duration::from_micros(self.micros.saturating_sub(other.micros))
+    }
+}
+
+pub use std::sync::Arc;

@@ -1,0 +1,11 @@
+//! The vendored crossbeam-style bounded channel —
+//! `vendor/crossbeam/src/channel.rs` compiled **verbatim, from the same file
+//! on disk** — against the instrumented shim.
+
+/// The `sync` facade the included source resolves `super::sync` to.
+pub mod sync {
+    pub use crate::shim::{Arc, Condvar, Instant, Mutex};
+}
+
+#[path = "../../../vendor/crossbeam/src/channel.rs"]
+pub mod channel;

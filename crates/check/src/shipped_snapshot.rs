@@ -1,0 +1,10 @@
+//! The shipped `SnapshotCell` — `crates/serve/src/snapshot.rs` compiled
+//! **verbatim, from the same file on disk** — against the instrumented shim.
+
+/// The `sync` facade the included source resolves `super::sync` to.
+pub mod sync {
+    pub use crate::shim::{Arc, AtomicU64, Instant, Mutex, Ordering};
+}
+
+#[path = "../../serve/src/snapshot.rs"]
+pub mod snapshot;

@@ -1,0 +1,49 @@
+//! Model-thread spawn/join, mirroring the [`std::thread`] subset the model
+//! tests use. Threads are real OS threads gated by the execution's baton —
+//! see [`crate::model`].
+
+use crate::model;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Handle to a spawned model thread; mirrors [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawn a model thread. At most [`model::MAX_THREADS`] threads (including
+/// the root closure) may exist per execution; exceeding that is reported as
+/// a property violation of the test itself.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = model::spawn_thread(Box::new(move || {
+        let value = f();
+        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+    }));
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Block (a forced handoff) until the thread finishes, join its clock,
+    /// and return the closure's value. A panicking thread aborts the whole
+    /// execution before any join observes it, so unlike `std` this returns
+    /// `T` directly rather than a `Result`.
+    pub fn join(self) -> T {
+        model::join_thread(self.tid);
+        self.result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("joined model thread left no result")
+    }
+}
+
+/// Extra schedule point with no effect, mirroring [`std::thread::yield_now`].
+pub fn yield_now() {
+    model::yield_point();
+}

@@ -1,0 +1,142 @@
+//! Golden tests for the hand-rolled lexer: the corner cases that would make
+//! a naive text-matcher lie (nested block comments, raw strings, lifetime vs
+//! char literal, `Ordering::` spelled inside prose).
+
+use viderec_check::lex::{lex, significant, TokenKind};
+
+fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+}
+
+fn sig_idents(src: &str) -> Vec<String> {
+    let tokens = lex(src);
+    significant(&tokens)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let src = "a /* outer /* inner */ still outer */ b";
+    let toks = kinds(src);
+    assert_eq!(
+        toks,
+        vec![
+            (TokenKind::Ident, "a".into()),
+            (
+                TokenKind::BlockComment,
+                "/* outer /* inner */ still outer */".into()
+            ),
+            (TokenKind::Ident, "b".into()),
+        ]
+    );
+    assert_eq!(sig_idents(src), vec!["a", "b"]);
+}
+
+#[test]
+fn raw_strings_swallow_their_contents() {
+    // One hash, two hashes, zero hashes, byte-raw: all one Str token each,
+    // and nothing inside leaks out as an identifier.
+    for src in [
+        r####"let x = r"Ordering::SeqCst";"####,
+        r####"let x = r#"quotes " inside"#;"####,
+        r####"let x = r##"deeper "# still inside"##;"####,
+        r####"let x = br##"bytes "# too"##;"####,
+    ] {
+        let idents = sig_idents(src);
+        assert_eq!(idents, vec!["let", "x"], "leaked idents from {src}");
+        let strs: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1, "expected exactly one Str in {src}");
+    }
+}
+
+#[test]
+fn raw_identifiers_lose_their_prefix() {
+    assert_eq!(sig_idents("fn r#type() {}"), vec!["fn", "type"]);
+}
+
+#[test]
+fn lifetimes_and_char_literals_disambiguate() {
+    let src = "fn f<'a>(x: &'a u8) { let c = 'a'; let u = '_'; let n = '\\n'; let l: &'_ u8 = x; }";
+    let toks = kinds(src);
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Lifetime)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    let chars: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Char)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'_"]);
+    assert_eq!(chars, vec!["'a'", "'_'", "'\\n'"]);
+}
+
+#[test]
+fn byte_chars_and_byte_strings_lex_as_literals() {
+    let src = "let a = b'x'; let s = b\"Ordering::Relaxed\";";
+    assert_eq!(sig_idents(src), vec!["let", "a", "let", "s"]);
+    let toks = kinds(src);
+    assert!(toks.contains(&(TokenKind::Char, "b'x'".into())));
+    assert!(toks
+        .iter()
+        .any(|(k, t)| *k == TokenKind::Str && t.starts_with("b\"")));
+}
+
+#[test]
+fn ordering_in_strings_and_comments_never_yields_idents() {
+    let src = concat!(
+        "// Ordering::Acquire in a line comment\n",
+        "/* Ordering::Release in a /* nested */ block comment */\n",
+        "let s = \"Ordering::SeqCst\";\n",
+        "let r = r#\"Ordering::AcqRel\"#;\n",
+    );
+    let idents = sig_idents(src);
+    assert!(
+        !idents.iter().any(|i| i == "Ordering"),
+        "Ordering leaked out of prose: {idents:?}"
+    );
+    // The comments are still present as comment tokens (waivers need them).
+    let comments = lex(src)
+        .into_iter()
+        .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .count();
+    assert_eq!(comments, 2);
+}
+
+#[test]
+fn real_ordering_sites_do_yield_idents() {
+    let src = "x.store(1, Ordering::Release); // Ordering::Relaxed (prose)";
+    let idents = sig_idents(src);
+    assert_eq!(
+        idents.iter().filter(|i| *i == "Ordering").count(),
+        1,
+        "exactly the code site, not the comment: {idents:?}"
+    );
+    assert!(idents.contains(&"Release".to_string()));
+    assert!(!idents.contains(&"Relaxed".to_string()));
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    let src = "alpha\n/* spans\nthree\nlines */\nbeta 'x' r#\"raw\nstring\"# gamma";
+    let tokens = lex(src);
+    let find = |text: &str| tokens.iter().find(|t| t.text == text).unwrap().line;
+    assert_eq!(find("alpha"), 1);
+    assert_eq!(find("beta"), 5);
+    assert_eq!(find("gamma"), 6, "line counter must advance inside tokens");
+}
+
+#[test]
+fn unterminated_constructs_do_not_hang() {
+    // The lexer closes everything at EOF instead of looping.
+    for src in ["/* never closed", "\"never closed", "r#\"never closed", "'"] {
+        let _ = lex(src);
+    }
+}

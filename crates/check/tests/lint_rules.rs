@@ -1,0 +1,296 @@
+//! Rule tests for the `viderec-lint` engine: every rule fires on a seeded
+//! violation, stays quiet on clean code, and respects waivers.
+
+use viderec_check::lint::{atomics_sites, lint_workspace, Finding};
+
+fn files(entries: &[(&str, &str)]) -> Vec<(String, String)> {
+    entries
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect()
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// --- atomics-audit ---
+
+const RING_SNIPPET: &str = "pub fn bump(x: &AtomicU64) { x.fetch_add(1, Ordering::Relaxed); }\n";
+
+#[test]
+fn unlisted_ordering_site_is_a_finding() {
+    let fs = files(&[("crates/trace/src/ring.rs", RING_SNIPPET)]);
+    let findings = lint_workspace(&fs, Some("| site | ordering | justification |\n"));
+    assert_eq!(rules_of(&findings), vec!["atomics-audit"]);
+    assert_eq!(findings[0].path, "crates/trace/src/ring.rs");
+    assert_eq!(findings[0].line, 1);
+}
+
+#[test]
+fn listed_and_justified_site_is_clean() {
+    let fs = files(&[("crates/trace/src/ring.rs", RING_SNIPPET)]);
+    let md = "| site | ordering | justification |\n\
+              |---|---|---|\n\
+              | `crates/trace/src/ring.rs:1` | `Relaxed` | pure counter, no payload |\n";
+    assert!(lint_workspace(&fs, Some(md)).is_empty());
+}
+
+#[test]
+fn stale_row_and_empty_justification_are_findings() {
+    let fs = files(&[("crates/trace/src/ring.rs", RING_SNIPPET)]);
+    // Row 3 matches but has a TODO justification; row 4 points at a site
+    // that no longer exists.
+    let md = "| site | ordering | justification |\n\
+              |---|---|---|\n\
+              | `crates/trace/src/ring.rs:1` | `Relaxed` | TODO |\n\
+              | `crates/trace/src/ring.rs:99` | `Release` | was real once |\n";
+    let findings = lint_workspace(&fs, Some(md));
+    assert_eq!(rules_of(&findings), vec!["atomics-audit", "atomics-audit"]);
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("no justification")));
+    assert!(findings
+        .iter()
+        .any(|f| f.path == "ATOMICS.md" && f.line == 4 && f.message.contains("stale")));
+}
+
+#[test]
+fn wrong_ordering_in_row_counts_as_unlisted_plus_stale() {
+    let fs = files(&[("crates/trace/src/ring.rs", RING_SNIPPET)]);
+    let md = "| `crates/trace/src/ring.rs:1` | `Release` | wrong variant |\n";
+    let findings = lint_workspace(&fs, Some(md));
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn orderings_in_comments_strings_and_check_crate_are_out_of_scope() {
+    let fs = files(&[
+        (
+            "crates/trace/src/ring.rs",
+            "// Ordering::Relaxed\nconst HELP: &str = \"Ordering::SeqCst\";\n",
+        ),
+        ("crates/check/src/shim.rs", RING_SNIPPET),
+        ("crates/trace/tests/ring.rs", RING_SNIPPET),
+    ]);
+    assert!(atomics_sites(&fs).is_empty());
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+#[test]
+fn cmp_ordering_variants_do_not_match() {
+    let fs = files(&[(
+        "crates/core/src/sort.rs",
+        "fn f(a: u32, b: u32) -> Ordering { Ordering::Less }\n",
+    )]);
+    assert!(atomics_sites(&fs).is_empty());
+}
+
+#[test]
+fn atomics_sites_reports_path_line_variant() {
+    let fs = files(&[("vendor/bytes/src/lib.rs", RING_SNIPPET)]);
+    assert_eq!(
+        atomics_sites(&fs),
+        vec![(
+            "vendor/bytes/src/lib.rs".to_string(),
+            1,
+            "Relaxed".to_string()
+        )]
+    );
+}
+
+// --- serve-no-panic ---
+
+#[test]
+fn panic_sites_on_the_serve_path_are_findings() {
+    let fs = files(&[(
+        "crates/serve/src/engine.rs",
+        "fn f(x: Option<u32>) -> u32 {\n\
+         \x20   let a = x.unwrap();\n\
+         \x20   let b = x.expect(\"present\");\n\
+         \x20   if a > b { panic!(\"boom\") }\n\
+         \x20   unreachable!()\n\
+         }\n",
+    )]);
+    let findings = lint_workspace(&fs, None);
+    assert_eq!(
+        rules_of(&findings),
+        vec!["serve-no-panic"; 4],
+        "{findings:?}"
+    );
+    assert_eq!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![2, 3, 4, 5]
+    );
+}
+
+#[test]
+fn cfg_test_regions_and_waivers_are_exempt() {
+    let fs = files(&[(
+        "crates/serve/src/engine.rs",
+        "fn ok(x: Option<u32>) -> Option<u32> { x }\n\
+         // viderec-lint: allow(serve-no-panic) — startup-only config parse, not request path\n\
+         fn startup(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+         \x20   fn check(x: Option<u32>) { x.unwrap(); }\n\
+         }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+#[test]
+fn unwrap_or_else_is_not_unwrap() {
+    let fs = files(&[(
+        "crates/serve/src/engine.rs",
+        "fn f(m: std::sync::Mutex<u32>) -> u32 {\n\
+         \x20   *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)\n\
+         }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+// --- wallclock ---
+
+#[test]
+fn instant_now_in_a_deterministic_crate_is_a_finding() {
+    let fs = files(&[(
+        "crates/emd/src/flow.rs",
+        "fn t() -> std::time::Instant { Instant::now() }\n",
+    )]);
+    assert_eq!(rules_of(&lint_workspace(&fs, None)), vec!["wallclock"]);
+}
+
+#[test]
+fn instant_now_in_trace_serve_or_check_is_fine() {
+    let fs = files(&[
+        ("crates/trace/src/tracer.rs", "fn t() { Instant::now(); }\n"),
+        ("crates/serve/src/engine.rs", "fn t() { Instant::now(); }\n"),
+        ("crates/check/src/shim.rs", "fn t() { Instant::now(); }\n"),
+    ]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+#[test]
+fn wallclock_waiver_on_previous_line_suppresses() {
+    let fs = files(&[(
+        "crates/eval/src/experiment.rs",
+        "// viderec-lint: allow(wallclock) — experiment harness measures real elapsed time\n\
+         fn t() { Instant::now(); }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+// --- reader-locks ---
+
+#[test]
+fn mutex_in_a_reader_crate_is_a_finding() {
+    let fs = files(&[(
+        "crates/index/src/table.rs",
+        "use std::sync::Mutex;\nuse std::sync::RwLock;\n",
+    )]);
+    let findings = lint_workspace(&fs, None);
+    assert_eq!(
+        rules_of(&findings),
+        vec!["reader-locks", "reader-locks"],
+        "one per identifier occurrence: {findings:?}"
+    );
+}
+
+#[test]
+fn mutex_in_serve_or_trace_is_allowed() {
+    let fs = files(&[
+        ("crates/serve/src/snapshot.rs", "use std::sync::Mutex;\n"),
+        ("crates/trace/src/export.rs", "use std::sync::Mutex;\n"),
+    ]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+// --- vendor-drift ---
+
+const CROSSBEAM_STUB: &str = "pub mod channel;\npub fn scope() {}\n";
+
+#[test]
+fn reference_to_a_declared_vendor_item_is_clean() {
+    let fs = files(&[
+        ("vendor/crossbeam/src/lib.rs", CROSSBEAM_STUB),
+        (
+            "crates/serve/src/pipeline.rs",
+            "use crossbeam::channel;\nfn f() { crossbeam::scope(); }\n",
+        ),
+    ]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+#[test]
+fn reference_to_a_missing_vendor_item_is_a_finding() {
+    let fs = files(&[
+        ("vendor/crossbeam/src/lib.rs", CROSSBEAM_STUB),
+        ("crates/serve/src/pipeline.rs", "use crossbeam::epoch;\n"),
+    ]);
+    let findings = lint_workspace(&fs, None);
+    assert_eq!(rules_of(&findings), vec!["vendor-drift"]);
+    assert!(findings[0].message.contains("crossbeam::epoch"));
+}
+
+#[test]
+fn vendor_internal_references_are_not_checked() {
+    // The stub referencing itself is its own business.
+    let fs = files(&[(
+        "vendor/crossbeam/src/lib.rs",
+        "pub mod channel;\nfn f() { crossbeam::whatever(); }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+// --- waiver syntax ---
+
+#[test]
+fn waiver_without_reason_is_itself_a_finding() {
+    let fs = files(&[(
+        "crates/index/src/table.rs",
+        "// viderec-lint: allow(reader-locks)\nuse std::sync::Mutex;\n",
+    )]);
+    let findings = lint_workspace(&fs, None);
+    // The reasonless waiver does not suppress, and is flagged on its own.
+    assert_eq!(rules_of(&findings), vec!["waiver", "reader-locks"]);
+    assert!(findings[0].message.contains("no reason"));
+}
+
+#[test]
+fn waiver_for_an_unknown_rule_is_a_finding() {
+    let fs = files(&[(
+        "crates/core/src/lib.rs",
+        "// viderec-lint: allow(made-up-rule) — because\n",
+    )]);
+    let findings = lint_workspace(&fs, None);
+    assert_eq!(rules_of(&findings), vec!["waiver"]);
+    assert!(findings[0].message.contains("made-up-rule"));
+}
+
+#[test]
+fn quoting_waiver_syntax_mid_comment_is_not_a_waiver() {
+    // Docs that mention the syntax in prose (like lint.rs's own module docs)
+    // must neither waive anything nor be flagged as malformed.
+    let fs = files(&[(
+        "crates/index/src/table.rs",
+        "//! Use `viderec-lint: allow(reader-locks) — why` to waive.\n\
+         use std::sync::Mutex;\n",
+    )]);
+    assert_eq!(rules_of(&lint_workspace(&fs, None)), vec!["reader-locks"]);
+}
+
+#[test]
+fn waiver_only_covers_its_own_rule_and_adjacent_lines() {
+    let fs = files(&[(
+        "crates/index/src/table.rs",
+        "// viderec-lint: allow(wallclock) — wrong rule for the line below\n\
+         use std::sync::Mutex;\n\
+         \n\
+         use std::sync::RwLock;\n",
+    )]);
+    let findings = lint_workspace(&fs, None);
+    // Both lock idents still fire: the waiver names a different rule, and
+    // line 4 is out of the waiver's two-line reach anyway.
+    assert_eq!(rules_of(&findings), vec!["reader-locks", "reader-locks"]);
+}

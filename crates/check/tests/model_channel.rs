@@ -1,0 +1,118 @@
+//! Model-checks the vendored bounded MPMC channel
+//! (`vendor/crossbeam/src/channel.rs` compiled verbatim against the
+//! instrumented shim): exactly-once delivery under contention, disconnect
+//! semantics of `recv`/`recv_timeout`, and blocked-sender wakeups. The
+//! lossy-condvar build of the *same source* proves the checker catches a
+//! lost disconnect broadcast as a deadlock.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use viderec_check::broken_channel::channel as broken;
+use viderec_check::shipped_channel::channel::{bounded, RecvError, RecvTimeoutError, TryRecvError};
+use viderec_check::{thread, Model};
+
+#[test]
+fn two_senders_one_slot_deliver_exactly_once_then_disconnect() {
+    let report = Model::new().check(|| {
+        let (tx, rx) = bounded::<u64>(1);
+        let tx2 = tx.clone();
+        // Both senders contend for the single slot; one of them must block
+        // on not_full until the receiver drains.
+        let a = thread::spawn(move || {
+            tx.send(1).unwrap();
+        });
+        let b = thread::spawn(move || {
+            tx2.send(2).unwrap();
+        });
+        let first = rx.recv().unwrap();
+        let second = rx.recv().unwrap();
+        assert_eq!(first + second, 3, "lost or duplicated message");
+        assert_ne!(first, second);
+        a.join();
+        b.join();
+        // Every sender is gone and the queue is drained.
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    });
+    assert!(report.complete, "channel state space should be exhaustible");
+    assert!(report.schedules > 10);
+}
+
+#[test]
+fn recv_sees_queued_message_before_surfacing_disconnect() {
+    let report = Model::new().check(|| {
+        let (tx, rx) = bounded::<u64>(1);
+        let sender = thread::spawn(move || {
+            tx.send(42).unwrap();
+            // tx drops here: disconnect races the delivery below.
+        });
+        // Crossbeam contract: the queued message is always delivered first,
+        // no matter how the drop interleaves; only then does Err surface.
+        assert_eq!(rx.recv(), Ok(42));
+        assert_eq!(rx.recv(), Err(RecvError));
+        sender.join();
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn disconnect_completed_before_recv_timeout_is_never_reported_as_timeout() {
+    let report = Model::new().check(|| {
+        let (tx, rx) = bounded::<u64>(1);
+        let dropper = thread::spawn(move || {
+            drop(tx);
+        });
+        // The join makes the disconnect happen-before the call: Timeout
+        // would claim "a sender might still show up", which is a lie here.
+        dropper.join();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn recv_timeout_racing_a_disconnect_errs_but_never_hangs_or_delivers() {
+    let report = Model::new().check(|| {
+        let (tx, rx) = bounded::<u64>(1);
+        let dropper = thread::spawn(move || {
+            drop(tx);
+        });
+        // Mid-race either outcome is honest (the timeout may beat the
+        // disconnect), but it must be an Err and it must return.
+        let r = rx.recv_timeout(Duration::from_millis(10));
+        assert!(
+            r == Err(RecvTimeoutError::Disconnected) || r == Err(RecvTimeoutError::Timeout),
+            "unexpected result: {r:?}"
+        );
+        dropper.join();
+        // Once the drop is joined, the verdict is unambiguous.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn losing_the_disconnect_broadcast_deadlocks_a_blocked_recv_and_is_caught() {
+    // Same channel source, but notify_all wakes nobody: a receiver that
+    // parks before the last sender drops never learns the channel died.
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        Model::new().check(|| {
+            let (tx, rx) = broken::bounded::<u64>(1);
+            let dropper = thread::spawn(move || {
+                drop(tx);
+            });
+            let _ = rx.recv(); // must deadlock in some schedule
+            dropper.join();
+        });
+    }))
+    .expect_err("lost disconnect broadcast must be caught as a deadlock");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("deadlock"), "wrong failure: {msg}");
+    assert!(msg.contains("failing schedule"), "no schedule in: {msg}");
+}

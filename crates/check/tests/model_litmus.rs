@@ -1,0 +1,191 @@
+//! Foundation tests for the interleaving explorer itself: classic memory-
+//! model litmus shapes, deadlock detection, and seed/schedule replay. If
+//! these hold, the primitive-level tests (`model_ring`, `model_snapshot`,
+//! `model_channel`) are running on solid ground.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use viderec_check::shim::{AtomicU64, Mutex, Ordering};
+use viderec_check::{thread, Model};
+
+/// Run `f` expecting the checker to report a violation; returns the panic
+/// message (which carries the failing schedule).
+fn expect_violation(f: impl FnOnce() + Send) -> String {
+    let err = catch_unwind(AssertUnwindSafe(f)).expect_err("checker should have found a violation");
+    if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        panic!("unexpected panic payload");
+    }
+}
+
+#[test]
+fn message_passing_with_release_acquire_is_safe_in_every_schedule() {
+    let report = Model::new().check(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            // The acquire load joined the writer's clock: the data store is
+            // now the only visible store.
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        writer.join();
+    });
+    assert!(report.complete, "DFS should exhaust this tiny state space");
+    assert!(
+        report.schedules > 1,
+        "there must be real branching to explore"
+    );
+}
+
+#[test]
+fn message_passing_with_relaxed_flag_is_caught() {
+    let msg = expect_violation(|| {
+        Model::new().check(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let writer = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Relaxed); // bug: no release edge
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            writer.join();
+        });
+    });
+    assert!(msg.contains("property violated"), "got: {msg}");
+    assert!(msg.contains("failing schedule"), "got: {msg}");
+}
+
+#[test]
+fn store_buffering_relaxed_lets_both_threads_read_zero() {
+    // The classic SB shape: with relaxed stores/loads, both threads may read
+    // the other's flag as 0. An interleaving-only model can never produce
+    // this outcome; the store-history model must.
+    let both_zero = Arc::new(AtomicBool::new(false));
+    let witness = Arc::clone(&both_zero);
+    Model::new().check(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let witness = Arc::clone(&witness);
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        let r1 = x.load(Ordering::Relaxed);
+        let r2 = t.join();
+        if r1 == 0 && r2 == 0 {
+            witness.store(true, StdOrdering::Relaxed);
+        }
+    });
+    assert!(
+        both_zero.load(StdOrdering::Relaxed),
+        "relaxed store buffering outcome (r1 == r2 == 0) was never explored"
+    );
+}
+
+#[test]
+fn relaxed_fetch_add_never_loses_updates() {
+    // RMWs read the latest store even when relaxed (coherence), so two
+    // concurrent increments always sum.
+    let report = Model::new().check(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        n.fetch_add(1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn abba_lock_order_deadlock_is_detected() {
+    let msg = expect_violation(|| {
+        Model::new().check(|| {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let ga = a2.lock().unwrap();
+                let gb = b2.lock().unwrap();
+                drop((ga, gb));
+            });
+            let gb = b.lock().unwrap();
+            let ga = a.lock().unwrap();
+            drop((ga, gb));
+            t.join();
+        });
+    });
+    assert!(msg.contains("deadlock"), "got: {msg}");
+}
+
+#[test]
+fn printed_schedule_replays_to_the_same_failure() {
+    fn racy() {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = thread::spawn(move || {
+            d2.store(7, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 7);
+        }
+        writer.join();
+    }
+    let msg = expect_violation(|| {
+        Model::new().check(racy);
+    });
+    // Pull the schedule out of "VIDEREC_CHECK_REPLAY='<csv>'".
+    let csv = msg
+        .split("VIDEREC_CHECK_REPLAY='")
+        .nth(1)
+        .and_then(|rest| rest.split('\'').next())
+        .expect("failure report must embed a replay schedule")
+        .to_string();
+    let replay_msg = expect_violation(move || {
+        Model::new().replay(&csv, racy);
+    });
+    assert!(
+        replay_msg.contains("property violated"),
+        "got: {replay_msg}"
+    );
+    assert!(replay_msg.contains("replay"), "got: {replay_msg}");
+}
+
+#[test]
+fn random_walks_also_find_the_relaxed_flag_bug() {
+    let msg = expect_violation(|| {
+        Model::new().check_random(0xC0FFEE, 500, || {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let writer = thread::spawn(move || {
+                d2.store(9, Ordering::Relaxed);
+                f2.store(1, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 9);
+            }
+            writer.join();
+        });
+    });
+    assert!(msg.contains("random walk"), "got: {msg}");
+}

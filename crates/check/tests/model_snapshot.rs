@@ -1,0 +1,121 @@
+//! Model-checks the shipped `SnapshotCell`/`CachedSnapshot`
+//! (`crates/serve/src/snapshot.rs` compiled verbatim against the
+//! instrumented shim): a reader must never observe a new epoch and then load
+//! an older snapshot. A hand-mutated `BrokenCell` that publishes the epoch
+//! *before* swapping the slot proves the checker catches the inversion.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use viderec_check::shim::{Arc, AtomicU64, Mutex, Ordering};
+use viderec_check::shipped_snapshot::snapshot::{CachedSnapshot, SnapshotCell};
+use viderec_check::{thread, Model};
+
+// Snapshots encode their epoch: epoch e carries the value 10 * e, so any
+// (epoch, value) disagreement is detectable.
+
+#[test]
+fn epoch_observation_then_load_is_monotonic() {
+    let report = Model::new().check(|| {
+        let cell = Arc::new(SnapshotCell::new(Arc::new(10u64)));
+        let cell2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || {
+            cell2.publish(Arc::new(20u64));
+        });
+        // If the reader sees the new epoch, a subsequent load must return a
+        // snapshot at least that new (shipped code guarantees this by
+        // storing the epoch with Release *while holding the slot lock*).
+        let e1 = cell.epoch();
+        let (arc, e2) = cell.load();
+        assert!(e2 >= e1, "epoch went backwards: observed {e1}, loaded {e2}");
+        assert_eq!(*arc, 10 * e2, "snapshot does not match its epoch");
+        writer.join();
+        let (arc, e3) = cell.load();
+        assert_eq!(e3, 2, "publish must be visible after join");
+        assert_eq!(*arc, 20);
+    });
+    assert!(
+        report.complete,
+        "snapshot state space should be exhaustible"
+    );
+    assert!(report.schedules > 1);
+}
+
+#[test]
+fn cached_reader_never_pairs_an_epoch_with_the_wrong_arc() {
+    let report = Model::new().check(|| {
+        let cell = Arc::new(SnapshotCell::new(Arc::new(10u64)));
+        let cell2 = Arc::clone(&cell);
+        let mut cached = CachedSnapshot::new(&cell);
+        let writer = thread::spawn(move || {
+            cell2.publish(Arc::new(20u64));
+        });
+        // Whatever the interleaving, the pinned snapshot and the pinned
+        // epoch must describe the same publication.
+        let snap = cached.get(&cell);
+        assert_eq!(*snap, 10 * cached.epoch());
+        writer.join();
+        let snap = cached.get(&cell);
+        assert_eq!(*snap, 20, "post-join refresh must see the publish");
+        assert_eq!(cached.epoch(), 2);
+    });
+    assert!(report.complete);
+}
+
+/// The deliberately inverted cell: identical reader API, but `publish`
+/// stores the new epoch (still `Release`!) *before* taking the lock and
+/// swapping the slot — the ordering bug the shipped comment on
+/// `SnapshotCell::publish` warns about. The release edge alone does not
+/// save it; what matters is *what* is published before the store.
+struct BrokenCell<T> {
+    epoch: AtomicU64,
+    slot: Mutex<(Arc<T>, u64)>,
+}
+
+impl<T> BrokenCell<T> {
+    fn new(initial: Arc<T>) -> Self {
+        Self {
+            epoch: AtomicU64::new(1),
+            slot: Mutex::new((initial, 1)),
+        }
+    }
+
+    fn publish(&self, next: Arc<T>) -> u64 {
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        self.epoch.store(epoch, Ordering::Release); // BUG: slot not swapped yet
+        let mut slot = self.slot.lock().unwrap();
+        slot.1 = epoch;
+        slot.0 = next;
+        epoch
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn load(&self) -> (Arc<T>, u64) {
+        let slot = self.slot.lock().unwrap();
+        (Arc::clone(&slot.0), slot.1)
+    }
+}
+
+#[test]
+fn publishing_the_epoch_before_the_slot_swap_is_caught() {
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        Model::new().check(|| {
+            let cell = Arc::new(BrokenCell::new(Arc::new(10u64)));
+            let cell2 = Arc::clone(&cell);
+            let writer = thread::spawn(move || {
+                cell2.publish(Arc::new(20u64));
+            });
+            let e1 = cell.epoch();
+            let (arc, e2) = cell.load();
+            assert!(e2 >= e1, "epoch went backwards: observed {e1}, loaded {e2}");
+            assert_eq!(*arc, 10 * e2, "snapshot does not match its epoch");
+            writer.join();
+        });
+    }))
+    .expect_err("epoch-before-swap publication must be caught");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("epoch went backwards"), "wrong failure: {msg}");
+    assert!(msg.contains("failing schedule"), "no schedule in: {msg}");
+}

@@ -318,6 +318,7 @@ pub fn efficiency(community: &Community) -> EfficiencyRow {
     let timings = strategies
         .iter()
         .map(|&(label, strategy)| {
+            // viderec-lint: allow(wallclock) — Fig. 12b reports real per-query latency
             let start = Instant::now();
             for (qid, q) in &queries {
                 let _ = recommender.recommend_excluding(strategy, q, 20, &[*qid]);
@@ -358,6 +359,7 @@ pub fn update_cost(community: &Community) -> Vec<UpdateCostRow> {
                 .flat_map(|m| community.updates_in_month(m))
                 .collect();
             let n = updates.len();
+            // viderec-lint: allow(wallclock) — Fig. 12c measures real maintenance wall time
             let start = Instant::now();
             let summary = recommender.apply_social_updates(&updates);
             UpdateCostRow {

@@ -38,6 +38,7 @@ pub mod http;
 pub mod metrics;
 pub mod server;
 pub mod snapshot;
+pub(crate) mod sync;
 pub mod wire;
 
 pub use debug::TraceStore;

@@ -427,11 +427,11 @@ impl Metrics {
         for ep in Endpoint::ALL {
             let label = ep.label();
             let h = &self.endpoint(ep).latency;
-            for q in ["0.5", "0.95", "0.99"] {
+            for (q, label_q) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
                 let _ = writeln!(
                     out,
-                    "serve_latency_micros{{endpoint=\"{label}\",quantile=\"{q}\"}} {}",
-                    h.quantile_micros(q.parse().expect("static quantile"))
+                    "serve_latency_micros{{endpoint=\"{label}\",quantile=\"{label_q}\"}} {}",
+                    h.quantile_micros(q)
                 );
             }
             let _ = writeln!(

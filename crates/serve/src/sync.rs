@@ -1,0 +1,12 @@
+//! Concurrency facade for the model-checked modules of this crate.
+//!
+//! [`snapshot`](crate::snapshot) imports its primitives from `super::sync`
+//! instead of naming `std` directly. In the normal build this module simply
+//! re-exports `std`; `viderec-check` compiles the *same* `snapshot.rs`
+//! source (via `#[path]`, under `--cfg viderec_check`) against its
+//! instrumented `sync` shim, so the interleavings the model checker explores
+//! run the exact shipped code.
+
+pub use std::sync::atomic::{AtomicU64, Ordering};
+pub use std::sync::{Arc, Mutex};
+pub use std::time::Instant;

@@ -27,6 +27,7 @@
 pub mod ring;
 pub mod span;
 pub mod stage;
+pub(crate) mod sync;
 
 pub use ring::TraceRing;
 pub use span::{Span, Tracer};

@@ -1,0 +1,7 @@
+//! Concurrency facade for the model-checked [`channel`](crate::channel)
+//! module: plain `std` re-exports in the normal build, swapped for
+//! `viderec-check`'s instrumented shim when the same source file is compiled
+//! under `--cfg viderec_check`.
+
+pub use std::sync::{Arc, Condvar, Mutex};
+pub use std::time::Instant;
