@@ -1,6 +1,6 @@
 //! Single-query latency: the pruned sequential path (ceiling-sorted scan
 //! over the corpus-owned scoring arena, DESIGN.md "Corpus-owned scoring
-//! arena") against the naive reference scan that scores every candidate.
+//! arena") against the unpruned reference scan that scores every candidate.
 //!
 //! CSF-SAR-H is the paper's headline online path (candidate retrieval +
 //! refinement); CSF is the full-scan contrast where pruning has the whole
@@ -102,7 +102,7 @@ fn report(recommender: &Recommender, queries: &[QueryVideo]) {
         let naive = time_queries(
             || {
                 for q in queries {
-                    std::hint::black_box(recommender.recommend_naive_excluding(
+                    std::hint::black_box(recommender.recommend_unpruned_excluding(
                         strategy,
                         q,
                         TOP_K,
@@ -180,8 +180,8 @@ fn write_json(recommender: &Recommender, queries: usize, rows: &[Row]) {
     json.push_str("{\n  \"bench\": \"single_query\",\n");
     json.push_str(
         "  \"description\": \"Pruned sequential recommend (ceiling-sorted scan over the \
-         corpus-owned scoring arena) vs the naive reference scan \
-         (recommend_naive_excluding). Bit-identical results \
+         corpus-owned scoring arena) vs the unpruned reference scan over the same \
+         candidate universe (recommend_unpruned_excluding). Bit-identical results \
          (tests/sequential_prune_equiv.rs); latency only. Stage shares come from one \
          traced pass per query (recommend_traced, tracer on).\",\n",
     );
@@ -267,7 +267,7 @@ fn bench_single_query(c: &mut Criterion) {
         group.bench_function(format!("{}_naive", strategy.label()), |b| {
             b.iter(|| {
                 for q in &queries {
-                    std::hint::black_box(recommender.recommend_naive_excluding(
+                    std::hint::black_box(recommender.recommend_unpruned_excluding(
                         strategy,
                         q,
                         TOP_K,

@@ -22,13 +22,22 @@
 //! * **`vendor-drift`** — `vendored_crate::segment` references from workspace
 //!   code must name something actually declared in the vendored stub's
 //!   sources, catching silent API drift between stub and real crate.
+//! * **`corpus-enumeration`** — the recommend paths
+//!   (`crates/core/src/recommender.rs`, `crates/core/src/parallel.rs`) must
+//!   not enumerate the corpus: `all_video_indices` may appear only at its
+//!   definition or under a waiver, and `<x>.videos.len()` is flagged as an
+//!   enumeration seed. The sanctioned sites — the naive reference scan, the
+//!   bound-only certificate sweep, the zero-fill tail, corpus-size metadata —
+//!   carry waivers stating why they are allowed.
 //!
 //! # Waivers
 //!
 //! `// viderec-lint: allow(<rule>) — <reason>` waives `<rule>` on the
-//! comment's own line and the next line. The marker must open the comment
-//! (mentioning the syntax mid-sentence, as this paragraph does, is inert).
-//! The reason is mandatory; a waiver without one is itself a finding.
+//! comment's own lines, any directly following comment lines, and the first
+//! line after the comment run (so a multi-line explanation still covers the
+//! code right below it; a blank line ends the run). The marker must open the
+//! comment (mentioning the syntax mid-sentence, as this paragraph does, is
+//! inert). The reason is mandatory; a waiver without one is itself a finding.
 //! `atomics-audit` cannot be waived — its escape hatch is the audit table.
 
 use std::collections::{HashMap, HashSet};
@@ -70,11 +79,19 @@ const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 
 /// Rules a `// viderec-lint: allow(...)` comment may waive.
-const WAIVABLE: [&str; 4] = [
+const WAIVABLE: [&str; 5] = [
     "serve-no-panic",
     "wallclock",
     "reader-locks",
     "vendor-drift",
+    "corpus-enumeration",
+];
+
+/// Recommend-path files where full-corpus enumeration is banned outside the
+/// waived, sanctioned sites.
+const ENUMERATION_SCOPE: [&str; 2] = [
+    "crates/core/src/recommender.rs",
+    "crates/core/src/parallel.rs",
 ];
 
 /// `crates/<name>/src/...` → `<name>`.
@@ -103,17 +120,33 @@ fn ident_at<'a>(toks: &[&'a Token], i: usize) -> Option<&'a str> {
 
 struct Waiver {
     rule: String,
-    line: u32,
+    /// First covered line (the marker comment's own line).
+    start: u32,
+    /// Last covered line: the end of the directly following comment run,
+    /// plus one line of code.
+    end: u32,
 }
 
 fn waived(waivers: &[Waiver], rule: &str, line: u32) -> bool {
     waivers
         .iter()
-        .any(|w| w.rule == rule && (w.line == line || w.line + 1 == line))
+        .any(|w| w.rule == rule && w.start <= line && line <= w.end)
 }
 
 fn parse_waivers(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) -> Vec<Waiver> {
     let mut out = Vec::new();
+    // Every line occupied by a comment token, so a waiver's reach can extend
+    // through the whole (possibly multi-line) comment run it opens.
+    let mut comment_lines: HashSet<u32> = HashSet::new();
+    for t in tokens
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    {
+        let span = t.text.matches('\n').count() as u32;
+        for l in t.line..=t.line + span {
+            comment_lines.insert(l);
+        }
+    }
     for t in tokens
         .iter()
         .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
@@ -160,7 +193,15 @@ fn parse_waivers(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) -> V
             ));
             continue;
         }
-        out.push(Waiver { rule, line: t.line });
+        let mut end = t.line;
+        while comment_lines.contains(&(end + 1)) {
+            end += 1;
+        }
+        out.push(Waiver {
+            rule,
+            start: t.line,
+            end: end + 1,
+        });
     }
     out
 }
@@ -459,6 +500,44 @@ pub fn lint_workspace(files: &[(String, String)], atomics_md: Option<&str>) -> V
                                 .into(),
                         });
                     }
+                }
+            }
+        }
+
+        // corpus-enumeration
+        if ENUMERATION_SCOPE.iter().any(|p| p == path) {
+            for i in 0..toks.len() {
+                let line = toks[i].line;
+                if ident_at(&toks, i) == Some("all_video_indices")
+                    && (i == 0 || ident_at(&toks, i - 1) != Some("fn"))
+                    && !allow(&waivers, path, "corpus-enumeration", line)
+                {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line,
+                        rule: "corpus-enumeration",
+                        message: "`all_video_indices()` call on a recommend path; gather \
+                                  candidates through the inverted files and the LSB forest, \
+                                  or waive the site with the reason it is sanctioned"
+                            .into(),
+                    });
+                }
+                if ident_at(&toks, i).is_some()
+                    && is_punct(&toks, i + 1, ".")
+                    && ident_at(&toks, i + 2) == Some("videos")
+                    && is_punct(&toks, i + 3, ".")
+                    && ident_at(&toks, i + 4) == Some("len")
+                    && !allow(&waivers, path, "corpus-enumeration", line)
+                {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line,
+                        rule: "corpus-enumeration",
+                        message: "`.videos.len()` on a recommend path seeds a full-corpus \
+                                  loop; go through the indexes, or waive the site with the \
+                                  reason it is sanctioned"
+                            .into(),
+                    });
                 }
             }
         }

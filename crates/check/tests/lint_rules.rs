@@ -243,6 +243,64 @@ fn vendor_internal_references_are_not_checked() {
     assert!(lint_workspace(&fs, None).is_empty());
 }
 
+// --- corpus-enumeration ---
+
+#[test]
+fn enumeration_call_site_on_a_recommend_path_is_a_finding() {
+    let fs = files(&[(
+        "crates/core/src/recommender.rs",
+        "fn f(&self) { for _ in self.all_video_indices() {} }\n",
+    )]);
+    let findings = lint_workspace(&fs, None);
+    assert_eq!(rules_of(&findings), vec!["corpus-enumeration"]);
+    assert!(findings[0].message.contains("all_video_indices"));
+}
+
+#[test]
+fn enumeration_definition_is_not_a_call_site() {
+    let fs = files(&[(
+        "crates/core/src/recommender.rs",
+        "pub(crate) fn all_video_indices(&self) -> std::ops::Range<u32> {\n\
+         \x20   0..self.num_videos() as u32\n\
+         }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+#[test]
+fn videos_len_on_a_recommend_path_is_a_finding() {
+    let fs = files(&[(
+        "crates/core/src/parallel.rs",
+        "fn f(&self) -> usize { self.videos.len() }\n",
+    )]);
+    assert_eq!(
+        rules_of(&lint_workspace(&fs, None)),
+        vec!["corpus-enumeration"]
+    );
+}
+
+#[test]
+fn enumeration_outside_the_recommend_paths_is_out_of_scope() {
+    let fs = files(&[(
+        "crates/core/src/maintenance.rs",
+        "fn f(&self) -> usize { self.videos.len() }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+#[test]
+fn multi_line_waiver_comment_covers_the_line_after_the_run() {
+    // The marker opens a two-line comment; its reach extends through the
+    // comment run to the code right below.
+    let fs = files(&[(
+        "crates/core/src/recommender.rs",
+        "// viderec-lint: allow(corpus-enumeration) — the certificate sweep\n\
+         // is bound-only and never scores a video.\n\
+         fn f(&self) { for _ in self.all_video_indices() {} }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
 // --- waiver syntax ---
 
 #[test]

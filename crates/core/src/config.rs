@@ -6,6 +6,34 @@ use viderec_emd::MatchingConfig;
 use viderec_index::LsbConfig;
 use viderec_signature::SignatureConfig;
 
+/// How `recommend*` builds its candidate universe.
+///
+/// `Paper` reproduces the evaluation setup of the source paper exactly and
+/// stays the default: content-gated strategies (Cr, CsfSarH) draw from the
+/// truncated Fig. 6 indices while the social strategies enumerate the corpus,
+/// which keeps the Fig. 12 cost-model shapes intact. The `Gated*` modes make
+/// the inverted index and LSB forest the gatekeepers for *every* strategy so
+/// `scanned << corpus`; they differ only in what happens to videos the gather
+/// missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetrievalMode {
+    /// Full-corpus scoring universe as in the paper's evaluation (default).
+    #[default]
+    Paper,
+    /// Index-gated gather plus an admissible-bound certificate sweep: any
+    /// non-candidate whose score ceiling reaches the top-k floor is promoted
+    /// and scored exactly, so results are bit-identical to the naive scan.
+    GatedCertified,
+    /// Like [`Self::GatedCertified`], but before promoting violators the LSB
+    /// fan-out is doubled up to [`RecommenderConfig::max_widen_rounds`] times
+    /// so the certificate usually closes without touching the slow path.
+    GatedWiden,
+    /// Index-gated gather with no certificate: pure approximate retrieval.
+    /// Fastest, but recall is only probabilistic (see the recall regression
+    /// gate in the scale bench).
+    GatedApprox,
+}
+
 /// All knobs of the recommendation system.
 #[derive(Debug, Clone)]
 pub struct RecommenderConfig {
@@ -33,6 +61,12 @@ pub struct RecommenderConfig {
     /// the batch engine — prunes against this bound; pruning is admissible
     /// for any choice, so it affects latency only, never results.
     pub prune_bound: PruneBound,
+    /// Candidate-retrieval mode for all `recommend*` entry points.
+    pub retrieval: RetrievalMode,
+    /// Fan-out doubling rounds for [`RetrievalMode::GatedWiden`] before the
+    /// remaining certificate violators are promoted outright. Ignored by the
+    /// other modes.
+    pub max_widen_rounds: usize,
 }
 
 impl Default for RecommenderConfig {
@@ -47,6 +81,8 @@ impl Default for RecommenderConfig {
             candidate_limit: 64,
             hash_buckets: 1 << 12,
             prune_bound: PruneBound::default(),
+            retrieval: RetrievalMode::Paper,
+            max_widen_rounds: 3,
         }
     }
 }
@@ -68,6 +104,9 @@ impl RecommenderConfig {
         }
         if self.hash_buckets == 0 {
             return Err("hash_buckets must be positive".into());
+        }
+        if self.retrieval == RetrievalMode::GatedWiden && self.max_widen_rounds == 0 {
+            return Err("max_widen_rounds must be positive in GatedWiden mode".into());
         }
         if let PruneBound::Best { lo, hi } = self.prune_bound {
             if lo >= hi || !lo.is_finite() || !hi.is_finite() {
@@ -96,6 +135,12 @@ impl RecommenderConfig {
         self.prune_bound = bound;
         self
     }
+
+    /// A copy with a different candidate-retrieval mode.
+    pub fn with_retrieval(mut self, retrieval: RetrievalMode) -> Self {
+        self.retrieval = retrieval;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -107,14 +152,25 @@ mod tests {
         let c = RecommenderConfig::default();
         assert_eq!(c.omega, 0.7);
         assert_eq!(c.k_subcommunities, 60);
+        assert_eq!(
+            c.retrieval,
+            RetrievalMode::Paper,
+            "index-gated retrieval must stay opt-in: the paper evaluation \
+             figures depend on the full-scan universe"
+        );
         assert!(c.validate().is_ok());
     }
 
     #[test]
     fn builders_apply() {
-        let c = RecommenderConfig::default().with_omega(0.3).with_k(20);
+        let c = RecommenderConfig::default()
+            .with_omega(0.3)
+            .with_k(20)
+            .with_retrieval(RetrievalMode::GatedWiden);
         assert_eq!(c.omega, 0.3);
         assert_eq!(c.k_subcommunities, 20);
+        assert_eq!(c.retrieval, RetrievalMode::GatedWiden);
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -136,6 +192,12 @@ mod tests {
         assert!(c.validate().is_err());
         let c = RecommenderConfig {
             prune_bound: PruneBound::Best { lo: 4.0, hi: -4.0 },
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = RecommenderConfig {
+            retrieval: RetrievalMode::GatedWiden,
+            max_widen_rounds: 0,
             ..Default::default()
         };
         assert!(c.validate().is_err());

@@ -555,11 +555,12 @@ mod tests {
                 strategy.label()
             );
         }
-        // And the pruned path still agrees with the naive reference.
+        // And the pruned path still agrees with the unpruned reference over
+        // the same candidate universe.
         for strategy in [Strategy::Csf, Strategy::CsfSarH] {
             assert_eq!(
                 r.recommend(strategy, &q, 3),
-                r.recommend_naive_excluding(strategy, &q, 3, &[]),
+                r.recommend_unpruned_excluding(strategy, &q, 3, &[]),
             );
         }
     }

@@ -19,6 +19,7 @@
 //! presorted pairs are always shared.
 
 use crate::arena::{ScoringArena, SeriesView};
+use crate::config::RetrievalMode;
 use crate::corpus::QueryVideo;
 use crate::prune::{kappa_exact_cached, PruneBound, PruneStats};
 use crate::recommender::{PreparedQuery, Recommender, Scored};
@@ -265,8 +266,26 @@ impl<'a> ParallelRecommender<'a> {
         workers: usize,
         tracer: Tracer,
     ) -> (Vec<Scored>, QueryTrace) {
+        if self.rec.config().retrieval != RetrievalMode::Paper {
+            // Index-gated retrieval: the candidate set is a small fraction of
+            // the corpus, so within-query sharding is not worth its merge
+            // cost — the whole query runs through the shared gated engine
+            // (with this engine's overlay-resolving views and bound; the
+            // certificate is admissible for any bound choice). Batch-level
+            // whole-query parallelism in `recommend_batch*` still applies.
+            return self.rec.gated_engine(
+                strategy,
+                query,
+                k,
+                &[],
+                &|i| self.video_view(i),
+                self.cfg.bound,
+                tracer,
+            );
+        }
         let total = tracer.start();
         let mut trace = QueryTrace::new(strategy, k);
+        trace.corpus = self.rec.num_videos() as u64;
         if k == 0 {
             return (Vec::new(), trace);
         }
@@ -728,6 +747,39 @@ mod tests {
             for (q, got) in queries.iter().zip(&batch) {
                 let want = rec.recommend(strategy, q, 5);
                 assert_eq!(&want, got, "{} diverged", strategy.label());
+            }
+        }
+    }
+
+    #[test]
+    fn gated_batch_matches_the_naive_full_scan() {
+        let cfg = RecommenderConfig {
+            k_subcommunities: 3,
+            ..Default::default()
+        }
+        .with_retrieval(RetrievalMode::GatedCertified);
+        let rec = Recommender::build(cfg, corpus(24)).unwrap();
+        let queries: Vec<QueryVideo> = (0..3)
+            .map(|i| QueryVideo {
+                series: rec.series_of(VideoId(i)).unwrap().clone(),
+                users: rec.users_of(VideoId(i)).unwrap().to_vec(),
+            })
+            .collect();
+        let par = ParallelRecommender::new(&rec);
+        for strategy in [
+            Strategy::Cr,
+            Strategy::Sr,
+            Strategy::Csf,
+            Strategy::CsfSar,
+            Strategy::CsfSarH,
+        ] {
+            let batch = par.recommend_batch_traced(strategy, &queries, 5, Tracer::OFF);
+            for (q, (got, trace)) in queries.iter().zip(&batch) {
+                let want = rec.recommend_naive_excluding(strategy, q, 5, &[]);
+                assert_eq!(&want, got, "{} diverged", strategy.label());
+                assert_eq!(trace.gate, 2, "{} must certify", strategy.label());
+                assert_eq!(trace.corpus, 24);
+                assert_eq!(trace.shards, 1, "gated queries are not sharded within");
             }
         }
     }

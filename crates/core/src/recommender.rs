@@ -23,11 +23,24 @@
 //! Every query path is pruned: [`Recommender::recommend`] runs the same
 //! ceiling-sorted admissible-bound scan as the batch engine (see
 //! [`crate::prune`] and the corpus-owned caches in [`crate::arena`]), with
-//! results bit-identical to the naive full scan
-//! ([`Recommender::recommend_naive_excluding`], kept as the reference).
+//! results bit-identical to the unpruned reference over the same candidate
+//! universe ([`Recommender::recommend_unpruned_excluding`]).
+//!
+//! # Index-gated retrieval
+//!
+//! Under [`RetrievalMode::Paper`] (the default) the candidate universe is the
+//! paper's evaluation setup: full enumeration for SR/CSF/CSF-SAR, truncated
+//! Fig. 6 indices for CR/CSF-SAR-H. The `Gated*` modes instead make the
+//! *untruncated* inverted-file posting union plus a monotone LSB fan-out the
+//! candidate universe for every strategy, so `scanned << corpus`, and bolt an
+//! exactness certificate on top (see [`Recommender::gated_engine`] and
+//! DESIGN.md §11): after scoring the gathered candidates, an admissible
+//! score-ceiling sweep over the *non*-candidates promotes any video that
+//! could still reach the top-k floor. The certified result is bit-identical
+//! to [`Recommender::recommend_naive_excluding`], the true full-corpus scan.
 
 use crate::arena::{ScoringArena, SeriesView};
-use crate::config::RecommenderConfig;
+use crate::config::{RecommenderConfig, RetrievalMode};
 use crate::corpus::{CorpusVideo, QueryVideo};
 use crate::errors::RecError;
 use crate::prune::{kappa_exact_cached, kappa_upper_bound, PruneBound, PruneStats};
@@ -192,8 +205,19 @@ impl Recommender {
         &self.cfg
     }
 
+    /// Switches the retrieval mode in place. The mode only selects the query
+    /// path (paper enumeration vs index-gated gather) — no index depends on
+    /// it — so flipping it on a built recommender is sound and cheap. The
+    /// scale bench uses this to compare modes without rebuilding a 100k-video
+    /// index per mode.
+    pub fn set_retrieval(&mut self, retrieval: RetrievalMode) {
+        self.cfg.retrieval = retrieval;
+    }
+
     /// Number of indexed videos.
     pub fn num_videos(&self) -> usize {
+        // viderec-lint: allow(corpus-enumeration) — size accessor; no video
+        // is visited.
         self.videos.len()
     }
 
@@ -283,7 +307,9 @@ impl Recommender {
     /// ceiling-sorted scan with a bounded top-k heap, exactly the admissible
     /// pruning the batch engine applies per shard, so a single click pays
     /// `κJ` only for candidates that can still enter the top-k. Results are
-    /// bit-identical to [`Self::recommend_naive_excluding`].
+    /// bit-identical to [`Self::recommend_unpruned_excluding`] (and, in the
+    /// certified gated retrieval modes, to the full-corpus
+    /// [`Self::recommend_naive_excluding`]).
     pub fn recommend_with_stats(
         &self,
         strategy: Strategy,
@@ -309,8 +335,22 @@ impl Recommender {
         exclude: &[VideoId],
         tracer: Tracer,
     ) -> (Vec<Scored>, QueryTrace) {
+        if self.cfg.retrieval != RetrievalMode::Paper {
+            return self.gated_engine(
+                strategy,
+                query,
+                top_k,
+                exclude,
+                &|i| self.arena.view(i),
+                self.arena.bound(),
+                tracer,
+            );
+        }
         let total = tracer.start();
         let mut trace = QueryTrace::new(strategy, top_k);
+        // viderec-lint: allow(corpus-enumeration) — corpus-size trace
+        // metadata; no video is visited.
+        trace.corpus = self.videos.len() as u64;
         if top_k == 0 {
             return (Vec::new(), trace);
         }
@@ -368,22 +408,17 @@ impl Recommender {
         } else {
             // SR: the social score is cheap and exact, so a plain bounded
             // heap scan is already optimal — nothing to prune.
-            let mut sp = tracer.start();
             let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(top_k + 1);
-            for &idx in &candidates {
-                trace.stats.exact_evals += 1;
-                let score = self.score_video(strategy, query, &prep, idx as usize);
-                sp.lap(trace.cell_mut(Stage::Social));
-                push_top_k(
-                    &mut heap,
-                    WorstFirst(Scored {
-                        video: self.videos[idx as usize].id,
-                        score,
-                    }),
-                    top_k,
-                );
-                sp.lap(trace.cell_mut(Stage::TopK));
-            }
+            self.scan_social_into(
+                strategy,
+                query,
+                &prep,
+                &candidates,
+                top_k,
+                &mut heap,
+                tracer,
+                &mut trace,
+            );
             heap.into_iter().map(|e| e.0).collect()
         };
         let sp = tracer.start();
@@ -456,10 +491,33 @@ impl Recommender {
         tracer: Tracer,
         trace: &mut QueryTrace,
     ) -> Vec<Scored> {
+        let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(top_k + 1);
+        self.scan_annotated_into(
+            strategy, qv, view_of, annotated, top_k, &mut heap, tracer, trace,
+        );
+        heap.into_iter().map(|e| e.0).collect()
+    }
+
+    /// The scan of [`Self::scan_annotated_single`] against a caller-owned
+    /// heap, so the gated engine's certificate sweep can promote late
+    /// candidates into the same top-k floor the first pass established (a
+    /// pre-populated heap only *raises* the floor, which keeps the one-step
+    /// tail prune admissible).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn scan_annotated_into<'v>(
+        &self,
+        strategy: Strategy,
+        qv: SeriesView<'_>,
+        view_of: &dyn Fn(usize) -> SeriesView<'v>,
+        annotated: &[(u32, f64, f64)],
+        top_k: usize,
+        heap: &mut BinaryHeap<WorstFirst>,
+        tracer: Tracer,
+        trace: &mut QueryTrace,
+    ) {
         let omega = self.cfg.omega;
         let matching = self.cfg.matching;
         let mut sp = tracer.start();
-        let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(top_k + 1);
         for (pos, &(idx, sj, ceiling)) in annotated.iter().enumerate() {
             if heap.len() == top_k {
                 let floor = heap.peek().expect("heap is full").0.score;
@@ -482,7 +540,7 @@ impl Recommender {
             );
             sp.lap(trace.cell_mut(Stage::Emd));
             push_top_k(
-                &mut heap,
+                heap,
                 WorstFirst(Scored {
                     video: self.videos[i].id,
                     score,
@@ -491,14 +549,49 @@ impl Recommender {
             );
             sp.lap(trace.cell_mut(Stage::TopK));
         }
-        heap.into_iter().map(|e| e.0).collect()
     }
 
-    /// The unpruned reference path — score every candidate, sort fully,
+    /// The ground-truth reference: score **every** corpus video — no index
+    /// truncation, no pruning — sort fully, truncate to `top_k`. This is what
+    /// the certified gated modes must reproduce bit-identically and what the
+    /// approximate mode's recall is measured against.
+    pub fn recommend_naive_excluding(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        top_k: usize,
+        exclude: &[VideoId],
+    ) -> Vec<Scored> {
+        if top_k == 0 {
+            return Vec::new();
+        }
+        let excluded: HashSet<VideoId> = exclude.iter().copied().collect();
+        let prep = self.prepare_query(strategy, query);
+        let mut scored: Vec<Scored> = self
+            // viderec-lint: allow(corpus-enumeration) — the naive reference
+            // is a sanctioned full scan: it defines ground truth for the
+            // gated modes.
+            .all_video_indices()
+            .map(|idx| Scored {
+                video: self.videos[idx as usize].id,
+                score: self.score_video(strategy, query, &prep, idx as usize),
+            })
+            .collect();
+        scored.retain(|s| !excluded.contains(&s.video));
+        sort_ranked(&mut scored);
+        scored.truncate(top_k);
+        scored
+    }
+
+    /// The unpruned reference over the *paper-mode candidate universe* —
+    /// score every candidate [`Self::candidate_indices`] yields, sort fully,
     /// truncate — exactly the pre-arena behaviour of [`Self::recommend`].
     /// Kept public for the equivalence suite and the single-query benchmark;
-    /// the pruned path must return bit-identical results.
-    pub fn recommend_naive_excluding(
+    /// the pruned paper-mode path must return bit-identical results. (For
+    /// SR/CSF/CSF-SAR this coincides with the full scan of
+    /// [`Self::recommend_naive_excluding`]; for CR/CSF-SAR-H it keeps the
+    /// Fig. 6 index truncation.)
+    pub fn recommend_unpruned_excluding(
         &self,
         strategy: Strategy,
         query: &QueryVideo,
@@ -522,6 +615,458 @@ impl Recommender {
         sort_ranked(&mut scored);
         scored.truncate(top_k);
         scored
+    }
+
+    // ---------- index-gated retrieval (Fig. 6 as the real gatekeeper) ----------
+}
+
+/// The `[min, max]` signature-mean range of a series view (`(0.0, 0.0)` for
+/// an empty series, whose `κJ` is 0 against everything anyway).
+fn mean_range(v: SeriesView<'_>) -> (f64, f64) {
+    match (v.mean_order.first(), v.mean_order.last()) {
+        (Some(&lo), Some(&hi)) => (v.means[lo as usize], v.means[hi as usize]),
+        _ => (0.0, 0.0),
+    }
+}
+
+impl Recommender {
+    /// The one sanctioned full-corpus enumeration. Only the naive reference
+    /// and the (bound-only, never-scoring) certificate sweep may call it:
+    /// the `corpus-enumeration` lint rule flags every other use inside the
+    /// recommend paths.
+    pub(crate) fn all_video_indices(&self) -> std::ops::Range<u32> {
+        // viderec-lint: allow(corpus-enumeration) — this *is* the sanctioned
+        // enumeration helper; the rule polices its call sites.
+        0..self.videos.len() as u32
+    }
+
+    /// The index-gated candidate gather: the **untruncated** posting union of
+    /// the query's sub-community histogram (every video sharing a nonzero
+    /// slot — exactly the set whose SAR similarity or shared-assigned-user
+    /// count can be nonzero) plus, per query signature, the monotone LSB
+    /// fan-out. Sorted ascending like [`Self::candidate_indices`].
+    fn gated_candidates(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        gather_vec: &[(u32, u32)],
+        fanout: usize,
+    ) -> Vec<u32> {
+        let mut candidates: HashSet<u32> = HashSet::new();
+        if strategy.uses_social() {
+            for video in self.inverted.posting_union(gather_vec) {
+                if let Some(&idx) = self.by_id.get(&video) {
+                    candidates.insert(idx as u32);
+                }
+            }
+        }
+        if strategy.uses_content() {
+            for sig in query.series.signatures() {
+                let point = self.embedder.embed(&sig.as_pairs());
+                for cand in self.lsb.query_monotone(&point, fanout) {
+                    candidates.insert(cand.payload);
+                }
+            }
+        }
+        let mut sorted: Vec<u32> = candidates.into_iter().collect();
+        sorted.sort_unstable();
+        sorted
+    }
+
+    /// The exactness certificate: sweep every video the gather missed and
+    /// return those whose admissible score ceiling reaches the top-k floor.
+    ///
+    /// The social ceiling of a non-candidate is where the gather earns its
+    /// keep. Any user shared between the query and a video that is *assigned*
+    /// to a live community slot puts the video into the posting union (the
+    /// chained hash, the raw assignment, the descriptor vectors and the
+    /// posting lists are kept mutually consistent by `crate::maintenance`),
+    /// so a non-candidate can share only *unassigned* names:
+    ///
+    /// * SAR strategies: the histograms have disjoint support, so `s̃J` is
+    ///   exactly 0 ([`sar_similarity_sparse`] returns 0.0 for disjoint
+    ///   support — no epsilon needed).
+    /// * SR/CSF: `|inter| ≤ q_unassigned` and `|union| ≥ max(|q|, |v|)`
+    ///   (distinct names), so `sJ ≤ q_unassigned / max(|q|, |v|)`.
+    /// * CR has no social side.
+    ///
+    /// With `κJ ∈ [0, 1]`, a ceiling at `κJ = 1` that is still below the
+    /// floor short-circuits the per-video EMD lower bound, and a video whose
+    /// whole mean range sits further than the `τ` match radius from the
+    /// query's proves `κJ = 0` in O(1) (the centroid bound puts every pair
+    /// below `τ`, so no pair can match) before the per-row sweep runs.
+    ///
+    /// Promotion against a positive floor is non-strict (`ceiling ≥ floor`)
+    /// so ties get evaluated — required for bit-identity with the naive
+    /// scan. A floor of `None` (heap not yet full) or exactly `0.0` promotes
+    /// only ceilings that *clear* zero: a ceiling of exactly `0.0` is a
+    /// certificate that the true score is `0.0` (scores are non-negative and
+    /// the bound is admissible), and the naive scan ranks zero-score videos
+    /// purely by id — a tail [`Self::zero_fill_into`] synthesizes without
+    /// scoring anything.
+    #[allow(clippy::too_many_arguments)]
+    fn certificate_violators<'v>(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        qv: SeriesView<'_>,
+        view_of: &dyn Fn(usize) -> SeriesView<'v>,
+        bound: PruneBound,
+        candidates: &HashSet<u32>,
+        excluded: &HashSet<u32>,
+        floor: Option<f64>,
+    ) -> Vec<u32> {
+        let omega = self.cfg.omega;
+        let matching = self.cfg.matching;
+        // Distinct query names without a live community slot — the only names
+        // a non-candidate's user set can share with the query.
+        let mut names: HashSet<&str> = HashSet::new();
+        let mut q_unassigned = 0usize;
+        for name in &query.users {
+            if names.insert(name.as_str())
+                && !matches!(self.chained.get(name), Some(&c) if c < self.community_slots())
+            {
+                q_unassigned += 1;
+            }
+        }
+        let qn = names.len();
+        // The τ match radius (`SimC ≥ τ ⟺ EMD ≤ 1/τ − 1`) and the query's
+        // signature-mean range, for the O(1) separation test below.
+        let radius = if matching.min_similarity > 0.0 {
+            1.0 / matching.min_similarity - 1.0
+        } else {
+            f64::INFINITY
+        };
+        let (q_lo, q_hi) = mean_range(qv);
+        let kappa_ceiling = |i: usize| -> f64 {
+            let vv = view_of(i);
+            let (v_lo, v_hi) = mean_range(vv);
+            if (v_lo - q_hi).max(q_lo - v_hi) > radius {
+                // Every pair's centroid EMD lower bound exceeds the match
+                // radius, so no pair reaches τ and κJ is exactly 0.
+                0.0
+            } else {
+                kappa_upper_bound(qv, vv, bound, matching)
+            }
+        };
+        let floor = floor.unwrap_or(0.0);
+        let mut out = Vec::new();
+        // viderec-lint: allow(corpus-enumeration) — the certificate sweep is
+        // bound-only: it never scores, and its cost is not counted as scanned.
+        for idx in self.all_video_indices() {
+            if candidates.contains(&idx) || excluded.contains(&idx) {
+                continue;
+            }
+            let i = idx as usize;
+            let s_ub = match strategy {
+                Strategy::Cr | Strategy::CsfSar | Strategy::CsfSarH => 0.0,
+                Strategy::Sr | Strategy::Csf => {
+                    let vn = self.videos[i].descriptor.len();
+                    q_unassigned as f64 / qn.max(vn).max(1) as f64
+                }
+            };
+            if floor > 0.0 {
+                if strategy_score(strategy, omega, 1.0, s_ub) < floor {
+                    continue;
+                }
+                let kappa_ub = if strategy.uses_content() {
+                    kappa_ceiling(i)
+                } else {
+                    0.0
+                };
+                if strategy_score(strategy, omega, kappa_ub, s_ub) >= floor {
+                    out.push(idx);
+                }
+            } else {
+                // Zero (or absent) floor: only ceilings that clear 0 need an
+                // exact evaluation; exact zeros join the synthesized id-order
+                // zero tail instead.
+                let kappa_ub = if strategy.uses_content() {
+                    kappa_ceiling(i)
+                } else {
+                    0.0
+                };
+                if strategy_score(strategy, omega, kappa_ub, s_ub) > 0.0 {
+                    out.push(idx);
+                }
+            }
+        }
+        out
+    }
+
+    /// Completes a gated result with the certified-zero id-order tail the
+    /// naive scan would produce. Every non-excluded video outside the
+    /// evaluated set (gathered candidates plus promoted violators) was left
+    /// unscored *because* its admissible ceiling is exactly 0, so its true
+    /// score is 0 and the naive ranking orders it purely by id — the tail
+    /// needs no scoring, and offering the `top_k` smallest unevaluated ids
+    /// suffices (later ids lose every zero-score tie).
+    fn zero_fill_into(
+        &self,
+        heap: &mut BinaryHeap<WorstFirst>,
+        top_k: usize,
+        evaluated: &HashSet<u32>,
+        violators: &[u32],
+        excluded: &HashSet<u32>,
+    ) {
+        if heap.len() == top_k && heap.peek().is_some_and(|w| w.0.score > 0.0) {
+            return;
+        }
+        let mut offered = 0usize;
+        // viderec-lint: allow(corpus-enumeration) — the zero-fill walks ids
+        // only until `top_k` certified-zero entries are offered; it never
+        // scores a video.
+        for idx in self.all_video_indices() {
+            if offered == top_k {
+                break;
+            }
+            if evaluated.contains(&idx)
+                || excluded.contains(&idx)
+                || violators.binary_search(&idx).is_ok()
+            {
+                continue;
+            }
+            push_top_k(
+                heap,
+                WorstFirst(Scored {
+                    video: self.videos[idx as usize].id,
+                    score: 0.0,
+                }),
+                top_k,
+            );
+            offered += 1;
+        }
+    }
+
+    /// One gated round at the given LSB `fanout`: gather, filter, score,
+    /// then (unless `approx`) run the certificate sweep. Returns the result
+    /// and `true` when the round is conclusive — approximate by fiat, clean
+    /// certificate, or violators promoted (`promote`, the final round).
+    /// `false` means the caller should widen the fan-out and retry; candidate
+    /// sets are monotone in `fanout`, so retries never lose ground.
+    #[allow(clippy::too_many_arguments)]
+    fn gated_round<'v>(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        top_k: usize,
+        excluded: &HashSet<u32>,
+        fanout: usize,
+        promote: bool,
+        approx: bool,
+        view_of: &dyn Fn(usize) -> SeriesView<'v>,
+        bound: PruneBound,
+        tracer: Tracer,
+    ) -> (Vec<Scored>, QueryTrace, bool) {
+        let mut trace = QueryTrace::new(strategy, top_k);
+        // viderec-lint: allow(corpus-enumeration) — corpus-size trace
+        // metadata; no video is visited.
+        trace.corpus = self.videos.len() as u64;
+        trace.shards = 1;
+
+        let sp = tracer.start();
+        let prep = self.prepare_query(strategy, query);
+        // The gather histogram: SAR strategies gather through their own query
+        // vector; SR/CSF score socially via exact string sJ but *gather*
+        // through the hash-mapped histogram, which covers every video sharing
+        // an assigned user with the query (the certificate bounds the rest).
+        let gather_vec: Vec<(u32, u32)> = match strategy {
+            Strategy::Cr => Vec::new(),
+            Strategy::Sr | Strategy::Csf => self.vectorize_by_hash(&query.users),
+            Strategy::CsfSar | Strategy::CsfSarH => prep.qvec.clone(),
+        };
+        // The query-side scoring cache doubles as the certificate's κJ-bound
+        // source, so gated rounds build it for every strategy.
+        let query_cache = ScoringArena::for_series(&query.series, bound);
+        let qv = query_cache.view(0);
+        sp.stop(trace.cell_mut(Stage::Prepare));
+
+        let sp = tracer.start();
+        let mut candidates = self.gated_candidates(strategy, query, &gather_vec, fanout);
+        sp.stop(trace.cell_mut(Stage::Gather));
+        trace.gathered = candidates.len() as u64;
+
+        let sp = tracer.start();
+        if !excluded.is_empty() {
+            candidates.retain(|idx| !excluded.contains(idx));
+        }
+        sp.stop(trace.cell_mut(Stage::Filter));
+        trace.excluded = trace.gathered - candidates.len() as u64;
+        trace.stats.scanned = candidates.len() as u64;
+
+        let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(top_k + 1);
+        if strategy.uses_content() {
+            let annotated = self.annotate_candidates(
+                strategy,
+                query,
+                &prep,
+                qv,
+                view_of,
+                bound,
+                &candidates,
+                tracer,
+                &mut trace,
+            );
+            self.scan_annotated_into(
+                strategy, qv, view_of, &annotated, top_k, &mut heap, tracer, &mut trace,
+            );
+        } else {
+            self.scan_social_into(
+                strategy,
+                query,
+                &prep,
+                &candidates,
+                top_k,
+                &mut heap,
+                tracer,
+                &mut trace,
+            );
+        }
+
+        if approx {
+            trace.gate = 1;
+            return (heap.into_iter().map(|e| e.0).collect(), trace, true);
+        }
+
+        let sp = tracer.start();
+        let floor = if heap.len() == top_k {
+            Some(heap.peek().expect("heap is full").0.score)
+        } else {
+            None
+        };
+        let in_candidates: HashSet<u32> = candidates.iter().copied().collect();
+        let violators = self.certificate_violators(
+            strategy,
+            query,
+            qv,
+            view_of,
+            bound,
+            &in_candidates,
+            excluded,
+            floor,
+        );
+        sp.stop(trace.cell_mut(Stage::Bound));
+
+        if violators.is_empty() {
+            trace.gate = 2;
+            self.zero_fill_into(&mut heap, top_k, &in_candidates, &violators, excluded);
+            return (heap.into_iter().map(|e| e.0).collect(), trace, true);
+        }
+        if !promote {
+            return (Vec::new(), trace, false);
+        }
+        // Final round: promote the violators into the same heap. The floor
+        // the candidate pass established stays in force, so promotion pays
+        // exact κJ only where the ceiling still clears it.
+        trace.promoted = violators.len() as u64;
+        trace.stats.scanned += violators.len() as u64;
+        if strategy.uses_content() {
+            let annotated = self.annotate_candidates(
+                strategy, query, &prep, qv, view_of, bound, &violators, tracer, &mut trace,
+            );
+            self.scan_annotated_into(
+                strategy, qv, view_of, &annotated, top_k, &mut heap, tracer, &mut trace,
+            );
+        } else {
+            self.scan_social_into(
+                strategy, query, &prep, &violators, top_k, &mut heap, tracer, &mut trace,
+            );
+        }
+        trace.gate = 2;
+        self.zero_fill_into(&mut heap, top_k, &in_candidates, &violators, excluded);
+        (heap.into_iter().map(|e| e.0).collect(), trace, true)
+    }
+
+    /// The SR-style plain heap scan (social score only, nothing to prune)
+    /// against a caller-owned heap — the social analogue of
+    /// [`Self::scan_annotated_into`].
+    #[allow(clippy::too_many_arguments)]
+    fn scan_social_into(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        prep: &PreparedQuery,
+        candidates: &[u32],
+        top_k: usize,
+        heap: &mut BinaryHeap<WorstFirst>,
+        tracer: Tracer,
+        trace: &mut QueryTrace,
+    ) {
+        let mut sp = tracer.start();
+        for &idx in candidates {
+            trace.stats.exact_evals += 1;
+            let score = self.score_video(strategy, query, prep, idx as usize);
+            sp.lap(trace.cell_mut(Stage::Social));
+            push_top_k(
+                heap,
+                WorstFirst(Scored {
+                    video: self.videos[idx as usize].id,
+                    score,
+                }),
+                top_k,
+            );
+            sp.lap(trace.cell_mut(Stage::TopK));
+        }
+    }
+
+    /// The index-gated query engine shared by the sequential path and the
+    /// batch engine (which passes its overlay-resolving view): runs
+    /// [`Self::gated_round`]s, doubling the LSB fan-out each retry in
+    /// `GatedWiden` mode, and finishes with the ranked sort. The returned
+    /// trace reflects the conclusive round only (so its counters stay
+    /// self-consistent), with `widen_rounds` recording how many retries it
+    /// took and `gate` whether the result is certified exact.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn gated_engine<'v>(
+        &self,
+        strategy: Strategy,
+        query: &QueryVideo,
+        top_k: usize,
+        exclude: &[VideoId],
+        view_of: &dyn Fn(usize) -> SeriesView<'v>,
+        bound: PruneBound,
+        tracer: Tracer,
+    ) -> (Vec<Scored>, QueryTrace) {
+        let total = tracer.start();
+        if top_k == 0 {
+            let mut trace = QueryTrace::new(strategy, top_k);
+            // viderec-lint: allow(corpus-enumeration) — corpus-size trace
+            // metadata; no video is visited.
+            trace.corpus = self.videos.len() as u64;
+            return (Vec::new(), trace);
+        }
+        let approx = self.cfg.retrieval == RetrievalMode::GatedApprox;
+        let rounds = if self.cfg.retrieval == RetrievalMode::GatedWiden {
+            self.cfg.max_widen_rounds.max(1)
+        } else {
+            1
+        };
+        let excluded: HashSet<u32> = exclude
+            .iter()
+            .filter_map(|id| self.by_id.get(id).map(|&i| i as u32))
+            .collect();
+        let mut outcome = None;
+        for round in 0..rounds {
+            let fanout = self.cfg.candidate_limit.saturating_mul(1 << round.min(20));
+            let promote = round + 1 == rounds;
+            let (top, mut trace, done) = self.gated_round(
+                strategy, query, top_k, &excluded, fanout, promote, approx, view_of, bound, tracer,
+            );
+            if done {
+                trace.widen_rounds = round as u64;
+                outcome = Some((top, trace));
+                break;
+            }
+        }
+        let (mut top, mut trace) =
+            outcome.expect("the final round always promotes and thus concludes");
+        let sp = tracer.start();
+        sort_ranked(&mut top);
+        sp.stop(trace.cell_mut(Stage::TopK));
+        if let Some(ns) = total.elapsed_ns() {
+            trace.total_ns = ns;
+        }
+        (top, trace)
     }
 
     /// Full-scan `(video, κJ, exact sJ)` components for every corpus video —
@@ -591,7 +1136,9 @@ impl Recommender {
     ) -> Vec<u32> {
         match strategy {
             Strategy::Sr | Strategy::Csf | Strategy::CsfSar => {
-                (0..self.videos.len() as u32).collect()
+                // viderec-lint: allow(corpus-enumeration) — the paper-mode
+                // universe for the unindexed strategies is the corpus by design.
+                self.all_video_indices().collect()
             }
             Strategy::Cr | Strategy::CsfSarH => {
                 let mut candidates: HashSet<u32> = HashSet::new();
@@ -888,7 +1435,7 @@ mod tests {
     }
 
     #[test]
-    fn pruned_path_matches_naive_on_the_small_corpus() {
+    fn pruned_path_matches_unpruned_on_the_small_corpus() {
         let (corpus, _) = small_corpus();
         let r = Recommender::build(test_cfg(), corpus.clone()).unwrap();
         for strategy in ALL {
@@ -896,11 +1443,75 @@ mod tests {
                 for (query_idx, source) in corpus.iter().enumerate() {
                     let q = QueryVideo::from_corpus(source);
                     let (pruned, stats) = r.recommend_with_stats(strategy, &q, k, &[]);
-                    let naive = r.recommend_naive_excluding(strategy, &q, k, &[]);
-                    assert_eq!(pruned, naive, "{} k={k} q={query_idx}", strategy.label());
+                    let unpruned = r.recommend_unpruned_excluding(strategy, &q, k, &[]);
+                    assert_eq!(pruned, unpruned, "{} k={k} q={query_idx}", strategy.label());
                     assert_eq!(stats.pruned + stats.exact_evals, stats.scanned);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn certified_gated_modes_match_the_full_scan_on_the_small_corpus() {
+        let (corpus, _) = small_corpus();
+        for mode in [RetrievalMode::GatedCertified, RetrievalMode::GatedWiden] {
+            let cfg = test_cfg().with_retrieval(mode);
+            let r = Recommender::build(cfg, corpus.clone()).unwrap();
+            for strategy in ALL {
+                for k in [1, 2, 4, 10] {
+                    for (query_idx, source) in corpus.iter().enumerate() {
+                        let q = QueryVideo::from_corpus(source);
+                        let (gated, trace) = r.recommend_traced(strategy, &q, k, &[], Tracer::OFF);
+                        let naive = r.recommend_naive_excluding(strategy, &q, k, &[]);
+                        assert_eq!(
+                            gated,
+                            naive,
+                            "{mode:?} {} k={k} q={query_idx}",
+                            strategy.label()
+                        );
+                        assert_eq!(trace.gate, 2, "result must be certified exact");
+                        assert_eq!(trace.corpus, 4);
+                        assert_eq!(
+                            trace.stats.scanned,
+                            trace.gathered - trace.excluded + trace.promoted,
+                            "scanned = surviving candidates + promotions"
+                        );
+                        assert_eq!(
+                            trace.stats.pruned + trace.stats.exact_evals,
+                            trace.stats.scanned
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gated_modes_respect_exclusions() {
+        let (corpus, _) = small_corpus();
+        let cfg = test_cfg().with_retrieval(RetrievalMode::GatedCertified);
+        let r = Recommender::build(cfg, corpus.clone()).unwrap();
+        let q = QueryVideo::from_corpus(&corpus[0]);
+        for strategy in ALL {
+            let exclude = [VideoId(0), VideoId(2)];
+            let got = r.recommend_excluding(strategy, &q, 10, &exclude);
+            let want = r.recommend_naive_excluding(strategy, &q, 10, &exclude);
+            assert_eq!(got, want, "{}", strategy.label());
+            assert!(got.iter().all(|s| !exclude.contains(&s.video)));
+        }
+    }
+
+    #[test]
+    fn approx_mode_never_scans_more_than_it_gathered() {
+        let (corpus, _) = small_corpus();
+        let cfg = test_cfg().with_retrieval(RetrievalMode::GatedApprox);
+        let r = Recommender::build(cfg, corpus.clone()).unwrap();
+        let q = QueryVideo::from_corpus(&corpus[1]);
+        for strategy in ALL {
+            let (_, trace) = r.recommend_traced(strategy, &q, 2, &[], Tracer::OFF);
+            assert_eq!(trace.gate, 1, "{}", strategy.label());
+            assert_eq!(trace.promoted, 0);
+            assert_eq!(trace.stats.scanned, trace.gathered - trace.excluded);
         }
     }
 

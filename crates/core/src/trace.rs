@@ -137,13 +137,26 @@ pub struct QueryTrace {
     /// How many entries of `shard` are populated
     /// (`min(shards, MAX_SHARD_TRACES)`; 0 when the scan was not sharded).
     pub shards_recorded: u64,
+    /// Corpus size at query time — the denominator of the retrieved-vs-corpus
+    /// ratio the gather stage reports (`stats.scanned / corpus`).
+    pub corpus: u64,
+    /// Certificate-sweep promotions: videos the index gather missed whose
+    /// admissible score ceiling reached the top-k floor, so they were scored
+    /// exactly after all (index-gated retrieval only).
+    pub promoted: u64,
+    /// Widen-and-retry rounds the gather ran beyond the first (0 unless the
+    /// mode is `GatedWiden` and the certificate failed to close).
+    pub widen_rounds: u64,
+    /// Retrieval-gate outcome: 0 = no gate (paper-mode full universe),
+    /// 1 = gated approximate, 2 = gated with a certified-exact result.
+    pub gate: u64,
     /// The per-shard breakdown.
     pub shard: [ShardTrace; MAX_SHARD_TRACES],
 }
 
 impl QueryTrace {
     /// Words of the fixed-width ring record.
-    pub const WORDS: usize = 12 + 2 * NUM_STAGES + 3 * MAX_SHARD_TRACES;
+    pub const WORDS: usize = 16 + 2 * NUM_STAGES + 3 * MAX_SHARD_TRACES;
 
     /// A fresh trace for one query.
     pub fn new(strategy: Strategy, k: usize) -> Self {
@@ -159,6 +172,10 @@ impl QueryTrace {
             stages: StageSet::default(),
             shards: 0,
             shards_recorded: 0,
+            corpus: 0,
+            promoted: 0,
+            widen_rounds: 0,
+            gate: 0,
             shard: [ShardTrace::default(); MAX_SHARD_TRACES],
         }
     }
@@ -194,7 +211,11 @@ impl QueryTrace {
         w[9] = self.stats.exact_evals;
         w[10] = self.shards;
         w[11] = self.shards_recorded;
-        let mut at = 12;
+        w[12] = self.corpus;
+        w[13] = self.promoted;
+        w[14] = self.widen_rounds;
+        w[15] = self.gate;
+        let mut at = 16;
         for (_, cell) in self.stages.iter() {
             w[at] = cell.ns;
             w[at + 1] = cell.count;
@@ -226,7 +247,11 @@ impl QueryTrace {
         };
         t.shards = w[10];
         t.shards_recorded = w[11];
-        let mut at = 12;
+        t.corpus = w[12];
+        t.promoted = w[13];
+        t.widen_rounds = w[14];
+        t.gate = w[15];
+        let mut at = 16;
         for i in 0..NUM_STAGES {
             *t.stages.cell_mut(i) = StageCell {
                 ns: w[at],
@@ -298,6 +323,10 @@ mod tests {
         t.cell_mut(Stage::Queue).add(7);
         t.shards = 4;
         t.shards_recorded = 4;
+        t.corpus = 1_000;
+        t.promoted = 5;
+        t.widen_rounds = 2;
+        t.gate = 2;
         t.shard[2] = ShardTrace {
             ns: 55,
             exact_evals: 9,

@@ -12,6 +12,8 @@
 //!   videos (with edited near-duplicates ingested through the toy codec),
 //!   user groups with themed interests, and time-stamped comments over a
 //!   16-month timeline;
+//! * [`stream`] — the streaming constant-memory generator for 100k-video
+//!   scale benchmarks (direct signature synthesis, no pixel pipeline);
 //! * [`ratings`] — the simulated evaluator panel (ratings 1–5, per-evaluator
 //!   bias and noise over the generator's ground-truth relevance);
 //! * [`metrics`] — AR, AC, AP and MAP exactly as Eq. 10–12;
@@ -26,7 +28,9 @@ pub mod experiment;
 pub mod metrics;
 pub mod ratings;
 pub mod report;
+pub mod stream;
 
 pub use community::{Community, CommunityConfig, SimComment, SimVideo};
 pub use metrics::{average_precision, EffMetrics, RatedList};
 pub use ratings::RatingPanel;
+pub use stream::{StreamConfig, StreamingCommunity};

@@ -1,0 +1,380 @@
+//! Streaming, constant-memory community generator for scale benchmarks.
+//!
+//! [`Community::generate`](crate::community::Community::generate) materialises
+//! the whole simulation — every pixel, comment and timeline month — before a
+//! single video can be read, which caps it at a few thousand videos. The scale
+//! bench needs 100k-video / 1M-user corpora, so [`StreamingCommunity`]
+//! generates each [`CorpusVideo`] *directly* — cuboid signatures are
+//! synthesised analytically ([`CuboidSignature::new`]) instead of rendered
+//! through the pixel pipeline, and commenters are drawn arithmetically from
+//! latent user groups — in microseconds per video and O(1) intermediate
+//! state.
+//!
+//! Determinism is hierarchical: every story and every video has its own
+//! `splitmix`-derived RNG, so [`StreamingCommunity::video`] is a pure
+//! function of `(config, index)`. [`StreamingCommunity::materialize`] walks
+//! the corpus story-major, computing each story's parameters once and
+//! sharing them across the story's videos; the determinism test pins it
+//! bit-identical to independent per-video generation, which is what licenses
+//! the constant-memory [`StreamingCommunity::iter`] path at scale.
+//!
+//! The statistical shape mirrors the simulator where retrieval cares:
+//! stories cluster in topic-dependent motion bands (so LSB neighbours are
+//! real content neighbours) and each story's commenters come almost entirely
+//! from a narrow pool inside one latent user group. The pools matter twice:
+//! sub-community postings concentrate (the index-gated gather stays a small
+//! fraction of the corpus), and repeated co-commenting inside a pool gives
+//! intra-story UIG edges weight > 1, so the lightest-edge-first
+//! sub-community extraction recovers story-shaped communities instead of
+//! leaving one giant blob.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use viderec_core::CorpusVideo;
+use viderec_signature::{Cuboid, CuboidSignature, SignatureSeries};
+use viderec_video::VideoId;
+
+/// Configuration of the streaming generator.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Corpus size in videos.
+    pub videos: usize,
+    /// Registered users; partitioned into `groups` equal latent groups
+    /// (leftover users after flooring are reachable only as ambassadors).
+    pub users: usize,
+    /// Topics; each story's motion band derives from its topic.
+    pub topics: usize,
+    /// Videos per story (a story shares signature centers and a home group).
+    pub videos_per_story: usize,
+    /// Latent user groups.
+    pub groups: usize,
+    /// Commenters per video, inclusive bounds.
+    pub commenters: (usize, usize),
+    /// Per-mille chance a commenter is an "ambassador" drawn from the whole
+    /// user range instead of the story's home group.
+    pub ambassador_permille: u32,
+    /// Signatures per video series.
+    pub signatures_per_video: usize,
+    /// Cuboids per signature.
+    pub cuboids_per_signature: usize,
+    /// Random seed; every video is deterministic in `(seed, index)`.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            videos: 1_000,
+            users: 10_000,
+            topics: 5,
+            videos_per_story: 8,
+            groups: 24,
+            commenters: (4, 8),
+            ambassador_permille: 30,
+            signatures_per_video: 3,
+            cuboids_per_signature: 4,
+            seed: 0x05EE_DCA5,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// A config scaled to `videos` videos with users kept proportional.
+    ///
+    /// One user per video keeps the mean comments-per-user around six, so
+    /// co-commenting actually connects videos: sub-communities span story
+    /// clusters instead of collapsing into per-video cliques, the social
+    /// posting lists carry real retrieval signal, and a typical query's
+    /// commenters reach comfortably more than top-k's worth of socially
+    /// related videos. (A 10:1 user ratio leaves most users with a single
+    /// comment, which degenerates every sub-community to one video's
+    /// commenter set.)
+    pub fn at_scale(videos: usize, seed: u64) -> Self {
+        Self {
+            videos,
+            users: videos.max(240),
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.videos > 0, "need at least one video");
+        assert!(self.topics > 0, "need at least one topic");
+        assert!(
+            self.videos_per_story > 0,
+            "need at least one video per story"
+        );
+        assert!(self.groups > 0, "need at least one group");
+        assert!(
+            self.users >= self.groups,
+            "every group needs at least one member"
+        );
+        let (lo, hi) = self.commenters;
+        assert!(
+            lo >= 1 && lo <= hi,
+            "commenter bounds must be 1 <= lo <= hi"
+        );
+        assert!(self.signatures_per_video > 0, "need at least one signature");
+        assert!(self.cuboids_per_signature > 0, "need at least one cuboid");
+    }
+}
+
+/// Parameters shared by every video of one story.
+struct StoryParams {
+    /// First user index of the story's commenter pool (inside the home
+    /// group).
+    pool_base: usize,
+    /// Pool width; commenters are drawn from this window.
+    pool_size: usize,
+    /// Per-signature cuboid value centers (the story's motion band).
+    centers: Vec<Vec<f64>>,
+}
+
+/// The streaming community generator. See the module docs.
+pub struct StreamingCommunity {
+    cfg: StreamConfig,
+}
+
+/// splitmix64-style finaliser: decorrelates hierarchical (seed, tag) pairs
+/// into independent RNG seeds.
+fn mix(seed: u64, tag: u64) -> u64 {
+    let mut z = seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const STORY_TAG: u64 = 0x53_54_4F_52_59; // "STORY"
+const VIDEO_TAG: u64 = 0x56_49_44_45_4F; // "VIDEO"
+
+/// Canonical streamed user name for a user index (fixed width so name
+/// generation never allocates differently across scales).
+pub fn stream_user_name(index: usize) -> String {
+    format!("u{index:07}")
+}
+
+impl StreamingCommunity {
+    /// Wraps a validated configuration.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations (zero counts, inverted bounds).
+    pub fn new(cfg: StreamConfig) -> Self {
+        cfg.validate();
+        Self { cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Corpus size.
+    pub fn num_videos(&self) -> usize {
+        self.cfg.videos
+    }
+
+    /// Members per latent group (floored).
+    fn group_size(&self) -> usize {
+        (self.cfg.users / self.cfg.groups).max(1)
+    }
+
+    fn story_params(&self, story: usize) -> StoryParams {
+        let cfg = &self.cfg;
+        let mut rng = StdRng::seed_from_u64(mix(cfg.seed ^ STORY_TAG, story as u64));
+        let topic = rng.gen_range(0..cfg.topics);
+        let home_group = rng.gen_range(0..cfg.groups);
+        // Topic bands tile [-100, 100]; stories jitter within their band so
+        // same-topic stories are near neighbours without coinciding.
+        let band = -100.0 + 200.0 * (topic as f64 + 0.5) / cfg.topics as f64;
+        let centers = (0..cfg.signatures_per_video)
+            .map(|_| {
+                (0..cfg.cuboids_per_signature)
+                    .map(|_| band + rng.gen_range(-8.0..8.0))
+                    .collect()
+            })
+            .collect();
+        // Story-local commenter pool: a narrow window inside the home group.
+        // Repeated co-commenting within the pool gives intra-story UIG edges
+        // weight > 1 while cross-story and ambassador edges stay at 1, so
+        // sub-community extraction (which cuts the lightest edges first)
+        // recovers story-shaped communities with small posting lists instead
+        // of one giant blob — the structure the retrieval gate relies on.
+        let gs = self.group_size();
+        let pool_size = (4 * cfg.commenters.1).min(gs).max(1);
+        let pool_base = home_group * gs + rng.gen_range(0..(gs - pool_size + 1));
+        StoryParams {
+            pool_base,
+            pool_size,
+            centers,
+        }
+    }
+
+    fn video_in_story(&self, index: usize, story: &StoryParams) -> CorpusVideo {
+        let cfg = &self.cfg;
+        let mut rng = StdRng::seed_from_u64(mix(cfg.seed ^ VIDEO_TAG, index as u64));
+        let signatures: Vec<CuboidSignature> = story
+            .centers
+            .iter()
+            .map(|centers| {
+                let mut values = Vec::with_capacity(centers.len());
+                let mut raw = Vec::with_capacity(centers.len());
+                for &center in centers {
+                    values.push(center + rng.gen_range(-1.5..1.5));
+                    raw.push(rng.gen_range(0.5..1.5));
+                }
+                let total: f64 = raw.iter().sum();
+                CuboidSignature::new(
+                    values
+                        .into_iter()
+                        .zip(raw)
+                        .map(|(value, w)| Cuboid {
+                            value,
+                            weight: w / total,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let commenters = rng.gen_range(cfg.commenters.0..=cfg.commenters.1);
+        let users = (0..commenters)
+            .map(|_| {
+                let cross = rng.gen_range(0..1000u32) < cfg.ambassador_permille;
+                let idx = if cross {
+                    rng.gen_range(0..cfg.users)
+                } else {
+                    story.pool_base + rng.gen_range(0..story.pool_size)
+                };
+                stream_user_name(idx)
+            })
+            .collect();
+        CorpusVideo {
+            id: VideoId(index as u64),
+            series: SignatureSeries::new(signatures),
+            users,
+        }
+    }
+
+    /// One video, generated independently: a pure function of
+    /// `(config, index)` with O(1) working state.
+    pub fn video(&self, index: usize) -> CorpusVideo {
+        assert!(index < self.cfg.videos, "video index out of range");
+        let story = self.story_params(index / self.cfg.videos_per_story);
+        self.video_in_story(index, &story)
+    }
+
+    /// Streams the whole corpus with O(1) intermediate state (each video is
+    /// yielded and can be dropped before the next is built).
+    pub fn iter(&self) -> impl Iterator<Item = CorpusVideo> + '_ {
+        let mut story_index = usize::MAX;
+        let mut story = None;
+        (0..self.cfg.videos).map(move |i| {
+            let s = i / self.cfg.videos_per_story;
+            if s != story_index {
+                story_index = s;
+                story = Some(self.story_params(s));
+            }
+            self.video_in_story(i, story.as_ref().expect("just computed"))
+        })
+    }
+
+    /// The in-memory corpus, story-major with shared story parameters —
+    /// bit-identical to collecting [`Self::video`] over every index (the
+    /// determinism test pins this).
+    pub fn materialize(&self) -> Vec<CorpusVideo> {
+        self.iter().collect()
+    }
+
+    /// `n` evenly spread query video ids (clamped to the corpus size).
+    pub fn query_ids(&self, n: usize) -> Vec<VideoId> {
+        let n = n.clamp(1, self.cfg.videos);
+        (0..n)
+            .map(|j| VideoId((j * self.cfg.videos / n) as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StreamConfig {
+        StreamConfig {
+            videos: 64,
+            users: 480,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn per_video_generation_is_deterministic_and_pure() {
+        let s = StreamingCommunity::new(tiny());
+        let a = s.video(17);
+        let b = s.video(17);
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.users, b.users);
+    }
+
+    #[test]
+    fn materialized_corpus_matches_independent_generation() {
+        let s = StreamingCommunity::new(tiny());
+        let all = s.materialize();
+        assert_eq!(all.len(), 64);
+        for (i, v) in all.iter().enumerate() {
+            let solo = s.video(i);
+            assert_eq!(v.id, solo.id, "video {i}");
+            assert_eq!(v.series, solo.series, "video {i}");
+            assert_eq!(v.users, solo.users, "video {i}");
+        }
+    }
+
+    #[test]
+    fn signatures_are_valid_and_users_cluster_in_the_home_group() {
+        let s = StreamingCommunity::new(tiny());
+        let gs = s.group_size();
+        let mut home_hits = 0usize;
+        let mut total = 0usize;
+        for v in s.iter() {
+            for sig in v.series.signatures() {
+                let mass: f64 = sig.as_pairs().iter().map(|&(_, w)| w).sum();
+                assert!((mass - 1.0).abs() < 1e-9, "weights must stay normalised");
+            }
+            let (lo, hi) = s.config().commenters;
+            assert!(v.users.len() >= lo && v.users.len() <= hi);
+            // Most commenters of a story's videos land in its pool window.
+            let story = s.story_params(v.id.0 as usize / s.config().videos_per_story);
+            assert!(story.pool_size <= gs, "pool must fit inside its group");
+            for name in &v.users {
+                let idx: usize = name[1..].parse().expect("u{index:07}");
+                total += 1;
+                if (story.pool_base..story.pool_base + story.pool_size).contains(&idx) {
+                    home_hits += 1;
+                }
+            }
+        }
+        assert!(
+            home_hits as f64 >= 0.9 * total as f64,
+            "expected >=90% pool commenters, got {home_hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn query_ids_are_spread_and_in_range() {
+        let s = StreamingCommunity::new(tiny());
+        let ids = s.query_ids(8);
+        assert_eq!(ids.len(), 8);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(ids.iter().all(|id| (id.0 as usize) < s.num_videos()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn degenerate_config_is_rejected() {
+        StreamingCommunity::new(StreamConfig {
+            videos: 0,
+            ..Default::default()
+        });
+    }
+}

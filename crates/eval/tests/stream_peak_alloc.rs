@@ -1,0 +1,108 @@
+//! Peak-allocation guard for the streaming generator: walking a
+//! 100k-video / 1M-user corpus through `StreamingCommunity::iter` must keep
+//! intermediate state O(1) — each video is built, consumed and dropped, and
+//! nothing accumulates behind the iterator's back.
+//!
+//! The counting allocator wraps `System` and tracks live bytes plus a
+//! high-water mark. It lives in this dedicated integration-test binary (one
+//! `#[test]`, so no concurrent test pollutes the measurement); test-side
+//! allocator state is outside the ATOMICS.md audit scope, which covers
+//! shipped `crates/*/src` code only.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+impl CountingAlloc {
+    fn add(size: usize) {
+        let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub(size: usize) {
+        CURRENT.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            Self::add(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        Self::sub(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            Self::add(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            Self::sub(layout.size());
+            Self::add(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+use viderec_eval::{StreamConfig, StreamingCommunity};
+
+#[test]
+fn iterating_100k_videos_keeps_intermediate_state_constant() {
+    let cfg = StreamConfig {
+        videos: 100_000,
+        users: 1_000_000,
+        ..Default::default()
+    };
+    let s = StreamingCommunity::new(cfg);
+
+    // Settle a baseline, then reset the high-water mark to it.
+    let baseline = CURRENT.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+
+    // Consume the whole corpus without retaining any video.
+    let mut commenters = 0usize;
+    let mut signatures = 0usize;
+    for v in s.iter() {
+        commenters += v.users.len();
+        signatures += v.series.signatures().len();
+    }
+    assert_eq!(signatures, 100_000 * s.config().signatures_per_video);
+    assert!(commenters >= 100_000 * s.config().commenters.0);
+
+    let peak = PEAK.load(Ordering::Relaxed);
+    let growth = peak.saturating_sub(baseline);
+    // One video's working state is a few KB (a handful of cuboids and user
+    // names plus two RNGs). A megabyte of headroom is ~0.1% of what
+    // materialising 100k videos would need, so any O(n) leak trips this.
+    assert!(
+        growth < 1 << 20,
+        "peak transient allocation grew by {growth} bytes over a 100k-video walk"
+    );
+
+    // And nothing is still live after the walk beyond the baseline noise.
+    let after = CURRENT.load(Ordering::Relaxed);
+    assert!(
+        after.saturating_sub(baseline) < 1 << 16,
+        "leaked {} bytes of per-video state",
+        after.saturating_sub(baseline)
+    );
+}

@@ -144,6 +144,31 @@ impl InvertedIndex {
         heap.into_sorted_vec().into_iter().map(|(_, v)| v).collect()
     }
 
+    /// The *untruncated* union of the posting lists touched by a sparse query
+    /// histogram (sorted `(slot, count)` pairs, zero slots omitted): every
+    /// video sharing at least one non-zero sub-community with the query,
+    /// sorted ascending by id. This is the complete sub-community membership
+    /// the index-gated retrieval path gathers — unlike
+    /// [`Self::candidates_topn`] nothing is ranked away, which is what makes
+    /// the exactness certificate's "no shared sub-community" argument sound
+    /// for every non-candidate.
+    ///
+    /// # Panics
+    /// Panics if any slot is out of range.
+    pub fn posting_union(&self, query: &[(u32, u32)]) -> Vec<VideoId> {
+        let mut union: Vec<VideoId> = Vec::new();
+        for &(slot, count) in query {
+            assert!((slot as usize) < self.k(), "vector dimensionality mismatch");
+            if count == 0 {
+                continue;
+            }
+            union.extend_from_slice(&self.lists[slot as usize]);
+        }
+        union.sort_unstable();
+        union.dedup();
+        union
+    }
+
     /// Moves every posting of `from` into `to` (a community merge) and
     /// clears `from`. Returns the number of postings moved.
     ///
@@ -310,6 +335,26 @@ mod tests {
             let topn = idx.candidates_topn(&sparse, limit);
             assert_eq!(topn, full[..limit.min(full.len())], "limit={limit}");
         }
+    }
+
+    #[test]
+    fn posting_union_is_the_full_membership() {
+        let mut idx = InvertedIndex::new(3);
+        idx.add_video(v(5), &[1, 1, 0]);
+        idx.add_video(v(2), &[1, 0, 0]);
+        idx.add_video(v(9), &[0, 0, 4]);
+        // Query touching slots 0 and 2: everything except nothing — ids
+        // sorted ascending, deduped across lists.
+        assert_eq!(idx.posting_union(&[(0, 2), (2, 1)]), vec![v(2), v(5), v(9)]);
+        // Zero counts and empty queries contribute nothing.
+        assert_eq!(idx.posting_union(&[(1, 0)]), Vec::<VideoId>::new());
+        assert!(idx.posting_union(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn posting_union_rejects_out_of_range_slots() {
+        InvertedIndex::new(2).posting_union(&[(2, 1)]);
     }
 
     #[test]

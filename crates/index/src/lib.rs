@@ -33,6 +33,6 @@ pub use btree::BPlusTree;
 pub use chained::ChainedHashTable;
 pub use hasher::ShiftAddXor;
 pub use inverted::InvertedIndex;
-pub use lsb::{LsbConfig, LsbForest};
+pub use lsb::{LsbCandidate, LsbConfig, LsbForest};
 pub use lsh::CauchyLsh;
 pub use zorder::{common_prefix_len, zorder_encode};

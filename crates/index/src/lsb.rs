@@ -134,11 +134,61 @@ impl<P: Clone + Eq + std::hash::Hash> LsbForest<P> {
     /// around the query Z-value, always stepping the side with the longer
     /// common prefix (the "next longest common prefix" rule of Fig. 6).
     /// Candidates found in several trees keep their best LCP.
+    ///
+    /// The final `limit` truncation happens *after* the cross-tree dedup
+    /// keeps each candidate's best LCP, so the returned *set* is **not**
+    /// monotone in `limit` — a candidate on the truncation boundary can be
+    /// displaced when a wider pull upgrades another candidate's LCP. Paths
+    /// that widen and must never lose a candidate use
+    /// [`Self::query_monotone`] instead.
     pub fn query(&self, point: &[f64], limit: usize) -> Vec<LsbCandidate<P>> {
-        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
         if limit == 0 {
             return Vec::new();
         }
+        let mut out = self.expand(point, |pulled, _lcp| pulled < limit);
+        out.truncate(limit);
+        out
+    }
+
+    /// Like [`Self::query`] but *without* the final truncation: every
+    /// candidate the per-tree `limit`-bounded cursor expansion touched is
+    /// returned (so the result holds at most `trees × limit` candidates, not
+    /// `limit`). Because each tree's pull sequence at `limit + 1` extends its
+    /// pull sequence at `limit`, the returned candidate set is **monotone in
+    /// `limit`**: widening the fan-out never drops a candidate. This is the
+    /// KNN iteration the index-gated retrieval path widens during
+    /// widen-and-retry.
+    pub fn query_monotone(&self, point: &[f64], limit: usize) -> Vec<LsbCandidate<P>> {
+        if limit == 0 {
+            return Vec::new();
+        }
+        self.expand(point, |pulled, _lcp| pulled < limit)
+    }
+
+    /// All candidates whose common Z-prefix with the query is at least
+    /// `min_lcp` bits in at least one tree, best prefix first.
+    ///
+    /// Keys sharing a `≥ min_lcp` prefix with the query form one contiguous
+    /// Z-value range around it, so the bidirectional cursors enumerate the
+    /// radius exactly: each side stops at the first entry whose prefix is
+    /// shorter. Lowering `min_lcp` (a wider LCP radius) can only extend each
+    /// side's pull sequence, so the candidate set is **monotone in the
+    /// radius**: widening never drops a candidate, and `min_lcp == 0` returns
+    /// the whole forest.
+    pub fn query_radius(&self, point: &[f64], min_lcp: u32) -> Vec<LsbCandidate<P>> {
+        self.expand(point, |_pulled, lcp| lcp >= min_lcp)
+    }
+
+    /// Shared bidirectional cursor expansion: per tree, pull the side with
+    /// the longer common prefix while `keep(pulled_so_far, next_lcp)` holds,
+    /// dedup across trees keeping each payload's best LCP, and sort best
+    /// prefix first.
+    fn expand(
+        &self,
+        point: &[f64],
+        mut keep: impl FnMut(usize, u32) -> bool,
+    ) -> Vec<LsbCandidate<P>> {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
         let total_bits = self.total_bits();
         let mut best: std::collections::HashMap<P, u32> = std::collections::HashMap::new();
         for (lsh, tree) in &self.trees {
@@ -146,7 +196,7 @@ impl<P: Clone + Eq + std::hash::Hash> LsbForest<P> {
             let mut fwd = tree.cursor_forward(q);
             let mut bwd = tree.cursor_backward(q);
             let mut pulled = 0usize;
-            while pulled < limit {
+            loop {
                 let flcp = fwd.peek_key().map(|k| common_prefix_len(q, k, total_bits));
                 let blcp = bwd.peek_key().map(|k| common_prefix_len(q, k, total_bits));
                 let take_forward = match (flcp, blcp) {
@@ -155,6 +205,14 @@ impl<P: Clone + Eq + std::hash::Hash> LsbForest<P> {
                     (None, Some(_)) => false,
                     (Some(f), Some(b)) => f >= b,
                 };
+                let next_lcp = if take_forward {
+                    flcp.expect("peeked")
+                } else {
+                    blcp.expect("peeked")
+                };
+                if !keep(pulled, next_lcp) {
+                    break;
+                }
                 let (key, values) = if take_forward {
                     fwd.next().expect("peeked")
                 } else {
@@ -175,7 +233,6 @@ impl<P: Clone + Eq + std::hash::Hash> LsbForest<P> {
             .map(|(payload, lcp)| LsbCandidate { payload, lcp })
             .collect();
         out.sort_by_key(|c| std::cmp::Reverse(c.lcp));
-        out.truncate(limit);
         out
     }
 }
@@ -286,5 +343,69 @@ mod tests {
             ..Default::default()
         };
         let _f: LsbForest<u8> = LsbForest::new(cfg, 2);
+    }
+
+    fn payload_set(candidates: &[LsbCandidate<usize>]) -> std::collections::BTreeSet<usize> {
+        candidates.iter().map(|c| c.payload).collect()
+    }
+
+    #[test]
+    fn monotone_query_is_monotone_in_limit_and_covers_query() {
+        let mut f: LsbForest<usize> = LsbForest::new(cfg(), 4);
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..80 {
+            f.insert(&random_point(&mut rng, 4, 25.0), i);
+        }
+        let q = [0.5, -1.0, 3.0, 0.0];
+        let mut prev = payload_set(&f.query_monotone(&q, 1));
+        for limit in 2..=40 {
+            let cur = payload_set(&f.query_monotone(&q, limit));
+            assert!(
+                prev.is_subset(&cur),
+                "widening the fan-out from {} to {limit} dropped a candidate",
+                limit - 1
+            );
+            // The truncated query draws from the same pulls, so everything it
+            // returns must already be in the untruncated set.
+            let truncated = payload_set(&f.query(&q, limit));
+            assert!(truncated.is_subset(&cur));
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn radius_query_is_monotone_and_exhaustive_at_zero() {
+        let mut f: LsbForest<usize> = LsbForest::new(cfg(), 4);
+        let mut rng = StdRng::seed_from_u64(12);
+        for i in 0..60 {
+            f.insert(&random_point(&mut rng, 4, 25.0), i);
+        }
+        let q = [2.0, 2.0, -2.0, 1.0];
+        let mut prev = payload_set(&f.query_radius(&q, f.total_bits()));
+        for min_lcp in (0..f.total_bits()).rev() {
+            let cur = payload_set(&f.query_radius(&q, min_lcp));
+            assert!(
+                prev.is_subset(&cur),
+                "widening the radius to min_lcp={min_lcp} dropped a candidate"
+            );
+            // Every returned candidate actually meets the radius.
+            for c in f.query_radius(&q, min_lcp) {
+                assert!(c.lcp >= min_lcp);
+            }
+            prev = cur;
+        }
+        assert_eq!(
+            payload_set(&f.query_radius(&q, 0)).len(),
+            60,
+            "radius 0 must enumerate the whole forest"
+        );
+    }
+
+    #[test]
+    fn monotone_and_radius_agree_with_query_on_empty_forest() {
+        let f: LsbForest<u8> = LsbForest::new(cfg(), 3);
+        assert!(f.query_monotone(&[0.0; 3], 8).is_empty());
+        assert!(f.query_monotone(&[0.0; 3], 0).is_empty());
+        assert!(f.query_radius(&[0.0; 3], 0).is_empty());
     }
 }

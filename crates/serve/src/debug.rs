@@ -141,6 +141,7 @@ pub fn trace_json(t: &QueryTrace) -> String {
         "{{\"trace\":\"{:016x}\",\"epoch\":{},\"strategy\":\"{}\",\"k\":{},\
          \"total_micros\":{},\"stage_sum_micros\":{},\"gathered\":{},\"excluded\":{},\
          \"scanned\":{scanned},\"pruned\":{},\"exact_evals\":{},\"prune_rate\":{prune_rate:.4},\
+         \"corpus\":{},\"promoted\":{},\"widen_rounds\":{},\"gate\":{},\
          \"stages\":{{",
         t.id,
         t.epoch,
@@ -152,6 +153,10 @@ pub fn trace_json(t: &QueryTrace) -> String {
         t.excluded,
         t.stats.pruned,
         t.stats.exact_evals,
+        t.corpus,
+        t.promoted,
+        t.widen_rounds,
+        t.gate,
     );
     for (i, stage) in Stage::ALL.into_iter().enumerate() {
         if i > 0 {
@@ -201,6 +206,10 @@ mod tests {
             exact_evals: 19,
         };
         t.cell_mut(Stage::Emd).add(total_ns / 2);
+        t.corpus = 120;
+        t.promoted = 5;
+        t.widen_rounds = 1;
+        t.gate = 2;
         t.shards = 2;
         t.shards_recorded = 2;
         t.shard[0] = ShardTrace {
@@ -266,6 +275,10 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"prune_rate\":0.8081"), "{json}");
+        assert!(
+            json.contains("\"corpus\":120,\"promoted\":5,\"widen_rounds\":1,\"gate\":2"),
+            "{json}"
+        );
         assert!(json.contains("\"shards\":2"), "{json}");
         assert!(
             json.contains("\"shard_breakdown\":[{\"micros\":1,\"exact_evals\":9,\"pruned\":40}"),

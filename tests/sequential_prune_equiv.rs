@@ -1,5 +1,5 @@
-//! Equivalence of the pruned sequential recommender with the naive
-//! reference scan: every strategy, top-k of 1 / 3 / the whole corpus, both
+//! Equivalence of the pruned sequential recommender with the unpruned
+//! reference scan over the same candidate universe: every strategy, top-k of 1 / 3 / the whole corpus, both
 //! arena pruning bounds, with exclusions, and again after Fig. 5 maintenance
 //! churn plus an incremental corpus ingest.
 
@@ -47,18 +47,18 @@ fn queries_for(community: &Community, rec: &Recommender) -> Vec<QueryVideo> {
         .collect()
 }
 
-/// The pruned path must be bit-identical to the naive full scan for every
-/// strategy and k, and its counters must partition the scanned set.
+/// The pruned path must be bit-identical to the unpruned reference for
+/// every strategy and k, and its counters must partition the scanned set.
 fn assert_equivalent(rec: &Recommender, queries: &[QueryVideo], label: &str) -> u64 {
     let mut total_pruned = 0;
     for strategy in STRATEGIES {
         for k in [1, 3, rec.num_videos() + 10] {
             for (qi, q) in queries.iter().enumerate() {
                 let (pruned, stats) = rec.recommend_with_stats(strategy, q, k, &[]);
-                let naive = rec.recommend_naive_excluding(strategy, q, k, &[]);
+                let unpruned = rec.recommend_unpruned_excluding(strategy, q, k, &[]);
                 assert_eq!(
                     pruned,
-                    naive,
+                    unpruned,
                     "{label}: {} diverged at k={k} query={qi}",
                     strategy.label()
                 );
@@ -76,7 +76,7 @@ fn assert_equivalent(rec: &Recommender, queries: &[QueryVideo], label: &str) -> 
 }
 
 #[test]
-fn pruned_scan_matches_naive_for_all_strategies_and_bounds() {
+fn pruned_scan_matches_unpruned_for_all_strategies_and_bounds() {
     for bound in BOUNDS {
         let (community, rec) = build(bound);
         let queries = queries_for(&community, &rec);
@@ -95,7 +95,7 @@ fn pruned_scan_matches_naive_for_all_strategies_and_bounds() {
 }
 
 #[test]
-fn pruned_scan_matches_naive_after_maintenance_churn() {
+fn pruned_scan_matches_unpruned_after_maintenance_churn() {
     for bound in BOUNDS {
         let (community, mut rec) = build(bound);
 
@@ -145,13 +145,13 @@ fn exclusions_never_surface_and_never_occupy_the_floor() {
     let queries = queries_for(&community, &rec);
     let q = &queries[0];
     for strategy in STRATEGIES {
-        // Exclude the naive top result: the pruned path must return exactly
-        // the naive ranking computed without it — an excluded video may not
+        // Exclude the reference top result: the pruned path must return
+        // exactly the reference ranking computed without it — an excluded video may not
         // influence pruning by squatting on the top-k floor.
-        let full = rec.recommend_naive_excluding(strategy, q, 3, &[]);
+        let full = rec.recommend_unpruned_excluding(strategy, q, 3, &[]);
         let exclude: Vec<VideoId> = full.iter().take(2).map(|s| s.video).collect();
         let (got, stats) = rec.recommend_with_stats(strategy, q, 3, &exclude);
-        let want = rec.recommend_naive_excluding(strategy, q, 3, &exclude);
+        let want = rec.recommend_unpruned_excluding(strategy, q, 3, &exclude);
         assert_eq!(got, want, "{} diverged under exclusion", strategy.label());
         assert!(got.iter().all(|s| !exclude.contains(&s.video)));
         // The excluded pair left the candidate set before scoring.
