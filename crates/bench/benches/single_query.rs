@@ -146,6 +146,14 @@ fn report(recommender: &Recommender, queries: &[QueryVideo]) {
             stats.exact_evals,
             100.0 * stats.prune_rate(),
         );
+        println!(
+            "          tiers: anchor-pruned {} | embedding-pruned {} | \
+             cap-aborted sweeps {} | full exact sweeps {}",
+            stats.pruned - stats.pruned_embed,
+            stats.pruned_embed,
+            stats.cap_aborted,
+            stats.full_sweeps,
+        );
         let shares: Vec<String> = Stage::ALL
             .iter()
             .filter(|s| stage_sums_ns[s.index()] > 0)
@@ -208,7 +216,10 @@ fn write_json(recommender: &Recommender, queries: usize, rows: &[Row]) {
             "    {{\n      \"strategy\": \"{}\",\n      \"naive_ms_per_query\": {:.3},\n      \
              \"pruned_ms_per_query\": {:.3},\n      \"speedup\": {:.2},\n      \
              \"scanned\": {},\n      \"pruned\": {},\n      \"exact_evals\": {},\n      \
-             \"prune_rate\": {:.3},\n      \"stage_breakdown\": {{\n        \
+             \"prune_rate\": {:.3},\n      \"tier_breakdown\": {{\n        \
+             \"anchor_pruned\": {},\n        \"embedding_pruned\": {},\n        \
+             \"cap_aborted_sweeps\": {},\n        \"full_exact_sweeps\": {}\n      }},\n      \
+             \"stage_breakdown\": {{\n        \
              \"source\": \"one traced pass per query; shares of the stage sum\",\n        \
              \"emd_time_share\": {:.4},\n        \"stages\": [\n",
             r.strategy.label(),
@@ -219,6 +230,10 @@ fn write_json(recommender: &Recommender, queries: usize, rows: &[Row]) {
             r.stats.pruned,
             r.stats.exact_evals,
             r.stats.prune_rate(),
+            r.stats.pruned - r.stats.pruned_embed,
+            r.stats.pruned_embed,
+            r.stats.cap_aborted,
+            r.stats.full_sweeps,
             r.stage_sums_ns[Stage::Emd.index()] as f64 / stage_total as f64,
         ));
         for (j, stage) in Stage::ALL.iter().enumerate() {
@@ -240,16 +255,35 @@ fn write_json(recommender: &Recommender, queries: usize, rows: &[Row]) {
     json.push_str("  ],\n");
     let headline = &rows[0];
     let speedup = headline.naive_s / headline.pruned_s;
+    let headline_ms = headline.pruned_s * 1e3;
+    let headline_stage_total = headline.stage_sums_ns.iter().sum::<u64>().max(1);
+    let emd_share = headline.stage_sums_ns[Stage::Emd.index()] as f64 / headline_stage_total as f64;
+    // The PR 2 seed of this file measured the pre-SoA, pre-embedding-tier
+    // pruned path at 8.432 ms/query on this fixture; the kernel rework must
+    // at least halve that and push EMD below 40% of the traced stage time.
+    let baseline_pr2_ms = 8.432;
+    let pass = speedup >= 1.3 && headline_ms <= baseline_pr2_ms / 2.0 && emd_share < 0.4;
     json.push_str(&format!(
         "  \"acceptance\": {{\n    \"required_speedup_csf_sar_h_top20\": 1.3,\n    \
-         \"measured_speedup_csf_sar_h_top20\": {speedup:.2},\n    \"pass\": {}\n  }},\n",
-        speedup >= 1.3
+         \"measured_speedup_csf_sar_h_top20\": {speedup:.2},\n    \
+         \"baseline_pr2_pruned_ms_per_query\": {baseline_pr2_ms},\n    \
+         \"required_pruned_ms_per_query_max\": {:.3},\n    \
+         \"measured_pruned_ms_per_query\": {headline_ms:.3},\n    \
+         \"required_emd_time_share_below\": 0.4,\n    \
+         \"measured_emd_time_share\": {emd_share:.4},\n    \"pass\": {pass}\n  }},\n",
+        baseline_pr2_ms / 2.0,
     ));
     json.push_str(
         "  \"notes\": \"Speedup exceeds the raw prune rate because the pruned path also \
          reads the arena's ingest-time caches (presorted EMD pairs, signature means, \
          anchor features) while the naive reference re-derives per-signature state inside \
-         every exact kappa_J evaluation, as the pre-change sequential path did.\"\n}\n",
+         every exact kappa_J evaluation, as the pre-change sequential path did. \
+         The emd_time_share gate predates the gather-dedup fix that shrank the non-EMD \
+         stages to ~1.8 ms/query: the exact sweeps the matcher needs (every pair within \
+         the match radius, ~12.5k per query) run at the merge sweep's serial-dependency \
+         floor (~3-4 ns/step; interleaved multi-lane executors measured 0.2-1.1x scalar, \
+         see DESIGN.md 12), so the remaining EMD time is eligibility work, not kernel \
+         overhead.\"\n}\n",
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),

@@ -29,6 +29,12 @@
 //!   enumeration seed. The sanctioned sites — the naive reference scan, the
 //!   bound-only certificate sweep, the zero-fill tail, corpus-size metadata —
 //!   carry waivers stating why they are allowed.
+//! * **`emd-direct-call`** — the hot paths (`crates/core/src`,
+//!   `crates/serve/src`) must not call the sorting `emd_1d(` entry point:
+//!   scoring goes through the arena's presorted SoA lanes
+//!   (`emd_1d_soa[_capped]` via `kappa_exact_cached`), which skip the
+//!   per-call sort and allocation. `#[cfg(test)]` regions are exempt —
+//!   tests may use `emd_1d` as a reference oracle.
 //!
 //! # Waivers
 //!
@@ -79,12 +85,13 @@ const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 
 /// Rules a `// viderec-lint: allow(...)` comment may waive.
-const WAIVABLE: [&str; 5] = [
+const WAIVABLE: [&str; 6] = [
     "serve-no-panic",
     "wallclock",
     "reader-locks",
     "vendor-drift",
     "corpus-enumeration",
+    "emd-direct-call",
 ];
 
 /// Recommend-path files where full-corpus enumeration is banned outside the
@@ -93,6 +100,10 @@ const ENUMERATION_SCOPE: [&str; 2] = [
     "crates/core/src/recommender.rs",
     "crates/core/src/parallel.rs",
 ];
+
+/// Hot-path trees where the sorting `emd_1d(` entry point is banned in
+/// shipped code (the arena's presorted SoA lanes are the sanctioned route).
+const EMD_HOT_SCOPE: [&str; 2] = ["crates/core/src/", "crates/serve/src/"];
 
 /// `crates/<name>/src/...` → `<name>`.
 fn crate_src(path: &str) -> Option<&str> {
@@ -536,6 +547,31 @@ pub fn lint_workspace(files: &[(String, String)], atomics_md: Option<&str>) -> V
                         message: "`.videos.len()` on a recommend path seeds a full-corpus \
                                   loop; go through the indexes, or waive the site with the \
                                   reason it is sanctioned"
+                            .into(),
+                    });
+                }
+            }
+        }
+
+        // emd-direct-call
+        if EMD_HOT_SCOPE.iter().any(|p| path.starts_with(p)) {
+            let regions = cfg_test_regions(&toks);
+            let in_tests = |line: u32| regions.iter().any(|&(a, b)| a <= line && line <= b);
+            for i in 0..toks.len() {
+                let line = toks[i].line;
+                if ident_at(&toks, i) == Some("emd_1d")
+                    && is_punct(&toks, i + 1, "(")
+                    && !in_tests(line)
+                    && !allow(&waivers, path, "emd-direct-call", line)
+                {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line,
+                        rule: "emd-direct-call",
+                        message: "direct `emd_1d(` call on a hot path; it sorts and \
+                                  allocates per call — score through the arena's presorted \
+                                  SoA lanes (`emd_1d_soa[_capped]` via `kappa_exact_cached`), \
+                                  or waive the site with the reason it is sanctioned"
                             .into(),
                     });
                 }

@@ -301,6 +301,60 @@ fn multi_line_waiver_comment_covers_the_line_after_the_run() {
     assert!(lint_workspace(&fs, None).is_empty());
 }
 
+// --- emd-direct-call ---
+
+#[test]
+fn direct_emd_1d_call_on_a_hot_path_is_a_finding() {
+    let fs = files(&[(
+        "crates/core/src/prune.rs",
+        "fn f(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 { emd_1d(a, b) }\n",
+    )]);
+    let findings = lint_workspace(&fs, None);
+    assert_eq!(rules_of(&findings), vec!["emd-direct-call"]);
+    assert!(findings[0].message.contains("emd_1d_soa"));
+}
+
+#[test]
+fn soa_kernel_calls_are_not_direct_emd_1d_calls() {
+    let fs = files(&[(
+        "crates/serve/src/server.rs",
+        "fn f(av: &[f64], aw: &[f64]) -> f64 { emd_1d_soa(av, aw, av, aw) }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+#[test]
+fn emd_1d_in_a_test_region_is_exempt() {
+    let fs = files(&[(
+        "crates/core/src/prune.rs",
+        "#[cfg(test)]\n\
+         mod tests {\n\
+         \x20   fn oracle(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 { emd_1d(a, b) }\n\
+         }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+#[test]
+fn emd_1d_outside_the_hot_paths_is_out_of_scope() {
+    let fs = files(&[(
+        "crates/eval/src/experiments.rs",
+        "fn f(a: &[(f64, f64)]) -> f64 { emd_1d(a, a) }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+#[test]
+fn waived_emd_1d_call_is_allowed() {
+    let fs = files(&[(
+        "crates/core/src/prune.rs",
+        "// viderec-lint: allow(emd-direct-call) — one-shot diagnostic, not a\n\
+         // scoring loop.\n\
+         fn f(a: &[(f64, f64)]) -> f64 { emd_1d(a, a) }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
 // --- waiver syntax ---
 
 #[test]

@@ -13,9 +13,17 @@
 //! * one flat `feats` buffer of Lipschitz anchor features
 //!   ([`crate::prune::ANCHORS`] per signature) for the arena's configured
 //!   [`PruneBound`];
-//! * one flat `pairs` buffer of value-sorted `(value, weight)` pairs with a
-//!   per-signature `pair_off` table, so the exact EMD sweep
-//!   ([`viderec_emd::emd_1d_presorted`]) never sorts or allocates per pair;
+//! * flat `values`/`weights` lanes (value-ascending, one pair of entries per
+//!   cuboid) with a per-signature `pair_off` table — the SoA layout the
+//!   branchless EMD kernel ([`viderec_emd::emd_1d_soa_capped`]) sweeps with
+//!   no sorting, no allocation, and no `(f64, f64)` interleaving;
+//! * one flat `embeds` buffer of [`EMBED_TIER_DIMS`]-point CDF embeddings
+//!   over the bound's value domain — the tier-2 prefilter
+//!   ([`viderec_emd::cdf_lower_bound_from_embeddings`]) reads these instead
+//!   of touching the signatures at all;
+//! * optional quantized lanes (`qvalues`/`qweights` plus a per-signature
+//!   error bound `qerr`) when the arena is built for
+//!   [`crate::config::EmdKernel::Quantized`];
 //! * a per-video `mean_order` permutation so bound rows can visit signatures
 //!   in centroid-gap order.
 //!
@@ -25,14 +33,36 @@
 //! the two query paths literally share one cache.
 
 use crate::prune::{PruneBound, ANCHORS};
-use viderec_emd::anchor_features;
+use viderec_emd::{anchor_features, anchor_features_from_lanes, quantize_lanes, CdfEmbedder};
 use viderec_signature::SignatureSeries;
+
+/// Dimensionality of the arena's cached tier-2 CDF embeddings. Twice the
+/// LSB embedding grid ([`viderec_emd::CDF_EMBED_DIMS`]): the tier-2 bound
+/// pays its `2·step` total-variation correction against the pruning radius,
+/// so a finer grid than the index needs is what makes the bound bite.
+pub(crate) const EMBED_TIER_DIMS: usize = 2 * viderec_emd::CDF_EMBED_DIMS;
+
+/// The value domain the tier-2 embeddings are sampled over for `bound`:
+/// the anchor domain for [`PruneBound::Best`], the default anchor domain
+/// for [`PruneBound::Centroid`] (which carries no domain of its own).
+fn tier_embedder(bound: PruneBound) -> CdfEmbedder {
+    let (lo, hi) = match bound {
+        PruneBound::Best { lo, hi } => (lo, hi),
+        PruneBound::Centroid => match PruneBound::default() {
+            PruneBound::Best { lo, hi } => (lo, hi),
+            PruneBound::Centroid => (-16.0, 16.0),
+        },
+    };
+    CdfEmbedder::new(lo, hi, EMBED_TIER_DIMS)
+}
 
 /// Structure-of-arrays scoring caches for a whole corpus (or, via
 /// [`ScoringArena::for_series`], a single query series).
 #[derive(Debug, Clone)]
 pub(crate) struct ScoringArena {
     bound: PruneBound,
+    embedder: CdfEmbedder,
+    quantize: bool,
     /// Per-video signature ranges: video `v` owns global signature indices
     /// `sig_off[v]..sig_off[v + 1]`. Length `num_videos + 1`.
     sig_off: Vec<u32>,
@@ -46,31 +76,55 @@ pub(crate) struct ScoringArena {
     /// Anchor features, [`ANCHORS`] per signature, flattened; empty for
     /// [`PruneBound::Centroid`].
     feats: Vec<f64>,
-    /// Per-signature ranges into `pairs`: signature `s` (global index) owns
-    /// `pair_off[s]..pair_off[s + 1]`. Length `total_signatures + 1`.
+    /// Per-signature ranges into the lane buffers: signature `s` (global
+    /// index) owns `pair_off[s]..pair_off[s + 1]`. Length
+    /// `total_signatures + 1`.
     pair_off: Vec<u32>,
-    /// Every signature's `(value, weight)` pairs sorted by value ascending.
-    pairs: Vec<(f64, f64)>,
+    /// Every signature's cuboid values, sorted ascending per signature.
+    values: Vec<f64>,
+    /// The weights matching `values`, in the same (value-sorted) order.
+    weights: Vec<f64>,
+    /// Cached CDF embeddings, [`EMBED_TIER_DIMS`] per signature.
+    embeds: Vec<f64>,
+    /// Quantized value lanes (same offsets as `values`); empty unless
+    /// `quantize`.
+    qvalues: Vec<i32>,
+    /// Quantized weight lanes (same offsets as `weights`); empty unless
+    /// `quantize`.
+    qweights: Vec<u16>,
+    /// Per-signature weight-rounding error `δ`; `f64::INFINITY` marks a
+    /// signature whose values did not fit the integer grid (its quantized
+    /// lanes are zero-filled placeholders and the prefilter skips it).
+    qerr: Vec<f64>,
 }
 
 impl ScoringArena {
-    /// Empty arena for `bound`; extend it with [`Self::push_series`].
-    pub(crate) fn new(bound: PruneBound) -> Self {
+    /// Empty arena for `bound`; extend it with [`Self::push_series`]. With
+    /// `quantize`, every ingested signature also gets u16/i32 quantized
+    /// lanes for the integer EMD prefilter.
+    pub(crate) fn new(bound: PruneBound, quantize: bool) -> Self {
         Self {
             bound,
+            embedder: tier_embedder(bound),
+            quantize,
             sig_off: vec![0],
             means: Vec::new(),
             mean_order: Vec::new(),
             feats: Vec::new(),
             pair_off: vec![0],
-            pairs: Vec::new(),
+            values: Vec::new(),
+            weights: Vec::new(),
+            embeds: Vec::new(),
+            qvalues: Vec::new(),
+            qweights: Vec::new(),
+            qerr: Vec::new(),
         }
     }
 
     /// Single-series arena — the query-side cache of a pruned scan. View it
     /// with `view(0)`.
-    pub(crate) fn for_series(series: &SignatureSeries, bound: PruneBound) -> Self {
-        let mut arena = Self::new(bound);
+    pub(crate) fn for_series(series: &SignatureSeries, bound: PruneBound, quantize: bool) -> Self {
+        let mut arena = Self::new(bound, quantize);
         arena.push_series(series);
         arena
     }
@@ -87,8 +141,31 @@ impl ScoringArena {
                 self.feats.extend(anchor_features(&pairs, lo, hi, ANCHORS));
             }
             pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
-            self.pairs.extend_from_slice(&pairs);
-            self.pair_off.push(self.pairs.len() as u32);
+            let lane_start = self.values.len();
+            for &(v, w) in &pairs {
+                self.values.push(v);
+                self.weights.push(w);
+            }
+            let (values, weights) = (&self.values[lane_start..], &self.weights[lane_start..]);
+            self.embedder
+                .embed_sorted_into(values, weights, &mut self.embeds);
+            if self.quantize {
+                match quantize_lanes(values, weights) {
+                    Some(q) => {
+                        self.qvalues.extend_from_slice(&q.values);
+                        self.qweights.extend_from_slice(&q.weights);
+                        self.qerr.push(q.weight_l1_err);
+                    }
+                    None => {
+                        // Keep the lane offsets aligned; the infinite error
+                        // bound disables the prefilter for this signature.
+                        self.qvalues.extend(std::iter::repeat_n(0, pairs.len()));
+                        self.qweights.extend(std::iter::repeat_n(0, pairs.len()));
+                        self.qerr.push(f64::INFINITY);
+                    }
+                }
+            }
+            self.pair_off.push(self.values.len() as u32);
         }
         let n = self.means.len() - base;
         let means = &self.means;
@@ -109,17 +186,23 @@ impl ScoringArena {
     }
 
     /// Anchor features for a *different* anchor domain than the arena's own,
-    /// recomputed from the stored pairs (`E[|X − c|]` is order-independent,
+    /// recomputed from the stored lanes (`E[|X − c|]` is order-independent,
     /// so the sorted buffers are a valid source). Returned flattened in the
     /// arena's signature layout; view them via [`Self::view_with_feats`].
     /// This is the overlay a [`crate::parallel::ParallelRecommender`] builds
     /// when its configured bound disagrees with the arena's — everything
-    /// else (means, orders, presorted pairs) is still borrowed.
+    /// else (means, orders, presorted lanes) is still borrowed.
     pub(crate) fn anchor_feats_for(&self, lo: f64, hi: f64) -> Vec<f64> {
         let mut feats = Vec::with_capacity(self.means.len() * ANCHORS);
         for s in 0..self.means.len() {
-            let pairs = &self.pairs[self.pair_off[s] as usize..self.pair_off[s + 1] as usize];
-            feats.extend(anchor_features(pairs, lo, hi, ANCHORS));
+            let range = self.pair_off[s] as usize..self.pair_off[s + 1] as usize;
+            feats.extend(anchor_features_from_lanes(
+                &self.values[range.clone()],
+                &self.weights[range],
+                lo,
+                hi,
+                ANCHORS,
+            ));
         }
         feats
     }
@@ -146,9 +229,33 @@ impl ScoringArena {
                 &feats[lo * ANCHORS..hi * ANCHORS]
             },
             pair_off: &self.pair_off[lo..=hi],
-            pairs: &self.pairs,
+            values: &self.values,
+            weights: &self.weights,
+            embeds: &self.embeds[lo * EMBED_TIER_DIMS..hi * EMBED_TIER_DIMS],
+            embed_lo: self.embedder.lo(),
+            embed_step: self.embedder.step(),
+            quant: if self.quantize {
+                Some(QuantLanes {
+                    values: &self.qvalues,
+                    weights: &self.qweights,
+                    err: &self.qerr[lo..hi],
+                })
+            } else {
+                None
+            },
         }
     }
+}
+
+/// The quantized lane buffers a [`SeriesView`] exposes when its arena was
+/// built for the quantized kernel.
+#[derive(Clone, Copy)]
+struct QuantLanes<'a> {
+    values: &'a [i32],
+    weights: &'a [u16],
+    /// Per-signature weight error `δ`, local indexing; `∞` disables the
+    /// prefilter for that signature.
+    err: &'a [f64],
 }
 
 /// One video's (or one query's) slice of a [`ScoringArena`]: everything the
@@ -163,10 +270,19 @@ pub(crate) struct SeriesView<'a> {
     /// Anchor features, [`ANCHORS`] per signature, local indexing; empty when
     /// the view carries no features (centroid-only bounds never read them).
     pub(crate) feats: &'a [f64],
-    /// Global `pairs` offsets of this video's signatures (`len + 1` entries).
+    /// Global lane offsets of this video's signatures (`len + 1` entries).
     pair_off: &'a [u32],
-    /// The arena-wide sorted pair buffer the offsets index into.
-    pairs: &'a [(f64, f64)],
+    /// The arena-wide value lane the offsets index into.
+    values: &'a [f64],
+    /// The arena-wide weight lane the offsets index into.
+    weights: &'a [f64],
+    /// This video's CDF embeddings, [`EMBED_TIER_DIMS`] per signature.
+    embeds: &'a [f64],
+    /// Lower endpoint of the embedding grid (grid identity, with the step).
+    embed_lo: f64,
+    /// Step width of the embedding grid.
+    embed_step: f64,
+    quant: Option<QuantLanes<'a>>,
 }
 
 impl SeriesView<'_> {
@@ -175,9 +291,41 @@ impl SeriesView<'_> {
         self.means.len()
     }
 
-    /// Signature `i`'s `(value, weight)` pairs, sorted by value ascending.
-    pub(crate) fn sorted_pairs(&self, i: usize) -> &[(f64, f64)] {
-        &self.pairs[self.pair_off[i] as usize..self.pair_off[i + 1] as usize]
+    /// Signature `i`'s value/weight lanes, values ascending.
+    pub(crate) fn lanes(&self, i: usize) -> (&[f64], &[f64]) {
+        let range = self.pair_off[i] as usize..self.pair_off[i + 1] as usize;
+        (&self.values[range.clone()], &self.weights[range])
+    }
+
+    /// Signature `i`'s cached CDF embedding.
+    pub(crate) fn embedding(&self, i: usize) -> &[f64] {
+        &self.embeds[i * EMBED_TIER_DIMS..(i + 1) * EMBED_TIER_DIMS]
+    }
+
+    /// Step width of the embedding grid (feeds the bound's `2·step`
+    /// total-variation correction).
+    pub(crate) fn embed_step(&self) -> f64 {
+        self.embed_step
+    }
+
+    /// Whether two views' embeddings live on the same sample grid — only
+    /// then may their coordinates be compared. Views of arenas built for
+    /// different bound domains (e.g. a parallel engine overlay) fail this
+    /// and the caller must skip the embedding tier.
+    pub(crate) fn embed_grid_matches(&self, other: &SeriesView<'_>) -> bool {
+        self.embed_lo == other.embed_lo && self.embed_step == other.embed_step
+    }
+
+    /// Signature `i`'s quantized lanes and weight error, when the arena was
+    /// built for the quantized kernel and this signature fit the grid.
+    pub(crate) fn quant_lanes(&self, i: usize) -> Option<(&[i32], &[u16], f64)> {
+        let q = self.quant?;
+        let err = q.err[i];
+        if !err.is_finite() {
+            return None;
+        }
+        let range = self.pair_off[i] as usize..self.pair_off[i + 1] as usize;
+        Some((&q.values[range.clone()], &q.weights[range], err))
     }
 }
 
@@ -208,7 +356,7 @@ mod tests {
     fn arena_layout_matches_per_video_views() {
         let a = series(&[&[3.0, 1.0], &[10.0]]);
         let b = series(&[&[-2.0, 4.0, 0.0]]);
-        let mut arena = ScoringArena::new(PruneBound::default());
+        let mut arena = ScoringArena::new(PruneBound::default(), false);
         arena.push_series(&a);
         arena.push_series(&b);
         assert_eq!(arena.len(), 2);
@@ -217,27 +365,28 @@ mod tests {
         assert_eq!(va.len(), 2);
         assert!((va.means[0] - 2.0).abs() < 1e-12);
         assert!((va.means[1] - 10.0).abs() < 1e-12);
-        assert_eq!(va.sorted_pairs(0), &[(1.0, 0.5), (3.0, 0.5)]);
+        assert_eq!(va.lanes(0), (&[1.0, 3.0][..], &[0.5, 0.5][..]));
         assert_eq!(va.mean_order, &[0, 1]);
         assert_eq!(va.feats.len(), 2 * ANCHORS);
+        assert_eq!(va.embedding(0).len(), EMBED_TIER_DIMS);
 
         let vb = arena.view(1);
         assert_eq!(vb.len(), 1);
-        assert_eq!(vb.sorted_pairs(0).len(), 3);
-        assert_eq!(vb.sorted_pairs(0)[0].0, -2.0);
+        assert_eq!(vb.lanes(0).0.len(), 3);
+        assert_eq!(vb.lanes(0).0[0], -2.0);
     }
 
     #[test]
     fn centroid_arena_has_no_feats() {
         let a = series(&[&[1.0], &[2.0]]);
-        let arena = ScoringArena::for_series(&a, PruneBound::Centroid);
+        let arena = ScoringArena::for_series(&a, PruneBound::Centroid, false);
         assert!(arena.view(0).feats.is_empty());
     }
 
     #[test]
     fn mean_order_sorts_locally_per_video() {
         let a = series(&[&[5.0], &[1.0], &[3.0]]);
-        let arena = ScoringArena::for_series(&a, PruneBound::Centroid);
+        let arena = ScoringArena::for_series(&a, PruneBound::Centroid, false);
         assert_eq!(arena.view(0).mean_order, &[1, 2, 0]);
     }
 
@@ -245,12 +394,18 @@ mod tests {
     fn push_series_extends_without_disturbing_existing_views() {
         let a = series(&[&[2.0, 6.0]]);
         let b = series(&[&[-1.0]]);
-        let mut arena = ScoringArena::for_series(&a, PruneBound::default());
-        let before_pairs = arena.view(0).sorted_pairs(0).to_vec();
+        let mut arena = ScoringArena::for_series(&a, PruneBound::default(), false);
+        let before: (Vec<f64>, Vec<f64>) = {
+            let view = arena.view(0);
+            let (v, w) = view.lanes(0);
+            (v.to_vec(), w.to_vec())
+        };
         arena.push_series(&b);
         assert_eq!(arena.len(), 2);
-        assert_eq!(arena.view(0).sorted_pairs(0), before_pairs.as_slice());
-        assert_eq!(arena.view(1).sorted_pairs(0), &[(-1.0, 1.0)]);
+        let view = arena.view(0);
+        let (v, w) = view.lanes(0);
+        assert_eq!((v, w), (before.0.as_slice(), before.1.as_slice()));
+        assert_eq!(arena.view(1).lanes(0), (&[-1.0][..], &[1.0][..]));
     }
 
     #[test]
@@ -262,6 +417,7 @@ mod tests {
                 lo: -16.0,
                 hi: 16.0,
             },
+            false,
         );
         let overlay = base.anchor_feats_for(-64.0, 64.0);
         let fresh = ScoringArena::for_series(
@@ -270,9 +426,63 @@ mod tests {
                 lo: -64.0,
                 hi: 64.0,
             },
+            false,
         );
         assert_eq!(overlay, fresh.feats);
         let view = base.view_with_feats(0, &overlay);
         assert_eq!(view.feats, fresh.view(0).feats);
+    }
+
+    #[test]
+    fn cached_embeddings_match_the_embedder_on_raw_signatures() {
+        let a = series(&[&[3.0, -7.0, 1.0], &[12.0]]);
+        let arena = ScoringArena::for_series(&a, PruneBound::default(), false);
+        let embedder = tier_embedder(PruneBound::default());
+        let view = arena.view(0);
+        for (i, sig) in a.signatures().iter().enumerate() {
+            assert_eq!(view.embedding(i), embedder.embed(&sig.as_pairs()));
+        }
+        assert!(view.embed_grid_matches(&arena.view(0)));
+    }
+
+    #[test]
+    fn embedding_grids_of_different_domains_do_not_match() {
+        let a = series(&[&[1.0]]);
+        let base = ScoringArena::for_series(&a, PruneBound::default(), false);
+        let other = ScoringArena::for_series(
+            &a,
+            PruneBound::Best {
+                lo: -110.0,
+                hi: 110.0,
+            },
+            false,
+        );
+        assert!(!base.view(0).embed_grid_matches(&other.view(0)));
+    }
+
+    #[test]
+    fn quantized_arena_exposes_lanes_and_plain_arena_does_not() {
+        let a = series(&[&[3.0, 1.0], &[10.0]]);
+        let plain = ScoringArena::for_series(&a, PruneBound::default(), false);
+        assert!(plain.view(0).quant_lanes(0).is_none());
+
+        let quant = ScoringArena::for_series(&a, PruneBound::default(), true);
+        let view = quant.view(0);
+        let (qv, qw, err) = view.quant_lanes(0).expect("quantized");
+        assert_eq!(qv.len(), 2);
+        let sum: u64 = qw.iter().map(|&w| w as u64).sum();
+        assert_eq!(sum, viderec_emd::QUANT_WEIGHT_SCALE as u64);
+        assert!(err.is_finite() && err >= 0.0);
+        // Quantized values stay in value order.
+        assert!(qv.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn out_of_grid_values_disable_quant_for_that_signature_only() {
+        let a = series(&[&[5000.0], &[1.0, 2.0]]);
+        let arena = ScoringArena::for_series(&a, PruneBound::default(), true);
+        let view = arena.view(0);
+        assert!(view.quant_lanes(0).is_none());
+        assert!(view.quant_lanes(1).is_some());
     }
 }

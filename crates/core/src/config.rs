@@ -34,6 +34,24 @@ pub enum RetrievalMode {
     GatedApprox,
 }
 
+/// Which lanes the exact EMD kernel sweeps inside `κJ` refinement.
+///
+/// Either mode returns bit-identical recommendations: the quantized lanes
+/// are only ever used to *prove* a sweep would exceed the matching radius
+/// (with the rounding error band charged against the proof), never to
+/// decide a borderline pair — those always fall back to the f64 lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmdKernel {
+    /// f64 SoA lanes only (default).
+    #[default]
+    Exact,
+    /// u16/i32 quantized lanes screen each capped sweep before the f64
+    /// lanes run. Costs extra arena memory (6 bytes per cuboid plus one
+    /// error bound per signature); wins when most candidate pairs are far
+    /// outside the matching radius.
+    Quantized,
+}
+
 /// All knobs of the recommendation system.
 #[derive(Debug, Clone)]
 pub struct RecommenderConfig {
@@ -63,6 +81,9 @@ pub struct RecommenderConfig {
     pub prune_bound: PruneBound,
     /// Candidate-retrieval mode for all `recommend*` entry points.
     pub retrieval: RetrievalMode,
+    /// Which lane representation the exact EMD kernel runs on. Results are
+    /// bit-identical in both modes; see [`EmdKernel`].
+    pub kernel: EmdKernel,
     /// Fan-out doubling rounds for [`RetrievalMode::GatedWiden`] before the
     /// remaining certificate violators are promoted outright. Ignored by the
     /// other modes.
@@ -77,11 +98,12 @@ impl Default for RecommenderConfig {
             signature: SignatureConfig::default(),
             matching: MatchingConfig::default(),
             lsb: LsbConfig::default(),
-            embed_dims: 32,
+            embed_dims: viderec_emd::CDF_EMBED_DIMS,
             candidate_limit: 64,
             hash_buckets: 1 << 12,
             prune_bound: PruneBound::default(),
             retrieval: RetrievalMode::Paper,
+            kernel: EmdKernel::Exact,
             max_widen_rounds: 3,
         }
     }
@@ -141,6 +163,12 @@ impl RecommenderConfig {
         self.retrieval = retrieval;
         self
     }
+
+    /// A copy with a different EMD kernel mode.
+    pub fn with_kernel(mut self, kernel: EmdKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +180,12 @@ mod tests {
         let c = RecommenderConfig::default();
         assert_eq!(c.omega, 0.7);
         assert_eq!(c.k_subcommunities, 60);
+        assert_eq!(
+            c.embed_dims,
+            viderec_emd::CDF_EMBED_DIMS,
+            "LSB embedding dims and the CDF-sample bound grid share one constant"
+        );
+        assert_eq!(c.kernel, EmdKernel::Exact, "quantized lanes stay opt-in");
         assert_eq!(
             c.retrieval,
             RetrievalMode::Paper,

@@ -19,9 +19,9 @@
 //! presorted pairs are always shared.
 
 use crate::arena::{ScoringArena, SeriesView};
-use crate::config::RetrievalMode;
+use crate::config::{EmdKernel, RetrievalMode};
 use crate::corpus::QueryVideo;
-use crate::prune::{kappa_exact_cached, PruneBound, PruneStats};
+use crate::prune::{kappa_exact_cached, kappa_upper_bound_embed, PruneBound, PruneStats};
 use crate::recommender::{PreparedQuery, Recommender, Scored};
 use crate::relevance::{strategy_score, Strategy};
 use crate::topk::{push_top_k, WorstFirst};
@@ -301,7 +301,11 @@ impl<'a> ParallelRecommender<'a> {
 
         // The query-side scoring cache is query preparation too.
         let sp = tracer.start();
-        let query_cache = ScoringArena::for_series(&query.series, self.cfg.bound);
+        let query_cache = ScoringArena::for_series(
+            &query.series,
+            self.cfg.bound,
+            self.rec.config().kernel == EmdKernel::Quantized,
+        );
         let qv = query_cache.view(0);
         sp.stop(trace.cell_mut(Stage::Prepare));
 
@@ -328,6 +332,7 @@ impl<'a> ParallelRecommender<'a> {
                     strategy,
                     qv,
                     &|i| self.video_view(i),
+                    self.cfg.bound,
                     &annotated,
                     k,
                     tracer,
@@ -482,7 +487,7 @@ impl<'a> ParallelRecommender<'a> {
             let score = strategy_score(
                 strategy,
                 omega,
-                kappa_exact_cached(qv, self.video_view(idx), matching),
+                kappa_exact_cached(qv, self.video_view(idx), matching, &mut trace.stats),
                 sj,
             );
             sp.lap(trace.cell_mut(Stage::Emd));
@@ -576,7 +581,7 @@ impl<'a> ParallelRecommender<'a> {
             let idx = idx as usize;
             let content = if strategy.uses_content() {
                 stats.exact_evals += 1;
-                let kappa = kappa_exact_cached(qv, self.video_view(idx), matching);
+                let kappa = kappa_exact_cached(qv, self.video_view(idx), matching, &mut stats);
                 sp.lap(stages.cell_mut(Stage::Emd.index()));
                 kappa
             } else {
@@ -647,12 +652,30 @@ impl<'a> ParallelRecommender<'a> {
                 stats.pruned += (shard.len() - pos) as u64;
                 break;
             }
-            stats.exact_evals += 1;
             let idx = idx as usize;
+            if threshold > 0.0 {
+                // Second pruning tier against the same shared floor: the
+                // cached-embedding ceiling is never looser than the anchor
+                // ceiling, but it does not respect the shard's anchor-ceiling
+                // order, so a tier-2 prune drops only this candidate.
+                let ceiling2 = strategy_score(
+                    strategy,
+                    omega,
+                    kappa_upper_bound_embed(qv, self.video_view(idx), self.cfg.bound, matching),
+                    sj,
+                );
+                sp.lap(stages.cell_mut(Stage::Bound.index()));
+                if ceiling2 < threshold {
+                    stats.pruned += 1;
+                    stats.pruned_embed += 1;
+                    continue;
+                }
+            }
+            stats.exact_evals += 1;
             let score = strategy_score(
                 strategy,
                 omega,
-                kappa_exact_cached(qv, self.video_view(idx), matching),
+                kappa_exact_cached(qv, self.video_view(idx), matching, &mut stats),
                 sj,
             );
             sp.lap(stages.cell_mut(Stage::Emd.index()));

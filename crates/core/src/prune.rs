@@ -26,9 +26,12 @@
 //! the result set stays identical to the unpruned scan.
 
 use crate::arena::SeriesView;
+use std::cell::RefCell;
+
 use viderec_emd::{
-    anchor_lower_bound_from_features, emd_1d_presorted, emd_1d_presorted_capped, extended_jaccard,
-    sim_c, sim_c_upper_bound, MatchingConfig,
+    anchor_lower_bound_from_features, cdf_lower_bound_from_embeddings, emd_1d_soa,
+    emd_1d_soa_capped, emd_1d_soa_capped_x8, extended_jaccard, quant_area_exceeds,
+    quant_area_threshold, sim_c, sim_c_upper_bound, MatchingConfig, SweepJob, SWEEP_LANES,
 };
 
 /// Lipschitz anchors cached per signature for [`PruneBound::Best`]: the bound
@@ -54,10 +57,23 @@ pub struct PruneStats {
     /// Candidates considered (shard sizes summed).
     pub scanned: u64,
     /// Candidates skipped because their score ceiling could not beat the
-    /// running k-th score.
+    /// running k-th score. `pruned + exact_evals == scanned` always.
     pub pruned: u64,
+    /// Of `pruned`, how many survived the anchor-tier ceiling and only fell
+    /// to the cached-embedding tier (the per-candidate recheck before the
+    /// exact kernel). The remainder (`pruned - pruned_embed`) fell to the
+    /// anchor tier: the sorted-ceiling tail cut or the per-candidate floor
+    /// test on the anchor ceiling.
+    pub pruned_embed: u64,
     /// Candidates that paid for an exact `κJ` evaluation.
     pub exact_evals: u64,
+    /// Signature-pair sweeps inside exact evaluations that proved
+    /// `EMD > radius` without finishing — aborted by the quantized integer
+    /// prefilter or by the capped f64 sweep itself.
+    pub cap_aborted: u64,
+    /// Signature-pair sweeps inside exact evaluations that ran to
+    /// completion and returned an exact distance.
+    pub full_sweeps: u64,
 }
 
 impl PruneStats {
@@ -65,7 +81,10 @@ impl PruneStats {
     pub fn absorb(&mut self, other: PruneStats) {
         self.scanned += other.scanned;
         self.pruned += other.pruned;
+        self.pruned_embed += other.pruned_embed;
         self.exact_evals += other.exact_evals;
+        self.cap_aborted += other.cap_aborted;
+        self.full_sweeps += other.full_sweeps;
     }
 
     /// Fraction of scanned candidates that were pruned (0 when none scanned).
@@ -110,62 +129,271 @@ impl Default for PruneBound {
     }
 }
 
+/// Reusable buffers of [`kappa_exact_cached`]: the screen pass's survivor
+/// worklist, the eligible `(SimC, i, j)` triples the matcher sorts, and the
+/// matcher's row/column occupancy flags.
+#[derive(Default)]
+struct SweepScratch {
+    pairs: Vec<(u32, u32)>,
+    eligible: Vec<(f64, u32, u32)>,
+    used1: Vec<bool>,
+    used2: Vec<bool>,
+}
+
+thread_local! {
+    /// Scratch reused across [`kappa_exact_cached`] calls on this thread.
+    /// One refinement runs per thread at a time, and the buffers regrow to
+    /// the largest series pair seen, so the hot path allocates nothing after
+    /// warm-up.
+    static SWEEP_SCRATCH: RefCell<SweepScratch> = RefCell::new(SweepScratch::default());
+}
+
 /// Exact `κJ(query, video)` from cached state — the same value (bit for bit)
 /// as [`viderec_signature::kappa_j_series_pruned`] on the underlying series:
-/// identical centroid pre-filter, identical EMD sweep (over pre-sorted pairs,
-/// which [`emd_1d_presorted`] guarantees changes nothing), identical greedy
-/// matching.
+/// identical centroid pre-filter, identical EMD sweep (over the arena's
+/// value-sorted SoA lanes, which [`viderec_emd::emd_1d_soa_capped`] pins
+/// bit-identical to the pair-slice sweep), identical greedy matching.
+///
+/// The evaluation is staged so the sweeps run batched instead of one at a
+/// time from inside the matcher's closure:
+///
+/// 1. **screen pass** — every signature pair goes through the admissible
+///    screens (centroid gap, Lipschitz anchor bound, quantized-area
+///    prefilter when both views carry integer lanes); pairs proven
+///    `EMD > radius` score `SimC = 0` without a sweep, survivors join a
+///    worklist;
+/// 2. **batched sweeps** — the worklist runs through
+///    [`emd_1d_soa_capped_x8`] in [`SWEEP_LANES`]-wide waves (scalar kernel
+///    for the remainder). Each lane's sweep is bit-identical to the scalar
+///    kernel, so batching changes neither values nor the abort/full
+///    classification. Sweeps that finish within the radius append their
+///    `(SimC, i, j)` to the eligible list;
+/// 3. **matching** — the greedy matcher of [`extended_jaccard`] runs
+///    directly over the eligible list instead of re-scanning a dense
+///    matrix. Screened and aborted pairs score `SimC = 0 < τ`, so the
+///    closure-driven form would drop them at its threshold test anyway; the
+///    survivors enter in the same row-major order, so the stable sort, the
+///    matching, and the accumulation order are unchanged bit for bit.
+///
+/// Screens only skip sweeps whose outcome (`sim_c(∞) = 0`) is already
+/// proven, so the returned `κJ` is unchanged in every case.
+///
+/// `stats` collects the per-pair sweep counters (`cap_aborted`,
+/// `full_sweeps`); candidate-level counters are the caller's business.
 pub(crate) fn kappa_exact_cached(
     query: SeriesView<'_>,
     video: SeriesView<'_>,
     cfg: MatchingConfig,
+    stats: &mut PruneStats,
 ) -> f64 {
     let (n1, n2) = (query.len(), video.len());
-    if cfg.min_similarity <= 0.0 {
-        return extended_jaccard(
+    let (mut cap_aborted, mut full_sweeps) = (0u64, 0u64);
+    let kappa = if cfg.min_similarity <= 0.0 {
+        // No eligibility radius → nothing to screen or cap; every pair needs
+        // its exact distance, straight from the uncapped kernel.
+        extended_jaccard(
             n1,
             n2,
             |i, j| {
-                sim_c(emd_1d_presorted(
-                    query.sorted_pairs(i),
-                    video.sorted_pairs(j),
-                ))
+                let (qv, qw) = query.lanes(i);
+                let (vv, vw) = video.lanes(j);
+                full_sweeps += 1;
+                sim_c(emd_1d_soa(qv, qw, vv, vw))
             },
             cfg,
-        );
-    }
-    let radius = 1.0 / cfg.min_similarity - 1.0;
-    extended_jaccard(
-        n1,
-        n2,
-        |i, j| {
-            if (query.means[i] - video.means[j]).abs() > radius {
-                // Centroid lower bound already exceeds the match radius.
-                0.0
-            } else {
-                // A pair is only eligible when EMD ≤ radius, so the sweep may
-                // abort once its running total passes it: `sim_c(∞) = 0`
-                // fails the τ test exactly like the true (> radius) distance
-                // would, and distances within the radius come back exact.
-                sim_c(emd_1d_presorted_capped(
-                    query.sorted_pairs(i),
-                    video.sorted_pairs(j),
-                    radius,
-                ))
+        )
+    } else {
+        let radius = 1.0 / cfg.min_similarity - 1.0;
+        let anchors = !query.feats.is_empty() && !video.feats.is_empty();
+        SWEEP_SCRATCH.with(|scratch| {
+            let SweepScratch {
+                pairs,
+                eligible,
+                used1,
+                used2,
+            } = &mut *scratch.borrow_mut();
+            pairs.clear();
+            eligible.clear();
+            for i in 0..n1 {
+                for j in 0..n2 {
+                    if (query.means[i] - video.means[j]).abs() > radius {
+                        // Centroid lower bound already exceeds the match
+                        // radius; the pair scores `SimC = 0`.
+                        continue;
+                    }
+                    if anchors
+                        && anchor_lower_bound_from_features(
+                            &query.feats[i * ANCHORS..(i + 1) * ANCHORS],
+                            &video.feats[j * ANCHORS..(j + 1) * ANCHORS],
+                        ) > radius
+                    {
+                        // The O(ANCHORS) Lipschitz bound already proves
+                        // EMD > radius: the capped sweep would have burned a
+                        // partial merge only to return ∞.
+                        cap_aborted += 1;
+                        continue;
+                    }
+                    if let (Some((qiv, qiw, err_q)), Some((viv, viw, err_v))) =
+                        (query.quant_lanes(i), video.quant_lanes(j))
+                    {
+                        let (qv, _) = query.lanes(i);
+                        let (vv, _) = video.lanes(j);
+                        // Union support width, for the weight-error term of
+                        // the quantization error band.
+                        let span = qv[qv.len() - 1].max(vv[vv.len() - 1]) - qv[0].min(vv[0]);
+                        let threshold = quant_area_threshold(radius, err_q, err_v, span);
+                        if threshold != u64::MAX
+                            && quant_area_exceeds(qiv, qiw, viv, viw, threshold)
+                        {
+                            // Proven over the radius on the integer lanes;
+                            // the f64 sweep would have returned ∞.
+                            cap_aborted += 1;
+                            continue;
+                        }
+                    }
+                    pairs.push((i as u32, j as u32));
+                }
             }
-        },
-        cfg,
-    )
+            // A pair is only eligible when EMD ≤ radius, so the sweeps may
+            // abort once their running total passes it: `sim_c(∞) = 0` fails
+            // the τ test exactly like the true (> radius) distance would,
+            // and distances within the radius come back exact.
+            let mut record = |i: u32, j: u32, d: f64| {
+                if d.is_finite() {
+                    full_sweeps += 1;
+                    let s = sim_c(d);
+                    // Same threshold test as [`extended_jaccard`]: `d` at
+                    // the radius can round to `SimC` a hair under τ.
+                    if s >= cfg.min_similarity {
+                        eligible.push((s, i, j));
+                    }
+                } else {
+                    cap_aborted += 1;
+                }
+            };
+            for chunk in pairs.chunks(SWEEP_LANES) {
+                if let Ok(chunk8) = <&[(u32, u32); SWEEP_LANES]>::try_from(chunk) {
+                    let jobs: [SweepJob<'_>; SWEEP_LANES] = core::array::from_fn(|l| {
+                        let (i, j) = chunk8[l];
+                        let (av, aw) = query.lanes(i as usize);
+                        let (bv, bw) = video.lanes(j as usize);
+                        SweepJob { av, aw, bv, bw }
+                    });
+                    let ds = emd_1d_soa_capped_x8(&jobs, radius);
+                    for (l, &(i, j)) in chunk8.iter().enumerate() {
+                        record(i, j, ds[l]);
+                    }
+                } else {
+                    for &(i, j) in chunk {
+                        let (qv, qw) = query.lanes(i as usize);
+                        let (vv, vw) = video.lanes(j as usize);
+                        record(i, j, emd_1d_soa_capped(qv, qw, vv, vw, radius));
+                    }
+                }
+            }
+            // The greedy matcher of [`extended_jaccard`], run over the
+            // eligible triples. Its stable best-first sort ties off by
+            // insertion order, which both here and there is row-major —
+            // so an unstable sort with an explicit `(i, j)` tie-break is
+            // the same permutation without the stable sort's scratch
+            // allocation.
+            eligible.sort_unstable_by(|a, b| {
+                b.0.total_cmp(&a.0)
+                    .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+            });
+            used1.clear();
+            used1.resize(n1, false);
+            used2.clear();
+            used2.resize(n2, false);
+            let mut matched = 0usize;
+            let mut total = 0.0;
+            for &(s, i, j) in eligible.iter() {
+                if !used1[i as usize] && !used2[j as usize] {
+                    used1[i as usize] = true;
+                    used2[j as usize] = true;
+                    matched += 1;
+                    total += s;
+                }
+            }
+            total / (n1 + n2 - matched) as f64
+        })
+    };
+    stats.cap_aborted += cap_aborted;
+    stats.full_sweeps += full_sweeps;
+    kappa
 }
 
 /// Admissible upper bound on `κJ(query, video)` from the two series' views,
 /// whose anchor features (when `bound` needs them) must have been computed
-/// over the same anchor domain.
+/// over the same anchor domain. This is the tier-1 (anchor) ceiling the
+/// candidate sort is built from; [`kappa_upper_bound_embed`] tightens it
+/// with the cached-embedding bound for per-candidate rechecks.
 pub(crate) fn kappa_upper_bound(
     query: SeriesView<'_>,
     video: SeriesView<'_>,
     bound: PruneBound,
     cfg: MatchingConfig,
+) -> f64 {
+    kappa_upper_bound_impl(query, video, cfg, |i, j, centroid| {
+        pair_anchor_lb(query, video, bound, i, j, centroid)
+    })
+}
+
+/// Tier-2 ceiling: the anchor-tier per-pair bound of [`kappa_upper_bound`]
+/// maxed with the Riemann lower-sum bound over the arena's cached CDF
+/// embeddings ([`cdf_lower_bound_from_embeddings`]). Each per-pair bound is
+/// a max of admissible EMD lower bounds, so the ceiling stays admissible and
+/// is never looser than tier 1 — it can only prune *more*.
+///
+/// Falls back to the tier-1 bound when the two views' embedding grids
+/// differ (e.g. one side of a parallel-engine overlay with a foreign bound
+/// domain): coordinates from different grids are not comparable.
+pub(crate) fn kappa_upper_bound_embed(
+    query: SeriesView<'_>,
+    video: SeriesView<'_>,
+    bound: PruneBound,
+    cfg: MatchingConfig,
+) -> f64 {
+    if !query.embed_grid_matches(&video) {
+        return kappa_upper_bound(query, video, bound, cfg);
+    }
+    let step = query.embed_step();
+    kappa_upper_bound_impl(query, video, cfg, |i, j, centroid| {
+        pair_anchor_lb(query, video, bound, i, j, centroid).max(cdf_lower_bound_from_embeddings(
+            query.embedding(i),
+            video.embedding(j),
+            step,
+        ))
+    })
+}
+
+/// The tier-1 per-pair EMD lower bound: the centroid gap, maxed with the
+/// Lipschitz anchor bound when `bound` caches features.
+fn pair_anchor_lb(
+    query: SeriesView<'_>,
+    video: SeriesView<'_>,
+    bound: PruneBound,
+    i: usize,
+    j: usize,
+    centroid: f64,
+) -> f64 {
+    match bound {
+        PruneBound::Centroid => centroid,
+        PruneBound::Best { .. } => centroid.max(anchor_lower_bound_from_features(
+            &query.feats[i * ANCHORS..(i + 1) * ANCHORS],
+            &video.feats[j * ANCHORS..(j + 1) * ANCHORS],
+        )),
+    }
+}
+
+/// The shared row scan behind the κJ ceilings: `pair_lb(i, j, centroid_gap)`
+/// must return an admissible EMD lower bound that is ≥ the centroid gap
+/// (that dominance is what lets the centroid-gap-ordered scan break early).
+fn kappa_upper_bound_impl(
+    query: SeriesView<'_>,
+    video: SeriesView<'_>,
+    cfg: MatchingConfig,
+    pair_lb: impl Fn(usize, usize, f64) -> f64,
 ) -> f64 {
     let (n1, n2) = (query.len(), video.len());
     viderec_emd::extended_jaccard_upper_bound(
@@ -206,13 +434,7 @@ pub(crate) fn kappa_upper_bound(
                 if centroid >= min_lb {
                     break;
                 }
-                let lb = match bound {
-                    PruneBound::Centroid => centroid,
-                    PruneBound::Best { .. } => centroid.max(anchor_lower_bound_from_features(
-                        &query.feats[i * ANCHORS..(i + 1) * ANCHORS],
-                        &video.feats[j * ANCHORS..(j + 1) * ANCHORS],
-                    )),
-                };
+                let lb = pair_lb(i, j, centroid);
                 min_lb = min_lb.min(lb);
                 if min_lb <= ROW_GIVE_UP_LB {
                     // Give up on an uninformative row (see [`ROW_GIVE_UP_LB`]);
@@ -275,8 +497,8 @@ mod tests {
                         hi: 45.0,
                     },
                 ] {
-                    let qc = ScoringArena::for_series(&a, bound);
-                    let vc = ScoringArena::for_series(&b, bound);
+                    let qc = ScoringArena::for_series(&a, bound, false);
+                    let vc = ScoringArena::for_series(&b, bound, false);
                     let ub = kappa_upper_bound(qc.view(0), vc.view(0), bound, cfg);
                     assert!(
                         ub >= exact - 1e-12,
@@ -298,17 +520,115 @@ mod tests {
                 let cfg = MatchingConfig {
                     min_similarity: tau,
                 };
-                let qc = ScoringArena::for_series(&a, PruneBound::Centroid);
-                let vc = ScoringArena::for_series(&b, PruneBound::Centroid);
+                let qc = ScoringArena::for_series(&a, PruneBound::Centroid, false);
+                let vc = ScoringArena::for_series(&b, PruneBound::Centroid, false);
                 // Bit-identical, not merely close: same pre-filter, same
                 // sweep, same greedy matcher.
+                let mut stats = PruneStats::default();
                 assert_eq!(
-                    kappa_exact_cached(qc.view(0), vc.view(0), cfg),
+                    kappa_exact_cached(qc.view(0), vc.view(0), cfg, &mut stats),
                     kappa_j_series_pruned(&a, &b, cfg),
                     "τ={tau}"
                 );
             }
         }
+    }
+
+    #[test]
+    fn quantized_exact_kappa_is_bit_identical_to_plain() {
+        let mut rng = StdRng::seed_from_u64(95);
+        for _ in 0..60 {
+            let a = random_series(&mut rng, 6);
+            let b = random_series(&mut rng, 6);
+            for tau in [0.0, 0.3, 0.5, 0.8] {
+                let cfg = MatchingConfig {
+                    min_similarity: tau,
+                };
+                let bound = PruneBound::default();
+                let qp = ScoringArena::for_series(&a, bound, false);
+                let vp = ScoringArena::for_series(&b, bound, false);
+                let qq = ScoringArena::for_series(&a, bound, true);
+                let vq = ScoringArena::for_series(&b, bound, true);
+                let mut sp = PruneStats::default();
+                let mut sq = PruneStats::default();
+                // The prefilter may only skip sweeps the capped f64 kernel
+                // would have aborted anyway — the κJ value must not move by
+                // a single bit.
+                assert_eq!(
+                    kappa_exact_cached(qp.view(0), vp.view(0), cfg, &mut sp),
+                    kappa_exact_cached(qq.view(0), vq.view(0), cfg, &mut sq),
+                    "τ={tau}"
+                );
+                // Sweep accounting covers the same pair set either way.
+                assert_eq!(
+                    sp.cap_aborted + sp.full_sweeps,
+                    sq.cap_aborted + sq.full_sweeps,
+                    "τ={tau}"
+                );
+                // Quantization can only convert full sweeps into aborts,
+                // never the other way around.
+                assert!(sq.full_sweeps <= sp.full_sweeps, "τ={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn embed_tier_ceiling_is_admissible_and_no_looser_than_anchor_tier() {
+        let mut rng = StdRng::seed_from_u64(96);
+        let bound = PruneBound::Best {
+            lo: -45.0,
+            hi: 45.0,
+        };
+        for _ in 0..60 {
+            let a = random_series(&mut rng, 6);
+            let b = random_series(&mut rng, 6);
+            for tau in [0.3, 0.5, 0.8] {
+                let cfg = MatchingConfig {
+                    min_similarity: tau,
+                };
+                let qc = ScoringArena::for_series(&a, bound, false);
+                let vc = ScoringArena::for_series(&b, bound, false);
+                let exact = kappa_j_series(&a, &b, cfg);
+                let tier1 = kappa_upper_bound(qc.view(0), vc.view(0), bound, cfg);
+                let tier2 = kappa_upper_bound_embed(qc.view(0), vc.view(0), bound, cfg);
+                assert!(
+                    tier2 >= exact - 1e-12,
+                    "τ={tau}: tier-2 ceiling {tier2} below exact κJ {exact}"
+                );
+                assert!(
+                    tier2 <= tier1 + 1e-12,
+                    "τ={tau}: tier-2 ceiling {tier2} looser than tier-1 {tier1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embed_tier_falls_back_when_grids_differ() {
+        let mut rng = StdRng::seed_from_u64(97);
+        let a = random_series(&mut rng, 4);
+        let b = random_series(&mut rng, 4);
+        let cfg = MatchingConfig::default();
+        let bound = PruneBound::default();
+        let qc = ScoringArena::for_series(&a, bound, false);
+        // Same anchor feats domain would be required for tier 1, so give the
+        // video arena the same bound but check the cross-grid guard via a
+        // foreign-domain query arena.
+        let foreign = PruneBound::Best {
+            lo: -128.0,
+            hi: 128.0,
+        };
+        let vc = ScoringArena::for_series(&b, foreign, false);
+        let qv = qc.view(0);
+        let vv = vc.view(0);
+        assert!(!qv.embed_grid_matches(&vv));
+        // With mismatched grids the tier-2 ceiling must equal tier 1 (the
+        // embedding term is skipped entirely). Feats domains differ too, but
+        // both calls read the same feats, so the values must coincide.
+        assert_eq!(
+            kappa_upper_bound_embed(qv, vv, bound, cfg),
+            kappa_upper_bound(qv, vv, bound, cfg)
+        );
     }
 
     #[test]
@@ -323,14 +643,14 @@ mod tests {
             let a = random_series(&mut rng, 5);
             let b = random_series(&mut rng, 5);
             let centroid_ub = kappa_upper_bound(
-                ScoringArena::for_series(&a, PruneBound::Centroid).view(0),
-                ScoringArena::for_series(&b, PruneBound::Centroid).view(0),
+                ScoringArena::for_series(&a, PruneBound::Centroid, false).view(0),
+                ScoringArena::for_series(&b, PruneBound::Centroid, false).view(0),
                 PruneBound::Centroid,
                 cfg,
             );
             let best_ub = kappa_upper_bound(
-                ScoringArena::for_series(&a, best).view(0),
-                ScoringArena::for_series(&b, best).view(0),
+                ScoringArena::for_series(&a, best, false).view(0),
+                ScoringArena::for_series(&b, best, false).view(0),
                 best,
                 cfg,
             );
@@ -347,8 +667,8 @@ mod tests {
         let a = random_series(&mut rng, 4);
         let cfg = MatchingConfig::default();
         let bound = PruneBound::default();
-        let qc = ScoringArena::for_series(&a, bound);
-        let vc = ScoringArena::for_series(&a, bound);
+        let qc = ScoringArena::for_series(&a, bound, false);
+        let vc = ScoringArena::for_series(&a, bound, false);
         let ub = kappa_upper_bound(qc.view(0), vc.view(0), bound, cfg);
         assert!(ub >= kappa_j_series(&a, &a, cfg) - 1e-12);
     }
@@ -360,19 +680,26 @@ mod tests {
         s.absorb(PruneStats {
             scanned: 8,
             pruned: 6,
+            pruned_embed: 2,
             exact_evals: 2,
+            cap_aborted: 5,
+            full_sweeps: 3,
         });
         s.absorb(PruneStats {
             scanned: 2,
             pruned: 0,
             exact_evals: 2,
+            ..Default::default()
         });
         assert_eq!(
             s,
             PruneStats {
                 scanned: 10,
                 pruned: 6,
-                exact_evals: 4
+                pruned_embed: 2,
+                exact_evals: 4,
+                cap_aborted: 5,
+                full_sweeps: 3,
             }
         );
         assert!((s.prune_rate() - 0.6).abs() < 1e-12);

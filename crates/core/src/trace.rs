@@ -156,7 +156,7 @@ pub struct QueryTrace {
 
 impl QueryTrace {
     /// Words of the fixed-width ring record.
-    pub const WORDS: usize = 16 + 2 * NUM_STAGES + 3 * MAX_SHARD_TRACES;
+    pub const WORDS: usize = 19 + 2 * NUM_STAGES + 3 * MAX_SHARD_TRACES;
 
     /// A fresh trace for one query.
     pub fn new(strategy: Strategy, k: usize) -> Self {
@@ -215,7 +215,10 @@ impl QueryTrace {
         w[13] = self.promoted;
         w[14] = self.widen_rounds;
         w[15] = self.gate;
-        let mut at = 16;
+        w[16] = self.stats.pruned_embed;
+        w[17] = self.stats.cap_aborted;
+        w[18] = self.stats.full_sweeps;
+        let mut at = 19;
         for (_, cell) in self.stages.iter() {
             w[at] = cell.ns;
             w[at + 1] = cell.count;
@@ -244,6 +247,9 @@ impl QueryTrace {
             scanned: w[7],
             pruned: w[8],
             exact_evals: w[9],
+            pruned_embed: w[16],
+            cap_aborted: w[17],
+            full_sweeps: w[18],
         };
         t.shards = w[10];
         t.shards_recorded = w[11];
@@ -251,7 +257,7 @@ impl QueryTrace {
         t.promoted = w[13];
         t.widen_rounds = w[14];
         t.gate = w[15];
-        let mut at = 16;
+        let mut at = 19;
         for i in 0..NUM_STAGES {
             *t.stages.cell_mut(i) = StageCell {
                 ns: w[at],
@@ -318,6 +324,9 @@ mod tests {
             scanned: 897,
             pruned: 500,
             exact_evals: 397,
+            pruned_embed: 41,
+            cap_aborted: 120,
+            full_sweeps: 980,
         };
         t.cell_mut(Stage::Emd).add(123_456);
         t.cell_mut(Stage::Queue).add(7);

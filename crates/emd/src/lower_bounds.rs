@@ -66,9 +66,35 @@ pub fn cdf_sample_lower_bound(
     (total - 2.0 * step).max(0.0)
 }
 
+/// Sample count of the CDF grid behind [`best_lower_bound`], and the default
+/// dimensionality of the LSB-tree's [`crate::CdfEmbedder`] embedding — the
+/// two are the same discretisation of `∫|F₁ − F₂|`, so they share one
+/// constant instead of two magic 32s.
+pub const CDF_EMBED_DIMS: usize = 32;
+
 /// The best (largest) of the available lower bounds.
+///
+/// Recomputes a [`CDF_EMBED_DIMS`]-sample CDF embedding from the raw
+/// signatures on every call; bound-path callers that hold cached embeddings
+/// should use [`best_lower_bound_from_embeddings`] instead.
 pub fn best_lower_bound(a: &[(f64, f64)], b: &[(f64, f64)], lo: f64, hi: f64) -> f64 {
-    centroid_lower_bound(a, b).max(cdf_sample_lower_bound(a, b, lo, hi, 32))
+    centroid_lower_bound(a, b).max(cdf_sample_lower_bound(a, b, lo, hi, CDF_EMBED_DIMS))
+}
+
+/// [`best_lower_bound`] for callers that already hold the two signatures'
+/// means and cached CDF embeddings (the arena caches both at ingest): the
+/// centroid bound from the means, the CDF-sample bound from the embeddings,
+/// no per-call sorting or sampling.
+pub fn best_lower_bound_from_embeddings(
+    mean_a: f64,
+    mean_b: f64,
+    ea: &[f64],
+    eb: &[f64],
+    step: f64,
+) -> f64 {
+    (mean_a - mean_b)
+        .abs()
+        .max(cdf_lower_bound_from_embeddings(ea, eb, step))
 }
 
 /// [`cdf_sample_lower_bound`] evaluated from two *cached*
@@ -110,14 +136,43 @@ pub fn anchor_features(sig: &[(f64, f64)], lo: f64, hi: f64, k: usize) -> Vec<f6
     assert!(hi >= lo, "empty anchor domain");
     (0..k)
         .map(|i| {
-            let c = if k == 1 {
-                (lo + hi) / 2.0
-            } else {
-                lo + (hi - lo) * i as f64 / (k - 1) as f64
-            };
+            let c = anchor_position(lo, hi, k, i);
             sig.iter().map(|&(v, w)| w * (v - c).abs()).sum()
         })
         .collect()
+}
+
+/// [`anchor_features`] over flat value/weight lanes (the arena's SoA
+/// signature layout). Same anchors, same summation order as iterating the
+/// lanes as pairs.
+pub fn anchor_features_from_lanes(
+    values: &[f64],
+    weights: &[f64],
+    lo: f64,
+    hi: f64,
+    k: usize,
+) -> Vec<f64> {
+    assert!(k >= 1, "need at least one anchor");
+    assert!(hi >= lo, "empty anchor domain");
+    assert_eq!(values.len(), weights.len(), "lane length mismatch");
+    (0..k)
+        .map(|i| {
+            let c = anchor_position(lo, hi, k, i);
+            values
+                .iter()
+                .zip(weights)
+                .map(|(&v, &w)| w * (v - c).abs())
+                .sum()
+        })
+        .collect()
+}
+
+fn anchor_position(lo: f64, hi: f64, k: usize, i: usize) -> f64 {
+    if k == 1 {
+        (lo + hi) / 2.0
+    } else {
+        lo + (hi - lo) * i as f64 / (k - 1) as f64
+    }
 }
 
 /// Lower bound on EMD from two signatures' [`anchor_features`]:
@@ -129,6 +184,7 @@ pub fn anchor_features(sig: &[(f64, f64)], lo: f64, hi: f64, k: usize) -> Vec<f6
 ///
 /// # Panics
 /// Panics if the feature vectors have different lengths.
+#[inline]
 pub fn anchor_lower_bound_from_features(fa: &[f64], fb: &[f64]) -> f64 {
     assert_eq!(fa.len(), fb.len(), "anchor feature dimension mismatch");
     fa.iter()

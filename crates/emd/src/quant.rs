@@ -1,0 +1,274 @@
+//! Quantized signature lanes: a conservative integer prefilter for the
+//! capped EMD sweep.
+//!
+//! The κJ matcher only ever asks the capped sweep one of two questions:
+//! "what is the exact EMD?" (when it is ≤ the radius) or "is it > the
+//! radius?" (in which case the exact value is discarded). The second answer
+//! can often be proven on half-width integer lanes: weights are rounded to
+//! u16 on a `1/65535` grid and values to i32 on a `2⁻²⁰` grid, and the
+//! rounding error of the whole sweep is bounded *per signature* ahead of
+//! time. If the integer sweep's area exceeds the radius by more than the
+//! combined error band, the real EMD provably exceeds the radius and the
+//! f64 sweep is skipped; otherwise the caller falls back to the exact f64
+//! lanes. Because the prefilter only ever *confirms* "over the radius" —
+//! never decides a borderline case — results stay bit-identical to the pure
+//! f64 path.
+//!
+//! Error accounting (see DESIGN.md §12 for the derivation):
+//!
+//! * rounding weights moves each CDF by at most `δ = Σᵢ |wᵢ − qᵢ/65535|`
+//!   pointwise, which perturbs the area integral by at most `δ · span`
+//!   where `span` is the width of the union support;
+//! * rounding values moves every breakpoint by at most `h = 2⁻²¹`, which
+//!   perturbs the EMD by at most `2h` (mass transport is 1-Lipschitz in
+//!   the point positions) and widens the span by at most `2h`.
+
+/// Weight grid: weights are stored as `q/65535`, summing to exactly 65535
+/// per signature via largest-remainder rounding.
+pub const QUANT_WEIGHT_SCALE: u32 = 65_535;
+
+/// Value grid: values are stored as `round(v · 2²⁰)` in an `i32`.
+pub const QUANT_VALUE_SCALE: f64 = 1_048_576.0; // 2^20
+
+/// Signatures with any `|value|` beyond this are not quantized (the i32
+/// value grid would overflow); callers fall back to the f64 lanes.
+pub const QUANT_VALUE_LIMIT: f64 = 1_000.0;
+
+/// A signature's integer lanes plus its precomputed weight-rounding error
+/// `δ = Σ |wᵢ − qᵢ/65535|`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantSignature {
+    /// `round(v · 2²⁰)` per cuboid value, ascending like the f64 lane.
+    pub values: Vec<i32>,
+    /// `q/65535` weight numerators, summing to exactly 65535.
+    pub weights: Vec<u16>,
+    /// The weight-rounding error `δ` charged to the proof's error band.
+    pub weight_l1_err: f64,
+}
+
+/// Quantizes value/weight lanes (values ascending, weights positive and
+/// normalised). Returns `None` when any value is outside
+/// [`QUANT_VALUE_LIMIT`] — the caller must then use the f64 lanes.
+pub fn quantize_lanes(values: &[f64], weights: &[f64]) -> Option<QuantSignature> {
+    assert_eq!(values.len(), weights.len(), "lane length mismatch");
+    if values.iter().any(|v| v.abs() > QUANT_VALUE_LIMIT) {
+        return None;
+    }
+    let qvalues: Vec<i32> = values
+        .iter()
+        .map(|&v| (v * QUANT_VALUE_SCALE).round() as i32)
+        .collect();
+
+    // Largest-remainder rounding: floor everything, then hand the leftover
+    // units to the largest fractional parts so the lane sums to exactly
+    // QUANT_WEIGHT_SCALE.
+    let scale = QUANT_WEIGHT_SCALE as f64;
+    let mut qweights: Vec<u16> = Vec::with_capacity(weights.len());
+    let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+    let mut floor_sum: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let ideal = w * scale;
+        let base = ideal.floor();
+        floor_sum += base as u64;
+        qweights.push(base as u16);
+        fracs.push((ideal - base, i));
+    }
+    let remainder = (QUANT_WEIGHT_SCALE as u64).saturating_sub(floor_sum) as usize;
+    fracs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in fracs.iter().take(remainder) {
+        qweights[i] += 1;
+    }
+
+    let weight_l1_err: f64 = weights
+        .iter()
+        .zip(&qweights)
+        .map(|(&w, &q)| (w - q as f64 / scale).abs())
+        .sum();
+    Some(QuantSignature {
+        values: qvalues,
+        weights: qweights,
+        // A hair of upward slack so f64 rounding in the sum itself can
+        // never understate the error band.
+        weight_l1_err: weight_l1_err * (1.0 + 1e-12) + 1e-12,
+    })
+}
+
+/// The integer-area threshold above which the quantized sweep *proves*
+/// `EMD > cap`. `err_a`/`err_b` are the signatures' `weight_l1_err` values
+/// and `span` the width of the union support (from the f64 lanes).
+///
+/// Returns `u64::MAX` (the prefilter never fires) when the scaled threshold
+/// cannot be represented safely.
+pub fn quant_area_threshold(cap: f64, err_a: f64, err_b: f64, span: f64) -> u64 {
+    let h = 0.5 / QUANT_VALUE_SCALE;
+    let err = (err_a + err_b) * (span + 2.0 * h) + 2.0 * h;
+    let scaled = (cap + err) * (QUANT_WEIGHT_SCALE as f64 * QUANT_VALUE_SCALE);
+    if !scaled.is_finite() || scaled >= 9.0e18 {
+        return u64::MAX;
+    }
+    // The product above runs past 2^53 for large caps, so its f64 rounding
+    // error can reach a few ulps; 64 area units (~1e-9 in EMD units) of
+    // extra slack keeps the threshold conservative.
+    scaled.ceil() as u64 + 64
+}
+
+/// Runs the integer merge sweep and reports whether the accumulated area
+/// exceeds `threshold` — i.e. whether the exact EMD provably exceeds the
+/// cap the threshold was derived from. Mirrors the f64 SoA kernel's shape:
+/// branchless merge, threshold checked once per block.
+pub fn quant_area_exceeds(av: &[i32], aw: &[u16], bv: &[i32], bw: &[u16], threshold: u64) -> bool {
+    debug_assert_eq!(av.len(), aw.len(), "first lane length mismatch");
+    debug_assert_eq!(bv.len(), bw.len(), "second lane length mismatch");
+    let (n, m) = (av.len(), bv.len());
+    if n == 0 || m == 0 {
+        return false;
+    }
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut cdf_a: u64 = 0;
+    let mut cdf_b: u64 = 0;
+    let mut area: u64 = 0;
+    let mut prev_t = av[0].min(bv[0]);
+
+    macro_rules! merge_step {
+        () => {{
+            let ta = av[ia];
+            let tb = bv[ib];
+            let take_a = ta <= tb;
+            let t = if take_a { ta } else { tb };
+            area += cdf_a.abs_diff(cdf_b) * (t as i64 - prev_t as i64) as u64;
+            prev_t = t;
+            cdf_a += if take_a { aw[ia] as u64 } else { 0 };
+            cdf_b += if take_a { 0 } else { bw[ib] as u64 };
+            ia += take_a as usize;
+            ib += !take_a as usize;
+        }};
+    }
+
+    const BLOCK: usize = 8;
+    while n - ia >= BLOCK && m - ib >= BLOCK {
+        for _ in 0..BLOCK {
+            merge_step!();
+        }
+        if area > threshold {
+            return true;
+        }
+    }
+    while ia < n && ib < m {
+        merge_step!();
+    }
+    while ia < n {
+        area += cdf_a.abs_diff(cdf_b) * (av[ia] as i64 - prev_t as i64) as u64;
+        prev_t = av[ia];
+        cdf_a += aw[ia] as u64;
+        ia += 1;
+    }
+    while ib < m {
+        area += cdf_a.abs_diff(cdf_b) * (bv[ib] as i64 - prev_t as i64) as u64;
+        prev_t = bv[ib];
+        cdf_b += bw[ib] as u64;
+        ib += 1;
+    }
+    area > threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emd1d::emd_1d_presorted;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sorted_signature(rng: &mut StdRng, max_len: usize) -> (Vec<f64>, Vec<f64>) {
+        let n = rng.gen_range(1..=max_len);
+        let mut ws: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let t: f64 = ws.iter().sum();
+        ws.iter_mut().for_each(|w| *w /= t);
+        let mut pairs: Vec<(f64, f64)> = ws
+            .into_iter()
+            .map(|w| (rng.gen_range(-100.0f64..100.0), w))
+            .collect();
+        pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
+        pairs.into_iter().unzip()
+    }
+
+    #[test]
+    fn quantized_weights_sum_to_the_full_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let (vs, ws) = random_sorted_signature(&mut rng, 32);
+            let q = quantize_lanes(&vs, &ws).expect("in range");
+            let sum: u64 = q.weights.iter().map(|&w| w as u64).sum();
+            assert_eq!(sum, QUANT_WEIGHT_SCALE as u64);
+            // δ is at most one grid cell per point.
+            assert!(q.weight_l1_err <= vs.len() as f64 / QUANT_WEIGHT_SCALE as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        assert!(quantize_lanes(&[2.0e3], &[1.0]).is_none());
+        assert!(quantize_lanes(&[0.0], &[1.0]).is_some());
+    }
+
+    #[test]
+    fn prefilter_is_sound_against_the_exact_sweep() {
+        // Whenever the integer sweep claims EMD > cap, the exact f64 sweep
+        // must agree — across random signatures and caps straddling the
+        // typical radius range.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut fired = 0u32;
+        for _ in 0..2000 {
+            let (av, aw) = random_sorted_signature(&mut rng, 24);
+            let (bv, bw) = random_sorted_signature(&mut rng, 24);
+            let qa = quantize_lanes(&av, &aw).unwrap();
+            let qb = quantize_lanes(&bv, &bw).unwrap();
+            let pairs =
+                |vs: &[f64], ws: &[f64]| vs.iter().copied().zip(ws.iter().copied()).collect();
+            let a: Vec<(f64, f64)> = pairs(&av, &aw);
+            let b: Vec<(f64, f64)> = pairs(&bv, &bw);
+            let exact = emd_1d_presorted(&a, &b);
+            let cap = rng.gen_range(0.0..60.0);
+            let span = av.last().unwrap().max(*bv.last().unwrap())
+                - av.first().unwrap().min(*bv.first().unwrap());
+            let threshold = quant_area_threshold(cap, qa.weight_l1_err, qb.weight_l1_err, span);
+            if quant_area_exceeds(&qa.values, &qa.weights, &qb.values, &qb.weights, threshold) {
+                fired += 1;
+                assert!(
+                    exact > cap,
+                    "prefilter fired but exact {exact} <= cap {cap}"
+                );
+            }
+        }
+        // The prefilter must actually fire on a healthy share of over-cap
+        // pairs, or it is vacuously sound.
+        assert!(fired > 200, "prefilter fired only {fired} times");
+    }
+
+    #[test]
+    fn far_apart_point_masses_are_caught() {
+        let qa = quantize_lanes(&[0.0], &[1.0]).unwrap();
+        let qb = quantize_lanes(&[50.0], &[1.0]).unwrap();
+        let threshold = quant_area_threshold(1.0, qa.weight_l1_err, qb.weight_l1_err, 50.0);
+        assert!(quant_area_exceeds(
+            &qa.values,
+            &qa.weights,
+            &qb.values,
+            &qb.weights,
+            threshold
+        ));
+    }
+
+    #[test]
+    fn unrepresentable_threshold_disables_the_prefilter() {
+        assert_eq!(quant_area_threshold(f64::INFINITY, 0.0, 0.0, 1.0), u64::MAX);
+        let qa = quantize_lanes(&[0.0], &[1.0]).unwrap();
+        let qb = quantize_lanes(&[900.0], &[1.0]).unwrap();
+        assert!(!quant_area_exceeds(
+            &qa.values,
+            &qa.weights,
+            &qb.values,
+            &qb.weights,
+            u64::MAX
+        ));
+    }
+}

@@ -115,6 +115,13 @@ impl<P: Clone + Eq + std::hash::Hash> LsbForest<P> {
     }
 
     /// Indexes `point` under `payload` in every tree.
+    ///
+    /// A `(key, payload)` pair already present in a tree is not re-inserted:
+    /// queries dedup payloads anyway (keeping the best LCP, and within one
+    /// Z-value the LCP is identical), so a duplicate only bloats the bag.
+    /// Without this, a payload indexed under many near-identical points — a
+    /// video contributing dozens of similar signatures — piles thousands of
+    /// copies into one hot Z-cell, and every query pays to re-dedup them.
     pub fn insert(&mut self, point: &[f64], payload: P) {
         assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
         let keys: Vec<u128> = self
@@ -123,6 +130,9 @@ impl<P: Clone + Eq + std::hash::Hash> LsbForest<P> {
             .map(|(lsh, _)| self.zvalue(lsh, point))
             .collect();
         for ((_, tree), key) in self.trees.iter_mut().zip(keys) {
+            if tree.get(key).is_some_and(|vs| vs.contains(&payload)) {
+                continue;
+            }
             tree.insert(key, payload.clone());
         }
         self.len += 1;

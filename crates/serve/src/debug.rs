@@ -141,6 +141,7 @@ pub fn trace_json(t: &QueryTrace) -> String {
         "{{\"trace\":\"{:016x}\",\"epoch\":{},\"strategy\":\"{}\",\"k\":{},\
          \"total_micros\":{},\"stage_sum_micros\":{},\"gathered\":{},\"excluded\":{},\
          \"scanned\":{scanned},\"pruned\":{},\"exact_evals\":{},\"prune_rate\":{prune_rate:.4},\
+         \"pruned_embed\":{},\"cap_aborted\":{},\"full_sweeps\":{},\
          \"corpus\":{},\"promoted\":{},\"widen_rounds\":{},\"gate\":{},\
          \"stages\":{{",
         t.id,
@@ -153,6 +154,9 @@ pub fn trace_json(t: &QueryTrace) -> String {
         t.excluded,
         t.stats.pruned,
         t.stats.exact_evals,
+        t.stats.pruned_embed,
+        t.stats.cap_aborted,
+        t.stats.full_sweeps,
         t.corpus,
         t.promoted,
         t.widen_rounds,
@@ -204,6 +208,9 @@ mod tests {
             scanned: 99,
             pruned: 80,
             exact_evals: 19,
+            pruned_embed: 7,
+            cap_aborted: 30,
+            full_sweeps: 200,
         };
         t.cell_mut(Stage::Emd).add(total_ns / 2);
         t.corpus = 120;
@@ -275,6 +282,10 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"prune_rate\":0.8081"), "{json}");
+        assert!(
+            json.contains("\"pruned_embed\":7,\"cap_aborted\":30,\"full_sweeps\":200"),
+            "{json}"
+        );
         assert!(
             json.contains("\"corpus\":120,\"promoted\":5,\"widen_rounds\":1,\"gate\":2"),
             "{json}"

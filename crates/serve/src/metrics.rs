@@ -240,6 +240,16 @@ pub struct Metrics {
     pub events_failed: AtomicU64,
     /// Snapshots published (≥ 1 once the first update lands).
     pub snapshots_published: AtomicU64,
+    /// Candidates pruned by the anchor-bound tier (ceiling sort + tail
+    /// prune) across traced `/recommend` queries.
+    pub prune_anchor: AtomicU64,
+    /// Candidates pruned by the cached-embedding recheck tier.
+    pub prune_embed: AtomicU64,
+    /// Capped EMD sweeps aborted early (threshold exceeded or quantized
+    /// screen fired) across traced queries.
+    pub emd_cap_aborted: AtomicU64,
+    /// Capped EMD sweeps that ran to completion across traced queries.
+    pub emd_full_sweeps: AtomicU64,
     /// Per-stage scan time of traced `/recommend` queries, indexed by
     /// [`Stage::index`] (populated only while tracing is enabled).
     pub stage_micros: [Histogram; NUM_STAGES],
@@ -278,7 +288,7 @@ impl Metrics {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(8192);
         let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        let counters: [(&str, u64, &str); 9] = [
+        let counters: [(&str, u64, &str); 13] = [
             (
                 "serve_requests_submitted_total",
                 c(&self.submitted),
@@ -323,6 +333,26 @@ impl Metrics {
                 "serve_snapshots_published_total",
                 c(&self.snapshots_published),
                 "Snapshots published by the maintenance writer.",
+            ),
+            (
+                "serve_prune_anchor_total",
+                c(&self.prune_anchor),
+                "Candidates pruned by the anchor-bound tier in traced queries.",
+            ),
+            (
+                "serve_prune_embed_total",
+                c(&self.prune_embed),
+                "Candidates pruned by the cached-embedding recheck tier.",
+            ),
+            (
+                "serve_emd_cap_aborted_total",
+                c(&self.emd_cap_aborted),
+                "Capped EMD sweeps aborted early in traced queries.",
+            ),
+            (
+                "serve_emd_full_sweeps_total",
+                c(&self.emd_full_sweeps),
+                "Capped EMD sweeps that ran to completion in traced queries.",
             ),
         ];
         for (name, value, help) in counters {
@@ -684,6 +714,10 @@ mod tests {
         m.record_response(Endpoint::Recommend, 200, 840);
         m.record_response(Endpoint::Recommend, 404, 12);
         m.record_response(Endpoint::Debug, 200, 40);
+        m.prune_anchor.fetch_add(50, Ordering::Relaxed);
+        m.prune_embed.fetch_add(6, Ordering::Relaxed);
+        m.emd_cap_aborted.fetch_add(17, Ordering::Relaxed);
+        m.emd_full_sweeps.fetch_add(80, Ordering::Relaxed);
         m.stage_micros[Stage::Emd.index()].record(700);
         m.stage_micros[Stage::Queue.index()].record(3);
         m.update_queue_wait.record(44);
@@ -726,6 +760,10 @@ mod tests {
         assert!(page.contains("serve_latency_max_micros{endpoint=\"recommend\"} 840"));
         assert!(page.contains("serve_query_stage_micros_bucket{stage=\"emd\""));
         assert!(page.contains("serve_update_apply_micros_count{kind=\"ingest\"} 1"));
+        assert!(page.contains("serve_prune_anchor_total 50"));
+        assert!(page.contains("serve_prune_embed_total 6"));
+        assert!(page.contains("serve_emd_cap_aborted_total 17"));
+        assert!(page.contains("serve_emd_full_sweeps_total 80"));
     }
 
     /// For every sample line in the page, the family it belongs to after

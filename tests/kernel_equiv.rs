@@ -1,0 +1,148 @@
+//! The quantized EMD kernel is an opt-in *speedup*, never a different
+//! answer: with `EmdKernel::Quantized` the integer prefilter may abort
+//! capped sweeps earlier, but every returned score — and therefore every
+//! top-k ranking — must stay bit-identical to the default exact kernel,
+//! for every strategy, k, pruning bound, and the parallel batch engine.
+
+use viderec::core::{
+    EmdKernel, ParallelRecommender, PruneBound, QueryVideo, Recommender, RecommenderConfig,
+    Strategy,
+};
+use viderec::eval::community::{Community, CommunityConfig};
+
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::Cr,
+    Strategy::Sr,
+    Strategy::Csf,
+    Strategy::CsfSar,
+    Strategy::CsfSarH,
+];
+
+fn build_pair(bound: PruneBound) -> (Community, Recommender, Recommender) {
+    let community = Community::generate(CommunityConfig {
+        hours: 5.0,
+        ..Default::default()
+    });
+    let cfg = RecommenderConfig::default().with_prune_bound(bound);
+    let exact = Recommender::build(cfg.clone(), community.source_corpus()).expect("build exact");
+    let quant = Recommender::build(
+        cfg.with_kernel(EmdKernel::Quantized),
+        community.source_corpus(),
+    )
+    .expect("build quantized");
+    (community, exact, quant)
+}
+
+fn queries_for(community: &Community, rec: &Recommender) -> Vec<QueryVideo> {
+    community
+        .query_videos()
+        .into_iter()
+        .take(4)
+        .map(|id| QueryVideo {
+            series: rec.series_of(id).expect("indexed").clone(),
+            users: rec.users_of(id).expect("indexed").to_vec(),
+        })
+        .collect()
+}
+
+#[test]
+fn quantized_top_k_is_bit_identical_for_all_strategies_and_bounds() {
+    let mut quant_cap_aborted = 0u64;
+    for bound in [
+        PruneBound::Centroid,
+        PruneBound::Best {
+            lo: -16.0,
+            hi: 16.0,
+        },
+    ] {
+        let (community, exact, quant) = build_pair(bound);
+        let queries = queries_for(&community, &exact);
+        assert!(!queries.is_empty());
+        for strategy in STRATEGIES {
+            for k in [1, 3, exact.num_videos() + 10] {
+                for (qi, q) in queries.iter().enumerate() {
+                    let (re, se) = exact.recommend_with_stats(strategy, q, k, &[]);
+                    let (rq, sq) = quant.recommend_with_stats(strategy, q, k, &[]);
+                    assert_eq!(
+                        re,
+                        rq,
+                        "{bound:?}: {} diverged at k={k} query={qi}",
+                        strategy.label()
+                    );
+                    // The prefilter changes *how* a pair is proven beyond the
+                    // cap (integer screen vs f64 cap abort), never *whether*
+                    // — so every counter matches, including the pair-level
+                    // sweep split (a screened pair lands in `cap_aborted`
+                    // exactly as its f64 sweep would have).
+                    assert_eq!(
+                        (se.scanned, se.pruned, se.exact_evals),
+                        (sq.scanned, sq.pruned, sq.exact_evals),
+                        "{bound:?}: candidate counters diverged"
+                    );
+                    assert_eq!(
+                        (se.cap_aborted, se.full_sweeps),
+                        (sq.cap_aborted, sq.full_sweeps),
+                        "{bound:?}: pair sweeps must partition identically"
+                    );
+                    assert_eq!(sq.pruned + sq.exact_evals, sq.scanned);
+                    quant_cap_aborted += sq.cap_aborted;
+                }
+            }
+        }
+    }
+    assert!(
+        quant_cap_aborted > 0,
+        "no sweep aborted over the radius in quantized mode, so the integer \
+         screen was never even reachable — the equivalence above is vacuous"
+    );
+}
+
+#[test]
+fn quantized_parallel_batch_matches_the_sequential_exact_engine() {
+    let (community, exact, quant) = build_pair(PruneBound::default());
+    let queries = queries_for(&community, &exact);
+    let parallel = ParallelRecommender::new(&quant);
+    for strategy in STRATEGIES {
+        let batch = parallel.recommend_batch(strategy, &queries, 5);
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(
+                *got,
+                exact.recommend(strategy, q, 5),
+                "{} diverged between quantized-parallel and exact-sequential",
+                strategy.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_mode_survives_incremental_ingest() {
+    let (community, exact, mut quant) = build_pair(PruneBound::default());
+    let base = quant.num_videos() as u64;
+    let additions: Vec<_> = community
+        .source_corpus()
+        .into_iter()
+        .take(3)
+        .enumerate()
+        .map(|(i, mut v)| {
+            v.id = viderec::video::VideoId(base + 1000 + i as u64);
+            v
+        })
+        .collect();
+    let mut exact_grown =
+        Recommender::build(RecommenderConfig::default(), community.source_corpus())
+            .expect("build exact");
+    exact_grown
+        .add_videos(additions.clone())
+        .expect("exact ingest");
+    quant.add_videos(additions).expect("quantized ingest");
+    assert_eq!(quant.num_videos(), exact.num_videos() + 3);
+    let queries = queries_for(&community, &quant);
+    for q in &queries {
+        assert_eq!(
+            quant.recommend(Strategy::CsfSarH, q, 5),
+            exact_grown.recommend(Strategy::CsfSarH, q, 5),
+            "quantized lanes cached at ingest must keep the ranking exact"
+        );
+    }
+}
