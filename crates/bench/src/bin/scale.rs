@@ -265,6 +265,8 @@ fn main() {
     let points: Vec<Point> = sizes.iter().map(|&v| run_point(v, queries, k)).collect();
 
     let json = render(&points, quick, queries, k);
+    // viderec-lint: allow(durable-writes) — benchmark report artifact, not
+    // durable serving state; loss on crash only means re-running the bench.
     std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
     println!("{json}");
 

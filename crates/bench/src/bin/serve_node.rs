@@ -1,0 +1,112 @@
+//! A killable durable serving node for the crash-recovery e2e test.
+//!
+//! Boots the deterministic `tiny` community corpus, recovers (or seeds) the
+//! durability state under `--data-dir`, starts the durable server, prints a
+//! single machine-parseable `READY` line and then parks forever — the test
+//! harness talks to it over HTTP and terminates it with SIGKILL to simulate
+//! a crash, or lets a clean-exit path drain via `POST /update` + kill.
+//!
+//! ```text
+//! serve_node --data-dir <dir> [--addr 127.0.0.1:0] [--fsync batch|off|interval:<ms>]
+//!            [--segment-bytes <n>] [--snapshot-every <events>] [--seed <u64>]
+//!            [--workers <n>]
+//! ```
+//!
+//! The `READY` line is `READY addr=<ip:port> videos=<n> recovered_lsn=<n>
+//! truncated=<bytes> torn=<0|1>` — everything the harness needs to locate
+//! the server and assert on recovery.
+
+use std::io::Write as _;
+
+use viderec_core::RecommenderConfig;
+use viderec_eval::community::{Community, CommunityConfig};
+use viderec_serve::{start_durable, DurabilityConfig, FsyncPolicy, ServeConfig};
+
+fn die(msg: &str) -> ! {
+    eprintln!("serve_node: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut data_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::Batch;
+    let mut segment_bytes: Option<u64> = None;
+    let mut snapshot_every: Option<u64> = None;
+    let mut seed = 0xC0FFEEu64;
+    let mut workers = 2usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--data-dir" => data_dir = Some(value("--data-dir")),
+            "--fsync" => {
+                fsync = FsyncPolicy::parse(&value("--fsync")).unwrap_or_else(|e| die(&e));
+            }
+            "--segment-bytes" => {
+                segment_bytes = Some(value("--segment-bytes").parse().unwrap_or_else(|_| {
+                    die("--segment-bytes wants an integer");
+                }));
+            }
+            "--snapshot-every" => {
+                snapshot_every = Some(value("--snapshot-every").parse().unwrap_or_else(|_| {
+                    die("--snapshot-every wants an integer");
+                }));
+            }
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed wants a u64"));
+            }
+            "--workers" => {
+                workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| die("--workers wants an integer"));
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let Some(data_dir) = data_dir else {
+        die("--data-dir is required");
+    };
+
+    let community = Community::generate(CommunityConfig::tiny(seed));
+    let corpus = community.source_corpus();
+
+    let mut dur = DurabilityConfig::new(&data_dir);
+    dur.fsync = fsync;
+    if let Some(b) = segment_bytes {
+        dur.segment_bytes = b;
+    }
+    if let Some(n) = snapshot_every {
+        dur.snapshot_every_events = n;
+    }
+
+    let serve_cfg = ServeConfig {
+        addr,
+        workers,
+        ..ServeConfig::default()
+    };
+    let (handle, report) = start_durable(serve_cfg, dur, RecommenderConfig::default(), corpus)
+        .unwrap_or_else(|e| die(&format!("start_durable failed: {e}")));
+
+    println!(
+        "READY addr={} videos={} recovered_lsn={} truncated={} torn={}",
+        handle.addr(),
+        community.videos.len(),
+        report.recovered_lsn,
+        report.truncated_bytes,
+        u8::from(report.torn.is_some()),
+    );
+    let _ = std::io::stdout().flush();
+
+    // The harness owns this process's lifetime: park until killed.
+    loop {
+        std::thread::park();
+    }
+}

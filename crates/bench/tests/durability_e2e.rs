@@ -1,0 +1,328 @@
+//! The headline durability proof: kill-and-restart crash recovery over real
+//! processes and sockets.
+//!
+//! A `serve_node` child serves the deterministic `tiny` community corpus
+//! with the WAL on. The harness drives a known event sequence at it, SIGKILLs
+//! it mid-stream, restarts it from the same data dir, and asserts the
+//! recovered recommender answers **every strategy bit-identically** to an
+//! uninterrupted reference that applied the same acknowledged events through
+//! the same code path. A final phase appends garbage to the live segment and
+//! proves a torn tail is truncated and reported, never fatal.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use viderec_core::{CorpusVideo, Recommender, RecommenderConfig, Strategy};
+use viderec_eval::community::{Community, CommunityConfig};
+use viderec_serve::client::{get, json_u64, post};
+use viderec_serve::wire::{encode_age, encode_comment, encode_ingest, parse_update_body};
+use viderec_video::VideoId;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+const SEED: u64 = 0xC0FFEE;
+
+/// Parsed `READY` line from a `serve_node` child.
+struct Ready {
+    addr: SocketAddr,
+    recovered_lsn: u64,
+    truncated: u64,
+    torn: bool,
+}
+
+struct Node {
+    child: Child,
+    ready: Ready,
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_node(data_dir: &Path) -> Node {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve_node"))
+        .args([
+            "--data-dir",
+            data_dir.to_str().expect("utf8 path"),
+            "--fsync",
+            "batch",
+            "--segment-bytes",
+            "4096",
+            "--snapshot-every",
+            "8",
+            "--seed",
+            &SEED.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn serve_node");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read READY line");
+    let mut addr = None;
+    let mut recovered_lsn = None;
+    let mut truncated = None;
+    let mut torn = None;
+    for field in line.trim().split(' ') {
+        if let Some((k, v)) = field.split_once('=') {
+            match k {
+                "addr" => addr = v.parse().ok(),
+                "recovered_lsn" => recovered_lsn = v.parse().ok(),
+                "truncated" => truncated = v.parse().ok(),
+                "torn" => torn = Some(v == "1"),
+                _ => {}
+            }
+        }
+    }
+    let ready = Ready {
+        addr: addr.unwrap_or_else(|| panic!("no addr in READY line: {line:?}")),
+        recovered_lsn: recovered_lsn.expect("recovered_lsn in READY"),
+        truncated: truncated.expect("truncated in READY"),
+        torn: torn.expect("torn in READY"),
+    };
+    Node { child, ready }
+}
+
+/// The deterministic event sequence: one event per body, mixing comments,
+/// new-video ingests and aging steps. Body `i` always encodes the same
+/// event, so "the first `n` acknowledged events" is a pure function of `n`.
+fn event_bodies(community: &Community, n: usize) -> Vec<String> {
+    let nv = community.videos.len();
+    let nc = community.comments.len();
+    (0..n)
+        .map(|i| {
+            if i % 7 == 6 {
+                encode_age(1)
+            } else if i % 5 == 3 {
+                let donor = &community.videos[i % nv];
+                let video = CorpusVideo {
+                    id: VideoId(1_000_000 + i as u64),
+                    series: donor.series.clone(),
+                    users: vec![community.comments[i % nc].user.clone()],
+                };
+                encode_ingest(&video)
+            } else {
+                encode_comment(
+                    community.videos[i % nv].id,
+                    &community.comments[(i * 3) % nc].user,
+                )
+            }
+        })
+        .collect()
+}
+
+/// The uninterrupted reference: the boot corpus plus the first `n` events of
+/// the sequence, applied through the same `apply_event` path the maintainer
+/// uses (failures ignored identically).
+fn reference_after(community: &Community, bodies: &[String], n: usize) -> Recommender {
+    let mut r = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("reference build");
+    for body in &bodies[..n] {
+        let events = parse_update_body(body).expect("valid body");
+        assert_eq!(events.len(), 1, "one event per body by construction");
+        for event in events {
+            let _ = r.apply_event(event);
+        }
+    }
+    r
+}
+
+fn direct(r: &Recommender, strategy: Strategy, qid: VideoId, k: usize) -> Vec<(u64, u64)> {
+    let q = r.query_for(qid).expect("query video indexed");
+    r.recommend_excluding(strategy, &q, k, &[qid])
+        .into_iter()
+        .map(|s| (s.video.0, s.score.to_bits()))
+        .collect()
+}
+
+/// Pulls `(video, score_bits)` pairs out of a `/recommend` response body.
+fn parse_results(body: &str) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(pos) = rest.find("{\"video\":") {
+        rest = &rest[pos + "{\"video\":".len()..];
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let video: u64 = digits.parse().expect("video id");
+        let key = "\"score_bits\":\"";
+        let bpos = rest.find(key).expect("score_bits present");
+        let hex = &rest[bpos + key.len()..bpos + key.len() + 16];
+        out.push((video, u64::from_str_radix(hex, 16).expect("hex bits")));
+        rest = &rest[bpos..];
+    }
+    out
+}
+
+/// Every strategy, several queries: the served answers must be bit-identical
+/// to the reference.
+fn assert_bit_identical(addr: SocketAddr, reference: &Recommender, queries: &[VideoId]) {
+    let strategies = [
+        ("cr", Strategy::Cr),
+        ("sr", Strategy::Sr),
+        ("csf", Strategy::Csf),
+        ("csf-sar", Strategy::CsfSar),
+        ("csf-sar-h", Strategy::CsfSarH),
+    ];
+    for &(label, strategy) in &strategies {
+        for &qid in queries {
+            let target = format!("/recommend?video={}&k=5&strategy={label}", qid.0);
+            let resp = get(addr, &target, TIMEOUT).expect("request succeeds");
+            assert_eq!(resp.status, 200, "{target}: {}", resp.body);
+            assert_eq!(
+                parse_results(&resp.body),
+                direct(reference, strategy, qid, 5),
+                "strategy {label}, query {} diverged after recovery",
+                qid.0
+            );
+        }
+    }
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn sigkill_mid_stream_recovers_bit_identically_and_tolerates_a_torn_tail() {
+    let community = Community::generate(CommunityConfig::tiny(SEED));
+    let bodies = event_bodies(&community, 160);
+    let dir = scratch_dir("dur_e2e");
+
+    // --- Phase 1: boot fresh, ack a prefix, then SIGKILL mid-stream. ---
+    let node = spawn_node(&dir);
+    assert_eq!(node.ready.recovered_lsn, 0, "fresh dir starts at LSN 0");
+    assert!(!node.ready.torn);
+    let addr = node.ready.addr;
+
+    // Acked prefix: sequential single-event batches; fsync=batch means every
+    // 202 is durable on disk before the response leaves the server.
+    let acked_prefix = 12usize;
+    for (i, body) in bodies[..acked_prefix].iter().enumerate() {
+        let resp = post(addr, "/update", body, TIMEOUT).expect("update accepted");
+        assert_eq!(resp.status, 202, "event {i}: {}", resp.body);
+        assert_eq!(
+            json_u64(&resp.body, "durable_lsn"),
+            Some(i as u64 + 1),
+            "LSN must track the acknowledged event count: {}",
+            resp.body
+        );
+    }
+
+    // Mid-stream kill: a background sender keeps acking events one at a time
+    // while the main thread pulls the plug. Sends are sequential, so the
+    // acknowledged set is always a prefix of `bodies`.
+    let (sent_tx, sent_rx) = std::sync::mpsc::channel::<usize>();
+    let (node, mut acked) = std::thread::scope(|s| {
+        let sender = s.spawn(|| {
+            for (i, body) in bodies.iter().enumerate().skip(acked_prefix) {
+                match post(addr, "/update", body, TIMEOUT) {
+                    Ok(resp) if resp.status == 202 => {
+                        let lsn = json_u64(&resp.body, "durable_lsn").expect("durable_lsn");
+                        assert_eq!(lsn, i as u64 + 1);
+                        let _ = sent_tx.send(i + 1);
+                    }
+                    // The kill races the in-flight request: any error or
+                    // non-202 after the kill is expected; stop sending.
+                    _ => return,
+                }
+            }
+        });
+        // Let a few dozen more events through, then SIGKILL.
+        let mut node = node;
+        let mut acked = acked_prefix;
+        while let Ok(n) = sent_rx.recv_timeout(TIMEOUT) {
+            acked = acked.max(n);
+            if n >= 40 {
+                break;
+            }
+        }
+        node.child.kill().expect("SIGKILL");
+        node.child.wait().expect("reap");
+        sender.join().expect("sender thread");
+        (node, acked)
+    });
+    drop(node);
+    for n in sent_rx.try_iter() {
+        acked = acked.max(n);
+    }
+    assert!(acked >= 40, "kill happened before enough events: {acked}");
+
+    // --- Phase 2: restart from the data dir; recovery must cover every
+    // acknowledged event (durable-but-unacked tail events are also fine). ---
+    let node = spawn_node(&dir);
+    let recovered = node.ready.recovered_lsn;
+    assert!(
+        recovered >= acked as u64,
+        "recovery lost acknowledged events: acked {acked}, recovered {recovered}"
+    );
+    assert!(
+        recovered <= bodies.len() as u64,
+        "recovered more events than were ever sent: {recovered}"
+    );
+
+    let reference = reference_after(&community, &bodies, recovered as usize);
+    let queries: Vec<VideoId> = community.query_videos().into_iter().take(3).collect();
+    assert_bit_identical(node.ready.addr, &reference, &queries);
+
+    // The recovered node keeps accepting durable updates where the log left
+    // off.
+    let resp = post(node.ready.addr, "/update", &bodies[0], TIMEOUT).expect("post-recovery update");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    assert_eq!(json_u64(&resp.body, "durable_lsn"), Some(recovered + 1));
+    let reference = reference_after(&community, &bodies, recovered as usize + 1);
+
+    // --- Phase 3: SIGKILL the quiescent node, tear the live segment's tail,
+    // and prove recovery truncates instead of dying. ---
+    let mut node = node;
+    node.child.kill().expect("SIGKILL");
+    node.child.wait().expect("reap");
+    drop(node);
+
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("read data dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("wal-") && name.ends_with(".seg")
+        })
+        .collect();
+    segments.sort();
+    let live = segments.last().expect("at least one segment");
+    let garbage = [0xFFu8; 23]; // an impossible frame header + partial body
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(live)
+            .expect("open live segment");
+        f.write_all(&garbage).expect("append garbage");
+        f.sync_all().expect("sync garbage");
+    }
+
+    let node = spawn_node(&dir);
+    assert_eq!(
+        node.ready.recovered_lsn,
+        recovered + 1,
+        "torn tail must not change the recovered LSN"
+    );
+    assert!(node.ready.torn, "torn tail must be reported");
+    assert_eq!(
+        node.ready.truncated,
+        garbage.len() as u64,
+        "exactly the garbage bytes must be truncated"
+    );
+    assert_bit_identical(node.ready.addr, &reference, &queries);
+
+    drop(node);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -54,5 +54,7 @@ pub mod shipped_channel;
 pub mod shipped_ring;
 #[cfg(viderec_check)]
 pub mod shipped_snapshot;
+#[cfg(viderec_check)]
+pub mod shipped_wal;
 
 pub use model::{Model, Report, MAX_THREADS};

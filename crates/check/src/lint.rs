@@ -35,6 +35,12 @@
 //!   (`emd_1d_soa[_capped]` via `kappa_exact_cached`), which skip the
 //!   per-call sort and allocation. `#[cfg(test)]` regions are exempt —
 //!   tests may use `emd_1d` as a reference oracle.
+//! * **`durable-writes`** — mutating `std::fs` calls (`fs::write`,
+//!   `fs::rename`, `File::create`, `OpenOptions::new`, …) are banned in
+//!   shipped code outside `crates/wal/src`: durable state goes through the
+//!   WAL/snapshot subsystem so crash-safety reasoning stays in one crate.
+//!   `#[cfg(test)]` regions are exempt; benchmark report writers and other
+//!   non-durability outputs carry waivers saying so.
 //!
 //! # Waivers
 //!
@@ -85,13 +91,29 @@ const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 
 /// Rules a `// viderec-lint: allow(...)` comment may waive.
-const WAIVABLE: [&str; 6] = [
+const WAIVABLE: [&str; 7] = [
     "serve-no-panic",
     "wallclock",
     "reader-locks",
     "vendor-drift",
     "corpus-enumeration",
     "emd-direct-call",
+    "durable-writes",
+];
+
+/// Mutating `std::fs` free functions flagged by `durable-writes` (reads like
+/// `fs::read` stay legal everywhere).
+const FS_WRITE_OPS: [&str; 10] = [
+    "write",
+    "rename",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "create_dir",
+    "create_dir_all",
+    "copy",
+    "hard_link",
+    "set_permissions",
 ];
 
 /// Recommend-path files where full-corpus enumeration is banned outside the
@@ -574,6 +596,54 @@ pub fn lint_workspace(files: &[(String, String)], atomics_md: Option<&str>) -> V
                                   or waive the site with the reason it is sanctioned"
                             .into(),
                     });
+                }
+            }
+        }
+
+        // durable-writes: every shipped tree except the durability crate
+        // itself, which is the one place fsync discipline is reviewed.
+        if (crate_src(path).is_some() || vendor_src(path).is_some() || path.starts_with("src/"))
+            && !path.starts_with("crates/wal/src/")
+        {
+            let regions = cfg_test_regions(&toks);
+            let in_tests = |line: u32| regions.iter().any(|&(a, b)| a <= line && line <= b);
+            for i in 0..toks.len() {
+                let line = toks[i].line;
+                let hit = if ident_at(&toks, i) == Some("fs")
+                    && is_punct(&toks, i + 1, ":")
+                    && is_punct(&toks, i + 2, ":")
+                    && ident_at(&toks, i + 3).is_some_and(|m| FS_WRITE_OPS.contains(&m))
+                {
+                    Some(format!("fs::{}", toks[i + 3].text))
+                } else if ident_at(&toks, i) == Some("File")
+                    && is_punct(&toks, i + 1, ":")
+                    && is_punct(&toks, i + 2, ":")
+                    && ident_at(&toks, i + 3)
+                        .is_some_and(|m| matches!(m, "create" | "create_new" | "options"))
+                {
+                    Some(format!("File::{}", toks[i + 3].text))
+                } else if ident_at(&toks, i) == Some("OpenOptions")
+                    && is_punct(&toks, i + 1, ":")
+                    && is_punct(&toks, i + 2, ":")
+                    && ident_at(&toks, i + 3) == Some("new")
+                {
+                    Some("OpenOptions::new".to_string())
+                } else {
+                    None
+                };
+                if let Some(what) = hit {
+                    if !in_tests(line) && !allow(&waivers, path, "durable-writes", line) {
+                        findings.push(Finding {
+                            path: path.to_string(),
+                            line,
+                            rule: "durable-writes",
+                            message: format!(
+                                "`{what}` outside `crates/wal`; durable state goes through \
+                                 the WAL/snapshot subsystem — waive the site with the reason \
+                                 this write is not durability-relevant"
+                            ),
+                        });
+                    }
                 }
             }
         }

@@ -1,0 +1,10 @@
+//! The shipped durability protocol — `crates/wal/src/protocol.rs` compiled
+//! **verbatim, from the same file on disk** — against the instrumented shim.
+
+/// The `sync` facade the included source resolves `super::sync` to.
+pub mod sync {
+    pub use crate::shim::{AtomicU64, Ordering};
+}
+
+#[path = "../../wal/src/protocol.rs"]
+pub mod protocol;

@@ -406,3 +406,67 @@ fn waiver_only_covers_its_own_rule_and_adjacent_lines() {
     // line 4 is out of the waiver's two-line reach anyway.
     assert_eq!(rules_of(&findings), vec!["reader-locks", "reader-locks"]);
 }
+
+// --- durable-writes ---
+
+#[test]
+fn fs_write_outside_the_wal_crate_is_a_finding() {
+    let fs = files(&[(
+        "crates/serve/src/server.rs",
+        "fn f(p: &std::path::Path) { std::fs::write(p, b\"x\").ok(); }\n",
+    )]);
+    let findings = lint_workspace(&fs, None);
+    assert_eq!(rules_of(&findings), vec!["durable-writes"]);
+    assert!(findings[0].message.contains("fs::write"));
+}
+
+#[test]
+fn file_create_and_open_options_are_findings_too() {
+    let fs = files(&[(
+        "crates/eval/src/report.rs",
+        "use std::fs::{File, OpenOptions};\n\
+         fn f(p: &std::path::Path) {\n\
+         \x20   let _ = File::create(p);\n\
+         \x20   let _ = OpenOptions::new().append(true).open(p);\n\
+         }\n",
+    )]);
+    let findings = lint_workspace(&fs, None);
+    assert_eq!(
+        rules_of(&findings),
+        vec!["durable-writes", "durable-writes"]
+    );
+    assert_eq!(findings[0].line, 3);
+    assert_eq!(findings[1].line, 4);
+}
+
+#[test]
+fn wal_crate_and_reads_and_tests_are_exempt() {
+    let fs = files(&[
+        (
+            "crates/wal/src/log.rs",
+            "fn f(p: &std::path::Path) { std::fs::rename(p, p).ok(); }\n",
+        ),
+        (
+            "crates/serve/src/config.rs",
+            "fn f(p: &std::path::Path) -> Vec<u8> { std::fs::read(p).unwrap_or_default() }\n",
+        ),
+        (
+            "crates/bench/src/bin/tool.rs",
+            "#[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn scratch(p: &std::path::Path) { std::fs::create_dir_all(p).ok(); }\n\
+             }\n",
+        ),
+    ]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+#[test]
+fn waived_report_writer_is_allowed() {
+    let fs = files(&[(
+        "crates/bench/src/bin/report.rs",
+        "// viderec-lint: allow(durable-writes) — bench report, not durable state\n\
+         fn f(p: &std::path::Path, s: &str) { std::fs::write(p, s).ok(); }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}

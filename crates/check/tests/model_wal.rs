@@ -1,0 +1,115 @@
+//! Model-checks the shipped durability protocol
+//! (`crates/wal/src/protocol.rs` compiled verbatim against the instrumented
+//! shim): an observer must never see `acked` ahead of `appended` — that is
+//! the crash-safety invariant "an acknowledged event is already in the log".
+//! A hand-mutated broken writer that applies/acks *before* appending proves
+//! the checker catches the inversion.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use viderec_check::shim::{Arc, AtomicU64, Ordering};
+use viderec_check::shipped_wal::protocol::{writer_round, DurabilityGate};
+use viderec_check::{thread, Model};
+
+// The "log" and "master state" are modelled as plain atomics: appending LSN n
+// stores n into `log`, applying stores n into `state`. Durability means: an
+// observer that sees `acked >= n` must also see `log >= n`.
+
+#[test]
+fn acked_never_runs_ahead_of_appended() {
+    let report = Model::new().check(|| {
+        let gate = Arc::new(DurabilityGate::new(0));
+        let log = Arc::new(AtomicU64::new(0));
+        let gate2 = Arc::clone(&gate);
+        let log2 = Arc::clone(&log);
+        let writer = thread::spawn(move || {
+            for lsn in 1..=2u64 {
+                writer_round(&gate2, lsn, || log2.store(lsn, Ordering::Relaxed), || {});
+            }
+        });
+        // Acquire on `acked` pairs with the writer's Release: seeing
+        // acked >= n implies the log write for n happened-before.
+        let acked = gate.acked();
+        let logged = log.load(Ordering::Relaxed);
+        assert!(
+            logged >= acked,
+            "acked {acked} but log only holds {logged}: an acknowledged \
+             event would be lost on crash"
+        );
+        assert!(gate.acked() <= gate.appended(), "gate invariant violated");
+        writer.join();
+        assert_eq!(gate.appended(), 2);
+        assert_eq!(gate.acked(), 2);
+        assert_eq!(gate.lag(), 0);
+    });
+    assert!(
+        report.complete,
+        "wal protocol state space should be exhaustible"
+    );
+    assert!(report.schedules > 1);
+}
+
+#[test]
+fn lag_never_underflows_under_concurrent_rounds() {
+    let report = Model::new().check(|| {
+        let gate = Arc::new(DurabilityGate::new(5));
+        let gate2 = Arc::clone(&gate);
+        let writer = thread::spawn(move || {
+            writer_round(&gate2, 6, || {}, || {});
+            writer_round(&gate2, 7, || {}, || {});
+        });
+        // `lag` reads acked first, so with the writer moving both counters
+        // forward it can understate the backlog but never wrap.
+        let lag = gate.lag();
+        assert!(lag <= 2, "impossible backlog {lag}");
+        writer.join();
+        assert_eq!(gate.lag(), 0);
+    });
+    assert!(report.complete);
+}
+
+/// The deliberately inverted writer round: identical gate, but the round
+/// acknowledges (and "applies") *before* the append reaches the log — the
+/// exact bug `writer_round` exists to make unrepresentable in the serving
+/// layer.
+fn broken_writer_round(
+    gate: &DurabilityGate,
+    lsn: u64,
+    append: impl FnOnce(),
+    apply: impl FnOnce(),
+) {
+    apply();
+    gate.record_acked(lsn); // BUG: nothing appended yet
+    append();
+    gate.record_appended(lsn);
+}
+
+#[test]
+fn acking_before_the_append_is_caught() {
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        Model::new().check(|| {
+            let gate = Arc::new(DurabilityGate::new(0));
+            let log = Arc::new(AtomicU64::new(0));
+            let gate2 = Arc::clone(&gate);
+            let log2 = Arc::clone(&log);
+            let writer = thread::spawn(move || {
+                broken_writer_round(&gate2, 1, || log2.store(1, Ordering::Relaxed), || {});
+            });
+            let acked = gate.acked();
+            let logged = log.load(Ordering::Relaxed);
+            assert!(
+                logged >= acked,
+                "acked {acked} but log only holds {logged}: an acknowledged \
+                 event would be lost on crash"
+            );
+            writer.join();
+        });
+    }))
+    .expect_err("apply-before-append must be caught");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("would be lost on crash"),
+        "wrong failure: {msg}"
+    );
+    assert!(msg.contains("failing schedule"), "no schedule in: {msg}");
+}

@@ -34,6 +34,7 @@
 
 pub mod client;
 pub mod debug;
+pub mod durability;
 pub mod http;
 pub mod metrics;
 pub mod server;
@@ -42,6 +43,8 @@ pub(crate) mod sync;
 pub mod wire;
 
 pub use debug::TraceStore;
+pub use durability::{DurabilityConfig, RecoveryReport};
 pub use metrics::{Endpoint, Gauges, Histogram, Metrics};
-pub use server::{parse_strategy, start, ServeConfig, ServerHandle};
+pub use server::{parse_strategy, start, start_durable, ServeConfig, ServerHandle};
 pub use snapshot::{CachedSnapshot, SnapshotCell};
+pub use viderec_wal::FsyncPolicy;

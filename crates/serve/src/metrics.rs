@@ -193,6 +193,25 @@ pub struct EndpointMetrics {
     pub latency: Histogram,
 }
 
+/// Point-in-time durability gauges, sampled from the shared
+/// [`crate::durability::DurabilityStatus`] block at scrape time (absent when
+/// the server runs without a data dir).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurabilitySample {
+    /// Highest LSN framed into the WAL.
+    pub appended_lsn: u64,
+    /// Highest LSN applied and acknowledged.
+    pub acked_lsn: u64,
+    /// Highest LSN known fsynced to stable storage.
+    pub synced_lsn: u64,
+    /// LSN covered by the newest published snapshot.
+    pub snapshot_lsn: u64,
+    /// Live WAL segment files.
+    pub segments: u64,
+    /// Whether a WAL write failed and durable acks stopped.
+    pub failed: bool,
+}
+
 /// Point-in-time gauge values sampled by the caller at scrape time — they
 /// belong to the snapshot cell, the channels and the trace ring, not to this
 /// registry.
@@ -216,6 +235,8 @@ pub struct Gauges {
     pub trace_capacity: usize,
     /// Whether per-query tracing is enabled.
     pub tracing_enabled: bool,
+    /// Durability gauges, when the server runs with a data dir.
+    pub durability: Option<DurabilitySample>,
 }
 
 /// The server-wide metrics registry. All members are lock-free.
@@ -263,6 +284,26 @@ pub struct Metrics {
     pub snapshot_clone: Histogram,
     /// Epoch-swap publish time.
     pub snapshot_publish: Histogram,
+    /// WAL records appended by the maintenance writer.
+    pub wal_appends: AtomicU64,
+    /// WAL payload bytes appended.
+    pub wal_bytes: AtomicU64,
+    /// fsyncs issued on the WAL hot path (per the configured policy).
+    pub wal_fsyncs: AtomicU64,
+    /// WAL/snapshot write failures (durable acks stop on the first).
+    pub wal_errors: AtomicU64,
+    /// `/update` requests that timed out waiting for a durable ack.
+    pub wal_ack_failures: AtomicU64,
+    /// Snapshots checkpointed to the data dir.
+    pub wal_checkpoints: AtomicU64,
+    /// WAL segments retired after a covering checkpoint.
+    pub wal_segments_retired: AtomicU64,
+    /// Per-record append (frame + write) latency.
+    pub wal_append_micros: Histogram,
+    /// fsync latency on the WAL hot path.
+    pub wal_fsync_micros: Histogram,
+    /// Full checkpoint (sync + merge + publish + retire) latency.
+    pub wal_checkpoint_micros: Histogram,
     endpoints: [EndpointMetrics; 6],
 }
 
@@ -288,7 +329,7 @@ impl Metrics {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(8192);
         let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        let counters: [(&str, u64, &str); 13] = [
+        let counters: [(&str, u64, &str); 20] = [
             (
                 "serve_requests_submitted_total",
                 c(&self.submitted),
@@ -354,6 +395,41 @@ impl Metrics {
                 c(&self.emd_full_sweeps),
                 "Capped EMD sweeps that ran to completion in traced queries.",
             ),
+            (
+                "serve_wal_records_appended_total",
+                c(&self.wal_appends),
+                "WAL records appended by the maintenance writer.",
+            ),
+            (
+                "serve_wal_bytes_total",
+                c(&self.wal_bytes),
+                "WAL payload bytes appended.",
+            ),
+            (
+                "serve_wal_fsyncs_total",
+                c(&self.wal_fsyncs),
+                "fsyncs issued on the WAL hot path.",
+            ),
+            (
+                "serve_wal_errors_total",
+                c(&self.wal_errors),
+                "WAL/snapshot write failures (durable acks stop on the first).",
+            ),
+            (
+                "serve_wal_ack_failures_total",
+                c(&self.wal_ack_failures),
+                "Updates that timed out waiting for a durable ack.",
+            ),
+            (
+                "serve_wal_checkpoints_total",
+                c(&self.wal_checkpoints),
+                "Snapshots checkpointed to the data dir.",
+            ),
+            (
+                "serve_wal_segments_retired_total",
+                c(&self.wal_segments_retired),
+                "WAL segments retired after a covering checkpoint.",
+            ),
         ];
         for (name, value, help) in counters {
             meta(&mut out, name, help, "counter");
@@ -418,6 +494,56 @@ impl Metrics {
         for (name, value, help) in &gauges {
             meta(&mut out, name, help, "gauge");
             let _ = writeln!(out, "{name} {value}");
+        }
+        meta(
+            &mut out,
+            "serve_wal_enabled",
+            "Whether the durability subsystem is active (1) or not (0).",
+            "gauge",
+        );
+        let _ = writeln!(
+            out,
+            "serve_wal_enabled {}",
+            u64::from(g.durability.is_some())
+        );
+        if let Some(d) = &g.durability {
+            let wal_gauges: [(&str, u64, &str); 7] = [
+                (
+                    "serve_wal_appended_lsn",
+                    d.appended_lsn,
+                    "Highest LSN framed into the WAL.",
+                ),
+                (
+                    "serve_wal_acked_lsn",
+                    d.acked_lsn,
+                    "Highest LSN applied and acknowledged.",
+                ),
+                (
+                    "serve_wal_synced_lsn",
+                    d.synced_lsn,
+                    "Highest LSN known fsynced to stable storage.",
+                ),
+                (
+                    "serve_wal_snapshot_lsn",
+                    d.snapshot_lsn,
+                    "LSN covered by the newest published snapshot.",
+                ),
+                ("serve_wal_segments", d.segments, "Live WAL segment files."),
+                (
+                    "serve_wal_lag_events",
+                    d.appended_lsn.saturating_sub(d.snapshot_lsn),
+                    "Appended events not yet covered by a snapshot.",
+                ),
+                (
+                    "serve_wal_failed",
+                    u64::from(d.failed),
+                    "Whether a WAL write failed and durable acks stopped.",
+                ),
+            ];
+            for (name, value, help) in &wal_gauges {
+                meta(&mut out, name, help, "gauge");
+                let _ = writeln!(out, "{name} {value}");
+            }
         }
 
         meta(
@@ -567,6 +693,42 @@ impl Metrics {
             "serve_snapshot_publish_micros",
             "",
             &self.snapshot_publish,
+        );
+        meta(
+            &mut out,
+            "serve_wal_append_micros",
+            "Per-record WAL append (frame + write) latency.",
+            "histogram",
+        );
+        histogram_samples(
+            &mut out,
+            "serve_wal_append_micros",
+            "",
+            &self.wal_append_micros,
+        );
+        meta(
+            &mut out,
+            "serve_wal_fsync_micros",
+            "fsync latency on the WAL hot path.",
+            "histogram",
+        );
+        histogram_samples(
+            &mut out,
+            "serve_wal_fsync_micros",
+            "",
+            &self.wal_fsync_micros,
+        );
+        meta(
+            &mut out,
+            "serve_wal_checkpoint_micros",
+            "Full checkpoint (sync + merge + publish + retire) latency.",
+            "histogram",
+        );
+        histogram_samples(
+            &mut out,
+            "serve_wal_checkpoint_micros",
+            "",
+            &self.wal_checkpoint_micros,
         );
         out
     }
@@ -726,6 +888,14 @@ mod tests {
         m.update_batch_events.record(3);
         m.snapshot_clone.record(100);
         m.snapshot_publish.record(1);
+        m.wal_appends.fetch_add(12, Ordering::Relaxed);
+        m.wal_bytes.fetch_add(480, Ordering::Relaxed);
+        m.wal_fsyncs.fetch_add(4, Ordering::Relaxed);
+        m.wal_checkpoints.fetch_add(1, Ordering::Relaxed);
+        m.wal_segments_retired.fetch_add(2, Ordering::Relaxed);
+        m.wal_append_micros.record(11);
+        m.wal_fsync_micros.record(900);
+        m.wal_checkpoint_micros.record(4000);
         m
     }
 
@@ -740,6 +910,14 @@ mod tests {
             traces_dropped: 0,
             trace_capacity: 256,
             tracing_enabled: true,
+            durability: Some(DurabilitySample {
+                appended_lsn: 12,
+                acked_lsn: 12,
+                synced_lsn: 12,
+                snapshot_lsn: 8,
+                segments: 2,
+                failed: false,
+            }),
         }
     }
 
@@ -764,6 +942,25 @@ mod tests {
         assert!(page.contains("serve_prune_embed_total 6"));
         assert!(page.contains("serve_emd_cap_aborted_total 17"));
         assert!(page.contains("serve_emd_full_sweeps_total 80"));
+        assert!(page.contains("serve_wal_enabled 1"));
+        assert!(page.contains("serve_wal_records_appended_total 12"));
+        assert!(page.contains("serve_wal_fsyncs_total 4"));
+        assert!(page.contains("serve_wal_appended_lsn 12"));
+        assert!(page.contains("serve_wal_snapshot_lsn 8"));
+        assert!(page.contains("serve_wal_lag_events 4"));
+        assert!(page.contains("serve_wal_fsync_micros_count 1"));
+    }
+
+    #[test]
+    fn wal_gauges_absent_without_durability() {
+        let page = populated().render(&Gauges {
+            durability: None,
+            ..gauges()
+        });
+        assert!(page.contains("serve_wal_enabled 0"));
+        assert!(!page.contains("serve_wal_appended_lsn"));
+        // Counters and histograms render regardless (all zero is fine).
+        assert!(page.contains("serve_wal_records_appended_total"));
     }
 
     /// For every sample line in the page, the family it belongs to after

@@ -27,10 +27,11 @@
 //!   retire.
 
 use crate::debug::{trace_json, TraceStore};
+use crate::durability::{recover, DurabilityConfig, DurabilityStatus, DurableLog, RecoveryReport};
 use crate::http::{
     escape_json, read_request, write_response, write_response_with_headers, HttpError, Request,
 };
-use crate::metrics::{Endpoint, Gauges, Metrics};
+use crate::metrics::{DurabilitySample, Endpoint, Gauges, Metrics};
 use crate::snapshot::{CachedSnapshot, SnapshotCell};
 use crate::wire::{event_kind_index, parse_update_body};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
@@ -40,8 +41,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use viderec_core::trace::next_trace_id;
-use viderec_core::{Recommender, Stage, Strategy, Tracer, UpdateEvent};
+use viderec_core::{
+    CorpusVideo, Recommender, RecommenderConfig, Stage, Strategy, Tracer, UpdateEvent,
+};
 use viderec_video::VideoId;
+
+/// How long an `/update` worker waits for the maintenance writer's durable
+/// ack before answering 503. Generous: it must cover the fsyncs and applies
+/// of every batch queued ahead.
+const DURABLE_ACK_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
@@ -103,10 +111,13 @@ struct Admitted {
 }
 
 /// One accepted update batch, stamped at enqueue so the maintainer can
-/// record how long it waited in the queue.
+/// record how long it waited in the queue. On a durable server the worker
+/// holds the receiver end of `ack` and answers 202 only once the maintainer
+/// confirms the batch is in the log (append-before-apply).
 struct QueuedBatch {
     at: Instant,
     events: Vec<UpdateEvent>,
+    ack: Option<Sender<u64>>,
 }
 
 /// State shared by the acceptor and every worker.
@@ -119,6 +130,8 @@ struct Ctx {
     admission_probe: Receiver<Admitted>,
     tracer: Tracer,
     traces: Arc<TraceStore>,
+    /// Shared durability status (None on a non-durable server).
+    durability: Option<Arc<DurabilityStatus>>,
 }
 
 /// A running server; dropping it (or calling [`ServerHandle::shutdown`])
@@ -188,9 +201,35 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Starts the server over `recommender` and returns once the listener is
-/// bound and every thread is running.
+/// Starts the server over `recommender` (no durability: a restart loses
+/// every applied update) and returns once the listener is bound and every
+/// thread is running.
 pub fn start(cfg: ServeConfig, recommender: Recommender) -> std::io::Result<ServerHandle> {
+    start_inner(cfg, recommender, None)
+}
+
+/// Starts a durable server over `dur.data_dir`: recovers (or bootstraps)
+/// the recommender from the newest snapshot + WAL tail, then runs with
+/// write-ahead logging — every acknowledged `/update` survives a crash per
+/// the configured fsync policy. `rec_cfg`/`boot_corpus` are only used to
+/// seed a fresh data dir; an existing one is authoritative.
+pub fn start_durable(
+    cfg: ServeConfig,
+    dur: DurabilityConfig,
+    rec_cfg: RecommenderConfig,
+    boot_corpus: Vec<CorpusVideo>,
+) -> std::io::Result<(ServerHandle, RecoveryReport)> {
+    let (master, log, report) = recover(&dur, rec_cfg, boot_corpus)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let handle = start_inner(cfg, master, Some(log))?;
+    Ok((handle, report))
+}
+
+fn start_inner(
+    cfg: ServeConfig,
+    recommender: Recommender,
+    durable: Option<DurableLog>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let workers = if cfg.workers == 0 {
@@ -216,6 +255,7 @@ pub fn start(cfg: ServeConfig, recommender: Recommender) -> std::io::Result<Serv
         admission_probe: admission_rx.clone(),
         tracer,
         traces: Arc::clone(&traces),
+        durability: durable.as_ref().map(|d| d.status()),
     });
 
     // --- maintenance thread (the single writer) ---
@@ -224,7 +264,7 @@ pub fn start(cfg: ServeConfig, recommender: Recommender) -> std::io::Result<Serv
         let metrics = Arc::clone(&metrics);
         std::thread::Builder::new()
             .name("serve-maintainer".into())
-            .spawn(move || maintainer_loop(master, update_rx, &cell, &metrics, tracer))?
+            .spawn(move || maintainer_loop(master, update_rx, &cell, &metrics, tracer, durable))?
     };
 
     // --- worker pool ---
@@ -375,6 +415,7 @@ fn route(
         ("GET", "/healthz") => (Endpoint::Healthz, healthz(ctx, cache, adm)),
         ("GET", "/metrics") => (Endpoint::Metrics, metrics_page(ctx, cache, adm)),
         ("GET", "/debug/queries") => (Endpoint::Debug, debug_queries(ctx, adm, req)),
+        ("GET", "/debug/durability") => (Endpoint::Debug, debug_durability(ctx, adm)),
         ("GET", path) if path.starts_with("/debug/trace/") => {
             (Endpoint::Debug, debug_trace(ctx, adm, path))
         }
@@ -574,6 +615,14 @@ fn debug_trace(ctx: &Ctx, adm: &mut Admitted, path: &str) -> Outcome {
     }
 }
 
+fn debug_durability(ctx: &Ctx, adm: &mut Admitted) -> Outcome {
+    let body = match &ctx.durability {
+        Some(status) => status.debug_json(),
+        None => "{\"enabled\":false}".to_string(),
+    };
+    respond(adm, 200, "application/json", body.as_bytes())
+}
+
 fn update(ctx: &Ctx, adm: &mut Admitted, req: &Request) -> Outcome {
     let Ok(body_str) = std::str::from_utf8(&req.body) else {
         return bad_request(adm, "update body must be UTF-8");
@@ -591,18 +640,53 @@ fn update(ctx: &Ctx, adm: &mut Admitted, req: &Request) -> Outcome {
             b"{\"accepted\":0,\"note\":\"empty batch\"}",
         );
     }
+    // On a durable server the 202 is a *durable* ack: the worker parks on a
+    // per-batch channel until the maintainer has framed (and, per policy,
+    // fsynced) the batch into the WAL — append-before-apply, group-committed
+    // with whatever else the maintainer drained.
+    let (ack_tx, ack_rx) = if ctx.durability.is_some() {
+        let (tx, rx) = channel::bounded::<u64>(1);
+        (Some(tx), Some(rx))
+    } else {
+        (None, None)
+    };
     let batch = QueuedBatch {
         at: Instant::now(),
         events,
+        ack: ack_tx,
     };
     match ctx.update_tx.try_send(batch) {
         Ok(()) => {
             ctx.metrics.updates_enqueued.fetch_add(1, Ordering::Relaxed);
-            let body = format!(
-                "{{\"accepted\":{accepted},\"epoch_at_enqueue\":{}}}",
-                ctx.cell.epoch()
-            );
-            respond(adm, 202, "application/json", body.as_bytes())
+            let Some(rx) = ack_rx else {
+                let body = format!(
+                    "{{\"accepted\":{accepted},\"epoch_at_enqueue\":{}}}",
+                    ctx.cell.epoch()
+                );
+                return respond(adm, 202, "application/json", body.as_bytes());
+            };
+            match rx.recv_timeout(DURABLE_ACK_TIMEOUT) {
+                Ok(lsn) => {
+                    let body = format!(
+                        "{{\"accepted\":{accepted},\"durable_lsn\":{lsn},\"epoch_at_enqueue\":{}}}",
+                        ctx.cell.epoch()
+                    );
+                    respond(adm, 202, "application/json", body.as_bytes())
+                }
+                // Timeout, or the maintainer dropped the ack after a WAL
+                // write failure: the batch may still apply, but durability
+                // cannot be promised — the client must not treat it as
+                // acknowledged.
+                Err(_) => {
+                    ctx.metrics.wal_ack_failures.fetch_add(1, Ordering::Relaxed);
+                    respond(
+                        adm,
+                        503,
+                        "application/json",
+                        b"{\"error\":\"durable ack unavailable\"}",
+                    )
+                }
+            }
         }
         Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
             ctx.metrics.updates_rejected.fetch_add(1, Ordering::Relaxed);
@@ -641,6 +725,14 @@ fn metrics_page(ctx: &Ctx, cache: &mut CachedSnapshot<Recommender>, adm: &mut Ad
         traces_dropped: ctx.traces.dropped(),
         trace_capacity: ctx.traces.capacity(),
         tracing_enabled: ctx.tracer.enabled(),
+        durability: ctx.durability.as_ref().map(|d| DurabilitySample {
+            appended_lsn: d.gate.appended(),
+            acked_lsn: d.gate.acked(),
+            synced_lsn: d.synced_lsn.load(Ordering::Relaxed),
+            snapshot_lsn: d.snapshot_lsn.load(Ordering::Relaxed),
+            segments: d.segment_count.load(Ordering::Relaxed),
+            failed: d.failed.load(Ordering::Relaxed) != 0,
+        }),
     });
     respond(adm, 200, "text/plain; version=0.0.4", page.as_bytes())
 }
@@ -651,7 +743,12 @@ fn maintainer_loop(
     cell: &SnapshotCell<Recommender>,
     metrics: &Metrics,
     tracer: Tracer,
+    mut durable: Option<DurableLog>,
 ) {
+    let mut last_acked = durable
+        .as_ref()
+        .map(|d| d.status().gate.acked())
+        .unwrap_or(0);
     // `recv` returns Err only when every sender is gone *and* the queue is
     // drained, so shutdown applies every accepted batch before retiring.
     while let Ok(first) = update_rx.recv() {
@@ -667,6 +764,28 @@ fn maintainer_loop(
                     .record(batch.at.elapsed().as_micros() as u64);
             }
             drained_events += batch.events.len() as u64;
+            // Append-before-apply: frame the whole batch into the WAL (and
+            // fsync per policy) before any event mutates the master. The
+            // gate inside `append_batch` publishes `appended` before
+            // `acked` ever covers the batch — the invariant `crates/check`
+            // model-checks, and the reason a crash can only lose
+            // unacknowledged work.
+            let mut batch_lsn = 0u64;
+            if let Some(d) = durable.as_mut() {
+                match d.append_batch(&batch.events, metrics) {
+                    Ok(lsn) => batch_lsn = lsn,
+                    Err(_) => {
+                        // WAL write failure: availability over durability —
+                        // keep applying so reads stay fresh, but never ack
+                        // again (dropping `batch.ack` turns the waiting
+                        // worker's 202 into a 503).
+                        metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+                        d.mark_failed();
+                        d.publish_status();
+                        durable = None;
+                    }
+                }
+            }
             for event in batch.events {
                 let kind = event_kind_index(&event);
                 let span = tracer.start();
@@ -680,6 +799,15 @@ fn maintainer_loop(
                 }
                 if let Some(ns) = span.elapsed_ns() {
                     metrics.update_apply[kind].record(ns / 1_000);
+                }
+            }
+            if let Some(d) = durable.as_ref() {
+                d.mark_acked(batch_lsn);
+                last_acked = batch_lsn;
+                if let Some(ack) = batch.ack {
+                    // The worker may have timed out and gone; that's its
+                    // loss, not ours.
+                    let _ = ack.try_send(batch_lsn);
                 }
             }
         }
@@ -700,6 +828,20 @@ fn maintainer_loop(
             metrics.snapshot_publish.record(ns / 1_000);
         }
         metrics.snapshots_published.fetch_add(1, Ordering::Relaxed);
+        // Checkpoint cadence, after publish so readers never wait on it.
+        if let Some(d) = durable.as_mut() {
+            if d.maybe_checkpoint(last_acked, false, metrics).is_err() {
+                metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+                d.mark_failed();
+            }
+            d.publish_status();
+        }
+    }
+    // Graceful shutdown: every accepted batch is applied and acked above;
+    // flush + fsync the WAL tail first, then publish the final checkpoint —
+    // a clean restart must lose nothing even with fsync=off.
+    if let Some(d) = durable.as_mut() {
+        d.finalize(last_acked, metrics);
     }
 }
 

@@ -1,0 +1,36 @@
+//! Durability subsystem for the serving layer: a segmented append-only
+//! write-ahead log, LSN-stamped full-corpus snapshots, and the single-writer
+//! append→apply→publish→snapshot protocol that makes crash recovery
+//! bit-identical to an uninterrupted run.
+//!
+//! The crate is dependency-free by design (the build container has no
+//! registry): CRC32 is hand-rolled in [`crc`], record framing and segment
+//! management live in [`log`], atomic-rename snapshot publication in
+//! [`snapshot`], and the ordering protocol the model checker exercises in
+//! [`protocol`]. Payloads are opaque bytes — the serving layer encodes
+//! `UpdateEvent`s with its bit-exact wire codec and hands them down here.
+//!
+//! Invariants this crate owns (see DESIGN.md §13 for the full protocol):
+//!
+//! - A record is `[len u32][crc u32][lsn u64][payload]`, all little-endian,
+//!   CRC32 over `lsn ‖ payload`. Anything that fails the frame check in the
+//!   **final** segment is a torn tail: truncated, reported, never fatal.
+//!   The same failure in a non-final segment is corruption and *is* fatal.
+//! - LSNs are assigned by the single writer, start at 1, and are contiguous
+//!   across segment boundaries.
+//! - A snapshot is published by temp-file + `rename`, fsynced (file then
+//!   directory) *before* any segment it covers is retired, so the
+//!   `snapshot ∪ log-tail` union always contains every appended record.
+
+pub mod crc;
+pub mod log;
+pub mod protocol;
+pub mod snapshot;
+pub mod sync;
+
+pub use crc::{crc32, Crc32};
+pub use log::{
+    iter_records, FsyncPolicy, Record, Recovery, Wal, WalError, WalOptions, RECORD_HEADER_LEN,
+};
+pub use protocol::{writer_round, DurabilityGate};
+pub use snapshot::{Snapshot, SnapshotStore};

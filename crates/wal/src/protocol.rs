@@ -1,0 +1,101 @@
+//! The single-writer durability ordering protocol.
+//!
+//! The maintenance thread is the only writer: for every update batch it must
+//! **append** (WAL record on disk, per fsync policy) *before* it **applies**
+//! the batch to the master recommender and acknowledges the client. The
+//! [`DurabilityGate`] pins that ordering into two monotone counters:
+//!
+//! - `appended` — highest LSN framed into the log,
+//! - `acked`    — highest LSN applied and acknowledged,
+//!
+//! with the crash-safety invariant `acked <= appended` at every instant any
+//! other thread can observe: a crash then loses at most unacknowledged work,
+//! never an acknowledged event. `record_appended` / `record_acked` store with
+//! `Release` and the getters load with `Acquire`, so an observer that sees
+//! `acked >= L` also sees every effect that happened before LSN `L` was
+//! appended — this is the ordering `crates/check` model-checks exhaustively
+//! (`tests/model_wal.rs`), including a broken apply-before-append variant
+//! that must fail.
+//!
+//! Imports go through `super::sync` so the check harness can compile this
+//! exact file against its instrumented shim.
+
+use super::sync::{AtomicU64, Ordering};
+
+/// Monotone `appended` / `acked` LSN pair guarding the append-before-apply
+/// ordering (see module docs).
+pub struct DurabilityGate {
+    appended: AtomicU64,
+    acked: AtomicU64,
+}
+
+// Manual impl: the check shim's `AtomicU64` has no `Debug`, and this file is
+// compiled verbatim against it.
+impl core::fmt::Debug for DurabilityGate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DurabilityGate")
+            .field("appended", &self.appended())
+            .field("acked", &self.acked())
+            .finish()
+    }
+}
+
+impl DurabilityGate {
+    /// A gate with nothing appended or acknowledged beyond `base` (the LSN
+    /// already covered by the snapshot + log recovery at boot).
+    pub fn new(base: u64) -> Self {
+        Self {
+            appended: AtomicU64::new(base),
+            acked: AtomicU64::new(base),
+        }
+    }
+
+    /// Declares every record up to `lsn` framed into the log. Must be called
+    /// by the single writer *before* the corresponding events are applied.
+    pub fn record_appended(&self, lsn: u64) {
+        self.appended.store(lsn, Ordering::Release);
+    }
+
+    /// Declares every event up to `lsn` applied and acknowledged. The writer
+    /// may only call this after [`DurabilityGate::record_appended`] covered
+    /// the same `lsn`.
+    pub fn record_acked(&self, lsn: u64) {
+        self.acked.store(lsn, Ordering::Release);
+    }
+
+    /// Highest appended LSN.
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Acquire)
+    }
+
+    /// Highest acknowledged LSN.
+    pub fn acked(&self) -> u64 {
+        self.acked.load(Ordering::Acquire)
+    }
+
+    /// Appended-but-not-yet-acknowledged backlog. Read `acked` first: with
+    /// the writer moving both counters forward, reading in that order can
+    /// understate but never overstate the backlog, and can never underflow.
+    pub fn lag(&self) -> u64 {
+        let acked = self.acked();
+        self.appended().saturating_sub(acked)
+    }
+}
+
+/// Runs one writer round in the protocol order: `append` (frame + commit the
+/// batch to the log), publish `appended`, then `apply` (mutate the master,
+/// acknowledge), then publish `acked`. Centralizing the order here keeps the
+/// serving layer incapable of acking ahead of the log — the exact mistake
+/// the must-fail model variant makes.
+pub fn writer_round(gate: &DurabilityGate, lsn: u64, append: impl FnOnce(), apply: impl FnOnce()) {
+    append();
+    gate.record_appended(lsn);
+    apply();
+    gate.record_acked(lsn);
+}
+
+// No `#[cfg(test)]` module here on purpose: `crates/check` includes this
+// file verbatim via `#[path]` and compiles it against its instrumented shim,
+// which must not drag shipped unit tests along. The sequential tests live in
+// `crates/wal/tests/protocol.rs`; the concurrent ones are model-checked in
+// `crates/check/tests/model_wal.rs`.

@@ -1,0 +1,8 @@
+//! Synchronization facade for the model-checkable protocol module.
+//!
+//! [`crate::protocol`] imports primitives through `super::sync` so that
+//! `viderec-check` can compile the identical source against its instrumented
+//! shim (`crates/check/src/shipped_wal.rs` swaps this module out with a
+//! `#[path]` include). Keep the surface to exactly what `protocol.rs` uses.
+
+pub use std::sync::atomic::{AtomicU64, Ordering};

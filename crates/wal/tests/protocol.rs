@@ -1,0 +1,55 @@
+//! Sequential tests for the durability ordering protocol. The concurrent
+//! interleavings are explored exhaustively in
+//! `crates/check/tests/model_wal.rs` against the same source file.
+
+use viderec_wal::{writer_round, DurabilityGate};
+
+#[test]
+fn gate_tracks_rounds_in_order() {
+    let gate = DurabilityGate::new(10);
+    assert_eq!(gate.appended(), 10);
+    assert_eq!(gate.acked(), 10);
+    assert_eq!(gate.lag(), 0);
+
+    gate.record_appended(12);
+    assert_eq!(gate.lag(), 2);
+    assert!(gate.acked() <= gate.appended());
+    gate.record_acked(12);
+    assert_eq!(gate.lag(), 0);
+}
+
+#[test]
+fn writer_round_orders_append_before_apply() {
+    let gate = DurabilityGate::new(0);
+    let trace = std::cell::RefCell::new(Vec::new());
+    for lsn in 1..=3u64 {
+        writer_round(
+            &gate,
+            lsn,
+            || trace.borrow_mut().push(("append", lsn)),
+            || trace.borrow_mut().push(("apply", lsn)),
+        );
+        assert_eq!(gate.appended(), lsn);
+        assert_eq!(gate.acked(), lsn);
+    }
+    assert_eq!(
+        trace.into_inner(),
+        vec![
+            ("append", 1),
+            ("apply", 1),
+            ("append", 2),
+            ("apply", 2),
+            ("append", 3),
+            ("apply", 3),
+        ]
+    );
+}
+
+#[test]
+fn debug_formats_both_counters() {
+    let gate = DurabilityGate::new(7);
+    gate.record_appended(9);
+    let s = format!("{gate:?}");
+    assert!(s.contains("appended: 9"), "missing appended in {s}");
+    assert!(s.contains("acked: 7"), "missing acked in {s}");
+}

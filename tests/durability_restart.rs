@@ -1,0 +1,119 @@
+//! Graceful-shutdown durability: a clean restart must lose **no**
+//! acknowledged `/update` event, even with `fsync=off`.
+//!
+//! The ordering under test is the maintainer's exit path: flush + fsync the
+//! WAL tail *first*, then publish the final snapshot — so everything the
+//! server acknowledged is on disk by the time `shutdown()` returns, whatever
+//! the fsync policy deferred while running.
+
+use std::time::Duration;
+
+use viderec::core::{Recommender, RecommenderConfig, Strategy};
+use viderec::eval::community::{Community, CommunityConfig};
+use viderec::video::VideoId;
+use viderec_serve::client::{get, json_u64, post};
+use viderec_serve::wire::{encode_comment, parse_update_body};
+use viderec_serve::{start_durable, DurabilityConfig, FsyncPolicy, ServeConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn parse_results(body: &str) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(pos) = rest.find("{\"video\":") {
+        rest = &rest[pos + "{\"video\":".len()..];
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let video: u64 = digits.parse().expect("video id");
+        let key = "\"score_bits\":\"";
+        let bpos = rest.find(key).expect("score_bits present");
+        let hex = &rest[bpos + key.len()..bpos + key.len() + 16];
+        out.push((video, u64::from_str_radix(hex, 16).expect("hex bits")));
+        rest = &rest[bpos..];
+    }
+    out
+}
+
+#[test]
+fn clean_restart_loses_no_acknowledged_event_even_with_fsync_off() {
+    let community = Community::generate(CommunityConfig::tiny(0xFEED));
+    let dir = std::env::temp_dir().join(format!("viderec_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let mut dur = DurabilityConfig::new(&dir);
+    dur.fsync = FsyncPolicy::Off; // shutdown must still land everything
+    let cfg = RecommenderConfig::default();
+
+    // --- Run 1: bootstrap, ack a batch of comment events, shut down. ---
+    let (handle, report) = start_durable(
+        ServeConfig::default(),
+        dur.clone(),
+        cfg.clone(),
+        community.source_corpus(),
+    )
+    .expect("first start");
+    assert!(report.bootstrapped);
+    assert_eq!(report.recovered_lsn, 0);
+
+    let bodies: Vec<String> = (0..9)
+        .map(|i| {
+            encode_comment(
+                community.videos[i % community.videos.len()].id,
+                &community.comments[(i * 5) % community.comments.len()].user,
+            )
+        })
+        .collect();
+    for (i, body) in bodies.iter().enumerate() {
+        let resp = post(handle.addr(), "/update", body, TIMEOUT).expect("update");
+        assert_eq!(resp.status, 202, "{}", resp.body);
+        assert_eq!(json_u64(&resp.body, "durable_lsn"), Some(i as u64 + 1));
+    }
+    handle.shutdown();
+
+    // --- Run 2: recover; every acknowledged event must be back. ---
+    let (handle, report) = start_durable(
+        ServeConfig::default(),
+        dur,
+        cfg.clone(),
+        community.source_corpus(),
+    )
+    .expect("second start");
+    assert!(!report.bootstrapped);
+    assert_eq!(
+        report.recovered_lsn,
+        bodies.len() as u64,
+        "clean shutdown lost acknowledged events: {report:?}"
+    );
+    assert!(report.torn.is_none(), "clean log has no torn tail");
+
+    // Bit-identical to an uninterrupted reference applying the same events.
+    let mut reference =
+        Recommender::build(cfg, community.source_corpus()).expect("reference build");
+    for body in &bodies {
+        for event in parse_update_body(body).expect("valid body") {
+            let _ = reference.apply_event(event);
+        }
+    }
+    let queries: Vec<VideoId> = community.query_videos().into_iter().take(3).collect();
+    for &qid in &queries {
+        for (label, strategy) in [("sr", Strategy::Sr), ("csf-sar-h", Strategy::CsfSarH)] {
+            let target = format!("/recommend?video={}&k=5&strategy={label}", qid.0);
+            let resp = get(handle.addr(), &target, TIMEOUT).expect("request");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            let q = reference.query_for(qid).expect("query indexed");
+            let expected: Vec<(u64, u64)> = reference
+                .recommend_excluding(strategy, &q, 5, &[qid])
+                .into_iter()
+                .map(|s| (s.video.0, s.score.to_bits()))
+                .collect();
+            assert_eq!(
+                parse_results(&resp.body),
+                expected,
+                "{label} diverged after clean restart"
+            );
+        }
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
