@@ -1,0 +1,90 @@
+//! The perf-regression gate: diff freshly generated `BENCH_*.json`
+//! artifacts against their committed baselines and fail on any gated
+//! metric that worsened past tolerance (or vanished).
+//!
+//! ```text
+//! bench_diff [--quick] [--trajectory FILE] BASELINE=FRESH [BASELINE=FRESH ...]
+//! ```
+//!
+//! * `--quick` — gate only machine-independent metrics (counters, rates,
+//!   recall); use in CI where the runner is not the calibrated bench host.
+//! * `--trajectory FILE` — append one dated entry per fresh artifact to the
+//!   history file (`BENCH_TRAJECTORY.json` at the workspace root by
+//!   convention).
+//!
+//! Exit status: 0 when every pair passes, 1 on any regression, missing
+//! metric, or unreadable artifact — a CI-ready failing gate.
+
+use viderec_bench::diff::{diff, today_utc, trajectory_append, Json};
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn label_of(path: &str) -> String {
+    let file = path.rsplit('/').next().unwrap_or(path);
+    file.trim_start_matches("BENCH_")
+        .trim_end_matches(".json")
+        .to_string()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut trajectory: Option<String> = None;
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--trajectory" => match args.next() {
+                Some(path) => trajectory = Some(path),
+                None => {
+                    eprintln!("--trajectory needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => match other.split_once('=') {
+                Some((base, fresh)) => pairs.push((base.to_string(), fresh.to_string())),
+                None => {
+                    eprintln!("expected BASELINE=FRESH, got '{other}'");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if pairs.is_empty() {
+        eprintln!(
+            "usage: bench_diff [--quick] [--trajectory FILE] BASELINE=FRESH [BASELINE=FRESH ...]"
+        );
+        std::process::exit(2);
+    }
+
+    let date = today_utc();
+    let mut failed = false;
+    for (base_path, fresh_path) in &pairs {
+        let (base, fresh) = match (load(base_path), load(fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for err in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("bench-diff: {err}");
+                }
+                failed = true;
+                continue;
+            }
+        };
+        let label = label_of(base_path);
+        let report = diff(&base, &fresh, quick);
+        print!("{}", report.render(&label));
+        failed |= report.failed();
+        if let Some(traj) = &trajectory {
+            if let Err(e) = trajectory_append(traj, &date, &label, &fresh) {
+                eprintln!("bench-diff: trajectory: {e}");
+                failed = true;
+            } else {
+                println!("appended {label} @ {date} to {traj}");
+            }
+        }
+    }
+    std::process::exit(i32::from(failed));
+}

@@ -20,6 +20,7 @@
 //! | `SERVE_LOAD_HOURS` | 10.0 | community scale (paper-hours) |
 //! | `SERVE_LOAD_K` | 10 | top-k per request |
 //! | `SERVE_LOAD_OUT` | BENCH_serve.json | output path |
+//! | `SERVE_LOAD_PROFILE_SECONDS` | 5 | `/debug/profile` capture window mid-run |
 //! | `SERVE_LOAD_UPDATE_SECONDS` | 5 | measured duration per durability mode |
 //! | `SERVE_LOAD_WAL_DIR` | wal-scratch | scratch data dirs for the WAL modes |
 //!
@@ -36,6 +37,12 @@ use viderec_eval::community::{Community, CommunityConfig};
 use viderec_serve::client::{get, json_u64, post};
 use viderec_serve::wire::encode_comment;
 use viderec_serve::{start, start_durable, DurabilityConfig, FsyncPolicy, ServeConfig};
+
+/// The server runs in-process, so installing the counting allocator here
+/// makes the per-stage `alloc_bytes` trace counters and `/debug/heap` live
+/// for the whole measured run — the configuration the serve binaries ship.
+#[global_allocator]
+static ALLOC: viderec_prof::CountingAlloc = viderec_prof::CountingAlloc::system();
 
 fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::var(name)
@@ -102,6 +109,134 @@ fn summarize_traces(debug_page: &str) -> TraceSummary {
         agg.stage_sum_micros += json_u64(seg, "stage_sum_micros").unwrap_or(0);
     }
     agg
+}
+
+/// Minimal JSON string escaping for symbol names embedded in the report.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// What `GET /debug/profile` said about the server under load, plus the
+/// process telemetry sampled right after the capture window closed.
+struct ProfileCapture {
+    seconds: u64,
+    hz: u64,
+    samples: u64,
+    dropped: u64,
+    window_ms: u64,
+    emd_kernel_share: f64,
+    top: Vec<(u64, String)>,
+    rss_bytes: u64,
+    utime_secs: f64,
+    stime_secs: f64,
+    threads: u64,
+}
+
+/// Mid-run CPU profile: closed-loop clients keep the headline strategy hot
+/// while one more client asks the server to profile itself over HTTP.
+/// ITIMER_PROF fires on consumed CPU time only, so admission-queue wait —
+/// wall time a request spends parked before a worker picks it up — never
+/// appears in these stacks; compare `mean_queue_wait_micros` in the stage
+/// breakdown against the on-CPU shares here to separate the two.
+fn profile_under_load(
+    addr: std::net::SocketAddr,
+    queries: &[u64],
+    clients: usize,
+    seconds: u64,
+    k: usize,
+) -> Option<ProfileCapture> {
+    let stop = AtomicBool::new(false);
+    let body = std::thread::scope(|s| {
+        for c in 0..clients {
+            let stop = &stop;
+            s.spawn(move || {
+                let mut i = c;
+                while !stop.load(Ordering::Relaxed) {
+                    let video = queries[i % queries.len()];
+                    i += 1;
+                    let _ = get(
+                        addr,
+                        &format!("/recommend?video={video}&k={k}&strategy=csf-sar-h"),
+                        Duration::from_secs(10),
+                    );
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(300)); // let the load ramp up
+        let resp = get(
+            addr,
+            &format!("/debug/profile?seconds={seconds}&hz=199"),
+            Duration::from_secs(seconds + 30),
+        );
+        stop.store(true, Ordering::Relaxed);
+        resp.ok().filter(|r| r.status == 200).map(|r| r.body)
+    })?;
+
+    // Header line: `# samples=N dropped=D hz=H window_ms=W`, then one folded
+    // stack per line (`frame;frame;... count`), already sorted by count.
+    let mut samples = 0u64;
+    let mut dropped = 0u64;
+    let mut hz = 0u64;
+    let mut window_ms = 0u64;
+    if let Some(header) = body.lines().next().and_then(|l| l.strip_prefix("# ")) {
+        for field in header.split_whitespace() {
+            if let Some((key, value)) = field.split_once('=') {
+                let v = value.parse().unwrap_or(0);
+                match key {
+                    "samples" => samples = v,
+                    "dropped" => dropped = v,
+                    "hz" => hz = v,
+                    "window_ms" => window_ms = v,
+                    _ => {}
+                }
+            }
+        }
+    }
+    let mut total = 0u64;
+    let mut kernel = 0u64;
+    let mut stacks: Vec<(u64, String)> = Vec::new();
+    for line in body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let Some((stack, count)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let count: u64 = count.parse().unwrap_or(0);
+        total += count;
+        if stack.contains("emd_1d_soa_capped") {
+            kernel += count;
+        }
+        stacks.push((count, stack.to_string()));
+    }
+    stacks.sort_by_key(|s| std::cmp::Reverse(s.0));
+    stacks.truncate(10);
+    let proc = viderec_prof::read_self();
+    Some(ProfileCapture {
+        seconds,
+        hz,
+        samples,
+        dropped,
+        window_ms,
+        emd_kernel_share: kernel as f64 / total.max(1) as f64,
+        top: stacks,
+        rss_bytes: proc.rss_bytes,
+        utime_secs: proc.utime_secs,
+        stime_secs: proc.stime_secs,
+        threads: proc.threads,
+    })
 }
 
 struct StrategyRun {
@@ -317,6 +452,25 @@ fn main() {
         runs.push(run);
     }
 
+    // Profile the server mid-run: clients keep the headline strategy hot
+    // while `/debug/profile` walks the worker stacks from a SIGPROF handler.
+    let profile_seconds: u64 = env_or("SERVE_LOAD_PROFILE_SECONDS", 5);
+    eprintln!("profiling {profile_seconds}s under csf-sar-h load…");
+    let profile = profile_under_load(addr, &queries, clients, profile_seconds, k);
+    match &profile {
+        Some(p) => eprintln!(
+            "  {} samples @ {} Hz; emd_1d_soa_capped in {:.1}% of on-CPU samples; \
+             rss {} MiB, cpu {:.1}s user + {:.1}s sys",
+            p.samples,
+            p.hz,
+            100.0 * p.emd_kernel_share,
+            p.rss_bytes >> 20,
+            p.utime_secs,
+            p.stime_secs
+        ),
+        None => eprintln!("  profile capture unavailable on this platform"),
+    }
+
     // Scrape the server's own view before shutting down: per-stage time from
     // /metrics (pooled over every traced request of the whole run) and the
     // prune counters from the trace ring's most recent entries.
@@ -463,7 +617,7 @@ fn main() {
         "  \"setup\": {{ \"community_hours\": {hours}, \"corpus_videos\": {videos}, \
          \"users\": {users}, \"query_rotation\": {}, \"top_k\": {k}, \
          \"clients\": {clients}, \"seconds_per_strategy\": {seconds}, \
-         \"workers\": \"available_parallelism\" }},\n",
+         \"workers\": \"max(2, available_parallelism)\" }},\n",
         queries.len()
     ));
     json.push_str(&format!(
@@ -535,6 +689,41 @@ fn main() {
         ));
     }
     json.push_str("    ]\n  },\n");
+    match &profile {
+        Some(p) => {
+            json.push_str(&format!(
+                "  \"profile\": {{\n    \"source\": \"GET /debug/profile?seconds={}&hz=199 \
+                 captured mid-run while {} closed-loop clients drove csf-sar-h. ITIMER_PROF \
+                 samples consumed CPU time only, so admission-queue wait (wall time; see \
+                 stage_breakdown.mean_queue_wait_micros) never appears in these stacks — \
+                 the stacks are the on-CPU serve work.\",\n    \"hz\": {}, \"window_ms\": {}, \
+                 \"samples\": {}, \"dropped\": {},\n    \"emd_kernel_sample_share\": {:.4},\n    \
+                 \"process\": {{ \"rss_bytes\": {}, \"cpu_user_secs\": {:.3}, \
+                 \"cpu_system_secs\": {:.3}, \"threads\": {} }},\n    \"top_stacks\": [\n",
+                p.seconds,
+                clients,
+                p.hz,
+                p.window_ms,
+                p.samples,
+                p.dropped,
+                p.emd_kernel_share,
+                p.rss_bytes,
+                p.utime_secs,
+                p.stime_secs,
+                p.threads
+            ));
+            for (i, (count, stack)) in p.top.iter().enumerate() {
+                json.push_str(&format!(
+                    "      {{ \"count\": {}, \"stack\": \"{}\" }}{}\n",
+                    count,
+                    json_escape(stack),
+                    if i + 1 < p.top.len() { "," } else { "" }
+                ));
+            }
+            json.push_str("    ]\n  },\n");
+        }
+        None => json.push_str("  \"profile\": null,\n"),
+    }
     json.push_str("  \"results\": [\n");
     for (i, r) in runs.iter().enumerate() {
         json.push_str(&format!(

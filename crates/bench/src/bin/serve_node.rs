@@ -22,6 +22,11 @@ use viderec_core::RecommenderConfig;
 use viderec_eval::community::{Community, CommunityConfig};
 use viderec_serve::{start_durable, DurabilityConfig, FsyncPolicy, ServeConfig};
 
+/// The counting allocator the serve binaries ship: per-stage alloc cells in
+/// `/debug/trace`, live-heap numbers on `/debug/heap` and `/metrics`.
+#[global_allocator]
+static ALLOC: viderec_prof::CountingAlloc = viderec_prof::CountingAlloc::system();
+
 fn die(msg: &str) -> ! {
     eprintln!("serve_node: {msg}");
     std::process::exit(2);

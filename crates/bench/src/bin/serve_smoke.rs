@@ -5,18 +5,27 @@
 //! then scrapes `/metrics`, `/debug/queries` and `/debug/trace/<id>` and
 //! asserts every family and field the tracing work added is present and
 //! coherent (stage sum bounded by the total, accounting identity, update
-//! histograms populated). Exits nonzero on any failure.
+//! histograms populated). Also smokes the profiling surface: a
+//! `/debug/profile` capture under live load must return collapsed stacks
+//! that include the EMD kernel, and `/debug/heap` must see the counting
+//! allocator. Exits nonzero on any failure.
 //!
 //! ```sh
 //! cargo run --release -p viderec-bench --bin serve_smoke
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 use viderec_core::{Recommender, RecommenderConfig};
 use viderec_eval::community::{Community, CommunityConfig};
 use viderec_serve::client::{get, json_str, json_u64, post};
 use viderec_serve::wire::{encode_age, encode_comment};
 use viderec_serve::{start, ServeConfig};
+
+/// The smoke check runs the shipped configuration: allocation accounting on,
+/// so `/debug/heap` and the per-stage `alloc_bytes` counters carry real data.
+#[global_allocator]
+static ALLOC: viderec_prof::CountingAlloc = viderec_prof::CountingAlloc::system();
 
 const TIMEOUT: Duration = Duration::from_secs(10);
 
@@ -63,10 +72,73 @@ fn main() {
         "\"emd\"",
         "\"prune_rate\"",
         "\"shard_breakdown\"",
+        "\"alloc_count\"",
+        "\"alloc_bytes\"",
     ] {
         assert!(resp.body.contains(field), "trace misses {field}");
     }
     println!("debug trace ok: total {total} µs, stage sum {stage_sum} µs");
+
+    // Profile the server under live load: closed-loop drivers keep the EMD
+    // path on-CPU while `/debug/profile` samples it over SIGPROF. The folded
+    // output must be non-empty and its frames must include the EMD kernel
+    // (`emd_1d_soa_capped` is #[inline(never)] precisely so it names a frame).
+    let queries: Vec<u64> = community.query_videos().iter().map(|v| v.0).collect();
+    let stop = AtomicBool::new(false);
+    let profile = std::thread::scope(|s| {
+        for c in 0..3usize {
+            let (stop, queries) = (&stop, &queries);
+            s.spawn(move || {
+                let mut i = c;
+                while !stop.load(Ordering::Relaxed) {
+                    let video = queries[i % queries.len()];
+                    i += 1;
+                    let _ = get(
+                        addr,
+                        &format!("/recommend?video={video}&k=5&strategy=csf-sar-h"),
+                        TIMEOUT,
+                    );
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        let resp = get(addr, "/debug/profile?seconds=1&hz=199", TIMEOUT).expect("debug profile");
+        stop.store(true, Ordering::Relaxed);
+        resp
+    });
+    assert_eq!(profile.status, 200, "debug profile: {}", profile.body);
+    let stacks = profile
+        .body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .count();
+    assert!(stacks > 0, "profile returned no stacks: {}", profile.body);
+    assert!(
+        profile.body.contains("emd_1d_soa_capped"),
+        "EMD kernel missing from profile under load:\n{}",
+        profile.body
+    );
+    // Bad parameters must be rejected, and the capture guard must be free
+    // again now that the window above closed.
+    let resp = get(addr, "/debug/profile?seconds=0", TIMEOUT).expect("bad profile params");
+    assert_eq!(resp.status, 400, "seconds=0 should be a 400: {}", resp.body);
+    println!("debug profile ok: {stacks} stacks, EMD kernel present");
+
+    // Heap accounting: this binary installs the counting allocator, so the
+    // page must say so and report live bytes.
+    let resp = get(addr, "/debug/heap", TIMEOUT).expect("debug heap");
+    assert_eq!(resp.status, 200, "debug heap: {}", resp.body);
+    assert!(
+        resp.body.contains("\"counting_allocator_installed\":true"),
+        "counting allocator not seen: {}",
+        resp.body
+    );
+    assert!(
+        json_u64(&resp.body, "live_bytes").unwrap_or(0) > 0,
+        "no live bytes reported: {}",
+        resp.body
+    );
+    println!("debug heap ok");
 
     // Push one batch through the update pipeline so its histograms populate.
     let body = format!(
@@ -118,6 +190,16 @@ fn main() {
         "# TYPE serve_snapshot_age_micros gauge",
         "# TYPE serve_trace_ring_capacity gauge",
         "serve_tracing_enabled 1",
+        "# TYPE serve_query_stage_alloc_bytes histogram",
+        "# TYPE serve_update_batch_alloc_bytes histogram",
+        "# TYPE serve_process_rss_bytes gauge",
+        "# TYPE serve_process_threads gauge",
+        "# TYPE serve_process_cpu_user_seconds_total counter",
+        "# TYPE serve_process_cpu_system_seconds_total counter",
+        "# TYPE serve_process_voluntary_ctxt_switches_total counter",
+        "# TYPE serve_process_heap_live_bytes gauge",
+        "# TYPE serve_process_heap_allocated_bytes_total counter",
+        "serve_process_heap_counting 1",
     ] {
         assert!(page.contains(needle), "metrics page misses {needle:?}");
     }
@@ -138,6 +220,10 @@ fn main() {
     assert!(sample("serve_update_apply_micros_count{kind=\"age\"}") >= 1);
     // Counts maintainer publishes only — the boot snapshot is not one.
     assert!(sample("serve_snapshots_published_total") >= 1);
+    // The maintainer records one alloc-bytes observation per drained batch.
+    assert!(sample("serve_update_batch_alloc_bytes_count") >= 1);
+    assert!(sample("serve_process_rss_bytes") > 0);
+    assert!(sample("serve_process_threads") >= 2);
     let submitted = sample("serve_requests_submitted_total");
     let served = sample("serve_requests_served_total");
     let rejected = sample("serve_requests_rejected_total");

@@ -27,6 +27,8 @@
 //! extraction vs spectral, hash/B⁺-tree/LSB operations, and exact vs indexed
 //! KNN.
 
+pub mod diff;
+
 /// Shared defaults for the figure binaries.
 pub mod scale {
     use viderec_eval::community::CommunityConfig;

@@ -1,0 +1,78 @@
+//! With the counting global allocator installed — the configuration the
+//! serve binaries ship — tracing must stay a pure observer: traced and
+//! untraced queries return bit-identical results, while the traced path's
+//! per-stage `AllocCell`s actually populate. Without a counting allocator
+//! those cells read zero by design (see `viderec_trace::alloc`), so this is
+//! the only place the "populated when counted" half of the contract can be
+//! exercised.
+
+use viderec_core::{QueryVideo, Recommender, RecommenderConfig, Stage, Strategy, Tracer};
+use viderec_eval::community::{Community, CommunityConfig};
+
+#[global_allocator]
+static ALLOC: viderec_prof::CountingAlloc = viderec_prof::CountingAlloc::system();
+
+fn strategies() -> [Strategy; 3] {
+    [Strategy::Csf, Strategy::CsfSar, Strategy::CsfSarH]
+}
+
+#[test]
+fn tracing_is_a_pure_observer_under_the_counting_allocator() {
+    assert!(viderec_prof::counting_installed());
+
+    let community = Community::generate(CommunityConfig::tiny(41));
+    let recommender = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("tiny corpus builds");
+    let queries: Vec<QueryVideo> = community
+        .source_corpus()
+        .iter()
+        .take(4)
+        .map(QueryVideo::from_corpus)
+        .collect();
+
+    for strategy in strategies() {
+        for q in &queries {
+            let (off, _) = recommender.recommend_traced(strategy, q, 5, &[], Tracer::OFF);
+            let (on, trace) = recommender.recommend_traced(strategy, q, 5, &[], Tracer::ON);
+
+            assert_eq!(off.len(), on.len(), "{}", strategy.label());
+            for (a, b) in off.iter().zip(&on) {
+                assert_eq!(a.video, b.video, "{}", strategy.label());
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "traced and untraced scores must be bit-identical ({})",
+                    strategy.label()
+                );
+            }
+
+            // The counting allocator is live, so a traced query's stage
+            // cells must carry real deltas somewhere: every strategy at
+            // least sorts its candidates into a fresh top-k vector.
+            let total: u64 = Stage::ALL.iter().map(|s| trace.alloc(*s).bytes).sum();
+            assert!(
+                total > 0,
+                "traced query recorded no allocations under the counting \
+                 allocator ({})",
+                strategy.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn untraced_queries_record_no_alloc_cells() {
+    let community = Community::generate(CommunityConfig::tiny(43));
+    let recommender = Recommender::build(RecommenderConfig::default(), community.source_corpus())
+        .expect("tiny corpus builds");
+    let q = QueryVideo::from_corpus(&community.source_corpus()[0]);
+
+    let (_, trace) = recommender.recommend_traced(Strategy::CsfSarH, &q, 5, &[], Tracer::OFF);
+    for stage in Stage::ALL {
+        assert_eq!(
+            trace.alloc(stage),
+            viderec_trace::AllocCell::default(),
+            "Tracer::OFF must not touch the alloc cells"
+        );
+    }
+}

@@ -41,6 +41,14 @@
 //!   WAL/snapshot subsystem so crash-safety reasoning stays in one crate.
 //!   `#[cfg(test)]` regions are exempt; benchmark report writers and other
 //!   non-durability outputs carry waivers saying so.
+//! * **`signal-safe`** — `crates/prof/src/signal.rs` (everything in it may
+//!   run inside the SIGPROF handler) must stay async-signal-safe: no
+//!   allocating/formatting/panicking macros (`format!`, `vec!`, `panic!`,
+//!   `assert!`, …), no allocating or blocking method calls (`.unwrap()`,
+//!   `.to_string()`, `.clone()`, `.lock()`, …), and no heap or lock types
+//!   (`Vec`, `String`, `Box`, `Arc`, `Mutex`, …). `#[cfg(test)]` regions
+//!   are exempt; a site that provably cannot run in the handler carries a
+//!   waiver saying why.
 //!
 //! # Waivers
 //!
@@ -91,7 +99,7 @@ const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 
 /// Rules a `// viderec-lint: allow(...)` comment may waive.
-const WAIVABLE: [&str; 7] = [
+const WAIVABLE: [&str; 8] = [
     "serve-no-panic",
     "wallclock",
     "reader-locks",
@@ -99,6 +107,52 @@ const WAIVABLE: [&str; 7] = [
     "corpus-enumeration",
     "emd-direct-call",
     "durable-writes",
+    "signal-safe",
+];
+
+/// The one module whose every function may execute inside the SIGPROF
+/// handler, and therefore must be async-signal-safe throughout.
+const SIGNAL_SAFE_SCOPE: &str = "crates/prof/src/signal.rs";
+
+/// Macros whose expansion allocates, formats, or reaches the panic
+/// machinery — all fatal inside a signal handler.
+const SIGNAL_UNSAFE_MACROS: [&str; 19] = [
+    "format",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "vec",
+    "dbg",
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Method calls that allocate, panic, or block — none reentrant.
+const SIGNAL_UNSAFE_METHODS: [&str; 8] = [
+    "unwrap",
+    "expect",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "clone",
+    "lock",
+    "wait",
+];
+
+/// Types whose very mention means heap allocation or blocking primitives.
+const SIGNAL_UNSAFE_TYPES: [&str; 9] = [
+    "Vec", "String", "Box", "Rc", "Arc", "Mutex", "RwLock", "Condvar", "Once",
 ];
 
 /// Mutating `std::fs` free functions flagged by `durable-writes` (reads like
@@ -641,6 +695,44 @@ pub fn lint_workspace(files: &[(String, String)], atomics_md: Option<&str>) -> V
                                 "`{what}` outside `crates/wal`; durable state goes through \
                                  the WAL/snapshot subsystem — waive the site with the reason \
                                  this write is not durability-relevant"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // signal-safe: the SIGPROF handler module stays async-signal-safe.
+        if *path == SIGNAL_SAFE_SCOPE {
+            let regions = cfg_test_regions(&toks);
+            let in_tests = |line: u32| regions.iter().any(|&(a, b)| a <= line && line <= b);
+            for i in 0..toks.len() {
+                let line = toks[i].line;
+                let hit = if ident_at(&toks, i).is_some_and(|m| SIGNAL_UNSAFE_MACROS.contains(&m))
+                    && is_punct(&toks, i + 1, "!")
+                {
+                    Some(format!("{}!", toks[i].text))
+                } else if is_punct(&toks, i, ".")
+                    && ident_at(&toks, i + 1).is_some_and(|m| SIGNAL_UNSAFE_METHODS.contains(&m))
+                    && is_punct(&toks, i + 2, "(")
+                {
+                    Some(format!(".{}()", toks[i + 1].text))
+                } else if ident_at(&toks, i).is_some_and(|t| SIGNAL_UNSAFE_TYPES.contains(&t)) {
+                    Some(toks[i].text.clone())
+                } else {
+                    None
+                };
+                if let Some(what) = hit {
+                    if !in_tests(line) && !allow(&waivers, path, "signal-safe", line) {
+                        findings.push(Finding {
+                            path: path.to_string(),
+                            line,
+                            rule: "signal-safe",
+                            message: format!(
+                                "`{what}` in the SIGPROF handler module; signal context \
+                                 allows no allocation, formatting, locking, or panicking — \
+                                 restructure, or waive the site with the reason it cannot \
+                                 run inside the handler"
                             ),
                         });
                     }

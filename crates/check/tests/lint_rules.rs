@@ -461,6 +461,87 @@ fn wal_crate_and_reads_and_tests_are_exempt() {
     assert!(lint_workspace(&fs, None).is_empty());
 }
 
+// --- signal-safe ---
+
+#[test]
+fn allocation_formatting_and_panics_in_the_handler_module_are_findings() {
+    let fs = files(&[(
+        "crates/prof/src/signal.rs",
+        "fn handler() {\n\
+         \x20   let msg = format!(\"tick\");\n\
+         \x20   let mut frames: Vec<u64> = Vec::new();\n\
+         \x20   frames.first().unwrap();\n\
+         \x20   panic!(\"{msg}\");\n\
+         }\n",
+    )]);
+    let findings = lint_workspace(&fs, None);
+    assert_eq!(rules_of(&findings), vec!["signal-safe"; 5], "{findings:?}");
+    assert!(findings[0].message.contains("format!"));
+    assert!(findings.iter().any(|f| f.message.contains("Vec")));
+    assert!(findings.iter().any(|f| f.message.contains(".unwrap()")));
+    assert!(findings.iter().any(|f| f.message.contains("panic!")));
+}
+
+#[test]
+fn lock_types_and_blocking_calls_in_the_handler_module_are_findings() {
+    let fs = files(&[(
+        "crates/prof/src/signal.rs",
+        "use std::sync::Mutex;\n\
+         fn f(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }\n",
+    )]);
+    let findings = lint_workspace(&fs, None);
+    // Line 1: the Mutex ident in the use. Line 2: Mutex in the signature,
+    // the .lock() call, and the .unwrap() on its result.
+    assert_eq!(rules_of(&findings), vec!["signal-safe"; 4], "{findings:?}");
+}
+
+#[test]
+fn the_handler_modules_real_vocabulary_is_clean() {
+    // Atomics, raw pointer work, and hand-declared syscalls — what the
+    // module actually uses — must not trip the rule.
+    let fs = files(&[(
+        "crates/prof/src/signal.rs",
+        "use std::sync::atomic::{AtomicU64, Ordering};\n\
+         static DROPPED: AtomicU64 = AtomicU64::new(0);\n\
+         fn record(pc: u64, arena: &[AtomicU64]) {\n\
+         \x20   match arena.first() {\n\
+         \x20       Some(slot) => slot.store(pc, Ordering::Relaxed),\n\
+         \x20       None => { DROPPED.fetch_add(1, Ordering::Relaxed); }\n\
+         \x20   }\n\
+         }\n",
+    )]);
+    let md = "| site | ordering | justification |\n\
+              |---|---|---|\n\
+              | `crates/prof/src/signal.rs:5` | `Relaxed` | sample word, published later |\n\
+              | `crates/prof/src/signal.rs:6` | `Relaxed` | drop counter, no payload |\n";
+    assert!(lint_workspace(&fs, Some(md)).is_empty());
+}
+
+#[test]
+fn signal_safety_applies_only_to_the_handler_module() {
+    // The profiler's reader side allocates freely — out of scope.
+    let fs = files(&[(
+        "crates/prof/src/profiler.rs",
+        "fn fold() -> String { format!(\"{:?}\", Vec::<u64>::new()) }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
+#[test]
+fn waived_and_test_region_signal_sites_are_exempt() {
+    let fs = files(&[(
+        "crates/prof/src/signal.rs",
+        "// viderec-lint: allow(signal-safe) — install-time only; runs before\n\
+         // the handler is armed, never inside it.\n\
+         fn install() -> String { String::new() }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+         \x20   fn check(x: Option<u32>) { assert_eq!(x.unwrap(), 1); }\n\
+         }\n",
+    )]);
+    assert!(lint_workspace(&fs, None).is_empty());
+}
+
 #[test]
 fn waived_report_writer_is_allowed() {
     let fs = files(&[(

@@ -25,9 +25,23 @@ use crate::prune::{kappa_exact_cached, kappa_upper_bound_embed, PruneBound, Prun
 use crate::recommender::{PreparedQuery, Recommender, Scored};
 use crate::relevance::{strategy_score, Strategy};
 use crate::topk::{push_top_k, WorstFirst};
-use crate::trace::{QueryTrace, ShardTrace, Stage, StageSet, Tracer, MAX_SHARD_TRACES, NUM_STAGES};
+use crate::trace::{
+    AllocCell, QueryTrace, ShardTrace, Stage, StageSet, Tracer, MAX_SHARD_TRACES, NUM_STAGES,
+};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// What one shard worker hands back: its top-k, counters, stage timings,
+/// per-stage allocation cells (from the worker's own thread-local
+/// counters — exact because a shard never migrates threads mid-scan), and
+/// wall time.
+type ShardResult = (
+    Vec<Scored>,
+    PruneStats,
+    StageSet<NUM_STAGES>,
+    [AllocCell; NUM_STAGES],
+    u64,
+);
 
 /// Configuration of the sharded engine.
 #[derive(Debug, Clone, Copy)]
@@ -291,11 +305,11 @@ impl<'a> ParallelRecommender<'a> {
         }
         let sp = tracer.start();
         let prep = self.rec.prepare_query(strategy, query);
-        sp.stop(trace.cell_mut(Stage::Prepare));
+        trace.stop_span(sp, Stage::Prepare);
 
         let sp = tracer.start();
         let candidates = self.rec.candidate_indices(strategy, query, &prep);
-        sp.stop(trace.cell_mut(Stage::Gather));
+        trace.stop_span(sp, Stage::Gather);
         trace.gathered = candidates.len() as u64;
         trace.stats.scanned = candidates.len() as u64;
 
@@ -307,7 +321,7 @@ impl<'a> ParallelRecommender<'a> {
             self.rec.config().kernel == EmdKernel::Quantized,
         );
         let qv = query_cache.view(0);
-        sp.stop(trace.cell_mut(Stage::Prepare));
+        trace.stop_span(sp, Stage::Prepare);
 
         let workers = workers.min(candidates.len()).max(1);
         trace.shards = workers as u64;
@@ -370,7 +384,7 @@ impl<'a> ParallelRecommender<'a> {
         let sp = tracer.start();
         merged.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.video.cmp(&b.video)));
         merged.truncate(k);
-        sp.stop(trace.cell_mut(Stage::TopK));
+        trace.stop_span(sp, Stage::TopK);
         if let Some(ns) = total.elapsed_ns() {
             trace.total_ns = ns;
         }
@@ -490,7 +504,7 @@ impl<'a> ParallelRecommender<'a> {
                 kappa_exact_cached(qv, self.video_view(idx), matching, &mut trace.stats),
                 sj,
             );
-            sp.lap(trace.cell_mut(Stage::Emd));
+            trace.lap_span(&mut sp, Stage::Emd);
             push_top_k(
                 &mut prefix_heap,
                 WorstFirst(Scored {
@@ -499,7 +513,7 @@ impl<'a> ParallelRecommender<'a> {
                 }),
                 k,
             );
-            sp.lap(trace.cell_mut(Stage::TopK));
+            trace.lap_span(&mut sp, Stage::TopK);
         }
         let rest = &annotated[prefix..];
         if rest.is_empty() {
@@ -569,11 +583,12 @@ impl<'a> ParallelRecommender<'a> {
         shard: &[u32],
         k: usize,
         tracer: Tracer,
-    ) -> (Vec<Scored>, PruneStats, StageSet<NUM_STAGES>, u64) {
+    ) -> ShardResult {
         let omega = self.rec.config().omega;
         let matching = self.rec.config().matching;
         let wall = tracer.start();
         let mut stages: StageSet<NUM_STAGES> = StageSet::default();
+        let mut allocs = [AllocCell::default(); NUM_STAGES];
         let mut stats = PruneStats::default();
         let mut sp = tracer.start();
         let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
@@ -582,7 +597,8 @@ impl<'a> ParallelRecommender<'a> {
             let content = if strategy.uses_content() {
                 stats.exact_evals += 1;
                 let kappa = kappa_exact_cached(qv, self.video_view(idx), matching, &mut stats);
-                sp.lap(stages.cell_mut(Stage::Emd.index()));
+                let i = Stage::Emd.index();
+                sp.lap_with_alloc(stages.cell_mut(i), &mut allocs[i]);
                 kappa
             } else {
                 0.0
@@ -592,7 +608,8 @@ impl<'a> ParallelRecommender<'a> {
                 stats.exact_evals += 1;
             }
             let score = strategy_score(strategy, omega, content, sj);
-            sp.lap(stages.cell_mut(Stage::Social.index()));
+            let i = Stage::Social.index();
+            sp.lap_with_alloc(stages.cell_mut(i), &mut allocs[i]);
             push_top_k(
                 &mut heap,
                 WorstFirst(Scored {
@@ -601,10 +618,17 @@ impl<'a> ParallelRecommender<'a> {
                 }),
                 k,
             );
-            sp.lap(stages.cell_mut(Stage::TopK.index()));
+            let i = Stage::TopK.index();
+            sp.lap_with_alloc(stages.cell_mut(i), &mut allocs[i]);
         }
         let ns = wall.elapsed_ns().unwrap_or(0);
-        (heap.into_iter().map(|e| e.0).collect(), stats, stages, ns)
+        (
+            heap.into_iter().map(|e| e.0).collect(),
+            stats,
+            stages,
+            allocs,
+            ns,
+        )
     }
 
     /// Scores one ceiling-descending annotated shard into its exact top-k,
@@ -628,11 +652,12 @@ impl<'a> ParallelRecommender<'a> {
         k: usize,
         shared_floor: &AtomicU64,
         tracer: Tracer,
-    ) -> (Vec<Scored>, PruneStats, StageSet<NUM_STAGES>, u64) {
+    ) -> ShardResult {
         let omega = self.rec.config().omega;
         let matching = self.rec.config().matching;
         let wall = tracer.start();
         let mut stages: StageSet<NUM_STAGES> = StageSet::default();
+        let mut allocs = [AllocCell::default(); NUM_STAGES];
         let mut stats = PruneStats::default();
         let mut sp = tracer.start();
         let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
@@ -664,7 +689,8 @@ impl<'a> ParallelRecommender<'a> {
                     kappa_upper_bound_embed(qv, self.video_view(idx), self.cfg.bound, matching),
                     sj,
                 );
-                sp.lap(stages.cell_mut(Stage::Bound.index()));
+                let i = Stage::Bound.index();
+                sp.lap_with_alloc(stages.cell_mut(i), &mut allocs[i]);
                 if ceiling2 < threshold {
                     stats.pruned += 1;
                     stats.pruned_embed += 1;
@@ -678,7 +704,8 @@ impl<'a> ParallelRecommender<'a> {
                 kappa_exact_cached(qv, self.video_view(idx), matching, &mut stats),
                 sj,
             );
-            sp.lap(stages.cell_mut(Stage::Emd.index()));
+            let i = Stage::Emd.index();
+            sp.lap_with_alloc(stages.cell_mut(i), &mut allocs[i]);
             push_top_k(
                 &mut heap,
                 WorstFirst(Scored {
@@ -687,25 +714,34 @@ impl<'a> ParallelRecommender<'a> {
                 }),
                 k,
             );
-            sp.lap(stages.cell_mut(Stage::TopK.index()));
+            let i = Stage::TopK.index();
+            sp.lap_with_alloc(stages.cell_mut(i), &mut allocs[i]);
         }
         let ns = wall.elapsed_ns().unwrap_or(0);
-        (heap.into_iter().map(|e| e.0).collect(), stats, stages, ns)
+        (
+            heap.into_iter().map(|e| e.0).collect(),
+            stats,
+            stages,
+            allocs,
+            ns,
+        )
     }
 }
 
 /// Concatenates per-shard tops into one candidate list while folding each
 /// shard's counters, stage set and wall time into the query's trace (the
 /// first [`MAX_SHARD_TRACES`] shards get individual breakdown entries).
-fn merge_shards(
-    results: Vec<(Vec<Scored>, PruneStats, StageSet<NUM_STAGES>, u64)>,
-    trace: &mut QueryTrace,
-) -> Vec<Scored> {
+fn merge_shards(results: Vec<ShardResult>, trace: &mut QueryTrace) -> Vec<Scored> {
     let mut merged = Vec::new();
-    for (s, (shard_top, shard_stats, shard_stages, shard_ns)) in results.into_iter().enumerate() {
+    for (s, (shard_top, shard_stats, shard_stages, shard_allocs, shard_ns)) in
+        results.into_iter().enumerate()
+    {
         merged.extend(shard_top);
         trace.stats.absorb(shard_stats);
         trace.stages.merge(&shard_stages);
+        for (mine, theirs) in trace.allocs.iter_mut().zip(shard_allocs.iter()) {
+            mine.merge(*theirs);
+        }
         if s < MAX_SHARD_TRACES {
             trace.shard[s] = ShardTrace {
                 ns: shard_ns,

@@ -358,11 +358,11 @@ impl Recommender {
         }
         let sp = tracer.start();
         let prep = self.prepare_query(strategy, query);
-        sp.stop(trace.cell_mut(Stage::Prepare));
+        trace.stop_span(sp, Stage::Prepare);
 
         let sp = tracer.start();
         let mut candidates = self.candidate_indices(strategy, query, &prep);
-        sp.stop(trace.cell_mut(Stage::Gather));
+        trace.stop_span(sp, Stage::Gather);
         trace.gathered = candidates.len() as u64;
 
         // Exclusions drop out *before* any scoring: an excluded video never
@@ -375,7 +375,7 @@ impl Recommender {
         if !excluded.is_empty() {
             candidates.retain(|idx| !excluded.contains(idx));
         }
-        sp.stop(trace.cell_mut(Stage::Filter));
+        trace.stop_span(sp, Stage::Filter);
         trace.excluded = trace.gathered - candidates.len() as u64;
         trace.stats.scanned = candidates.len() as u64;
         trace.shards = 1;
@@ -390,7 +390,7 @@ impl Recommender {
                 self.cfg.kernel == EmdKernel::Quantized,
             );
             let qv = query_cache.view(0);
-            sp.stop(trace.cell_mut(Stage::Prepare));
+            trace.stop_span(sp, Stage::Prepare);
             let annotated = self.annotate_candidates(
                 strategy,
                 query,
@@ -430,7 +430,7 @@ impl Recommender {
         };
         let sp = tracer.start();
         sort_ranked(&mut top);
-        sp.stop(trace.cell_mut(Stage::TopK));
+        trace.stop_span(sp, Stage::TopK);
         if let Some(ns) = total.elapsed_ns() {
             trace.total_ns = ns;
         }
@@ -463,19 +463,19 @@ impl Recommender {
         for &idx in candidates {
             let i = idx as usize;
             let sj = self.social_score(strategy, query, prep, i);
-            sp.lap(trace.cell_mut(Stage::Social));
+            trace.lap_span(&mut sp, Stage::Social);
             let ceiling = strategy_score(
                 strategy,
                 omega,
                 kappa_upper_bound(qv, view_of(i), bound, matching),
                 sj,
             );
-            sp.lap(trace.cell_mut(Stage::Bound));
+            trace.lap_span(&mut sp, Stage::Bound);
             annotated.push((idx, sj, ceiling));
         }
         let sp = tracer.start();
         annotated.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
-        sp.stop(trace.cell_mut(Stage::Sort));
+        trace.stop_span(sp, Stage::Sort);
         annotated
     }
 
@@ -551,7 +551,7 @@ impl Recommender {
                     kappa_upper_bound_embed(qv, view_of(i), bound, matching),
                     sj,
                 );
-                sp.lap(trace.cell_mut(Stage::Bound));
+                trace.lap_span(&mut sp, Stage::Bound);
                 if ceiling2 < floor {
                     trace.stats.pruned += 1;
                     trace.stats.pruned_embed += 1;
@@ -565,7 +565,7 @@ impl Recommender {
                 kappa_exact_cached(qv, view_of(i), matching, &mut trace.stats),
                 sj,
             );
-            sp.lap(trace.cell_mut(Stage::Emd));
+            trace.lap_span(&mut sp, Stage::Emd);
             push_top_k(
                 heap,
                 WorstFirst(Scored {
@@ -574,7 +574,7 @@ impl Recommender {
                 }),
                 top_k,
             );
-            sp.lap(trace.cell_mut(Stage::TopK));
+            trace.lap_span(&mut sp, Stage::TopK);
         }
     }
 
@@ -912,18 +912,18 @@ impl Recommender {
             self.cfg.kernel == EmdKernel::Quantized,
         );
         let qv = query_cache.view(0);
-        sp.stop(trace.cell_mut(Stage::Prepare));
+        trace.stop_span(sp, Stage::Prepare);
 
         let sp = tracer.start();
         let mut candidates = self.gated_candidates(strategy, query, &gather_vec, fanout);
-        sp.stop(trace.cell_mut(Stage::Gather));
+        trace.stop_span(sp, Stage::Gather);
         trace.gathered = candidates.len() as u64;
 
         let sp = tracer.start();
         if !excluded.is_empty() {
             candidates.retain(|idx| !excluded.contains(idx));
         }
-        sp.stop(trace.cell_mut(Stage::Filter));
+        trace.stop_span(sp, Stage::Filter);
         trace.excluded = trace.gathered - candidates.len() as u64;
         trace.stats.scanned = candidates.len() as u64;
 
@@ -978,7 +978,7 @@ impl Recommender {
             excluded,
             floor,
         );
-        sp.stop(trace.cell_mut(Stage::Bound));
+        trace.stop_span(sp, Stage::Bound);
 
         if violators.is_empty() {
             trace.gate = 2;
@@ -1029,7 +1029,7 @@ impl Recommender {
         for &idx in candidates {
             trace.stats.exact_evals += 1;
             let score = self.score_video(strategy, query, prep, idx as usize);
-            sp.lap(trace.cell_mut(Stage::Social));
+            trace.lap_span(&mut sp, Stage::Social);
             push_top_k(
                 heap,
                 WorstFirst(Scored {
@@ -1038,7 +1038,7 @@ impl Recommender {
                 }),
                 top_k,
             );
-            sp.lap(trace.cell_mut(Stage::TopK));
+            trace.lap_span(&mut sp, Stage::TopK);
         }
     }
 
@@ -1095,7 +1095,7 @@ impl Recommender {
             outcome.expect("the final round always promotes and thus concludes");
         let sp = tracer.start();
         sort_ranked(&mut top);
-        sp.stop(trace.cell_mut(Stage::TopK));
+        trace.stop_span(sp, Stage::TopK);
         if let Some(ns) = total.elapsed_ns() {
             trace.total_ns = ns;
         }

@@ -12,7 +12,7 @@
 
 use crate::prune::PruneStats;
 use crate::relevance::Strategy;
-pub use viderec_trace::{next_trace_id, Span, StageCell, StageSet, Tracer};
+pub use viderec_trace::{next_trace_id, AllocCell, Span, StageCell, StageSet, Tracer};
 
 /// Number of pipeline stages a [`QueryTrace`] distinguishes.
 pub const NUM_STAGES: usize = 9;
@@ -132,6 +132,11 @@ pub struct QueryTrace {
     pub stats: PruneStats,
     /// Per-stage `{ns, count}` accumulators (shards merged in).
     pub stages: StageSet<NUM_STAGES>,
+    /// Per-stage `{alloc_count, alloc_bytes}` accumulators, recorded by the
+    /// same spans that fill `stages`. All zeros unless the binary installs
+    /// `viderec-prof`'s counting allocator (library callers see zeros, not
+    /// errors).
+    pub allocs: [AllocCell; NUM_STAGES],
     /// Logical shards the scan used (1 = the sequential single-heap scan).
     pub shards: u64,
     /// How many entries of `shard` are populated
@@ -155,8 +160,10 @@ pub struct QueryTrace {
 }
 
 impl QueryTrace {
-    /// Words of the fixed-width ring record.
-    pub const WORDS: usize = 19 + 2 * NUM_STAGES + 3 * MAX_SHARD_TRACES;
+    /// Words of the fixed-width ring record: 19 scalars, `{ns, count,
+    /// alloc_count, alloc_bytes}` per stage, `{ns, exact_evals, pruned}`
+    /// per recorded shard.
+    pub const WORDS: usize = 19 + 4 * NUM_STAGES + 3 * MAX_SHARD_TRACES;
 
     /// A fresh trace for one query.
     pub fn new(strategy: Strategy, k: usize) -> Self {
@@ -170,6 +177,7 @@ impl QueryTrace {
             excluded: 0,
             stats: PruneStats::default(),
             stages: StageSet::default(),
+            allocs: [AllocCell::default(); NUM_STAGES],
             shards: 0,
             shards_recorded: 0,
             corpus: 0,
@@ -189,6 +197,34 @@ impl QueryTrace {
     #[inline]
     pub fn cell_mut(&mut self, stage: Stage) -> &mut StageCell {
         self.stages.cell_mut(stage.index())
+    }
+
+    /// The accumulated allocation cell of one stage.
+    pub fn alloc(&self, stage: Stage) -> AllocCell {
+        self.allocs[stage.index()]
+    }
+
+    /// Split borrow of one stage's time and allocation cells, for
+    /// [`Span::stop_with_alloc`] / [`Span::lap_with_alloc`] (the two cells
+    /// live in different fields, so both `&mut`s coexist).
+    #[inline]
+    pub fn cells_mut(&mut self, stage: Stage) -> (&mut StageCell, &mut AllocCell) {
+        let i = stage.index();
+        (self.stages.cell_mut(i), &mut self.allocs[i])
+    }
+
+    /// Ends `span` into `stage`'s time and allocation cells.
+    #[inline]
+    pub fn stop_span(&mut self, span: Span, stage: Stage) {
+        let (cell, alloc) = self.cells_mut(stage);
+        span.stop_with_alloc(cell, alloc);
+    }
+
+    /// Laps `span` into `stage`'s time and allocation cells.
+    #[inline]
+    pub fn lap_span(&mut self, span: &mut Span, stage: Stage) {
+        let (cell, alloc) = self.cells_mut(stage);
+        span.lap_with_alloc(cell, alloc);
     }
 
     /// Sum of all stage times — by construction ≤ [`Self::total_ns`].
@@ -219,10 +255,12 @@ impl QueryTrace {
         w[17] = self.stats.cap_aborted;
         w[18] = self.stats.full_sweeps;
         let mut at = 19;
-        for (_, cell) in self.stages.iter() {
+        for (i, cell) in self.stages.iter() {
             w[at] = cell.ns;
             w[at + 1] = cell.count;
-            at += 2;
+            w[at + 2] = self.allocs[i].count;
+            w[at + 3] = self.allocs[i].bytes;
+            at += 4;
         }
         for s in &self.shard {
             w[at] = s.ns;
@@ -263,7 +301,11 @@ impl QueryTrace {
                 ns: w[at],
                 count: w[at + 1],
             };
-            at += 2;
+            t.allocs[i] = AllocCell {
+                count: w[at + 2],
+                bytes: w[at + 3],
+            };
+            at += 4;
         }
         for s in t.shard.iter_mut() {
             *s = ShardTrace {
@@ -330,6 +372,14 @@ mod tests {
         };
         t.cell_mut(Stage::Emd).add(123_456);
         t.cell_mut(Stage::Queue).add(7);
+        t.allocs[Stage::Prepare.index()] = AllocCell {
+            count: 12,
+            bytes: 4096,
+        };
+        t.allocs[Stage::Emd.index()] = AllocCell {
+            count: 1,
+            bytes: 64,
+        };
         t.shards = 4;
         t.shards_recorded = 4;
         t.corpus = 1_000;

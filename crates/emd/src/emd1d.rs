@@ -126,7 +126,13 @@ pub fn emd_1d_soa(av: &[f64], aw: &[f64], bv: &[f64], bw: &[f64]) -> f64 {
 /// [`emd_1d_presorted_capped`]: exact total when it is `<= cap`,
 /// `f64::INFINITY` as soon as a block-boundary check sees the monotone total
 /// exceed `cap`.
-#[inline]
+///
+/// `inline(never)`: this is the hot kernel the sampling profiler must be
+/// able to attribute — a physical frame here costs one call per sweep
+/// (thousands of merge steps), and buys every `/debug/profile` capture and
+/// the bench folded stacks a named `emd_1d_soa_capped` leaf instead of
+/// samples smeared into whichever caller the inliner picked.
+#[inline(never)]
 pub fn emd_1d_soa_capped(av: &[f64], aw: &[f64], bv: &[f64], bw: &[f64], cap: f64) -> f64 {
     debug_assert_eq!(av.len(), aw.len(), "first lane length mismatch");
     debug_assert_eq!(bv.len(), bw.len(), "second lane length mismatch");

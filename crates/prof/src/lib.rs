@@ -1,0 +1,34 @@
+//! Dependency-free in-process profiling.
+//!
+//! Three instruments behind one small crate, all built directly on the
+//! kernel interfaces (hand-declared FFI against the libc that `std`
+//! already links — no external crates, per the offline-vendoring policy):
+//!
+//! * **Sampling CPU profiler** ([`capture`]) — `SIGPROF`/`setitimer`
+//!   driven. The handler walks the interrupted thread's stack by chasing
+//!   frame pointers (the workspace builds with `force-frame-pointers`) and
+//!   appends raw PCs to a statically-allocated lock-free ring; everything
+//!   the handler touches is async-signal-safe (see `signal.rs` and the
+//!   `signal-safe` lint rule). Symbolization happens afterwards, off the
+//!   hot path, from `/proc/self/maps` plus the binary's own ELF symbol
+//!   table, producing collapsed-stack ("folded") output.
+//! * **Counting allocator** ([`CountingAlloc`]) — a `#[global_allocator]`
+//!   wrapper that feeds thread-local counters (which `viderec-trace` spans
+//!   fold into per-stage `alloc_count`/`alloc_bytes`) and process-global
+//!   heap gauges ([`heap_stats`], `/debug/heap`).
+//! * **Process telemetry** ([`read_self`]) — RSS, CPU seconds, thread
+//!   count and voluntary context switches from `/proc/self/{stat,status}`
+//!   for the `/metrics` page and the bench reports.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod profiler;
+pub mod signal;
+pub mod symbols;
+pub mod telemetry;
+
+pub use alloc::{counting_installed, heap_json, heap_stats, CountingAlloc, HeapStats};
+pub use profiler::{capture, CaptureError, FoldedStack, Profile, DEFAULT_HZ, MAX_HZ, MAX_SECONDS};
+pub use symbols::SymbolTable;
+pub use telemetry::{read_self, ProcStats};

@@ -1,0 +1,260 @@
+//! Capture orchestration: arm the timer, sleep, drain the ring, symbolize,
+//! fold. Everything here runs in normal (non-signal) context.
+
+use crate::signal;
+use crate::symbols::SymbolTable;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+use std::time::Duration;
+
+/// Longest capture accepted; longer requests are clamped, bounding both the
+/// arena pressure and how long `/debug/profile` can hold its caller.
+pub const MAX_SECONDS: u64 = 10;
+/// Highest sampling rate accepted (one sample per CPU millisecond).
+pub const MAX_HZ: u32 = 1000;
+/// Default sampling rate: the classic prime that avoids lockstep with
+/// 10 ms/1 ms periodic work.
+pub const DEFAULT_HZ: u32 = 99;
+
+static INSTALL: Once = Once::new();
+static INSTALL_OK: AtomicBool = AtomicBool::new(false);
+/// One capture at a time: the ring, the timer, and the signal disposition
+/// are process-global, so a second concurrent capture would corrupt the
+/// first. Claimed by CAS, released by RAII so an early return cannot leak
+/// the guard.
+static CAPTURING: AtomicBool = AtomicBool::new(false);
+
+struct CaptureGuard;
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        signal::ACTIVE.store(false, Ordering::SeqCst);
+        signal::disarm();
+        CAPTURING.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Why a capture could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaptureError {
+    /// Another capture is in flight (the profiler is process-global).
+    Busy,
+    /// Installing the SIGPROF handler or arming the timer failed.
+    Setup(&'static str),
+    /// The capture window produced no samples (process was idle, or the
+    /// platform delivers no ITIMER_PROF ticks).
+    NoSamples,
+}
+
+impl std::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureError::Busy => write!(f, "a profile capture is already in flight"),
+            CaptureError::Setup(what) => write!(f, "profiler setup failed: {what}"),
+            CaptureError::NoSamples => write!(f, "capture window produced no samples"),
+        }
+    }
+}
+
+/// One folded stack: frames root-first and the number of samples that
+/// observed exactly this stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedStack {
+    /// `;`-joined frames, root first (the flamegraph collapsed format).
+    pub stack: String,
+    /// Samples attributed to this stack.
+    pub count: u64,
+}
+
+/// The result of one capture window.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Samples recorded into the ring.
+    pub samples: u64,
+    /// Samples dropped because the ring filled.
+    pub dropped: u64,
+    /// Requested sampling rate after clamping.
+    pub hz: u32,
+    /// Wall-clock capture window after clamping, in milliseconds.
+    pub window_ms: u64,
+    /// Folded stacks, most-sampled first.
+    pub folded: Vec<FoldedStack>,
+}
+
+impl Profile {
+    /// Renders the classic collapsed-stack format: one `stack count` line
+    /// per distinct stack, most-sampled first (feed to any flamegraph
+    /// tool, or read the top lines directly).
+    pub fn render_collapsed(&self) -> String {
+        let mut out = String::new();
+        for fs in &self.folded {
+            out.push_str(&fs.stack);
+            out.push(' ');
+            out.push_str(&fs.count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The `n` most-sampled stacks.
+    pub fn top(&self, n: usize) -> &[FoldedStack] {
+        &self.folded[..self.folded.len().min(n)]
+    }
+
+    /// Fraction of samples whose stack contains `needle` as a substring of
+    /// any frame (e.g. a function name). Attribution, not timing: at 99 Hz
+    /// this converges on the CPU share of that function and its callees.
+    pub fn share_containing(&self, needle: &str) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .folded
+            .iter()
+            .filter(|fs| fs.stack.contains(needle))
+            .map(|fs| fs.count)
+            .sum();
+        hits as f64 / self.samples as f64
+    }
+}
+
+/// Captures a CPU profile of the whole process for `duration` at `hz`
+/// samples per second of process CPU time (clamped to [`MAX_SECONDS`] /
+/// [`MAX_HZ`]). The calling thread sleeps for the window; `ITIMER_PROF`
+/// charges ticks to whichever threads burn CPU, so worker threads are
+/// sampled while the caller waits.
+pub fn capture(duration: Duration, hz: u32) -> Result<Profile, CaptureError> {
+    let hz = hz.clamp(1, MAX_HZ);
+    let duration = duration
+        .min(Duration::from_secs(MAX_SECONDS))
+        .max(Duration::from_millis(10));
+
+    if CAPTURING
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return Err(CaptureError::Busy);
+    }
+    let _guard = CaptureGuard;
+
+    INSTALL.call_once(|| {
+        INSTALL_OK.store(unsafe { signal::install_handler() }, Ordering::SeqCst);
+    });
+    if !INSTALL_OK.load(Ordering::SeqCst) {
+        return Err(CaptureError::Setup("sigaction(SIGPROF)"));
+    }
+
+    // Load the symbol table before sampling so its own parsing work (a few
+    // ms of ELF reading on first use) is not attributed to the window.
+    let symbols = SymbolTable::load_self();
+
+    // Reset the ring. No handler is active (CAPTURING excluded rivals and
+    // ACTIVE is false), so plain stores are race-free here.
+    signal::HEAD.store(0, Ordering::SeqCst);
+    signal::COMMITTED.store(0, Ordering::SeqCst);
+    signal::DROPPED.store(0, Ordering::SeqCst);
+    signal::BAD_CONTEXT.store(0, Ordering::SeqCst);
+    signal::ACTIVE.store(true, Ordering::SeqCst);
+
+    if !signal::arm(hz) {
+        return Err(CaptureError::Setup("setitimer(ITIMER_PROF)"));
+    }
+
+    std::thread::sleep(duration);
+
+    signal::ACTIVE.store(false, Ordering::SeqCst);
+    signal::disarm();
+
+    // Rendezvous: wait until every claimed word is published. In-flight
+    // handlers finish in microseconds; the bound is sheer paranoia.
+    let mut spins = 0;
+    while signal::COMMITTED.load(Ordering::Acquire) != signal::HEAD.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(1));
+        spins += 1;
+        if spins > 200 {
+            return Err(CaptureError::Setup("ring rendezvous"));
+        }
+    }
+
+    let words = signal::HEAD.load(Ordering::SeqCst);
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut samples = 0u64;
+    let mut i = 0usize;
+    while i < words {
+        let depth = signal::ARENA[i].load(Ordering::Relaxed) as usize;
+        if depth == 0 || depth > signal::MAX_DEPTH || i + 1 + depth > words {
+            break; // defensive: a malformed record ends the drain
+        }
+        samples += 1;
+        // Records are leaf-first; fold root-first. The leaf PC is the
+        // interrupted instruction itself; caller PCs are return addresses,
+        // shifted back one byte so they symbolize to the call site.
+        let mut frames: Vec<String> = Vec::with_capacity(depth);
+        for j in (0..depth).rev() {
+            let raw = signal::ARENA[i + 1 + j].load(Ordering::Relaxed);
+            let pc = if j == 0 { raw } else { raw.saturating_sub(1) };
+            frames.push(symbols.resolve(pc));
+        }
+        *counts.entry(frames.join(";")).or_insert(0) += 1;
+        i += 1 + depth;
+    }
+
+    if samples == 0 {
+        return Err(CaptureError::NoSamples);
+    }
+
+    let mut folded: Vec<FoldedStack> = counts
+        .into_iter()
+        .map(|(stack, count)| FoldedStack { stack, count })
+        .collect();
+    folded.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.stack.cmp(&b.stack)));
+
+    Ok(Profile {
+        samples,
+        dropped: signal::DROPPED.load(Ordering::SeqCst),
+        hz,
+        window_ms: duration.as_millis() as u64,
+        folded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        assert!(CaptureError::Busy.to_string().contains("in flight"));
+        assert!(CaptureError::Setup("x").to_string().contains('x'));
+        assert!(CaptureError::NoSamples.to_string().contains("no samples"));
+    }
+
+    #[test]
+    fn profile_helpers() {
+        let p = Profile {
+            samples: 10,
+            dropped: 0,
+            hz: 99,
+            window_ms: 1000,
+            folded: vec![
+                FoldedStack {
+                    stack: "main;hot_fn".into(),
+                    count: 7,
+                },
+                FoldedStack {
+                    stack: "main;cold_fn".into(),
+                    count: 3,
+                },
+            ],
+        };
+        assert_eq!(p.top(1).len(), 1);
+        assert_eq!(p.top(5).len(), 2);
+        assert!((p.share_containing("hot_fn") - 0.7).abs() < 1e-9);
+        assert!((p.share_containing("main") - 1.0).abs() < 1e-9);
+        assert_eq!(p.share_containing("absent"), 0.0);
+        let rendered = p.render_collapsed();
+        assert!(rendered.starts_with("main;hot_fn 7\n"));
+        assert!(rendered.contains("main;cold_fn 3\n"));
+    }
+}

@@ -1,0 +1,267 @@
+//! The async-signal-safe core of the sampling profiler.
+//!
+//! Everything in this module may run inside the `SIGPROF` handler, and is
+//! therefore written to the signal-safety discipline enforced by the
+//! `signal-safe` lint rule: **no allocation, no formatting, no locks, no
+//! panics, no non-reentrant libc calls**. The handler touches only
+//!
+//! * the interrupted thread's register state (handed to us in `ucontext`),
+//! * a statically-allocated ring of `AtomicU64` words (`.bss`, zero pages
+//!   until touched — nothing is allocated at any point),
+//! * raw syscalls (`process_vm_readv`) declared by hand below.
+//!
+//! Stack reads go through `process_vm_readv(2)` on our own pid rather than
+//! raw pointer dereferences: a garbage frame pointer (a leaf libc routine
+//! that uses RBP as a scratch register, a thread mid-prologue) then yields a
+//! short read instead of a SIGSEGV inside a signal handler. One 16-byte
+//! syscall per frame at <= 1000 Hz is noise next to the work being profiled.
+//!
+//! Ring protocol: a handler walks the stack into a stack-local buffer,
+//! claims `1 + depth` words with a bounded CAS loop on [`HEAD`] (claims
+//! never exceed the arena, so every claimed word is written), stores
+//! `[depth, leaf_pc, caller_pc, ...]` with relaxed stores, then publishes by
+//! adding the claimed length to [`COMMITTED`] with `Release`. The reader
+//! (in `profiler.rs`, outside signal context) disarms the timer, waits for
+//! `COMMITTED == HEAD`, and acquires-loads `COMMITTED` so every handler's
+//! stores are visible before it parses a single word. A full ring drops the
+//! sample and counts it in [`DROPPED`] — dropping is the only overflow
+//! behaviour a signal handler can afford.
+//!
+//! The handler saves and restores `errno` (via `__errno_location`) because
+//! `process_vm_readv` may clobber it mid-way through interrupted user code.
+
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU64, AtomicUsize, Ordering};
+
+/// Deepest stack the walker records; deeper stacks are truncated at the
+/// root end (the leaf frames are the ones the profile is for).
+pub const MAX_DEPTH: usize = 64;
+
+/// Sample arena capacity in words (4 MiB of `.bss`). At the clamped maximum
+/// capture rate (1000 Hz x 10 s) this holds ~8k samples of median depth
+/// before dropping; typical captures (99 Hz) never come close.
+pub const ARENA_WORDS: usize = 1 << 19;
+
+/// Furthest a walked frame pointer may sit above the interrupted RSP before
+/// the walk gives up. Generous on purpose: correctness against wild values
+/// comes from `process_vm_readv`, this bound only stops absurd walks.
+const STACK_SPAN: u64 = 64 << 20;
+
+/// The sample arena. Records are `[depth, pc0(leaf), pc1, ...]`.
+pub static ARENA: [AtomicU64; ARENA_WORDS] = [const { AtomicU64::new(0) }; ARENA_WORDS];
+/// Next free word (claim cursor). Never exceeds [`ARENA_WORDS`].
+pub static HEAD: AtomicUsize = AtomicUsize::new(0);
+/// Words fully written and published. Readers wait for `COMMITTED == HEAD`.
+pub static COMMITTED: AtomicUsize = AtomicUsize::new(0);
+/// Samples dropped because the arena was full.
+pub static DROPPED: AtomicU64 = AtomicU64::new(0);
+/// Samples whose register state could not be read (null ucontext).
+pub static BAD_CONTEXT: AtomicU64 = AtomicU64::new(0);
+/// Gate: the handler records only while a capture is active.
+pub static ACTIVE: AtomicBool = AtomicBool::new(false);
+/// Our pid, cached at install so the handler never calls `getpid`.
+static PID: AtomicI32 = AtomicI32::new(0);
+
+// ---- hand-declared FFI (std already links libc; no crates involved) ----
+
+pub(crate) const SIGPROF: i32 = 27;
+const SA_SIGINFO: i32 = 4;
+const SA_RESTART: i32 = 0x1000_0000;
+pub(crate) const ITIMER_PROF: i32 = 2;
+
+/// glibc x86_64 `struct sigaction`: handler, 1024-bit mask, flags, restorer.
+#[repr(C)]
+struct Sigaction {
+    sa_sigaction: usize,
+    sa_mask: [u64; 16],
+    sa_flags: i32,
+    sa_restorer: usize,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct Timeval {
+    tv_sec: i64,
+    tv_usec: i64,
+}
+
+#[repr(C)]
+struct Itimerval {
+    it_interval: Timeval,
+    it_value: Timeval,
+}
+
+#[repr(C)]
+struct Iovec {
+    iov_base: *mut core::ffi::c_void,
+    iov_len: usize,
+}
+
+extern "C" {
+    fn sigaction(signum: i32, act: *const Sigaction, oldact: *mut Sigaction) -> i32;
+    fn setitimer(which: i32, new_value: *const Itimerval, old_value: *mut Itimerval) -> i32;
+    fn getpid() -> i32;
+    fn __errno_location() -> *mut i32;
+    fn process_vm_readv(
+        pid: i32,
+        local_iov: *const Iovec,
+        liovcnt: u64,
+        remote_iov: *const Iovec,
+        riovcnt: u64,
+        flags: u64,
+    ) -> isize;
+}
+
+/// Installs the SIGPROF handler. Raw and unguarded: callers go through the
+/// `Once` in `profiler.rs` so this runs exactly once per process.
+///
+/// # Safety
+/// Process-global: replaces any existing SIGPROF disposition.
+pub(crate) unsafe fn install_handler() -> bool {
+    PID.store(getpid(), Ordering::Relaxed);
+    let act = Sigaction {
+        sa_sigaction: handler as *const () as usize,
+        sa_mask: [0; 16],
+        sa_flags: SA_SIGINFO | SA_RESTART,
+        sa_restorer: 0,
+    };
+    sigaction(SIGPROF, &act, core::ptr::null_mut()) == 0
+}
+
+/// Arms `ITIMER_PROF` at `hz` samples per second of process CPU time.
+pub(crate) fn arm(hz: u32) -> bool {
+    let usec = (1_000_000 / hz.max(1)) as i64;
+    let period = Timeval {
+        tv_sec: 0,
+        tv_usec: usec.max(1),
+    };
+    let timer = Itimerval {
+        it_interval: period,
+        it_value: period,
+    };
+    unsafe { setitimer(ITIMER_PROF, &timer, core::ptr::null_mut()) == 0 }
+}
+
+/// Disarms the profiling timer. In-flight handlers may still run briefly;
+/// the reader waits for `COMMITTED == HEAD` before touching the arena.
+pub(crate) fn disarm() {
+    let zero = Timeval {
+        tv_sec: 0,
+        tv_usec: 0,
+    };
+    let timer = Itimerval {
+        it_interval: zero,
+        it_value: zero,
+    };
+    unsafe {
+        setitimer(ITIMER_PROF, &timer, core::ptr::null_mut());
+    }
+}
+
+/// Reads 16 bytes (`[saved_rbp, return_addr]`) of a stack frame via
+/// `process_vm_readv`, so unmapped or unreadable addresses fail cleanly
+/// instead of faulting in signal context.
+#[inline]
+fn read_frame(addr: u64, out: &mut [u64; 2]) -> bool {
+    let local = Iovec {
+        iov_base: out.as_mut_ptr() as *mut core::ffi::c_void,
+        iov_len: 16,
+    };
+    let remote = Iovec {
+        iov_base: addr as *mut core::ffi::c_void,
+        iov_len: 16,
+    };
+    unsafe { process_vm_readv(PID.load(Ordering::Relaxed), &local, 1, &remote, 1, 0) == 16 }
+}
+
+/// glibc x86_64 `ucontext_t`: `uc_mcontext` sits at byte offset 40
+/// (`uc_flags` 8 + `uc_link` 8 + `stack_t` 24) and begins with
+/// `gregset_t gregs[23]` of `long long`.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn registers(ucontext: *mut core::ffi::c_void) -> (u64, u64, u64) {
+    const UC_MCONTEXT_OFFSET: usize = 40;
+    const REG_RBP: usize = 10;
+    const REG_RSP: usize = 15;
+    const REG_RIP: usize = 16;
+    let gregs = (ucontext as *const u8).add(UC_MCONTEXT_OFFSET) as *const i64;
+    (
+        *gregs.add(REG_RIP) as u64,
+        *gregs.add(REG_RBP) as u64,
+        *gregs.add(REG_RSP) as u64,
+    )
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+unsafe fn registers(_ucontext: *mut core::ffi::c_void) -> (u64, u64, u64) {
+    (0, 0, 0)
+}
+
+/// The SIGPROF handler: walk, claim, store, publish. Runs on whichever
+/// thread the kernel charged the CPU tick to, so samples land on the
+/// threads doing the work.
+extern "C" fn handler(_sig: i32, _info: *mut core::ffi::c_void, ucontext: *mut core::ffi::c_void) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    let saved_errno = unsafe { *__errno_location() };
+
+    let (rip, rbp, rsp) = unsafe { registers(ucontext) };
+    if rip == 0 {
+        BAD_CONTEXT.fetch_add(1, Ordering::Relaxed);
+        unsafe { *__errno_location() = saved_errno };
+        return;
+    }
+
+    // Walk into a handler-local buffer first: the claim size must be known
+    // up front so every claimed word is guaranteed to be written.
+    let mut pcs = [0u64; MAX_DEPTH];
+    pcs[0] = rip;
+    let mut depth = 1usize;
+    let mut frame = rbp;
+    let mut buf = [0u64; 2];
+    while depth < MAX_DEPTH {
+        if frame == 0 || frame & 7 != 0 || frame < rsp || frame.wrapping_sub(rsp) > STACK_SPAN {
+            break;
+        }
+        if !read_frame(frame, &mut buf) {
+            break;
+        }
+        let (next, ret) = (buf[0], buf[1]);
+        if ret == 0 {
+            break;
+        }
+        pcs[depth] = ret;
+        depth += 1;
+        if next <= frame {
+            break;
+        }
+        frame = next;
+    }
+
+    // Claim `1 + depth` words; refuse (and count a drop) rather than claim
+    // past the arena, so HEAD never exceeds ARENA_WORDS and the reader's
+    // `COMMITTED == HEAD` rendezvous stays exact.
+    let need = 1 + depth;
+    let mut start = HEAD.load(Ordering::Relaxed);
+    loop {
+        if start + need > ARENA_WORDS {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            unsafe { *__errno_location() = saved_errno };
+            return;
+        }
+        match HEAD.compare_exchange_weak(start, start + need, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => break,
+            Err(cur) => start = cur,
+        }
+    }
+
+    ARENA[start].store(depth as u64, Ordering::Relaxed);
+    for (i, pc) in pcs.iter().enumerate().take(depth) {
+        ARENA[start + 1 + i].store(*pc, Ordering::Relaxed);
+    }
+    COMMITTED.fetch_add(need, Ordering::Release);
+
+    unsafe { *__errno_location() = saved_errno };
+}

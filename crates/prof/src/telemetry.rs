@@ -1,0 +1,116 @@
+//! Process telemetry from `/proc/self/{stat,status}`.
+//!
+//! One read per scrape, no caching: both files are synthesized by the
+//! kernel in microseconds and the `/metrics` scrape cadence is seconds.
+//! Parsing is defensive — a missing field yields zero, never an error, so
+//! a kernel that formats a field differently degrades a gauge instead of
+//! taking down the metrics page.
+
+/// A snapshot of the process's resource usage as the kernel sees it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProcStats {
+    /// Resident set size in bytes (`VmRSS`).
+    pub rss_bytes: u64,
+    /// User-mode CPU seconds consumed since start.
+    pub utime_secs: f64,
+    /// Kernel-mode CPU seconds consumed since start.
+    pub stime_secs: f64,
+    /// Kernel threads in the process.
+    pub threads: u64,
+    /// Voluntary context switches (blocking waits) since start.
+    pub voluntary_ctxt_switches: u64,
+}
+
+impl ProcStats {
+    /// Total CPU seconds (user + system).
+    pub fn cpu_secs(&self) -> f64 {
+        self.utime_secs + self.stime_secs
+    }
+}
+
+const _SC_CLK_TCK: i32 = 2;
+
+extern "C" {
+    fn sysconf(name: i32) -> i64;
+}
+
+fn clock_ticks_per_sec() -> f64 {
+    let hz = unsafe { sysconf(_SC_CLK_TCK) };
+    if hz > 0 {
+        hz as f64
+    } else {
+        100.0
+    }
+}
+
+/// Reads the current process's stats. Missing/unparsable fields read zero.
+pub fn read_self() -> ProcStats {
+    let mut out = ProcStats::default();
+    let tick = clock_ticks_per_sec();
+
+    // /proc/self/stat: `pid (comm) state ppid ...` — comm may contain
+    // spaces and parentheses, so split on the *last* ')' and count the
+    // space-separated fields after it (field 3 "state" is rest[0]).
+    if let Ok(stat) = std::fs::read_to_string("/proc/self/stat") {
+        if let Some(pos) = stat.rfind(')') {
+            let rest: Vec<&str> = stat[pos + 1..].split_whitespace().collect();
+            let field = |n: usize| -> u64 {
+                // n is the 1-based field number from proc(5).
+                rest.get(n - 3).and_then(|s| s.parse().ok()).unwrap_or(0)
+            };
+            out.utime_secs = field(14) as f64 / tick;
+            out.stime_secs = field(15) as f64 / tick;
+            out.threads = field(20);
+        }
+    }
+
+    // /proc/self/status: `Key:\tvalue [unit]` lines.
+    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+        for line in status.lines() {
+            if let Some(v) = line.strip_prefix("VmRSS:") {
+                let kb: u64 = v.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+                out.rss_bytes = kb * 1024;
+            } else if let Some(v) = line.strip_prefix("voluntary_ctxt_switches:") {
+                out.voluntary_ctxt_switches = v.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_process_has_sane_stats() {
+        let s = read_self();
+        assert!(
+            s.rss_bytes > 1 << 20,
+            "RSS {} implausibly small",
+            s.rss_bytes
+        );
+        assert!(s.threads >= 1, "at least this thread exists");
+        assert!(s.cpu_secs() >= 0.0);
+        // Burn some CPU and observe utime move (coarse: clock tick = 10ms).
+        let before = read_self();
+        let mut x = 0u64;
+        while read_self().utime_secs - before.utime_secs < 0.02 {
+            for i in 0..1_000_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(x);
+        }
+        assert!(read_self().cpu_secs() > before.cpu_secs());
+    }
+
+    #[test]
+    fn voluntary_switches_parse() {
+        // /proc/self/status reports the thread-group leader's counters, and
+        // the test harness runs this on a worker thread — so only assert
+        // that the field parsed to something plausible for a live process
+        // (the main thread has certainly blocked at least once by now).
+        assert!(read_self().voluntary_ctxt_switches > 0);
+    }
+}

@@ -126,8 +126,10 @@ impl TraceStore {
 }
 
 /// Renders one trace as the JSON document both debug endpoints use: totals,
-/// pruning counters, the per-stage `{micros, count}` breakdown and the
-/// per-shard breakdown of parallel scans.
+/// pruning counters, the per-stage
+/// `{micros, count, alloc_count, alloc_bytes}` breakdown and the per-shard
+/// breakdown of parallel scans. Alloc fields are zero unless the binary
+/// installs the counting allocator.
 pub fn trace_json(t: &QueryTrace) -> String {
     let scanned = t.stats.scanned;
     let prune_rate = if scanned == 0 {
@@ -167,12 +169,15 @@ pub fn trace_json(t: &QueryTrace) -> String {
             out.push(',');
         }
         let cell = t.stage(stage);
+        let alloc = t.alloc(stage);
         let _ = write!(
             out,
-            "\"{}\":{{\"micros\":{},\"count\":{}}}",
+            "\"{}\":{{\"micros\":{},\"count\":{},\"alloc_count\":{},\"alloc_bytes\":{}}}",
             stage.label(),
             cell.ns / 1_000,
-            cell.count
+            cell.count,
+            alloc.count,
+            alloc.bytes
         );
     }
     let _ = write!(out, "}},\"shards\":{},\"shard_breakdown\":[", t.shards);
@@ -213,6 +218,10 @@ mod tests {
             full_sweeps: 200,
         };
         t.cell_mut(Stage::Emd).add(total_ns / 2);
+        *t.cells_mut(Stage::Emd).1 = viderec_core::trace::AllocCell {
+            count: 2,
+            bytes: 512,
+        };
         t.corpus = 120;
         t.promoted = 5;
         t.widen_rounds = 1;
@@ -274,11 +283,15 @@ mod tests {
         assert!(json.contains("\"total_micros\":2000"), "{json}");
         assert!(json.contains("\"stage_sum_micros\":1000"), "{json}");
         assert!(
-            json.contains("\"emd\":{\"micros\":1000,\"count\":1}"),
+            json.contains(
+                "\"emd\":{\"micros\":1000,\"count\":1,\"alloc_count\":2,\"alloc_bytes\":512}"
+            ),
             "{json}"
         );
         assert!(
-            json.contains("\"queue\":{\"micros\":0,\"count\":0}"),
+            json.contains(
+                "\"queue\":{\"micros\":0,\"count\":0,\"alloc_count\":0,\"alloc_bytes\":0}"
+            ),
             "{json}"
         );
         assert!(json.contains("\"prune_rate\":0.8081"), "{json}");

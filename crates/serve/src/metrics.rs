@@ -212,6 +212,34 @@ pub struct DurabilitySample {
     pub failed: bool,
 }
 
+/// Point-in-time process and heap telemetry, sampled by the caller at
+/// scrape time from `/proc/self/{stat,status}` (via `viderec_prof`) and the
+/// counting allocator's global counters. Plain values, not a dependency on
+/// the prof crate: the registry stays testable with synthetic fixtures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcessSample {
+    /// Resident set size in bytes (`VmRSS`).
+    pub rss_bytes: u64,
+    /// User-mode CPU seconds consumed since process start.
+    pub utime_secs: f64,
+    /// Kernel-mode CPU seconds consumed since process start.
+    pub stime_secs: f64,
+    /// Kernel threads in the process.
+    pub threads: u64,
+    /// Voluntary context switches (blocking waits) since start.
+    pub voluntary_ctxt_switches: u64,
+    /// Live heap bytes per the counting allocator (0 when not installed).
+    pub heap_live_bytes: u64,
+    /// Live heap allocations per the counting allocator.
+    pub heap_live_allocs: u64,
+    /// Heap bytes requested since start per the counting allocator.
+    pub heap_total_bytes: u64,
+    /// Heap allocations since start per the counting allocator.
+    pub heap_total_allocs: u64,
+    /// Whether the counting allocator is installed as `#[global_allocator]`.
+    pub heap_counting: bool,
+}
+
 /// Point-in-time gauge values sampled by the caller at scrape time — they
 /// belong to the snapshot cell, the channels and the trace ring, not to this
 /// registry.
@@ -237,6 +265,8 @@ pub struct Gauges {
     pub tracing_enabled: bool,
     /// Durability gauges, when the server runs with a data dir.
     pub durability: Option<DurabilitySample>,
+    /// Process and heap telemetry.
+    pub process: ProcessSample,
 }
 
 /// The server-wide metrics registry. All members are lock-free.
@@ -274,12 +304,19 @@ pub struct Metrics {
     /// Per-stage scan time of traced `/recommend` queries, indexed by
     /// [`Stage::index`] (populated only while tracing is enabled).
     pub stage_micros: [Histogram; NUM_STAGES],
+    /// Per-stage heap bytes allocated by traced `/recommend` queries
+    /// (unit: bytes, not micros; zero unless the binary installs the
+    /// counting allocator).
+    pub stage_alloc_bytes: [Histogram; NUM_STAGES],
     /// Enqueue-to-drain wait of update batches in the maintenance queue.
     pub update_queue_wait: Histogram,
     /// Per-event apply latency, indexed by [`crate::wire::event_kind_index`].
     pub update_apply: [Histogram; UPDATE_KINDS],
     /// Events drained per maintenance round (unit: events, not micros).
     pub update_batch_events: Histogram,
+    /// Heap bytes the maintenance writer allocated per drained round
+    /// (unit: bytes; zero unless the counting allocator is installed).
+    pub update_batch_alloc_bytes: Histogram,
     /// Master-copy clone time before a publish.
     pub snapshot_clone: Histogram,
     /// Epoch-swap publish time.
@@ -546,6 +583,72 @@ impl Metrics {
             }
         }
 
+        // Process telemetry: the monotone clocks and allocator totals are
+        // counters; instantaneous state is gauges.
+        let p = &g.process;
+        let proc_counters: [(&str, f64, &str); 5] = [
+            (
+                "serve_process_cpu_user_seconds_total",
+                p.utime_secs,
+                "User-mode CPU seconds consumed since process start.",
+            ),
+            (
+                "serve_process_cpu_system_seconds_total",
+                p.stime_secs,
+                "Kernel-mode CPU seconds consumed since process start.",
+            ),
+            (
+                "serve_process_voluntary_ctxt_switches_total",
+                p.voluntary_ctxt_switches as f64,
+                "Voluntary context switches (blocking waits) since start.",
+            ),
+            (
+                "serve_process_heap_allocated_bytes_total",
+                p.heap_total_bytes as f64,
+                "Heap bytes requested since start (counting allocator).",
+            ),
+            (
+                "serve_process_heap_allocations_total",
+                p.heap_total_allocs as f64,
+                "Heap allocations since start (counting allocator).",
+            ),
+        ];
+        for (name, value, help) in &proc_counters {
+            meta(&mut out, name, help, "counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let proc_gauges: [(&str, u64, &str); 5] = [
+            (
+                "serve_process_rss_bytes",
+                p.rss_bytes,
+                "Resident set size (VmRSS) in bytes.",
+            ),
+            (
+                "serve_process_threads",
+                p.threads,
+                "Kernel threads in the process.",
+            ),
+            (
+                "serve_process_heap_live_bytes",
+                p.heap_live_bytes,
+                "Live heap bytes (counting allocator; 0 when not installed).",
+            ),
+            (
+                "serve_process_heap_live_allocs",
+                p.heap_live_allocs,
+                "Live heap allocations (counting allocator).",
+            ),
+            (
+                "serve_process_heap_counting",
+                u64::from(p.heap_counting),
+                "Whether the counting allocator is installed (1) or not (0).",
+            ),
+        ];
+        for (name, value, help) in &proc_gauges {
+            meta(&mut out, name, help, "gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+
         meta(
             &mut out,
             "serve_responses_total",
@@ -633,6 +736,21 @@ impl Metrics {
         }
         meta(
             &mut out,
+            "serve_query_stage_alloc_bytes",
+            "Per-stage heap bytes allocated by traced /recommend queries.",
+            "histogram",
+        );
+        for stage in Stage::ALL {
+            let labels = format!("stage=\"{}\"", stage.label());
+            histogram_samples(
+                &mut out,
+                "serve_query_stage_alloc_bytes",
+                &labels,
+                &self.stage_alloc_bytes[stage.index()],
+            );
+        }
+        meta(
+            &mut out,
             "serve_update_queue_wait_micros",
             "Enqueue-to-drain wait of update batches.",
             "histogram",
@@ -669,6 +787,18 @@ impl Metrics {
             "serve_update_batch_events",
             "",
             &self.update_batch_events,
+        );
+        meta(
+            &mut out,
+            "serve_update_batch_alloc_bytes",
+            "Heap bytes the maintenance writer allocated per drained round.",
+            "histogram",
+        );
+        histogram_samples(
+            &mut out,
+            "serve_update_batch_alloc_bytes",
+            "",
+            &self.update_batch_alloc_bytes,
         );
         meta(
             &mut out,
@@ -882,6 +1012,8 @@ mod tests {
         m.emd_full_sweeps.fetch_add(80, Ordering::Relaxed);
         m.stage_micros[Stage::Emd.index()].record(700);
         m.stage_micros[Stage::Queue.index()].record(3);
+        m.stage_alloc_bytes[Stage::Emd.index()].record(4096);
+        m.update_batch_alloc_bytes.record(1 << 14);
         m.update_queue_wait.record(44);
         m.update_apply[0].record(10);
         m.update_apply[1].record(2000);
@@ -918,6 +1050,18 @@ mod tests {
                 segments: 2,
                 failed: false,
             }),
+            process: ProcessSample {
+                rss_bytes: 64 << 20,
+                utime_secs: 1.5,
+                stime_secs: 0.25,
+                threads: 9,
+                voluntary_ctxt_switches: 123,
+                heap_live_bytes: 2048,
+                heap_live_allocs: 3,
+                heap_total_bytes: 8192,
+                heap_total_allocs: 7,
+                heap_counting: true,
+            },
         }
     }
 
@@ -949,6 +1093,17 @@ mod tests {
         assert!(page.contains("serve_wal_snapshot_lsn 8"));
         assert!(page.contains("serve_wal_lag_events 4"));
         assert!(page.contains("serve_wal_fsync_micros_count 1"));
+        assert!(page.contains("serve_process_cpu_user_seconds_total 1.5"));
+        assert!(page.contains("serve_process_cpu_system_seconds_total 0.25"));
+        assert!(page.contains("serve_process_voluntary_ctxt_switches_total 123"));
+        assert!(page.contains("serve_process_rss_bytes 67108864"));
+        assert!(page.contains("serve_process_threads 9"));
+        assert!(page.contains("serve_process_heap_live_bytes 2048"));
+        assert!(page.contains("serve_process_heap_allocated_bytes_total 8192"));
+        assert!(page.contains("serve_process_heap_counting 1"));
+        assert!(page.contains("serve_query_stage_alloc_bytes_bucket{stage=\"emd\""));
+        assert!(page.contains("serve_query_stage_alloc_bytes_count{stage=\"emd\"} 1"));
+        assert!(page.contains("serve_update_batch_alloc_bytes_count 1"));
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::durability::{recover, DurabilityConfig, DurabilityStatus, DurableLog,
 use crate::http::{
     escape_json, read_request, write_response, write_response_with_headers, HttpError, Request,
 };
-use crate::metrics::{DurabilitySample, Endpoint, Gauges, Metrics};
+use crate::metrics::{DurabilitySample, Endpoint, Gauges, Metrics, ProcessSample};
 use crate::snapshot::{CachedSnapshot, SnapshotCell};
 use crate::wire::{event_kind_index, parse_update_body};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
@@ -44,6 +44,7 @@ use viderec_core::trace::next_trace_id;
 use viderec_core::{
     CorpusVideo, Recommender, RecommenderConfig, Stage, Strategy, Tracer, UpdateEvent,
 };
+use viderec_trace::AllocSnapshot;
 use viderec_video::VideoId;
 
 /// How long an `/update` worker waits for the maintenance writer's durable
@@ -56,7 +57,9 @@ const DURABLE_ACK_TIMEOUT: Duration = Duration::from_secs(10);
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads; 0 means `available_parallelism`.
+    /// Worker threads; 0 means `max(2, available_parallelism)` — at least
+    /// two, so a parked worker (`/debug/profile`, a slow client) never
+    /// head-of-line-blocks the whole pool.
     pub workers: usize,
     /// Admission queue capacity: connections waiting for a worker beyond
     /// this bound are answered 503 immediately.
@@ -233,7 +236,14 @@ fn start_inner(
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let workers = if cfg.workers == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        // Never fewer than two: `/debug/profile` parks its worker for the
+        // whole capture window (and any slow client holds one for a request),
+        // so a pool of one would head-of-line-block the entire service on a
+        // single-core host — including the very load a capture is meant to
+        // observe.
+        std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .max(2)
     } else {
         cfg.workers
     };
@@ -416,6 +426,8 @@ fn route(
         ("GET", "/metrics") => (Endpoint::Metrics, metrics_page(ctx, cache, adm)),
         ("GET", "/debug/queries") => (Endpoint::Debug, debug_queries(ctx, adm, req)),
         ("GET", "/debug/durability") => (Endpoint::Debug, debug_durability(ctx, adm)),
+        ("GET", "/debug/profile") => (Endpoint::Debug, debug_profile(adm, req)),
+        ("GET", "/debug/heap") => (Endpoint::Debug, debug_heap(adm)),
         ("GET", path) if path.starts_with("/debug/trace/") => {
             (Endpoint::Debug, debug_trace(ctx, adm, path))
         }
@@ -521,6 +533,12 @@ fn recommend(
             if cell.count > 0 {
                 ctx.metrics.stage_micros[stage.index()].record(cell.ns / 1_000);
             }
+            // Alloc cells stay zero without the counting allocator; only
+            // stages that actually allocated produce an observation.
+            let alloc = trace.alloc(stage);
+            if alloc.count > 0 {
+                ctx.metrics.stage_alloc_bytes[stage.index()].record(alloc.bytes);
+            }
         }
         // Per-tier prune accounting: `pruned` counts both tiers, so the
         // anchor tier is the difference.
@@ -623,6 +641,65 @@ fn debug_durability(ctx: &Ctx, adm: &mut Admitted) -> Outcome {
     respond(adm, 200, "application/json", body.as_bytes())
 }
 
+/// `GET /debug/profile?seconds=&hz=` — on-demand sampling CPU profile of
+/// the whole process, answered as collapsed ("folded") stacks: one
+/// `frame;frame;...;leaf count` line per distinct stack, the input format
+/// of flame-graph tooling. The capture occupies this worker for the window
+/// (clamped to [`viderec_prof::MAX_SECONDS`]/[`viderec_prof::MAX_HZ`])
+/// while sibling workers keep serving; a second concurrent capture is
+/// refused with 409 so SIGPROF timer ownership stays unambiguous.
+fn debug_profile(adm: &mut Admitted, req: &Request) -> Outcome {
+    let seconds = match req.param("seconds") {
+        None => 2u64,
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) if n >= 1 => n,
+            _ => return bad_request(adm, "parameter 'seconds' must be a positive integer"),
+        },
+    };
+    let hz = match req.param("hz") {
+        None => viderec_prof::DEFAULT_HZ,
+        Some(s) => match s.parse::<u32>() {
+            Ok(n) if n >= 1 => n,
+            _ => return bad_request(adm, "parameter 'hz' must be a positive integer"),
+        },
+    };
+    match viderec_prof::capture(Duration::from_secs(seconds), hz) {
+        Ok(profile) => {
+            let mut body = String::with_capacity(4096);
+            let _ = writeln!(
+                body,
+                "# samples={} dropped={} hz={} window_ms={}",
+                profile.samples, profile.dropped, profile.hz, profile.window_ms
+            );
+            body.push_str(&profile.render_collapsed());
+            respond(adm, 200, "text/plain; charset=utf-8", body.as_bytes())
+        }
+        Err(viderec_prof::CaptureError::Busy) => respond(
+            adm,
+            409,
+            "application/json",
+            b"{\"error\":\"a profile capture is already running\"}",
+        ),
+        Err(e) => {
+            let body = format!("{{\"error\":\"{}\"}}", escape_json(&e.to_string()));
+            respond(adm, 503, "application/json", body.as_bytes())
+        }
+    }
+}
+
+/// `GET /debug/heap` — live allocator counters as JSON. All-zero with
+/// `"counting_allocator_installed":false` unless the binary installs
+/// [`viderec_prof::CountingAlloc`] as its `#[global_allocator]` (the
+/// shipped `viderec-serve` binary does).
+fn debug_heap(adm: &mut Admitted) -> Outcome {
+    respond(
+        adm,
+        200,
+        "application/json",
+        viderec_prof::heap_json().as_bytes(),
+    )
+}
+
 fn update(ctx: &Ctx, adm: &mut Admitted, req: &Request) -> Outcome {
     let Ok(body_str) = std::str::from_utf8(&req.body) else {
         return bad_request(adm, "update body must be UTF-8");
@@ -715,6 +792,8 @@ fn healthz(ctx: &Ctx, cache: &mut CachedSnapshot<Recommender>, adm: &mut Admitte
 
 fn metrics_page(ctx: &Ctx, cache: &mut CachedSnapshot<Recommender>, adm: &mut Admitted) -> Outcome {
     let videos = cache.get(&ctx.cell).num_videos();
+    let proc = viderec_prof::read_self();
+    let heap = viderec_prof::heap_stats();
     let page = ctx.metrics.render(&Gauges {
         epoch: ctx.cell.epoch(),
         videos,
@@ -733,6 +812,18 @@ fn metrics_page(ctx: &Ctx, cache: &mut CachedSnapshot<Recommender>, adm: &mut Ad
             segments: d.segment_count.load(Ordering::Relaxed),
             failed: d.failed.load(Ordering::Relaxed) != 0,
         }),
+        process: ProcessSample {
+            rss_bytes: proc.rss_bytes,
+            utime_secs: proc.utime_secs,
+            stime_secs: proc.stime_secs,
+            threads: proc.threads,
+            voluntary_ctxt_switches: proc.voluntary_ctxt_switches,
+            heap_live_bytes: heap.live_bytes,
+            heap_live_allocs: heap.live_allocs,
+            heap_total_bytes: heap.total_bytes,
+            heap_total_allocs: heap.total_allocs,
+            heap_counting: viderec_prof::counting_installed(),
+        },
     });
     respond(adm, 200, "text/plain; version=0.0.4", page.as_bytes())
 }
@@ -752,6 +843,10 @@ fn maintainer_loop(
     // `recv` returns Err only when every sender is gone *and* the queue is
     // drained, so shutdown applies every accepted batch before retiring.
     while let Ok(first) = update_rx.recv() {
+        // Heap bytes this round allocates (WAL framing + applies); exact
+        // because the maintainer is single-threaded and the counters are
+        // thread-local.
+        let round_alloc = tracer.enabled().then(AllocSnapshot::take);
         let mut batches = vec![first];
         while let Ok(more) = update_rx.try_recv() {
             batches.push(more);
@@ -813,6 +908,9 @@ fn maintainer_loop(
         }
         if tracer.enabled() {
             metrics.update_batch_events.record(drained_events);
+        }
+        if let Some(snap) = round_alloc {
+            metrics.update_batch_alloc_bytes.record(snap.delta().bytes);
         }
         // Clone-for-publish: readers keep the old snapshot until they next
         // observe the epoch bump; nothing is ever mutated in place under a

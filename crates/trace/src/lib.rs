@@ -1,6 +1,6 @@
 //! Dependency-free, lock-free structured tracing.
 //!
-//! Three building blocks, each usable on its own:
+//! Four building blocks, each usable on its own:
 //!
 //! * [`Tracer`] / [`Span`] — span timing via the monotonic clock
 //!   (`std::time::Instant`). A disabled tracer returns inert spans: the
@@ -11,6 +11,11 @@
 //!   accumulators. The plain set is for single-owner recording (one query,
 //!   one shard); the atomic set aggregates across threads and is read by
 //!   metric scrapers without stopping writers.
+//! * [`AllocCell`] / [`AllocSnapshot`] — thread-local allocation accounting
+//!   fed by an optional counting global allocator (`viderec-prof`). Spans
+//!   take an allocation baseline alongside the clock read, so a stage cell
+//!   can report bytes allocated as well as nanoseconds spent; with no
+//!   counting allocator installed every delta reads zero.
 //! * [`TraceRing`] — a fixed-capacity lock-free ring of fixed-width records
 //!   (`[u64; W]` words). Writers claim slots round-robin and publish through
 //!   a per-slot seqlock; readers copy out whatever coherent records exist.
@@ -24,11 +29,13 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod ring;
 pub mod span;
 pub mod stage;
 pub(crate) mod sync;
 
+pub use alloc::{AllocCell, AllocSnapshot};
 pub use ring::TraceRing;
 pub use span::{Span, Tracer};
 pub use stage::{AtomicStageSet, StageCell, StageSet};

@@ -1,5 +1,6 @@
 //! Monotonic-clock spans behind an enable flag.
 
+use crate::alloc::{AllocCell, AllocSnapshot};
 use crate::stage::StageCell;
 use std::time::Instant;
 
@@ -30,40 +31,64 @@ impl Tracer {
         self.enabled
     }
 
-    /// Starts a span: reads the monotonic clock when enabled, returns an
-    /// inert span otherwise.
+    /// Starts a span: reads the monotonic clock and the thread's allocation
+    /// counters when enabled, returns an inert span otherwise.
     #[inline]
     pub fn start(self) -> Span {
-        Span(if self.enabled {
-            Some(Instant::now())
+        if self.enabled {
+            Span {
+                t: Some(Instant::now()),
+                alloc: AllocSnapshot::take(),
+            }
         } else {
-            None
-        })
+            Span::off()
+        }
     }
 }
 
 /// An in-flight span. Inert (all methods are one branch) when started from a
 /// disabled tracer.
+///
+/// An enabled span carries two baselines taken together at (re)start: the
+/// monotonic clock and the thread's allocation counters, so a single span
+/// attributes both wall time and allocations to a stage. The allocation
+/// snapshot is two TLS reads — it does not touch the clock and cannot fail.
 #[derive(Debug)]
-pub struct Span(Option<Instant>);
+pub struct Span {
+    t: Option<Instant>,
+    alloc: AllocSnapshot,
+}
 
 impl Span {
     /// An inert span (as if started from [`Tracer::OFF`]).
     pub const fn off() -> Self {
-        Span(None)
+        Span {
+            t: None,
+            alloc: AllocSnapshot::ZERO,
+        }
     }
 
     /// Nanoseconds since the span started; `None` when inert.
     #[inline]
     pub fn elapsed_ns(&self) -> Option<u64> {
-        self.0.map(|t| t.elapsed().as_nanos() as u64)
+        self.t.map(|t| t.elapsed().as_nanos() as u64)
     }
 
     /// Ends the span, accumulating its duration (and one count) into `cell`.
     #[inline]
     pub fn stop(self, cell: &mut StageCell) {
-        if let Some(t) = self.0 {
+        if let Some(t) = self.t {
             cell.add(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Ends the span, accumulating its duration into `cell` and the thread's
+    /// allocations since (re)start into `alloc`.
+    #[inline]
+    pub fn stop_with_alloc(self, cell: &mut StageCell, alloc: &mut AllocCell) {
+        if let Some(t) = self.t {
+            cell.add(t.elapsed().as_nanos() as u64);
+            alloc.add(self.alloc.delta());
         }
     }
 
@@ -73,10 +98,26 @@ impl Span {
     /// costs one clock read per lap.
     #[inline]
     pub fn lap(&mut self, cell: &mut StageCell) {
-        if let Some(t) = self.0 {
+        if let Some(t) = self.t {
             let now = Instant::now();
             cell.add(now.duration_since(t).as_nanos() as u64);
-            self.0 = Some(now);
+            self.t = Some(now);
+        }
+    }
+
+    /// [`Span::lap`], additionally tiling the thread's allocation counters
+    /// into `alloc` the same way: the allocation baseline restarts at the
+    /// same reading that closed the lap, so consecutive laps neither drop
+    /// nor double-count an allocation.
+    #[inline]
+    pub fn lap_with_alloc(&mut self, cell: &mut StageCell, alloc: &mut AllocCell) {
+        if let Some(t) = self.t {
+            let now = Instant::now();
+            let snap = AllocSnapshot::take();
+            cell.add(now.duration_since(t).as_nanos() as u64);
+            alloc.add(self.alloc.delta_to(snap));
+            self.t = Some(now);
+            self.alloc = snap;
         }
     }
 }
@@ -88,11 +129,50 @@ mod tests {
     #[test]
     fn disabled_span_records_nothing() {
         let mut cell = StageCell::default();
+        let mut acell = AllocCell::default();
         let mut span = Tracer::OFF.start();
         assert_eq!(span.elapsed_ns(), None);
         span.lap(&mut cell);
-        span.stop(&mut cell);
+        span.lap_with_alloc(&mut cell, &mut acell);
+        span.stop_with_alloc(&mut cell, &mut acell);
         assert_eq!(cell, StageCell::default());
+        assert_eq!(acell, AllocCell::default());
+    }
+
+    #[test]
+    fn alloc_laps_tile_the_counters() {
+        let mut a = AllocCell::default();
+        let mut b = AllocCell::default();
+        let mut t_a = StageCell::default();
+        let mut t_b = StageCell::default();
+        let whole = Tracer::ON.start();
+        let mut span = Tracer::ON.start();
+        crate::alloc::note_alloc(100);
+        span.lap_with_alloc(&mut t_a, &mut a);
+        crate::alloc::note_alloc(7);
+        crate::alloc::note_alloc(3);
+        span.lap_with_alloc(&mut t_b, &mut b);
+        let mut total = AllocCell::default();
+        let mut t_total = StageCell::default();
+        whole.stop_with_alloc(&mut t_total, &mut total);
+        assert_eq!(
+            a,
+            AllocCell {
+                count: 1,
+                bytes: 100
+            }
+        );
+        assert_eq!(
+            b,
+            AllocCell {
+                count: 2,
+                bytes: 10
+            }
+        );
+        // Laps neither drop nor double-count: their sum is the whole span's
+        // delta (no other allocations happen on this thread in between).
+        assert_eq!(total.count, a.count + b.count);
+        assert_eq!(total.bytes, a.bytes + b.bytes);
     }
 
     #[test]
