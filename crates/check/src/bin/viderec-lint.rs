@@ -1,11 +1,14 @@
 //! `viderec-lint`: the repo-invariant linter.
 //!
-//! Walks `crates/*/src`, `vendor/*/src`, and `src/` under the workspace
-//! root, runs every rule in [`viderec_check::lint`], prints findings as
-//! `path:line: [rule] message`, and exits non-zero if any survive.
+//! Walks `crates/*/src`, `crates/*/tests`, `vendor/*/src`, and `src/` under
+//! the workspace root, runs every rule in [`viderec_check::lint`], prints
+//! findings as `path:line: [rule] message`, and exits non-zero if any
+//! survive.
 //!
 //! `--print-atomics-rows` instead emits one `ATOMICS.md` table row skeleton
-//! per `Ordering::` site found, for authoring or refreshing the audit table.
+//! per `Ordering::` site found, for authoring or refreshing the audit
+//! table; `--print-safety-rows` does the same for `SAFETY.md` and the
+//! workspace's `unsafe` sites.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -43,6 +46,9 @@ fn source_files(root: &Path) -> Vec<String> {
         if let Ok(entries) = std::fs::read_dir(root.join(group)) {
             for entry in entries.flatten() {
                 collect(root, &entry.path().join("src"), &mut files);
+                if group == "crates" {
+                    collect(root, &entry.path().join("tests"), &mut files);
+                }
             }
         }
     }
@@ -67,12 +73,22 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if std::env::args().any(|a| a == "--print-safety-rows") {
+        for (path, line, kind, _) in lint::unsafe_sites(&loaded) {
+            println!("| `{path}:{line}` | `{kind}` | TODO |");
+        }
+        return ExitCode::SUCCESS;
+    }
 
     let atomics_md = std::fs::read_to_string(root.join("ATOMICS.md")).ok();
     if atomics_md.is_none() {
         eprintln!("viderec-lint: warning: no ATOMICS.md at the workspace root");
     }
-    let findings = lint::lint_workspace(&loaded, atomics_md.as_deref());
+    let safety_md = std::fs::read_to_string(root.join("SAFETY.md")).ok();
+    if safety_md.is_none() {
+        eprintln!("viderec-lint: warning: no SAFETY.md at the workspace root");
+    }
+    let findings = lint::lint_workspace(&loaded, atomics_md.as_deref(), safety_md.as_deref());
     for f in &findings {
         println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
     }

@@ -1,0 +1,17 @@
+//! The same shipped sample arena as [`crate::shipped_arena`], compiled
+//! against a broken `AtomicUsize` whose every operation is demoted to
+//! `Relaxed`. That strips the `Release` off the `committed` publish, so the
+//! reader's `Acquire` rendezvous no longer synchronizes with writers and
+//! record words can read back stale zeroes — the torn/stale sample that
+//! `tests/model_arena.rs` asserts the checker catches.
+
+/// The weakened `sync` facade: `AtomicUsize` is the demoted variant, so the
+/// `committed` cursor (and `head`) lose their orderings; the `AtomicU64`
+/// record words keep honest `Relaxed` semantics, which is all they ever had.
+pub mod sync {
+    pub use crate::shim::DemotedAtomicUsize as AtomicUsize;
+    pub use crate::shim::{AtomicU64, Ordering};
+}
+
+#[path = "../../prof/src/arena.rs"]
+pub mod arena;

@@ -1,0 +1,374 @@
+//! Workspace call graph over [`crate::parse`] output, with the conservative
+//! name resolution the transitive lint rules run on.
+//!
+//! # Names
+//!
+//! Every function gets a qualified name `[crate_seg, modules…, self_ty?,
+//! name]`: `crate_seg` is `viderec_<dir>` for `crates/<dir>`, the directory
+//! name (dashes to underscores) for `vendor/<dir>`, and `viderec` for the
+//! root `src/`; module segments come from the file path (with `lib.rs`,
+//! `main.rs` and `mod.rs` contributing none) plus inline `mod` nesting.
+//!
+//! # Resolution (documented conservatism)
+//!
+//! * Single-segment free calls prefer, in order: a free fn in the same
+//!   module → same crate → any free fn in the workspace with that name.
+//! * Multi-segment paths resolve by *suffix match* against qualified names
+//!   (after normalizing `crate::` / `self::` / `super::` / `Self::`); when
+//!   no suffix matches (e.g. the call goes through a re-export), they fall
+//!   back to any free fn with the final name.
+//! * Method calls (`.name(…)`) have no type information, so they edge to
+//!   **every** workspace fn taking `self` with that name. This
+//!   over-approximates reachability — safe for "nothing reachable may do X"
+//!   rules, and the reason waivers exist.
+//! * All cross-crate candidates are restricted to the caller's **inferred
+//!   dependency closure**: crate A may resolve into crate B only when A's
+//!   sources mention B's crate name (in `use` paths or qualified calls),
+//!   transitively. Without this, `.load(…)` on an atomic in one crate would
+//!   edge to every `fn load(&self)` in the workspace and drag unrelated
+//!   crates into every reachability set.
+//! * Unresolvable names are treated as external (std or dependency) and get
+//!   no edge.
+//!
+//! Functions inside `#[cfg(test)]` regions and files under `/tests/` are
+//! not nodes: test code is neither a root nor a callee of shipped paths.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::parse::{Call, ParsedFile};
+
+/// One function node in the workspace call graph.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Function name.
+    pub name: String,
+    /// Qualified module path: `[crate_seg, modules…]` (no self_ty / name).
+    pub module: Vec<String>,
+    /// `impl`/`trait` self type for associated fns.
+    pub self_ty: Option<String>,
+    /// Takes some form of `self`.
+    pub has_self: bool,
+    /// Index of the [`crate::parse::FnDef`] in its file's parse.
+    pub fn_index: usize,
+}
+
+impl Node {
+    /// `crate::module::Type::name`-style display name.
+    pub fn display(&self) -> String {
+        let mut parts = self.module.clone();
+        if let Some(t) = &self.self_ty {
+            parts.push(t.clone());
+        }
+        parts.push(self.name.clone());
+        parts.join("::")
+    }
+}
+
+/// The workspace call graph: nodes plus resolved edges.
+pub struct CallGraph {
+    /// All nodes, indexed by the edge lists.
+    pub nodes: Vec<Node>,
+    /// `edges[i]` = node indices `nodes[i]` may call.
+    pub edges: Vec<Vec<usize>>,
+    by_name: HashMap<String, Vec<usize>>,
+    /// Per crate_seg: the crates its sources may resolve into (the inferred
+    /// dependency closure, itself included).
+    dep_closure: HashMap<String, HashSet<String>>,
+}
+
+/// `crates/<dir>/src/a/b.rs` → `(crate_seg, ["a", "b"])`; `None` for files
+/// outside the shipped module trees (tests, benches, examples).
+pub fn file_module_path(path: &str) -> Option<(String, Vec<String>)> {
+    let (crate_seg, rest) = if let Some(rest) = path.strip_prefix("crates/") {
+        let (name, tail) = rest.split_once("/src/")?;
+        (format!("viderec_{}", name.replace('-', "_")), tail)
+    } else if let Some(rest) = path.strip_prefix("vendor/") {
+        let (name, tail) = rest.split_once("/src/")?;
+        (name.replace('-', "_"), tail)
+    } else if let Some(tail) = path.strip_prefix("src/") {
+        ("viderec".to_string(), tail)
+    } else {
+        return None;
+    };
+    let mut mods: Vec<String> = rest
+        .trim_end_matches(".rs")
+        .split('/')
+        .map(str::to_string)
+        .collect();
+    if let Some(last) = mods.last() {
+        if last == "lib" || last == "main" || last == "mod" {
+            mods.pop();
+        }
+    }
+    Some((crate_seg, mods))
+}
+
+/// One shipped file ready for graph construction:
+/// `(path, parse, cfg_test_regions)`.
+pub type ParsedSource = (String, ParsedFile, Vec<(u32, u32)>);
+
+impl CallGraph {
+    /// Builds the graph from parsed files (`(path, parse, cfg_test_regions)`).
+    pub fn build(files: &[ParsedSource]) -> CallGraph {
+        let mut nodes = Vec::new();
+        for (path, parsed, test_regions) in files {
+            let Some((crate_seg, file_mods)) = file_module_path(path) else {
+                continue;
+            };
+            for (fn_index, f) in parsed.fns.iter().enumerate() {
+                if crate::parse::in_regions(test_regions, f.line) {
+                    continue;
+                }
+                let mut module = Vec::with_capacity(1 + file_mods.len() + f.modules.len());
+                module.push(crate_seg.clone());
+                module.extend(file_mods.iter().cloned());
+                module.extend(f.modules.iter().cloned());
+                nodes.push(Node {
+                    path: path.clone(),
+                    line: f.line,
+                    name: f.name.clone(),
+                    module,
+                    self_ty: f.self_ty.clone(),
+                    has_self: f.has_self,
+                    fn_index,
+                });
+            }
+        }
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.entry(n.name.clone()).or_default().push(i);
+        }
+        // Infer the crate-dependency edges: crate A references crate B when
+        // any identifier token in A's sources is B's crate_seg (comments and
+        // strings are already stripped, so this means `use` paths and
+        // qualified calls).
+        let all_segs: HashSet<String> = files
+            .iter()
+            .filter_map(|(p, _, _)| file_module_path(p).map(|(seg, _)| seg))
+            .collect();
+        let mut refs: HashMap<String, HashSet<String>> = HashMap::new();
+        for (path, pf, _) in files {
+            let Some((seg, _)) = file_module_path(path) else {
+                continue;
+            };
+            let entry = refs.entry(seg.clone()).or_default();
+            for t in &pf.tokens {
+                if t.kind == crate::lex::TokenKind::Ident
+                    && t.text != seg
+                    && all_segs.contains(&t.text)
+                {
+                    entry.insert(t.text.clone());
+                }
+            }
+        }
+        let mut dep_closure: HashMap<String, HashSet<String>> = HashMap::new();
+        for seg in &all_segs {
+            let mut closure: HashSet<String> = HashSet::new();
+            let mut queue = vec![seg.clone()];
+            while let Some(s) = queue.pop() {
+                if closure.insert(s.clone()) {
+                    if let Some(next) = refs.get(&s) {
+                        queue.extend(next.iter().cloned());
+                    }
+                }
+            }
+            dep_closure.insert(seg.clone(), closure);
+        }
+        let mut graph = CallGraph {
+            edges: vec![Vec::new(); nodes.len()],
+            nodes,
+            by_name,
+            dep_closure,
+        };
+        let parsed_of: HashMap<&str, &ParsedFile> =
+            files.iter().map(|(p, pf, _)| (p.as_str(), pf)).collect();
+        for i in 0..graph.nodes.len() {
+            let node = graph.nodes[i].clone();
+            let f = &parsed_of[node.path.as_str()].fns[node.fn_index];
+            let mut targets: Vec<usize> = Vec::new();
+            for call in &f.calls {
+                targets.extend(graph.resolve_call(&node, call));
+            }
+            for (m, _) in &f.methods {
+                targets.extend(graph.resolve_method(&node, m));
+            }
+            targets.sort_unstable();
+            targets.dedup();
+            targets.retain(|&t| t != i);
+            graph.edges[i] = targets;
+        }
+        graph
+    }
+
+    /// Whether `from` may resolve into the crate of node `c` (dependency
+    /// closure check).
+    fn in_closure(&self, from: &Node, c: usize) -> bool {
+        self.dep_closure
+            .get(&from.module[0])
+            .is_some_and(|cl| cl.contains(&self.nodes[c].module[0]))
+    }
+
+    /// Resolves a path call from `from` to candidate node indices.
+    pub fn resolve_call(&self, from: &Node, call: &Call) -> Vec<usize> {
+        let mut segs: Vec<String> = Vec::new();
+        let mut anchor: Option<Vec<String>> = None;
+        for (k, s) in call.segments.iter().enumerate() {
+            match s.as_str() {
+                "crate" if k == 0 => anchor = Some(vec![from.module[0].clone()]),
+                "self" if k == 0 => anchor = Some(from.module.clone()),
+                "super" => {
+                    let mut m = anchor.take().unwrap_or_else(|| from.module.clone());
+                    m.pop();
+                    anchor = Some(m);
+                }
+                "Self" => {
+                    let Some(t) = &from.self_ty else {
+                        return Vec::new();
+                    };
+                    segs.push(t.clone());
+                }
+                _ => segs.push(s.clone()),
+            }
+        }
+        let Some(name) = segs.last() else {
+            return Vec::new();
+        };
+        let Some(all) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let candidates: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&c| self.in_closure(from, c))
+            .collect();
+        fn qual(n: &Node) -> Vec<&String> {
+            let mut q: Vec<&String> = n.module.iter().collect();
+            if let Some(t) = &n.self_ty {
+                q.push(t);
+            }
+            q.push(&n.name);
+            q
+        }
+        if let Some(prefix) = anchor {
+            // Anchored path: the full name is prefix ++ segs.
+            let want: Vec<&String> = prefix.iter().chain(segs.iter()).collect();
+            return candidates
+                .iter()
+                .copied()
+                .filter(|&c| qual(&self.nodes[c]) == want)
+                .collect();
+        }
+        if segs.len() == 1 {
+            // Free single-segment call: same module → same crate → any free
+            // fn with the name.
+            let free: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&c| self.nodes[c].self_ty.is_none())
+                .collect();
+            for tier in [
+                free.iter()
+                    .copied()
+                    .filter(|&c| self.nodes[c].module == from.module)
+                    .collect::<Vec<_>>(),
+                free.iter()
+                    .copied()
+                    .filter(|&c| self.nodes[c].module[0] == from.module[0])
+                    .collect::<Vec<_>>(),
+                free,
+            ] {
+                if !tier.is_empty() {
+                    return tier;
+                }
+            }
+            return Vec::new();
+        }
+        // Multi-segment: suffix match against qualified names; fall back to
+        // free fns with the final name (re-exports hide the true path).
+        let suffix: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let q = qual(&self.nodes[c]);
+                q.len() >= segs.len()
+                    && q[q.len() - segs.len()..] == segs.iter().collect::<Vec<_>>()
+            })
+            .collect();
+        if !suffix.is_empty() {
+            return suffix;
+        }
+        candidates
+            .iter()
+            .copied()
+            .filter(|&c| self.nodes[c].self_ty.is_none())
+            .collect()
+    }
+
+    /// Resolves a method call: every fn taking `self` with the name inside
+    /// the caller's dependency closure (no type information — documented
+    /// over-approximation).
+    pub fn resolve_method(&self, from: &Node, name: &str) -> Vec<usize> {
+        self.by_name
+            .get(name)
+            .map(|c| {
+                c.iter()
+                    .copied()
+                    .filter(|&i| self.nodes[i].has_self && self.in_closure(from, i))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Node indices whose fn is named `name` in file `path`.
+    pub fn find(&self, path: &str, name: &str) -> Vec<usize> {
+        self.by_name
+            .get(name)
+            .map(|c| {
+                c.iter()
+                    .copied()
+                    .filter(|&i| self.nodes[i].path == path)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// BFS reachability from `roots`; returns, per reached node, the
+    /// predecessor edge used to reach it first (`usize::MAX` for roots).
+    pub fn reachable(&self, roots: &[usize]) -> HashMap<usize, usize> {
+        let mut pred: HashMap<usize, usize> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if pred.insert(r, usize::MAX).is_none() {
+                queue.push_back(r);
+            }
+        }
+        let mut seen: HashSet<usize> = roots.iter().copied().collect();
+        while let Some(n) = queue.pop_front() {
+            for &t in &self.edges[n] {
+                if seen.insert(t) {
+                    pred.insert(t, n);
+                    queue.push_back(t);
+                }
+            }
+        }
+        pred
+    }
+
+    /// Call chain `root → … → node` as display names, for diagnostics.
+    pub fn chain(&self, pred: &HashMap<usize, usize>, mut node: usize) -> Vec<String> {
+        let mut out = vec![self.nodes[node].display()];
+        while let Some(&p) = pred.get(&node) {
+            if p == usize::MAX {
+                break;
+            }
+            out.push(self.nodes[p].display());
+            node = p;
+        }
+        out.reverse();
+        out
+    }
+}

@@ -20,20 +20,23 @@
 //!    catalogue and the waiver syntax.
 //!
 //! The primitives under model check are **the shipped sources themselves** —
-//! `crates/trace/src/ring.rs`, `crates/serve/src/snapshot.rs` and
-//! `vendor/crossbeam/src/channel.rs` are included by `#[path]` and compiled
-//! against the instrumented [`shim`] via their `sync` facades, so there is
-//! no model copy to drift out of sync. The [`broken_ring`] and
-//! [`broken_channel`] modules compile the *same* sources against
-//! deliberately weakened primitives; tests assert the checker catches the
-//! resulting torn reads and lost wakeups, which is the evidence that both
-//! the checker and the shipped orderings are load-bearing.
+//! `crates/trace/src/ring.rs`, `crates/serve/src/snapshot.rs`,
+//! `crates/prof/src/arena.rs` and `vendor/crossbeam/src/channel.rs` are
+//! included by `#[path]` and compiled against the instrumented [`shim`] via
+//! their `sync` facades, so there is no model copy to drift out of sync. The
+//! [`broken_ring`], [`broken_channel`] and [`broken_arena`] modules compile
+//! the *same* sources against deliberately weakened primitives; tests assert
+//! the checker catches the resulting torn reads, lost wakeups and stale
+//! sample records, which is the evidence that both the checker and the
+//! shipped orderings are load-bearing.
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lex;
 pub mod lint;
 pub mod model;
+pub mod parse;
 pub mod shim;
 pub mod thread;
 
@@ -42,10 +45,16 @@ pub mod thread;
 // does not apply.
 #[cfg(viderec_check)]
 #[allow(clippy::duplicate_mod)]
+pub mod broken_arena;
+#[cfg(viderec_check)]
+#[allow(clippy::duplicate_mod)]
 pub mod broken_channel;
 #[cfg(viderec_check)]
 #[allow(clippy::duplicate_mod)]
 pub mod broken_ring;
+#[cfg(viderec_check)]
+#[allow(clippy::duplicate_mod)]
+pub mod shipped_arena;
 #[cfg(viderec_check)]
 #[allow(clippy::duplicate_mod)]
 pub mod shipped_channel;

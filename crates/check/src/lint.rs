@@ -48,7 +48,23 @@
 //!   `.to_string()`, `.clone()`, `.lock()`, …), and no heap or lock types
 //!   (`Vec`, `String`, `Box`, `Arc`, `Mutex`, …). `#[cfg(test)]` regions
 //!   are exempt; a site that provably cannot run in the handler carries a
-//!   waiver saying why.
+//!   waiver saying why. **Transitive:** the same tokens are additionally
+//!   banned in every function the call graph (see [`crate::callgraph`])
+//!   reaches from the SIGPROF `handler`, whatever file it lives in; the
+//!   finding carries the call chain. A waiver on the violating line — or on
+//!   the function's `fn` line, waiving the whole body — suppresses it.
+//! * **`serve-no-panic` (transitive)** — beyond the `crates/serve/src` file
+//!   scan above, every function reachable from `handle_connection` (the
+//!   request-path entry point) is checked for the same panic tokens, with
+//!   the call chain in the finding and the same waiver-at-any-node rule.
+//! * **`unsafe-audit`** — every `unsafe` block/fn/impl in shipped crates
+//!   *and their integration tests* needs (a) a `// SAFETY:` comment run
+//!   directly above it (for `unsafe fn`/`unsafe impl` items a doc comment
+//!   with a `# Safety` section also qualifies), and (b) a justified
+//!   `path:line` row in the checked-in `SAFETY.md` table. Stale rows fail
+//!   too. Like `atomics-audit` it cannot be waived — the table *is* the
+//!   escape hatch, and `viderec-lint --print-safety-rows` regenerates its
+//!   skeleton.
 //!
 //! # Waivers
 //!
@@ -62,7 +78,9 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::callgraph::CallGraph;
 use crate::lex::{lex, significant, Token, TokenKind};
+use crate::parse::{parse_file, ParsedFile};
 
 /// One lint violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -113,6 +131,18 @@ const WAIVABLE: [&str; 8] = [
 /// The one module whose every function may execute inside the SIGPROF
 /// handler, and therefore must be async-signal-safe throughout.
 const SIGNAL_SAFE_SCOPE: &str = "crates/prof/src/signal.rs";
+
+/// The SIGPROF handler entry point: the root of the transitive
+/// `signal-safe` walk.
+const SIGNAL_ROOT: (&str, &str) = (SIGNAL_SAFE_SCOPE, "handler");
+
+/// The request-path entry point: the root of the transitive
+/// `serve-no-panic` walk.
+const SERVE_ROOT: (&str, &str) = ("crates/serve/src/server.rs", "handle_connection");
+
+/// How many call-chain hops a transitive finding prints before eliding the
+/// middle (chains through deep index code can be a dozen frames).
+const CHAIN_DISPLAY: usize = 5;
 
 /// Macros whose expansion allocates, formats, or reaches the panic
 /// machinery — all fatal inside a signal handler.
@@ -193,6 +223,13 @@ fn vendor_src(path: &str) -> Option<&str> {
     let rest = path.strip_prefix("vendor/")?;
     let (name, tail) = rest.split_once('/')?;
     tail.starts_with("src/").then_some(name)
+}
+
+/// `crates/<name>/tests/...` → `<name>`.
+fn crate_tests(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("tests/").then_some(name)
 }
 
 fn is_punct(toks: &[&Token], i: usize, ch: &str) -> bool {
@@ -386,6 +423,137 @@ fn parse_audit(md: &str, findings: &mut Vec<Finding>) -> Vec<AuditRow> {
     rows
 }
 
+/// A panic token at `toks[i]`: `.unwrap(`/`.expect(` or a panic macro.
+fn panic_token(toks: &[&Token], i: usize) -> Option<String> {
+    if is_punct(toks, i, ".")
+        && ident_at(toks, i + 1).is_some_and(|m| PANIC_METHODS.contains(&m))
+        && is_punct(toks, i + 2, "(")
+    {
+        Some(format!(".{}()", toks[i + 1].text))
+    } else if ident_at(toks, i).is_some_and(|m| PANIC_MACROS.contains(&m))
+        && is_punct(toks, i + 1, "!")
+    {
+        Some(format!("{}!", toks[i].text))
+    } else {
+        None
+    }
+}
+
+/// A signal-unsafe token at `toks[i]`: allocating/formatting/panicking
+/// macro, allocating/blocking method call, or heap/lock type mention.
+fn signal_unsafe_token(toks: &[&Token], i: usize) -> Option<String> {
+    if ident_at(toks, i).is_some_and(|m| SIGNAL_UNSAFE_MACROS.contains(&m))
+        && is_punct(toks, i + 1, "!")
+    {
+        Some(format!("{}!", toks[i].text))
+    } else if is_punct(toks, i, ".")
+        && ident_at(toks, i + 1).is_some_and(|m| SIGNAL_UNSAFE_METHODS.contains(&m))
+        && is_punct(toks, i + 2, "(")
+    {
+        Some(format!(".{}()", toks[i + 1].text))
+    } else if ident_at(toks, i).is_some_and(|t| SIGNAL_UNSAFE_TYPES.contains(&t)) {
+        Some(toks[i].text.clone())
+    } else {
+        None
+    }
+}
+
+/// True when `path` is in scope for the unsafe audit: shipped sources plus
+/// crate integration tests (test `unsafe` needs the same justification
+/// discipline — a miscontracted test allocator corrupts the whole test).
+fn unsafe_audit_scope(path: &str) -> bool {
+    (crate_src(path).is_some_and(|c| c != "check"))
+        || (crate_tests(path).is_some_and(|c| c != "check"))
+        || vendor_src(path).is_some()
+        || path.starts_with("src/")
+}
+
+/// Every in-scope `unsafe` site across `files` as `(path, line, kind
+/// label, has_safety_comment)` — the raw material for `SAFETY.md` rows.
+pub fn unsafe_sites(files: &[(String, String)]) -> Vec<(String, u32, &'static str, bool)> {
+    let mut out = Vec::new();
+    for (path, src) in files {
+        if !unsafe_audit_scope(path) {
+            continue;
+        }
+        for site in parse_file(src).unsafe_sites {
+            out.push((
+                path.clone(),
+                site.line,
+                site.kind.label(),
+                site.has_safety_comment,
+            ));
+        }
+    }
+    out
+}
+
+struct SafetyRow {
+    path: String,
+    line: u32,
+    kind: String,
+    justified: bool,
+    row_line: u32,
+    used: bool,
+}
+
+fn parse_safety(md: &str, findings: &mut Vec<Finding>) -> Vec<SafetyRow> {
+    let mut rows = Vec::new();
+    for (idx, raw) in md.lines().enumerate() {
+        let row_line = (idx + 1) as u32;
+        let t = raw.trim();
+        if !t.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = t
+            .trim_matches('|')
+            .split('|')
+            .map(|c| c.trim().trim_matches('`'))
+            .collect();
+        if cells.len() < 3
+            || cells[0] == "site"
+            || cells[0].chars().all(|c| matches!(c, '-' | ':' | ' '))
+        {
+            continue;
+        }
+        let parsed = cells[0]
+            .rsplit_once(':')
+            .and_then(|(p, l)| l.parse::<u32>().ok().map(|l| (p.to_string(), l)));
+        let Some((path, line)) = parsed else {
+            findings.push(Finding {
+                path: "SAFETY.md".into(),
+                line: row_line,
+                rule: "unsafe-audit",
+                message: format!("malformed site cell `{}` (expected `path:line`)", cells[0]),
+            });
+            continue;
+        };
+        rows.push(SafetyRow {
+            path,
+            line,
+            kind: cells[1].to_string(),
+            justified: !cells[2].is_empty() && cells[2] != "TODO",
+            row_line,
+            used: false,
+        });
+    }
+    rows
+}
+
+/// `root → … → offender`, middle-elided past [`CHAIN_DISPLAY`] frames.
+fn format_chain(chain: &[String]) -> String {
+    if chain.len() <= CHAIN_DISPLAY {
+        chain.join(" → ")
+    } else {
+        format!(
+            "{} → … ({} frames) … → {}",
+            chain[..2].join(" → "),
+            chain.len() - 4,
+            chain[chain.len() - 2..].join(" → ")
+        )
+    }
+}
+
 /// `#[cfg(test)]`-guarded regions of `toks` as inclusive `(start, end)`
 /// line ranges (attribute line through the item's closing brace).
 fn cfg_test_regions(toks: &[&Token]) -> Vec<(u32, u32)> {
@@ -470,8 +638,13 @@ fn collect_declared(toks: &[&Token], set: &mut HashSet<String>) {
 }
 
 /// Run every rule over `files` (workspace-relative `(path, contents)` pairs)
-/// against the `ATOMICS.md` text, returning findings sorted by path/line.
-pub fn lint_workspace(files: &[(String, String)], atomics_md: Option<&str>) -> Vec<Finding> {
+/// against the `ATOMICS.md` and `SAFETY.md` texts, returning findings
+/// sorted by path/line.
+pub fn lint_workspace(
+    files: &[(String, String)],
+    atomics_md: Option<&str>,
+    safety_md: Option<&str>,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     let lexed: Vec<(&str, Vec<Token>)> = files.iter().map(|(p, s)| (p.as_str(), lex(s))).collect();
     let waivers: HashMap<&str, Vec<Waiver>> = lexed
@@ -529,6 +702,65 @@ pub fn lint_workspace(files: &[(String, String)], atomics_md: Option<&str>) -> V
         });
     }
 
+    // unsafe-audit: every site needs a SAFETY comment and a justified
+    // SAFETY.md row; stale rows fail. Not waivable — the table is the
+    // escape hatch.
+    let usites = unsafe_sites(files);
+    let mut srows = safety_md
+        .map(|md| parse_safety(md, &mut findings))
+        .unwrap_or_default();
+    for (path, line, kind, has_comment) in &usites {
+        if !has_comment {
+            findings.push(Finding {
+                path: path.clone(),
+                line: *line,
+                rule: "unsafe-audit",
+                message: format!(
+                    "`unsafe` {kind} without a `// SAFETY:` comment directly above it \
+                     (an `unsafe fn`/`unsafe impl` may use a `# Safety` doc section instead)"
+                ),
+            });
+        }
+        match srows
+            .iter_mut()
+            .find(|r| r.path == *path && r.line == *line && r.kind == *kind)
+        {
+            Some(row) => {
+                row.used = true;
+                if !row.justified {
+                    findings.push(Finding {
+                        path: path.clone(),
+                        line: *line,
+                        rule: "unsafe-audit",
+                        message: format!(
+                            "`unsafe` {kind} is listed in SAFETY.md but has no justification"
+                        ),
+                    });
+                }
+            }
+            None => findings.push(Finding {
+                path: path.clone(),
+                line: *line,
+                rule: "unsafe-audit",
+                message: format!(
+                    "`unsafe` {kind} is not in the SAFETY.md audit table (regenerate rows \
+                     with `viderec-lint --print-safety-rows`)"
+                ),
+            }),
+        }
+    }
+    for row in srows.iter().filter(|r| !r.used) {
+        findings.push(Finding {
+            path: "SAFETY.md".into(),
+            line: row.row_line,
+            rule: "unsafe-audit",
+            message: format!(
+                "stale row: no `unsafe` {} site at `{}:{}` anymore",
+                row.kind, row.path, row.line
+            ),
+        });
+    }
+
     for (path, tokens) in &lexed {
         let toks = significant(tokens);
 
@@ -538,19 +770,7 @@ pub fn lint_workspace(files: &[(String, String)], atomics_md: Option<&str>) -> V
             let in_tests = |line: u32| regions.iter().any(|&(a, b)| a <= line && line <= b);
             for i in 0..toks.len() {
                 let line = toks[i].line;
-                let hit = if is_punct(&toks, i, ".")
-                    && ident_at(&toks, i + 1).is_some_and(|m| PANIC_METHODS.contains(&m))
-                    && is_punct(&toks, i + 2, "(")
-                {
-                    Some(format!(".{}()", toks[i + 1].text))
-                } else if ident_at(&toks, i).is_some_and(|m| PANIC_MACROS.contains(&m))
-                    && is_punct(&toks, i + 1, "!")
-                {
-                    Some(format!("{}!", toks[i].text))
-                } else {
-                    None
-                };
-                if let Some(what) = hit {
+                if let Some(what) = panic_token(&toks, i) {
                     if !in_tests(line) && !allow(&waivers, path, "serve-no-panic", line) {
                         findings.push(Finding {
                             path: path.to_string(),
@@ -708,21 +928,7 @@ pub fn lint_workspace(files: &[(String, String)], atomics_md: Option<&str>) -> V
             let in_tests = |line: u32| regions.iter().any(|&(a, b)| a <= line && line <= b);
             for i in 0..toks.len() {
                 let line = toks[i].line;
-                let hit = if ident_at(&toks, i).is_some_and(|m| SIGNAL_UNSAFE_MACROS.contains(&m))
-                    && is_punct(&toks, i + 1, "!")
-                {
-                    Some(format!("{}!", toks[i].text))
-                } else if is_punct(&toks, i, ".")
-                    && ident_at(&toks, i + 1).is_some_and(|m| SIGNAL_UNSAFE_METHODS.contains(&m))
-                    && is_punct(&toks, i + 2, "(")
-                {
-                    Some(format!(".{}()", toks[i + 1].text))
-                } else if ident_at(&toks, i).is_some_and(|t| SIGNAL_UNSAFE_TYPES.contains(&t)) {
-                    Some(toks[i].text.clone())
-                } else {
-                    None
-                };
-                if let Some(what) = hit {
+                if let Some(what) = signal_unsafe_token(&toks, i) {
                     if !in_tests(line) && !allow(&waivers, path, "signal-safe", line) {
                         findings.push(Finding {
                             path: path.to_string(),
@@ -804,7 +1010,124 @@ pub fn lint_workspace(files: &[(String, String)], atomics_md: Option<&str>) -> V
         }
     }
 
+    // Transitive call-graph rules: parse every shipped file once, build the
+    // workspace call graph, walk from the SIGPROF handler and the serve
+    // request-path entry point. Files already covered by a whole-file scan
+    // of the same rule are skipped so nothing is reported twice.
+    let parsed: Vec<crate::callgraph::ParsedSource> = files
+        .iter()
+        .filter(|(p, _)| {
+            crate::callgraph::file_module_path(p).is_some()
+                && !p.starts_with("crates/check/")
+                && !p.contains("/src/bin/")
+        })
+        .map(|(p, s)| {
+            let pf = parse_file(s);
+            let regions = cfg_test_regions(&pf.tokens.iter().collect::<Vec<_>>());
+            (p.clone(), pf, regions)
+        })
+        .collect();
+    let graph = CallGraph::build(&parsed);
+    let parsed_of: HashMap<&str, &ParsedFile> =
+        parsed.iter().map(|(p, pf, _)| (p.as_str(), pf)).collect();
+    transitive_rule(
+        &graph,
+        &parsed_of,
+        &waivers,
+        &mut findings,
+        "signal-safe",
+        SIGNAL_ROOT,
+        &|p| p == SIGNAL_SAFE_SCOPE,
+        &signal_unsafe_token,
+        "reachable from the SIGPROF handler",
+        "signal context allows no allocation, formatting, locking, or panicking — \
+         restructure, or waive the line (or the `fn` line for the whole body) with \
+         the reason this cannot run inside the handler",
+    );
+    transitive_rule(
+        &graph,
+        &parsed_of,
+        &waivers,
+        &mut findings,
+        "serve-no-panic",
+        SERVE_ROOT,
+        &|p| p.starts_with("crates/serve/src/"),
+        &panic_token,
+        "reachable from the serve request path",
+        "degrade gracefully instead of panicking, or waive the site (or the `fn` \
+         line for the whole body) with the reason the panic is a checked invariant, \
+         not an input-reachable state",
+    );
+
     findings
         .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     findings
+}
+
+/// One transitive rule walk: BFS from `root`, scan each reachable function
+/// body with `hit`, honoring waivers on the violating line or on the `fn`
+/// line (which waives the whole body).
+#[allow(clippy::too_many_arguments)]
+fn transitive_rule(
+    graph: &CallGraph,
+    parsed_of: &HashMap<&str, &ParsedFile>,
+    waivers: &HashMap<&str, Vec<Waiver>>,
+    findings: &mut Vec<Finding>,
+    rule: &'static str,
+    root: (&str, &str),
+    skip_file: &dyn Fn(&str) -> bool,
+    hit: &dyn Fn(&[&Token], usize) -> Option<String>,
+    reach_desc: &str,
+    advice: &str,
+) {
+    let roots = graph.find(root.0, root.1);
+    if roots.is_empty() {
+        return;
+    }
+    let pred = graph.reachable(&roots);
+    let mut nodes: Vec<usize> = pred.keys().copied().collect();
+    nodes.sort_unstable();
+    // Nested fns make body spans overlap; report each (line, token) once.
+    let mut reported: HashSet<(String, u32, String)> = HashSet::new();
+    for n in nodes {
+        let node = &graph.nodes[n];
+        if skip_file(&node.path) {
+            continue;
+        }
+        let Some(pf) = parsed_of.get(node.path.as_str()) else {
+            continue;
+        };
+        let f = &pf.fns[node.fn_index];
+        let Some((b0, b1)) = f.body else {
+            continue;
+        };
+        let allow_line = |line: u32| {
+            waivers
+                .get(node.path.as_str())
+                .is_some_and(|ws| waived(ws, rule, line))
+        };
+        if allow_line(f.line) {
+            continue;
+        }
+        let toks: Vec<&Token> = pf.tokens.iter().collect();
+        for i in b0..b1.min(toks.len()) {
+            let Some(what) = hit(&toks, i) else {
+                continue;
+            };
+            let line = toks[i].line;
+            if allow_line(line) || !reported.insert((node.path.clone(), line, what.clone())) {
+                continue;
+            }
+            let chain = format_chain(&graph.chain(&pred, n));
+            findings.push(Finding {
+                path: node.path.clone(),
+                line,
+                rule,
+                message: format!(
+                    "`{what}` in `{}` is {reach_desc} (call chain: {chain}); {advice}",
+                    node.display()
+                ),
+            });
+        }
+    }
 }

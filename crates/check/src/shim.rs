@@ -92,6 +92,19 @@ impl AtomicU64 {
     ) -> Result<u64, u64> {
         model::atomic_cas(self.id, current, new, rmw_sync(success), load_sync(failure))
     }
+
+    /// Weak compare-exchange. The model never fails spuriously (spurious
+    /// failure only widens the retry loop the strong form already explores),
+    /// so this is the strong CAS under another name.
+    pub fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.compare_exchange(current, new, success, failure)
+    }
 }
 
 impl std::fmt::Debug for AtomicU64 {
@@ -143,6 +156,129 @@ impl DemotedAtomicU64 {
     ) -> Result<u64, u64> {
         self.inner
             .compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+}
+
+/// Model-checked [`std::sync::atomic::AtomicUsize`]; stored as a model
+/// `u64` (the model's word size) with lossless casts — arena cursors never
+/// approach `u64::MAX`.
+pub struct AtomicUsize {
+    inner: AtomicU64,
+}
+
+impl AtomicUsize {
+    /// Registers the atomic with the current execution.
+    pub fn new(v: usize) -> Self {
+        AtomicUsize {
+            inner: AtomicU64::new(v as u64),
+        }
+    }
+
+    /// See [`AtomicU64::load`].
+    pub fn load(&self, ord: Ordering) -> usize {
+        self.inner.load(ord) as usize
+    }
+
+    /// See [`AtomicU64::store`].
+    pub fn store(&self, v: usize, ord: Ordering) {
+        self.inner.store(v as u64, ord);
+    }
+
+    /// See [`AtomicU64::fetch_add`].
+    pub fn fetch_add(&self, delta: usize, ord: Ordering) -> usize {
+        self.inner.fetch_add(delta as u64, ord) as usize
+    }
+
+    /// See [`AtomicU64::compare_exchange`].
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.inner
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v as usize)
+            .map_err(|v| v as usize)
+    }
+
+    /// See [`AtomicU64::compare_exchange_weak`].
+    pub fn compare_exchange_weak(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl std::fmt::Debug for AtomicUsize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicUsize")
+            .field("id", &self.inner.id)
+            .finish()
+    }
+}
+
+/// Broken-by-construction [`AtomicUsize`]: every operation demoted to
+/// `Relaxed`. Compiling the shipped sample arena against this (see
+/// `crate::broken_arena`) strips the `Release` off the `committed` publish,
+/// so a reader can see `committed == head` while record words are still the
+/// initial zeroes — the torn/stale read `model_arena` must find.
+#[derive(Debug)]
+pub struct DemotedAtomicUsize {
+    inner: AtomicUsize,
+}
+
+impl DemotedAtomicUsize {
+    /// See [`AtomicUsize::new`].
+    pub fn new(v: usize) -> Self {
+        DemotedAtomicUsize {
+            inner: AtomicUsize::new(v),
+        }
+    }
+
+    /// See [`AtomicUsize::load`] (orderings honored on the load side, so the
+    /// reader's `Acquire` rendezvous is genuine — the *writer's* demoted
+    /// publish is the bug under test).
+    pub fn load(&self, ord: Ordering) -> usize {
+        self.inner.load(ord)
+    }
+
+    /// Store demoted to `Relaxed`.
+    pub fn store(&self, v: usize, _ord: Ordering) {
+        self.inner.store(v, Ordering::Relaxed);
+    }
+
+    /// See [`AtomicUsize::fetch_add`], demoted to `Relaxed`.
+    pub fn fetch_add(&self, delta: usize, _ord: Ordering) -> usize {
+        self.inner.fetch_add(delta, Ordering::Relaxed)
+    }
+
+    /// See [`AtomicUsize::compare_exchange`], demoted to `Relaxed`.
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.inner
+            .compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+
+    /// See [`AtomicUsize::compare_exchange_weak`], demoted to `Relaxed`.
+    pub fn compare_exchange_weak(
+        &self,
+        current: usize,
+        new: usize,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
     }
 }
 

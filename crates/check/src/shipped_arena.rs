@@ -1,0 +1,12 @@
+//! The shipped SIGPROF sample-arena ring — `crates/prof/src/arena.rs`
+//! compiled **verbatim, from the same file on disk** — against the
+//! instrumented shim. There is no copy to drift: if the production source
+//! changes, so does the code under model check.
+
+/// The `sync` facade the included source resolves `super::sync` to.
+pub mod sync {
+    pub use crate::shim::{AtomicU64, AtomicUsize, Ordering};
+}
+
+#[path = "../../prof/src/arena.rs"]
+pub mod arena;

@@ -1,0 +1,208 @@
+//! Model-checks the shipped SIGPROF sample arena (`crates/prof/src/arena.rs`
+//! compiled verbatim against the instrumented shim): bounded-CAS claim,
+//! `Release` publish, reader rendezvous. Then proves the checker catches the
+//! stale-record bug the shipped `Release` prevents, by compiling the *same
+//! source* against an ordering-demoted `AtomicUsize` cursor.
+//!
+//! The reader deliberately never `join()`s writers before asserting on
+//! record contents — a join edge would hand the reader happens-before for
+//! free and mask a missing `Release` on the publish. The rendezvous under
+//! test is the protocol's own: `Acquire`-load `committed == head`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use viderec_check::{shim, thread, Model};
+
+/// Backing store for a tiny model arena: the same shape `signal.rs` keeps in
+/// `.bss`, sized down so the schedule space stays exhaustible.
+struct Cells {
+    words: Vec<shim::AtomicU64>,
+    head: shim::AtomicUsize,
+    committed: shim::AtomicUsize,
+    dropped: shim::AtomicU64,
+}
+
+impl Cells {
+    fn new(cap: usize) -> Self {
+        Cells {
+            words: (0..cap).map(|_| shim::AtomicU64::new(0)).collect(),
+            head: shim::AtomicUsize::new(0),
+            committed: shim::AtomicUsize::new(0),
+            dropped: shim::AtomicU64::new(0),
+        }
+    }
+
+    fn shipped(&self) -> viderec_check::shipped_arena::arena::ArenaRef<'_> {
+        viderec_check::shipped_arena::arena::ArenaRef {
+            words: &self.words,
+            head: &self.head,
+            committed: &self.committed,
+            dropped: &self.dropped,
+        }
+    }
+}
+
+/// Backing store for the broken build: cursors are the demoted atomics the
+/// `broken_arena::sync` facade exports as `AtomicUsize`.
+struct BrokenCells {
+    words: Vec<shim::AtomicU64>,
+    head: shim::DemotedAtomicUsize,
+    committed: shim::DemotedAtomicUsize,
+    dropped: shim::AtomicU64,
+}
+
+impl BrokenCells {
+    fn new(cap: usize) -> Self {
+        BrokenCells {
+            words: (0..cap).map(|_| shim::AtomicU64::new(0)).collect(),
+            head: shim::DemotedAtomicUsize::new(0),
+            committed: shim::DemotedAtomicUsize::new(0),
+            dropped: shim::AtomicU64::new(0),
+        }
+    }
+
+    fn broken(&self) -> viderec_check::broken_arena::arena::ArenaRef<'_> {
+        viderec_check::broken_arena::arena::ArenaRef {
+            words: &self.words,
+            head: &self.head,
+            committed: &self.committed,
+            dropped: &self.dropped,
+        }
+    }
+}
+
+/// Number of rendezvous attempts the reader makes before giving up on a
+/// schedule (vacuous for that schedule — the writer simply hadn't run).
+const SPIN: usize = 2;
+
+#[test]
+fn published_record_is_fully_visible_at_the_rendezvous() {
+    // Set by any schedule in which the reader's own rendezvous (not the
+    // join edge) observed the record; if no schedule reaches that branch,
+    // the test proved nothing about the Release/Acquire pairing.
+    let hit = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hit2 = Arc::clone(&hit);
+    let report = Model::new().check(move || {
+        let cells = Arc::new(Cells::new(4));
+        let c2 = Arc::clone(&cells);
+        let writer = thread::spawn(move || {
+            assert!(c2.shipped().try_record(&[7, 21]));
+        });
+        let a = cells.shipped();
+        // The protocol's own rendezvous, no join edge: once the cursors
+        // meet at 3, every record word must already be visible.
+        for _ in 0..SPIN {
+            if a.claimed() == 3 && a.drained() {
+                assert_eq!(a.word(0), 2, "stale record: depth word");
+                assert_eq!(a.word(1), 7, "stale record: pc0");
+                assert_eq!(a.word(2), 21, "stale record: pc1");
+                hit2.store(true, std::sync::atomic::Ordering::Relaxed);
+                break;
+            }
+        }
+        writer.join();
+        // After the join the rendezvous always holds and the record parses.
+        assert!(a.drained());
+        assert_eq!(a.claimed(), 3);
+        assert_eq!((a.word(0), a.word(1), a.word(2)), (2, 7, 21));
+        assert_eq!(a.dropped_count(), 0);
+    });
+    assert!(report.complete, "arena state space should be exhaustible");
+    assert!(
+        hit.load(std::sync::atomic::Ordering::Relaxed),
+        "no schedule exercised the pre-join rendezvous"
+    );
+    assert!(
+        report.schedules > 20,
+        "expected real interleaving + read-from branching, got {} schedules",
+        report.schedules
+    );
+}
+
+#[test]
+fn two_writers_claim_disjoint_ranges_and_both_records_parse() {
+    let report = Model::new().check(|| {
+        let cells = Arc::new(Cells::new(4));
+        let c2 = Arc::clone(&cells);
+        let w = thread::spawn(move || {
+            assert!(c2.shipped().try_record(&[5]));
+        });
+        let a = cells.shipped();
+        assert!(a.try_record(&[9]));
+        w.join();
+        // Both 2-word records landed; the claim CAS partitioned the index
+        // space, so parsing walks exactly two coherent records in some order.
+        assert!(a.drained());
+        assert_eq!(a.claimed(), 4);
+        assert_eq!(a.dropped_count(), 0);
+        let mut seen = [false, false];
+        let mut i = 0;
+        while i < 4 {
+            assert_eq!(a.word(i), 1, "length word corrupted at {i}");
+            match a.word(i + 1) {
+                5 => seen[0] = true,
+                9 => seen[1] = true,
+                other => panic!("blended record: pc {other}"),
+            }
+            i += 2;
+        }
+        assert!(seen[0] && seen[1], "a record vanished: {seen:?}");
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn full_arena_drops_exactly_one_writer_and_keeps_the_other_coherent() {
+    let report = Model::new().check(|| {
+        // Capacity 3: two 2-pc records need 3 words each; exactly one fits.
+        let cells = Arc::new(Cells::new(3));
+        let c2 = Arc::clone(&cells);
+        let w = thread::spawn(move || {
+            c2.shipped().try_record(&[7, 21]);
+        });
+        let a = cells.shipped();
+        a.try_record(&[5, 15]);
+        w.join();
+        assert!(a.drained(), "drops must not desync committed from head");
+        assert_eq!(a.claimed(), 3);
+        assert_eq!(a.dropped_count(), 1);
+        assert_eq!(a.word(0), 2);
+        let pc = a.word(1);
+        assert!(pc == 7 || pc == 5, "blended record: {pc}");
+        assert_eq!(a.word(2), pc * 3, "torn record: {pc} vs {}", a.word(2));
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn demoting_the_committed_publish_to_relaxed_is_caught_as_a_stale_record() {
+    // Same arena source, cursors demoted to Relaxed: the fetch_add on
+    // `committed` no longer releases, so the reader's Acquire rendezvous
+    // pairs with nothing and the record words may still read their initial
+    // zeroes. The checker MUST find this; if it ever stops finding it, the
+    // checker (or the arena recheck) has rotted.
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        Model::new().check(|| {
+            let cells = Arc::new(BrokenCells::new(4));
+            let c2 = Arc::clone(&cells);
+            let writer = thread::spawn(move || {
+                assert!(c2.broken().try_record(&[7, 21]));
+            });
+            let a = cells.broken();
+            for _ in 0..SPIN {
+                if a.claimed() == 3 && a.drained() {
+                    assert_eq!(a.word(0), 2, "stale record: depth word");
+                    assert_eq!(a.word(1), 7, "stale record: pc0");
+                    assert_eq!(a.word(2), 21, "stale record: pc1");
+                    break;
+                }
+            }
+            writer.join();
+        });
+    }))
+    .expect_err("ordering-demoted arena must produce a detectable stale record");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("stale record"), "wrong failure: {msg}");
+    assert!(msg.contains("failing schedule"), "no schedule in: {msg}");
+}

@@ -438,9 +438,14 @@ impl<'a> ParallelRecommender<'a> {
                     .collect();
                 handles
                     .into_iter()
+                    // viderec-lint: allow(serve-no-panic) — `join` errs only when the
+                    // worker panicked; re-raising continues that unwind.
                     .flat_map(|h| h.join().expect("shard worker panicked"))
                     .collect::<Vec<_>>()
             })
+            // viderec-lint: allow(serve-no-panic) — `scope` errs only when a
+            // worker panicked; re-raising continues that unwind, it does not
+            // introduce one.
             .expect("crossbeam scope")
         };
         merge_shards(results, trace)
@@ -524,6 +529,9 @@ impl<'a> ParallelRecommender<'a> {
         // scores are non-negative, so the bit order is the numeric order) and
         // publish their own k-th scores as they rise, so every shard prunes
         // against the best threshold discovered anywhere, not just its own.
+        // viderec-lint: allow(serve-no-panic) — `rest` being non-empty
+        // means the prefix pass filled the heap to `k`, as the comment
+        // above documents.
         let floor = prefix_heap.peek().expect("prefix heap is full").0.score;
         let shared_floor = AtomicU64::new(floor.to_bits());
 
@@ -561,9 +569,14 @@ impl<'a> ParallelRecommender<'a> {
                     .collect();
                 handles
                     .into_iter()
+                    // viderec-lint: allow(serve-no-panic) — `join` errs only when the
+                    // worker panicked; re-raising continues that unwind.
                     .flat_map(|h| h.join().expect("shard worker panicked"))
                     .collect::<Vec<_>>()
             })
+            // viderec-lint: allow(serve-no-panic) — `scope` errs only when a
+            // worker panicked; re-raising continues that unwind, it does not
+            // introduce one.
             .expect("crossbeam scope")
         };
         let mut merged = merge_shards(results, trace);
@@ -664,6 +677,8 @@ impl<'a> ParallelRecommender<'a> {
         for (pos, &(idx, sj, ceiling)) in shard.iter().enumerate() {
             let mut threshold = f64::from_bits(shared_floor.load(AtomicOrdering::Relaxed));
             if heap.len() == k {
+                // viderec-lint: allow(serve-no-panic) — peek is guarded by
+                // `heap.len() == k` with `k >= 1` (zero returns early upstream).
                 let kth = heap.peek().expect("heap is full").0.score;
                 if kth > threshold {
                     shared_floor.fetch_max(kth.to_bits(), AtomicOrdering::Relaxed);

@@ -34,6 +34,9 @@ impl Ord for WorstFirst {
 /// Inserts into a `k`-bounded worst-first heap: grow while short of `k`, then
 /// replace the root only for a *strictly* better entry under the ranking
 /// order (WorstFirst inverts it).
+// viderec-lint: allow(serve-no-panic) — callers guard `top_k == 0`
+// at every entry point, so `k >= 1` and the peek branch implies a
+// non-empty heap.
 pub(crate) fn push_top_k(heap: &mut BinaryHeap<WorstFirst>, entry: WorstFirst, k: usize) {
     if heap.len() < k {
         heap.push(entry);

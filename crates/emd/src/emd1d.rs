@@ -133,6 +133,9 @@ pub fn emd_1d_soa(av: &[f64], aw: &[f64], bv: &[f64], bw: &[f64]) -> f64 {
 /// the bench folded stacks a named `emd_1d_soa_capped` leaf instead of
 /// samples smeared into whichever caller the inliner picked.
 #[inline(never)]
+// viderec-lint: allow(serve-no-panic) — the only `unwrap()`s are
+// `try_into()` on slices the loop guard proved are exactly
+// `CAP_CHECK_BLOCK` long; the conversion is infallible.
 pub fn emd_1d_soa_capped(av: &[f64], aw: &[f64], bv: &[f64], bw: &[f64], cap: f64) -> f64 {
     debug_assert_eq!(av.len(), aw.len(), "first lane length mismatch");
     debug_assert_eq!(bv.len(), bw.len(), "second lane length mismatch");

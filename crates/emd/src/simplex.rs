@@ -152,6 +152,8 @@ pub fn solve_from(p: &TransportProblem, mut bs: BasicSolution) -> SimplexSolutio
             .basis
             .iter()
             .position(|&c| c == leaving)
+            // viderec-lint: allow(serve-no-panic) — the leaving cell was taken
+            // from the cycle through basic cells, so it is in the basis.
             .expect("leaving cell is basic");
         bs.basis[slot] = (ei, ej);
     }

@@ -28,7 +28,11 @@ impl CountingAlloc {
     }
 }
 
+// SAFETY: every call defers verbatim to the System allocator; the wrapper
+// only maintains atomic counters, which never allocate, so there is no
+// reentrancy and the GlobalAlloc contract is exactly System's.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: layout forwarded unchanged to System per the trait contract.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
@@ -37,11 +41,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY: caller guarantees `ptr`/`layout` came from this allocator;
+    // both forwarded unchanged to System.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         Self::sub(layout.size());
     }
 
+    // SAFETY: as `alloc` — forwarded verbatim.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc_zeroed(layout);
         if !p.is_null() {
@@ -50,6 +57,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY: caller upholds GlobalAlloc::realloc's contract; forwarded
+    // verbatim, counters updated only on success.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {

@@ -193,6 +193,9 @@ impl<P: Clone + Eq + std::hash::Hash> LsbForest<P> {
     /// the longer common prefix while `keep(pulled_so_far, next_lcp)` holds,
     /// dedup across trees keeping each payload's best LCP, and sort best
     /// prefix first.
+    // viderec-lint: allow(serve-no-panic) — every `.expect("peeked")`
+    // is dominated by the `peek_key()` match that just proved that
+    // cursor side non-empty.
     fn expand(
         &self,
         point: &[f64],

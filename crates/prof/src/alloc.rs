@@ -103,6 +103,8 @@ fn note_free(bytes: usize) {
 // wrapper only updates atomic/thread-local counters, which themselves never
 // allocate (const-initialised TLS cells), so there is no reentrancy.
 unsafe impl<A: GlobalAlloc> GlobalAlloc for CountingAlloc<A> {
+    // SAFETY: caller upholds GlobalAlloc's contract (valid layout); the
+    // layout is forwarded unchanged to the inner allocator.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = self.0.alloc(layout);
         if !p.is_null() {
@@ -111,6 +113,7 @@ unsafe impl<A: GlobalAlloc> GlobalAlloc for CountingAlloc<A> {
         p
     }
 
+    // SAFETY: as `alloc` — the contract is forwarded verbatim.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let p = self.0.alloc_zeroed(layout);
         if !p.is_null() {
@@ -119,11 +122,15 @@ unsafe impl<A: GlobalAlloc> GlobalAlloc for CountingAlloc<A> {
         p
     }
 
+    // SAFETY: caller guarantees `ptr` was returned by this allocator with
+    // this layout; both are forwarded unchanged to the inner dealloc.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         self.0.dealloc(ptr, layout);
         note_free(layout.size());
     }
 
+    // SAFETY: caller guarantees `ptr`/`layout` per GlobalAlloc::realloc;
+    // forwarded unchanged, counters updated only on success.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = self.0.realloc(ptr, layout, new_size);
         if !p.is_null() {
@@ -158,6 +165,9 @@ mod tests {
         let a = CountingAlloc::system();
         let before = heap_stats();
         let layout = Layout::from_size_align(256, 8).unwrap();
+        // SAFETY: every pointer passed to realloc/dealloc below came from
+        // this same allocator with the stated layout, per the alloc
+        // contract; sizes are updated in lockstep with the calls.
         unsafe {
             let p = a.alloc(layout);
             assert!(!p.is_null());

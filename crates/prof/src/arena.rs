@@ -1,0 +1,132 @@
+//! The lock-free sample-arena ring protocol, separated from the SIGPROF
+//! plumbing so `viderec-check` can compile it **verbatim, from this file on
+//! disk** against its instrumented atomics (see `crates/check/src/
+//! shipped_arena.rs`) and exhaustively explore claim/publish/drain
+//! interleavings. `signal.rs` owns the statics; this module owns the
+//! protocol.
+//!
+//! Protocol (writers are SIGPROF handlers, the reader is the capture
+//! orchestrator in `profiler.rs`):
+//!
+//! * **Claim** — a writer reserves `1 + depth` words with a CAS loop on
+//!   `head` (`Relaxed`: the CAS only partitions indices, it publishes no
+//!   data). A claim that would run past the arena is refused and counted in
+//!   `dropped` — `head` therefore never exceeds `words.len()`, and every
+//!   claimed word is guaranteed to be written.
+//! * **Publish** — the writer stores `[depth, pc0, pc1, ...]` into its
+//!   claimed range with `Relaxed` stores, then adds the claimed length to
+//!   `committed` with `Release`. The `Release` is the only publication edge
+//!   in the protocol: demote it and a reader can observe `committed ==
+//!   head` while the record words are still invisible (the exact mutant
+//!   pinned by `crates/check/tests/model_arena.rs`).
+//! * **Drain rendezvous** — the reader (timer already disarmed) spins until
+//!   [`ArenaRef::drained`]: an `Acquire` load of `committed` equal to
+//!   `head`. The `Acquire` pairs with every writer's `Release` add, so once
+//!   the counts meet, all stores below `committed` are visible and the
+//!   reader may parse records with plain `Relaxed` loads.
+//!
+//! Everything callable from the handler ([`ArenaRef::try_record`] and its
+//! callees) is async-signal-safe: no allocation, no formatting, no locks,
+//! no panicking macros — enforced transitively by the `signal-safe` lint
+//! rule walking the call graph from the handler.
+
+use super::sync::{AtomicU64, AtomicUsize, Ordering};
+
+/// Borrowed view of a sample arena: the word ring plus its three cursors.
+/// `signal.rs` wraps its `.bss` statics in one of these; model tests build
+/// tiny heap-backed arenas. Copyable by design — a `SIGPROF` handler must
+/// be able to construct it from statics without any allocation.
+#[derive(Clone, Copy)]
+pub struct ArenaRef<'a> {
+    /// Record storage; records are `[depth, pc0(leaf), pc1, ...]`.
+    pub words: &'a [AtomicU64],
+    /// Next free word (claim cursor). Never exceeds `words.len()`.
+    pub head: &'a AtomicUsize,
+    /// Words fully written and published. Readers wait for `== head`.
+    pub committed: &'a AtomicUsize,
+    /// Samples dropped because the arena was full.
+    pub dropped: &'a AtomicU64,
+}
+
+impl ArenaRef<'_> {
+    /// Claims `need` words, returning the start index, or counts a drop and
+    /// returns `None` when the arena cannot hold them. Bounded: the CAS
+    /// retries only while other writers move `head`, and `head` never
+    /// passes `words.len()`.
+    pub fn try_claim(&self, need: usize) -> Option<usize> {
+        let mut start = self.head.load(Ordering::Relaxed);
+        loop {
+            if start + need > self.words.len() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            // Relaxed on success and failure: the CAS only partitions index
+            // space between writers; publication happens on `committed`.
+            match self.head.compare_exchange_weak(
+                start,
+                start + need,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(start),
+                Err(cur) => start = cur,
+            }
+        }
+    }
+
+    /// Records one sample: claims `1 + pcs.len()` words, stores
+    /// `[depth, pcs...]`, publishes with a `Release` add to `committed`.
+    /// Returns `false` (drop already counted) when the arena is full.
+    pub fn try_record(&self, pcs: &[u64]) -> bool {
+        let need = 1 + pcs.len();
+        let Some(start) = self.try_claim(need) else {
+            return false;
+        };
+        self.words[start].store(pcs.len() as u64, Ordering::Relaxed);
+        for (i, pc) in pcs.iter().enumerate() {
+            self.words[start + 1 + i].store(*pc, Ordering::Relaxed);
+        }
+        // The one publication edge: pairs with the reader's Acquire load in
+        // `drained()`, carrying every Relaxed store above with it.
+        self.committed.fetch_add(need, Ordering::Release);
+        true
+    }
+
+    /// Reader rendezvous: `true` once every claimed word is published. The
+    /// `Acquire` load of `committed` synchronizes with each writer's
+    /// `Release` add, so after `drained()` returns `true` the reader may
+    /// parse `words[..claimed()]` with `Relaxed` loads.
+    pub fn drained(&self) -> bool {
+        self.committed.load(Ordering::Acquire) == self.head.load(Ordering::SeqCst)
+    }
+
+    /// Words claimed so far (the parse bound after a drained rendezvous).
+    pub fn claimed(&self) -> usize {
+        self.head.load(Ordering::SeqCst)
+    }
+
+    /// One record word; callers index below [`ArenaRef::claimed`] after
+    /// [`ArenaRef::drained`] held.
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i].load(Ordering::Relaxed)
+    }
+
+    /// Samples dropped because the arena was full.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
+    /// Resets the cursors for a fresh capture. Callers must guarantee no
+    /// writer is active (the profiler holds `CAPTURING` and has cleared
+    /// `ACTIVE` first); `SeqCst` documents that the reset happens-before
+    /// re-arming rather than racing it.
+    pub fn reset(&self) {
+        self.head.store(0, Ordering::SeqCst);
+        self.committed.store(0, Ordering::SeqCst);
+        self.dropped.store(0, Ordering::SeqCst);
+    }
+}
+// Unit tests live in `crates/prof/tests/arena.rs` (public API only) so this
+// file stays includable, test-free, into `viderec-check`'s instrumented
+// build; the interleaving-exhaustive versions live in
+// `crates/check/tests/model_arena.rs`.

@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod arena;
 pub mod profiler;
 pub mod signal;
 pub mod symbols;
+pub mod sync;
 pub mod telemetry;
 
 pub use alloc::{counting_installed, heap_json, heap_stats, CountingAlloc, HeapStats};

@@ -139,6 +139,10 @@ pub fn capture(duration: Duration, hz: u32) -> Result<Profile, CaptureError> {
     let _guard = CaptureGuard;
 
     INSTALL.call_once(|| {
+        // SAFETY: install_handler replaces the process-global SIGPROF
+        // disposition; the Once guarantees it runs exactly once, and this
+        // crate is the only SIGPROF user in the workspace (nothing else
+        // calls sigaction), so no other disposition is clobbered.
         INSTALL_OK.store(unsafe { signal::install_handler() }, Ordering::SeqCst);
     });
     if !INSTALL_OK.load(Ordering::SeqCst) {
@@ -151,9 +155,8 @@ pub fn capture(duration: Duration, hz: u32) -> Result<Profile, CaptureError> {
 
     // Reset the ring. No handler is active (CAPTURING excluded rivals and
     // ACTIVE is false), so plain stores are race-free here.
-    signal::HEAD.store(0, Ordering::SeqCst);
-    signal::COMMITTED.store(0, Ordering::SeqCst);
-    signal::DROPPED.store(0, Ordering::SeqCst);
+    let arena = signal::arena();
+    arena.reset();
     signal::BAD_CONTEXT.store(0, Ordering::SeqCst);
     signal::ACTIVE.store(true, Ordering::SeqCst);
 
@@ -166,10 +169,11 @@ pub fn capture(duration: Duration, hz: u32) -> Result<Profile, CaptureError> {
     signal::ACTIVE.store(false, Ordering::SeqCst);
     signal::disarm();
 
-    // Rendezvous: wait until every claimed word is published. In-flight
-    // handlers finish in microseconds; the bound is sheer paranoia.
+    // Rendezvous: wait until every claimed word is published (the Acquire
+    // side of the arena protocol). In-flight handlers finish in
+    // microseconds; the bound is sheer paranoia.
     let mut spins = 0;
-    while signal::COMMITTED.load(Ordering::Acquire) != signal::HEAD.load(Ordering::SeqCst) {
+    while !arena.drained() {
         std::thread::sleep(Duration::from_millis(1));
         spins += 1;
         if spins > 200 {
@@ -177,12 +181,12 @@ pub fn capture(duration: Duration, hz: u32) -> Result<Profile, CaptureError> {
         }
     }
 
-    let words = signal::HEAD.load(Ordering::SeqCst);
+    let words = arena.claimed();
     let mut counts: HashMap<String, u64> = HashMap::new();
     let mut samples = 0u64;
     let mut i = 0usize;
     while i < words {
-        let depth = signal::ARENA[i].load(Ordering::Relaxed) as usize;
+        let depth = arena.word(i) as usize;
         if depth == 0 || depth > signal::MAX_DEPTH || i + 1 + depth > words {
             break; // defensive: a malformed record ends the drain
         }
@@ -192,7 +196,7 @@ pub fn capture(duration: Duration, hz: u32) -> Result<Profile, CaptureError> {
         // shifted back one byte so they symbolize to the call site.
         let mut frames: Vec<String> = Vec::with_capacity(depth);
         for j in (0..depth).rev() {
-            let raw = signal::ARENA[i + 1 + j].load(Ordering::Relaxed);
+            let raw = arena.word(i + 1 + j);
             let pc = if j == 0 { raw } else { raw.saturating_sub(1) };
             frames.push(symbols.resolve(pc));
         }
@@ -212,7 +216,7 @@ pub fn capture(duration: Duration, hz: u32) -> Result<Profile, CaptureError> {
 
     Ok(Profile {
         samples,
-        dropped: signal::DROPPED.load(Ordering::SeqCst),
+        dropped: arena.dropped_count(),
         hz,
         window_ms: duration.as_millis() as u64,
         folded,

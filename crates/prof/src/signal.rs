@@ -16,20 +16,25 @@
 //! short read instead of a SIGSEGV inside a signal handler. One 16-byte
 //! syscall per frame at <= 1000 Hz is noise next to the work being profiled.
 //!
-//! Ring protocol: a handler walks the stack into a stack-local buffer,
-//! claims `1 + depth` words with a bounded CAS loop on [`HEAD`] (claims
-//! never exceed the arena, so every claimed word is written), stores
-//! `[depth, leaf_pc, caller_pc, ...]` with relaxed stores, then publishes by
-//! adding the claimed length to [`COMMITTED`] with `Release`. The reader
-//! (in `profiler.rs`, outside signal context) disarms the timer, waits for
-//! `COMMITTED == HEAD`, and acquires-loads `COMMITTED` so every handler's
-//! stores are visible before it parses a single word. A full ring drops the
-//! sample and counts it in [`DROPPED`] — dropping is the only overflow
-//! behaviour a signal handler can afford.
+//! Ring protocol: a handler walks the stack into a stack-local buffer, then
+//! records it through [`crate::arena::ArenaRef::try_record`] — claim
+//! `1 + depth` words by bounded CAS on [`HEAD`] (claims never exceed the
+//! arena, so every claimed word is written), store `[depth, leaf_pc,
+//! caller_pc, ...]` relaxed, publish by adding the claimed length to
+//! [`COMMITTED`] with `Release`. The reader (in `profiler.rs`, outside
+//! signal context) disarms the timer and rendezvouses on
+//! `ArenaRef::drained()` (`Acquire` on `COMMITTED` equal to `HEAD`) so
+//! every handler's stores are visible before it parses a single word. A
+//! full ring drops the sample and counts it in [`DROPPED`] — dropping is
+//! the only overflow behaviour a signal handler can afford. The protocol
+//! lives in `arena.rs` so `viderec-check` can compile it verbatim and
+//! exhaustively explore the claim/publish/drain interleavings
+//! (`crates/check/tests/model_arena.rs`).
 //!
 //! The handler saves and restores `errno` (via `__errno_location`) because
 //! `process_vm_readv` may clobber it mid-way through interrupted user code.
 
+use crate::arena::ArenaRef;
 use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU64, AtomicUsize, Ordering};
 
 /// Deepest stack the walker records; deeper stacks are truncated at the
@@ -60,6 +65,18 @@ pub static BAD_CONTEXT: AtomicU64 = AtomicU64::new(0);
 pub static ACTIVE: AtomicBool = AtomicBool::new(false);
 /// Our pid, cached at install so the handler never calls `getpid`.
 static PID: AtomicI32 = AtomicI32::new(0);
+
+/// The arena statics behind one [`ArenaRef`] — the handler records through
+/// it, the profiler resets/rendezvouses/drains through it, and the model
+/// checker exercises the identical protocol over miniature arenas.
+pub fn arena() -> ArenaRef<'static> {
+    ArenaRef {
+        words: &ARENA,
+        head: &HEAD,
+        committed: &COMMITTED,
+        dropped: &DROPPED,
+    }
+}
 
 // ---- hand-declared FFI (std already links libc; no crates involved) ----
 
@@ -138,6 +155,9 @@ pub(crate) fn arm(hz: u32) -> bool {
         it_interval: period,
         it_value: period,
     };
+    // SAFETY: setitimer reads `timer` (a valid stack value) and takes a
+    // null old-value pointer, which the syscall documents as "don't report
+    // the previous timer"; no memory is written by the kernel.
     unsafe { setitimer(ITIMER_PROF, &timer, core::ptr::null_mut()) == 0 }
 }
 
@@ -152,6 +172,8 @@ pub(crate) fn disarm() {
         it_interval: zero,
         it_value: zero,
     };
+    // SAFETY: as in `arm` — setitimer only reads the valid `timer` value
+    // and the null old-value pointer means nothing is written back.
     unsafe {
         setitimer(ITIMER_PROF, &timer, core::ptr::null_mut());
     }
@@ -170,12 +192,21 @@ fn read_frame(addr: u64, out: &mut [u64; 2]) -> bool {
         iov_base: addr as *mut core::ffi::c_void,
         iov_len: 16,
     };
+    // SAFETY: both iovec structs point at valid memory for the call's
+    // duration (`out` is a caller-owned stack buffer; the remote address
+    // needs no validity — an unmapped address fails with a short read, the
+    // entire reason this path exists). The syscall is async-signal-safe.
     unsafe { process_vm_readv(PID.load(Ordering::Relaxed), &local, 1, &remote, 1, 0) == 16 }
 }
 
 /// glibc x86_64 `ucontext_t`: `uc_mcontext` sits at byte offset 40
 /// (`uc_flags` 8 + `uc_link` 8 + `stack_t` 24) and begins with
-/// `gregset_t gregs[23]` of `long long`.
+/// `gregset_t gregs[23]` of `long long`. Null yields `(0, 0, 0)`, which the
+/// handler counts as [`BAD_CONTEXT`].
+///
+/// # Safety
+/// `ucontext` must be null or point at the `ucontext_t` the kernel handed
+/// this `SA_SIGINFO` handler; only fixed in-bounds offsets are read.
 #[cfg(target_arch = "x86_64")]
 #[inline]
 unsafe fn registers(ucontext: *mut core::ffi::c_void) -> (u64, u64, u64) {
@@ -183,6 +214,9 @@ unsafe fn registers(ucontext: *mut core::ffi::c_void) -> (u64, u64, u64) {
     const REG_RBP: usize = 10;
     const REG_RSP: usize = 15;
     const REG_RIP: usize = 16;
+    if ucontext.is_null() {
+        return (0, 0, 0);
+    }
     let gregs = (ucontext as *const u8).add(UC_MCONTEXT_OFFSET) as *const i64;
     (
         *gregs.add(REG_RIP) as u64,
@@ -191,6 +225,10 @@ unsafe fn registers(ucontext: *mut core::ffi::c_void) -> (u64, u64, u64) {
     )
 }
 
+/// Non-x86_64 stub: no frame-pointer walk, every sample is a bad context.
+///
+/// # Safety
+/// Trivially safe — the pointer is never dereferenced.
 #[cfg(not(target_arch = "x86_64"))]
 #[inline]
 unsafe fn registers(_ucontext: *mut core::ffi::c_void) -> (u64, u64, u64) {
@@ -204,11 +242,18 @@ extern "C" fn handler(_sig: i32, _info: *mut core::ffi::c_void, ucontext: *mut c
     if !ACTIVE.load(Ordering::Relaxed) {
         return;
     }
+    // SAFETY: __errno_location returns the calling thread's errno slot, a
+    // valid aligned pointer for the thread's lifetime; reading it is
+    // async-signal-safe (it is how errno itself is implemented).
     let saved_errno = unsafe { *__errno_location() };
 
+    // SAFETY: the kernel hands SA_SIGINFO handlers a valid ucontext_t for
+    // the interrupted thread; `registers` only reads fixed offsets inside
+    // it and handles the null case by returning zeroes.
     let (rip, rbp, rsp) = unsafe { registers(ucontext) };
     if rip == 0 {
         BAD_CONTEXT.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: restoring the errno slot read above; same argument.
         unsafe { *__errno_location() = saved_errno };
         return;
     }
@@ -239,29 +284,15 @@ extern "C" fn handler(_sig: i32, _info: *mut core::ffi::c_void, ucontext: *mut c
         frame = next;
     }
 
-    // Claim `1 + depth` words; refuse (and count a drop) rather than claim
-    // past the arena, so HEAD never exceeds ARENA_WORDS and the reader's
-    // `COMMITTED == HEAD` rendezvous stays exact.
-    let need = 1 + depth;
-    let mut start = HEAD.load(Ordering::Relaxed);
-    loop {
-        if start + need > ARENA_WORDS {
-            DROPPED.fetch_add(1, Ordering::Relaxed);
-            unsafe { *__errno_location() = saved_errno };
-            return;
-        }
-        match HEAD.compare_exchange_weak(start, start + need, Ordering::Relaxed, Ordering::Relaxed)
-        {
-            Ok(_) => break,
-            Err(cur) => start = cur,
-        }
-    }
+    // Claim, store, publish — the model-checked arena protocol. A full
+    // arena counts a drop instead of claiming past the end, so HEAD never
+    // exceeds ARENA_WORDS and the reader's drained() rendezvous stays
+    // exact.
+    arena().try_record(&pcs[..depth]);
 
-    ARENA[start].store(depth as u64, Ordering::Relaxed);
-    for (i, pc) in pcs.iter().enumerate().take(depth) {
-        ARENA[start + 1 + i].store(*pc, Ordering::Relaxed);
-    }
-    COMMITTED.fetch_add(need, Ordering::Release);
-
+    // SAFETY: __errno_location returns a valid thread-local pointer for the
+    // lifetime of the thread; restoring the saved value is a plain aligned
+    // write and is async-signal-safe by design (errno itself is the
+    // per-thread variable signal handlers are required to preserve).
     unsafe { *__errno_location() = saved_errno };
 }

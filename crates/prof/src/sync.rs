@@ -1,0 +1,10 @@
+//! Concurrency facade for the model-checked modules of this crate.
+//!
+//! [`arena`](crate::arena) imports its atomics from `super::sync` instead of
+//! naming `std::sync` directly. In the normal build this module simply
+//! re-exports `std`; `viderec-check` compiles the *same* `arena.rs` source
+//! (via `#[path]`, under `--cfg viderec_check`) against its instrumented
+//! `sync` shim, so every interleaving the model checker explores runs the
+//! exact shipped claim/publish/drain protocol, not a copy that could drift.
+
+pub use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

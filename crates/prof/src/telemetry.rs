@@ -35,6 +35,8 @@ extern "C" {
 }
 
 fn clock_ticks_per_sec() -> f64 {
+    // SAFETY: sysconf takes a plain integer selector, touches no caller
+    // memory, and is defined for any value (returns -1 when unknown).
     let hz = unsafe { sysconf(_SC_CLK_TCK) };
     if hz > 0 {
         hz as f64
